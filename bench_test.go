@@ -1,0 +1,329 @@
+package hopi
+
+// One benchmark per table/figure of the paper's evaluation (§7), plus
+// ablation benches for the design choices DESIGN.md calls out. The
+// experiment harness (cmd/hopibench) produces the paper-style tables;
+// these testing.B benches regenerate the same measurements under
+// `go test -bench`. Collections are scaled so a full -bench=. run
+// completes in minutes; cmd/hopibench uses the larger default scale.
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"hopi/internal/core"
+	"hopi/internal/experiments"
+	"hopi/internal/gen"
+	"hopi/internal/storage"
+	"hopi/internal/xmlmodel"
+)
+
+const benchSeed = 42
+
+func benchDBLP(docs int) *xmlmodel.Collection {
+	return gen.DBLP(gen.DefaultDBLP(docs, benchSeed))
+}
+
+func mustBuild(b *testing.B, c *xmlmodel.Collection, opts core.Options) *core.Index {
+	b.Helper()
+	ix, err := core.Build(c, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix
+}
+
+// --- Table 1 ----------------------------------------------------------
+
+func BenchmarkTable1CollectionStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(experiments.Config{
+			DBLPDocs: 200, INEXDocs: 12, INEXMeanElements: 200, Seed: benchSeed,
+		})
+		if len(rows) != 2 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// --- §7.2 centralized baseline -----------------------------------------
+
+func BenchmarkCentralizedCover(b *testing.B) {
+	c := benchDBLP(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustBuild(b, c, core.Options{Partitioner: core.PartWhole, Join: core.JoinNewHBar, Seed: benchSeed})
+	}
+}
+
+// --- Table 2 rows -------------------------------------------------------
+
+func benchBuild(b *testing.B, opts core.Options) {
+	c := benchDBLP(200)
+	b.ResetTimer()
+	var size int
+	for i := 0; i < b.N; i++ {
+		ix := mustBuild(b, c, opts)
+		size = ix.Size()
+	}
+	b.ReportMetric(float64(size), "entries")
+}
+
+func BenchmarkBuildOldJoin(b *testing.B) { // Table 2 "baseline"
+	benchBuild(b, core.Options{Partitioner: core.PartNodeCapped, NodeCap: 130, Join: core.JoinOldIncremental, Seed: benchSeed})
+}
+
+func BenchmarkBuildNewJoinP5(b *testing.B) {
+	benchBuild(b, core.Options{Partitioner: core.PartNodeCapped, NodeCap: 65, Join: core.JoinNewHBar, Seed: benchSeed})
+}
+
+func BenchmarkBuildNewJoinP10(b *testing.B) {
+	benchBuild(b, core.Options{Partitioner: core.PartNodeCapped, NodeCap: 130, Join: core.JoinNewHBar, Seed: benchSeed})
+}
+
+func BenchmarkBuildNewJoinP20(b *testing.B) {
+	benchBuild(b, core.Options{Partitioner: core.PartNodeCapped, NodeCap: 260, Join: core.JoinNewHBar, Seed: benchSeed})
+}
+
+func BenchmarkBuildNewJoinP50(b *testing.B) {
+	benchBuild(b, core.Options{Partitioner: core.PartNodeCapped, NodeCap: 650, Join: core.JoinNewHBar, Seed: benchSeed})
+}
+
+func BenchmarkBuildSingle(b *testing.B) { // Table 2 "single"
+	benchBuild(b, core.Options{Partitioner: core.PartSingle, Join: core.JoinNewHBar, Seed: benchSeed})
+}
+
+func BenchmarkBuildNewJoinN10(b *testing.B) {
+	benchBuild(b, core.Options{Partitioner: core.PartClosureBudget, ClosureBudget: 10_000, Join: core.JoinNewHBar, Seed: benchSeed})
+}
+
+func BenchmarkBuildNewJoinN100(b *testing.B) {
+	benchBuild(b, core.Options{Partitioner: core.PartClosureBudget, ClosureBudget: 100_000, Join: core.JoinNewHBar, Seed: benchSeed})
+}
+
+// --- ablations (DESIGN.md §6) -------------------------------------------
+
+func BenchmarkBuildFullPSGJoin(b *testing.B) {
+	benchBuild(b, core.Options{Partitioner: core.PartNodeCapped, NodeCap: 130, Join: core.JoinNewFullPSG, Seed: benchSeed})
+}
+
+func BenchmarkBuildPreselect(b *testing.B) { // §4.2
+	benchBuild(b, core.Options{Partitioner: core.PartNodeCapped, NodeCap: 130, Join: core.JoinNewHBar, PreselectCenters: true, Seed: benchSeed})
+}
+
+func BenchmarkBuildWeightsAtimesD(b *testing.B) { // §4.3
+	benchBuild(b, core.Options{Partitioner: core.PartClosureBudget, ClosureBudget: 10_000, Join: core.JoinNewHBar, Weights: WeightAtimesD, Seed: benchSeed})
+}
+
+// --- §5 distance-aware build ---------------------------------------------
+
+func BenchmarkBuildDistance(b *testing.B) {
+	benchBuild(b, core.Options{Partitioner: core.PartNodeCapped, NodeCap: 130, Join: core.JoinNewHBar, WithDistance: true, Seed: benchSeed})
+}
+
+// --- §7.2 INEX -------------------------------------------------------------
+
+func BenchmarkBuildINEX(b *testing.B) {
+	c := gen.INEX(gen.DefaultINEX(20, 400, benchSeed))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustBuild(b, c, core.Options{Partitioner: core.PartSingle, Join: core.JoinNewHBar, Seed: benchSeed})
+	}
+}
+
+// --- §7.3 maintenance -------------------------------------------------------
+
+func BenchmarkSeparationTest(b *testing.B) {
+	c := benchDBLP(200)
+	ix := mustBuild(b, c, core.Options{Partitioner: core.PartNodeCapped, NodeCap: 130, Join: core.JoinNewHBar, Seed: benchSeed})
+	live := c.LiveDocIndexes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Separates(live[i%len(live)])
+	}
+}
+
+// deleteBench cycles through victims of the wanted class, rebuilding
+// the index (untimed) whenever it runs out.
+func deleteBench(b *testing.B, docs int, wantFast bool) {
+	opts := core.Options{Partitioner: core.PartNodeCapped, NodeCap: 130, Join: core.JoinNewHBar, Seed: benchSeed}
+	var (
+		c       *xmlmodel.Collection
+		ix      *core.Index
+		victims []int
+	)
+	reset := func() {
+		c = benchDBLP(docs)
+		ix = mustBuild(b, c, opts)
+		victims = victims[:0]
+		for _, d := range c.LiveDocIndexes() {
+			if ix.Separates(d) == wantFast {
+				victims = append(victims, d)
+			}
+		}
+		if len(victims) == 0 {
+			b.Skip("no victims of the requested class at this scale")
+		}
+	}
+	reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// keep at least half the collection alive so deletions stay
+		// representative
+		if len(victims) == 0 || c.NumDocs() < docs/2 {
+			b.StopTimer()
+			reset()
+			b.StartTimer()
+		}
+		v := victims[0]
+		victims = victims[1:]
+		if !c.Alive(v) || ix.Separates(v) != wantFast {
+			i--
+			continue
+		}
+		if _, err := ix.DeleteDocument(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeleteSeparating(b *testing.B) { // Theorem 2 fast path
+	deleteBench(b, 150, true)
+}
+
+func BenchmarkDeleteNonSeparating(b *testing.B) { // Theorem 3 general path
+	deleteBench(b, 100, false)
+}
+
+func BenchmarkInsertEdge(b *testing.B) { // §6.1
+	c := benchDBLP(200)
+	ix := mustBuild(b, c, core.Options{Partitioner: core.PartNodeCapped, NodeCap: 130, Join: core.JoinNewHBar, Seed: benchSeed})
+	live := c.LiveDocIndexes()
+	rng := rand.New(rand.NewSource(benchSeed))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := c.GlobalID(live[rng.Intn(len(live))], 1)
+		to := c.GlobalID(live[rng.Intn(len(live))], 0)
+		if from == to {
+			continue
+		}
+		if err := ix.InsertEdge(from, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertDocument(b *testing.B) { // §6.1
+	c := benchDBLP(200)
+	ix := mustBuild(b, c, core.Options{Partitioner: core.PartNodeCapped, NodeCap: 130, Join: core.JoinNewHBar, Seed: benchSeed})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nd := xmlmodel.NewDocument(fmt.Sprintf("bench%06d.xml", i), "article")
+		for e := 0; e < 20; e++ {
+			nd.AddElement(int32(e/2), "sec")
+		}
+		if _, err := ix.InsertDocument(nd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- query latency (in-memory cover vs page store) ------------------------
+
+func BenchmarkReachQuery(b *testing.B) {
+	c := benchDBLP(200)
+	ix := mustBuild(b, c, core.Options{Partitioner: core.PartNodeCapped, NodeCap: 130, Join: core.JoinNewHBar, Seed: benchSeed})
+	n := int32(c.NumAllocatedIDs())
+	rng := rand.New(rand.NewSource(benchSeed))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Reaches(rng.Int31n(n), rng.Int31n(n))
+	}
+}
+
+func BenchmarkDistanceQuery(b *testing.B) {
+	c := benchDBLP(200)
+	ix := mustBuild(b, c, core.Options{Partitioner: core.PartNodeCapped, NodeCap: 130, Join: core.JoinNewHBar, WithDistance: true, Seed: benchSeed})
+	n := int32(c.NumAllocatedIDs())
+	rng := rand.New(rand.NewSource(benchSeed))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Distance(rng.Int31n(n), rng.Int31n(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDescendantsQuery(b *testing.B) {
+	c := benchDBLP(200)
+	ix := mustBuild(b, c, core.Options{Partitioner: core.PartNodeCapped, NodeCap: 130, Join: core.JoinNewHBar, Seed: benchSeed})
+	n := int32(c.NumAllocatedIDs())
+	rng := rand.New(rand.NewSource(benchSeed))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Descendants(rng.Int31n(n))
+	}
+}
+
+func BenchmarkStoredReachQuery(b *testing.B) { // §3.4 database-backed mode
+	c := benchDBLP(200)
+	ix := mustBuild(b, c, core.Options{Partitioner: core.PartNodeCapped, NodeCap: 130, Join: core.JoinNewHBar, Seed: benchSeed})
+	path := filepath.Join(b.TempDir(), "bench.hopi")
+	fp, err := storage.CreateFilePager(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := storage.CreateCoverStore(fp, 256, c.NumAllocatedIDs(), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.FromCover(ix.Cover()); err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	n := int32(c.NumAllocatedIDs())
+	rng := rand.New(rand.NewSource(benchSeed))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Reaches(rng.Int31n(n), rng.Int31n(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- path expressions -------------------------------------------------------
+
+func BenchmarkPathQuery(b *testing.B) {
+	coll := WrapCollection(benchDBLP(200))
+	opts := DefaultOptions()
+	opts.Seed = benchSeed
+	ix, err := Build(coll, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Query("//article//author"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPathQueryRanked(b *testing.B) {
+	coll := WrapCollection(benchDBLP(100))
+	opts := DefaultOptions()
+	opts.WithDistance = true
+	opts.Seed = benchSeed
+	ix, err := Build(coll, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.QueryRanked("//cite//author"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

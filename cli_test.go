@@ -1,0 +1,83 @@
+package hopi
+
+// End-to-end test of the command-line pipeline: hopigen → hopibuild →
+// hopiquery/hopistats, exercising the same binaries a user would run.
+// Skipped under -short (it compiles the commands).
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles binaries")
+	}
+	dir := t.TempDir()
+	hopigen := buildTool(t, dir, "hopigen")
+	hopibuild := buildTool(t, dir, "hopibuild")
+	hopiquery := buildTool(t, dir, "hopiquery")
+	hopistats := buildTool(t, dir, "hopistats")
+
+	corpus := filepath.Join(dir, "corpus")
+	out := runTool(t, hopigen, "-synthetic", "dblp", "-docs", "40", "-out", corpus)
+	if !strings.Contains(out, "wrote 40 XML files") {
+		t.Fatalf("hopigen output: %s", out)
+	}
+	entries, err := os.ReadDir(corpus)
+	if err != nil || len(entries) != 40 {
+		t.Fatalf("corpus dir: %v (%d files)", err, len(entries))
+	}
+
+	index := filepath.Join(dir, "corpus.hopi")
+	out = runTool(t, hopibuild, "-in", corpus, "-out", index, "-distance", "-partitioner", "nodes", "-cap", "200")
+	if !strings.Contains(out, "label entries") || !strings.Contains(out, "saved") {
+		t.Fatalf("hopibuild output: %s", out)
+	}
+
+	out = runTool(t, hopiquery, "-index", index, "-expr", "//article//author", "-limit", "3")
+	if !strings.Contains(out, "<author>") {
+		t.Fatalf("hopiquery expr output: %s", out)
+	}
+	out = runTool(t, hopiquery, "-index", index, "-expr", "//article//cite", "-ranked", "-limit", "3")
+	if !strings.Contains(out, "0.") {
+		t.Fatalf("hopiquery ranked output: %s", out)
+	}
+	out = runTool(t, hopiquery, "-index", index, "-from", "pub00000.xml", "-to", "pub00001.xml")
+	if !strings.Contains(out, "true") && !strings.Contains(out, "false") {
+		t.Fatalf("hopiquery reach output: %s", out)
+	}
+	out = runTool(t, hopiquery, "-index", index, "-descendants", "pub00039.xml", "-limit", "5")
+	if !strings.Contains(out, "pub00039.xml") {
+		t.Fatalf("hopiquery descendants output: %s", out)
+	}
+
+	out = runTool(t, hopistats, "-in", corpus, "-closure=false")
+	if !strings.Contains(out, "# docs:     40") {
+		t.Fatalf("hopistats output: %s", out)
+	}
+}

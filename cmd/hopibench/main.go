@@ -1,0 +1,133 @@
+// Command hopibench regenerates the paper's evaluation (§7): Table 1,
+// the §7.2 centralized baseline, Table 2, the §7.3 maintenance
+// experiments, the INEX build, and the distance/preselection/weights
+// ablations — on synthetic collections shaped like the originals.
+//
+// Usage:
+//
+//	hopibench                        # everything except the slow centralized run
+//	hopibench -exp table2            # one experiment
+//	hopibench -exp all -docs 620     # includes centralized (~2 min)
+//	hopibench -docs 300 -seed 7      # smaller, different seed
+//
+// Experiments: table1, centralized, table2, maintenance, inex,
+// distance, preselect, weights, balance, query, all, default.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hopi/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "default", "comma-separated experiments (table1,centralized,table2,maintenance,inex,distance,preselect,weights,balance,query,all,default)")
+		docs     = flag.Int("docs", 620, "DBLP-like document count (paper: 6210)")
+		inexDocs = flag.Int("inexdocs", 122, "INEX-like document count (paper: 12232)")
+		inexEls  = flag.Int("inexels", 950, "INEX-like mean elements per document (paper: ~986)")
+		seed     = flag.Int64("seed", 42, "generator and build seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		DBLPDocs: *docs, INEXDocs: *inexDocs, INEXMeanElements: *inexEls, Seed: *seed,
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	if want["all"] {
+		for _, e := range []string{"table1", "centralized", "table2", "maintenance", "inex", "distance", "preselect", "weights", "balance", "query"} {
+			want[e] = true
+		}
+	}
+	if want["default"] {
+		for _, e := range []string{"table1", "table2", "maintenance", "inex", "distance", "preselect", "weights", "balance", "query"} {
+			want[e] = true
+		}
+	}
+
+	run := func(name, title string, fn func() (string, error)) {
+		if !want[name] {
+			return
+		}
+		fmt.Printf("=== %s ===\n", title)
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hopibench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	run("table1", "Table 1: collection features", func() (string, error) {
+		return experiments.RenderTable1(experiments.Table1(cfg)), nil
+	})
+	run("centralized", "§7.2: centralized cover (no partitioning; slow)", func() (string, error) {
+		r, err := experiments.Centralized(cfg)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderCentralized(r), nil
+	})
+	run("table2", "Table 2: index build time and size", func() (string, error) {
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable2(rows), nil
+	})
+	run("maintenance", "§7.3: index maintenance", func() (string, error) {
+		r, err := experiments.Maintenance(cfg)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderMaintenance(r), nil
+	})
+	run("inex", "§7.2: INEX build", func() (string, error) {
+		r, err := experiments.INEXBuild(cfg)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderINEX(r), nil
+	})
+	run("distance", "§5: distance-aware index overhead", func() (string, error) {
+		r, err := experiments.DistanceOverhead(cfg)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderDistance(r), nil
+	})
+	run("preselect", "§4.2: center preselection", func() (string, error) {
+		r, err := experiments.Preselect(cfg)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderPreselect(r), nil
+	})
+	run("weights", "§4.3: edge-weight schemes", func() (string, error) {
+		r, err := experiments.WeightsAblation(cfg)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderWeights(r), nil
+	})
+	run("balance", "§4.3: partition balance / parallel speedup bound", func() (string, error) {
+		rows, err := experiments.Balance(cfg)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderBalance(rows), nil
+	})
+	run("query", "query micro-benchmark (extension)", func() (string, error) {
+		r, err := experiments.QueryMicro(cfg)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderQueryMicro(r), nil
+	})
+}

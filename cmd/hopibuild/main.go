@@ -1,0 +1,135 @@
+// Command hopibuild builds a HOPI index and persists it to a
+// page-based cover store.
+//
+// Input is either a directory of XML files (id/xml:id anchors, idref
+// and href links are recognized) or a synthetic collection:
+//
+//	hopibuild -in ./docs -out index.hopi
+//	hopibuild -synthetic dblp -docs 620 -out dblp.hopi -distance
+//	hopibuild -synthetic inex -docs 122 -out inex.hopi -partitioner single
+//
+// The index file is written to -out, the collection snapshot to
+// -out.coll; query both with hopiquery.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hopi"
+	"hopi/internal/gen"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "directory of XML files to index")
+		synth     = flag.String("synthetic", "", "generate a collection instead: dblp or inex")
+		docs      = flag.Int("docs", 620, "synthetic document count")
+		out       = flag.String("out", "index.hopi", "output index path")
+		seed      = flag.Int64("seed", 42, "seed for generators and builds")
+		distance  = flag.Bool("distance", false, "build a distance-aware index (§5)")
+		preselect = flag.Bool("preselect", false, "preselect link targets as centers (§4.2)")
+		partition = flag.String("partitioner", "budget", "whole | single | nodes | budget")
+		nodeCap   = flag.Int("cap", 1000, "node cap for -partitioner nodes")
+		budget    = flag.Int64("budget", 1_000_000, "closure budget for -partitioner budget")
+		join      = flag.String("join", "new", "new | fullpsg | old")
+	)
+	flag.Parse()
+
+	coll, err := loadCollection(*in, *synth, *docs, *seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("collection: %d docs, %d elements, %d links\n",
+		coll.NumDocs(), coll.NumElements(), coll.NumLinks())
+
+	opts := hopi.DefaultOptions()
+	opts.Seed = *seed
+	opts.WithDistance = *distance
+	opts.PreselectCenters = *preselect
+	opts.NodeCap = *nodeCap
+	opts.ClosureBudget = *budget
+	switch *partition {
+	case "whole":
+		opts.Partitioner = hopi.Whole
+	case "single":
+		opts.Partitioner = hopi.SingleDoc
+	case "nodes":
+		opts.Partitioner = hopi.NodeCapped
+	case "budget":
+		opts.Partitioner = hopi.ClosureBudget
+	default:
+		fail(fmt.Errorf("unknown partitioner %q", *partition))
+	}
+	switch *join {
+	case "new":
+		opts.Join = hopi.NewJoin
+	case "fullpsg":
+		opts.Join = hopi.NewJoinFullPSG
+	case "old":
+		opts.Join = hopi.OldJoin
+	default:
+		fail(fmt.Errorf("unknown join %q", *join))
+	}
+
+	t0 := time.Now()
+	ix, err := hopi.Build(coll, opts)
+	if err != nil {
+		fail(err)
+	}
+	st := ix.Stats()
+	fmt.Printf("built in %s: %d partitions, %d cross links, %d label entries\n",
+		time.Since(t0).Round(time.Millisecond), st.Partitions, st.CrossLinks, ix.Size())
+	fmt.Printf("phases: partition %s, covers %s, join %s\n",
+		st.PartitionTime.Round(time.Millisecond),
+		st.CoverTime.Round(time.Millisecond),
+		st.JoinTime.Round(time.Millisecond))
+
+	if err := ix.Save(*out); err != nil {
+		fail(err)
+	}
+	fi, err := os.Stat(*out)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("saved %s (%d KB) and %s.coll\n", *out, fi.Size()/1024, *out)
+}
+
+func loadCollection(in, synth string, docs int, seed int64) (*hopi.Collection, error) {
+	switch {
+	case in != "":
+		entries, err := os.ReadDir(in)
+		if err != nil {
+			return nil, err
+		}
+		files := map[string][]byte{}
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".xml" {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(in, e.Name()))
+			if err != nil {
+				return nil, err
+			}
+			files[e.Name()] = data
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("no .xml files in %s", in)
+		}
+		return hopi.ParseCollection(files)
+	case synth == "dblp":
+		return hopi.WrapCollection(gen.DBLP(gen.DefaultDBLP(docs, seed))), nil
+	case synth == "inex":
+		return hopi.WrapCollection(gen.INEX(gen.DefaultINEX(docs, 950, seed))), nil
+	default:
+		return nil, fmt.Errorf("pass -in DIR or -synthetic dblp|inex")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hopibuild:", err)
+	os.Exit(1)
+}

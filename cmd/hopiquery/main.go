@@ -1,0 +1,152 @@
+// Command hopiquery runs reachability, distance, and path queries
+// against an index built by hopibuild.
+//
+//	hopiquery -index dblp.hopi -from pub00001.xml -to pub00000.xml
+//	hopiquery -index dblp.hopi -from 'pub00005.xml:3' -to pub00002.xml -distance
+//	hopiquery -index dblp.hopi -expr '//article//cite' -limit 10
+//	hopiquery -index dblp.hopi -expr '//article//author' -ranked
+//	hopiquery -index dblp.hopi -descendants pub00000.xml
+//
+// Elements are addressed as "docname", "docname:localIndex" or
+// "docname#anchor".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hopi"
+)
+
+func main() {
+	var (
+		index       = flag.String("index", "index.hopi", "index path (from hopibuild)")
+		from        = flag.String("from", "", "source element (doc[:local|#anchor])")
+		to          = flag.String("to", "", "target element")
+		distance    = flag.Bool("distance", false, "report the shortest-path length instead of a boolean")
+		expr        = flag.String("expr", "", "path expression, e.g. //book//author")
+		ranked      = flag.Bool("ranked", false, "rank path-expression matches by connection length")
+		descendants = flag.String("descendants", "", "list all elements reachable from this element")
+		ancestors   = flag.String("ancestors", "", "list all elements reaching this element")
+		limit       = flag.Int("limit", 20, "max results to print")
+	)
+	flag.Parse()
+
+	ix, err := hopi.Open(*index)
+	if err != nil {
+		fail(err)
+	}
+	coll := ix.Collection()
+
+	switch {
+	case *from != "" && *to != "":
+		u, err := resolve(coll, *from)
+		if err != nil {
+			fail(err)
+		}
+		v, err := resolve(coll, *to)
+		if err != nil {
+			fail(err)
+		}
+		if *distance {
+			d, err := ix.Distance(u, v)
+			if err != nil {
+				fail(err)
+			}
+			if d == hopi.Infinite {
+				fmt.Println("unreachable")
+			} else {
+				fmt.Printf("distance %d\n", d)
+			}
+			return
+		}
+		fmt.Println(ix.Reaches(u, v))
+	case *expr != "":
+		if *ranked {
+			res, err := ix.QueryRanked(*expr)
+			if err != nil {
+				fail(err)
+			}
+			for i, r := range res {
+				if i >= *limit {
+					fmt.Printf("... %d more\n", len(res)-i)
+					break
+				}
+				fmt.Printf("%6.4f  %s  <%s> (element %d)\n", r.Score, r.Doc, r.Tag, r.Element)
+			}
+			return
+		}
+		res, err := ix.Query(*expr)
+		if err != nil {
+			fail(err)
+		}
+		for i, r := range res {
+			if i >= *limit {
+				fmt.Printf("... %d more\n", len(res)-i)
+				break
+			}
+			fmt.Printf("%s  <%s> (element %d)\n", r.Doc, r.Tag, r.Element)
+		}
+	case *descendants != "":
+		u, err := resolve(coll, *descendants)
+		if err != nil {
+			fail(err)
+		}
+		printElems(coll, ix.Descendants(u), *limit)
+	case *ancestors != "":
+		u, err := resolve(coll, *ancestors)
+		if err != nil {
+			fail(err)
+		}
+		printElems(coll, ix.Ancestors(u), *limit)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func resolve(coll *hopi.Collection, spec string) (hopi.ElemID, error) {
+	name := spec
+	var local int32
+	var anchor string
+	if i := strings.IndexByte(spec, '#'); i >= 0 {
+		name, anchor = spec[:i], spec[i+1:]
+	} else if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name = spec[:i]
+		n, err := strconv.Atoi(spec[i+1:])
+		if err != nil {
+			return 0, fmt.Errorf("bad local index in %q", spec)
+		}
+		local = int32(n)
+	}
+	doc, ok := coll.DocByName(name)
+	if !ok {
+		return 0, fmt.Errorf("document %q not found", name)
+	}
+	if anchor != "" {
+		id, ok := coll.Anchor(doc, anchor)
+		if !ok {
+			return 0, fmt.Errorf("anchor %q not found in %q", anchor, name)
+		}
+		return id, nil
+	}
+	return coll.ElemID(doc, local), nil
+}
+
+func printElems(coll *hopi.Collection, ids []hopi.ElemID, limit int) {
+	for i, id := range ids {
+		if i >= limit {
+			fmt.Printf("... %d more\n", len(ids)-i)
+			return
+		}
+		fmt.Printf("%s  <%s> (element %d)\n", coll.DocName(coll.DocOf(id)), coll.Tag(id), id)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hopiquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command hopistats prints Table 1-style statistics (documents,
+// elements, links, approximate size) for a directory of XML files or a
+// synthetic collection, plus the transitive-closure size that drives
+// HOPI's memory budgeting.
+//
+//	hopistats -in ./docs
+//	hopistats -synthetic dblp -docs 620
+//	hopistats -synthetic inex -docs 122 -closure=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hopi"
+	"hopi/internal/gen"
+	"hopi/internal/graph"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "directory of XML files")
+		synth   = flag.String("synthetic", "", "dblp or inex")
+		docs    = flag.Int("docs", 620, "synthetic document count")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		closure = flag.Bool("closure", true, "also count transitive-closure connections (quadratic memory)")
+	)
+	flag.Parse()
+
+	var coll *hopi.Collection
+	switch {
+	case *in != "":
+		entries, err := os.ReadDir(*in)
+		if err != nil {
+			fail(err)
+		}
+		files := map[string][]byte{}
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".xml" {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(*in, e.Name()))
+			if err != nil {
+				fail(err)
+			}
+			files[e.Name()] = data
+		}
+		c, err := hopi.ParseCollection(files)
+		if err != nil {
+			fail(err)
+		}
+		coll = c
+	case *synth == "dblp":
+		coll = hopi.WrapCollection(gen.DBLP(gen.DefaultDBLP(*docs, *seed)))
+	case *synth == "inex":
+		coll = hopi.WrapCollection(gen.INEX(gen.DefaultINEX(*docs, 950, *seed)))
+	default:
+		fail(fmt.Errorf("pass -in DIR or -synthetic dblp|inex"))
+	}
+
+	fmt.Printf("# docs:     %d\n", coll.NumDocs())
+	fmt.Printf("# elements: %d\n", coll.NumElements())
+	fmt.Printf("# links:    %d\n", coll.NumLinks())
+	fmt.Printf("size:       %.1f MB (approx.)\n", float64(coll.ApproxXMLBytes())/(1<<20))
+	if *closure {
+		conns := graph.CountConnections(coll.Unwrap().ElementGraph())
+		fmt.Printf("closure:    %d connections (%d integers materialized)\n", conns, 4*conns)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hopistats:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,177 @@
+package hopi
+
+import (
+	"fmt"
+	"io"
+
+	"hopi/internal/xmlmodel"
+)
+
+// Collection is a set of XML documents plus the intra- and
+// inter-document links between their elements — the unit HOPI indexes.
+// Build one with NewCollection/AddXML/NewDocument, or parse a whole
+// file set at once with ParseCollection.
+type Collection struct {
+	c *xmlmodel.Collection
+}
+
+// NewCollection returns an empty collection.
+func NewCollection() *Collection {
+	return &Collection{c: xmlmodel.NewCollection()}
+}
+
+// ParseCollection parses a set of named XML documents and resolves
+// their links: id/xml:id attributes declare anchors, idref and
+// href="#id" attributes become intra-document links, and
+// href="other.xml#id" attributes become inter-document links
+// (links to documents outside the set are ignored).
+func ParseCollection(files map[string][]byte) (*Collection, error) {
+	c, err := xmlmodel.ParseCollection(files)
+	if err != nil {
+		return nil, err
+	}
+	return &Collection{c: c}, nil
+}
+
+// AddXML parses one XML document and adds it. Cross-document links in
+// the document are resolved against documents already in the
+// collection; unresolvable ones are returned (they can be re-attempted
+// later or ignored).
+func (c *Collection) AddXML(name string, data []byte) (DocID, []string, error) {
+	doc, pending, err := xmlmodel.ParseDocument(name, data)
+	if err != nil {
+		return 0, nil, err
+	}
+	idx := c.c.AddDocument(doc)
+	var unresolved []string
+	for _, p := range pending {
+		if err := c.c.AddLinkByAnchor(idx, p.FromLocal, p.TargetDoc, p.Anchor); err != nil {
+			unresolved = append(unresolved, p.TargetDoc+"#"+p.Anchor)
+		}
+	}
+	return DocID(idx), unresolved, nil
+}
+
+// DocID identifies a document within a collection.
+type DocID int
+
+// ElemID identifies an element globally within a collection; all index
+// queries speak ElemIDs.
+type ElemID = int32
+
+// Document is a single XML document under construction. Create it with
+// NewDocument, add elements, then attach it with Collection.Add.
+type Document struct {
+	d *xmlmodel.Document
+}
+
+// NewDocument creates a document with a root element of the given tag.
+func NewDocument(name, rootTag string) *Document {
+	return &Document{d: xmlmodel.NewDocument(name, rootTag)}
+}
+
+// Root returns the root element's local index (always 0).
+func (d *Document) Root() int32 { return 0 }
+
+// AddElement appends a child element under parent (a local index) and
+// returns the new element's local index.
+func (d *Document) AddElement(parent int32, tag string) int32 {
+	return d.d.AddElement(parent, tag)
+}
+
+// SetAnchor declares an id anchor on a local element.
+func (d *Document) SetAnchor(local int32, id string) { d.d.SetAnchor(local, id) }
+
+// AddIntraLink records a link between two elements of this document.
+func (d *Document) AddIntraLink(from, to int32) { d.d.AddIntraLink(from, to) }
+
+// Len returns the number of elements.
+func (d *Document) Len() int { return d.d.Len() }
+
+// XML serializes the document, materializing intra-document links as
+// <link href="#id"/> children.
+func (d *Document) XML() []byte { return xmlmodel.WriteXML(d.d) }
+
+// Add attaches a built document to the collection.
+func (c *Collection) Add(d *Document) DocID {
+	return DocID(c.c.AddDocument(d.d))
+}
+
+// AddLink records a link between two elements identified by
+// (document, local index) pairs. Same-document links become
+// intra-document links automatically.
+func (c *Collection) AddLink(fromDoc DocID, fromLocal int32, toDoc DocID, toLocal int32) error {
+	return c.c.AddLink(c.c.GlobalID(int(fromDoc), fromLocal), c.c.GlobalID(int(toDoc), toLocal))
+}
+
+// ElemID maps a (document, local element) pair to the global element
+// ID used by all index queries.
+func (c *Collection) ElemID(doc DocID, local int32) ElemID {
+	return c.c.GlobalID(int(doc), local)
+}
+
+// DocOf returns the document owning a global element ID.
+func (c *Collection) DocOf(id ElemID) DocID { return DocID(c.c.DocOfID(id)) }
+
+// DocName returns a document's name.
+func (c *Collection) DocName(doc DocID) string { return c.c.Docs[doc].Name }
+
+// DocByName finds a live document by name.
+func (c *Collection) DocByName(name string) (DocID, bool) {
+	i, ok := c.c.DocByName(name)
+	return DocID(i), ok
+}
+
+// Tag returns the element tag of a global ID.
+func (c *Collection) Tag(id ElemID) string { return c.c.Tag(id) }
+
+// Anchor resolves an anchor id within a document to its global ID.
+func (c *Collection) Anchor(doc DocID, anchor string) (ElemID, bool) {
+	local, ok := c.c.Docs[doc].AnchorElement(anchor)
+	if !ok {
+		return 0, false
+	}
+	return c.c.GlobalID(int(doc), local), true
+}
+
+// NumDocs returns the number of live documents.
+func (c *Collection) NumDocs() int { return c.c.NumDocs() }
+
+// NumElements returns the number of elements of live documents.
+func (c *Collection) NumElements() int { return c.c.NumElements() }
+
+// NumLinks returns the number of links (intra + inter) of live
+// documents.
+func (c *Collection) NumLinks() int { return c.c.NumLinks() }
+
+// ApproxXMLBytes estimates the serialized size of the collection.
+func (c *Collection) ApproxXMLBytes() int64 { return c.c.ApproxXMLBytes() }
+
+// Encode writes the collection to w (see Index.Save for persisting a
+// collection together with its index).
+func (c *Collection) Encode(w io.Writer) error { return c.c.Encode(w) }
+
+// DecodeCollection reads a collection written by Encode.
+func DecodeCollection(r io.Reader) (*Collection, error) {
+	cc, err := xmlmodel.DecodeCollection(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Collection{c: cc}, nil
+}
+
+// Unwrap gives access to the internal representation; it is exported
+// for the cmd tools and experiment harness inside this module and is
+// not part of the stable API.
+func (c *Collection) Unwrap() *xmlmodel.Collection { return c.c }
+
+// WrapCollection adopts an internal collection (e.g. one produced by
+// the synthetic generators); like Unwrap it exists for this module's
+// tools and is not part of the stable API.
+func WrapCollection(c *xmlmodel.Collection) *Collection { return &Collection{c: c} }
+
+// String summarizes the collection for logs and examples.
+func (c *Collection) String() string {
+	return fmt.Sprintf("Collection{docs: %d, elements: %d, links: %d}",
+		c.NumDocs(), c.NumElements(), c.NumLinks())
+}

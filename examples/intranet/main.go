@@ -1,0 +1,115 @@
+// Intranet: the dynamic-collection scenario of §6 — documents are
+// added, modified, and removed continuously, and the index must follow
+// without full rebuilds. The example walks through every maintenance
+// operation and shows the separation test choosing between the
+// Theorem 2 fast path and the Theorem 3 general path.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hopi"
+	"hopi/internal/gen"
+)
+
+func main() {
+	coll := hopi.WrapCollection(gen.DBLP(gen.DefaultDBLP(200, 7)))
+	opts := hopi.DefaultOptions()
+	opts.Seed = 7
+	ix, err := hopi.Build(coll, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial index: %d entries over %s\n\n", ix.Size(), coll)
+
+	// --- insertion (§6.1) ------------------------------------------
+	newDoc := hopi.NewDocument("report.xml", "report")
+	sec := newDoc.AddElement(newDoc.Root(), "section")
+	newDoc.AddElement(sec, "finding")
+	cite := newDoc.AddElement(newDoc.Root(), "cite")
+
+	t0 := time.Now()
+	docID, err := ix.InsertDocument(newDoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target, _ := coll.DocByName("pub00010.xml")
+	if err := ix.InsertEdge(coll.ElemID(docID, cite), coll.ElemID(target, 0)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted report.xml + citation in %v\n", time.Since(t0).Round(time.Microsecond))
+	fmt.Printf("report reaches pub00010: %v\n\n",
+		ix.Reaches(coll.ElemID(docID, 0), coll.ElemID(target, 0)))
+
+	// --- deletion: fast vs general path (§6.2) ----------------------
+	var separating, nonSeparating hopi.DocID = -1, -1
+	for i := 0; i < coll.NumDocs(); i++ {
+		d := hopi.DocID(i)
+		if coll.DocName(d) == "" {
+			continue
+		}
+		if ix.Separates(d) {
+			if separating < 0 {
+				separating = d
+			}
+		} else if nonSeparating < 0 {
+			nonSeparating = d
+		}
+		if separating >= 0 && nonSeparating >= 0 {
+			break
+		}
+	}
+
+	t1 := time.Now()
+	fast, err := ix.DeleteDocument(separating)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deleted %s: fast path = %v, took %v\n",
+		"a separating document", fast, time.Since(t1).Round(time.Microsecond))
+
+	t2 := time.Now()
+	fast, err = ix.DeleteDocument(nonSeparating)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deleted %s: fast path = %v, took %v\n\n",
+		"a non-separating document", fast, time.Since(t2).Round(time.Microsecond))
+
+	// --- modification (§6.3) ----------------------------------------
+	victim, _ := coll.DocByName("pub00050.xml")
+	restructured := hopi.NewDocument("pub00050.xml", "article")
+	abs := restructured.AddElement(restructured.Root(), "abstract")
+	restructured.AddElement(abs, "para")
+	t3 := time.Now()
+	if _, err := ix.ModifyDocument(victim, restructured); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restructured pub00050.xml in %v\n", time.Since(t3).Round(time.Microsecond))
+
+	// --- edge deletion ----------------------------------------------
+	// drop the citation we inserted earlier
+	t4 := time.Now()
+	if err := ix.DeleteEdge(coll.ElemID(docID, cite), coll.ElemID(target, 0)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("removed the report's citation in %v\n", time.Since(t4).Round(time.Microsecond))
+	fmt.Printf("report still reaches pub00010: %v\n\n",
+		ix.Reaches(coll.ElemID(docID, 0), coll.ElemID(target, 0)))
+
+	// --- occasional rebuild (§6) ------------------------------------
+	before := ix.Size()
+	t5 := time.Now()
+	if err := ix.Rebuild(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rebuild after churn: %d → %d entries in %v\n",
+		before, ix.Size(), time.Since(t5).Round(time.Millisecond))
+
+	if err := ix.Validate(); err != nil {
+		log.Fatal("index drifted from the collection: ", err)
+	}
+	fmt.Println("index verified exact after all maintenance operations")
+}

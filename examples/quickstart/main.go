@@ -1,0 +1,85 @@
+// Quickstart: build a tiny linked collection, index it, and run the
+// three query kinds HOPI supports — reachability, distance, and
+// wildcard path expressions that cross document boundaries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hopi"
+)
+
+func main() {
+	// Three XML documents: a bibliography citing a book description,
+	// which in turn links to an author profile.
+	files := map[string][]byte{
+		"bib.xml": []byte(`
+<bib>
+  <entry><title>Indexing XML</title><cite href="book.xml"/></entry>
+  <entry><title>Unrelated</title></entry>
+</bib>`),
+		"book.xml": []byte(`
+<book id="b1">
+  <chapter><section>Reachability</section></chapter>
+  <authorref href="people.xml#schmidt"/>
+</book>`),
+		"people.xml": []byte(`
+<people>
+  <person id="schmidt"><name>A. Schmidt</name></person>
+  <person id="meier"><name>B. Meier</name></person>
+</people>`),
+	}
+	coll, err := hopi.ParseCollection(files)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("collection:", coll)
+
+	opts := hopi.DefaultOptions()
+	opts.WithDistance = true // enable distance queries (§5)
+	ix, err := hopi.Build(coll, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: %d label entries for %d elements\n\n", ix.Size(), coll.NumElements())
+
+	// 1. Reachability across links: does the bibliography reach the
+	// author profile? (bib.xml → book.xml → people.xml#schmidt)
+	bib, _ := coll.DocByName("bib.xml")
+	people, _ := coll.DocByName("people.xml")
+	schmidt, _ := coll.Anchor(people, "schmidt")
+	bibRoot := coll.ElemID(bib, 0)
+	fmt.Printf("bib reaches schmidt: %v\n", ix.Reaches(bibRoot, schmidt))
+
+	meier, _ := coll.Anchor(people, "meier")
+	fmt.Printf("bib reaches meier:   %v (no link path)\n", ix.Reaches(bibRoot, meier))
+
+	// 2. Distance: how many hops from the bibliography to the author?
+	d, err := ix.Distance(bibRoot, schmidt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distance bib→schmidt: %d hops\n\n", d)
+
+	// 3. Path expressions with wildcards: //entry//name follows the
+	// citation and author links — impossible with a tree-only index.
+	res, err := ix.Query("//entry//name")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("//entry//name matches:")
+	for _, r := range res {
+		fmt.Printf("  %s <%s>\n", r.Doc, r.Tag)
+	}
+
+	// Ranked variant: nearer matches first (XXL-style scoring).
+	ranked, err := ix.QueryRanked("//book//name")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("//book//name ranked:")
+	for _, r := range ranked {
+		fmt.Printf("  score %.4f  %s <%s>\n", r.Score, r.Doc, r.Tag)
+	}
+}

@@ -1,0 +1,333 @@
+// Package hopi implements the HOPI connection index for collections of
+// linked XML documents (Schenkel, Theobald, Weikum: EDBT 2004 and ICDE
+// 2005). HOPI materializes the transitive closure of a collection's
+// element-level graph — parent/child edges plus intra- and
+// inter-document links — as a compact 2-hop cover, enabling constant-
+// lookup reachability tests, shortest-path ("distance") queries, and
+// wildcard path expressions (//) that cross document boundaries.
+//
+// # Quick start
+//
+//	coll, _ := hopi.ParseCollection(files)
+//	ix, _ := hopi.Build(coll, hopi.DefaultOptions())
+//	a, _ := coll.DocByName("a.xml")
+//	b, _ := coll.DocByName("b.xml")
+//	connected := ix.Reaches(coll.ElemID(a, 0), coll.ElemID(b, 0))
+//	authors, _ := ix.Query("//book//author")
+//
+// The index supports incremental maintenance (InsertDocument,
+// InsertEdge, DeleteDocument, DeleteEdge, ModifyDocument) and can be
+// persisted to a page-based store with Save/Open.
+package hopi
+
+import (
+	"fmt"
+	"os"
+
+	"hopi/internal/core"
+	"hopi/internal/partition"
+	"hopi/internal/query"
+	"hopi/internal/storage"
+)
+
+// Infinite is the distance reported for unreachable element pairs.
+const Infinite = ^uint32(0)
+
+// Partitioner selects how the document-level graph is divided before
+// per-partition 2-hop covers are computed.
+type Partitioner = core.Partitioner
+
+// Partitioner values.
+const (
+	// Whole builds one centralized cover (best compression, slowest
+	// build — the paper's infeasible-at-scale baseline).
+	Whole = core.PartWhole
+	// SingleDoc uses one partition per document.
+	SingleDoc = core.PartSingle
+	// NodeCapped caps partitions by element count (original HOPI).
+	NodeCapped = core.PartNodeCapped
+	// ClosureBudget grows partitions until their transitive closure
+	// reaches the connection budget (ICDE 2005, §4.3 — recommended).
+	ClosureBudget = core.PartClosureBudget
+)
+
+// JoinAlgorithm selects how partition covers are merged.
+type JoinAlgorithm = core.JoinAlgorithm
+
+// JoinAlgorithm values.
+const (
+	// NewJoin is the structurally recursive PSG-based join (ICDE 2005,
+	// §4.1 — recommended; an order of magnitude faster than OldJoin).
+	NewJoin = core.JoinNewHBar
+	// NewJoinFullPSG computes a full 2-hop cover over the PSG instead
+	// of the cheaper link-target cover (ablation variant).
+	NewJoinFullPSG = core.JoinNewFullPSG
+	// OldJoin integrates cross-partition links one at a time (EDBT
+	// 2004, §3.3 — the baseline).
+	OldJoin = core.JoinOldIncremental
+)
+
+// WeightScheme selects document-level edge weights for partitioning.
+type WeightScheme = partition.WeightScheme
+
+// WeightScheme values.
+const (
+	// WeightLinks counts links between documents.
+	WeightLinks = partition.WeightLinks
+	// WeightAtimesD uses the skeleton-graph estimate A·D (connections
+	// routed over a link).
+	WeightAtimesD = partition.WeightAtimesD
+	// WeightAplusD uses A+D (nodes connected over a link).
+	WeightAplusD = partition.WeightAplusD
+)
+
+// Options configures Build. The zero value is not valid; start from
+// DefaultOptions.
+type Options = core.Options
+
+// DefaultOptions returns the paper's recommended configuration: the
+// closure-budget partitioner with link-count weights and the new PSG
+// join.
+func DefaultOptions() Options {
+	return Options{
+		Partitioner:   ClosureBudget,
+		ClosureBudget: 1_000_000,
+		Join:          NewJoin,
+		Weights:       WeightLinks,
+	}
+}
+
+// Index is a built HOPI index over a collection.
+type Index struct {
+	coll *Collection
+	ix   *core.Index
+	eng  *query.Engine
+}
+
+// Build constructs a HOPI index for the collection.
+func Build(coll *Collection, opts Options) (*Index, error) {
+	ix, err := core.Build(coll.c, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{coll: coll, ix: ix}, nil
+}
+
+// Collection returns the indexed collection.
+func (ix *Index) Collection() *Collection { return ix.coll }
+
+// Stats returns build statistics (partitions, cover size, phase
+// timings).
+func (ix *Index) Stats() core.BuildStats { return ix.ix.Stats() }
+
+// Size returns the number of stored label entries |L|.
+func (ix *Index) Size() int { return ix.ix.Size() }
+
+// Reaches reports whether element u reaches element v over the
+// ancestor/descendant/link axes.
+func (ix *Index) Reaches(u, v ElemID) bool { return ix.ix.Reaches(u, v) }
+
+// Distance returns the shortest path length from u to v, or Infinite
+// when v is unreachable. The index must be built with
+// Options.WithDistance.
+func (ix *Index) Distance(u, v ElemID) (uint32, error) { return ix.ix.Distance(u, v) }
+
+// Descendants returns all elements reachable from u, including u.
+func (ix *Index) Descendants(u ElemID) []ElemID { return ix.ix.Descendants(u) }
+
+// Ancestors returns all elements that reach u, including u.
+func (ix *Index) Ancestors(u ElemID) []ElemID { return ix.ix.Ancestors(u) }
+
+// Validate checks the index against a freshly computed ground truth;
+// O(n²), intended for tests and diagnostics.
+func (ix *Index) Validate() error { return ix.ix.Validate() }
+
+// Labels summarizes the current label distribution — watch it grow
+// under maintenance churn and shrink again after Rebuild (§6).
+func (ix *Index) Labels() core.LabelStats { return ix.ix.Labels() }
+
+// Core unwraps the internal index for the experiment harness; not part
+// of the stable API.
+func (ix *Index) Core() *core.Index { return ix.ix }
+
+// --- queries ----------------------------------------------------------
+
+// QueryResult is one element matching a path expression.
+type QueryResult struct {
+	Element ElemID
+	Doc     string // owning document name
+	Tag     string
+	Score   float64 // 0 for unranked queries
+	Path    []ElemID
+}
+
+func (ix *Index) engine() *query.Engine {
+	if ix.eng == nil {
+		ix.eng = query.NewEngine(ix.coll.c, ix.ix)
+	}
+	return ix.eng
+}
+
+// Query evaluates a path expression such as "//book//author" or
+// "/bib/book/title". The // axis follows parent-child edges and all
+// links, crossing document boundaries.
+func (ix *Index) Query(expr string) ([]QueryResult, error) {
+	q, err := query.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	var out []QueryResult
+	for _, id := range ix.engine().Eval(q) {
+		out = append(out, ix.result(id, 0, nil))
+	}
+	return out, nil
+}
+
+// QueryRanked evaluates a path expression and ranks matches by
+// connection length (XXL-style: closer matches score higher). Requires
+// a distance-aware index.
+func (ix *Index) QueryRanked(expr string) ([]QueryResult, error) {
+	q, err := query.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	matches, err := ix.engine().EvalRanked(q)
+	if err != nil {
+		return nil, err
+	}
+	var out []QueryResult
+	for _, m := range matches {
+		out = append(out, ix.result(m.Element, m.Score, m.Path))
+	}
+	return out, nil
+}
+
+func (ix *Index) result(id ElemID, score float64, path []ElemID) QueryResult {
+	return QueryResult{
+		Element: id,
+		Doc:     ix.coll.DocName(ix.coll.DocOf(id)),
+		Tag:     ix.coll.Tag(id),
+		Score:   score,
+		Path:    path,
+	}
+}
+
+// --- maintenance ------------------------------------------------------
+
+// InsertDocument adds a new document to the collection and index.
+// Attach its links afterwards with InsertEdge.
+func (ix *Index) InsertDocument(d *Document) (DocID, error) {
+	idx, err := ix.ix.InsertDocument(d.d)
+	ix.eng = nil
+	return DocID(idx), err
+}
+
+// InsertEdge adds a link between two existing elements.
+func (ix *Index) InsertEdge(from, to ElemID) error {
+	ix.eng = nil
+	return ix.ix.InsertEdge(from, to)
+}
+
+// DeleteDocument removes a document; it reports whether the Theorem 2
+// fast path (separating document) applied.
+func (ix *Index) DeleteDocument(doc DocID) (bool, error) {
+	ix.eng = nil
+	return ix.ix.DeleteDocument(int(doc))
+}
+
+// DeleteEdge removes a link.
+func (ix *Index) DeleteEdge(from, to ElemID) error {
+	ix.eng = nil
+	return ix.ix.DeleteEdge(from, to)
+}
+
+// ModifyDocument replaces a document with a new version, re-attaching
+// inter-document links; it returns the new document's ID.
+func (ix *Index) ModifyDocument(doc DocID, newDoc *Document) (DocID, error) {
+	ix.eng = nil
+	idx, err := ix.ix.ModifyDocument(int(doc), newDoc.d)
+	return DocID(idx), err
+}
+
+// Separates reports whether the document separates the document-level
+// graph — i.e. whether deleting it takes the fast path.
+func (ix *Index) Separates(doc DocID) bool { return ix.ix.Separates(int(doc)) }
+
+// Rebuild recomputes the index from scratch with its original options,
+// restoring space efficiency after heavy maintenance.
+func (ix *Index) Rebuild() error {
+	ix.eng = nil
+	return ix.ix.Rebuild()
+}
+
+// --- persistence ------------------------------------------------------
+
+// Save persists the index to path (a page-based cover store with
+// forward and backward indexes, as in the paper's database deployment)
+// and the collection to path+".coll".
+func (ix *Index) Save(path string) error {
+	fp, err := storage.CreateFilePager(path)
+	if err != nil {
+		return err
+	}
+	st, err := storage.CreateCoverStore(fp, 1024, ix.coll.c.NumAllocatedIDs(), ix.ix.Cover().WithDist)
+	if err != nil {
+		fp.Close()
+		return err
+	}
+	if err := st.FromCover(ix.ix.Cover()); err != nil {
+		st.Close()
+		return err
+	}
+	if err := st.Close(); err != nil {
+		return err
+	}
+	f, err := os.Create(path + ".coll")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ix.coll.Encode(f)
+}
+
+// Open loads an index saved with Save. The returned index answers
+// queries from the in-memory cover; the on-disk store remains the
+// durable copy.
+func Open(path string) (*Index, error) {
+	f, err := os.Open(path + ".coll")
+	if err != nil {
+		return nil, fmt.Errorf("hopi: open collection: %w", err)
+	}
+	coll, err := DecodeCollection(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	fp, err := storage.OpenFilePager(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := storage.OpenCoverStore(fp, 1024)
+	if err != nil {
+		fp.Close()
+		return nil, err
+	}
+	cover, err := st.ToCover()
+	st.Close()
+	if err != nil {
+		return nil, err
+	}
+	cix := core.NewFromCover(coll.c, cover)
+	return &Index{coll: coll, ix: cix}, nil
+}
+
+// OpenStore opens the on-disk cover store directly for query-only
+// access without materializing the cover in memory — the §3.4
+// deployment mode where every lookup is an index scan.
+func OpenStore(path string) (*storage.CoverStore, error) {
+	fp, err := storage.OpenFilePager(path)
+	if err != nil {
+		return nil, err
+	}
+	return storage.OpenCoverStore(fp, 1024)
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"hopi/internal/graph"
+	"hopi/internal/partition"
+	"hopi/internal/psg"
+	"hopi/internal/twohop"
+	"hopi/internal/xmlmodel"
+)
+
+// Build constructs a HOPI index for the collection:
+//
+//  1. weight the document-level graph (§4.3),
+//  2. partition it so every partition's closure fits the budget,
+//  3. compute a 2-hop cover per partition — concurrently, optionally
+//     preselecting cross-link targets as centers (§4.2),
+//  4. join the partition covers (§4.1 new algorithm or §3.3 old one).
+func Build(c *xmlmodel.Collection, opts Options) (*Index, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	// Step 1+2: partitioning.
+	tPart := time.Now()
+	var weights map[[2]int32]float64
+	if opts.Weights != partition.WeightLinks {
+		weights = partition.DocEdgeWeights(c, opts.Weights, opts.skeletonDepth())
+	}
+	var p *partition.Partitioning
+	switch opts.Partitioner {
+	case PartWhole:
+		p = partition.Whole(c)
+	case PartSingle:
+		p = partition.Single(c)
+	case PartNodeCapped:
+		p = partition.NodeCapped(c, opts.NodeCap, weights, opts.Seed)
+	case PartClosureBudget:
+		p = partition.ClosureBudget(c, opts.ClosureBudget, weights, opts.Seed)
+	}
+	partTime := time.Since(tPart)
+
+	// Step 3: per-partition covers.
+	tCov := time.Now()
+	parts, preselected, largest, err := buildPartitionCovers(c, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	covTime := time.Since(tCov)
+	partEntries := 0
+	for _, pd := range parts {
+		partEntries += pd.Cover.Size()
+	}
+
+	// Step 4: join.
+	tJoin := time.Now()
+	partOf := func(id int32) int { return p.PartOfID(c, id) }
+	var cover *twohop.Cover
+	switch opts.Join {
+	case JoinNewHBar:
+		cover = psg.JoinNew(c, p.CrossLinks, partOf, parts, psg.NewJoinOptions{
+			WithDist: opts.WithDistance, Seed: opts.Seed,
+		})
+	case JoinNewFullPSG:
+		cover = psg.JoinNew(c, p.CrossLinks, partOf, parts, psg.NewJoinOptions{
+			WithDist: opts.WithDistance, FullPSGCover: true, Seed: opts.Seed,
+		})
+	case JoinOldIncremental:
+		cover = psg.JoinOld(c, p.CrossLinks, parts, opts.WithDistance)
+	}
+	joinTime := time.Since(tJoin)
+
+	return &Index{
+		coll:  c,
+		cover: cover,
+		opts:  opts,
+		stats: BuildStats{
+			Partitions:        p.NumParts(),
+			CrossLinks:        len(p.CrossLinks),
+			PartitionEntries:  partEntries,
+			CoverEntries:      cover.Size(),
+			PartitionTime:     partTime,
+			CoverTime:         covTime,
+			JoinTime:          joinTime,
+			TotalTime:         time.Since(start),
+			LargestPartition:  largest,
+			PreselectedCenter: preselected,
+		},
+	}, nil
+}
+
+// buildPartitionCovers computes the per-partition 2-hop covers
+// concurrently ("all these computations can be done concurrently",
+// §4.1) with a bounded worker pool.
+func buildPartitionCovers(c *xmlmodel.Collection, p *partition.Partitioning, opts Options) ([]*psg.PartitionData, int, int, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// cross-link targets per partition for §4.2 preselection
+	targetsByPart := map[int][]int32{}
+	if opts.PreselectCenters {
+		for _, l := range p.CrossLinks {
+			pi := p.PartOfID(c, l.To)
+			targetsByPart[pi] = append(targetsByPart[pi], l.To)
+		}
+	}
+	parts := make([]*psg.PartitionData, p.NumParts())
+	var (
+		wg          sync.WaitGroup
+		mu          sync.Mutex
+		preselected int
+		largest     int
+	)
+	sem := make(chan struct{}, workers)
+	for pi := range p.Parts {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			docs := p.Parts[pi]
+			g, globals := partition.ElementSubgraph(c, docs)
+			local := make(map[int32]int32, len(globals))
+			for i, id := range globals {
+				local[id] = int32(i)
+			}
+			var pre []int32
+			for _, t := range targetsByPart[pi] {
+				if li, ok := local[t]; ok {
+					pre = append(pre, li)
+				}
+			}
+			tOpts := twohop.Options{Preselect: pre, Seed: opts.Seed + int64(pi)}
+			var cov *twohop.Cover
+			if opts.WithDistance {
+				dm := graph.NewDistanceMatrix(g)
+				cov, _ = twohop.BuildDistanceAware(dm, tOpts)
+			} else {
+				cl := graph.NewClosure(g)
+				cov, _ = twohop.Build(cl, tOpts)
+			}
+			pd := psg.NewPartitionData(docs, g, globals, cov)
+			mu.Lock()
+			parts[pi] = pd
+			preselected += len(pre)
+			if len(globals) > largest {
+				largest = len(globals)
+			}
+			mu.Unlock()
+		}(pi)
+	}
+	wg.Wait()
+	return parts, preselected, largest, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"hopi/internal/xmlmodel"
+)
+
+// TestFigure6SeparatingVsNonSeparating reconstructs the situation of
+// Fig. 6: a document-level graph where one document (the paper's doc 6)
+// lies on every path between its ancestors and descendants and thus
+// separates the graph, while another (doc 5) has a bypass and does not.
+func TestFigure6SeparatingVsNonSeparating(t *testing.T) {
+	c := xmlmodel.NewCollection()
+	// nine documents, indexes 0..8 standing for the figure's 1..9
+	for i := 0; i < 9; i++ {
+		d := xmlmodel.NewDocument("", "doc")
+		d.AddElement(0, "body")
+		c.AddDocument(d)
+	}
+	link := func(a, b int) {
+		if err := c.AddLink(c.GlobalID(a, 1), c.GlobalID(b, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// top chain 1→2→3→4
+	link(0, 1)
+	link(1, 2)
+	link(2, 3)
+	// doc 6 (index 5) funnels the top chain into doc 9 (index 8):
+	// 2→6→9, with no other way from {1,2} to 9
+	link(1, 5)
+	link(5, 8)
+	// doc 5 (index 4) connects 3 to 8 (index 7), but 3→8 also exists
+	// directly — doc 5 has a bypass
+	link(2, 4)
+	link(4, 7)
+	link(2, 7)
+
+	ix, err := Build(c, Options{Partitioner: PartNodeCapped, NodeCap: 4, Join: JoinNewHBar, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Separates(5) {
+		t.Error("doc 6 of the figure must separate the document-level graph")
+	}
+	if ix.Separates(4) {
+		t.Error("doc 5 of the figure must not separate (bypass 3→8 exists)")
+	}
+
+	// Deleting the separating document takes the fast path and severs
+	// exactly the funneled connection.
+	fast, err := ix.DeleteDocument(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast {
+		t.Error("expected Theorem 2 fast path")
+	}
+	if ix.Reaches(c.GlobalID(0, 0), c.GlobalID(8, 0)) {
+		t.Error("1 must no longer reach 9")
+	}
+	if !ix.Reaches(c.GlobalID(0, 0), c.GlobalID(7, 0)) {
+		t.Error("1 must still reach 8 via the other branch")
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deleting the non-separating document takes the general path and
+	// keeps the bypass alive.
+	fast, err = ix.DeleteDocument(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast {
+		t.Error("expected Theorem 3 general path")
+	}
+	if !ix.Reaches(c.GlobalID(0, 0), c.GlobalID(7, 0)) {
+		t.Error("bypass lost")
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

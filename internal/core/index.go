@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"hopi/internal/graph"
+	"hopi/internal/psg"
+	"hopi/internal/twohop"
+	"hopi/internal/xmlmodel"
+)
+
+// Index is a built HOPI index over a collection. All query methods
+// work on global element IDs (see xmlmodel.Collection). The index owns
+// its cover; the collection stays owned by the caller but must only be
+// mutated through the Index's maintenance methods once the index is
+// built, or the two will diverge.
+type Index struct {
+	coll  *xmlmodel.Collection
+	cover *twohop.Cover
+	ix    *psg.CoverIndex // backward maps for ancestor/descendant + maintenance
+	opts  Options
+	stats BuildStats
+}
+
+// DefaultOptions returns the paper's recommended configuration.
+func DefaultOptions() Options {
+	return Options{
+		Partitioner:   PartClosureBudget,
+		ClosureBudget: 1_000_000,
+		Join:          JoinNewHBar,
+	}
+}
+
+// NewFromCover wraps an existing cover (for example one loaded from a
+// storage.CoverStore) as a queryable, maintainable index. The options
+// are used for future Rebuild calls.
+func NewFromCover(c *xmlmodel.Collection, cover *twohop.Cover) *Index {
+	return &Index{coll: c, cover: cover, opts: DefaultOptions()}
+}
+
+// Collection returns the indexed collection.
+func (ix *Index) Collection() *xmlmodel.Collection { return ix.coll }
+
+// Cover exposes the underlying 2-hop cover (read-only use).
+func (ix *Index) Cover() *twohop.Cover { return ix.cover }
+
+// Stats returns the build statistics.
+func (ix *Index) Stats() BuildStats { return ix.stats }
+
+// Options returns the options the index was built with.
+func (ix *Index) Options() Options { return ix.opts }
+
+// Size returns the number of stored label entries |L|.
+func (ix *Index) Size() int { return ix.cover.Size() }
+
+// Reaches reports whether element u reaches element v along the
+// ancestor/descendant/link axes.
+func (ix *Index) Reaches(u, v int32) bool { return ix.cover.Reaches(u, v) }
+
+// Distance returns the shortest path length from u to v
+// (graph.InfDist when unreachable). The index must have been built
+// WithDistance.
+func (ix *Index) Distance(u, v int32) (uint32, error) {
+	if !ix.cover.WithDist {
+		return 0, fmt.Errorf("core: index built without distance information")
+	}
+	return ix.cover.Distance(u, v), nil
+}
+
+// Descendants returns all elements reachable from u, including u.
+func (ix *Index) Descendants(u int32) []int32 { return ix.coverIndex().Descendants(u) }
+
+// Ancestors returns all elements that reach u, including u.
+func (ix *Index) Ancestors(u int32) []int32 { return ix.coverIndex().Ancestors(u) }
+
+func (ix *Index) coverIndex() *psg.CoverIndex {
+	if ix.ix == nil {
+		ix.ix = psg.NewCoverIndex(ix.cover)
+	}
+	return ix.ix
+}
+
+// invalidate drops the derived backward maps after bulk label changes.
+func (ix *Index) invalidate() { ix.ix = nil }
+
+// Validate recomputes the ground-truth closure of the element graph
+// and checks the cover against it — completeness, soundness, and (for
+// distance indexes) exactness. Intended for tests and the experiment
+// harness; cost is O(n²).
+func (ix *Index) Validate() error {
+	g := ix.coll.ElementGraph()
+	if ix.cover.WithDist {
+		dm := graph.NewDistanceMatrix(g)
+		return twohop.VerifyDistance(ix.cover, dm)
+	}
+	cl := graph.NewClosure(g)
+	return twohop.Verify(ix.cover, cl)
+}
+
+// CompressionRatio returns |T| / |L|: how many closure connections each
+// stored label entry stands for (≈21.6 for the paper's DBLP D&C build,
+// ≈267 for the centralized one). It recomputes the closure size, so it
+// is an experiment-harness helper, not a cheap accessor.
+func (ix *Index) CompressionRatio() float64 {
+	conns := graph.CountConnections(ix.coll.ElementGraph())
+	if ix.cover.Size() == 0 {
+		if conns == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(conns) / float64(ix.cover.Size())
+}
+
+// LabelStats summarizes the label distribution of the cover — the
+// quantity that degrades under maintenance (§6: "over time, the space
+// efficiency of the 2-hop cover ... may degrade") and that a Rebuild
+// restores.
+type LabelStats struct {
+	Entries      int     // total stored entries |L|
+	Nodes        int     // elements with at least one label entry
+	MaxIn        int     // largest Lin
+	MaxOut       int     // largest Lout
+	AvgPerNode   float64 // entries per allocated element ID
+	StoredBytes  int64   // 4 integers × 4 bytes per entry (§3.4 accounting)
+	DistinctHubs int     // distinct centers used
+}
+
+// Labels computes the current label statistics.
+func (ix *Index) Labels() LabelStats {
+	st := LabelStats{}
+	centers := map[int32]struct{}{}
+	for v := 0; v < ix.cover.N(); v++ {
+		in, out := ix.cover.In[v], ix.cover.Out[v]
+		if len(in)+len(out) > 0 {
+			st.Nodes++
+		}
+		st.Entries += len(in) + len(out)
+		if len(in) > st.MaxIn {
+			st.MaxIn = len(in)
+		}
+		if len(out) > st.MaxOut {
+			st.MaxOut = len(out)
+		}
+		for _, e := range in {
+			centers[e.Center] = struct{}{}
+		}
+		for _, e := range out {
+			centers[e.Center] = struct{}{}
+		}
+	}
+	if n := ix.cover.N(); n > 0 {
+		st.AvgPerNode = float64(st.Entries) / float64(n)
+	}
+	st.StoredBytes = 16 * int64(st.Entries)
+	st.DistinctHubs = len(centers)
+	return st
+}

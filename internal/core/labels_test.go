@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLabelStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := citeCollection(rng, 12)
+	ix := buildFor(t, c, false, 4)
+	st := ix.Labels()
+	if st.Entries != ix.Size() {
+		t.Errorf("Entries = %d, Size = %d", st.Entries, ix.Size())
+	}
+	if st.Nodes == 0 || st.Nodes > c.NumElements() {
+		t.Errorf("Nodes = %d", st.Nodes)
+	}
+	if st.MaxIn == 0 && st.MaxOut == 0 {
+		t.Error("no labels at all")
+	}
+	if st.AvgPerNode <= 0 {
+		t.Error("AvgPerNode not computed")
+	}
+	if st.StoredBytes != 16*int64(st.Entries) {
+		t.Error("StoredBytes accounting wrong")
+	}
+	if st.DistinctHubs == 0 {
+		t.Error("no centers counted")
+	}
+}
+
+// TestLabelsDegradeAndRebuildRestores demonstrates the §6 space-
+// efficiency story: churn grows the label count; Rebuild shrinks it
+// back to (near) the fresh size.
+func TestLabelsDegradeAndRebuildRestores(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := citeCollection(rng, 14)
+	ix := buildFor(t, c, false, 8)
+	fresh := ix.Labels().Entries
+
+	// churn: a burst of edge insertions (each inserts center entries
+	// for whole ancestor/descendant sets)
+	live := c.LiveDocIndexes()
+	for k := 0; k < 12; k++ {
+		a := live[rng.Intn(len(live))]
+		b := live[rng.Intn(len(live))]
+		from := c.GlobalID(a, int32(rng.Intn(c.Docs[a].Len())))
+		to := c.GlobalID(b, 0)
+		if from != to {
+			if err := ix.InsertEdge(from, to); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	churned := ix.Labels().Entries
+	if churned <= fresh {
+		t.Skip("churn did not grow the cover at this seed; nothing to show")
+	}
+	if err := ix.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := ix.Labels().Entries
+	if rebuilt >= churned {
+		t.Errorf("rebuild did not restore space efficiency: fresh=%d churned=%d rebuilt=%d",
+			fresh, churned, rebuilt)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

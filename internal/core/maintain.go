@@ -1,0 +1,462 @@
+package core
+
+import (
+	"fmt"
+
+	"hopi/internal/graph"
+	"hopi/internal/twohop"
+	"hopi/internal/xmlmodel"
+)
+
+// InsertEdge adds a link between two existing elements (intra- or
+// inter-document) and updates the cover with the §6.1 / §3.3 method:
+// the link target becomes the center of every newly created connection.
+func (ix *Index) InsertEdge(from, to int32) error {
+	if err := ix.coll.AddLink(from, to); err != nil {
+		return err
+	}
+	ix.coverIndex().IntegrateLink(from, to)
+	return nil
+}
+
+// InsertDocument adds a new document and returns its index. Following
+// §6.1, the document is treated as a new partition: a 2-hop cover is
+// computed for it in isolation and unioned into the global cover. Links
+// to and from the new document are added afterwards with InsertEdge.
+func (ix *Index) InsertDocument(d *xmlmodel.Document) (int, error) {
+	docIdx := ix.coll.AddDocument(d)
+	ix.cover.Grow(ix.coll.NumAllocatedIDs())
+	ix.invalidate()
+
+	// cover for the document's own element-level graph
+	g := docGraph(d)
+	var cov *twohop.Cover
+	if ix.cover.WithDist {
+		dm := graph.NewDistanceMatrix(g)
+		cov, _ = twohop.BuildDistanceAware(dm, twohop.Options{Seed: ix.opts.Seed})
+	} else {
+		cl := graph.NewClosure(g)
+		cov, _ = twohop.Build(cl, twohop.Options{Seed: ix.opts.Seed})
+	}
+	base := ix.coll.GlobalID(docIdx, 0)
+	for local := int32(0); local < int32(d.Len()); local++ {
+		for _, e := range cov.Out[local] {
+			ix.cover.AddOut(base+local, base+e.Center, e.Dist)
+		}
+		for _, e := range cov.In[local] {
+			ix.cover.AddIn(base+local, base+e.Center, e.Dist)
+		}
+	}
+	return docIdx, nil
+}
+
+func docGraph(d *xmlmodel.Document) *graph.Digraph {
+	g := graph.NewDigraph(d.Len())
+	for local := 1; local < d.Len(); local++ {
+		g.AddEdge(d.Elements[local].Parent, int32(local))
+	}
+	for _, l := range d.IntraLinks {
+		g.AddEdge(l[0], l[1])
+	}
+	return g
+}
+
+// Separates implements the §6.2 test: document di separates the
+// document-level graph iff every path from an ancestor document to a
+// descendant document runs through di. The test is one multi-source
+// traversal of G_D(X) with di removed.
+func (ix *Index) Separates(docIdx int) bool {
+	dg, _ := ix.coll.DocGraph()
+	di := int32(docIdx)
+	ancDocs := dg.ReachingTo(di)
+	descDocs := dg.ReachableFrom(di)
+	ancDocs.Clear(int(di))
+	descDocs.Clear(int(di))
+	if ancDocs.Empty() || descDocs.Empty() {
+		return true
+	}
+	// A document that is both ancestor and descendant (a document-level
+	// cycle through di) is connected to itself without di, so di cannot
+	// separate.
+	if ancDocs.Intersects(descDocs) {
+		return false
+	}
+	// remove di and check reachability from all ancestors at once
+	dg2 := dg.Clone()
+	for _, s := range append([]int32(nil), dg2.Succ(di)...) {
+		dg2.RemoveEdge(di, s)
+	}
+	for _, p := range append([]int32(nil), dg2.Pred(di)...) {
+		dg2.RemoveEdge(p, di)
+	}
+	var sources []int32
+	ancDocs.ForEach(func(a int) bool { sources = append(sources, int32(a)); return true })
+	reach := dg2.MultiSourceReachable(sources)
+	reach.And(descDocs)
+	return reach.Empty()
+}
+
+// DeleteDocument removes a document and updates the cover. When the
+// document separates the document-level graph the Theorem 2 fast path
+// applies (label filtering only); otherwise the general Theorem 3
+// algorithm partially recomputes the closure. It returns whether the
+// fast path was taken.
+func (ix *Index) DeleteDocument(docIdx int) (bool, error) {
+	if !ix.coll.Alive(docIdx) {
+		return false, fmt.Errorf("core: document %d already removed", docIdx)
+	}
+	if ix.Separates(docIdx) {
+		ix.deleteSeparating(docIdx)
+		return true, nil
+	}
+	ix.deleteGeneral(docIdx)
+	return false, nil
+}
+
+// deleteSeparating is the Theorem 2 fast path:
+//
+//	for all a ∈ VA: L'out(a) := Lout(a) \ (Vdi ∪ VD)
+//	for all d ∈ VD: L'in(d)  := Lin(d)  \ (Vdi ∪ VA)
+//
+// where VA/VD are the elements of ancestor/descendant documents of di
+// in the document-level graph, and Vdi the elements of di itself.
+func (ix *Index) deleteSeparating(docIdx int) {
+	dg, _ := ix.coll.DocGraph()
+	di := int32(docIdx)
+	ancDocs := dg.ReachingTo(di)
+	descDocs := dg.ReachableFrom(di)
+	ancDocs.Clear(int(di))
+	descDocs.Clear(int(di))
+
+	n := ix.coll.NumAllocatedIDs()
+	vdi := graph.NewBitset(n)
+	for _, id := range ix.coll.DocIDs(docIdx) {
+		vdi.Set(int(id))
+	}
+	va := elementSet(ix.coll, ancDocs, n)
+	vd := elementSet(ix.coll, descDocs, n)
+
+	dropOut := vdi.Clone()
+	dropOut.Or(vd)
+	va.ForEach(func(a int) bool {
+		ix.cover.Out[a] = filterEntries(ix.cover.Out[a], dropOut)
+		return true
+	})
+	dropIn := vdi.Clone()
+	dropIn.Or(va)
+	vd.ForEach(func(d int) bool {
+		ix.cover.In[d] = filterEntries(ix.cover.In[d], dropIn)
+		return true
+	})
+	// the document's own labels disappear with it
+	vdi.ForEach(func(v int) bool {
+		ix.cover.Out[v] = nil
+		ix.cover.In[v] = nil
+		return true
+	})
+	ix.coll.RemoveDocument(docIdx)
+	ix.invalidate()
+}
+
+func elementSet(c *xmlmodel.Collection, docs graph.Bitset, n int) graph.Bitset {
+	s := graph.NewBitset(n)
+	docs.ForEach(func(di int) bool {
+		if c.Alive(di) {
+			for _, id := range c.DocIDs(di) {
+				s.Set(int(id))
+			}
+		}
+		return true
+	})
+	return s
+}
+
+func filterEntries(list []twohop.Entry, drop graph.Bitset) []twohop.Entry {
+	out := list[:0]
+	for _, e := range list {
+		if !drop.Has(int(e.Center)) {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// deleteGeneral is the Theorem 3 algorithm for documents that do not
+// separate the document-level graph:
+//
+//  1. Adi := element-level ancestors of VE(di) (including VE(di)),
+//     Ddi := element-level descendants,
+//  2. remove the document, recompute the partial closure Ĉ with rows
+//     for every a ∈ Adi in the remaining graph, and build a fresh
+//     2-hop cover L̂ for it,
+//  3. splice: L'out(a) := L̂out(a) for a ∈ Adi,
+//     L'in(d) := (Lin(d) \ Adi) ∪ L̂in(d) for d ∈ Ddi.
+func (ix *Index) deleteGeneral(docIdx int) {
+	g := ix.coll.ElementGraph()
+	var vdi []int32 = ix.coll.DocIDs(docIdx)
+
+	// ancestors/descendants of the document's elements (element level)
+	adi := g.MultiSourceReachableReverse(vdi)
+	ddi := g.MultiSourceReachable(vdi)
+	for _, v := range vdi {
+		adi.Set(int(v))
+		ddi.Set(int(v))
+	}
+
+	// remove the document, rebuild the element graph
+	ix.coll.RemoveDocument(docIdx)
+	g2 := ix.coll.ElementGraph()
+
+	// the region to recompute: rows for all surviving ancestors
+	vdiSet := graph.NewBitset(g.N())
+	for _, v := range vdi {
+		vdiSet.Set(int(v))
+	}
+	var survivors []int32
+	adi.ForEach(func(a int) bool {
+		if !vdiSet.Has(a) {
+			survivors = append(survivors, int32(a))
+		}
+		return true
+	})
+	// restrict to the subgraph reachable from the surviving ancestors
+	region := g2.MultiSourceReachable(survivors)
+	for _, a := range survivors {
+		region.Set(int(a))
+	}
+	var regionNodes []int32
+	region.ForEach(func(v int) bool { regionNodes = append(regionNodes, int32(v)); return true })
+	sub, globals := g2.Subgraph(regionNodes)
+
+	// fresh cover for the region
+	var hat *twohop.Cover
+	if ix.cover.WithDist {
+		dm := graph.NewDistanceMatrix(sub)
+		hat, _ = twohop.BuildDistanceAware(dm, twohop.Options{Seed: ix.opts.Seed})
+	} else {
+		cl := graph.NewClosure(sub)
+		hat, _ = twohop.Build(cl, twohop.Options{Seed: ix.opts.Seed})
+	}
+
+	// Splice per Theorem 3: L' := L ∪ L̂, except
+	//   L'out(a) := L̂out(a)                 for a ∈ Adi, and
+	//   L'in(d)  := (Lin(d) \ Adi) ∪ L̂in(d) for d ∈ Ddi.
+	adiSurvivors := adi.Clone()
+	adiSurvivors.AndNot(vdiSet)
+	ix.spliceHat(hat, globals, adiSurvivors, adi, ddi, vdiSet)
+	// rows of the deleted document vanish
+	for _, v := range vdi {
+		ix.cover.Out[v] = nil
+		ix.cover.In[v] = nil
+	}
+	ix.cover.Finish()
+	ix.invalidate()
+}
+
+// spliceHat merges a freshly computed regional cover into the global
+// one. replaceOut lists the nodes whose Lout is replaced wholesale;
+// distrust is the center set stripped from the Lin labels of filterIn
+// nodes; skip marks nodes whose labels are about to be dropped anyway.
+func (ix *Index) spliceHat(hat *twohop.Cover, globals []int32,
+	replaceOut, distrust, filterIn, skip graph.Bitset) {
+
+	// In-label filtering applies to all filterIn nodes, whether or not
+	// they lie in the recomputed region.
+	filterIn.ForEach(func(d int) bool {
+		if skip != nil && skip.Has(d) {
+			return true
+		}
+		ix.cover.In[d] = filterEntries(ix.cover.In[d], distrust)
+		return true
+	})
+	remap := func(entries []twohop.Entry) []twohop.Entry {
+		out := make([]twohop.Entry, len(entries))
+		for i, e := range entries {
+			out[i] = twohop.Entry{Center: globals[e.Center], Dist: e.Dist}
+		}
+		return out
+	}
+	// The baseline union L ∪ L̂ over the region, with the Out
+	// replacement for the distrusted ancestors.
+	for i, gid := range globals {
+		g := int(gid)
+		if replaceOut.Has(g) {
+			ix.cover.Out[g] = remap(hat.Out[i])
+		} else {
+			for _, e := range remap(hat.Out[i]) {
+				ix.cover.Out[g] = appendEntryMin(ix.cover.Out[g], e)
+			}
+		}
+		for _, e := range remap(hat.In[i]) {
+			ix.cover.In[g] = appendEntryMin(ix.cover.In[g], e)
+		}
+	}
+}
+
+func appendEntryMin(list []twohop.Entry, e twohop.Entry) []twohop.Entry {
+	for i := range list {
+		if list[i].Center == e.Center {
+			if e.Dist < list[i].Dist {
+				list[i].Dist = e.Dist
+			}
+			return list
+		}
+	}
+	return append(list, e)
+}
+
+// DeleteEdge removes a link (intra- or inter-document) and repairs the
+// cover with the edge analogue of Theorem 3: recompute the out-labels
+// of every ancestor of the link source and strip distrusted centers
+// from the in-labels of every descendant of the link target.
+func (ix *Index) DeleteEdge(from, to int32) error {
+	if !ix.coll.RemoveLink(from, to) {
+		return fmt.Errorf("core: link %d→%d not found", from, to)
+	}
+	g2 := ix.coll.ElementGraph()
+
+	// A := ancestors of the source (incl.), D := descendants of the
+	// target (incl.) — in the *new* graph... ancestors must be taken
+	// from the old graph; compute on the new graph plus the deleted
+	// edge's effect: ancestors of `from` are identical in both graphs
+	// (removing from→to cannot disconnect anything from `from`
+	// upstream of it; a path a→*from does not use from→to unless it
+	// revisits from, in which case a shorter suffix exists).
+	aSet := g2.ReachingTo(from)
+	aSet.Set(int(from))
+	// descendants of `to` are likewise identical in old and new graph.
+	dSet := g2.ReachableFrom(to)
+	dSet.Set(int(to))
+
+	var survivors []int32
+	aSet.ForEach(func(a int) bool { survivors = append(survivors, int32(a)); return true })
+	region := g2.MultiSourceReachable(survivors)
+	for _, a := range survivors {
+		region.Set(int(a))
+	}
+	var regionNodes []int32
+	region.ForEach(func(v int) bool { regionNodes = append(regionNodes, int32(v)); return true })
+	sub, globals := g2.Subgraph(regionNodes)
+
+	var hat *twohop.Cover
+	if ix.cover.WithDist {
+		dm := graph.NewDistanceMatrix(sub)
+		hat, _ = twohop.BuildDistanceAware(dm, twohop.Options{Seed: ix.opts.Seed})
+	} else {
+		cl := graph.NewClosure(sub)
+		hat, _ = twohop.Build(cl, twohop.Options{Seed: ix.opts.Seed})
+	}
+	ix.spliceHat(hat, globals, aSet, aSet, dSet, nil)
+	ix.cover.Finish()
+	ix.invalidate()
+	return nil
+}
+
+// ModifyDocument replaces a document (§6.3): the old version is
+// dropped with DeleteDocument and the new version inserted with
+// InsertDocument. Inter-document links into the old version are
+// re-attached to the same local element when it still exists in the
+// new version, else to the root; outgoing inter-document links are
+// re-created for sources that still exist. It returns the new document
+// index.
+func (ix *Index) ModifyDocument(docIdx int, newDoc *xmlmodel.Document) (int, error) {
+	if !ix.coll.Alive(docIdx) {
+		return 0, fmt.Errorf("core: document %d already removed", docIdx)
+	}
+	base := ix.coll.GlobalID(docIdx, 0)
+	type savedLink struct {
+		otherEnd int32
+		local    int32
+		incoming bool
+	}
+	var saved []savedLink
+	for _, l := range ix.coll.Links {
+		if d := ix.coll.DocOfID(l.To); d == docIdx {
+			saved = append(saved, savedLink{otherEnd: l.From, local: l.To - base, incoming: true})
+		}
+		if d := ix.coll.DocOfID(l.From); d == docIdx {
+			saved = append(saved, savedLink{otherEnd: l.To, local: l.From - base, incoming: false})
+		}
+	}
+	if _, err := ix.DeleteDocument(docIdx); err != nil {
+		return 0, err
+	}
+	newIdx, err := ix.InsertDocument(newDoc)
+	if err != nil {
+		return 0, err
+	}
+	for _, s := range saved {
+		local := s.local
+		if int(local) >= newDoc.Len() {
+			local = 0 // fall back to the root
+		}
+		id := ix.coll.GlobalID(newIdx, local)
+		if s.incoming {
+			err = ix.InsertEdge(s.otherEnd, id)
+		} else {
+			err = ix.InsertEdge(id, s.otherEnd)
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	return newIdx, nil
+}
+
+// DiffModify applies a link-level diff to a document whose element
+// tree is unchanged (the X-Diff/XyDiff substitution of §6.3): intra-
+// document links present in newDoc but not in the old version are
+// inserted, vanished ones are deleted. The element structure (tags and
+// parents) must be identical.
+func (ix *Index) DiffModify(docIdx int, newDoc *xmlmodel.Document) error {
+	old := ix.coll.Docs[docIdx]
+	if old.Len() != newDoc.Len() {
+		return fmt.Errorf("core: DiffModify requires identical element structure (%d vs %d elements)", old.Len(), newDoc.Len())
+	}
+	for i := range newDoc.Elements {
+		if newDoc.Elements[i].Tag != old.Elements[i].Tag || newDoc.Elements[i].Parent != old.Elements[i].Parent {
+			return fmt.Errorf("core: DiffModify requires identical element structure (element %d differs)", i)
+		}
+	}
+	base := ix.coll.GlobalID(docIdx, 0)
+	oldSet := map[[2]int32]bool{}
+	for _, l := range old.IntraLinks {
+		oldSet[l] = true
+	}
+	newSet := map[[2]int32]bool{}
+	for _, l := range newDoc.IntraLinks {
+		newSet[l] = true
+	}
+	for l := range oldSet {
+		if !newSet[l] {
+			if err := ix.DeleteEdge(base+l[0], base+l[1]); err != nil {
+				return err
+			}
+		}
+	}
+	for l := range newSet {
+		if !oldSet[l] {
+			if err := ix.InsertEdge(base+l[0], base+l[1]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Rebuild recomputes the index from scratch with its original options —
+// the "occasional rebuilds" of §6 that restore space efficiency after
+// many updates.
+func (ix *Index) Rebuild() error {
+	fresh, err := Build(ix.coll, ix.opts)
+	if err != nil {
+		return err
+	}
+	ix.cover = fresh.cover
+	ix.stats = fresh.stats
+	ix.invalidate()
+	return nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hopi/internal/gen"
+)
+
+// TestLargeScaleSpotCheck builds the default experiment-scale DBLP
+// collection (≈15k elements, ≈5.3M closure connections) and validates
+// the cover against BFS ground truth on sampled rows — the full O(n²)
+// Validate would take minutes; a 300-row sample catches systematic
+// errors with near-certainty.
+func TestLargeScaleSpotCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large collection")
+	}
+	c := gen.DBLP(gen.DefaultDBLP(620, 42))
+	ix, err := Build(c, Options{
+		Partitioner: PartClosureBudget, ClosureBudget: 15_000,
+		Join: JoinNewHBar, PreselectCenters: true, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.ElementGraph()
+	n := int32(c.NumAllocatedIDs())
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		u := rng.Int31n(n)
+		reach := g.ReachableFrom(u)
+		for probe := 0; probe < 50; probe++ {
+			v := rng.Int31n(n)
+			want := u == v || reach.Has(int(v))
+			if got := ix.Reaches(u, v); got != want {
+				t.Fatalf("Reaches(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+		// also check one full row boundary: count of descendants
+		descs := ix.Descendants(u)
+		wantCount := reach.Count()
+		if !reach.Has(int(u)) {
+			wantCount++ // Descendants includes u itself
+		}
+		if len(descs) != wantCount {
+			t.Fatalf("Descendants(%d): %d nodes, want %d", u, len(descs), wantCount)
+		}
+	}
+}
+
+// TestLargeScaleMaintenanceSpotCheck runs a short maintenance sequence
+// at experiment scale and spot-checks the result.
+func TestLargeScaleMaintenanceSpotCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large collection")
+	}
+	c := gen.DBLP(gen.DefaultDBLP(300, 7))
+	ix, err := Build(c, Options{Partitioner: PartNodeCapped, NodeCap: 800, Join: JoinNewHBar, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	// delete three separating docs (fast) and one non-separating
+	deleted := 0
+	for _, d := range append([]int(nil), c.LiveDocIndexes()...) {
+		if deleted >= 3 {
+			break
+		}
+		if ix.Separates(d) {
+			if _, err := ix.DeleteDocument(d); err != nil {
+				t.Fatal(err)
+			}
+			deleted++
+		}
+	}
+	for _, d := range append([]int(nil), c.LiveDocIndexes()...) {
+		if !ix.Separates(d) {
+			if _, err := ix.DeleteDocument(d); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	// a few edge inserts
+	live := c.LiveDocIndexes()
+	for k := 0; k < 5; k++ {
+		a := live[rng.Intn(len(live))]
+		b := live[rng.Intn(len(live))]
+		from := c.GlobalID(a, 0)
+		to := c.GlobalID(b, 0)
+		if from != to {
+			if err := ix.InsertEdge(from, to); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// spot check
+	g := c.ElementGraph()
+	n := int32(c.NumAllocatedIDs())
+	for trial := 0; trial < 100; trial++ {
+		u := rng.Int31n(n)
+		reach := g.ReachableFrom(u)
+		for probe := 0; probe < 30; probe++ {
+			v := rng.Int31n(n)
+			want := u == v || reach.Has(int(v))
+			if got := ix.Reaches(u, v); got != want {
+				t.Fatalf("after maintenance: Reaches(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+}

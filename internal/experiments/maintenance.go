@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"hopi/internal/core"
+	"hopi/internal/xmlmodel"
+)
+
+// MaintenanceResult reproduces §7.3 plus the §6.1 insertion costs.
+type MaintenanceResult struct {
+	// SeparatingFraction is the share of documents that separate the
+	// document-level graph (paper: ≈60% for DBLP, 100% for INEX).
+	SeparatingFraction float64
+	// INEXSeparatingFraction must be 1.0 (no inter-document links).
+	INEXSeparatingFraction float64
+	// SeparationTestAvg is the mean cost of the separation test
+	// (paper: ~2s at full scale).
+	SeparationTestAvg time.Duration
+	// FastDeleteAvg is the mean Theorem 2 deletion cost (paper: ~13s).
+	FastDeleteAvg time.Duration
+	FastDeletes   int
+	// GeneralDeleteAvg is the mean Theorem 3 deletion cost; the paper
+	// reports it can exceed a full rebuild for hub documents.
+	GeneralDeleteAvg time.Duration
+	GeneralDeletes   int
+	// GeneralDeleteMax is the most expensive general deletion seen.
+	GeneralDeleteMax time.Duration
+	// RebuildTime is a full index rebuild for comparison.
+	RebuildTime time.Duration
+	// InsertEdgeAvg / InsertDocAvg are §6.1 insertion costs.
+	InsertEdgeAvg time.Duration
+	InsertDocAvg  time.Duration
+}
+
+// Maintenance measures the §7.3 experiment on the DBLP-like
+// collection: the separating fraction, the per-document separation
+// test cost, deletion costs on both paths, and insertion costs.
+func Maintenance(cfg Config) (MaintenanceResult, error) {
+	c := cfg.dblp()
+	opts := core.Options{Partitioner: core.PartNodeCapped, NodeCap: 1000, Join: core.JoinNewHBar, Seed: cfg.Seed}
+	ix, err := core.Build(c, opts)
+	if err != nil {
+		return MaintenanceResult{}, err
+	}
+	var res MaintenanceResult
+
+	// separating fraction + test cost over all documents
+	live := c.LiveDocIndexes()
+	sep := 0
+	t0 := time.Now()
+	separating := make([]int, 0, len(live))
+	nonSeparating := make([]int, 0, len(live))
+	for _, d := range live {
+		if ix.Separates(d) {
+			sep++
+			separating = append(separating, d)
+		} else {
+			nonSeparating = append(nonSeparating, d)
+		}
+	}
+	res.SeparationTestAvg = time.Since(t0) / time.Duration(len(live))
+	res.SeparatingFraction = float64(sep) / float64(len(live))
+
+	// INEX: every document separates (no inter-document links)
+	inex := cfg.inex()
+	inexIx, err := core.Build(inex, core.Options{Partitioner: core.PartSingle, Join: core.JoinNewHBar, Seed: cfg.Seed})
+	if err != nil {
+		return MaintenanceResult{}, err
+	}
+	inexSep := 0
+	inexLive := inex.LiveDocIndexes()
+	for _, d := range inexLive {
+		if inexIx.Separates(d) {
+			inexSep++
+		}
+	}
+	res.INEXSeparatingFraction = float64(inexSep) / float64(len(inexLive))
+
+	// deletions: sample from each class, deleting from a live index
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng.Shuffle(len(separating), func(i, j int) { separating[i], separating[j] = separating[j], separating[i] })
+	rng.Shuffle(len(nonSeparating), func(i, j int) { nonSeparating[i], nonSeparating[j] = nonSeparating[j], nonSeparating[i] })
+	const sample = 10
+	var fastTotal time.Duration
+	for _, d := range takeN(separating, sample) {
+		t := time.Now()
+		fast, err := ix.DeleteDocument(d)
+		if err != nil {
+			return res, err
+		}
+		fastTotal += time.Since(t)
+		if !fast {
+			return res, fmt.Errorf("experiments: separating doc %d took the general path", d)
+		}
+		res.FastDeletes++
+	}
+	if res.FastDeletes > 0 {
+		res.FastDeleteAvg = fastTotal / time.Duration(res.FastDeletes)
+	}
+	var genTotal time.Duration
+	for _, d := range takeN(nonSeparating, sample) {
+		if !c.Alive(d) || ix.Separates(d) {
+			continue // earlier deletions may have changed its class
+		}
+		t := time.Now()
+		if _, err := ix.DeleteDocument(d); err != nil {
+			return res, err
+		}
+		dt := time.Since(t)
+		genTotal += dt
+		if dt > res.GeneralDeleteMax {
+			res.GeneralDeleteMax = dt
+		}
+		res.GeneralDeletes++
+	}
+	if res.GeneralDeletes > 0 {
+		res.GeneralDeleteAvg = genTotal / time.Duration(res.GeneralDeletes)
+	}
+
+	// rebuild comparison
+	t1 := time.Now()
+	if err := ix.Rebuild(); err != nil {
+		return res, err
+	}
+	res.RebuildTime = time.Since(t1)
+
+	// §6.1 insertions
+	var edgeTotal time.Duration
+	const edgeInserts = 20
+	liveNow := c.LiveDocIndexes()
+	for k := 0; k < edgeInserts; k++ {
+		a := liveNow[rng.Intn(len(liveNow))]
+		b := liveNow[rng.Intn(len(liveNow))]
+		from := c.GlobalID(a, int32(rng.Intn(c.Docs[a].Len())))
+		to := c.GlobalID(b, 0)
+		if from == to {
+			continue
+		}
+		t := time.Now()
+		if err := ix.InsertEdge(from, to); err != nil {
+			return res, err
+		}
+		edgeTotal += time.Since(t)
+	}
+	res.InsertEdgeAvg = edgeTotal / edgeInserts
+
+	var docTotal time.Duration
+	const docInserts = 10
+	for k := 0; k < docInserts; k++ {
+		nd := xmlmodel.NewDocument(fmt.Sprintf("new%03d.xml", k), "article")
+		for e := 0; e < 20; e++ {
+			nd.AddElement(int32(rng.Intn(e+1)), "sec")
+		}
+		t := time.Now()
+		di, err := ix.InsertDocument(nd)
+		if err != nil {
+			return res, err
+		}
+		target := liveNow[rng.Intn(len(liveNow))]
+		if err := ix.InsertEdge(c.GlobalID(di, 1), c.GlobalID(target, 0)); err != nil {
+			return res, err
+		}
+		docTotal += time.Since(t)
+	}
+	res.InsertDocAvg = docTotal / docInserts
+	return res, nil
+}
+
+func takeN(xs []int, n int) []int {
+	if len(xs) < n {
+		return xs
+	}
+	return xs[:n]
+}
+
+// RenderMaintenance formats the §7.3 numbers.
+func RenderMaintenance(r MaintenanceResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "separating documents (DBLP):  %.0f%%   (paper: ≈60%%)\n", 100*r.SeparatingFraction)
+	fmt.Fprintf(&b, "separating documents (INEX):  %.0f%%   (paper: 100%%)\n", 100*r.INEXSeparatingFraction)
+	fmt.Fprintf(&b, "separation test (avg):        %s\n", r.SeparationTestAvg)
+	fmt.Fprintf(&b, "delete, fast path (avg of %d): %s\n", r.FastDeletes, r.FastDeleteAvg)
+	fmt.Fprintf(&b, "delete, general  (avg of %d): %s (max %s)\n", r.GeneralDeletes, r.GeneralDeleteAvg, r.GeneralDeleteMax)
+	fmt.Fprintf(&b, "full rebuild:                 %s\n", r.RebuildTime.Round(time.Millisecond))
+	fmt.Fprintf(&b, "insert edge (avg):            %s\n", r.InsertEdgeAvg)
+	fmt.Fprintf(&b, "insert document (avg):        %s\n", r.InsertDocAvg)
+	return b.String()
+}

@@ -1,0 +1,259 @@
+// Package gen produces deterministic synthetic XML collections shaped
+// like the paper's evaluation data (§7.1, Table 1):
+//
+//   - DBLP: many small publication documents connected by citation
+//     XLinks — 6,210 docs, 168,991 elements, 25,368 links in the paper
+//     (≈27 elements and ≈4 links per document, skewed citation
+//     in-degree). The real snapshot is not redistributable, so DBLP
+//     builds a preferential-attachment citation network with the same
+//     shape parameters, scaled by Config.Docs.
+//
+//   - INEX: fewer, much larger tree documents without inter-document
+//     links — 12,232 docs and 12,061,348 elements in the paper (≈986
+//     elements per document). The only property §7 relies on is
+//     "tree-structured, no inter-document links", which INEXLike
+//     preserves at any scale.
+//
+// All generators are deterministic for a fixed Seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hopi/internal/xmlmodel"
+)
+
+// DBLPConfig parameterizes the citation-network generator.
+type DBLPConfig struct {
+	// Docs is the number of publication documents (paper: 6,210).
+	Docs int
+	// MeanAuthors per publication (adds author elements).
+	MeanAuthors float64
+	// MeanCites is the mean number of outgoing citations (paper:
+	// 25,368/6,210 ≈ 4.1).
+	MeanCites float64
+	// MeanParas controls filler content elements so that documents
+	// average ≈27 elements like the paper's DBLP subset.
+	MeanParas float64
+	// CitableFraction is the share of documents that ever receive
+	// citations. Real bibliographies are heavily skewed — most papers
+	// are never cited within a subset — and this is what makes ≈60% of
+	// the paper's DBLP documents separate the document-level graph
+	// (§7.3): a document without in-collection citations has no
+	// document-level ancestors.
+	CitableFraction float64
+	// Seed drives the RNG.
+	Seed int64
+}
+
+// DefaultDBLP returns the paper's DBLP shape at the given document
+// count.
+func DefaultDBLP(docs int, seed int64) DBLPConfig {
+	return DBLPConfig{Docs: docs, MeanAuthors: 3, MeanCites: 4.1, MeanParas: 14,
+		CitableFraction: 0.4, Seed: seed}
+}
+
+// DBLP generates the citation collection: one <article> document per
+// publication with title/author/year/abstract structure and one <cite>
+// element per outgoing citation, linked (XLink-style) to the cited
+// document's root. Citation targets follow preferential attachment, so
+// a few heavily cited hub documents emerge, as in real bibliographies.
+func DBLP(cfg DBLPConfig) *xmlmodel.Collection {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := xmlmodel.NewCollection()
+	type cite struct {
+		fromDoc int
+		fromEl  int32
+		toDoc   int
+	}
+	var cites []cite
+	// citable documents accumulate all citations; popularity counts
+	// their in-degree for preferential attachment
+	var citable []int
+	popularity := map[int]int{}
+	totalPop := 0
+	for i := 0; i < cfg.Docs; i++ {
+		d := xmlmodel.NewDocument(fmt.Sprintf("pub%05d.xml", i), "article")
+		d.AddElement(0, "title")
+		d.AddElement(0, "year")
+		nAuthors := 1 + poisson(rng, cfg.MeanAuthors-1)
+		for a := 0; a < nAuthors; a++ {
+			d.AddElement(0, "author")
+		}
+		abs := d.AddElement(0, "abstract")
+		nParas := poisson(rng, cfg.MeanParas)
+		var secs []int32
+		for p := 0; p < nParas; p++ {
+			var parent int32 = abs
+			if len(secs) > 0 && rng.Intn(2) == 0 {
+				parent = secs[rng.Intn(len(secs))]
+			}
+			el := d.AddElement(parent, "para")
+			if rng.Intn(4) == 0 {
+				secs = append(secs, el)
+			}
+		}
+		// occasional intra-document reference (ID/IDREF style)
+		if nParas > 2 && rng.Intn(3) == 0 {
+			d.AddIntraLink(int32(d.Len()-1), abs)
+		}
+		// Citations target only the citable core, with a 70/30 mix of
+		// recency bias (citing recent citable work builds long
+		// citation chains → deep transitive connectivity, as in the
+		// paper's heavily interlinked conference subset) and
+		// preferential attachment (citing heavily cited classics →
+		// hub documents).
+		if len(citable) > 0 {
+			nCites := poisson(rng, cfg.MeanCites)
+			seen := map[int]bool{}
+			for k := 0; k < nCites; k++ {
+				var target int
+				if rng.Float64() < 0.7 {
+					back := int(rng.ExpFloat64() * 2)
+					if back >= len(citable) {
+						back = rng.Intn(len(citable))
+					}
+					target = citable[len(citable)-1-back]
+				} else {
+					target = pickPreferentialMap(rng, citable, popularity, totalPop)
+				}
+				if seen[target] {
+					continue
+				}
+				seen[target] = true
+				el := d.AddElement(0, "cite")
+				cites = append(cites, cite{fromDoc: i, fromEl: el, toDoc: target})
+				popularity[target]++
+				totalPop++
+			}
+		}
+		if rng.Float64() < cfg.CitableFraction {
+			citable = append(citable, i)
+		}
+		c.AddDocument(d)
+	}
+	for _, ct := range cites {
+		if err := c.AddLink(c.GlobalID(ct.fromDoc, ct.fromEl), c.GlobalID(ct.toDoc, 0)); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}
+
+// pickPreferentialMap selects a citable document proportional to
+// 1 + its in-degree.
+func pickPreferentialMap(rng *rand.Rand, citable []int, pop map[int]int, total int) int {
+	r := rng.Intn(total + len(citable))
+	for _, d := range citable {
+		r -= pop[d] + 1
+		if r < 0 {
+			return d
+		}
+	}
+	return citable[len(citable)-1]
+}
+
+// poisson samples a Poisson-distributed count (Knuth's method; fine
+// for the small means used here).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	threshold := math.Exp(-mean)
+	l := 1.0
+	for i := 0; i < 700; i++ { // bound the loop defensively
+		l *= rng.Float64()
+		if l < threshold {
+			return i
+		}
+	}
+	return int(mean)
+}
+
+// INEXConfig parameterizes the tree-collection generator.
+type INEXConfig struct {
+	// Docs is the number of article documents (paper: 12,232).
+	Docs int
+	// MeanElements per document (paper: ≈986).
+	MeanElements int
+	// MaxFanout bounds the children per element.
+	MaxFanout int
+	// Seed drives the RNG.
+	Seed int64
+}
+
+// DefaultINEX returns the paper's INEX shape at the given document
+// count and element budget.
+func DefaultINEX(docs, meanElements int, seed int64) INEXConfig {
+	return INEXConfig{Docs: docs, MeanElements: meanElements, MaxFanout: 8, Seed: seed}
+}
+
+// INEX generates large tree-structured articles with no inter-document
+// links: every document trivially separates the document-level graph,
+// reproducing the §7.3 INEX observation.
+func INEX(cfg INEXConfig) *xmlmodel.Collection {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := xmlmodel.NewCollection()
+	tags := []string{"sec", "p", "fig", "item", "list", "note"}
+	for i := 0; i < cfg.Docs; i++ {
+		d := xmlmodel.NewDocument(fmt.Sprintf("article%05d.xml", i), "article")
+		d.AddElement(0, "fm") // front matter
+		body := d.AddElement(0, "bdy")
+		n := cfg.MeanElements/2 + rng.Intn(cfg.MeanElements+1)
+		// grow a random tree under body with bounded fanout
+		nodes := []int32{body}
+		fanout := make(map[int32]int)
+		for k := 0; k < n; k++ {
+			parent := nodes[rng.Intn(len(nodes))]
+			if fanout[parent] >= cfg.MaxFanout {
+				parent = body
+			}
+			el := d.AddElement(parent, tags[rng.Intn(len(tags))])
+			fanout[parent]++
+			nodes = append(nodes, el)
+		}
+		c.AddDocument(d)
+	}
+	return c
+}
+
+// RandomConfig parameterizes an unstructured random collection, used
+// by tests and the quickstart example.
+type RandomConfig struct {
+	Docs      int
+	MaxElems  int
+	Links     int
+	Seed      int64
+	LinkCycle bool // add back-links to create document-level cycles
+}
+
+// Random generates a random linked collection.
+func Random(cfg RandomConfig) *xmlmodel.Collection {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := xmlmodel.NewCollection()
+	for i := 0; i < cfg.Docs; i++ {
+		d := xmlmodel.NewDocument(fmt.Sprintf("doc%04d.xml", i), "r")
+		k := 1 + rng.Intn(cfg.MaxElems)
+		for j := 1; j < k; j++ {
+			d.AddElement(int32(rng.Intn(j)), "e")
+		}
+		c.AddDocument(d)
+	}
+	for i := 0; i < cfg.Links; i++ {
+		fd, td := rng.Intn(cfg.Docs), rng.Intn(cfg.Docs)
+		fl := int32(rng.Intn(c.Docs[fd].Len()))
+		tl := int32(rng.Intn(c.Docs[td].Len()))
+		if err := c.AddLink(c.GlobalID(fd, fl), c.GlobalID(td, tl)); err != nil {
+			panic(err)
+		}
+	}
+	if cfg.LinkCycle {
+		for i := 0; i+1 < cfg.Docs; i += 4 {
+			c.AddLink(c.GlobalID(i, 0), c.GlobalID(i+1, 0))
+			c.AddLink(c.GlobalID(i+1, 0), c.GlobalID(i, 0))
+		}
+	}
+	return c
+}

@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"testing"
+
+	"hopi/internal/graph"
+)
+
+func TestDBLPShape(t *testing.T) {
+	c := DBLP(DefaultDBLP(300, 1))
+	if c.NumDocs() != 300 {
+		t.Fatalf("docs = %d", c.NumDocs())
+	}
+	meanEls := float64(c.NumElements()) / float64(c.NumDocs())
+	if meanEls < 15 || meanEls > 40 {
+		t.Errorf("mean elements per doc = %.1f, want ≈27", meanEls)
+	}
+	meanLinks := float64(len(c.Links)) / float64(c.NumDocs())
+	if meanLinks < 2 || meanLinks > 6 {
+		t.Errorf("mean citations per doc = %.1f, want ≈4", meanLinks)
+	}
+	// skewed in-degree: the most cited doc should be well above mean
+	inDeg := map[int]int{}
+	for _, l := range c.Links {
+		inDeg[c.DocOfID(l.To)]++
+	}
+	max := 0
+	for _, d := range inDeg {
+		if d > max {
+			max = d
+		}
+	}
+	if float64(max) < 3*meanLinks {
+		t.Errorf("no hub documents: max in-degree %d vs mean %.1f", max, meanLinks)
+	}
+	// citations point backwards → document-level graph is a DAG
+	dg, _ := c.DocGraph()
+	scc := graph.SCC(dg)
+	if scc.NumComps() != dg.N() {
+		t.Error("citation graph has document-level cycles")
+	}
+}
+
+func TestDBLPDeterministic(t *testing.T) {
+	a := DBLP(DefaultDBLP(100, 7))
+	b := DBLP(DefaultDBLP(100, 7))
+	if a.NumElements() != b.NumElements() || len(a.Links) != len(b.Links) {
+		t.Error("generator not deterministic")
+	}
+	c := DBLP(DefaultDBLP(100, 8))
+	if a.NumElements() == c.NumElements() && len(a.Links) == len(c.Links) {
+		t.Error("different seeds gave identical collections")
+	}
+}
+
+func TestINEXShape(t *testing.T) {
+	c := INEX(DefaultINEX(20, 200, 1))
+	if c.NumDocs() != 20 {
+		t.Fatalf("docs = %d", c.NumDocs())
+	}
+	if len(c.Links) != 0 {
+		t.Error("INEX must have no inter-document links")
+	}
+	meanEls := c.NumElements() / c.NumDocs()
+	if meanEls < 100 || meanEls > 400 {
+		t.Errorf("mean elements = %d, want ≈200", meanEls)
+	}
+	// all trees: element graph connection count equals sum over docs
+	// of (tree closure), i.e. no cross-document connections
+	g := c.ElementGraph()
+	for _, l := range c.Links {
+		t.Fatalf("unexpected link %v", l)
+	}
+	// roots reach only their own documents
+	r0 := g.ReachableFrom(c.GlobalID(0, 0))
+	if r0.Has(int(c.GlobalID(1, 0))) {
+		t.Error("cross-document reachability in link-free collection")
+	}
+}
+
+func TestRandomGenerator(t *testing.T) {
+	c := Random(RandomConfig{Docs: 10, MaxElems: 6, Links: 15, Seed: 3, LinkCycle: true})
+	if c.NumDocs() != 10 {
+		t.Fatal("docs")
+	}
+	dg, _ := c.DocGraph()
+	scc := graph.SCC(dg)
+	if scc.NumComps() == dg.N() {
+		t.Error("LinkCycle should create document-level cycles")
+	}
+}

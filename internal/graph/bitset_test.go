@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasic(t *testing.T) {
+	b := NewBitset(200)
+	if !b.Empty() {
+		t.Fatal("new bitset not empty")
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(199)
+	for _, i := range []int{0, 63, 64, 199} {
+		if !b.Has(i) {
+			t.Errorf("expected %d set", i)
+		}
+	}
+	if b.Has(1) || b.Has(100) {
+		t.Error("unexpected member")
+	}
+	if got := b.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+	b.Clear(63)
+	if b.Has(63) {
+		t.Error("Clear failed")
+	}
+	if got := b.Count(); got != 3 {
+		t.Errorf("Count after clear = %d, want 3", got)
+	}
+}
+
+func TestBitsetHasOutOfRange(t *testing.T) {
+	b := NewBitset(10)
+	if b.Has(1000) {
+		t.Error("Has beyond capacity should be false")
+	}
+}
+
+func TestBitsetSetOps(t *testing.T) {
+	a := NewBitset(128)
+	b := NewBitset(128)
+	for i := 0; i < 128; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 128; i += 3 {
+		b.Set(i)
+	}
+	u := a.Clone()
+	u.Or(b)
+	for i := 0; i < 128; i++ {
+		want := i%2 == 0 || i%3 == 0
+		if u.Has(i) != want {
+			t.Fatalf("union wrong at %d", i)
+		}
+	}
+	inter := a.Clone()
+	inter.And(b)
+	for i := 0; i < 128; i++ {
+		want := i%2 == 0 && i%3 == 0
+		if inter.Has(i) != want {
+			t.Fatalf("intersection wrong at %d", i)
+		}
+	}
+	diff := a.Clone()
+	diff.AndNot(b)
+	for i := 0; i < 128; i++ {
+		want := i%2 == 0 && i%3 != 0
+		if diff.Has(i) != want {
+			t.Fatalf("difference wrong at %d", i)
+		}
+	}
+	if got, want := a.IntersectionCount(b), inter.Count(); got != want {
+		t.Errorf("IntersectionCount = %d, want %d", got, want)
+	}
+	if !a.Intersects(b) {
+		t.Error("expected intersection")
+	}
+	empty := NewBitset(128)
+	if a.Intersects(empty) {
+		t.Error("unexpected intersection with empty")
+	}
+}
+
+func TestBitsetForEachOrderAndEarlyStop(t *testing.T) {
+	b := NewBitset(300)
+	want := []int{3, 64, 65, 130, 299}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) bool { got = append(got, i); return true })
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: got %v want %v", got, want)
+		}
+	}
+	count := 0
+	b.ForEach(func(i int) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Errorf("early stop visited %d, want 2", count)
+	}
+	els := b.Elements(nil)
+	if len(els) != 5 || els[0] != 3 || els[4] != 299 {
+		t.Errorf("Elements = %v", els)
+	}
+}
+
+func TestBitsetReset(t *testing.T) {
+	b := NewBitset(100)
+	b.Set(5)
+	b.Set(99)
+	b.Reset()
+	if !b.Empty() {
+		t.Error("Reset did not clear")
+	}
+}
+
+// Property: a Bitset behaves like a map[int]bool under random Set/Clear.
+func TestBitsetQuickVsMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 257
+		b := NewBitset(n)
+		model := map[int]bool{}
+		for op := 0; op < 300; op++ {
+			i := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+				model[i] = true
+			} else {
+				b.Clear(i)
+				delete(model, i)
+			}
+		}
+		if b.Count() != len(model) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if b.Has(i) != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package graph
+
+// Closure is the (irreflexive) transitive closure of a digraph:
+// Reach[u] is the bitset of nodes v ≠ u with a directed path u →* v.
+// Nodes on a cycle through u do include u... no: by convention u is
+// never a member of Reach[u]; reflexive reachability is handled at
+// query level, exactly as the HOPI cover omits self entries.
+type Closure struct {
+	Reach []Bitset
+}
+
+// NewClosure computes the transitive closure via a dynamic program on
+// the SCC condensation: components are processed in the reverse
+// topological order Tarjan emits, each component's reach set is the
+// union of its successor components' reach sets plus those components
+// themselves, and members of a non-trivial component reach each other.
+func NewClosure(g *Digraph) *Closure {
+	n := g.N()
+	scc := SCC(g)
+	dag := scc.Condensation(g)
+	nc := dag.N()
+	// compReach[c] = set of *nodes* reachable from component c,
+	// excluding c's own members unless c is cyclic.
+	compReach := make([]Bitset, nc)
+	for c := 0; c < nc; c++ { // Tarjan order: successors first
+		r := NewBitset(n)
+		for _, sc := range dag.Succ(int32(c)) {
+			r.Or(compReach[sc])
+			for _, v := range scc.Comps[sc] {
+				r.Set(int(v))
+			}
+		}
+		// Members of a non-trivial component reach each other. Digraph
+		// drops self loops, so single-node components are acyclic.
+		if len(scc.Comps[c]) > 1 {
+			for _, v := range scc.Comps[c] {
+				r.Set(int(v))
+			}
+		}
+		compReach[c] = r
+	}
+	reach := make([]Bitset, n)
+	for u := 0; u < n; u++ {
+		c := scc.Comp[u]
+		if len(scc.Comps[c]) == 1 {
+			reach[u] = compReach[c]
+		} else {
+			r := compReach[c].Clone()
+			r.Clear(u) // irreflexive
+			reach[u] = r
+		}
+	}
+	return &Closure{Reach: reach}
+}
+
+// N returns the number of nodes.
+func (c *Closure) N() int { return len(c.Reach) }
+
+// Has reports whether u →* v with u ≠ v (use u==v for the reflexive
+// case at the call site).
+func (c *Closure) Has(u, v int32) bool { return c.Reach[u].Has(int(v)) }
+
+// Connections returns the total number of (u,v) pairs, u ≠ v, with a
+// path u →* v. This is the quantity the paper calls the size of the
+// transitive closure (e.g. 344,992,370 for its DBLP subset).
+func (c *Closure) Connections() int64 {
+	var total int64
+	for _, r := range c.Reach {
+		total += int64(r.Count())
+	}
+	return total
+}
+
+// CountConnections computes the closure size of g without materializing
+// per-node bitsets for callers that only need the number. It still uses
+// the condensation DP, so the cost is one closure computation.
+func CountConnections(g *Digraph) int64 {
+	return NewClosure(g).Connections()
+}
+
+// DistanceMatrix holds all-pairs shortest-path lengths for a (small)
+// digraph: Dist[u][v] is the length of the shortest path u → v, 0 on
+// the diagonal, InfDist when unreachable. Memory is Θ(n²); callers cap
+// partition sizes so this fits comfortably (the same role the memory
+// budget plays for the paper's in-memory transitive closures).
+type DistanceMatrix struct {
+	Dist [][]uint32
+}
+
+// NewDistanceMatrix runs one BFS per node.
+func NewDistanceMatrix(g *Digraph) *DistanceMatrix {
+	n := g.N()
+	d := make([][]uint32, n)
+	for u := 0; u < n; u++ {
+		d[u] = g.BFSFrom(int32(u))
+	}
+	return &DistanceMatrix{Dist: d}
+}
+
+// D returns the distance u → v (0 if u==v, InfDist if unreachable).
+func (m *DistanceMatrix) D(u, v int32) uint32 { return m.Dist[u][v] }

@@ -1,0 +1,234 @@
+package graph
+
+import "sort"
+
+// Digraph is a mutable directed graph over dense node indices [0, n).
+// Both forward and backward adjacency lists are maintained so that
+// ancestor-side traversals (reverse BFS) are as cheap as descendant-side
+// ones — the HOPI maintenance algorithms need both directions.
+type Digraph struct {
+	succ [][]int32
+	pred [][]int32
+	m    int // number of edges
+}
+
+// NewDigraph returns an edgeless graph with n nodes.
+func NewDigraph(n int) *Digraph {
+	return &Digraph{succ: make([][]int32, n), pred: make([][]int32, n)}
+}
+
+// N returns the number of nodes.
+func (g *Digraph) N() int { return len(g.succ) }
+
+// AddNodes appends k isolated nodes and returns the index of the first
+// one. Existing node indices are unaffected, which is what incremental
+// document insertion needs.
+func (g *Digraph) AddNodes(k int) int32 {
+	first := int32(len(g.succ))
+	g.succ = append(g.succ, make([][]int32, k)...)
+	g.pred = append(g.pred, make([][]int32, k)...)
+	return first
+}
+
+// M returns the number of edges.
+func (g *Digraph) M() int { return g.m }
+
+// AddEdge inserts the edge u→v. Parallel edges are ignored; self loops
+// are ignored (the closure is reflexive by convention, so a self loop
+// carries no information).
+func (g *Digraph) AddEdge(u, v int32) {
+	if u == v {
+		return
+	}
+	for _, w := range g.succ[u] {
+		if w == v {
+			return
+		}
+	}
+	g.succ[u] = append(g.succ[u], v)
+	g.pred[v] = append(g.pred[v], u)
+	g.m++
+}
+
+// RemoveEdge deletes the edge u→v if present.
+func (g *Digraph) RemoveEdge(u, v int32) {
+	removed := false
+	for i, w := range g.succ[u] {
+		if w == v {
+			g.succ[u] = append(g.succ[u][:i], g.succ[u][i+1:]...)
+			removed = true
+			break
+		}
+	}
+	if !removed {
+		return
+	}
+	for i, w := range g.pred[v] {
+		if w == u {
+			g.pred[v] = append(g.pred[v][:i], g.pred[v][i+1:]...)
+			break
+		}
+	}
+	g.m--
+}
+
+// HasEdge reports whether the edge u→v exists.
+func (g *Digraph) HasEdge(u, v int32) bool {
+	for _, w := range g.succ[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Succ returns the successors of u. The returned slice must not be
+// modified.
+func (g *Digraph) Succ(u int32) []int32 { return g.succ[u] }
+
+// Pred returns the predecessors of u. The returned slice must not be
+// modified.
+func (g *Digraph) Pred(u int32) []int32 { return g.pred[u] }
+
+// Clone returns a deep copy of the graph.
+func (g *Digraph) Clone() *Digraph {
+	c := &Digraph{succ: make([][]int32, g.N()), pred: make([][]int32, g.N()), m: g.m}
+	for i := range g.succ {
+		c.succ[i] = append([]int32(nil), g.succ[i]...)
+		c.pred[i] = append([]int32(nil), g.pred[i]...)
+	}
+	return c
+}
+
+// Sort orders all adjacency lists ascending; useful for deterministic
+// iteration in tests and generators.
+func (g *Digraph) Sort() {
+	for i := range g.succ {
+		sort.Slice(g.succ[i], func(a, b int) bool { return g.succ[i][a] < g.succ[i][b] })
+		sort.Slice(g.pred[i], func(a, b int) bool { return g.pred[i][a] < g.pred[i][b] })
+	}
+}
+
+// Subgraph returns the induced subgraph on the given nodes together
+// with the mapping local→global. Nodes must not repeat.
+func (g *Digraph) Subgraph(nodes []int32) (*Digraph, []int32) {
+	local := make(map[int32]int32, len(nodes))
+	for i, v := range nodes {
+		local[v] = int32(i)
+	}
+	sub := NewDigraph(len(nodes))
+	for i, v := range nodes {
+		for _, w := range g.succ[v] {
+			if lw, ok := local[w]; ok {
+				sub.AddEdge(int32(i), lw)
+			}
+		}
+	}
+	globals := append([]int32(nil), nodes...)
+	return sub, globals
+}
+
+// ReachableFrom returns the set of nodes reachable from start by
+// following edges forward, excluding start itself unless it lies on a
+// cycle back to itself.
+func (g *Digraph) ReachableFrom(start int32) Bitset {
+	return g.reach(start, g.succ)
+}
+
+// ReachingTo returns the set of nodes that can reach start (its
+// ancestors), excluding start itself unless it lies on a cycle.
+func (g *Digraph) ReachingTo(start int32) Bitset {
+	return g.reach(start, g.pred)
+}
+
+func (g *Digraph) reach(start int32, adj [][]int32) Bitset {
+	seen := NewBitset(g.N())
+	stack := []int32{start}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen.Has(int(v)) {
+				seen.Set(int(v))
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// MultiSourceReachable returns all nodes reachable from any of the
+// sources (sources themselves included only if re-reached).
+func (g *Digraph) MultiSourceReachable(sources []int32) Bitset {
+	return g.multiSource(sources, g.succ)
+}
+
+// MultiSourceReachableReverse returns all nodes that reach any of the
+// sources (sources themselves included only if they reach one another).
+func (g *Digraph) MultiSourceReachableReverse(sources []int32) Bitset {
+	return g.multiSource(sources, g.pred)
+}
+
+func (g *Digraph) multiSource(sources []int32, adj [][]int32) Bitset {
+	seen := NewBitset(g.N())
+	stack := make([]int32, 0, len(sources))
+	stack = append(stack, sources...)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen.Has(int(v)) {
+				seen.Set(int(v))
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// BFSFrom returns, for every node, the length of the shortest directed
+// path from start (0 for start itself); unreachable nodes get InfDist.
+func (g *Digraph) BFSFrom(start int32) []uint32 {
+	dist := make([]uint32, g.N())
+	for i := range dist {
+		dist[i] = InfDist
+	}
+	dist[start] = 0
+	queue := []int32{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.succ[u] {
+			if dist[v] == InfDist {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ReverseBFSFrom returns shortest-path distances *to* start: dist[v] is
+// the length of the shortest path v → start.
+func (g *Digraph) ReverseBFSFrom(start int32) []uint32 {
+	dist := make([]uint32, g.N())
+	for i := range dist {
+		dist[i] = InfDist
+	}
+	dist[start] = 0
+	queue := []int32{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.pred[u] {
+			if dist[v] == InfDist {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// InfDist marks an unreachable node in distance vectors and matrices.
+const InfDist = ^uint32(0)

@@ -1,0 +1,112 @@
+package graph
+
+// SCCResult describes the strongly connected components of a digraph.
+// Components are numbered in reverse topological order of the
+// condensation: if there is an edge from component a to component b in
+// the condensation then a > b. (This is the order Tarjan's algorithm
+// emits components in, which is exactly what the closure DP needs.)
+type SCCResult struct {
+	Comp  []int32   // node → component id
+	Comps [][]int32 // component id → member nodes
+}
+
+// NumComps returns the number of components.
+func (s *SCCResult) NumComps() int { return len(s.Comps) }
+
+// SCC computes strongly connected components with an iterative Tarjan
+// algorithm (no recursion, safe for deep graphs such as INEX-like
+// document trees).
+func SCC(g *Digraph) *SCCResult {
+	n := g.N()
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	comp := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var (
+		stack []int32 // Tarjan stack
+		comps [][]int32
+		next  int32
+		// explicit DFS stack: node plus position in its adjacency list
+		dfs []dfsFrame
+	)
+	for root := int32(0); root < int32(n); root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		dfs = append(dfs[:0], dfsFrame{node: root})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			u := f.node
+			adj := g.succ[u]
+			if f.edge < len(adj) {
+				v := adj[f.edge]
+				f.edge++
+				if index[v] == unvisited {
+					index[v] = next
+					low[v] = next
+					next++
+					stack = append(stack, v)
+					onStack[v] = true
+					dfs = append(dfs, dfsFrame{node: v})
+				} else if onStack[v] && low[u] > index[v] {
+					low[u] = index[v]
+				}
+				continue
+			}
+			// u finished: pop and propagate lowlink to parent.
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				p := dfs[len(dfs)-1].node
+				if low[p] > low[u] {
+					low[p] = low[u]
+				}
+			}
+			if low[u] == index[u] {
+				id := int32(len(comps))
+				var members []int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = id
+					members = append(members, w)
+					if w == u {
+						break
+					}
+				}
+				comps = append(comps, members)
+			}
+		}
+	}
+	return &SCCResult{Comp: comp, Comps: comps}
+}
+
+type dfsFrame struct {
+	node int32
+	edge int
+}
+
+// Condensation returns the DAG of components: an edge a→b exists iff
+// some edge of g crosses from component a to component b.
+func (s *SCCResult) Condensation(g *Digraph) *Digraph {
+	dag := NewDigraph(len(s.Comps))
+	for u := int32(0); u < int32(g.N()); u++ {
+		cu := s.Comp[u]
+		for _, v := range g.succ[u] {
+			if cv := s.Comp[v]; cv != cu {
+				dag.AddEdge(cu, cv)
+			}
+		}
+	}
+	return dag
+}

@@ -1,0 +1,284 @@
+// Package partition implements HOPI's document-level partitioning
+// (§3.3 and §4.3): dividing a collection into partitions whose
+// transitive closures fit in memory, so that per-partition 2-hop covers
+// can be computed independently and joined afterwards.
+//
+// Two partitioners are provided. NodeCapped is the original HOPI
+// algorithm that conservatively limits the sum of node weights
+// (element counts) per partition. ClosureBudget is the §4.3
+// improvement that grows a partition until the size of its transitive
+// closure reaches the memory budget, which yields fuller partitions and
+// fewer cross-partition links. Both grow partitions greedily along the
+// heaviest document-level edges; edge weights come from weights.go
+// (link counts or the skeleton-graph A*D / A+D estimates).
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hopi/internal/graph"
+	"hopi/internal/xmlmodel"
+)
+
+// Partitioning is the paper's P(X) = ({P1..Pm}, LP): disjoint document
+// partitions plus the set of cross-partition links.
+type Partitioning struct {
+	// Parts lists the document indexes of each partition.
+	Parts [][]int
+	// PartOf maps a document index to its partition, -1 for tombstones.
+	PartOf []int
+	// CrossLinks is LP: the inter-document links whose endpoints lie in
+	// different partitions.
+	CrossLinks []xmlmodel.Link
+}
+
+// NumParts returns the number of partitions.
+func (p *Partitioning) NumParts() int { return len(p.Parts) }
+
+// PartOfID returns the partition of the document owning the global
+// element id.
+func (p *Partitioning) PartOfID(c *xmlmodel.Collection, id int32) int {
+	return p.PartOf[c.DocOfID(id)]
+}
+
+// Validate checks the partitioning invariants: every live document in
+// exactly one partition, partitions disjoint, cross links exactly the
+// links crossing partitions.
+func (p *Partitioning) Validate(c *xmlmodel.Collection) error {
+	seen := map[int]bool{}
+	for pi, docs := range p.Parts {
+		for _, d := range docs {
+			if seen[d] {
+				return fmt.Errorf("partition: document %d in two partitions", d)
+			}
+			seen[d] = true
+			if p.PartOf[d] != pi {
+				return fmt.Errorf("partition: PartOf[%d] = %d, want %d", d, p.PartOf[d], pi)
+			}
+		}
+	}
+	for _, di := range c.LiveDocIndexes() {
+		if !seen[di] {
+			return fmt.Errorf("partition: live document %d unassigned", di)
+		}
+	}
+	want := 0
+	for _, l := range c.Links {
+		if p.PartOfID(c, l.From) != p.PartOfID(c, l.To) {
+			want++
+		}
+	}
+	if len(p.CrossLinks) != want {
+		return fmt.Errorf("partition: %d cross links recorded, want %d", len(p.CrossLinks), want)
+	}
+	return nil
+}
+
+// crossLinks extracts LP for an assignment.
+func crossLinks(c *xmlmodel.Collection, partOf []int) []xmlmodel.Link {
+	var out []xmlmodel.Link
+	for _, l := range c.Links {
+		if partOf[c.DocOfID(l.From)] != partOf[c.DocOfID(l.To)] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Whole puts every live document into one partition — the centralized
+// baseline (no cross links, one giant closure).
+func Whole(c *xmlmodel.Collection) *Partitioning {
+	partOf := make([]int, len(c.Docs))
+	for i := range partOf {
+		partOf[i] = -1
+	}
+	docs := c.LiveDocIndexes()
+	for _, d := range docs {
+		partOf[d] = 0
+	}
+	return &Partitioning{Parts: [][]int{docs}, PartOf: partOf}
+}
+
+// Single puts every live document into its own partition — the "naive"
+// run of Table 2.
+func Single(c *xmlmodel.Collection) *Partitioning {
+	partOf := make([]int, len(c.Docs))
+	for i := range partOf {
+		partOf[i] = -1
+	}
+	var parts [][]int
+	for _, d := range c.LiveDocIndexes() {
+		partOf[d] = len(parts)
+		parts = append(parts, []int{d})
+	}
+	p := &Partitioning{Parts: parts, PartOf: partOf}
+	p.CrossLinks = crossLinks(c, partOf)
+	return p
+}
+
+// NodeCapped is the original HOPI partitioner: grow partitions along
+// the heaviest document-level edges while the summed element count
+// stays below maxNodes. A document larger than the cap forms its own
+// partition. Seed order is randomized (deterministically, from seed),
+// matching the paper's randomized partitioner.
+func NodeCapped(c *xmlmodel.Collection, maxNodes int, w map[[2]int32]float64, seed int64) *Partitioning {
+	return grow(c, w, seed, func(st *growState, doc int) bool {
+		return st.nodes+c.Docs[doc].Len() <= maxNodes || len(st.docs) == 0
+	}, nil)
+}
+
+// ClosureBudget is the §4.3 partitioner: grow a partition while the
+// number of connections in its transitive closure stays within
+// maxConnections. The closure is recomputed as the partition grows,
+// which is exactly the "computes, while incrementally building the
+// partition, the transitive closure of the partition" step of the
+// paper (we recompute rather than update incrementally; the observable
+// behaviour — partitions filled up to the closure budget — is the
+// same).
+func ClosureBudget(c *xmlmodel.Collection, maxConnections int64, w map[[2]int32]float64, seed int64) *Partitioning {
+	return grow(c, w, seed, nil, func(st *growState, doc int) bool {
+		if len(st.docs) == 0 {
+			return true
+		}
+		docs := append(append([]int(nil), st.docs...), doc)
+		g, _ := ElementSubgraph(c, docs)
+		return graph.CountConnections(g) <= maxConnections
+	})
+}
+
+type growState struct {
+	docs  []int
+	nodes int
+}
+
+// grow implements the shared greedy growth: repeatedly start a
+// partition from the next unassigned seed and absorb the unassigned
+// neighbor with the heaviest connecting weight until accept rejects it.
+// Exactly one of acceptFast (cheap, pre-add) and acceptFull may be nil.
+func grow(c *xmlmodel.Collection, w map[[2]int32]float64,
+	seed int64, acceptFast func(*growState, int) bool, acceptFull func(*growState, int) bool) *Partitioning {
+
+	live := c.LiveDocIndexes()
+	rng := rand.New(rand.NewSource(seed))
+	order := append([]int(nil), live...)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	partOf := make([]int, len(c.Docs))
+	for i := range partOf {
+		partOf[i] = -1
+	}
+	docG, linkCount := c.DocGraph()
+	weight := func(a, b int32) float64 {
+		if w != nil {
+			return w[[2]int32{a, b}]
+		}
+		return float64(linkCount[[2]int32{a, b}])
+	}
+
+	assigned := make([]bool, len(c.Docs))
+	var parts [][]int
+	for _, seedDoc := range order {
+		if assigned[seedDoc] {
+			continue
+		}
+		st := &growState{}
+		pi := len(parts)
+		add := func(d int) {
+			assigned[d] = true
+			partOf[d] = pi
+			st.docs = append(st.docs, d)
+			st.nodes += c.Docs[d].Len()
+		}
+		accept := func(d int) bool {
+			if acceptFast != nil {
+				return acceptFast(st, d)
+			}
+			return acceptFull(st, d)
+		}
+		add(seedDoc) // a seed is always accepted: one-document partitions are legal
+		// frontier: unassigned neighbor → accumulated edge weight
+		frontier := map[int]float64{}
+		addNeighbors := func(d int) {
+			for _, nb := range docG.Succ(int32(d)) {
+				if !assigned[nb] {
+					frontier[int(nb)] += weight(int32(d), nb) + 1e-9
+				}
+			}
+			for _, nb := range docG.Pred(int32(d)) {
+				if !assigned[nb] {
+					frontier[int(nb)] += weight(nb, int32(d)) + 1e-9
+				}
+			}
+		}
+		addNeighbors(seedDoc)
+		for len(frontier) > 0 {
+			// deterministic max-weight pick (ties by doc index)
+			best, bestW := -1, -1.0
+			keys := make([]int, 0, len(frontier))
+			for d := range frontier {
+				keys = append(keys, d)
+			}
+			sort.Ints(keys)
+			for _, d := range keys {
+				if fw := frontier[d]; fw > bestW {
+					best, bestW = d, fw
+				}
+			}
+			delete(frontier, best)
+			if assigned[best] {
+				continue
+			}
+			if !accept(best) {
+				// partition sealed — paper: "continues with the next
+				// partition when the transitive closure is as large as
+				// the available memory"
+				break
+			}
+			add(best)
+			addNeighbors(best)
+		}
+		parts = append(parts, st.docs)
+	}
+	p := &Partitioning{Parts: parts, PartOf: partOf}
+	p.CrossLinks = crossLinks(c, partOf)
+	return p
+}
+
+// ElementSubgraph builds the element-level graph of a partition: the
+// elements of the given documents with tree edges, intra-document
+// links, and the inter-document links that stay inside the document
+// set. It returns the graph over local indices plus the local→global
+// ID mapping (sorted ascending).
+func ElementSubgraph(c *xmlmodel.Collection, docs []int) (*graph.Digraph, []int32) {
+	var globals []int32
+	local := map[int32]int32{}
+	inSet := map[int]bool{}
+	sorted := append([]int(nil), docs...)
+	sort.Ints(sorted)
+	for _, d := range sorted {
+		inSet[d] = true
+		for _, id := range c.DocIDs(d) {
+			local[id] = int32(len(globals))
+			globals = append(globals, id)
+		}
+	}
+	g := graph.NewDigraph(len(globals))
+	for _, di := range sorted {
+		d := c.Docs[di]
+		base := c.GlobalID(di, 0)
+		for li := 1; li < d.Len(); li++ {
+			g.AddEdge(local[base+d.Elements[li].Parent], local[base+int32(li)])
+		}
+		for _, l := range d.IntraLinks {
+			g.AddEdge(local[base+l[0]], local[base+l[1]])
+		}
+	}
+	for _, l := range c.Links {
+		if inSet[c.DocOfID(l.From)] && inSet[c.DocOfID(l.To)] {
+			g.AddEdge(local[l.From], local[l.To])
+		}
+	}
+	return g, globals
+}

@@ -1,0 +1,219 @@
+package partition
+
+import (
+	"hopi/internal/graph"
+	"hopi/internal/xmlmodel"
+)
+
+// WeightScheme selects how document-level edges are weighted for
+// partitioning (§4.3).
+type WeightScheme int
+
+const (
+	// WeightLinks counts the links between two documents — the original
+	// HOPI edge weight.
+	WeightLinks WeightScheme = iota
+	// WeightAtimesD weights a link by A·D — the (approximate) number of
+	// connections routed over the link, where A is the ancestor count
+	// of the link source and D the descendant count of the link target.
+	WeightAtimesD
+	// WeightAplusD weights a link by A+D — the number of nodes
+	// connected over the link.
+	WeightAplusD
+)
+
+// String names the scheme for experiment tables.
+func (s WeightScheme) String() string {
+	switch s {
+	case WeightLinks:
+		return "links"
+	case WeightAtimesD:
+		return "A*D"
+	case WeightAplusD:
+		return "A+D"
+	}
+	return "unknown"
+}
+
+// DefaultSkeletonDepth bounds the BFS that propagates ancestor and
+// descendant counts over the skeleton graph; the paper limits the
+// traversal "to paths of a certain length" because S(X) may contain
+// long paths.
+const DefaultSkeletonDepth = 5
+
+// Skeleton is the paper's skeleton graph S(X) (Definition 2): the
+// elements that are sources or targets of links, connected by the
+// links themselves plus target→source edges inside each document tree.
+// Each node is annotated with its tree-ancestor count anc(x) and
+// subtree size desc(x), and after Propagate with the link-augmented
+// estimates A(x) and D(x).
+type Skeleton struct {
+	Nodes    []int32 // global element IDs, ascending
+	Index    map[int32]int32
+	G        *graph.Digraph // over local skeleton indices
+	IsSource []bool
+	IsTarget []bool
+	IsLink   [][]bool // IsLink[u][i]: is the i-th out-edge of u a link (vs. a tree-connection edge)?
+	Anc      []int64  // anc(x): tree ancestors including x
+	Desc     []int64  // desc(x): subtree size including x
+	A        []int64  // propagated ancestor estimate
+	D        []int64  // propagated descendant estimate
+}
+
+// BuildSkeleton constructs S(X) over all links of the collection
+// (intra- and inter-document, the paper's L(X)).
+func BuildSkeleton(c *xmlmodel.Collection) *Skeleton {
+	type link struct{ from, to int32 }
+	var links []link
+	for _, di := range c.LiveDocIndexes() {
+		d := c.Docs[di]
+		for _, l := range d.IntraLinks {
+			links = append(links, link{c.GlobalID(di, l[0]), c.GlobalID(di, l[1])})
+		}
+	}
+	for _, l := range c.Links {
+		links = append(links, link{l.From, l.To})
+	}
+	s := &Skeleton{Index: map[int32]int32{}}
+	addNode := func(id int32) int32 {
+		if li, ok := s.Index[id]; ok {
+			return li
+		}
+		li := int32(len(s.Nodes))
+		s.Index[id] = li
+		s.Nodes = append(s.Nodes, id)
+		return li
+	}
+	locals := make([][2]int32, len(links))
+	for i, l := range links {
+		locals[i] = [2]int32{addNode(l.from), addNode(l.to)}
+	}
+	n := len(s.Nodes)
+	s.G = graph.NewDigraph(n)
+	s.IsSource = make([]bool, n)
+	s.IsTarget = make([]bool, n)
+	s.Anc = make([]int64, n)
+	s.Desc = make([]int64, n)
+	linkEdge := map[[2]int32]bool{}
+	for _, ll := range locals {
+		s.IsSource[ll[0]] = true
+		s.IsTarget[ll[1]] = true
+		s.G.AddEdge(ll[0], ll[1])
+		linkEdge[[2]int32{ll[0], ll[1]}] = true
+	}
+	// annotate anc/desc from the element-level trees
+	for li, id := range s.Nodes {
+		di, local := c.LocalID(id)
+		s.Anc[li] = int64(c.Docs[di].AncCount(local))
+		s.Desc[li] = int64(c.Docs[di].SubtreeSize(local))
+	}
+	// tree-connection edges: for each document, target → source when
+	// the target is a tree ancestor-or-self of the source
+	byDoc := map[int][]int32{}
+	for li, id := range s.Nodes {
+		byDoc[c.DocOfID(id)] = append(byDoc[c.DocOfID(id)], int32(li))
+	}
+	for di, members := range byDoc {
+		d := c.Docs[di]
+		for _, t := range members {
+			if !s.IsTarget[t] {
+				continue
+			}
+			_, tLocal := c.LocalID(s.Nodes[t])
+			for _, src := range members {
+				if !s.IsSource[src] || src == t {
+					continue
+				}
+				_, sLocal := c.LocalID(s.Nodes[src])
+				if d.IsTreeAncestor(tLocal, sLocal) {
+					s.G.AddEdge(t, src)
+				}
+			}
+		}
+	}
+	// record which out-edges are links
+	s.IsLink = make([][]bool, n)
+	for u := int32(0); u < int32(n); u++ {
+		succ := s.G.Succ(u)
+		s.IsLink[u] = make([]bool, len(succ))
+		for i, v := range succ {
+			s.IsLink[u][i] = linkEdge[[2]int32{u, v}]
+		}
+	}
+	return s
+}
+
+// Propagate computes the link-augmented ancestor/descendant estimates
+// with one bounded breadth-first traversal per node, following §4.3:
+// starting from x, every link edge (u,v) traversed adds desc(v) to
+// D(x), and every tree-connection edge (t,s) traversed adds anc(x) to
+// A(s). Traversals are limited to maxDepth hops; the results are
+// therefore approximations, as in the paper.
+func (s *Skeleton) Propagate(maxDepth int) {
+	n := len(s.Nodes)
+	s.A = make([]int64, n)
+	s.D = make([]int64, n)
+	copy(s.A, s.Anc)
+	copy(s.D, s.Desc)
+	if n == 0 {
+		return
+	}
+	depth := make([]int, n)
+	seen := graph.NewBitset(n)
+	for x := int32(0); x < int32(n); x++ {
+		seen.Reset()
+		seen.Set(int(x))
+		depth[x] = 0
+		queue := []int32{x}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			if depth[u] >= maxDepth {
+				continue
+			}
+			for i, v := range s.G.Succ(u) {
+				if s.IsLink[u][i] {
+					s.D[x] += s.Desc[v]
+				} else {
+					s.A[v] += s.Anc[x]
+				}
+				if !seen.Has(int(v)) {
+					seen.Set(int(v))
+					depth[v] = depth[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+}
+
+// DocEdgeWeights computes the document-level edge weights used by the
+// partitioners. For WeightLinks this is the link multiplicity; for the
+// skeleton-based schemes every inter-document link (u,v) contributes
+// A(u)*D(v) or A(u)+D(v) to its document edge.
+func DocEdgeWeights(c *xmlmodel.Collection, scheme WeightScheme, maxDepth int) map[[2]int32]float64 {
+	out := map[[2]int32]float64{}
+	if scheme == WeightLinks {
+		_, cnt := c.DocGraph()
+		for k, v := range cnt {
+			out[k] = float64(v)
+		}
+		return out
+	}
+	s := BuildSkeleton(c)
+	s.Propagate(maxDepth)
+	for _, l := range c.Links {
+		di := int32(c.DocOfID(l.From))
+		dj := int32(c.DocOfID(l.To))
+		a := s.A[s.Index[l.From]]
+		d := s.D[s.Index[l.To]]
+		var w float64
+		if scheme == WeightAtimesD {
+			w = float64(a) * float64(d)
+		} else {
+			w = float64(a) + float64(d)
+		}
+		out[[2]int32{di, dj}] += w
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package partition
+
+import (
+	"testing"
+
+	"hopi/internal/xmlmodel"
+)
+
+// skeletonCollection: two documents, one link from a mid-tree element
+// of d0 to a mid-tree element of d1, plus an intra link in d1 that
+// makes the link target's document-side connection visible.
+func skeletonCollection() *xmlmodel.Collection {
+	c := xmlmodel.NewCollection()
+	d0 := xmlmodel.NewDocument("d0", "a") // 0
+	s0 := d0.AddElement(0, "b")           // 1
+	d0.AddElement(s0, "c")                // 2
+	c.AddDocument(d0)
+
+	d1 := xmlmodel.NewDocument("d1", "a") // 0
+	t1 := d1.AddElement(0, "b")           // 1
+	u1 := d1.AddElement(t1, "c")          // 2
+	d1.AddElement(u1, "d")                // 3
+	c.AddDocument(d1)
+
+	// inter link: d0 element 1 → d1 element 1
+	if err := c.AddLink(c.GlobalID(0, 1), c.GlobalID(1, 1)); err != nil {
+		panic(err)
+	}
+	// second link out of d1's subtree: element 2 → d0 root
+	if err := c.AddLink(c.GlobalID(1, 2), c.GlobalID(0, 0)); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestBuildSkeletonNodesAndEdges(t *testing.T) {
+	c := skeletonCollection()
+	s := BuildSkeleton(c)
+	// Endpoints: (0,1), (1,1), (1,2), (0,0) → 4 skeleton nodes.
+	if len(s.Nodes) != 4 {
+		t.Fatalf("nodes = %v", s.Nodes)
+	}
+	// Link edges: 2. Tree-connection edges: target (1,1) is a tree
+	// ancestor of source (1,2) → one dashed edge; target (0,0) is a
+	// tree ancestor of source (0,1) → another.
+	if s.G.M() != 4 {
+		t.Errorf("edges = %d, want 4 (2 links + 2 tree connections)", s.G.M())
+	}
+	li := s.Index[c.GlobalID(1, 1)]
+	lj := s.Index[c.GlobalID(1, 2)]
+	if !s.G.HasEdge(li, lj) {
+		t.Error("tree-connection edge target→source missing")
+	}
+	if !s.IsTarget[li] || !s.IsSource[lj] {
+		t.Error("source/target flags wrong")
+	}
+}
+
+func TestSkeletonAnnotations(t *testing.T) {
+	c := skeletonCollection()
+	s := BuildSkeleton(c)
+	// node (1,1): depth 1 → anc=2; subtree {1,2,3} → desc=3.
+	li := s.Index[c.GlobalID(1, 1)]
+	if s.Anc[li] != 2 || s.Desc[li] != 3 {
+		t.Errorf("anc=%d desc=%d, want 2,3", s.Anc[li], s.Desc[li])
+	}
+	// root of d0: anc=1 (Fig. 5 convention), desc=3.
+	r := s.Index[c.GlobalID(0, 0)]
+	if s.Anc[r] != 1 || s.Desc[r] != 3 {
+		t.Errorf("root anc=%d desc=%d, want 1,3", s.Anc[r], s.Desc[r])
+	}
+}
+
+func TestSkeletonPropagateIncreasesEstimates(t *testing.T) {
+	c := skeletonCollection()
+	s := BuildSkeleton(c)
+	s.Propagate(DefaultSkeletonDepth)
+	// D of the first link's source must include the target's subtree.
+	src := s.Index[c.GlobalID(0, 1)]
+	if s.D[src] <= s.Desc[src] {
+		t.Errorf("D[%d] = %d, want > desc = %d", src, s.D[src], s.Desc[src])
+	}
+	// A of a link source reachable from a target grows too.
+	s2 := s.Index[c.GlobalID(1, 2)]
+	if s.A[s2] <= s.Anc[s2] {
+		t.Errorf("A = %d, want > anc = %d", s.A[s2], s.Anc[s2])
+	}
+}
+
+func TestSkeletonPropagateDepthBound(t *testing.T) {
+	// chain of many docs: deep traversal accumulates more than depth 1
+	c := chainCollection(10, 3)
+	s1 := BuildSkeleton(c)
+	s1.Propagate(1)
+	s2 := BuildSkeleton(c)
+	s2.Propagate(8)
+	// the first link source's D estimate can only grow with depth
+	src := s1.Index[c.GlobalID(0, 2)]
+	if s2.D[src] < s1.D[src] {
+		t.Errorf("deeper propagation shrank D: %d < %d", s2.D[src], s1.D[src])
+	}
+	if s2.D[src] == s1.D[src] {
+		t.Errorf("deeper propagation had no effect on a 10-doc chain: %d", s2.D[src])
+	}
+}
+
+func TestDocEdgeWeightsSchemes(t *testing.T) {
+	c := skeletonCollection()
+	wl := DocEdgeWeights(c, WeightLinks, DefaultSkeletonDepth)
+	if wl[[2]int32{0, 1}] != 1 || wl[[2]int32{1, 0}] != 1 {
+		t.Errorf("link weights = %v", wl)
+	}
+	wad := DocEdgeWeights(c, WeightAtimesD, DefaultSkeletonDepth)
+	wapd := DocEdgeWeights(c, WeightAplusD, DefaultSkeletonDepth)
+	k := [2]int32{0, 1}
+	if wad[k] <= 0 || wapd[k] <= 0 {
+		t.Fatalf("skeleton weights missing: %v %v", wad, wapd)
+	}
+	// A*D ≥ A+D−1 for positive integers; both must exceed plain counts
+	// on this graph.
+	if wad[k] < wl[k] || wapd[k] < wl[k] {
+		t.Errorf("augmented weights should dominate link counts: %v %v vs %v", wad[k], wapd[k], wl[k])
+	}
+	if WeightLinks.String() != "links" || WeightAtimesD.String() != "A*D" || WeightAplusD.String() != "A+D" {
+		t.Error("String() names wrong")
+	}
+}
+
+func TestPartitionersAcceptWeightSchemes(t *testing.T) {
+	c := chainCollection(8, 4)
+	w := DocEdgeWeights(c, WeightAtimesD, DefaultSkeletonDepth)
+	p := NodeCapped(c, 12, w, 2)
+	if err := p.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package psg
+
+import (
+	"hopi/internal/graph"
+	"hopi/internal/twohop"
+	"hopi/internal/xmlmodel"
+)
+
+// NewJoinOptions tunes the §4.1 join.
+type NewJoinOptions struct {
+	// WithDist builds a distance-aware global cover; partition covers
+	// must have been built distance-aware too.
+	WithDist bool
+	// FullPSGCover computes a real 2-hop cover H over the PSG
+	// (Theorem 1) instead of the cheaper H̄ (Corollary 1). The paper
+	// recommends H̄; the H variant exists for the ablation benchmarks.
+	// It materializes the PSG closure, so it is only sensible for PSGs
+	// whose closure fits in memory.
+	FullPSGCover bool
+	// Seed feeds the 2-hop builder when FullPSGCover is set.
+	Seed int64
+}
+
+// JoinNew merges partition covers into a global cover with the
+// structurally recursive algorithm of §4.1:
+//
+//  1. start from the component-wise union of the partition covers,
+//  2. build the partition-level skeleton graph S(P),
+//  3. compute H̄ (link targets as centers; Corollary 1) or a full
+//     2-hop cover H of the PSG (Theorem 1),
+//  4. compute the supplementary cover Ĥ by copying each link source's
+//     out-labels to its partition-level ancestors and registering each
+//     link target as center for its partition-level descendants.
+//
+// The result covers exactly the connections of G_E(X).
+func JoinNew(c *xmlmodel.Collection, cross []xmlmodel.Link, partOfID func(int32) int,
+	parts []*PartitionData, opts NewJoinOptions) *twohop.Cover {
+
+	global := unionPartitionCovers(c, parts, opts.WithDist)
+	if len(cross) == 0 {
+		global.Finish()
+		return global
+	}
+	s := Build(c, cross, partOfID, parts, opts.WithDist)
+
+	// Step 3: labels over the PSG.
+	// hbarOut[s] holds (global center, PSG distance) entries each link
+	// source must propagate to its partition-level ancestors;
+	// hIn[t] holds the Lin side for targets (only used by the full-H
+	// variant — H̄in(t) = {t} stays implicit otherwise).
+	hbarOut := map[int32][]twohop.Entry{}
+	hIn := map[int32][]twohop.Entry{}
+	if opts.FullPSGCover {
+		hcov := fullPSGCover(s, opts)
+		for li := int32(0); li < int32(len(s.Nodes)); li++ {
+			gid := s.Nodes[li]
+			// The PSG cover's own labels join the global cover.
+			for _, e := range hcov.Out[li] {
+				global.AddOut(gid, s.Nodes[e.Center], e.Dist)
+			}
+			for _, e := range hcov.In[li] {
+				global.AddIn(gid, s.Nodes[e.Center], e.Dist)
+			}
+			// Materialize implicit self entries for propagation: an
+			// ancestor of s needs s itself among the copied centers.
+			if s.IsSource[li] {
+				out := append([]twohop.Entry{{Center: gid, Dist: 0}}, remap(hcov.Out[li], s.Nodes)...)
+				hbarOut[li] = out
+			}
+			if s.IsTarget[li] {
+				in := append([]twohop.Entry{{Center: gid, Dist: 0}}, remap(hcov.In[li], s.Nodes)...)
+				hIn[li] = in
+			}
+		}
+	} else {
+		hb := ComputeHBar(s, opts.WithDist)
+		for li, entries := range hb.OutTargets {
+			hbarOut[li] = remap(entries, s.Nodes)
+		}
+		// H̄out(s) must also work for paths that END at a target s
+		// reaches... no: Lin side. For the H̄ variant every target t is
+		// its own (implicit) Lin center; descendants receive t itself.
+		for li := int32(0); li < int32(len(s.Nodes)); li++ {
+			if s.IsTarget[li] {
+				hIn[li] = []twohop.Entry{{Center: s.Nodes[li], Dist: 0}}
+			}
+		}
+	}
+
+	// Step 4: supplementary cover Ĥ.
+	for li := int32(0); li < int32(len(s.Nodes)); li++ {
+		gid := s.Nodes[li]
+		pd := parts[partOfID(gid)]
+		local := pd.Local[gid]
+		if out := hbarOut[li]; len(out) > 0 {
+			// every partition-level ancestor a of the link source
+			// (including the source itself) inherits the out-labels
+			dists := pd.G.ReverseBFSFrom(local)
+			for a := int32(0); a < int32(len(dists)); a++ {
+				da := dists[a]
+				if da == graph.InfDist {
+					continue
+				}
+				ag := pd.Globals[a]
+				for _, e := range out {
+					global.AddOut(ag, e.Center, da+e.Dist)
+				}
+			}
+		}
+		if in := hIn[li]; len(in) > 0 && s.IsTarget[li] {
+			dists := pd.G.BFSFrom(local)
+			for d := int32(0); d < int32(len(dists)); d++ {
+				dd := dists[d]
+				if dd == graph.InfDist {
+					continue
+				}
+				dg := pd.Globals[d]
+				for _, e := range in {
+					global.AddIn(dg, e.Center, e.Dist+dd)
+				}
+			}
+		}
+	}
+	global.Finish()
+	return global
+}
+
+func remap(entries []twohop.Entry, nodes []int32) []twohop.Entry {
+	out := make([]twohop.Entry, len(entries))
+	for i, e := range entries {
+		out[i] = twohop.Entry{Center: nodes[e.Center], Dist: e.Dist}
+	}
+	return out
+}
+
+// fullPSGCover materializes the PSG closure and builds a real 2-hop
+// cover over it — the paper's "recursively apply the algorithm" branch
+// with the recursion bottoming out immediately (our PSGs fit in
+// memory; see the package comment of ComputeHBar).
+func fullPSGCover(s *PSG, opts NewJoinOptions) *twohop.Cover {
+	if opts.WithDist {
+		dm := psgDistanceMatrix(s)
+		cov, _ := twohop.BuildDistanceAware(dm, twohop.Options{Seed: opts.Seed})
+		return cov
+	}
+	cl := graph.NewClosure(s.G)
+	cov, _ := twohop.Build(cl, twohop.Options{Seed: opts.Seed})
+	return cov
+}
+
+func psgDistanceMatrix(s *PSG) *graph.DistanceMatrix {
+	n := len(s.Nodes)
+	d := make([][]uint32, n)
+	for u := int32(0); u < int32(n); u++ {
+		d[u] = dijkstra(s, u)
+	}
+	return &graph.DistanceMatrix{Dist: d}
+}
+
+// unionPartitionCovers remaps every partition cover to global IDs — the
+// component-wise union L = ∪ Hi that both joins start from.
+func unionPartitionCovers(c *xmlmodel.Collection, parts []*PartitionData, withDist bool) *twohop.Cover {
+	global := twohop.NewCover(c.NumAllocatedIDs(), withDist)
+	for _, pd := range parts {
+		for local := int32(0); local < int32(len(pd.Globals)); local++ {
+			gid := pd.Globals[local]
+			for _, e := range pd.Cover.Out[local] {
+				global.AddOut(gid, pd.Globals[e.Center], e.Dist)
+			}
+			for _, e := range pd.Cover.In[local] {
+				global.AddIn(gid, pd.Globals[e.Center], e.Dist)
+			}
+		}
+	}
+	return global
+}

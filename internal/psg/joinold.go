@@ -1,0 +1,178 @@
+package psg
+
+import (
+	"hopi/internal/graph"
+	"hopi/internal/twohop"
+	"hopi/internal/xmlmodel"
+)
+
+// JoinOld merges partition covers with the original HOPI algorithm
+// (§3.3): start from the union of the partition covers and integrate
+// the cross-partition links one at a time. For each link u→v, v
+// becomes the center of all newly created connections: v is added to
+// Lout of u and of all current ancestors of u, and to Lin of all
+// current descendants of v. Ancestors and descendants are computed
+// against the cover built so far, which is what makes this algorithm
+// quadratic-ish and slow — the motivation for §4.1.
+//
+// This is also exactly the procedure used to insert a single new edge
+// or document during incremental maintenance (§6.1), which is why
+// IntegrateLink is exported.
+func JoinOld(c *xmlmodel.Collection, cross []xmlmodel.Link, parts []*PartitionData, withDist bool) *twohop.Cover {
+	global := unionPartitionCovers(c, parts, withDist)
+	global.Finish()
+	ix := NewCoverIndex(global)
+	for _, l := range cross {
+		ix.IntegrateLink(l.From, l.To)
+	}
+	return ix.Cover()
+}
+
+// CoverIndex wraps a cover with the backward maps (center → label
+// owners) that the §3.4 database deployment keeps as backward indexes
+// on LIN and LOUT; they make cover-based ancestor/descendant queries
+// feasible, which both the old join and incremental maintenance need.
+type CoverIndex struct {
+	cov *twohop.Cover
+	// outOwners[c] = nodes whose Lout contains center c;
+	// inOwners[c] = nodes whose Lin contains center c.
+	outOwners map[int32][]int32
+	inOwners  map[int32][]int32
+	scratch   graph.Bitset
+}
+
+// NewCoverIndex builds the backward maps of an existing cover.
+func NewCoverIndex(cov *twohop.Cover) *CoverIndex {
+	ix := &CoverIndex{
+		cov:       cov,
+		outOwners: map[int32][]int32{},
+		inOwners:  map[int32][]int32{},
+		scratch:   graph.NewBitset(cov.N()),
+	}
+	for v := int32(0); v < int32(cov.N()); v++ {
+		for _, e := range cov.Out[v] {
+			ix.outOwners[e.Center] = append(ix.outOwners[e.Center], v)
+		}
+		for _, e := range cov.In[v] {
+			ix.inOwners[e.Center] = append(ix.inOwners[e.Center], v)
+		}
+	}
+	return ix
+}
+
+// Cover returns the wrapped cover.
+func (ix *CoverIndex) Cover() *twohop.Cover { return ix.cov }
+
+// AddOut inserts a label entry and maintains the backward map.
+func (ix *CoverIndex) AddOut(u, center int32, dist uint32) {
+	if u == center {
+		return
+	}
+	before := len(ix.cov.Out[u])
+	ix.cov.AddOut(u, center, dist)
+	if len(ix.cov.Out[u]) != before {
+		ix.outOwners[center] = append(ix.outOwners[center], u)
+	}
+}
+
+// AddIn inserts a label entry and maintains the backward map.
+func (ix *CoverIndex) AddIn(v, center int32, dist uint32) {
+	if v == center {
+		return
+	}
+	before := len(ix.cov.In[v])
+	ix.cov.AddIn(v, center, dist)
+	if len(ix.cov.In[v]) != before {
+		ix.inOwners[center] = append(ix.inOwners[center], v)
+	}
+}
+
+// Ancestors returns all nodes a (including u itself) with a →* u
+// according to the cover, using the backward maps: a reaches u iff
+// a == u, u ∈ Lout(a), a ∈ Lin(u), or Lout(a) ∩ Lin(u) ≠ ∅.
+func (ix *CoverIndex) Ancestors(u int32) []int32 {
+	seen := ix.scratch
+	seen.Reset()
+	var out []int32
+	add := func(a int32) {
+		if !seen.Has(int(a)) {
+			seen.Set(int(a))
+			out = append(out, a)
+		}
+	}
+	add(u)
+	for _, a := range ix.outOwners[u] {
+		add(a)
+	}
+	for _, e := range ix.cov.In[u] {
+		add(e.Center)
+		for _, a := range ix.outOwners[e.Center] {
+			add(a)
+		}
+	}
+	return out
+}
+
+// Descendants returns all nodes d (including v itself) with v →* d
+// according to the cover.
+func (ix *CoverIndex) Descendants(v int32) []int32 {
+	seen := ix.scratch
+	seen.Reset()
+	var out []int32
+	add := func(d int32) {
+		if !seen.Has(int(d)) {
+			seen.Set(int(d))
+			out = append(out, d)
+		}
+	}
+	add(v)
+	for _, d := range ix.inOwners[v] {
+		add(d)
+	}
+	for _, e := range ix.cov.Out[v] {
+		add(e.Center)
+		for _, d := range ix.inOwners[e.Center] {
+			add(d)
+		}
+	}
+	return out
+}
+
+// IntegrateLink adds the edge u→v to the cover (Fig. 2): v becomes the
+// center for all new connections from ancestors of u to descendants of
+// v. For distance-aware covers the label distances are dist(a,u)+1 on
+// the Lout side and dist(v,d) on the Lin side; existing entries remain
+// valid because the query takes the minimum over centers and the new
+// edge cannot shorten paths into u or out of v.
+func (ix *CoverIndex) IntegrateLink(u, v int32) {
+	ancs := ix.Ancestors(u)
+	descs := ix.Descendants(v)
+	if ix.cov.WithDist {
+		// snapshot distances before mutating the labels
+		ad := make([]uint32, len(ancs))
+		for i, a := range ancs {
+			ad[i] = ix.cov.Distance(a, u)
+		}
+		dd := make([]uint32, len(descs))
+		for i, d := range descs {
+			dd[i] = ix.cov.Distance(v, d)
+		}
+		for i, a := range ancs {
+			if ad[i] != graph.InfDist {
+				ix.AddOut(a, v, ad[i]+1)
+			}
+		}
+		for i, d := range descs {
+			if dd[i] != graph.InfDist {
+				ix.AddIn(d, v, dd[i])
+			}
+		}
+		return
+	}
+	for _, a := range ancs {
+		ix.AddOut(a, v, 0)
+	}
+	for _, d := range descs {
+		ix.AddIn(d, v, 0)
+	}
+}

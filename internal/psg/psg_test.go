@@ -1,0 +1,297 @@
+package psg
+
+import (
+	"math/rand"
+	"testing"
+
+	"hopi/internal/graph"
+	"hopi/internal/partition"
+	"hopi/internal/twohop"
+	"hopi/internal/xmlmodel"
+)
+
+// buildParts computes the per-partition structures the joins consume,
+// exactly the way the core pipeline does.
+func buildParts(c *xmlmodel.Collection, p *partition.Partitioning, withDist bool) []*PartitionData {
+	parts := make([]*PartitionData, p.NumParts())
+	for pi, docs := range p.Parts {
+		g, globals := partition.ElementSubgraph(c, docs)
+		var cov *twohop.Cover
+		if withDist {
+			dm := graph.NewDistanceMatrix(g)
+			cov, _ = twohop.BuildDistanceAware(dm, twohop.Options{})
+		} else {
+			cl := graph.NewClosure(g)
+			cov, _ = twohop.Build(cl, twohop.Options{})
+		}
+		parts[pi] = NewPartitionData(docs, g, globals, cov)
+	}
+	return parts
+}
+
+// chainCollection: n docs of k elements, doc i's last element links to
+// doc i+1's root.
+func chainCollection(n, k int) *xmlmodel.Collection {
+	c := xmlmodel.NewCollection()
+	for i := 0; i < n; i++ {
+		d := xmlmodel.NewDocument("", "pub")
+		for j := 1; j < k; j++ {
+			d.AddElement(int32((j-1)/2), "sec") // small binary-ish tree
+		}
+		c.AddDocument(d)
+	}
+	for i := 0; i < n-1; i++ {
+		if err := c.AddLink(c.GlobalID(i, int32(k-1)), c.GlobalID(i+1, 0)); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}
+
+func randomCollection(rng *rand.Rand, nDocs, maxElems, nLinks int) *xmlmodel.Collection {
+	c := xmlmodel.NewCollection()
+	for i := 0; i < nDocs; i++ {
+		d := xmlmodel.NewDocument("", "r")
+		k := 1 + rng.Intn(maxElems)
+		for j := 1; j < k; j++ {
+			d.AddElement(int32(rng.Intn(j)), "e")
+		}
+		c.AddDocument(d)
+	}
+	for i := 0; i < nLinks; i++ {
+		fd, td := rng.Intn(nDocs), rng.Intn(nDocs)
+		fl := int32(rng.Intn(c.Docs[fd].Len()))
+		tl := int32(rng.Intn(c.Docs[td].Len()))
+		if err := c.AddLink(c.GlobalID(fd, fl), c.GlobalID(td, tl)); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}
+
+func partOfFunc(c *xmlmodel.Collection, p *partition.Partitioning) func(int32) int {
+	return func(id int32) int { return p.PartOfID(c, id) }
+}
+
+func TestPSGBuildChain(t *testing.T) {
+	c := chainCollection(4, 3)
+	p := partition.NodeCapped(c, 6, nil, 1) // 2 docs per partition
+	parts := buildParts(c, p, false)
+	s := Build(c, p.CrossLinks, partOfFunc(c, p), parts, false)
+	if len(s.Nodes) == 0 {
+		t.Fatal("PSG empty despite cross links")
+	}
+	// every cross link's endpoints are PSG nodes and the link is an edge
+	for _, l := range p.CrossLinks {
+		f, ok1 := s.Index[l.From]
+		tt, ok2 := s.Index[l.To]
+		if !ok1 || !ok2 {
+			t.Fatal("cross-link endpoint missing from PSG")
+		}
+		if !s.G.HasEdge(f, tt) {
+			t.Error("cross link not a PSG edge")
+		}
+		if !s.IsSource[f] || !s.IsTarget[tt] {
+			t.Error("source/target roles wrong")
+		}
+	}
+}
+
+func TestPSGIntraEdgesRequireConnection(t *testing.T) {
+	// One partition containing a doc where the incoming link target is
+	// a LEAF — it cannot reach the outgoing link source, so no
+	// target→source edge may appear.
+	c := xmlmodel.NewCollection()
+	d0 := xmlmodel.NewDocument("", "a")
+	d0.AddElement(0, "b") // leaf 1: link source
+	c.AddDocument(d0)
+	d1 := xmlmodel.NewDocument("", "a")
+	d1.AddElement(0, "b") // leaf 1: incoming target
+	d1.AddElement(0, "c") // leaf 2: outgoing source
+	c.AddDocument(d1)
+	d2 := xmlmodel.NewDocument("", "a")
+	c.AddDocument(d2)
+	// d0/1 → d1/1 (target = leaf), d1/2 → d2/0
+	if err := c.AddLink(c.GlobalID(0, 1), c.GlobalID(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddLink(c.GlobalID(1, 2), c.GlobalID(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	p := partition.Single(c)
+	parts := buildParts(c, p, false)
+	s := Build(c, p.CrossLinks, partOfFunc(c, p), parts, false)
+	tgt := s.Index[c.GlobalID(1, 1)]
+	src := s.Index[c.GlobalID(1, 2)]
+	if s.G.HasEdge(tgt, src) {
+		t.Error("PSG has target→source edge for unconnected endpoints")
+	}
+	// and the root→child connection case: make a collection where the
+	// target is the root — edge must exist.
+	c2 := chainCollection(3, 3)
+	p2 := partition.Single(c2)
+	parts2 := buildParts(c2, p2, false)
+	s2 := Build(c2, p2.CrossLinks, partOfFunc(c2, p2), parts2, false)
+	tgt2 := s2.Index[c2.GlobalID(1, 0)] // root of doc 1, target of link 0→1
+	src2 := s2.Index[c2.GlobalID(1, 2)] // last element of doc 1, source of link 1→2
+	if !s2.G.HasEdge(tgt2, src2) {
+		t.Error("PSG missing target→source edge for connected endpoints")
+	}
+}
+
+func TestComputeHBarChain(t *testing.T) {
+	c := chainCollection(4, 3)
+	p := partition.Single(c)
+	parts := buildParts(c, p, false)
+	s := Build(c, p.CrossLinks, partOfFunc(c, p), parts, false)
+	hb := ComputeHBar(s, false)
+	// the first link source must reach all 3 downstream targets
+	src := s.Index[c.GlobalID(0, 2)]
+	if got := len(hb.OutTargets[src]); got != 3 {
+		t.Errorf("first source reaches %d targets, want 3", got)
+	}
+	// the last target reaches nothing; it must not appear as a source
+	if _, ok := hb.OutTargets[s.Index[c.GlobalID(3, 0)]]; ok {
+		t.Error("pure target has out entries")
+	}
+}
+
+// joinAndVerify builds the ground truth closure of the element graph
+// and checks a joined cover against it.
+func joinAndVerify(t *testing.T, c *xmlmodel.Collection, cov *twohop.Cover) {
+	t.Helper()
+	cl := graph.NewClosure(c.ElementGraph())
+	if err := twohop.Verify(cov, cl); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinNewChain(t *testing.T) {
+	c := chainCollection(5, 4)
+	p := partition.NodeCapped(c, 8, nil, 1)
+	parts := buildParts(c, p, false)
+	cov := JoinNew(c, p.CrossLinks, partOfFunc(c, p), parts, NewJoinOptions{})
+	joinAndVerify(t, c, cov)
+}
+
+func TestJoinNewNoCrossLinks(t *testing.T) {
+	c := chainCollection(3, 4)
+	p := partition.Whole(c)
+	parts := buildParts(c, p, false)
+	cov := JoinNew(c, nil, partOfFunc(c, p), parts, NewJoinOptions{})
+	joinAndVerify(t, c, cov)
+}
+
+func TestJoinOldChain(t *testing.T) {
+	c := chainCollection(5, 4)
+	p := partition.NodeCapped(c, 8, nil, 1)
+	parts := buildParts(c, p, false)
+	cov := JoinOld(c, p.CrossLinks, parts, false)
+	joinAndVerify(t, c, cov)
+}
+
+// Property: both joins produce correct covers on random collections
+// with arbitrary partitionings, including cyclic link structures.
+func TestJoinsRandomCorrect(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCollection(rng, 3+rng.Intn(8), 6, rng.Intn(14))
+		for _, mk := range []func() *partition.Partitioning{
+			func() *partition.Partitioning { return partition.Single(c) },
+			func() *partition.Partitioning { return partition.NodeCapped(c, 12, nil, seed) },
+			func() *partition.Partitioning { return partition.ClosureBudget(c, 80, nil, seed) },
+		} {
+			p := mk()
+			parts := buildParts(c, p, false)
+			covNew := JoinNew(c, p.CrossLinks, partOfFunc(c, p), parts, NewJoinOptions{})
+			joinAndVerify(t, c, covNew)
+			covFull := JoinNew(c, p.CrossLinks, partOfFunc(c, p), parts, NewJoinOptions{FullPSGCover: true, Seed: seed})
+			joinAndVerify(t, c, covFull)
+			covOld := JoinOld(c, p.CrossLinks, parts, false)
+			joinAndVerify(t, c, covOld)
+		}
+	}
+}
+
+// Property: distance-aware joins report exact global distances.
+func TestJoinsRandomDistanceExact(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCollection(rng, 3+rng.Intn(6), 5, rng.Intn(10))
+		dmGlobal := graph.NewDistanceMatrix(c.ElementGraph())
+		p := partition.NodeCapped(c, 10, nil, seed)
+		parts := buildParts(c, p, true)
+
+		covNew := JoinNew(c, p.CrossLinks, partOfFunc(c, p), parts, NewJoinOptions{WithDist: true})
+		if err := twohop.VerifyDistance(covNew, dmGlobal); err != nil {
+			t.Fatalf("seed %d JoinNew: %v", seed, err)
+		}
+		covFull := JoinNew(c, p.CrossLinks, partOfFunc(c, p), parts, NewJoinOptions{WithDist: true, FullPSGCover: true, Seed: seed})
+		if err := twohop.VerifyDistance(covFull, dmGlobal); err != nil {
+			t.Fatalf("seed %d JoinNew(full): %v", seed, err)
+		}
+		covOld := JoinOld(c, p.CrossLinks, parts, true)
+		if err := twohop.VerifyDistance(covOld, dmGlobal); err != nil {
+			t.Fatalf("seed %d JoinOld: %v", seed, err)
+		}
+	}
+}
+
+func TestCoverIndexAncestorsDescendants(t *testing.T) {
+	// cover for a chain 0→1→2 built by hand
+	cov := twohop.NewCover(3, false)
+	cov.AddOut(0, 1, 0) // center 1 covers (0,1) and (0,2) with Lin side below
+	cov.AddIn(2, 1, 0)
+	cov.Finish()
+	ix := NewCoverIndex(cov)
+	anc := ix.Ancestors(2)
+	if len(anc) != 3 {
+		t.Errorf("Ancestors(2) = %v, want {2,1,0}", anc)
+	}
+	desc := ix.Descendants(0)
+	if len(desc) != 3 {
+		t.Errorf("Descendants(0) = %v, want {0,1,2}", desc)
+	}
+	if got := ix.Descendants(2); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Descendants(2) = %v", got)
+	}
+}
+
+func TestIntegrateLinkCreatesConnections(t *testing.T) {
+	// two disconnected chains 0→1 and 2→3; integrate link 1→2
+	cov := twohop.NewCover(4, false)
+	cov.AddOut(0, 1, 0)
+	cov.AddIn(3, 2, 0)
+	cov.Finish()
+	ix := NewCoverIndex(cov)
+	ix.IntegrateLink(1, 2)
+	for _, pair := range [][2]int32{{0, 2}, {0, 3}, {1, 2}, {1, 3}} {
+		if !ix.Cover().Reaches(pair[0], pair[1]) {
+			t.Errorf("after integrate, %d should reach %d", pair[0], pair[1])
+		}
+	}
+	if ix.Cover().Reaches(2, 0) {
+		t.Error("phantom connection 2→0")
+	}
+}
+
+func BenchmarkJoinNewChain40(b *testing.B) {
+	c := chainCollection(40, 5)
+	p := partition.NodeCapped(c, 20, nil, 1)
+	parts := buildParts(c, p, false)
+	pof := partOfFunc(c, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		JoinNew(c, p.CrossLinks, pof, parts, NewJoinOptions{})
+	}
+}
+
+func BenchmarkJoinOldChain40(b *testing.B) {
+	c := chainCollection(40, 5)
+	p := partition.NodeCapped(c, 20, nil, 1)
+	parts := buildParts(c, p, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		JoinOld(c, p.CrossLinks, parts, false)
+	}
+}

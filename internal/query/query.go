@@ -1,0 +1,286 @@
+// Package query evaluates XPath-style path expressions with wildcards
+// over a HOPI index. This is the workload HOPI exists for (§1): //
+// steps are answered with connection-index reachability over the
+// ancestor, descendant, *and link* axes, and the distance-aware index
+// supports XXL-style ranking where matches connected by shorter paths
+// score higher (§5.1, e.g. //book//author).
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hopi/internal/core"
+	"hopi/internal/xmlmodel"
+)
+
+// Axis is the relationship between consecutive steps.
+type Axis int
+
+const (
+	// AxisChild is the parent-child tree axis (XPath "/").
+	AxisChild Axis = iota
+	// AxisDescendant is the transitive connection axis (XPath "//"),
+	// which in HOPI includes intra- and inter-document links.
+	AxisDescendant
+)
+
+// Step is one location step: an axis plus a tag test ("*" matches any
+// element).
+type Step struct {
+	Axis Axis
+	Tag  string
+}
+
+// Query is a parsed path expression.
+type Query struct {
+	Steps []Step
+	text  string
+}
+
+// String returns the original expression.
+func (q *Query) String() string { return q.text }
+
+// Parse parses expressions of the form
+//
+//	//a//b/c    /bib/book//author    //*//author
+//
+// A leading "/" anchors the first step at document roots; a leading
+// "//" matches the first tag anywhere.
+func Parse(expr string) (*Query, error) {
+	s := strings.TrimSpace(expr)
+	if s == "" {
+		return nil, fmt.Errorf("query: empty expression")
+	}
+	if !strings.HasPrefix(s, "/") {
+		return nil, fmt.Errorf("query: expression must start with / or //")
+	}
+	q := &Query{text: expr}
+	i := 0
+	for i < len(s) {
+		var axis Axis
+		if strings.HasPrefix(s[i:], "//") {
+			axis = AxisDescendant
+			i += 2
+		} else if s[i] == '/' {
+			axis = AxisChild
+			i++
+		} else {
+			return nil, fmt.Errorf("query: expected / at position %d of %q", i, expr)
+		}
+		j := i
+		for j < len(s) && s[j] != '/' {
+			j++
+		}
+		tag := s[i:j]
+		if tag == "" {
+			return nil, fmt.Errorf("query: empty step at position %d of %q", i, expr)
+		}
+		for _, r := range tag {
+			if !isNameRune(r) && tag != "*" {
+				return nil, fmt.Errorf("query: invalid tag %q in %q", tag, expr)
+			}
+		}
+		q.Steps = append(q.Steps, Step{Axis: axis, Tag: tag})
+		i = j
+	}
+	return q, nil
+}
+
+func isNameRune(r rune) bool {
+	return r == '_' || r == '-' || r == '.' ||
+		(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+}
+
+// Match is one ranked query result.
+type Match struct {
+	// Element is the global ID of the element matching the last step.
+	Element int32
+	// Score is the XXL-style connection score Π 1/(1+dist) over the
+	// steps; 1.0 means every step was a direct parent-child hop.
+	Score float64
+	// Path holds one witness element per step.
+	Path []int32
+}
+
+// Engine evaluates queries against a collection and its index.
+type Engine struct {
+	coll *xmlmodel.Collection
+	ix   *core.Index
+	tags map[string][]int32
+}
+
+// NewEngine builds a query engine; the tag index is materialized once.
+func NewEngine(coll *xmlmodel.Collection, ix *core.Index) *Engine {
+	return &Engine{coll: coll, ix: ix, tags: coll.ElementsByTag()}
+}
+
+// Refresh rebuilds the tag index after collection maintenance.
+func (e *Engine) Refresh() { e.tags = e.coll.ElementsByTag() }
+
+func (e *Engine) candidates(tag string) []int32 {
+	if tag != "*" {
+		return e.tags[tag]
+	}
+	var all []int32
+	for _, ids := range e.tags {
+		all = append(all, ids...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all
+}
+
+// isRoot reports whether the element is a document root.
+func (e *Engine) isRoot(id int32) bool {
+	_, local := e.coll.LocalID(id)
+	return local == 0
+}
+
+// parentOf returns the global tree parent, or -1 for roots.
+func (e *Engine) parentOf(id int32) int32 {
+	doc, local := e.coll.LocalID(id)
+	p := e.coll.Docs[doc].Elements[local].Parent
+	if p < 0 {
+		return -1
+	}
+	return e.coll.GlobalID(doc, p)
+}
+
+// Eval returns the sorted global IDs of elements matching the last
+// step of the query.
+func (e *Engine) Eval(q *Query) []int32 {
+	frontier := e.initialFrontier(q)
+	for si := 1; si < len(q.Steps); si++ {
+		if len(frontier) == 0 {
+			return nil
+		}
+		frontier = e.advance(frontier, q.Steps[si])
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	return frontier
+}
+
+func (e *Engine) initialFrontier(q *Query) []int32 {
+	first := q.Steps[0]
+	cands := e.candidates(first.Tag)
+	var out []int32
+	for _, id := range cands {
+		if first.Axis == AxisChild && !e.isRoot(id) {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+func (e *Engine) advance(frontier []int32, step Step) []int32 {
+	cands := e.candidates(step.Tag)
+	if step.Axis == AxisChild {
+		inFrontier := map[int32]bool{}
+		for _, f := range frontier {
+			inFrontier[f] = true
+		}
+		var out []int32
+		for _, c := range cands {
+			if p := e.parentOf(c); p >= 0 && inFrontier[p] {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	// Descendant axis: pick the cheaper of (a) expanding the frontier's
+	// descendant sets and intersecting with the candidates, or (b)
+	// testing each (frontier, candidate) pair with the index.
+	if len(frontier)*8 < len(cands) {
+		candSet := map[int32]bool{}
+		for _, c := range cands {
+			candSet[c] = true
+		}
+		seen := map[int32]bool{}
+		var out []int32
+		for _, f := range frontier {
+			for _, d := range e.ix.Descendants(f) {
+				if d != f && candSet[d] && !seen[d] {
+					seen[d] = true
+					out = append(out, d)
+				}
+			}
+		}
+		return out
+	}
+	var out []int32
+	for _, c := range cands {
+		for _, f := range frontier {
+			if c != f && e.ix.Reaches(f, c) {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// EvalRanked evaluates the query and ranks matches by connection
+// length: each step contributes 1/(1+dist). The index must carry
+// distance information. Results are sorted by descending score, ties
+// by element ID.
+func (e *Engine) EvalRanked(q *Query) ([]Match, error) {
+	type state struct {
+		score float64
+		path  []int32
+	}
+	frontier := map[int32]state{}
+	for _, id := range e.initialFrontier(q) {
+		frontier[id] = state{score: 1, path: []int32{id}}
+	}
+	for si := 1; si < len(q.Steps); si++ {
+		step := q.Steps[si]
+		next := map[int32]state{}
+		for _, c := range e.candidates(step.Tag) {
+			best := state{score: -1}
+			for f, st := range frontier {
+				if c == f {
+					continue
+				}
+				var d uint32
+				if step.Axis == AxisChild {
+					if e.parentOf(c) != f {
+						continue
+					}
+					d = 1
+				} else {
+					dist, err := e.ix.Distance(f, c)
+					if err != nil {
+						return nil, err
+					}
+					if dist == ^uint32(0) || dist == 0 {
+						continue
+					}
+					d = dist
+				}
+				if s := st.score / float64(1+d); s > best.score {
+					best = state{score: s, path: append(append([]int32(nil), st.path...), c)}
+				}
+			}
+			if best.score > 0 {
+				next[c] = best
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	out := make([]Match, 0, len(frontier))
+	for id, st := range frontier {
+		out = append(out, Match{Element: id, Score: st.score, Path: st.path})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Element < out[j].Element
+	})
+	return out, nil
+}

@@ -1,0 +1,216 @@
+package query
+
+import (
+	"testing"
+
+	"hopi/internal/core"
+	"hopi/internal/xmlmodel"
+)
+
+// library builds a small bibliographic collection:
+//
+//	b1.xml: <bib><book><title/><author id=a1/></book></bib>
+//	b2.xml: <bib><book><title/><editor><author/></editor></book>
+//	        <cite href=b1#a1/></bib>
+//	p1.xml: <paper><author/><cite href=b2root/></paper>
+func library(t *testing.T) (*xmlmodel.Collection, *core.Index) {
+	t.Helper()
+	c := xmlmodel.NewCollection()
+
+	b1 := xmlmodel.NewDocument("b1.xml", "bib")
+	book1 := b1.AddElement(0, "book")
+	b1.AddElement(book1, "title")
+	a1 := b1.AddElement(book1, "author")
+	c.AddDocument(b1)
+
+	b2 := xmlmodel.NewDocument("b2.xml", "bib")
+	book2 := b2.AddElement(0, "book")
+	b2.AddElement(book2, "title")
+	ed := b2.AddElement(book2, "editor")
+	b2.AddElement(ed, "author")
+	cite2 := b2.AddElement(0, "cite")
+	c.AddDocument(b2)
+
+	p1 := xmlmodel.NewDocument("p1.xml", "paper")
+	p1.AddElement(0, "author")
+	cp := p1.AddElement(0, "cite")
+	c.AddDocument(p1)
+
+	// links: b2's cite → b1's author a1; p1's cite → b2's root
+	if err := c.AddLink(c.GlobalID(1, cite2), c.GlobalID(0, a1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddLink(c.GlobalID(2, cp), c.GlobalID(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.Build(c, core.Options{
+		Partitioner: core.PartSingle, Join: core.JoinNewHBar, WithDistance: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ix
+}
+
+func TestParse(t *testing.T) {
+	q, err := Parse("//bib//author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Steps) != 2 || q.Steps[0].Axis != AxisDescendant || q.Steps[1].Tag != "author" {
+		t.Fatalf("steps = %+v", q.Steps)
+	}
+	q2, err := Parse("/bib/book//author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q2.Steps) != 3 || q2.Steps[0].Axis != AxisChild || q2.Steps[2].Axis != AxisDescendant {
+		t.Fatalf("steps = %+v", q2.Steps)
+	}
+	if _, err := Parse(""); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := Parse("book"); err == nil {
+		t.Error("missing leading slash accepted")
+	}
+	if _, err := Parse("//a///b"); err == nil {
+		t.Error("empty step accepted")
+	}
+	if _, err := Parse("//a[1]"); err == nil {
+		t.Error("invalid tag accepted")
+	}
+}
+
+func TestEvalChildAxis(t *testing.T) {
+	c, ix := library(t)
+	e := NewEngine(c, ix)
+	q, _ := Parse("/bib/book/title")
+	got := e.Eval(q)
+	if len(got) != 2 {
+		t.Fatalf("got %v, want both titles", got)
+	}
+	for _, id := range got {
+		if c.Tag(id) != "title" {
+			t.Errorf("non-title result %d", id)
+		}
+	}
+}
+
+func TestEvalDescendantWithinDocs(t *testing.T) {
+	c, ix := library(t)
+	e := NewEngine(c, ix)
+	q, _ := Parse("//book//author")
+	got := e.Eval(q)
+	// b1's author (direct child), b2's author (under editor), and —
+	// crucially — b1's author again via b2's cite link (already
+	// counted once). So the two author elements of the bib docs.
+	if len(got) != 2 {
+		t.Fatalf("//book//author = %v, want 2 authors", got)
+	}
+}
+
+func TestEvalCrossDocumentLinks(t *testing.T) {
+	c, ix := library(t)
+	e := NewEngine(c, ix)
+	// paper → (via cite link) bib → ... → author: only reachable
+	// because // follows links.
+	q, _ := Parse("//paper//author")
+	got := e.Eval(q)
+	if len(got) != 3 {
+		t.Fatalf("//paper//author = %v, want 3 (own + 2 via links)", got)
+	}
+	// child axis must NOT follow links
+	q2, _ := Parse("/paper/author")
+	got2 := e.Eval(q2)
+	if len(got2) != 1 {
+		t.Fatalf("/paper/author = %v, want only the direct child", got2)
+	}
+}
+
+func TestEvalWildcard(t *testing.T) {
+	c, ix := library(t)
+	e := NewEngine(c, ix)
+	q, _ := Parse("//book/*")
+	got := e.Eval(q)
+	// children of books: title, author (b1), title, editor (b2)
+	if len(got) != 4 {
+		t.Fatalf("//book/* = %v, want 4", got)
+	}
+}
+
+func TestEvalNoMatches(t *testing.T) {
+	c, ix := library(t)
+	e := NewEngine(c, ix)
+	q, _ := Parse("//nosuchtag//author")
+	if got := e.Eval(q); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEvalRankedPrefersShortConnections(t *testing.T) {
+	c, ix := library(t)
+	e := NewEngine(c, ix)
+	q, _ := Parse("//book//author")
+	matches, err := e.EvalRanked(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("matches = %+v", matches)
+	}
+	// b1's author is a direct child of its book (dist 1); b2's author
+	// sits under an editor (dist 2). The direct child must rank first.
+	first := matches[0]
+	doc, _ := c.LocalID(first.Element)
+	if c.Docs[doc].Name != "b1.xml" {
+		t.Errorf("expected b1's direct author first, got doc %s score %f",
+			c.Docs[doc].Name, first.Score)
+	}
+	if matches[0].Score <= matches[1].Score {
+		t.Errorf("scores not ordered: %f vs %f", matches[0].Score, matches[1].Score)
+	}
+	if len(first.Path) != 2 {
+		t.Errorf("witness path = %v", first.Path)
+	}
+}
+
+func TestEvalRankedScoresAreConnectionBased(t *testing.T) {
+	c, ix := library(t)
+	e := NewEngine(c, ix)
+	q, _ := Parse("//paper//author")
+	matches, err := e.EvalRanked(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 3 {
+		t.Fatalf("matches = %+v", matches)
+	}
+	// own author: dist 1 → 1/2; link-reached authors are farther.
+	if matches[0].Score != 0.5 {
+		t.Errorf("top score = %f, want 0.5", matches[0].Score)
+	}
+	for _, m := range matches[1:] {
+		if m.Score >= matches[0].Score {
+			t.Errorf("link-reached author outranks direct author: %+v", m)
+		}
+	}
+}
+
+func TestEngineRefresh(t *testing.T) {
+	c, ix := library(t)
+	e := NewEngine(c, ix)
+	nd := xmlmodel.NewDocument("b3.xml", "bib")
+	book := nd.AddElement(0, "book")
+	nd.AddElement(book, "author")
+	if _, err := ix.InsertDocument(nd); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := Parse("//book//author")
+	if got := e.Eval(q); len(got) != 2 {
+		t.Fatalf("stale engine should still see 2, got %v", got)
+	}
+	e.Refresh()
+	if got := e.Eval(q); len(got) != 3 {
+		t.Fatalf("after refresh want 3, got %v", got)
+	}
+}

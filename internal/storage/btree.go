@@ -1,0 +1,451 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// B+tree page layout (little endian):
+//
+//	offset 0: page type (1 = leaf, 2 = internal)
+//	offset 2: entry count (uint16)
+//	offset 4: leaf → next-leaf PageID; internal → leftmost child PageID
+//	offset 8: entries, entrySize bytes each
+//	          leaf:     key uint64, value uint32
+//	          internal: key uint64, child PageID (subtree with keys ≥ key)
+//
+// Keys are (hi,lo) uint32 pairs packed into a uint64, which realizes
+// the paper's composite indexes on (ID, INID) / (INID, ID) etc.
+const (
+	pageLeaf     = 1
+	pageInternal = 2
+
+	hdrType  = 0
+	hdrCount = 2
+	hdrLink  = 4
+	hdrSize  = 8
+
+	entrySize  = 12
+	maxEntries = (PageSize - hdrSize) / entrySize
+)
+
+// Key packs a composite (hi, lo) key.
+func Key(hi, lo uint32) uint64 { return uint64(hi)<<32 | uint64(lo) }
+
+// KeyParts unpacks a composite key.
+func KeyParts(k uint64) (hi, lo uint32) { return uint32(k >> 32), uint32(k) }
+
+// BTree is a disk-backed B+tree of (uint64 key → uint32 value) entries
+// with linked leaves for range scans.
+//
+// Deletions remove entries from leaves without rebalancing; pages may
+// become underfull over time, mirroring HOPI's maintenance story where
+// "the space efficiency ... may degrade [and] occasional rebuilds of
+// the index may be considered" (§6). BulkLoad rebuilds a compact tree.
+type BTree struct {
+	bp   *BufferPool
+	root PageID
+	size int64
+}
+
+// NewBTree creates an empty tree (allocating its root leaf).
+func NewBTree(bp *BufferPool) (*BTree, error) {
+	f, err := bp.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	initPage(f.Data, pageLeaf)
+	f.MarkDirty()
+	f.Release()
+	return &BTree{bp: bp, root: f.ID}, nil
+}
+
+// OpenBTree attaches to an existing tree.
+func OpenBTree(bp *BufferPool, root PageID, size int64) *BTree {
+	return &BTree{bp: bp, root: root, size: size}
+}
+
+// Root returns the root page id (persisted in the store header).
+func (t *BTree) Root() PageID { return t.root }
+
+// Len returns the number of entries.
+func (t *BTree) Len() int64 { return t.size }
+
+func initPage(data []byte, typ byte) {
+	for i := range data[:hdrSize] {
+		data[i] = 0
+	}
+	data[hdrType] = typ
+}
+
+func pageType(data []byte) byte { return data[hdrType] }
+func pageCount(data []byte) int { return int(binary.LittleEndian.Uint16(data[hdrCount:])) }
+func setPageCount(data []byte, n int) {
+	binary.LittleEndian.PutUint16(data[hdrCount:], uint16(n))
+}
+func pageLink(data []byte) PageID { return PageID(binary.LittleEndian.Uint32(data[hdrLink:])) }
+func setPageLink(data []byte, id PageID) {
+	binary.LittleEndian.PutUint32(data[hdrLink:], uint32(id))
+}
+
+func entryKey(data []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(data[hdrSize+i*entrySize:])
+}
+func entryVal(data []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(data[hdrSize+i*entrySize+8:])
+}
+func setEntry(data []byte, i int, key uint64, val uint32) {
+	binary.LittleEndian.PutUint64(data[hdrSize+i*entrySize:], key)
+	binary.LittleEndian.PutUint32(data[hdrSize+i*entrySize+8:], val)
+}
+
+// insertAt shifts entries right and writes the new entry at slot i.
+func insertAt(data []byte, i int, key uint64, val uint32) {
+	n := pageCount(data)
+	copy(data[hdrSize+(i+1)*entrySize:hdrSize+(n+1)*entrySize], data[hdrSize+i*entrySize:hdrSize+n*entrySize])
+	setEntry(data, i, key, val)
+	setPageCount(data, n+1)
+}
+
+// removeAt deletes slot i.
+func removeAt(data []byte, i int) {
+	n := pageCount(data)
+	copy(data[hdrSize+i*entrySize:], data[hdrSize+(i+1)*entrySize:hdrSize+n*entrySize])
+	setPageCount(data, n-1)
+}
+
+// search returns the first slot with key ≥ target.
+func search(data []byte, target uint64) int {
+	lo, hi := 0, pageCount(data)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if entryKey(data, mid) < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childFor returns the page to descend into for target.
+func childFor(data []byte, target uint64) PageID {
+	// entries are (key_i, child_i) with child_i holding keys ≥ key_i;
+	// the leftmost child (hdrLink) holds keys < key_0.
+	i := search(data, target)
+	if i < pageCount(data) && entryKey(data, i) == target {
+		return PageID(entryVal(data, i))
+	}
+	if i == 0 {
+		return pageLink(data)
+	}
+	return PageID(entryVal(data, i-1))
+}
+
+// Get returns the value stored for key.
+func (t *BTree) Get(key uint64) (uint32, bool, error) {
+	id := t.root
+	for {
+		f, err := t.bp.Get(id)
+		if err != nil {
+			return 0, false, err
+		}
+		if pageType(f.Data) == pageInternal {
+			id = childFor(f.Data, key)
+			f.Release()
+			continue
+		}
+		i := search(f.Data, key)
+		if i < pageCount(f.Data) && entryKey(f.Data, i) == key {
+			v := entryVal(f.Data, i)
+			f.Release()
+			return v, true, nil
+		}
+		f.Release()
+		return 0, false, nil
+	}
+}
+
+// Insert stores key→val, overwriting any existing value. It reports
+// whether a new entry was created.
+func (t *BTree) Insert(key uint64, val uint32) (bool, error) {
+	promoted, right, added, err := t.insertRec(t.root, key, val)
+	if err != nil {
+		return false, err
+	}
+	if right != InvalidPage {
+		// grow a new root
+		nf, err := t.bp.Allocate()
+		if err != nil {
+			return false, err
+		}
+		initPage(nf.Data, pageInternal)
+		setPageLink(nf.Data, t.root)
+		insertAt(nf.Data, 0, promoted, uint32(right))
+		nf.MarkDirty()
+		t.root = nf.ID
+		nf.Release()
+	}
+	if added {
+		t.size++
+	}
+	return added, nil
+}
+
+func (t *BTree) insertRec(id PageID, key uint64, val uint32) (promoted uint64, right PageID, added bool, err error) {
+	f, err := t.bp.Get(id)
+	if err != nil {
+		return 0, InvalidPage, false, err
+	}
+	defer f.Release()
+	if pageType(f.Data) == pageInternal {
+		child := childFor(f.Data, key)
+		cp, cr, cAdded, err := t.insertRec(child, key, val)
+		if err != nil {
+			return 0, InvalidPage, false, err
+		}
+		if cr == InvalidPage {
+			return 0, InvalidPage, cAdded, nil
+		}
+		// insert separator (cp → cr) here
+		i := search(f.Data, cp)
+		insertAt(f.Data, i, cp, uint32(cr))
+		f.MarkDirty()
+		if pageCount(f.Data) <= maxEntries-1 {
+			return 0, InvalidPage, cAdded, nil
+		}
+		// split internal node: middle key moves up
+		n := pageCount(f.Data)
+		mid := n / 2
+		midKey := entryKey(f.Data, mid)
+		rf, err := t.bp.Allocate()
+		if err != nil {
+			return 0, InvalidPage, false, err
+		}
+		initPage(rf.Data, pageInternal)
+		setPageLink(rf.Data, PageID(entryVal(f.Data, mid)))
+		for j := mid + 1; j < n; j++ {
+			insertAt(rf.Data, pageCount(rf.Data), entryKey(f.Data, j), entryVal(f.Data, j))
+		}
+		setPageCount(f.Data, mid)
+		rf.MarkDirty()
+		rid := rf.ID
+		rf.Release()
+		return midKey, rid, cAdded, nil
+	}
+	// leaf
+	i := search(f.Data, key)
+	if i < pageCount(f.Data) && entryKey(f.Data, i) == key {
+		setEntry(f.Data, i, key, val)
+		f.MarkDirty()
+		return 0, InvalidPage, false, nil
+	}
+	insertAt(f.Data, i, key, val)
+	f.MarkDirty()
+	if pageCount(f.Data) <= maxEntries-1 {
+		return 0, InvalidPage, true, nil
+	}
+	// split leaf: right half moves to a new page linked after this one
+	n := pageCount(f.Data)
+	mid := n / 2
+	rf, err := t.bp.Allocate()
+	if err != nil {
+		return 0, InvalidPage, false, err
+	}
+	initPage(rf.Data, pageLeaf)
+	for j := mid; j < n; j++ {
+		insertAt(rf.Data, pageCount(rf.Data), entryKey(f.Data, j), entryVal(f.Data, j))
+	}
+	setPageLink(rf.Data, pageLink(f.Data))
+	setPageLink(f.Data, rf.ID)
+	setPageCount(f.Data, mid)
+	rf.MarkDirty()
+	sep := entryKey(rf.Data, 0)
+	rid := rf.ID
+	rf.Release()
+	return sep, rid, true, nil
+}
+
+// Delete removes key if present. Leaves are allowed to become
+// underfull (see the type comment).
+func (t *BTree) Delete(key uint64) (bool, error) {
+	id := t.root
+	for {
+		f, err := t.bp.Get(id)
+		if err != nil {
+			return false, err
+		}
+		if pageType(f.Data) == pageInternal {
+			id = childFor(f.Data, key)
+			f.Release()
+			continue
+		}
+		i := search(f.Data, key)
+		if i < pageCount(f.Data) && entryKey(f.Data, i) == key {
+			removeAt(f.Data, i)
+			f.MarkDirty()
+			f.Release()
+			t.size--
+			return true, nil
+		}
+		f.Release()
+		return false, nil
+	}
+}
+
+// ScanFrom visits entries with key ≥ start in ascending order until fn
+// returns false.
+func (t *BTree) ScanFrom(start uint64, fn func(key uint64, val uint32) bool) error {
+	id := t.root
+	for {
+		f, err := t.bp.Get(id)
+		if err != nil {
+			return err
+		}
+		if pageType(f.Data) == pageInternal {
+			id = childFor(f.Data, start)
+			f.Release()
+			continue
+		}
+		// walk the leaf chain
+		i := search(f.Data, start)
+		for {
+			n := pageCount(f.Data)
+			for ; i < n; i++ {
+				if !fn(entryKey(f.Data, i), entryVal(f.Data, i)) {
+					f.Release()
+					return nil
+				}
+			}
+			next := pageLink(f.Data)
+			f.Release()
+			if next == InvalidPage {
+				return nil
+			}
+			f, err = t.bp.Get(next)
+			if err != nil {
+				return err
+			}
+			i = 0
+		}
+	}
+}
+
+// ScanPrefix visits all entries whose high key half equals hi, in
+// ascending low-half order — a forward-index range scan on (hi, *).
+func (t *BTree) ScanPrefix(hi uint32, fn func(lo uint32, val uint32) bool) error {
+	return t.ScanFrom(Key(hi, 0), func(key uint64, val uint32) bool {
+		h, lo := KeyParts(key)
+		if h != hi {
+			return false
+		}
+		return fn(lo, val)
+	})
+}
+
+// BulkLoad builds a compact tree from ascending (key, val) pairs,
+// replacing the tree's current contents. next() returns ok=false at
+// the end of the stream.
+func (t *BTree) BulkLoad(next func() (key uint64, val uint32, ok bool)) error {
+	const leafFill = maxEntries * 3 / 4 // leave headroom for future inserts
+	type levelEntry struct {
+		key   uint64
+		child PageID
+	}
+	var (
+		leaves   []levelEntry // first key + page of each sealed leaf
+		cur      *Frame
+		prevLeaf PageID
+		count    int64
+		lastKey  uint64
+		haveLast bool
+	)
+	seal := func() error {
+		if cur == nil {
+			return nil
+		}
+		cur.MarkDirty()
+		cur.Release()
+		cur = nil
+		return nil
+	}
+	for {
+		key, val, ok := next()
+		if !ok {
+			break
+		}
+		if haveLast && key <= lastKey {
+			return fmt.Errorf("storage: BulkLoad input not strictly ascending at %d", key)
+		}
+		lastKey, haveLast = key, true
+		if cur != nil && pageCount(cur.Data) >= leafFill {
+			if err := seal(); err != nil {
+				return err
+			}
+		}
+		if cur == nil {
+			f, err := t.bp.Allocate()
+			if err != nil {
+				return err
+			}
+			initPage(f.Data, pageLeaf)
+			if prevLeaf != InvalidPage {
+				pf, err := t.bp.Get(prevLeaf)
+				if err != nil {
+					f.Release()
+					return err
+				}
+				setPageLink(pf.Data, f.ID)
+				pf.MarkDirty()
+				pf.Release()
+			}
+			prevLeaf = f.ID
+			leaves = append(leaves, levelEntry{key: key, child: f.ID})
+			cur = f
+		}
+		insertAt(cur.Data, pageCount(cur.Data), key, val)
+		count++
+	}
+	if err := seal(); err != nil {
+		return err
+	}
+	if len(leaves) == 0 {
+		// empty tree: fresh root leaf
+		f, err := t.bp.Allocate()
+		if err != nil {
+			return err
+		}
+		initPage(f.Data, pageLeaf)
+		f.MarkDirty()
+		t.root = f.ID
+		f.Release()
+		t.size = 0
+		return nil
+	}
+	// build internal levels bottom-up
+	level := leaves
+	for len(level) > 1 {
+		var up []levelEntry
+		for i := 0; i < len(level); {
+			f, err := t.bp.Allocate()
+			if err != nil {
+				return err
+			}
+			initPage(f.Data, pageInternal)
+			setPageLink(f.Data, level[i].child)
+			first := level[i].key
+			i++
+			for i < len(level) && pageCount(f.Data) < leafFill {
+				insertAt(f.Data, pageCount(f.Data), level[i].key, uint32(level[i].child))
+				i++
+			}
+			f.MarkDirty()
+			up = append(up, levelEntry{key: first, child: f.ID})
+			f.Release()
+		}
+		level = up
+	}
+	t.root = level[0].child
+	t.size = count
+	return nil
+}

@@ -1,0 +1,276 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func newTestTree(t testing.TB, poolPages int) *BTree {
+	t.Helper()
+	bp := NewBufferPool(NewMemPager(), poolPages)
+	tree, err := NewBTree(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestBTreeBasic(t *testing.T) {
+	tree := newTestTree(t, 64)
+	if _, ok, _ := tree.Get(Key(1, 2)); ok {
+		t.Fatal("empty tree has a key")
+	}
+	added, err := tree.Insert(Key(1, 2), 7)
+	if err != nil || !added {
+		t.Fatalf("insert: added=%v err=%v", added, err)
+	}
+	v, ok, err := tree.Get(Key(1, 2))
+	if err != nil || !ok || v != 7 {
+		t.Fatalf("get: %v %v %v", v, ok, err)
+	}
+	// overwrite
+	added, _ = tree.Insert(Key(1, 2), 9)
+	if added {
+		t.Error("overwrite reported as new")
+	}
+	v, _, _ = tree.Get(Key(1, 2))
+	if v != 9 {
+		t.Errorf("overwrite lost: %d", v)
+	}
+	if tree.Len() != 1 {
+		t.Errorf("Len = %d", tree.Len())
+	}
+	removed, _ := tree.Delete(Key(1, 2))
+	if !removed || tree.Len() != 0 {
+		t.Error("delete failed")
+	}
+	removed, _ = tree.Delete(Key(1, 2))
+	if removed {
+		t.Error("double delete")
+	}
+}
+
+func TestBTreeSplitsManyKeys(t *testing.T) {
+	tree := newTestTree(t, 64)
+	const n = 20000 // forces multiple levels (leaf cap 340)
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		if _, err := tree.Insert(uint64(k), uint32(k*3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Len() != n {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := tree.Get(uint64(i))
+		if err != nil || !ok || v != uint32(i*3) {
+			t.Fatalf("Get(%d) = %v %v %v", i, v, ok, err)
+		}
+	}
+	// full scan is sorted and complete
+	prev := int64(-1)
+	count := 0
+	err := tree.ScanFrom(0, func(k uint64, v uint32) bool {
+		if int64(k) <= prev {
+			t.Fatalf("scan out of order at %d", k)
+		}
+		prev = int64(k)
+		count++
+		return true
+	})
+	if err != nil || count != n {
+		t.Fatalf("scan count = %d err=%v", count, err)
+	}
+}
+
+func TestBTreeScanPrefix(t *testing.T) {
+	tree := newTestTree(t, 64)
+	for hi := uint32(0); hi < 5; hi++ {
+		for lo := uint32(0); lo < 100; lo++ {
+			if _, err := tree.Insert(Key(hi, lo*2), hi+lo); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var got []uint32
+	if err := tree.ScanPrefix(3, func(lo, v uint32) bool {
+		got = append(got, lo)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 || got[0] != 0 || got[99] != 198 {
+		t.Fatalf("prefix scan: len=%d first=%d last=%d", len(got), got[0], got[len(got)-1])
+	}
+	// early stop
+	n := 0
+	tree.ScanPrefix(3, func(lo, v uint32) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
+	}
+	// empty prefix
+	n = 0
+	tree.ScanPrefix(9, func(lo, v uint32) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("phantom prefix entries: %d", n)
+	}
+}
+
+func TestBTreeTinyBufferPool(t *testing.T) {
+	// The pool must spill and reload pages correctly under pressure.
+	tree := newTestTree(t, 4)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if _, err := tree.Insert(uint64(i), uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 97 {
+		v, ok, err := tree.Get(uint64(i))
+		if err != nil || !ok || v != uint32(i) {
+			t.Fatalf("Get(%d) under pressure: %v %v %v", i, v, ok, err)
+		}
+	}
+}
+
+// Property: BTree behaves like a map under random insert/delete/get.
+func TestBTreeQuickVsMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := newTestTree(t, 32)
+		model := map[uint64]uint32{}
+		for op := 0; op < 800; op++ {
+			k := uint64(rng.Intn(500))
+			switch rng.Intn(3) {
+			case 0:
+				v := uint32(rng.Intn(1000))
+				tree.Insert(k, v)
+				model[k] = v
+			case 1:
+				tree.Delete(k)
+				delete(model, k)
+			default:
+				v, ok, _ := tree.Get(k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			}
+		}
+		if tree.Len() != int64(len(model)) {
+			return false
+		}
+		// final scan equals sorted model
+		var keys []uint64
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		i := 0
+		okScan := true
+		tree.ScanFrom(0, func(k uint64, v uint32) bool {
+			if i >= len(keys) || keys[i] != k || model[k] != v {
+				okScan = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okScan && i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeBulkLoad(t *testing.T) {
+	tree := newTestTree(t, 64)
+	const n = 3000
+	i := 0
+	err := tree.BulkLoad(func() (uint64, uint32, bool) {
+		if i >= n {
+			return 0, 0, false
+		}
+		k := uint64(i * 5)
+		i++
+		return k, uint32(k + 1), true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != n {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	for j := 0; j < n; j += 13 {
+		v, ok, err := tree.Get(uint64(j * 5))
+		if err != nil || !ok || v != uint32(j*5+1) {
+			t.Fatalf("Get(%d): %v %v %v", j*5, v, ok, err)
+		}
+	}
+	if _, ok, _ := tree.Get(3); ok {
+		t.Error("phantom key")
+	}
+	// inserts still work after a bulk load
+	if _, err := tree.Insert(3, 99); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := tree.Get(3)
+	if !ok || v != 99 {
+		t.Error("insert after bulk load failed")
+	}
+}
+
+func TestBTreeBulkLoadRejectsUnsorted(t *testing.T) {
+	tree := newTestTree(t, 64)
+	vals := []uint64{1, 5, 3}
+	i := 0
+	err := tree.BulkLoad(func() (uint64, uint32, bool) {
+		if i >= len(vals) {
+			return 0, 0, false
+		}
+		v := vals[i]
+		i++
+		return v, 0, true
+	})
+	if err == nil {
+		t.Error("unsorted bulk load accepted")
+	}
+}
+
+func TestBTreeBulkLoadEmpty(t *testing.T) {
+	tree := newTestTree(t, 16)
+	if err := tree.BulkLoad(func() (uint64, uint32, bool) { return 0, 0, false }); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 0 {
+		t.Error("empty bulk load not empty")
+	}
+	n := 0
+	tree.ScanFrom(0, func(uint64, uint32) bool { n++; return true })
+	if n != 0 {
+		t.Error("phantom entries")
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	tree := newTestTree(b, 256)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Insert(uint64(rng.Int63()), 1)
+	}
+}
+
+func BenchmarkBTreeGet(b *testing.B) {
+	tree := newTestTree(b, 256)
+	for i := 0; i < 100000; i++ {
+		tree.Insert(uint64(i), uint32(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Get(uint64(i % 100000))
+	}
+}

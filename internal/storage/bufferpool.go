@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Frame is a pinned page in the buffer pool. Callers read and write
+// Data directly, call MarkDirty after modifications, and Release when
+// done; a pinned frame is never evicted.
+//
+// Concurrency: the pool's internal state (frame table, LRU, pin
+// counts) is synchronized, so multiple readers may Get/Release frames
+// in parallel. The Data bytes themselves are not synchronized — writers
+// must hold an exclusive lock above the pool (CoverStore does).
+type Frame struct {
+	ID    PageID
+	Data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element
+	pool  *BufferPool
+}
+
+// MarkDirty records that the frame must be written back on eviction or
+// flush.
+func (f *Frame) MarkDirty() { f.dirty = true }
+
+// Release unpins the frame; it must be balanced with the Get/Allocate
+// that pinned it.
+func (f *Frame) Release() {
+	f.pool.mu.Lock()
+	defer f.pool.mu.Unlock()
+	if f.pins <= 0 {
+		panic("storage: release of unpinned frame")
+	}
+	f.pins--
+}
+
+// PoolStats reports buffer pool effectiveness.
+type PoolStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// BufferPool caches pages with LRU replacement and pin counting — the
+// in-memory half of the "database-backed index structure" of §3.4.
+type BufferPool struct {
+	mu     sync.Mutex
+	pager  Pager
+	cap    int
+	frames map[PageID]*Frame
+	lru    *list.List // front = most recently used; values are *Frame
+	stats  PoolStats
+}
+
+// NewBufferPool wraps a pager with a cache of capacity pages.
+func NewBufferPool(p Pager, capacity int) *BufferPool {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &BufferPool{pager: p, cap: capacity, frames: map[PageID]*Frame{}, lru: list.New()}
+}
+
+// Stats returns cache counters.
+func (bp *BufferPool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// Get pins the page, loading it from the pager on a miss.
+func (bp *BufferPool) Get(id PageID) (*Frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		f.pins++
+		bp.lru.MoveToFront(f.elem)
+		return f, nil
+	}
+	bp.stats.Misses++
+	if err := bp.ensureRoomLocked(); err != nil {
+		return nil, err
+	}
+	f := &Frame{ID: id, Data: make([]byte, PageSize), pins: 1, pool: bp}
+	if err := bp.pager.ReadPage(id, f.Data); err != nil {
+		return nil, err
+	}
+	f.elem = bp.lru.PushFront(f)
+	bp.frames[id] = f
+	return f, nil
+}
+
+// Allocate creates a new page and returns it pinned.
+func (bp *BufferPool) Allocate() (*Frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	id, err := bp.pager.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.ensureRoomLocked(); err != nil {
+		return nil, err
+	}
+	f := &Frame{ID: id, Data: make([]byte, PageSize), pins: 1, dirty: true, pool: bp}
+	f.elem = bp.lru.PushFront(f)
+	bp.frames[id] = f
+	return f, nil
+}
+
+// ensureRoomLocked evicts the least recently used unpinned frame if the
+// pool is full. Callers hold bp.mu.
+func (bp *BufferPool) ensureRoomLocked() error {
+	if len(bp.frames) < bp.cap {
+		return nil
+	}
+	for e := bp.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*Frame)
+		if f.pins > 0 {
+			continue
+		}
+		if f.dirty {
+			if err := bp.pager.WritePage(f.ID, f.Data); err != nil {
+				return err
+			}
+		}
+		bp.lru.Remove(e)
+		delete(bp.frames, f.ID)
+		bp.stats.Evictions++
+		return nil
+	}
+	return fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", len(bp.frames))
+}
+
+// FlushAll writes back every dirty frame and syncs the pager.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if f.dirty {
+			if err := bp.pager.WritePage(f.ID, f.Data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return bp.pager.Sync()
+}

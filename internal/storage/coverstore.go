@@ -1,0 +1,519 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hopi/internal/graph"
+	"hopi/internal/twohop"
+)
+
+// CoverStore persists a 2-hop cover the way §3.4 deploys HOPI in a
+// database: index-organized tables LIN(ID, INID, DIST) and
+// LOUT(ID, OUTID, DIST), each with a forward index on (ID, other) and
+// a backward index on (other, ID). Reachability and distance queries
+// are the paper's SQL statements translated to composite-index scans:
+//
+//	SELECT COUNT(*) FROM LIN, LOUT
+//	 WHERE LOUT.ID=ID1 AND LIN.ID=ID2 AND LOUT.OUTID=LIN.INID
+//
+//	SELECT MIN(LOUT.DIST + LIN.DIST) FROM LIN, LOUT WHERE ...
+//
+// plus the "simple additional queries" for the implicit self entries.
+type CoverStore struct {
+	mu sync.RWMutex
+
+	bp    *BufferPool
+	pager Pager
+
+	linFwd  *BTree // (id, inid) → dist
+	linBwd  *BTree // (inid, id) → dist
+	loutFwd *BTree // (id, outid) → dist
+	loutBwd *BTree // (outid, id) → dist
+
+	withDist bool
+	numNodes uint32
+}
+
+const (
+	storeMagic   = 0x484F5049 // "HOPI"
+	storeVersion = 1
+)
+
+// CreateCoverStore initializes an empty store on the pager with room
+// for n node IDs.
+func CreateCoverStore(p Pager, poolPages int, n int, withDist bool) (*CoverStore, error) {
+	bp := NewBufferPool(p, poolPages)
+	s := &CoverStore{bp: bp, pager: p, withDist: withDist, numNodes: uint32(n)}
+	var err error
+	if s.linFwd, err = NewBTree(bp); err != nil {
+		return nil, err
+	}
+	if s.linBwd, err = NewBTree(bp); err != nil {
+		return nil, err
+	}
+	if s.loutFwd, err = NewBTree(bp); err != nil {
+		return nil, err
+	}
+	if s.loutBwd, err = NewBTree(bp); err != nil {
+		return nil, err
+	}
+	if err := s.writeHeader(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenCoverStore attaches to an existing store.
+func OpenCoverStore(p Pager, poolPages int) (*CoverStore, error) {
+	bp := NewBufferPool(p, poolPages)
+	s := &CoverStore{bp: bp, pager: p}
+	f, err := bp.Get(0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Release()
+	d := f.Data
+	if binary.LittleEndian.Uint32(d[0:]) != storeMagic {
+		return nil, fmt.Errorf("storage: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(d[4:]); v != storeVersion {
+		return nil, fmt.Errorf("storage: unsupported version %d", v)
+	}
+	s.withDist = d[8] == 1
+	s.numNodes = binary.LittleEndian.Uint32(d[12:])
+	roots := make([]PageID, 4)
+	sizes := make([]int64, 4)
+	for i := 0; i < 4; i++ {
+		roots[i] = PageID(binary.LittleEndian.Uint32(d[16+4*i:]))
+		sizes[i] = int64(binary.LittleEndian.Uint64(d[32+8*i:]))
+	}
+	s.linFwd = OpenBTree(bp, roots[0], sizes[0])
+	s.linBwd = OpenBTree(bp, roots[1], sizes[1])
+	s.loutFwd = OpenBTree(bp, roots[2], sizes[2])
+	s.loutBwd = OpenBTree(bp, roots[3], sizes[3])
+	return s, nil
+}
+
+func (s *CoverStore) writeHeader() error {
+	f, err := s.bp.Get(0)
+	if err != nil {
+		return err
+	}
+	defer f.Release()
+	d := f.Data
+	binary.LittleEndian.PutUint32(d[0:], storeMagic)
+	binary.LittleEndian.PutUint32(d[4:], storeVersion)
+	if s.withDist {
+		d[8] = 1
+	} else {
+		d[8] = 0
+	}
+	binary.LittleEndian.PutUint32(d[12:], s.numNodes)
+	roots := []*BTree{s.linFwd, s.linBwd, s.loutFwd, s.loutBwd}
+	for i, t := range roots {
+		binary.LittleEndian.PutUint32(d[16+4*i:], uint32(t.Root()))
+		binary.LittleEndian.PutUint64(d[32+8*i:], uint64(t.Len()))
+	}
+	f.MarkDirty()
+	return nil
+}
+
+// Flush persists headers and dirty pages.
+func (s *CoverStore) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	return s.bp.FlushAll()
+}
+
+// Close flushes and closes the underlying pager.
+func (s *CoverStore) Close() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	return s.pager.Close()
+}
+
+// WithDist reports whether the store carries distances.
+func (s *CoverStore) WithDist() bool { return s.withDist }
+
+// NumNodes returns the node ID space size.
+func (s *CoverStore) NumNodes() int { return int(s.numNodes) }
+
+// Entries returns the number of stored label entries (each counted
+// once; the paper's cover size |L|).
+func (s *CoverStore) Entries() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.linFwd.Len() + s.loutFwd.Len()
+}
+
+// StoredIntegers returns the number of integers the store keeps, the
+// paper's space accounting: two per entry in the table plus two in the
+// backward index.
+func (s *CoverStore) StoredIntegers() int64 { return 4 * s.Entries() }
+
+// AddIn inserts center into Lin(id).
+func (s *CoverStore) AddIn(id, center int32, dist uint32) error {
+	if id == center {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok, err := s.linFwd.Get(Key(uint32(id), uint32(center))); err != nil {
+		return err
+	} else if ok && old <= dist {
+		return nil
+	}
+	if _, err := s.linFwd.Insert(Key(uint32(id), uint32(center)), dist); err != nil {
+		return err
+	}
+	_, err := s.linBwd.Insert(Key(uint32(center), uint32(id)), dist)
+	return err
+}
+
+// AddOut inserts center into Lout(id).
+func (s *CoverStore) AddOut(id, center int32, dist uint32) error {
+	if id == center {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok, err := s.loutFwd.Get(Key(uint32(id), uint32(center))); err != nil {
+		return err
+	} else if ok && old <= dist {
+		return nil
+	}
+	if _, err := s.loutFwd.Insert(Key(uint32(id), uint32(center)), dist); err != nil {
+		return err
+	}
+	_, err := s.loutBwd.Insert(Key(uint32(center), uint32(id)), dist)
+	return err
+}
+
+// RemoveIn deletes center from Lin(id).
+func (s *CoverStore) RemoveIn(id, center int32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.linFwd.Delete(Key(uint32(id), uint32(center))); err != nil {
+		return err
+	}
+	_, err := s.linBwd.Delete(Key(uint32(center), uint32(id)))
+	return err
+}
+
+// RemoveOut deletes center from Lout(id).
+func (s *CoverStore) RemoveOut(id, center int32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.loutFwd.Delete(Key(uint32(id), uint32(center))); err != nil {
+		return err
+	}
+	_, err := s.loutBwd.Delete(Key(uint32(center), uint32(id)))
+	return err
+}
+
+// Lin returns the stored Lin(id) entries in ascending center order.
+func (s *CoverStore) Lin(id int32) ([]twohop.Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return scanEntries(s.linFwd, id)
+}
+
+// Lout returns the stored Lout(id) entries in ascending center order.
+func (s *CoverStore) Lout(id int32) ([]twohop.Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return scanEntries(s.loutFwd, id)
+}
+
+// InOwners returns the nodes whose Lin contains center (backward index
+// scan on LIN).
+func (s *CoverStore) InOwners(center int32) ([]int32, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return scanOwners(s.linBwd, center)
+}
+
+// OutOwners returns the nodes whose Lout contains center.
+func (s *CoverStore) OutOwners(center int32) ([]int32, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return scanOwners(s.loutBwd, center)
+}
+
+func scanEntries(t *BTree, id int32) ([]twohop.Entry, error) {
+	var out []twohop.Entry
+	err := t.ScanPrefix(uint32(id), func(lo uint32, dist uint32) bool {
+		out = append(out, twohop.Entry{Center: int32(lo), Dist: dist})
+		return true
+	})
+	return out, err
+}
+
+func scanOwners(t *BTree, center int32) ([]int32, error) {
+	var out []int32
+	err := t.ScanPrefix(uint32(center), func(lo uint32, _ uint32) bool {
+		out = append(out, int32(lo))
+		return true
+	})
+	return out, err
+}
+
+// Reaches answers the paper's connection test for two node IDs.
+func (s *CoverStore) Reaches(u, v int32) (bool, error) {
+	if u == v {
+		return true, nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	// self-entry queries: v ∈ Lout(u)? u ∈ Lin(v)?
+	if _, ok, err := s.loutFwd.Get(Key(uint32(u), uint32(v))); err != nil {
+		return false, err
+	} else if ok {
+		return true, nil
+	}
+	if _, ok, err := s.linFwd.Get(Key(uint32(v), uint32(u))); err != nil {
+		return false, err
+	} else if ok {
+		return true, nil
+	}
+	// the SQL join: LOUT.ID=u AND LIN.ID=v AND LOUT.OUTID=LIN.INID,
+	// realized as a merge intersection of two sorted index ranges.
+	louts, err := scanEntries(s.loutFwd, u)
+	if err != nil {
+		return false, err
+	}
+	lins, err := scanEntries(s.linFwd, v)
+	if err != nil {
+		return false, err
+	}
+	i, j := 0, 0
+	for i < len(louts) && j < len(lins) {
+		switch {
+		case louts[i].Center < lins[j].Center:
+			i++
+		case louts[i].Center > lins[j].Center:
+			j++
+		default:
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Distance answers the §5.1 shortest-path query
+// MIN(LOUT.DIST + LIN.DIST) including the implicit self entries;
+// graph.InfDist means unreachable.
+func (s *CoverStore) Distance(u, v int32) (uint32, error) {
+	if u == v {
+		return 0, nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	best := graph.InfDist
+	if d, ok, err := s.loutFwd.Get(Key(uint32(u), uint32(v))); err != nil {
+		return 0, err
+	} else if ok {
+		best = d
+	}
+	if d, ok, err := s.linFwd.Get(Key(uint32(v), uint32(u))); err != nil {
+		return 0, err
+	} else if ok && d < best {
+		best = d
+	}
+	louts, err := scanEntries(s.loutFwd, u)
+	if err != nil {
+		return 0, err
+	}
+	lins, err := scanEntries(s.linFwd, v)
+	if err != nil {
+		return 0, err
+	}
+	i, j := 0, 0
+	for i < len(louts) && j < len(lins) {
+		switch {
+		case louts[i].Center < lins[j].Center:
+			i++
+		case louts[i].Center > lins[j].Center:
+			j++
+		default:
+			if d := louts[i].Dist + lins[j].Dist; d < best {
+				best = d
+			}
+			i++
+			j++
+		}
+	}
+	return best, nil
+}
+
+// Descendants returns every node reachable from u (including u), the
+// query behind //-axis evaluation: union the InOwners of u and of all
+// centers in Lout(u).
+func (s *CoverStore) Descendants(u int32) ([]int32, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := map[int32]bool{u: true}
+	out := []int32{u}
+	add := func(v int32) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	owners, err := scanOwners(s.linBwd, u)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range owners {
+		add(d)
+	}
+	louts, err := scanEntries(s.loutFwd, u)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range louts {
+		add(e.Center)
+		owners, err := scanOwners(s.linBwd, e.Center)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range owners {
+			add(d)
+		}
+	}
+	return out, nil
+}
+
+// Ancestors returns every node that reaches u (including u).
+func (s *CoverStore) Ancestors(u int32) ([]int32, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := map[int32]bool{u: true}
+	out := []int32{u}
+	add := func(v int32) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	owners, err := scanOwners(s.loutBwd, u)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range owners {
+		add(a)
+	}
+	lins, err := scanEntries(s.linFwd, u)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range lins {
+		add(e.Center)
+		owners, err := scanOwners(s.loutBwd, e.Center)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range owners {
+			add(a)
+		}
+	}
+	return out, nil
+}
+
+// FromCover bulk-loads a cover into the four tables.
+func (s *CoverStore) FromCover(c *twohop.Cover) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.numNodes = uint32(c.N())
+	s.withDist = c.WithDist
+	type iter struct {
+		node int32
+		pos  int
+	}
+	fwd := func(lists [][]twohop.Entry) func() (uint64, uint32, bool) {
+		it := iter{}
+		return func() (uint64, uint32, bool) {
+			for int(it.node) < len(lists) {
+				if it.pos < len(lists[it.node]) {
+					e := lists[it.node][it.pos]
+					it.pos++
+					return Key(uint32(it.node), uint32(e.Center)), e.Dist, true
+				}
+				it.node++
+				it.pos = 0
+			}
+			return 0, 0, false
+		}
+	}
+	if err := s.linFwd.BulkLoad(fwd(c.In)); err != nil {
+		return err
+	}
+	if err := s.loutFwd.BulkLoad(fwd(c.Out)); err != nil {
+		return err
+	}
+	// backward indexes need (center, id) order: collect and sort
+	bwd := func(lists [][]twohop.Entry) func() (uint64, uint32, bool) {
+		type rec struct {
+			key  uint64
+			dist uint32
+		}
+		var recs []rec
+		for node, list := range lists {
+			for _, e := range list {
+				recs = append(recs, rec{Key(uint32(e.Center), uint32(node)), e.Dist})
+			}
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+		i := 0
+		return func() (uint64, uint32, bool) {
+			if i >= len(recs) {
+				return 0, 0, false
+			}
+			r := recs[i]
+			i++
+			return r.key, r.dist, true
+		}
+	}
+	if err := s.linBwd.BulkLoad(bwd(c.In)); err != nil {
+		return err
+	}
+	if err := s.loutBwd.BulkLoad(bwd(c.Out)); err != nil {
+		return err
+	}
+	return s.writeHeader()
+}
+
+// ToCover reads the stored labels back into an in-memory cover.
+func (s *CoverStore) ToCover() (*twohop.Cover, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := twohop.NewCover(int(s.numNodes), s.withDist)
+	err := s.linFwd.ScanFrom(0, func(key uint64, dist uint32) bool {
+		id, center := KeyParts(key)
+		c.In[int32(id)] = append(c.In[int32(id)], twohop.Entry{Center: int32(center), Dist: dist})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = s.loutFwd.ScanFrom(0, func(key uint64, dist uint32) bool {
+		id, center := KeyParts(key)
+		c.Out[int32(id)] = append(c.Out[int32(id)], twohop.Entry{Center: int32(center), Dist: dist})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Finish()
+	return c, nil
+}
+
+// PoolStats exposes buffer-pool counters for the experiments.
+func (s *CoverStore) PoolStats() PoolStats { return s.bp.Stats() }

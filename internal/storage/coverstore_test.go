@@ -1,0 +1,309 @@
+package storage
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"hopi/internal/graph"
+	"hopi/internal/twohop"
+)
+
+func randomCover(rng *rand.Rand, n int) (*twohop.Cover, *graph.Closure) {
+	g := graph.NewDigraph(n)
+	for i := 0; i < 3*n; i++ {
+		g.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	cl := graph.NewClosure(g)
+	cov, _ := twohop.Build(cl, twohop.Options{Seed: 1})
+	return cov, cl
+}
+
+func TestCoverStoreAddAndQuery(t *testing.T) {
+	s, err := CreateCoverStore(NewMemPager(), 64, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// chain 0→1→2 via center 1
+	if err := s.AddOut(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddIn(2, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		u, v int32
+		want bool
+	}{
+		{0, 1, true}, {1, 2, true}, {0, 2, true}, {0, 0, true},
+		{2, 0, false}, {1, 0, false},
+	} {
+		got, err := s.Reaches(tc.u, tc.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("Reaches(%d,%d) = %v, want %v", tc.u, tc.v, got, tc.want)
+		}
+	}
+	if s.Entries() != 2 {
+		t.Errorf("Entries = %d", s.Entries())
+	}
+	if s.StoredIntegers() != 8 {
+		t.Errorf("StoredIntegers = %d", s.StoredIntegers())
+	}
+}
+
+func TestCoverStoreSelfEntriesDropped(t *testing.T) {
+	s, _ := CreateCoverStore(NewMemPager(), 64, 4, false)
+	s.AddOut(1, 1, 0)
+	s.AddIn(1, 1, 0)
+	if s.Entries() != 0 {
+		t.Error("self entries stored")
+	}
+}
+
+func TestCoverStoreDistance(t *testing.T) {
+	s, _ := CreateCoverStore(NewMemPager(), 64, 8, true)
+	s.AddOut(0, 2, 1)
+	s.AddIn(1, 2, 2)
+	s.AddOut(0, 3, 5) // v-as-center entry
+	if d, _ := s.Distance(0, 1); d != 3 {
+		t.Errorf("Distance = %d, want 3", d)
+	}
+	if d, _ := s.Distance(0, 3); d != 5 {
+		t.Errorf("Distance = %d, want 5", d)
+	}
+	if d, _ := s.Distance(1, 0); d != graph.InfDist {
+		t.Errorf("Distance = %d, want inf", d)
+	}
+	// keep the minimum on duplicate adds
+	s.AddOut(0, 3, 2)
+	if d, _ := s.Distance(0, 3); d != 2 {
+		t.Errorf("Distance after better add = %d, want 2", d)
+	}
+	s.AddOut(0, 3, 9) // worse: ignored
+	if d, _ := s.Distance(0, 3); d != 2 {
+		t.Errorf("Distance after worse add = %d, want 2", d)
+	}
+}
+
+func TestCoverStoreRemove(t *testing.T) {
+	s, _ := CreateCoverStore(NewMemPager(), 64, 8, false)
+	s.AddOut(0, 1, 0)
+	s.AddIn(2, 1, 0)
+	s.RemoveOut(0, 1)
+	if ok, _ := s.Reaches(0, 2); ok {
+		t.Error("reaches after remove")
+	}
+	if s.Entries() != 1 {
+		t.Errorf("Entries = %d", s.Entries())
+	}
+	owners, _ := s.OutOwners(1)
+	if len(owners) != 0 {
+		t.Errorf("backward index stale: %v", owners)
+	}
+}
+
+func TestCoverStoreOwners(t *testing.T) {
+	s, _ := CreateCoverStore(NewMemPager(), 64, 8, false)
+	s.AddOut(0, 5, 0)
+	s.AddOut(1, 5, 0)
+	s.AddIn(3, 5, 0)
+	out, _ := s.OutOwners(5)
+	if len(out) != 2 || out[0] != 0 || out[1] != 1 {
+		t.Errorf("OutOwners = %v", out)
+	}
+	in, _ := s.InOwners(5)
+	if len(in) != 1 || in[0] != 3 {
+		t.Errorf("InOwners = %v", in)
+	}
+}
+
+// Property: a stored cover answers exactly like the in-memory cover,
+// and FromCover/ToCover round-trips.
+func TestCoverStoreMatchesMemory(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(30)
+		cov, cl := randomCover(rng, n)
+		s, err := CreateCoverStore(NewMemPager(), 64, n, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.FromCover(cov); err != nil {
+			t.Fatal(err)
+		}
+		if s.Entries() != int64(cov.Size()) {
+			t.Fatalf("Entries = %d, want %d", s.Entries(), cov.Size())
+		}
+		for u := int32(0); u < int32(n); u++ {
+			for v := int32(0); v < int32(n); v++ {
+				got, err := s.Reaches(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := u == v || cl.Has(u, v)
+				if got != want {
+					t.Fatalf("seed %d: Reaches(%d,%d)=%v want %v", seed, u, v, got, want)
+				}
+			}
+		}
+		back, err := s.ToCover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Size() != cov.Size() {
+			t.Fatalf("round trip size %d != %d", back.Size(), cov.Size())
+		}
+	}
+}
+
+func TestCoverStoreDescendantsAncestors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 25
+	cov, cl := randomCover(rng, n)
+	s, _ := CreateCoverStore(NewMemPager(), 64, n, false)
+	if err := s.FromCover(cov); err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < int32(n); u++ {
+		desc, err := s.Descendants(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[int32]bool{u: true}
+		for v := int32(0); v < int32(n); v++ {
+			if cl.Has(u, v) {
+				want[v] = true
+			}
+		}
+		if len(desc) != len(want) {
+			t.Fatalf("Descendants(%d) = %v, want %d nodes", u, desc, len(want))
+		}
+		for _, d := range desc {
+			if !want[d] {
+				t.Fatalf("Descendants(%d) contains %d", u, d)
+			}
+		}
+		anc, err := s.Ancestors(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantA := map[int32]bool{u: true}
+		for a := int32(0); a < int32(n); a++ {
+			if cl.Has(a, u) {
+				wantA[a] = true
+			}
+		}
+		if len(anc) != len(wantA) {
+			t.Fatalf("Ancestors(%d) = %v, want %d nodes", u, anc, len(wantA))
+		}
+	}
+}
+
+func TestCoverStorePersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cover.hopi")
+	rng := rand.New(rand.NewSource(9))
+	cov, cl := randomCover(rng, 20)
+
+	fp, err := CreateFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := CreateCoverStore(fp, 32, 20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FromCover(cov); err != nil {
+		t.Fatal(err)
+	}
+	wantEntries := s.Entries()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fp2, err := OpenFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenCoverStore(fp2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Entries() != wantEntries {
+		t.Fatalf("entries after reopen: %d != %d", s2.Entries(), wantEntries)
+	}
+	if s2.NumNodes() != 20 {
+		t.Errorf("NumNodes = %d", s2.NumNodes())
+	}
+	for u := int32(0); u < 20; u++ {
+		for v := int32(0); v < 20; v++ {
+			got, err := s2.Reaches(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := u == v || cl.Has(u, v)
+			if got != want {
+				t.Fatalf("after reopen Reaches(%d,%d)=%v want %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestCoverStoreDistancePersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dist.hopi")
+	g := graph.NewDigraph(6)
+	for i := int32(0); i < 5; i++ {
+		g.AddEdge(i, i+1)
+	}
+	dm := graph.NewDistanceMatrix(g)
+	cov, _ := twohop.BuildDistanceAware(dm, twohop.Options{})
+	fp, _ := CreateFilePager(path)
+	s, _ := CreateCoverStore(fp, 32, 6, true)
+	if err := s.FromCover(cov); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	fp2, _ := OpenFilePager(path)
+	s2, err := OpenCoverStore(fp2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !s2.WithDist() {
+		t.Fatal("distance flag lost")
+	}
+	for u := int32(0); u < 6; u++ {
+		for v := int32(0); v < 6; v++ {
+			d, err := s2.Distance(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != dm.D(u, v) {
+				t.Fatalf("Distance(%d,%d) = %d, want %d", u, v, d, dm.D(u, v))
+			}
+		}
+	}
+}
+
+func TestBufferPoolStats(t *testing.T) {
+	bp := NewBufferPool(NewMemPager(), 4)
+	tree, err := NewBTree(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		tree.Insert(uint64(i), 0)
+	}
+	st := bp.Stats()
+	if st.Evictions == 0 {
+		t.Error("tiny pool should evict")
+	}
+	if st.Hits == 0 {
+		t.Error("expected cache hits")
+	}
+}

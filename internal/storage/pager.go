@@ -1,0 +1,176 @@
+// Package storage is the embedded storage engine behind HOPI's
+// database-backed deployment (§3.4). The paper stores the cover in an
+// Oracle database as two index-organized tables LIN(ID, INID [,DIST])
+// and LOUT(ID, OUTID [,DIST]) with forward and backward composite
+// indexes; this package provides the same access paths from scratch:
+// a page-based file store, an LRU buffer pool, B+trees over (id, other,
+// dist) triples, and the SQL-equivalent reachability and distance
+// queries as index intersections.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// PageSize is the fixed on-disk page size.
+const PageSize = 4096
+
+// PageID identifies a page within a pager. Page 0 is reserved for the
+// file header.
+type PageID uint32
+
+// InvalidPage is the nil page id.
+const InvalidPage PageID = 0
+
+// Pager provides raw page I/O.
+type Pager interface {
+	// ReadPage fills buf (len PageSize) with the page's content.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage persists buf (len PageSize) as the page's content.
+	WritePage(id PageID, buf []byte) error
+	// Allocate appends a zeroed page and returns its id.
+	Allocate() (PageID, error)
+	// NumPages returns the number of allocated pages.
+	NumPages() uint32
+	// Sync flushes to stable storage.
+	Sync() error
+	// Close releases resources.
+	Close() error
+}
+
+// MemPager keeps pages in memory; it backs in-memory cover stores and
+// tests.
+type MemPager struct {
+	pages [][]byte
+}
+
+// NewMemPager returns an empty in-memory pager with page 0 allocated
+// (the header slot).
+func NewMemPager() *MemPager {
+	p := &MemPager{}
+	if _, err := p.Allocate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ReadPage implements Pager.
+func (p *MemPager) ReadPage(id PageID, buf []byte) error {
+	if int(id) >= len(p.pages) {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	copy(buf, p.pages[id])
+	return nil
+}
+
+// WritePage implements Pager.
+func (p *MemPager) WritePage(id PageID, buf []byte) error {
+	if int(id) >= len(p.pages) {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	copy(p.pages[id], buf)
+	return nil
+}
+
+// Allocate implements Pager.
+func (p *MemPager) Allocate() (PageID, error) {
+	p.pages = append(p.pages, make([]byte, PageSize))
+	return PageID(len(p.pages) - 1), nil
+}
+
+// NumPages implements Pager.
+func (p *MemPager) NumPages() uint32 { return uint32(len(p.pages)) }
+
+// Sync implements Pager.
+func (p *MemPager) Sync() error { return nil }
+
+// Close implements Pager.
+func (p *MemPager) Close() error { return nil }
+
+// FilePager stores pages in a file.
+type FilePager struct {
+	f *os.File
+	n uint32
+}
+
+// CreateFilePager creates (truncates) a page file with page 0
+// allocated.
+func CreateFilePager(path string) (*FilePager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	p := &FilePager{f: f}
+	if _, err := p.Allocate(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// OpenFilePager opens an existing page file.
+func OpenFilePager(path string) (*FilePager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s size %d not page aligned", path, st.Size())
+	}
+	if st.Size() == 0 {
+		f.Close()
+		return nil, errors.New("storage: empty page file")
+	}
+	return &FilePager{f: f, n: uint32(st.Size() / PageSize)}, nil
+}
+
+// ReadPage implements Pager.
+func (p *FilePager) ReadPage(id PageID, buf []byte) error {
+	if uint32(id) >= p.n {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	_, err := p.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
+	if err == io.EOF {
+		err = nil
+	}
+	return err
+}
+
+// WritePage implements Pager.
+func (p *FilePager) WritePage(id PageID, buf []byte) error {
+	if uint32(id) >= p.n {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	_, err := p.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
+	return err
+}
+
+// Allocate implements Pager.
+func (p *FilePager) Allocate() (PageID, error) {
+	id := PageID(p.n)
+	p.n++
+	// extend the file eagerly so ReadPage on a fresh page succeeds
+	zero := make([]byte, PageSize)
+	if _, err := p.f.WriteAt(zero, int64(id)*PageSize); err != nil {
+		return InvalidPage, err
+	}
+	return id, nil
+}
+
+// NumPages implements Pager.
+func (p *FilePager) NumPages() uint32 { return p.n }
+
+// Sync implements Pager.
+func (p *FilePager) Sync() error { return p.f.Sync() }
+
+// Close implements Pager.
+func (p *FilePager) Close() error { return p.f.Close() }

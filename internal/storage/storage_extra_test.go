@@ -1,0 +1,210 @@
+package storage
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"hopi/internal/graph"
+	"hopi/internal/twohop"
+)
+
+// TestCoverStoreMutateAfterBulkLoadAndReopen: the maintenance write
+// path (Add/Remove on a bulk-loaded store) must survive persistence.
+func TestCoverStoreMutateAfterBulkLoadAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mut.hopi")
+	rng := rand.New(rand.NewSource(4))
+	cov, _ := randomCover(rng, 30)
+	fp, err := CreateFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := CreateCoverStore(fp, 32, 30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FromCover(cov); err != nil {
+		t.Fatal(err)
+	}
+	// mutate: add a fresh center relation and remove one existing entry
+	if err := s.AddOut(0, 29, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddIn(1, 29, 0); err != nil {
+		t.Fatal(err)
+	}
+	var victim twohop.Entry
+	var victimNode int32 = -1
+	for v := int32(0); v < 30 && victimNode < 0; v++ {
+		if entries, _ := s.Lout(v); len(entries) > 0 {
+			victim = entries[0]
+			victimNode = v
+		}
+	}
+	if victimNode >= 0 {
+		if err := s.RemoveOut(victimNode, victim.Center); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantEntries := s.Entries()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fp2, err := OpenFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenCoverStore(fp2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Entries() != wantEntries {
+		t.Fatalf("entries after reopen: %d != %d", s2.Entries(), wantEntries)
+	}
+	if ok, _ := s2.Reaches(0, 1); !ok {
+		t.Error("added relation lost across reopen")
+	}
+	if victimNode >= 0 {
+		entries, _ := s2.Lout(victimNode)
+		for _, e := range entries {
+			if e.Center == victim.Center {
+				t.Error("removed entry resurrected")
+			}
+		}
+	}
+}
+
+// TestCoverStoreConcurrentReads: the store must serve parallel readers
+// (it guards the buffer pool with a mutex).
+func TestCoverStoreConcurrentReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cov, cl := randomCover(rng, 40)
+	s, _ := CreateCoverStore(NewMemPager(), 16, 40, false)
+	if err := s.FromCover(cov); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				u := int32(r.Intn(40))
+				v := int32(r.Intn(40))
+				got, err := s.Reaches(u, v)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := u == v || cl.Has(u, v)
+				if got != want {
+					errs <- errMismatch{u, v}
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errMismatch [2]int32
+
+func (e errMismatch) Error() string { return "concurrent read mismatch" }
+
+// TestBufferPoolAllPinnedError: exhausting a tiny pool with pins must
+// produce a clean error, not a deadlock.
+func TestBufferPoolAllPinnedError(t *testing.T) {
+	bp := NewBufferPool(NewMemPager(), 4)
+	var frames []*Frame
+	for i := 0; i < 4; i++ {
+		f, err := bp.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	if _, err := bp.Allocate(); err == nil {
+		t.Fatal("expected pool-exhausted error")
+	}
+	frames[0].Release()
+	if _, err := bp.Allocate(); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+// TestFilePagerErrors: out-of-range I/O and invalid files are rejected.
+func TestFilePagerErrors(t *testing.T) {
+	dir := t.TempDir()
+	p, err := CreateFilePager(filepath.Join(dir, "x.pg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := p.ReadPage(99, buf); err == nil {
+		t.Error("read past end accepted")
+	}
+	if err := p.WritePage(99, buf); err == nil {
+		t.Error("write past end accepted")
+	}
+	p.Close()
+
+	if _, err := OpenFilePager(filepath.Join(dir, "missing.pg")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// unaligned file
+	bad := filepath.Join(dir, "bad.pg")
+	if err := os.WriteFile(bad, make([]byte, PageSize+1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFilePager(bad); err == nil {
+		t.Error("unaligned file accepted")
+	}
+}
+
+// TestOpenCoverStoreRejectsForeignFile: a page file that is not a
+// cover store must be rejected by the magic check.
+func TestOpenCoverStoreRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "foreign.pg")
+	p, err := CreateFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p2, err := OpenFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCoverStore(p2, 8); err == nil {
+		t.Error("foreign page file accepted as cover store")
+	}
+	p2.Close()
+}
+
+// TestCoverStoreDistanceUpgradesOnLowerDist mirrors the twohop dedupe
+// semantics at the storage layer.
+func TestCoverStoreEmptyScans(t *testing.T) {
+	s, _ := CreateCoverStore(NewMemPager(), 16, 8, false)
+	if entries, err := s.Lin(3); err != nil || len(entries) != 0 {
+		t.Errorf("Lin on empty store: %v %v", entries, err)
+	}
+	if owners, err := s.OutOwners(3); err != nil || len(owners) != 0 {
+		t.Errorf("OutOwners on empty store: %v %v", owners, err)
+	}
+	desc, err := s.Descendants(3)
+	if err != nil || len(desc) != 1 || desc[0] != 3 {
+		t.Errorf("Descendants on empty store: %v %v", desc, err)
+	}
+	if d, _ := s.Distance(1, 2); d != graph.InfDist {
+		t.Errorf("Distance on empty store = %d", d)
+	}
+}

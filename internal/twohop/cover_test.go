@@ -1,0 +1,144 @@
+package twohop
+
+import (
+	"math/rand"
+	"testing"
+
+	"hopi/internal/graph"
+)
+
+func TestCoverAddAndLookup(t *testing.T) {
+	c := NewCover(4, false)
+	c.AddOut(0, 2, 0)
+	c.AddIn(1, 2, 0)
+	if !c.Reaches(0, 1) {
+		t.Error("common center 2 should connect 0→1")
+	}
+	if c.Reaches(1, 0) {
+		t.Error("no labels for 1→0")
+	}
+	if !c.Reaches(3, 3) {
+		t.Error("reflexive reachability must hold")
+	}
+}
+
+func TestCoverImplicitSelfEntries(t *testing.T) {
+	c := NewCover(3, false)
+	// Center is the target itself: stored only in Lout(u).
+	c.AddOut(0, 1, 0)
+	if !c.Reaches(0, 1) {
+		t.Error("v ∈ Lout(u) should connect")
+	}
+	// Center is the source itself: stored only in Lin(v).
+	c.AddIn(2, 0, 0)
+	if !c.Reaches(0, 2) {
+		t.Error("u ∈ Lin(v) should connect")
+	}
+}
+
+func TestCoverSelfEntriesDropped(t *testing.T) {
+	c := NewCover(2, false)
+	c.AddOut(0, 0, 0)
+	c.AddIn(1, 1, 0)
+	if c.Size() != 0 {
+		t.Errorf("self entries must not be stored, size = %d", c.Size())
+	}
+}
+
+func TestCoverDedup(t *testing.T) {
+	c := NewCover(2, true)
+	c.AddOut(0, 1, 5)
+	c.AddOut(0, 1, 3)
+	c.AddOut(0, 1, 7)
+	if len(c.Out[0]) != 1 {
+		t.Fatalf("dup centers kept: %v", c.Out[0])
+	}
+	if c.Out[0][0].Dist != 3 {
+		t.Errorf("min dist not kept: %v", c.Out[0])
+	}
+}
+
+func TestCoverDistance(t *testing.T) {
+	c := NewCover(4, true)
+	// 0 → center 2 (dist 1), center 2 → 1 (dist 2) ⇒ dist(0,1)=3
+	c.AddOut(0, 2, 1)
+	c.AddIn(1, 2, 2)
+	// Also a direct entry: v=3 in Lout(0) with dist 5.
+	c.AddOut(0, 3, 5)
+	if d := c.Distance(0, 1); d != 3 {
+		t.Errorf("Distance(0,1) = %d, want 3", d)
+	}
+	if d := c.Distance(0, 3); d != 5 {
+		t.Errorf("Distance(0,3) = %d, want 5", d)
+	}
+	if d := c.Distance(0, 0); d != 0 {
+		t.Errorf("Distance(0,0) = %d, want 0", d)
+	}
+	if d := c.Distance(1, 0); d != graph.InfDist {
+		t.Errorf("Distance(1,0) = %d, want InfDist", d)
+	}
+}
+
+func TestCoverDistanceTakesMinOverCenters(t *testing.T) {
+	c := NewCover(4, true)
+	c.AddOut(0, 1, 4)
+	c.AddIn(3, 1, 4)
+	c.AddOut(0, 2, 1)
+	c.AddIn(3, 2, 1)
+	if d := c.Distance(0, 3); d != 2 {
+		t.Errorf("Distance = %d, want min over centers = 2", d)
+	}
+}
+
+func TestCoverFinishSortsAndDedupes(t *testing.T) {
+	c := NewCover(1, false)
+	c.Out[0] = []Entry{{Center: 5}, {Center: 2}, {Center: 5}, {Center: 9}, {Center: 2}}
+	c.Finish()
+	want := []int32{2, 5, 9}
+	if len(c.Out[0]) != 3 {
+		t.Fatalf("Out[0] = %v", c.Out[0])
+	}
+	for i, e := range c.Out[0] {
+		if e.Center != want[i] {
+			t.Fatalf("Out[0] = %v", c.Out[0])
+		}
+	}
+}
+
+func TestCoverCloneIndependent(t *testing.T) {
+	c := NewCover(2, false)
+	c.AddOut(0, 1, 0)
+	cl := c.Clone()
+	cl.AddOut(0, 2, 0) // hypothetical center id 2 > n is fine for the label list
+	if len(c.Out[0]) != 1 {
+		t.Error("clone shares label storage")
+	}
+}
+
+func TestVerifyCatchesIncomplete(t *testing.T) {
+	g := graph.NewDigraph(2)
+	g.AddEdge(0, 1)
+	cl := graph.NewClosure(g)
+	empty := NewCover(2, false)
+	if err := Verify(empty, cl); err == nil {
+		t.Error("Verify should reject an empty cover for a non-empty closure")
+	}
+}
+
+func TestVerifyCatchesUnsound(t *testing.T) {
+	g := graph.NewDigraph(2) // no edges
+	cl := graph.NewClosure(g)
+	c := NewCover(2, false)
+	c.AddOut(0, 1, 0) // claims 0 → 1
+	if err := Verify(c, cl); err == nil {
+		t.Error("Verify should reject a cover with phantom connections")
+	}
+}
+
+func randomDigraph(rng *rand.Rand, n, m int) *graph.Digraph {
+	g := graph.NewDigraph(n)
+	for i := 0; i < m; i++ {
+		g.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return g
+}

@@ -1,0 +1,300 @@
+package xmlmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"hopi/internal/graph"
+)
+
+// Link is an inter-document link between two global element IDs.
+type Link struct {
+	From int32
+	To   int32
+}
+
+// Collection is the paper's X = (D, L): a set of documents plus the
+// inter-document links between their elements. Global element IDs are
+// assigned densely per document and stay stable when documents are
+// removed (removal leaves a tombstone), so index labels never dangle.
+type Collection struct {
+	Docs  []*Document
+	Links []Link
+
+	base   []int32 // base[i] = first global ID of document i
+	alive  []bool
+	byName map[string]int
+	total  int32
+}
+
+// NewCollection returns an empty collection.
+func NewCollection() *Collection {
+	return &Collection{byName: map[string]int{}}
+}
+
+// AddDocument appends d and returns its document index. Global IDs
+// [base, base+len) are assigned to its elements.
+func (c *Collection) AddDocument(d *Document) int {
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	idx := len(c.Docs)
+	c.Docs = append(c.Docs, d)
+	c.base = append(c.base, c.total)
+	c.alive = append(c.alive, true)
+	if d.Name != "" {
+		c.byName[d.Name] = idx
+	}
+	c.total += int32(d.Len())
+	return idx
+}
+
+// RemoveDocument tombstones the document: its elements disappear from
+// the element-level graph but its global IDs are never reused.
+// Inter-document links touching the document are dropped.
+func (c *Collection) RemoveDocument(idx int) {
+	if !c.alive[idx] {
+		return
+	}
+	c.alive[idx] = false
+	kept := c.Links[:0]
+	for _, l := range c.Links {
+		if c.DocOfID(l.From) != idx && c.DocOfID(l.To) != idx {
+			kept = append(kept, l)
+		}
+	}
+	c.Links = kept
+	if c.Docs[idx].Name != "" {
+		delete(c.byName, c.Docs[idx].Name)
+	}
+}
+
+// Alive reports whether the document has not been removed.
+func (c *Collection) Alive(idx int) bool { return c.alive[idx] }
+
+// NumDocs returns the number of live documents.
+func (c *Collection) NumDocs() int {
+	n := 0
+	for _, a := range c.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// NumElements returns the number of elements of live documents.
+func (c *Collection) NumElements() int {
+	n := 0
+	for i, d := range c.Docs {
+		if c.alive[i] {
+			n += d.Len()
+		}
+	}
+	return n
+}
+
+// NumAllocatedIDs returns the size of the global ID space including
+// tombstoned documents; graphs over the collection use this as node
+// count.
+func (c *Collection) NumAllocatedIDs() int { return int(c.total) }
+
+// NumLinks returns the number of links of live documents, intra plus
+// inter (Table 1's "# links").
+func (c *Collection) NumLinks() int {
+	n := len(c.Links)
+	for i, d := range c.Docs {
+		if c.alive[i] {
+			n += len(d.IntraLinks)
+		}
+	}
+	return n
+}
+
+// DocByName returns the index of a named live document.
+func (c *Collection) DocByName(name string) (int, bool) {
+	i, ok := c.byName[name]
+	return i, ok
+}
+
+// GlobalID maps (document index, local element index) to a global ID.
+func (c *Collection) GlobalID(doc int, local int32) int32 {
+	return c.base[doc] + local
+}
+
+// DocOfID is the paper's doc(v): the index of the document a global
+// element ID belongs to.
+func (c *Collection) DocOfID(id int32) int {
+	i := sort.Search(len(c.base), func(i int) bool { return c.base[i] > id }) - 1
+	return i
+}
+
+// LocalID converts a global ID to its document-local index.
+func (c *Collection) LocalID(id int32) (doc int, local int32) {
+	doc = c.DocOfID(id)
+	return doc, id - c.base[doc]
+}
+
+// Tag returns the tag of a global element.
+func (c *Collection) Tag(id int32) string {
+	doc, local := c.LocalID(id)
+	return c.Docs[doc].Elements[local].Tag
+}
+
+// AddLink records an inter-document link between two global IDs. It is
+// the caller's responsibility that both endpoints are alive and in
+// different documents; same-document pairs are stored as intra links.
+func (c *Collection) AddLink(from, to int32) error {
+	fd, fl := c.LocalID(from)
+	td, tl := c.LocalID(to)
+	if !c.alive[fd] || !c.alive[td] {
+		return fmt.Errorf("xmlmodel: link %d→%d touches a removed document", from, to)
+	}
+	if fd == td {
+		c.Docs[fd].AddIntraLink(fl, tl)
+		return nil
+	}
+	c.Links = append(c.Links, Link{From: from, To: to})
+	return nil
+}
+
+// RemoveLink deletes a link (inter- or intra-document) between two
+// global IDs. It reports whether a link was found. Tree edges cannot be
+// removed this way — restructuring a document is a modification.
+func (c *Collection) RemoveLink(from, to int32) bool {
+	fd, fl := c.LocalID(from)
+	td, tl := c.LocalID(to)
+	if fd == td {
+		d := c.Docs[fd]
+		for i, l := range d.IntraLinks {
+			if l[0] == fl && l[1] == tl {
+				d.IntraLinks = append(d.IntraLinks[:i], d.IntraLinks[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i, l := range c.Links {
+		if l.From == from && l.To == to {
+			c.Links = append(c.Links[:i], c.Links[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// AddLinkByAnchor records a link from a source element to the element
+// of the target document carrying the given anchor id ("" targets the
+// document root) — the XLink/XPointer case.
+func (c *Collection) AddLinkByAnchor(fromDoc int, fromLocal int32, targetDoc, anchor string) error {
+	ti, ok := c.DocByName(targetDoc)
+	if !ok {
+		return fmt.Errorf("xmlmodel: link target document %q not found", targetDoc)
+	}
+	var tl int32
+	if anchor != "" {
+		tl, ok = c.Docs[ti].AnchorElement(anchor)
+		if !ok {
+			return fmt.Errorf("xmlmodel: anchor %q not found in %q", anchor, targetDoc)
+		}
+	}
+	return c.AddLink(c.GlobalID(fromDoc, fromLocal), c.GlobalID(ti, tl))
+}
+
+// ElementGraph builds G_E(X): nodes are all allocated global IDs
+// (tombstoned documents contribute isolated nodes), edges are
+// parent→child tree edges, intra-document links and inter-document
+// links of live documents.
+func (c *Collection) ElementGraph() *graph.Digraph {
+	g := graph.NewDigraph(int(c.total))
+	for i, d := range c.Docs {
+		if !c.alive[i] {
+			continue
+		}
+		base := c.base[i]
+		for local := 1; local < d.Len(); local++ {
+			g.AddEdge(base+d.Elements[local].Parent, base+int32(local))
+		}
+		for _, l := range d.IntraLinks {
+			g.AddEdge(base+l[0], base+l[1])
+		}
+	}
+	for _, l := range c.Links {
+		g.AddEdge(l.From, l.To)
+	}
+	return g
+}
+
+// DocGraph builds G_D(X): one node per document (tombstones isolated),
+// an edge (di, dj) for every pair of documents connected by at least
+// one link, and the link multiplicities as edge weights (the old
+// partitioner's edge weight, §3.3).
+func (c *Collection) DocGraph() (*graph.Digraph, map[[2]int32]int) {
+	g := graph.NewDigraph(len(c.Docs))
+	w := map[[2]int32]int{}
+	for _, l := range c.Links {
+		di := int32(c.DocOfID(l.From))
+		dj := int32(c.DocOfID(l.To))
+		g.AddEdge(di, dj)
+		w[[2]int32{di, dj}]++
+	}
+	return g, w
+}
+
+// ApproxXMLBytes estimates the serialized size of the live collection;
+// it backs the "size" column of Table 1 for synthetic collections.
+func (c *Collection) ApproxXMLBytes() int64 {
+	var n int64
+	for i, d := range c.Docs {
+		if !c.alive[i] {
+			continue
+		}
+		for _, e := range d.Elements {
+			// "<tag>" + "</tag>" + a little content/attribute slack
+			n += int64(2*len(e.Tag)) + 5 + 12
+		}
+		n += int64(len(d.IntraLinks)) * 16
+	}
+	n += int64(len(c.Links)) * 32
+	return n
+}
+
+// ElementsByTag returns, for each tag, the sorted global IDs of live
+// elements carrying it; the path-query evaluator builds on this.
+func (c *Collection) ElementsByTag() map[string][]int32 {
+	m := map[string][]int32{}
+	for i, d := range c.Docs {
+		if !c.alive[i] {
+			continue
+		}
+		base := c.base[i]
+		for local, e := range d.Elements {
+			m[e.Tag] = append(m[e.Tag], base+int32(local))
+		}
+	}
+	for _, ids := range m {
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	}
+	return m
+}
+
+// DocIDs returns the global IDs of all elements of a document.
+func (c *Collection) DocIDs(idx int) []int32 {
+	d := c.Docs[idx]
+	ids := make([]int32, d.Len())
+	for i := range ids {
+		ids[i] = c.base[idx] + int32(i)
+	}
+	return ids
+}
+
+// LiveDocIndexes returns the indexes of all live documents.
+func (c *Collection) LiveDocIndexes() []int {
+	var out []int
+	for i, a := range c.alive {
+		if a {
+			out = append(out, i)
+		}
+	}
+	return out
+}

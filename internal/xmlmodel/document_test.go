@@ -1,0 +1,97 @@
+package xmlmodel
+
+import "testing"
+
+// buildPaperDoc1 builds a small document shaped like d1 of Fig. 1:
+// a root with two children, one of which has two children of its own.
+func buildFanDoc(name string) *Document {
+	d := NewDocument(name, "article")
+	sec := d.AddElement(0, "section")
+	d.AddElement(0, "title")
+	d.AddElement(sec, "para")
+	d.AddElement(sec, "para")
+	return d
+}
+
+func TestDocumentStructure(t *testing.T) {
+	d := buildFanDoc("d1")
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.Elements[1].Parent != 0 || d.Elements[3].Parent != 1 {
+		t.Error("parents wrong")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrePostOrder(t *testing.T) {
+	d := buildFanDoc("d1")
+	d.Seal()
+	// Preorder: article(0), section(1), para(3), para(4), title(2)
+	pres := []int32{d.Elements[0].Pre, d.Elements[1].Pre, d.Elements[3].Pre, d.Elements[4].Pre, d.Elements[2].Pre}
+	for i := 1; i < len(pres); i++ {
+		if pres[i] != pres[i-1]+1 {
+			t.Fatalf("preorder ranks not sequential: %v", pres)
+		}
+	}
+	// Ancestor tests via intervals.
+	if !d.IsTreeAncestor(0, 3) || !d.IsTreeAncestor(1, 4) {
+		t.Error("ancestor check failed")
+	}
+	if d.IsTreeAncestor(2, 3) || d.IsTreeAncestor(3, 1) {
+		t.Error("non-ancestor accepted")
+	}
+	if !d.IsTreeAncestor(1, 1) {
+		t.Error("self is an ancestor (reflexive, as anc counts include self)")
+	}
+}
+
+func TestAncDescCounts(t *testing.T) {
+	d := buildFanDoc("d1")
+	if got := d.AncCount(0); got != 1 {
+		t.Errorf("AncCount(root) = %d, want 1 (Fig. 5 convention)", got)
+	}
+	if got := d.AncCount(3); got != 3 {
+		t.Errorf("AncCount(para) = %d, want 3", got)
+	}
+	if got := d.SubtreeSize(0); got != 5 {
+		t.Errorf("SubtreeSize(root) = %d, want 5", got)
+	}
+	if got := d.SubtreeSize(1); got != 3 {
+		t.Errorf("SubtreeSize(section) = %d, want 3", got)
+	}
+}
+
+func TestAnchorsAndIntraLinks(t *testing.T) {
+	d := buildFanDoc("d1")
+	d.SetAnchor(3, "p1")
+	local, ok := d.AnchorElement("p1")
+	if !ok || local != 3 {
+		t.Fatal("anchor lookup failed")
+	}
+	d.AddIntraLink(2, 3)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d.IntraLinks = append(d.IntraLinks, [2]int32{0, 99})
+	if err := d.Validate(); err == nil {
+		t.Error("Validate accepted out-of-range link")
+	}
+}
+
+func TestSealIterativeOnDeepTree(t *testing.T) {
+	d := NewDocument("deep", "r")
+	parent := int32(0)
+	for i := 0; i < 100000; i++ {
+		parent = d.AddElement(parent, "n")
+	}
+	d.Seal() // must not overflow the goroutine stack
+	if d.Elements[parent].Pre != int32(100000) {
+		t.Errorf("deep pre = %d", d.Elements[parent].Pre)
+	}
+	if d.Elements[0].Post != int32(100000) {
+		t.Errorf("root post = %d", d.Elements[0].Post)
+	}
+}

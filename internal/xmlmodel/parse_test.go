@@ -1,0 +1,145 @@
+package xmlmodel
+
+import (
+	"testing"
+)
+
+func TestParseDocumentBasic(t *testing.T) {
+	data := []byte(`<article>
+  <title>On Indexes</title>
+  <section id="s1">
+    <para idref="s2"/>
+  </section>
+  <section id="s2"/>
+</article>`)
+	doc, pending, err := ParseDocument("a.xml", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", doc.Len())
+	}
+	if len(pending) != 0 {
+		t.Errorf("pending = %v", pending)
+	}
+	if len(doc.IntraLinks) != 1 {
+		t.Fatalf("intra links = %v", doc.IntraLinks)
+	}
+	l := doc.IntraLinks[0]
+	if doc.Elements[l[0]].Tag != "para" || doc.Elements[l[1]].Tag != "section" {
+		t.Errorf("link endpoints: %s → %s", doc.Elements[l[0]].Tag, doc.Elements[l[1]].Tag)
+	}
+	if doc.Elements[0].Tag != "article" {
+		t.Error("root tag")
+	}
+}
+
+func TestParseHrefVariants(t *testing.T) {
+	data := []byte(`<a id="root">
+  <b href="#root"/>
+  <c href="other.xml#sec"/>
+  <d href="other.xml"/>
+</a>`)
+	doc, pending, err := ParseDocument("x.xml", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.IntraLinks) != 1 || doc.IntraLinks[0] != [2]int32{1, 0} {
+		t.Errorf("intra = %v", doc.IntraLinks)
+	}
+	if len(pending) != 2 {
+		t.Fatalf("pending = %v", pending)
+	}
+	if pending[0].TargetDoc != "other.xml" || pending[0].Anchor != "sec" {
+		t.Errorf("pending[0] = %+v", pending[0])
+	}
+	if pending[1].Anchor != "" {
+		t.Errorf("pending[1] = %+v", pending[1])
+	}
+}
+
+func TestParseXMLIDAttribute(t *testing.T) {
+	// xml:id has Local "id" with the xml namespace; both spellings work.
+	data := []byte(`<a><b xml:id="x"/><c idref="x"/></a>`)
+	doc, _, err := ParseDocument("y.xml", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.IntraLinks) != 1 {
+		t.Fatalf("intra = %v", doc.IntraLinks)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, _, err := ParseDocument("bad.xml", []byte(`<a><b></a>`)); err == nil {
+		t.Error("mismatched tags accepted")
+	}
+	if _, _, err := ParseDocument("empty.xml", []byte(``)); err == nil {
+		t.Error("empty document accepted")
+	}
+	if _, _, err := ParseDocument("dangling.xml", []byte(`<a idref="nope"/>`)); err == nil {
+		t.Error("dangling idref accepted")
+	}
+}
+
+func TestParseCollectionResolvesLinks(t *testing.T) {
+	files := map[string][]byte{
+		"p1.xml": []byte(`<pub><cite href="p2.xml#abs"/></pub>`),
+		"p2.xml": []byte(`<pub><abstract id="abs"/><cite href="p3.xml"/></pub>`),
+		"p3.xml": []byte(`<pub><cite href="gone.xml"/></pub>`),
+	}
+	c, err := ParseCollection(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDocs() != 3 {
+		t.Fatalf("NumDocs = %d", c.NumDocs())
+	}
+	// p1→p2 anchored, p2→p3 to root; link to gone.xml dropped.
+	if len(c.Links) != 2 {
+		t.Fatalf("Links = %v", c.Links)
+	}
+	g := c.ElementGraph()
+	p1, _ := c.DocByName("p1.xml")
+	p2, _ := c.DocByName("p2.xml")
+	p3, _ := c.DocByName("p3.xml")
+	// p1's root reaches p2's anchored abstract (but not p2's sibling
+	// cite element — the link lands on a leaf).
+	abs, _ := c.Docs[p2].AnchorElement("abs")
+	if !g.ReachableFrom(c.GlobalID(p1, 0)).Has(int(c.GlobalID(p2, abs))) {
+		t.Error("p1 → p2#abs not connected")
+	}
+	if g.ReachableFrom(c.GlobalID(p1, 0)).Has(int(c.GlobalID(p3, 0))) {
+		t.Error("p1 must not reach p3: the anchored link targets a leaf")
+	}
+	// p2's root reaches p3's root through the unanchored link.
+	if !g.ReachableFrom(c.GlobalID(p2, 0)).Has(int(c.GlobalID(p3, 0))) {
+		t.Error("p2 → p3 not connected")
+	}
+}
+
+func TestWriteXMLRoundTripStructure(t *testing.T) {
+	d := NewDocument("w.xml", "article")
+	s := d.AddElement(0, "section")
+	p := d.AddElement(s, "para")
+	d.SetAnchor(p, "p0")
+	d.AddIntraLink(0, p)
+	out := WriteXML(d)
+	re, _, err := ParseDocument("w.xml", out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	// One extra <link> element materializes the intra link.
+	if re.Len() != d.Len()+1 {
+		t.Errorf("reparsed Len = %d, want %d\n%s", re.Len(), d.Len()+1, out)
+	}
+	if len(re.IntraLinks) != 1 {
+		t.Errorf("reparsed intra links = %v\n%s", re.IntraLinks, out)
+	}
+	// Connectivity is preserved: the link's source element (the parent
+	// of the <link>) still reaches the anchored para.
+	l := re.IntraLinks[0]
+	if re.Elements[l[1]].Tag != "para" {
+		t.Errorf("link target tag = %q", re.Elements[l[1]].Tag)
+	}
+}

@@ -1,0 +1,79 @@
+package xmlmodel
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// serialization DTOs — plain exported structs so encoding/gob can
+// handle them without exposing the Collection's internals.
+
+type docDTO struct {
+	Name       string
+	Elements   []Element
+	IntraLinks [][2]int32
+	Alive      bool
+}
+
+type collectionDTO struct {
+	Version int
+	Docs    []docDTO
+	Links   []Link
+}
+
+const serializeVersion = 1
+
+// Encode writes the collection (including tombstoned documents, whose
+// ID ranges must survive) to w.
+func (c *Collection) Encode(w io.Writer) error {
+	dto := collectionDTO{Version: serializeVersion, Links: c.Links}
+	for i, d := range c.Docs {
+		dto.Docs = append(dto.Docs, docDTO{
+			Name:       d.Name,
+			Elements:   d.Elements,
+			IntraLinks: d.IntraLinks,
+			Alive:      c.alive[i],
+		})
+	}
+	return gob.NewEncoder(w).Encode(&dto)
+}
+
+// DecodeCollection reads a collection written by Encode.
+func DecodeCollection(r io.Reader) (*Collection, error) {
+	var dto collectionDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("xmlmodel: decode collection: %w", err)
+	}
+	if dto.Version != serializeVersion {
+		return nil, fmt.Errorf("xmlmodel: unsupported collection version %d", dto.Version)
+	}
+	c := NewCollection()
+	for _, dd := range dto.Docs {
+		d := &Document{
+			Name:       dd.Name,
+			Elements:   dd.Elements,
+			IntraLinks: dd.IntraLinks,
+			anchors:    map[string]int32{},
+		}
+		d.Children = make([][]int32, len(d.Elements))
+		for i, e := range d.Elements {
+			if e.Parent >= 0 {
+				d.Children[e.Parent] = append(d.Children[e.Parent], int32(i))
+			}
+			if e.Anchor != "" {
+				d.anchors[e.Anchor] = int32(i)
+			}
+		}
+		idx := c.AddDocument(d)
+		if !dd.Alive {
+			// restore the tombstone without disturbing ID assignment
+			c.alive[idx] = false
+			if d.Name != "" {
+				delete(c.byName, d.Name)
+			}
+		}
+	}
+	c.Links = dto.Links
+	return c, nil
+}

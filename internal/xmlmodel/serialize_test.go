@@ -1,0 +1,164 @@
+package xmlmodel
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := NewCollection()
+	d1 := NewDocument("a.xml", "r")
+	ch := d1.AddElement(0, "c")
+	d1.SetAnchor(ch, "anchor1")
+	d1.AddIntraLink(0, ch)
+	c.AddDocument(d1)
+	d2 := NewDocument("b.xml", "r")
+	d2.AddElement(0, "c")
+	c.AddDocument(d2)
+	if err := c.AddLink(c.GlobalID(0, 1), c.GlobalID(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := DecodeCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumDocs() != 2 || re.NumElements() != 4 || len(re.Links) != 1 {
+		t.Fatalf("decoded: docs=%d els=%d links=%d", re.NumDocs(), re.NumElements(), len(re.Links))
+	}
+	if idx, ok := re.DocByName("a.xml"); !ok || idx != 0 {
+		t.Error("doc name lookup lost")
+	}
+	if local, ok := re.Docs[0].AnchorElement("anchor1"); !ok || local != ch {
+		t.Error("anchor lost")
+	}
+	if re.Docs[0].IntraLinks[0] != [2]int32{0, ch} {
+		t.Error("intra link lost")
+	}
+	// graphs agree
+	g1 := c.ElementGraph()
+	g2 := re.ElementGraph()
+	if g1.N() != g2.N() || g1.M() != g2.M() {
+		t.Errorf("graphs differ: %d/%d vs %d/%d", g1.N(), g1.M(), g2.N(), g2.M())
+	}
+}
+
+func TestEncodeDecodeTombstones(t *testing.T) {
+	c := NewCollection()
+	for i := 0; i < 3; i++ {
+		d := NewDocument("", "r")
+		d.AddElement(0, "c")
+		c.AddDocument(d)
+	}
+	c.RemoveDocument(1)
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := DecodeCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumDocs() != 2 {
+		t.Errorf("NumDocs = %d", re.NumDocs())
+	}
+	if re.Alive(1) {
+		t.Error("tombstone lost")
+	}
+	// ID space preserved: doc 2's elements keep their global IDs
+	if re.GlobalID(2, 0) != c.GlobalID(2, 0) {
+		t.Error("global IDs shifted across serialization")
+	}
+	// adding a new document after decode continues the ID space
+	nd := NewDocument("new", "r")
+	idx := re.AddDocument(nd)
+	if re.GlobalID(idx, 0) != 6 {
+		t.Errorf("new base = %d, want 6", re.GlobalID(idx, 0))
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeCollection(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestWriteCollectionXMLRoundTrip(t *testing.T) {
+	c := NewCollection()
+	d1 := NewDocument("a.xml", "bib")
+	e1 := d1.AddElement(0, "entry")
+	c.AddDocument(d1)
+	d2 := NewDocument("b.xml", "book")
+	sec := d2.AddElement(0, "section")
+	c.AddDocument(d2)
+	// inter links: to a root and to a mid-tree element (gets an anchor)
+	if err := c.AddLink(c.GlobalID(0, e1), c.GlobalID(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddLink(c.GlobalID(1, sec), c.GlobalID(0, e1)); err != nil {
+		t.Fatal(err)
+	}
+
+	files := WriteCollectionXML(c)
+	if len(files) != 2 {
+		t.Fatalf("files = %v", files)
+	}
+	re, err := ParseCollection(files)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, files["b.xml"])
+	}
+	if re.NumDocs() != 2 {
+		t.Fatal("doc count changed")
+	}
+	if len(re.Links) != 2 {
+		t.Fatalf("links = %v", re.Links)
+	}
+	// reachability across the round trip: a.xml's entry still reaches
+	// b.xml's root (via the materialized link element)
+	g := re.ElementGraph()
+	a, _ := re.DocByName("a.xml")
+	b, _ := re.DocByName("b.xml")
+	entryID := re.GlobalID(a, 1)
+	if !g.ReachableFrom(entryID).Has(int(re.GlobalID(b, 0))) {
+		t.Error("cross-document reachability lost in corpus round trip")
+	}
+}
+
+func TestWriteCollectionXMLGeneratedCorpus(t *testing.T) {
+	// a small generated-style collection with several links
+	c := NewCollection()
+	for i := 0; i < 6; i++ {
+		d := NewDocument(docName(i), "article")
+		d.AddElement(0, "title")
+		d.AddElement(0, "cite")
+		c.AddDocument(d)
+	}
+	for i := 1; i < 6; i++ {
+		if err := c.AddLink(c.GlobalID(i, 2), c.GlobalID(i-1, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files := WriteCollectionXML(c)
+	re, err := ParseCollection(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumDocs() != 6 || len(re.Links) != 5 {
+		t.Fatalf("docs=%d links=%d", re.NumDocs(), len(re.Links))
+	}
+	// the citation chain survives: last doc reaches the first
+	g := re.ElementGraph()
+	last, _ := re.DocByName(docName(5))
+	first, _ := re.DocByName(docName(0))
+	if !g.ReachableFrom(re.GlobalID(last, 0)).Has(int(re.GlobalID(first, 0))) {
+		t.Error("citation chain broken after corpus round trip")
+	}
+}
+
+func docName(i int) string {
+	return string(rune('a'+i)) + ".xml"
+}
