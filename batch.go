@@ -1,0 +1,377 @@
+package hopi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"hopi/internal/xmlmodel"
+)
+
+// Sentinel errors wrapped by maintenance and resolution failures;
+// match with errors.Is. Callers translating errors to transport codes
+// (e.g. hopiserve's HTTP statuses) rely on these rather than on error
+// text, which embeds user-controlled names.
+var (
+	// ErrNotFound wraps failures to resolve a document, anchor, or link.
+	ErrNotFound = errors.New("not found")
+	// ErrExists wraps inserts that would shadow a live document's name.
+	ErrExists = errors.New("already exists")
+)
+
+// Batch collects maintenance operations to be applied to an Index as
+// one unit with Index.Apply. Batching amortizes the cost of snapshot
+// and engine rebuilds: readers observe either the state before the
+// batch or the state after it, never an intermediate one.
+//
+// Enqueueing records the operation only; names and element IDs are
+// resolved at Apply time against the then-current state, so a batch
+// may link to a document inserted earlier in the same batch (use the
+// name-based InsertLink variants for that).
+type Batch struct {
+	ops []batchOp
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch { return &Batch{} }
+
+// Len returns the number of queued operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+type opKind int
+
+const (
+	opInsertDoc opKind = iota
+	opInsertXML
+	opInsertEdge
+	opInsertLink
+	opDeleteEdge
+	opDeleteDoc
+	opDeleteDocName
+	opModifyDoc
+	opRebuild
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opInsertDoc:
+		return "insert-document"
+	case opInsertXML:
+		return "insert-xml"
+	case opInsertEdge:
+		return "insert-edge"
+	case opInsertLink:
+		return "insert-link"
+	case opDeleteEdge:
+		return "delete-edge"
+	case opDeleteDoc, opDeleteDocName:
+		return "delete-document"
+	case opModifyDoc:
+		return "modify-document"
+	case opRebuild:
+		return "rebuild"
+	}
+	return "unknown"
+}
+
+type batchOp struct {
+	kind    opKind
+	doc     *Document
+	pending []xmlmodel.PendingLink
+	docID   DocID
+	name    string
+	from    ElemID
+	to      ElemID
+	// name-based link endpoints (resolved at Apply time)
+	fromDoc, toDoc     string
+	fromLocal, toLocal int32
+	toAnchor           string
+	byAnchor           bool
+}
+
+// InsertDocument queues a new document. The batch takes ownership of
+// d; do not mutate it afterwards. Attach links with InsertEdge (global
+// IDs) or InsertLink (names, also valid for this same batch's
+// documents).
+func (b *Batch) InsertDocument(d *Document) {
+	b.ops = append(b.ops, batchOp{kind: opInsertDoc, doc: d})
+}
+
+// InsertXML parses an XML document and queues its insertion. Links in
+// the document (idref, href) are resolved at Apply time; targets that
+// cannot be resolved are reported in the op's result, not treated as
+// errors. The parse itself happens eagerly so malformed input fails
+// before the batch is applied.
+func (b *Batch) InsertXML(name string, data []byte) error {
+	doc, pending, err := xmlmodel.ParseDocument(name, data)
+	if err != nil {
+		return err
+	}
+	b.ops = append(b.ops, batchOp{kind: opInsertXML, doc: &Document{d: doc}, pending: pending})
+	return nil
+}
+
+// InsertEdge queues a link between two existing elements, addressed by
+// global element ID (valid as of the batch's Apply time).
+func (b *Batch) InsertEdge(from, to ElemID) {
+	b.ops = append(b.ops, batchOp{kind: opInsertEdge, from: from, to: to})
+}
+
+// InsertLink queues a link addressed by document name and local
+// element index. Names are resolved at Apply time, so the endpoints
+// may be documents inserted earlier in the same batch.
+func (b *Batch) InsertLink(fromDoc string, fromLocal int32, toDoc string, toLocal int32) {
+	b.ops = append(b.ops, batchOp{
+		kind:    opInsertLink,
+		fromDoc: fromDoc, fromLocal: fromLocal,
+		toDoc: toDoc, toLocal: toLocal,
+	})
+}
+
+// InsertLinkByAnchor queues a link whose target is addressed by anchor
+// id within the target document ("" targets the root).
+func (b *Batch) InsertLinkByAnchor(fromDoc string, fromLocal int32, toDoc, anchor string) {
+	b.ops = append(b.ops, batchOp{
+		kind: opInsertLink, byAnchor: true,
+		fromDoc: fromDoc, fromLocal: fromLocal,
+		toDoc: toDoc, toAnchor: anchor,
+	})
+}
+
+// DeleteEdge queues the removal of a link between two global element
+// IDs.
+func (b *Batch) DeleteEdge(from, to ElemID) {
+	b.ops = append(b.ops, batchOp{kind: opDeleteEdge, from: from, to: to})
+}
+
+// DeleteDocument queues the removal of a document by ID.
+func (b *Batch) DeleteDocument(doc DocID) {
+	b.ops = append(b.ops, batchOp{kind: opDeleteDoc, docID: doc})
+}
+
+// DeleteDocumentByName queues the removal of a document by name.
+func (b *Batch) DeleteDocumentByName(name string) {
+	b.ops = append(b.ops, batchOp{kind: opDeleteDocName, name: name})
+}
+
+// ModifyDocument queues the replacement of a document with a new
+// version; inter-document links are re-attached as described at
+// Index.ModifyDocument.
+func (b *Batch) ModifyDocument(doc DocID, newDoc *Document) {
+	b.ops = append(b.ops, batchOp{kind: opModifyDoc, docID: doc, doc: newDoc})
+}
+
+// Rebuild queues a from-scratch rebuild with the index's original
+// options, restoring space efficiency after heavy maintenance churn.
+func (b *Batch) Rebuild() {
+	b.ops = append(b.ops, batchOp{kind: opRebuild})
+}
+
+// OpResult reports the outcome of one applied batch operation.
+type OpResult struct {
+	// Op names the operation kind ("insert-document", "delete-edge", ...).
+	Op string
+	// Doc is the document affected: for inserts and modifications the
+	// new document's ID, for document deletions the removed ID.
+	Doc DocID
+	// FastPath reports, for document deletions, whether the Theorem 2
+	// separating-document fast path applied.
+	FastPath bool
+	// Unresolved lists, for XML inserts, link targets that could not be
+	// resolved ("doc.xml#anchor").
+	Unresolved []string
+}
+
+// ApplyResult reports the outcome of an Apply call, one entry per
+// applied operation in batch order.
+type ApplyResult struct {
+	Results []OpResult
+}
+
+// Docs returns the IDs of documents created by the batch (inserts and
+// modifications), in op order.
+func (r *ApplyResult) Docs() []DocID {
+	var out []DocID
+	for _, op := range r.Results {
+		switch op.Op {
+		case "insert-document", "insert-xml", "modify-document":
+			out = append(out, op.Doc)
+		}
+	}
+	return out
+}
+
+// Apply executes the batch's operations in order under the index's
+// write lock and then invalidates the cached snapshot, so the next
+// Snapshot call observes the full batch. Readers holding earlier
+// snapshots are unaffected, and no snapshot is ever built from
+// mid-batch state — Apply holds the write lock for the whole batch.
+//
+// ctx is polled between operations: a cancelled context stops the
+// batch at an operation boundary and returns ctx's error. If an
+// operation fails, Apply stops there too (fail-stop, no rollback); the
+// returned ApplyResult covers the operations that completed, and the
+// next snapshot reflects them plus whatever partial effect the failed
+// operation had (a failed multi-step op such as InsertXML may have
+// applied some of its steps).
+func (ix *Index) Apply(ctx context.Context, b *Batch) (*ApplyResult, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+
+	res := &ApplyResult{}
+	attempted := false
+	defer func() {
+		// Invalidate the cached snapshot if any op ran at all — a
+		// failed op may still have mutated live state.
+		if attempted {
+			ix.cur.Store(nil)
+		}
+	}()
+	for i := range b.ops {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		attempted = true
+		opRes, err := ix.applyOp(&b.ops[i])
+		if err != nil {
+			return res, fmt.Errorf("hopi: batch op %d (%s): %w", i, b.ops[i].kind, err)
+		}
+		res.Results = append(res.Results, opRes)
+	}
+	return res, nil
+}
+
+func (ix *Index) applyOp(o *batchOp) (res OpResult, err error) {
+	// A panic escaping here would leave ix.mu locked forever when the
+	// caller's recovery (e.g. net/http's) swallows it — every later
+	// Apply and Snapshot would deadlock. Surface it as an op error
+	// instead; the failed op may have applied partially, which the
+	// fail-stop contract already covers.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	res = OpResult{Op: o.kind.String()}
+	switch o.kind {
+	case opInsertDoc, opInsertXML:
+		if err := o.doc.d.Validate(); err != nil {
+			return res, err
+		}
+		// A second live document under the same name would shadow the
+		// first in by-name lookups and orphan it for name-based
+		// maintenance.
+		if name := o.doc.d.Name; name != "" {
+			if _, exists := ix.coll.c.DocByName(name); exists {
+				return res, fmt.Errorf("document %q: %w", name, ErrExists)
+			}
+		}
+		idx, err := ix.ix.InsertDocument(o.doc.d)
+		if err != nil {
+			return res, err
+		}
+		res.Doc = DocID(idx)
+		for _, p := range o.pending {
+			from := ix.coll.c.GlobalID(idx, p.FromLocal)
+			to, ok := ix.resolveAnchor(p.TargetDoc, p.Anchor)
+			if !ok {
+				res.Unresolved = append(res.Unresolved, p.TargetDoc+"#"+p.Anchor)
+				continue
+			}
+			if err := ix.ix.InsertEdge(from, to); err != nil {
+				return res, err
+			}
+		}
+	case opInsertEdge:
+		if err := ix.checkElem(o.from); err != nil {
+			return res, err
+		}
+		if err := ix.checkElem(o.to); err != nil {
+			return res, err
+		}
+		return res, ix.ix.InsertEdge(o.from, o.to)
+	case opInsertLink:
+		fd, ok := ix.coll.c.DocByName(o.fromDoc)
+		if !ok {
+			return res, fmt.Errorf("document %q: %w", o.fromDoc, ErrNotFound)
+		}
+		if o.fromLocal < 0 || int(o.fromLocal) >= ix.coll.c.Docs[fd].Len() {
+			return res, fmt.Errorf("element %d out of range for %q", o.fromLocal, o.fromDoc)
+		}
+		var to ElemID
+		if o.byAnchor {
+			to, ok = ix.resolveAnchor(o.toDoc, o.toAnchor)
+			if !ok {
+				return res, fmt.Errorf("anchor %q in %q: %w", o.toAnchor, o.toDoc, ErrNotFound)
+			}
+		} else {
+			td, ok := ix.coll.c.DocByName(o.toDoc)
+			if !ok {
+				return res, fmt.Errorf("document %q: %w", o.toDoc, ErrNotFound)
+			}
+			if o.toLocal < 0 || int(o.toLocal) >= ix.coll.c.Docs[td].Len() {
+				return res, fmt.Errorf("element %d out of range for %q", o.toLocal, o.toDoc)
+			}
+			to = ix.coll.c.GlobalID(td, o.toLocal)
+		}
+		return res, ix.ix.InsertEdge(ix.coll.c.GlobalID(fd, o.fromLocal), to)
+	case opDeleteEdge:
+		return res, ix.ix.DeleteEdge(o.from, o.to)
+	case opDeleteDoc:
+		res.Doc = o.docID
+		fast, err := ix.ix.DeleteDocument(int(o.docID))
+		res.FastPath = fast
+		return res, err
+	case opDeleteDocName:
+		d, ok := ix.coll.c.DocByName(o.name)
+		if !ok {
+			return res, fmt.Errorf("document %q: %w", o.name, ErrNotFound)
+		}
+		res.Doc = DocID(d)
+		fast, err := ix.ix.DeleteDocument(d)
+		res.FastPath = fast
+		return res, err
+	case opModifyDoc:
+		// Same collision rule as insertion: the replacement may keep the
+		// old document's name (the common case) but must not shadow a
+		// different live document.
+		if name := o.doc.d.Name; name != "" {
+			if d, exists := ix.coll.c.DocByName(name); exists && d != int(o.docID) {
+				return res, fmt.Errorf("document %q: %w", name, ErrExists)
+			}
+		}
+		idx, err := ix.ix.ModifyDocument(int(o.docID), o.doc.d)
+		res.Doc = DocID(idx)
+		return res, err
+	case opRebuild:
+		return res, ix.ix.Rebuild()
+	}
+	return res, nil
+}
+
+// resolveAnchor resolves (document name, anchor) to a global element
+// ID; an empty anchor targets the document root.
+func (ix *Index) resolveAnchor(docName, anchor string) (ElemID, bool) {
+	d, ok := ix.coll.c.DocByName(docName)
+	if !ok {
+		return 0, false
+	}
+	var local int32
+	if anchor != "" {
+		local, ok = ix.coll.c.Docs[d].AnchorElement(anchor)
+		if !ok {
+			return 0, false
+		}
+	}
+	return ix.coll.c.GlobalID(d, local), true
+}
+
+func (ix *Index) checkElem(id ElemID) error {
+	if id < 0 || int(id) >= ix.coll.c.NumAllocatedIDs() {
+		return fmt.Errorf("element %d out of range", id)
+	}
+	if !ix.coll.c.Alive(ix.coll.c.DocOfID(id)) {
+		return fmt.Errorf("element %d belongs to a removed document", id)
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hopi/internal/loadgen"
+)
+
+// httpLoad drives a running hopiserve with the mixed workload: Readers
+// workers issuing GET /query and Writers workers issuing POST /docs
+// (plus periodic DELETE /docs/{name} of their own documents). The
+// server does the indexing work; this side only measures throughput.
+func httpLoad(base string, cfg loadgen.Config) (loadgen.Result, error) {
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Probe the server before unleashing the workers.
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return loadgen.Result{}, fmt.Errorf("hopiserve not reachable: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return loadgen.Result{}, fmt.Errorf("GET /stats: %s", resp.Status)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancel()
+
+	var (
+		queries, batches, inserted, deleted, matches int64
+		errMu                                        sync.Mutex
+		firstErr                                     error
+		wg                                           sync.WaitGroup
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	queryURL := base + "/query?expr=" + url.QueryEscape(cfg.Expr)
+
+	start := time.Now()
+	for r := 0; r < cfg.Readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				req, _ := http.NewRequestWithContext(ctx, http.MethodGet, queryURL, nil)
+				resp, err := client.Do(req)
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					fail(err)
+					return
+				}
+				var body struct {
+					Count int64 `json:"count"`
+				}
+				decErr := json.NewDecoder(resp.Body).Decode(&body)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail(fmt.Errorf("GET /query: %s", resp.Status))
+					return
+				}
+				if decErr != nil {
+					fail(fmt.Errorf("GET /query: decode: %w", decErr))
+					return
+				}
+				atomic.AddInt64(&queries, 1)
+				atomic.AddInt64(&matches, body.Count)
+			}
+		}()
+	}
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var mine []string
+			for i := 0; ctx.Err() == nil; i++ {
+				name := fmt.Sprintf("bench-w%d-%05d.xml", w, i)
+				doc := `<article><title>load</title><author>bench</author></article>`
+				u := base + "/docs?name=" + url.QueryEscape(name)
+				req, _ := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(doc))
+				req.Header.Set("Content-Type", "application/xml")
+				resp, err := client.Do(req)
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					fail(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusCreated {
+					fail(fmt.Errorf("POST /docs: %s", resp.Status))
+					return
+				}
+				mine = append(mine, name)
+				atomic.AddInt64(&inserted, 1)
+				atomic.AddInt64(&batches, 1)
+				if len(mine) > 8 && i%4 == 0 {
+					victim := mine[0]
+					mine = mine[1:]
+					req, _ := http.NewRequestWithContext(ctx, http.MethodDelete,
+						base+"/docs/"+url.PathEscape(victim), nil)
+					resp, err := client.Do(req)
+					if err != nil {
+						if ctx.Err() != nil {
+							return
+						}
+						fail(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						fail(fmt.Errorf("DELETE /docs/%s: %s", victim, resp.Status))
+						return
+					}
+					atomic.AddInt64(&deleted, 1)
+					atomic.AddInt64(&batches, 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return loadgen.Result{}, firstErr
+	}
+	res := loadgen.Result{
+		Duration:     elapsed,
+		Queries:      queries,
+		Batches:      batches,
+		Inserted:     inserted,
+		Deleted:      deleted,
+		QueryResults: matches,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		res.QueriesPerS = float64(queries) / s
+		res.BatchesPerS = float64(batches) / s
+	}
+	return res, nil
+}

@@ -1,7 +1,9 @@
 // Command hopibench regenerates the paper's evaluation (§7): Table 1,
 // the §7.2 centralized baseline, Table 2, the §7.3 maintenance
 // experiments, the INEX build, and the distance/preselection/weights
-// ablations — on synthetic collections shaped like the originals.
+// ablations — on synthetic collections shaped like the originals. It
+// also carries a load-generator mode measuring queries/sec under
+// concurrent maintenance, in-process or against a running hopiserve.
 //
 // Usage:
 //
@@ -9,9 +11,11 @@
 //	hopibench -exp table2            # one experiment
 //	hopibench -exp all -docs 620     # includes centralized (~2 min)
 //	hopibench -docs 300 -seed 7      # smaller, different seed
+//	hopibench -exp load              # mixed query+maintenance workload, in-process
+//	hopibench -exp load -url http://localhost:8080   # same, against hopiserve
 //
 // Experiments: table1, centralized, table2, maintenance, inex,
-// distance, preselect, weights, balance, query, all, default.
+// distance, preselect, weights, balance, query, load, all, default.
 package main
 
 import (
@@ -19,17 +23,25 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"hopi/internal/experiments"
+	"hopi/internal/loadgen"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "default", "comma-separated experiments (table1,centralized,table2,maintenance,inex,distance,preselect,weights,balance,query,all,default)")
+		exp      = flag.String("exp", "default", "comma-separated experiments (table1,centralized,table2,maintenance,inex,distance,preselect,weights,balance,query,load,all,default)")
 		docs     = flag.Int("docs", 620, "DBLP-like document count (paper: 6210)")
 		inexDocs = flag.Int("inexdocs", 122, "INEX-like document count (paper: 12232)")
 		inexEls  = flag.Int("inexels", 950, "INEX-like mean elements per document (paper: ~986)")
 		seed     = flag.Int64("seed", 42, "generator and build seed")
+
+		url      = flag.String("url", "", "hopiserve base URL for -exp load (empty: run in-process)")
+		loadDur  = flag.Duration("load-dur", 3*time.Second, "load-generator duration")
+		readers  = flag.Int("load-readers", 4, "concurrent query workers")
+		writers  = flag.Int("load-writers", 2, "concurrent maintenance workers")
+		loadExpr = flag.String("load-expr", "//article//author", "path expression the query workers evaluate")
 	)
 	flag.Parse()
 
@@ -41,7 +53,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	if want["all"] {
-		for _, e := range []string{"table1", "centralized", "table2", "maintenance", "inex", "distance", "preselect", "weights", "balance", "query"} {
+		for _, e := range []string{"table1", "centralized", "table2", "maintenance", "inex", "distance", "preselect", "weights", "balance", "query", "load"} {
 			want[e] = true
 		}
 	}
@@ -129,5 +141,24 @@ func main() {
 			return "", err
 		}
 		return experiments.RenderQueryMicro(r), nil
+	})
+	run("load", "mixed query + maintenance workload (extension)", func() (string, error) {
+		lc := loadgen.Config{
+			Docs: *docs, Seed: *seed,
+			Readers: *readers, Writers: *writers,
+			Duration: *loadDur, Expr: *loadExpr,
+		}
+		if *url != "" {
+			r, err := httpLoad(*url, lc)
+			if err != nil {
+				return "", err
+			}
+			return loadgen.Render(r), nil
+		}
+		r, err := loadgen.ServeLoad(lc)
+		if err != nil {
+			return "", err
+		}
+		return loadgen.Render(r), nil
 	})
 }

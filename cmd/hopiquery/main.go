@@ -14,11 +14,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
-	"strconv"
-	"strings"
-
 	"hopi"
+	"os"
 )
 
 func main() {
@@ -109,31 +106,7 @@ func main() {
 }
 
 func resolve(coll *hopi.Collection, spec string) (hopi.ElemID, error) {
-	name := spec
-	var local int32
-	var anchor string
-	if i := strings.IndexByte(spec, '#'); i >= 0 {
-		name, anchor = spec[:i], spec[i+1:]
-	} else if i := strings.IndexByte(spec, ':'); i >= 0 {
-		name = spec[:i]
-		n, err := strconv.Atoi(spec[i+1:])
-		if err != nil {
-			return 0, fmt.Errorf("bad local index in %q", spec)
-		}
-		local = int32(n)
-	}
-	doc, ok := coll.DocByName(name)
-	if !ok {
-		return 0, fmt.Errorf("document %q not found", name)
-	}
-	if anchor != "" {
-		id, ok := coll.Anchor(doc, anchor)
-		if !ok {
-			return 0, fmt.Errorf("anchor %q not found in %q", anchor, name)
-		}
-		return id, nil
-	}
-	return coll.ElemID(doc, local), nil
+	return coll.ResolveElement(spec)
 }
 
 func printElems(coll *hopi.Collection, ids []hopi.ElemID, limit int) {

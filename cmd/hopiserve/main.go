@@ -1,0 +1,101 @@
+// Command hopiserve exposes a HOPI index as an HTTP JSON query
+// service — the XML search-engine deployment the paper positions the
+// index for (§1, §3.4). Queries are served from immutable snapshots
+// and keep running while documents are inserted and deleted; writes
+// are applied as serialized batches.
+//
+// Start against a saved index, or with a generated citation
+// collection:
+//
+//	hopiserve -index dblp.hopi
+//	hopiserve -docs 500 -distance
+//
+// API:
+//
+//	GET    /query?expr=//article//author&limit=10&ranked=1
+//	GET    /reach?from=pub00005.xml&to=pub00002.xml&distance=1
+//	GET    /stats
+//	POST   /docs?name=new.xml            (body: the XML document)
+//	DELETE /docs/{name}
+//	POST   /links                        {"from":"a.xml:3","to":"b.xml"}
+//	GET    /healthz
+//
+// Element addresses use the cmd-tool syntax: "doc.xml",
+// "doc.xml:localIndex", or "doc.xml#anchor".
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hopi"
+	"hopi/internal/gen"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		index    = flag.String("index", "", "saved index path (from hopibuild); empty generates a collection")
+		docs     = flag.Int("docs", 500, "generated DBLP-like document count (when no -index)")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		distance = flag.Bool("distance", true, "build a distance-aware index (enables ranked queries)")
+	)
+	flag.Parse()
+
+	ix, err := loadIndex(*index, *docs, *seed, *distance)
+	if err != nil {
+		log.Fatalf("hopiserve: %v", err)
+	}
+	snap := ix.Snapshot()
+	coll := snap.Collection()
+	log.Printf("serving %d docs, %d elements, %d links, %d label entries on %s",
+		coll.NumDocs(), coll.NumElements(), coll.NumLinks(), snap.Size(), *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(ix),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("hopiserve: %v", err)
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Fatalf("hopiserve: shutdown: %v", err)
+		}
+	}
+}
+
+func loadIndex(path string, docs int, seed int64, distance bool) (*hopi.Index, error) {
+	if path != "" {
+		log.Printf("opening index %s", path)
+		return hopi.Open(path)
+	}
+	log.Printf("generating DBLP-like collection (%d docs, seed %d)", docs, seed)
+	coll := hopi.WrapCollection(gen.DBLP(gen.DefaultDBLP(docs, seed)))
+	opts := hopi.DefaultOptions()
+	opts.WithDistance = distance
+	opts.Seed = seed
+	ix, err := hopi.Build(coll, opts)
+	if err != nil {
+		return nil, fmt.Errorf("build: %w", err)
+	}
+	return ix, nil
+}

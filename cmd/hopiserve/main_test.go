@@ -1,0 +1,222 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"hopi"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *hopi.Index) {
+	t.Helper()
+	files := map[string][]byte{
+		"a.xml": []byte(`<bib><book><title>A</title><author id="au"/></book><cite href="b.xml"/></bib>`),
+		"b.xml": []byte(`<bib><book><title>B</title><author/></book><cite href="c.xml#sec"/></bib>`),
+		"c.xml": []byte(`<paper><section id="sec"><author/></section></paper>`),
+	}
+	coll, err := hopi.ParseCollection(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := hopi.DefaultOptions()
+	opts.WithDistance = true
+	opts.Seed = 1
+	ix, err := hopi.Build(coll, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServer(ix))
+	t.Cleanup(srv.Close)
+	return srv, ix
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: %s, want %d", url, resp.Status, wantStatus)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv, _ := testServer(t)
+
+	var q queryResponse
+	getJSON(t, srv.URL+"/query?expr=//book//author", http.StatusOK, &q)
+	if q.Count < 2 {
+		t.Errorf("//book//author: %+v", q)
+	}
+	var ranked queryResponse
+	getJSON(t, srv.URL+"/query?expr=//bib//author&ranked=1&limit=1", http.StatusOK, &ranked)
+	if ranked.Count != 1 || ranked.Results[0].Score <= 0 {
+		t.Errorf("ranked query: %+v", ranked)
+	}
+	getJSON(t, srv.URL+"/query", http.StatusBadRequest, nil)
+	getJSON(t, srv.URL+"/query?expr=book", http.StatusBadRequest, nil)
+
+	var reach reachResponse
+	getJSON(t, srv.URL+"/reach?from=a.xml&to=c.xml%23sec&distance=1", http.StatusOK, &reach)
+	if !reach.Reachable || reach.Distance == nil || *reach.Distance == 0 {
+		t.Errorf("reach: %+v", reach)
+	}
+	getJSON(t, srv.URL+"/reach?from=nope.xml&to=a.xml", http.StatusNotFound, nil)
+
+	var stats statsResponse
+	getJSON(t, srv.URL+"/stats", http.StatusOK, &stats)
+	if stats.Docs != 3 || stats.Elements == 0 {
+		t.Errorf("stats: %+v", stats)
+	}
+
+	// Insert a document citing a.xml, then delete it again.
+	body := `<bib><book><author/></book><cite href="a.xml"/></bib>`
+	resp, err := http.Post(srv.URL+"/docs?name=d.xml", "application/xml", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ins insertDocResponse
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /docs: %s", resp.Status)
+	}
+	json.NewDecoder(resp.Body).Decode(&ins)
+	resp.Body.Close()
+	if len(ins.Unresolved) != 0 {
+		t.Errorf("insert: unresolved %v", ins.Unresolved)
+	}
+	getJSON(t, srv.URL+"/reach?from=d.xml&to=c.xml%23sec", http.StatusOK, &reach)
+	if !reach.Reachable {
+		t.Error("inserted doc should reach c.xml#sec through its cite")
+	}
+
+	// Re-inserting the same name must conflict, not shadow the original.
+	resp, err = http.Post(srv.URL+"/docs?name=d.xml", "application/xml", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate POST /docs: %s, want 409", resp.Status)
+	}
+
+	// Out-of-range link endpoints must be rejected, not panic the op.
+	resp, err = http.Post(srv.URL+"/links", "application/json",
+		strings.NewReader(`{"from":"d.xml:99","to":"a.xml"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range POST /links: %s, want 400", resp.Status)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/docs/d.xml", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /docs/d.xml: %s", resp.Status)
+	}
+	resp.Body.Close()
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/docs/d.xml", nil)
+	resp, _ = http.DefaultClient.Do(req)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second DELETE /docs/d.xml: %s, want 404", resp.Status)
+	}
+	resp.Body.Close()
+}
+
+func TestServerLinkEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Post(srv.URL+"/links", "application/json",
+		strings.NewReader(`{"from":"c.xml:1","to":"a.xml"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /links: %s", resp.Status)
+	}
+	resp.Body.Close()
+	var reach reachResponse
+	getJSON(t, srv.URL+"/reach?from=c.xml&to=a.xml", http.StatusOK, &reach)
+	if !reach.Reachable {
+		t.Error("c.xml should reach a.xml after the new link")
+	}
+}
+
+// TestServerQueriesDuringInserts answers queries while document
+// inserts are in flight — the mixed workload hopiserve exists for.
+func TestServerQueriesDuringInserts(t *testing.T) {
+	srv, ix := testServer(t)
+
+	const writers, docsPerWriter = 2, 10
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+4)
+	done := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < docsPerWriter; i++ {
+				name := fmt.Sprintf("w%d-%d.xml", w, i)
+				body := `<bib><book><author/></book><cite href="a.xml"/></bib>`
+				resp, err := http.Post(srv.URL+"/docs?name="+name, "application/xml", strings.NewReader(body))
+				if err != nil {
+					errc <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusCreated {
+					errc <- fmt.Errorf("POST %s: %s", name, resp.Status)
+					return
+				}
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	queries := 0
+	for {
+		select {
+		case <-done:
+			if queries == 0 {
+				t.Fatal("no queries overlapped the inserts")
+			}
+			close(errc)
+			for err := range errc {
+				t.Fatal(err)
+			}
+			var q queryResponse
+			getJSON(t, srv.URL+"/query?expr=//book//author&limit=1000", http.StatusOK, &q)
+			want := 2 + writers*docsPerWriter // a.xml, b.xml + one author per inserted doc
+			if q.Count != want {
+				t.Errorf("after inserts: %d //book//author matches, want %d", q.Count, want)
+			}
+			if err := ix.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			return
+		default:
+			var q queryResponse
+			getJSON(t, srv.URL+"/query?expr=//book//author&limit=1000", http.StatusOK, &q)
+			if q.Count < 2 {
+				t.Fatalf("mid-insert query lost baseline matches: %+v", q)
+			}
+			queries++
+		}
+	}
+}

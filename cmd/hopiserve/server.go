@@ -1,0 +1,290 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hopi"
+)
+
+// maxDocBytes bounds the size of a posted XML document.
+const maxDocBytes = 16 << 20
+
+// server wires a hopi.Index into the HTTP API. Reads are served from
+// immutable snapshots, so queries keep running at full speed while
+// maintenance batches apply; writes go through Index.Apply, which
+// serializes them internally.
+type server struct {
+	ix *hopi.Index
+}
+
+// newServer returns the HTTP handler for an index.
+func newServer(ix *hopi.Index) http.Handler {
+	s := &server{ix: ix}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /reach", s.handleReach)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /docs", s.handleInsertDoc)
+	mux.HandleFunc("DELETE /docs/{name}", s.handleDeleteDoc)
+	mux.HandleFunc("POST /links", s.handleInsertLink)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// statusFor maps resolution failures to 404, name collisions to 409,
+// and everything else to 400, using the hopi sentinel errors (never
+// error text, which embeds user-controlled names).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, hopi.ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, hopi.ErrNotFound):
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type queryResponse struct {
+	Expr          string        `json:"expr"`
+	Count         int           `json:"count"`
+	ElapsedMicros int64         `json:"elapsedMicros"`
+	Results       []queryResult `json:"results"`
+}
+
+type queryResult struct {
+	Element hopi.ElemID `json:"element"`
+	Doc     string      `json:"doc"`
+	Tag     string      `json:"tag"`
+	Score   float64     `json:"score,omitempty"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	expr := r.URL.Query().Get("expr")
+	if expr == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing expr parameter"))
+		return
+	}
+	limit := 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		limit = n
+	}
+	opts := []hopi.QueryOption{hopi.QueryLimit(limit)}
+	if boolParam(r, "ranked") {
+		opts = append(opts, hopi.QueryRanked())
+	}
+	start := time.Now()
+	res, err := s.ix.Snapshot().QueryCtx(r.Context(), expr, opts...)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out := queryResponse{
+		Expr:          expr,
+		Count:         len(res),
+		ElapsedMicros: time.Since(start).Microseconds(),
+		Results:       make([]queryResult, 0, len(res)),
+	}
+	for _, m := range res {
+		out.Results = append(out.Results, queryResult{
+			Element: m.Element, Doc: m.Doc, Tag: m.Tag, Score: m.Score,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type reachResponse struct {
+	From      string  `json:"from"`
+	To        string  `json:"to"`
+	Reachable bool    `json:"reachable"`
+	Distance  *uint32 `json:"distance,omitempty"`
+}
+
+func (s *server) handleReach(w http.ResponseWriter, r *http.Request) {
+	fromSpec := r.URL.Query().Get("from")
+	toSpec := r.URL.Query().Get("to")
+	if fromSpec == "" || toSpec == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing from/to parameters"))
+		return
+	}
+	snap := s.ix.Snapshot()
+	coll := snap.Collection()
+	u, err := coll.ResolveElement(fromSpec)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	v, err := coll.ResolveElement(toSpec)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	out := reachResponse{From: fromSpec, To: toSpec, Reachable: snap.Reaches(u, v)}
+	if boolParam(r, "distance") {
+		d, err := snap.Distance(u, v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		// Unreachable pairs omit the field instead of exposing the
+		// uint32 Infinite sentinel.
+		if d != hopi.Infinite {
+			out.Distance = &d
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type statsResponse struct {
+	Docs         int     `json:"docs"`
+	Elements     int     `json:"elements"`
+	Links        int     `json:"links"`
+	LabelEntries int     `json:"labelEntries"`
+	AvgPerNode   float64 `json:"avgLabelsPerNode"`
+	StoredBytes  int64   `json:"storedBytes"`
+	DistinctHubs int     `json:"distinctHubs"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.ix.Snapshot()
+	coll := snap.Collection()
+	labels := snap.Labels()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Docs:         coll.NumDocs(),
+		Elements:     coll.NumElements(),
+		Links:        coll.NumLinks(),
+		LabelEntries: labels.Entries,
+		AvgPerNode:   labels.AvgPerNode,
+		StoredBytes:  labels.StoredBytes,
+		DistinctHubs: labels.DistinctHubs,
+	})
+}
+
+type insertDocResponse struct {
+	Doc        hopi.DocID `json:"doc"`
+	Name       string     `json:"name"`
+	Unresolved []string   `json:"unresolved,omitempty"`
+}
+
+func (s *server) handleInsertDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing name parameter"))
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxDocBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(data) > maxDocBytes {
+		writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("document exceeds %d bytes", maxDocBytes))
+		return
+	}
+	b := hopi.NewBatch()
+	if err := b.InsertXML(name, data); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.ix.Apply(r.Context(), b)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	op := res.Results[0]
+	writeJSON(w, http.StatusCreated, insertDocResponse{Doc: op.Doc, Name: name, Unresolved: op.Unresolved})
+}
+
+type deleteDocResponse struct {
+	Doc      hopi.DocID `json:"doc"`
+	Name     string     `json:"name"`
+	FastPath bool       `json:"fastPath"`
+}
+
+func (s *server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	b := hopi.NewBatch()
+	b.DeleteDocumentByName(name)
+	res, err := s.ix.Apply(r.Context(), b)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	op := res.Results[0]
+	writeJSON(w, http.StatusOK, deleteDocResponse{Doc: op.Doc, Name: name, FastPath: op.FastPath})
+}
+
+type insertLinkRequest struct {
+	From string `json:"from"` // "doc.xml", "doc.xml:3"
+	To   string `json:"to"`   // "doc.xml", "doc.xml:3", "doc.xml#anchor"
+}
+
+func (s *server) handleInsertLink(w http.ResponseWriter, r *http.Request) {
+	var req insertLinkRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	fromDoc, fromLocal, fromAnchor, err := hopi.ParseElementSpec(req.From)
+	if err == nil && fromAnchor != "" {
+		err = fmt.Errorf("anchor addressing is only supported for link targets")
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	toDoc, toLocal, toAnchor, err := hopi.ParseElementSpec(req.To)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	b := hopi.NewBatch()
+	if toAnchor != "" {
+		b.InsertLinkByAnchor(fromDoc, fromLocal, toDoc, toAnchor)
+	} else {
+		b.InsertLink(fromDoc, fromLocal, toDoc, toLocal)
+	}
+	if _, err := s.ix.Apply(r.Context(), b); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"from": req.From, "to": req.To})
+}
+
+func boolParam(r *http.Request, name string) bool {
+	switch r.URL.Query().Get(name) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}

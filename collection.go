@@ -3,6 +3,8 @@ package hopi
 import (
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"hopi/internal/xmlmodel"
 )
@@ -132,6 +134,54 @@ func (c *Collection) Anchor(doc DocID, anchor string) (ElemID, bool) {
 		return 0, false
 	}
 	return c.c.GlobalID(int(doc), local), true
+}
+
+// ParseElementSpec splits a textual element address into its parts.
+// Accepted forms: "docname" (local 0, the document root),
+// "docname:localIndex", and "docname#anchor". It is the grammar behind
+// ResolveElement and the name-based batch operations; parsing does not
+// consult any collection.
+func ParseElementSpec(spec string) (doc string, local int32, anchor string, err error) {
+	if spec == "" {
+		return "", 0, "", fmt.Errorf("hopi: empty element spec")
+	}
+	if i := strings.IndexByte(spec, '#'); i >= 0 {
+		return spec[:i], 0, spec[i+1:], nil
+	}
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		n, err := strconv.Atoi(spec[i+1:])
+		if err != nil {
+			return "", 0, "", fmt.Errorf("hopi: bad local index in %q", spec)
+		}
+		return spec[:i], int32(n), "", nil
+	}
+	return spec, 0, "", nil
+}
+
+// ResolveElement resolves a textual element address (see
+// ParseElementSpec for the accepted forms) to a global ID. The cmd
+// tools and hopiserve address elements this way. Resolution failures
+// wrap ErrNotFound.
+func (c *Collection) ResolveElement(spec string) (ElemID, error) {
+	name, local, anchor, err := ParseElementSpec(spec)
+	if err != nil {
+		return 0, err
+	}
+	doc, ok := c.DocByName(name)
+	if !ok {
+		return 0, fmt.Errorf("hopi: document %q: %w", name, ErrNotFound)
+	}
+	if anchor != "" {
+		id, ok := c.Anchor(doc, anchor)
+		if !ok {
+			return 0, fmt.Errorf("hopi: anchor %q in %q: %w", anchor, name, ErrNotFound)
+		}
+		return id, nil
+	}
+	if local < 0 || int(local) >= c.c.Docs[doc].Len() {
+		return 0, fmt.Errorf("hopi: element %d out of range for %q", local, name)
+	}
+	return c.ElemID(doc, local), nil
 }
 
 // NumDocs returns the number of live documents.

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -24,22 +25,27 @@ func main() {
 	}
 	fmt.Printf("initial index: %d entries over %s\n\n", ix.Size(), coll)
 
-	// --- insertion (§6.1) ------------------------------------------
+	// --- insertion (§6.1), applied as one batch --------------------
+	// The document and its citation go through a single Apply: the
+	// snapshot (and its query engine) is rebuilt once, and concurrent
+	// readers see either neither or both.
 	newDoc := hopi.NewDocument("report.xml", "report")
 	sec := newDoc.AddElement(newDoc.Root(), "section")
 	newDoc.AddElement(sec, "finding")
 	cite := newDoc.AddElement(newDoc.Root(), "cite")
 
 	t0 := time.Now()
-	docID, err := ix.InsertDocument(newDoc)
+	batch := hopi.NewBatch()
+	batch.InsertDocument(newDoc)
+	batch.InsertLink("report.xml", cite, "pub00010.xml", 0)
+	res, err := ix.Apply(context.Background(), batch)
 	if err != nil {
 		log.Fatal(err)
 	}
+	docID := res.Docs()[0]
 	target, _ := coll.DocByName("pub00010.xml")
-	if err := ix.InsertEdge(coll.ElemID(docID, cite), coll.ElemID(target, 0)); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("inserted report.xml + citation in %v\n", time.Since(t0).Round(time.Microsecond))
+	fmt.Printf("inserted report.xml + citation in %v (one batch, %d ops)\n",
+		time.Since(t0).Round(time.Microsecond), batch.Len())
 	fmt.Printf("report reaches pub00010: %v\n\n",
 		ix.Reaches(coll.ElemID(docID, 0), coll.ElemID(target, 0)))
 

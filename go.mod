@@ -1,0 +1,3 @@
+module hopi
+
+go 1.24

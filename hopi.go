@@ -15,18 +15,45 @@
 //	connected := ix.Reaches(coll.ElemID(a, 0), coll.ElemID(b, 0))
 //	authors, _ := ix.Query("//book//author")
 //
-// The index supports incremental maintenance (InsertDocument,
-// InsertEdge, DeleteDocument, DeleteEdge, ModifyDocument) and can be
-// persisted to a page-based store with Save/Open.
+// # Snapshots and batches
+//
+// An Index separates its read path from its write path so it can serve
+// queries while being maintained — the online scenario of the paper's
+// §6 experiments:
+//
+//   - Index.Snapshot returns an immutable *Snapshot carrying its own
+//     query engine. All query methods (Reaches, Distance, Descendants,
+//     Ancestors, Query, QueryRanked, QueryCtx) live on the snapshot;
+//     the same-named methods on Index are thin wrappers that delegate
+//     to the current snapshot. Snapshots are safe for unlimited
+//     concurrent use and are never invalidated mid-query: a reader
+//     keeps its view for as long as it likes while writers publish
+//     newer states behind it.
+//
+//   - Maintenance goes through a Batch (InsertDocument, InsertXML,
+//     InsertEdge, DeleteEdge, DeleteDocument, ModifyDocument, Rebuild)
+//     applied with Index.Apply under an internal write lock. The
+//     snapshot and its engine are rebuilt once per batch, not once per
+//     call. The per-operation maintenance methods on Index remain as
+//     single-op batches for compatibility.
+//
+// Queries accept a context and options: QueryCtx(ctx, expr,
+// QueryLimit(10), QueryRanked()) polls ctx inside the evaluation loops
+// and truncates results. cmd/hopiserve exposes the whole API as an
+// HTTP JSON service built on snapshots.
+//
+// The index can be persisted to a page-based store with Save/Open.
 package hopi
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 
 	"hopi/internal/core"
 	"hopi/internal/partition"
-	"hopi/internal/query"
 	"hopi/internal/storage"
 )
 
@@ -98,13 +125,26 @@ func DefaultOptions() Options {
 }
 
 // Index is a built HOPI index over a collection.
+//
+// The Index owns the live, mutable state; all mutation is serialized
+// through Apply (the per-operation maintenance methods are single-op
+// batches). Reads go through immutable snapshots — see Snapshot. Index
+// methods that inspect the live state directly (Stats, Size, Labels,
+// Validate, Separates, Save) take a read lock and are safe to call
+// concurrently with Apply; the handle returned by Collection, however,
+// aliases live state and must not be used concurrently with writes —
+// use Snapshot().Collection() for that.
 type Index struct {
-	coll *Collection
-	ix   *core.Index
-	eng  *query.Engine
+	mu     sync.RWMutex // Apply takes the write side; live-state readers the read side
+	snapMu sync.Mutex   // single-flights snapshot construction (never held with mu's write side)
+	coll   *Collection
+	ix     *core.Index
+	cur    atomic.Pointer[Snapshot] // latest published snapshot, nil after a batch
 }
 
-// Build constructs a HOPI index for the collection.
+// Build constructs a HOPI index for the collection. The collection is
+// adopted as the index's live state: mutate it only through the
+// index's maintenance API afterwards.
 func Build(coll *Collection, opts Options) (*Index, error) {
 	ix, err := core.Build(coll.c, opts)
 	if err != nil {
@@ -113,41 +153,106 @@ func Build(coll *Collection, opts Options) (*Index, error) {
 	return &Index{coll: coll, ix: ix}, nil
 }
 
-// Collection returns the indexed collection.
+// Snapshot returns the current immutable snapshot, cloning the live
+// state on first use after a maintenance batch and reusing the cached
+// snapshot until the next one. The returned snapshot remains valid (and
+// unchanged) forever; queries against it never block writers.
+func (ix *Index) Snapshot() *Snapshot {
+	if s := ix.cur.Load(); s != nil {
+		return s
+	}
+	// snapMu single-flights construction so concurrent first-readers
+	// don't clone redundantly; the clone itself happens under the read
+	// lock only, so it never blocks other live-state readers. The
+	// publish happens while still holding the read lock: Apply cannot
+	// run (and invalidate) between the clone and the store, so a stale
+	// snapshot can never be cached past a batch.
+	ix.snapMu.Lock()
+	defer ix.snapMu.Unlock()
+	if s := ix.cur.Load(); s != nil {
+		return s
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	s := newSnapshot(ix.ix)
+	ix.cur.Store(s)
+	return s
+}
+
+// Collection returns the live collection. The handle aliases the
+// index's mutable state: safe with the single-threaded call pattern of
+// the original API, but under concurrent maintenance prefer
+// Snapshot().Collection().
 func (ix *Index) Collection() *Collection { return ix.coll }
 
 // Stats returns build statistics (partitions, cover size, phase
 // timings).
-func (ix *Index) Stats() core.BuildStats { return ix.ix.Stats() }
+func (ix *Index) Stats() core.BuildStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.ix.Stats()
+}
 
 // Size returns the number of stored label entries |L|.
-func (ix *Index) Size() int { return ix.ix.Size() }
+func (ix *Index) Size() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.ix.Size()
+}
 
 // Reaches reports whether element u reaches element v over the
-// ancestor/descendant/link axes.
-func (ix *Index) Reaches(u, v ElemID) bool { return ix.ix.Reaches(u, v) }
+// ancestor/descendant/link axes. It reads the live state under the
+// read lock — a point lookup, no snapshot clone; pin a Snapshot when
+// several lookups must observe the same state.
+func (ix *Index) Reaches(u, v ElemID) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.ix.Reaches(u, v)
+}
 
 // Distance returns the shortest path length from u to v, or Infinite
 // when v is unreachable. The index must be built with
-// Options.WithDistance.
-func (ix *Index) Distance(u, v ElemID) (uint32, error) { return ix.ix.Distance(u, v) }
+// Options.WithDistance. Like Reaches it reads the live state.
+func (ix *Index) Distance(u, v ElemID) (uint32, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.ix.Distance(u, v)
+}
 
-// Descendants returns all elements reachable from u, including u.
-func (ix *Index) Descendants(u ElemID) []ElemID { return ix.ix.Descendants(u) }
+// Descendants returns all elements reachable from u, including u,
+// reading the live state.
+func (ix *Index) Descendants(u ElemID) []ElemID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.ix.Descendants(u)
+}
 
-// Ancestors returns all elements that reach u, including u.
-func (ix *Index) Ancestors(u ElemID) []ElemID { return ix.ix.Ancestors(u) }
+// Ancestors returns all elements that reach u, including u, reading
+// the live state.
+func (ix *Index) Ancestors(u ElemID) []ElemID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.ix.Ancestors(u)
+}
 
 // Validate checks the index against a freshly computed ground truth;
 // O(n²), intended for tests and diagnostics.
-func (ix *Index) Validate() error { return ix.ix.Validate() }
+func (ix *Index) Validate() error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.ix.Validate()
+}
 
 // Labels summarizes the current label distribution — watch it grow
 // under maintenance churn and shrink again after Rebuild (§6).
-func (ix *Index) Labels() core.LabelStats { return ix.ix.Labels() }
+func (ix *Index) Labels() core.LabelStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.ix.Labels()
+}
 
 // Core unwraps the internal index for the experiment harness; not part
-// of the stable API.
+// of the stable API and not synchronized against Apply.
 func (ix *Index) Core() *core.Index { return ix.ix }
 
 // --- queries ----------------------------------------------------------
@@ -161,111 +266,110 @@ type QueryResult struct {
 	Path    []ElemID
 }
 
-func (ix *Index) engine() *query.Engine {
-	if ix.eng == nil {
-		ix.eng = query.NewEngine(ix.coll.c, ix.ix)
-	}
-	return ix.eng
+// Query evaluates a path expression such as "//book//author" or
+// "/bib/book/title" against the current snapshot. The // axis follows
+// parent-child edges and all links, crossing document boundaries.
+func (ix *Index) Query(expr string) ([]QueryResult, error) {
+	return ix.Snapshot().Query(expr)
 }
 
-// Query evaluates a path expression such as "//book//author" or
-// "/bib/book/title". The // axis follows parent-child edges and all
-// links, crossing document boundaries.
-func (ix *Index) Query(expr string) ([]QueryResult, error) {
-	q, err := query.Parse(expr)
-	if err != nil {
-		return nil, err
-	}
-	var out []QueryResult
-	for _, id := range ix.engine().Eval(q) {
-		out = append(out, ix.result(id, 0, nil))
-	}
-	return out, nil
+// QueryCtx evaluates a path expression against the current snapshot
+// with cancellation and options; see Snapshot.QueryCtx.
+func (ix *Index) QueryCtx(ctx context.Context, expr string, opts ...QueryOption) ([]QueryResult, error) {
+	return ix.Snapshot().QueryCtx(ctx, expr, opts...)
 }
 
 // QueryRanked evaluates a path expression and ranks matches by
 // connection length (XXL-style: closer matches score higher). Requires
 // a distance-aware index.
 func (ix *Index) QueryRanked(expr string) ([]QueryResult, error) {
-	q, err := query.Parse(expr)
-	if err != nil {
-		return nil, err
-	}
-	matches, err := ix.engine().EvalRanked(q)
-	if err != nil {
-		return nil, err
-	}
-	var out []QueryResult
-	for _, m := range matches {
-		out = append(out, ix.result(m.Element, m.Score, m.Path))
-	}
-	return out, nil
-}
-
-func (ix *Index) result(id ElemID, score float64, path []ElemID) QueryResult {
-	return QueryResult{
-		Element: id,
-		Doc:     ix.coll.DocName(ix.coll.DocOf(id)),
-		Tag:     ix.coll.Tag(id),
-		Score:   score,
-		Path:    path,
-	}
+	return ix.Snapshot().QueryRanked(expr)
 }
 
 // --- maintenance ------------------------------------------------------
+//
+// The per-operation methods below are compatibility wrappers: each one
+// applies a single-op Batch. Under write-heavy load, prefer building a
+// Batch and calling Apply once — the snapshot is rebuilt per batch.
 
 // InsertDocument adds a new document to the collection and index.
 // Attach its links afterwards with InsertEdge.
 func (ix *Index) InsertDocument(d *Document) (DocID, error) {
-	idx, err := ix.ix.InsertDocument(d.d)
-	ix.eng = nil
-	return DocID(idx), err
+	b := NewBatch()
+	b.InsertDocument(d)
+	res, err := ix.Apply(context.Background(), b)
+	if err != nil {
+		return 0, err
+	}
+	return res.Results[0].Doc, nil
 }
 
 // InsertEdge adds a link between two existing elements.
 func (ix *Index) InsertEdge(from, to ElemID) error {
-	ix.eng = nil
-	return ix.ix.InsertEdge(from, to)
+	b := NewBatch()
+	b.InsertEdge(from, to)
+	_, err := ix.Apply(context.Background(), b)
+	return err
 }
 
 // DeleteDocument removes a document; it reports whether the Theorem 2
 // fast path (separating document) applied.
 func (ix *Index) DeleteDocument(doc DocID) (bool, error) {
-	ix.eng = nil
-	return ix.ix.DeleteDocument(int(doc))
+	b := NewBatch()
+	b.DeleteDocument(doc)
+	res, err := ix.Apply(context.Background(), b)
+	if err != nil {
+		return false, err
+	}
+	return res.Results[0].FastPath, nil
 }
 
 // DeleteEdge removes a link.
 func (ix *Index) DeleteEdge(from, to ElemID) error {
-	ix.eng = nil
-	return ix.ix.DeleteEdge(from, to)
+	b := NewBatch()
+	b.DeleteEdge(from, to)
+	_, err := ix.Apply(context.Background(), b)
+	return err
 }
 
 // ModifyDocument replaces a document with a new version, re-attaching
 // inter-document links; it returns the new document's ID.
 func (ix *Index) ModifyDocument(doc DocID, newDoc *Document) (DocID, error) {
-	ix.eng = nil
-	idx, err := ix.ix.ModifyDocument(int(doc), newDoc.d)
-	return DocID(idx), err
+	b := NewBatch()
+	b.ModifyDocument(doc, newDoc)
+	res, err := ix.Apply(context.Background(), b)
+	if err != nil {
+		return 0, err
+	}
+	return res.Results[0].Doc, nil
 }
 
 // Separates reports whether the document separates the document-level
 // graph — i.e. whether deleting it takes the fast path.
-func (ix *Index) Separates(doc DocID) bool { return ix.ix.Separates(int(doc)) }
+func (ix *Index) Separates(doc DocID) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.ix.Separates(int(doc))
+}
 
 // Rebuild recomputes the index from scratch with its original options,
 // restoring space efficiency after heavy maintenance.
 func (ix *Index) Rebuild() error {
-	ix.eng = nil
-	return ix.ix.Rebuild()
+	b := NewBatch()
+	b.Rebuild()
+	_, err := ix.Apply(context.Background(), b)
+	return err
 }
 
 // --- persistence ------------------------------------------------------
 
 // Save persists the index to path (a page-based cover store with
 // forward and backward indexes, as in the paper's database deployment)
-// and the collection to path+".coll".
+// and the collection to path+".coll". It takes the read lock, so it is
+// safe to call concurrently with Apply.
 func (ix *Index) Save(path string) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	fp, err := storage.CreateFilePager(path)
 	if err != nil {
 		return err

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"hopi/internal/graph"
 	"hopi/internal/psg"
@@ -17,6 +18,7 @@ import (
 type Index struct {
 	coll  *xmlmodel.Collection
 	cover *twohop.Cover
+	ixMu  sync.Mutex      // guards the lazy init of ix under concurrent readers
 	ix    *psg.CoverIndex // backward maps for ancestor/descendant + maintenance
 	opts  Options
 	stats BuildStats
@@ -74,6 +76,8 @@ func (ix *Index) Descendants(u int32) []int32 { return ix.coverIndex().Descendan
 func (ix *Index) Ancestors(u int32) []int32 { return ix.coverIndex().Ancestors(u) }
 
 func (ix *Index) coverIndex() *psg.CoverIndex {
+	ix.ixMu.Lock()
+	defer ix.ixMu.Unlock()
 	if ix.ix == nil {
 		ix.ix = psg.NewCoverIndex(ix.cover)
 	}
@@ -81,7 +85,30 @@ func (ix *Index) coverIndex() *psg.CoverIndex {
 }
 
 // invalidate drops the derived backward maps after bulk label changes.
-func (ix *Index) invalidate() { ix.ix = nil }
+func (ix *Index) invalidate() {
+	ix.ixMu.Lock()
+	ix.ix = nil
+	ix.ixMu.Unlock()
+}
+
+// Clone returns a deep copy of the index: the collection, the cover,
+// and the build metadata. The derived backward maps are rebuilt lazily
+// on the copy. Snapshot isolation builds on this — the clone can serve
+// queries while the original is maintained (or vice versa) with no
+// shared mutable state.
+func (ix *Index) Clone() *Index {
+	return &Index{
+		coll:  ix.coll.Clone(),
+		cover: ix.cover.Clone(),
+		opts:  ix.opts,
+		stats: ix.stats,
+	}
+}
+
+// Warm eagerly builds the derived backward maps so the first
+// ancestor/descendant query after a clone or rebuild does not pay the
+// construction cost inside a request.
+func (ix *Index) Warm() { ix.coverIndex() }
 
 // Validate recomputes the ground-truth closure of the element graph
 // and checks the cover against it — completeness, soundness, and (for

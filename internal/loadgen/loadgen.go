@@ -1,0 +1,198 @@
+// Package loadgen runs mixed query/maintenance workloads against a
+// hopi.Index — the online-maintenance scenario of the paper's §6
+// experiments, scaled to goroutines. It lives outside
+// internal/experiments because it exercises the public snapshot/batch
+// API rather than the internal core.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hopi"
+	"hopi/internal/gen"
+)
+
+// Config parameterizes the mixed query/maintenance workload: the
+// online scenario of §6 where the index keeps answering wildcard path
+// queries while documents are inserted and deleted underneath.
+type Config struct {
+	// Docs is the size of the generated DBLP-like collection.
+	Docs int
+	// Seed drives generation and the workload RNGs.
+	Seed int64
+	// Readers is the number of concurrent query goroutines.
+	Readers int
+	// Writers is the number of concurrent maintenance goroutines; each
+	// applies batches of one inserted document plus a citation link,
+	// deleting one of its own earlier documents every few batches.
+	Writers int
+	// Duration is the measurement window.
+	Duration time.Duration
+	// Expr is the path expression the readers evaluate.
+	Expr string
+}
+
+// Default returns a small but contended mixed workload.
+func Default(docs int, seed int64) Config {
+	return Config{
+		Docs: docs, Seed: seed,
+		Readers: 4, Writers: 2,
+		Duration: 3 * time.Second,
+		Expr:     "//article//author",
+	}
+}
+
+// Result reports the throughput of the mixed workload.
+type Result struct {
+	Duration     time.Duration
+	Queries      int64
+	QueriesPerS  float64
+	Batches      int64
+	BatchesPerS  float64
+	Inserted     int64
+	Deleted      int64
+	QueryResults int64 // total matches returned, a cheap sanity signal
+}
+
+// ServeLoad builds an index over a generated collection and runs the
+// mixed workload in-process: Readers goroutines evaluating Expr
+// against snapshots while Writers goroutines apply maintenance
+// batches. It returns the measured throughput.
+func ServeLoad(cfg Config) (Result, error) {
+	coll := hopi.WrapCollection(gen.DBLP(gen.DefaultDBLP(cfg.Docs, cfg.Seed)))
+	opts := hopi.DefaultOptions()
+	opts.Seed = cfg.Seed
+	ix, err := hopi.Build(coll, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunLoad(ix, cfg)
+}
+
+// RunLoad runs the mixed workload against an existing index.
+func RunLoad(ix *hopi.Index, cfg Config) (Result, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancel()
+
+	var (
+		queries, batches, inserted, deleted, matches int64
+		errMu                                        sync.Mutex
+		firstErr                                     error
+		wg                                           sync.WaitGroup
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+
+	start := time.Now()
+
+	for r := 0; r < cfg.Readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				snap := ix.Snapshot()
+				res, err := snap.QueryCtx(ctx, cfg.Expr)
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					fail(fmt.Errorf("query: %w", err))
+					return
+				}
+				atomic.AddInt64(&queries, 1)
+				atomic.AddInt64(&matches, int64(len(res)))
+			}
+		}()
+	}
+
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			var mine []string
+			for i := 0; ctx.Err() == nil; i++ {
+				name := fmt.Sprintf("load-w%d-%05d.xml", w, i)
+				target := fmt.Sprintf("pub%05d.xml", rng.Intn(cfg.Docs))
+				b := hopi.NewBatch()
+				nd := hopi.NewDocument(name, "article")
+				nd.AddElement(nd.Root(), "title")
+				nd.AddElement(nd.Root(), "author")
+				cite := nd.AddElement(nd.Root(), "cite")
+				b.InsertDocument(nd)
+				b.InsertLink(name, cite, target, 0)
+				var victim string
+				if len(mine) > 4 && i%4 == 0 {
+					victim = mine[rng.Intn(len(mine))]
+					b.DeleteDocumentByName(victim)
+				}
+				if _, err := ix.Apply(ctx, b); err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					fail(fmt.Errorf("apply: %w", err))
+					return
+				}
+				// Count and prune only after a successful Apply — a
+				// deadline hit before the first op means nothing changed.
+				if victim != "" {
+					mine = remove(mine, victim)
+					atomic.AddInt64(&deleted, 1)
+				}
+				mine = append(mine, name)
+				atomic.AddInt64(&inserted, 1)
+				atomic.AddInt64(&batches, 1)
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	res := Result{
+		Duration:     elapsed,
+		Queries:      queries,
+		Batches:      batches,
+		Inserted:     inserted,
+		Deleted:      deleted,
+		QueryResults: matches,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		res.QueriesPerS = float64(queries) / s
+		res.BatchesPerS = float64(batches) / s
+	}
+	return res, nil
+}
+
+func remove(list []string, victim string) []string {
+	out := list[:0]
+	for _, s := range list {
+		if s != victim {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Render formats a Result.
+func Render(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mixed workload over %.1fs\n", r.Duration.Seconds())
+	fmt.Fprintf(&b, "  queries: %8d  (%8.1f queries/s, %d total matches)\n", r.Queries, r.QueriesPerS, r.QueryResults)
+	fmt.Fprintf(&b, "  batches: %8d  (%8.1f batches/s: %d docs inserted, %d deleted)\n", r.Batches, r.BatchesPerS, r.Inserted, r.Deleted)
+	return b.String()
+}

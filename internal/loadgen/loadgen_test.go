@@ -1,0 +1,27 @@
+package loadgen
+
+import "testing"
+
+// TestServeLoadSmoke runs a short mixed workload and checks both sides
+// made progress without errors (run with -race to exercise the
+// snapshot/apply concurrency).
+func TestServeLoadSmoke(t *testing.T) {
+	cfg := Default(60, 1)
+	cfg.Duration = cfg.Duration / 10
+	res, err := ServeLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 {
+		t.Error("no queries completed")
+	}
+	if res.Batches == 0 {
+		t.Error("no maintenance batches applied")
+	}
+	if res.Inserted < res.Deleted {
+		t.Errorf("deleted %d > inserted %d", res.Deleted, res.Inserted)
+	}
+	if Render(res) == "" {
+		t.Error("empty render")
+	}
+}

@@ -1,6 +1,8 @@
 package psg
 
 import (
+	"sync"
+
 	"hopi/internal/graph"
 	"hopi/internal/twohop"
 	"hopi/internal/xmlmodel"
@@ -38,16 +40,20 @@ type CoverIndex struct {
 	// inOwners[c] = nodes whose Lin contains center c.
 	outOwners map[int32][]int32
 	inOwners  map[int32][]int32
-	scratch   graph.Bitset
+	// scratch pools the visited bitsets of Ancestors/Descendants so the
+	// read path allocates nothing in steady state yet stays safe under
+	// concurrent readers (snapshot queries run in parallel).
+	scratch sync.Pool
 }
 
 // NewCoverIndex builds the backward maps of an existing cover.
 func NewCoverIndex(cov *twohop.Cover) *CoverIndex {
+	n := cov.N()
 	ix := &CoverIndex{
 		cov:       cov,
 		outOwners: map[int32][]int32{},
 		inOwners:  map[int32][]int32{},
-		scratch:   graph.NewBitset(cov.N()),
+		scratch:   sync.Pool{New: func() any { return graph.NewBitset(n) }},
 	}
 	for v := int32(0); v < int32(cov.N()); v++ {
 		for _, e := range cov.Out[v] {
@@ -91,8 +97,9 @@ func (ix *CoverIndex) AddIn(v, center int32, dist uint32) {
 // according to the cover, using the backward maps: a reaches u iff
 // a == u, u ∈ Lout(a), a ∈ Lin(u), or Lout(a) ∩ Lin(u) ≠ ∅.
 func (ix *CoverIndex) Ancestors(u int32) []int32 {
-	seen := ix.scratch
+	seen := ix.scratch.Get().(graph.Bitset)
 	seen.Reset()
+	defer ix.scratch.Put(seen)
 	var out []int32
 	add := func(a int32) {
 		if !seen.Has(int(a)) {
@@ -116,8 +123,9 @@ func (ix *CoverIndex) Ancestors(u int32) []int32 {
 // Descendants returns all nodes d (including v itself) with v →* d
 // according to the cover.
 func (ix *CoverIndex) Descendants(v int32) []int32 {
-	seen := ix.scratch
+	seen := ix.scratch.Get().(graph.Bitset)
 	seen.Reset()
+	defer ix.scratch.Put(seen)
 	var out []int32
 	add := func(d int32) {
 		if !seen.Has(int(d)) {

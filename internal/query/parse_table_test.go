@@ -1,0 +1,115 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseTable drives Parse through valid and invalid expressions;
+// invalid cases name the substring the error must mention so failure
+// messages stay actionable.
+func TestParseTable(t *testing.T) {
+	valid := []struct {
+		expr  string
+		steps int
+		axes  []Axis
+		tags  []string
+	}{
+		{"//a", 1, []Axis{AxisDescendant}, []string{"a"}},
+		{"/bib", 1, []Axis{AxisChild}, []string{"bib"}},
+		{"//a//b/c", 3, []Axis{AxisDescendant, AxisDescendant, AxisChild}, []string{"a", "b", "c"}},
+		{"//*//author", 2, []Axis{AxisDescendant, AxisDescendant}, []string{"*", "author"}},
+		{"/bib/book//author", 3, []Axis{AxisChild, AxisChild, AxisDescendant}, []string{"bib", "book", "author"}},
+		{"  //a  ", 1, []Axis{AxisDescendant}, []string{"a"}},
+		{"//x-1.y_2", 1, []Axis{AxisDescendant}, []string{"x-1.y_2"}},
+	}
+	for _, tc := range valid {
+		q, err := Parse(tc.expr)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.expr, err)
+			continue
+		}
+		if len(q.Steps) != tc.steps {
+			t.Errorf("Parse(%q): %d steps, want %d", tc.expr, len(q.Steps), tc.steps)
+			continue
+		}
+		for i, s := range q.Steps {
+			if s.Axis != tc.axes[i] || s.Tag != tc.tags[i] {
+				t.Errorf("Parse(%q) step %d = {%v %q}, want {%v %q}",
+					tc.expr, i, s.Axis, s.Tag, tc.axes[i], tc.tags[i])
+			}
+		}
+		if q.String() != tc.expr {
+			t.Errorf("Parse(%q).String() = %q", tc.expr, q.String())
+		}
+	}
+
+	invalid := []struct {
+		expr    string
+		wantSub string
+	}{
+		{"", "empty expression"},
+		{"   ", "empty expression"},
+		{"book", "must start with /"},
+		{"book//author", "must start with /"},
+		{"/", "empty step"},
+		{"//", "empty step"},
+		{"//a/", "empty step"},
+		{"//a///b", "empty step"},
+		{"//a[1]", "invalid tag"},
+		{"//a b", "invalid tag"},
+		{"//a//b@attr", "invalid tag"},
+		{"//ü", "invalid tag"},
+	}
+	for _, tc := range invalid {
+		q, err := Parse(tc.expr)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted: %+v", tc.expr, q)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q) error %q does not mention %q", tc.expr, err, tc.wantSub)
+		}
+	}
+}
+
+// TestEvalCtxCancelled checks both eval paths abort on a cancelled
+// context.
+func TestEvalCtxCancelled(t *testing.T) {
+	c, ix := library(t)
+	e := NewEngine(c, ix)
+	q, err := Parse("//bib//author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.EvalCtx(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Errorf("EvalCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := e.EvalRankedCtx(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Errorf("EvalRankedCtx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestWildcardCandidatesCached checks the "*" candidate list is built
+// once, stays sorted, and tracks Refresh.
+func TestWildcardCandidatesCached(t *testing.T) {
+	coll, ix := library(t)
+	e := NewEngine(coll, ix)
+	c1 := e.candidates("*")
+	c2 := e.candidates("*")
+	if &c1[0] != &c2[0] {
+		t.Error("wildcard candidates rebuilt per call")
+	}
+	if len(c1) != coll.NumElements() {
+		t.Errorf("wildcard candidates: %d, want %d", len(c1), coll.NumElements())
+	}
+	for i := 1; i < len(c1); i++ {
+		if c1[i-1] >= c1[i] {
+			t.Fatalf("wildcard candidates not strictly sorted at %d", i)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -104,31 +105,42 @@ type Match struct {
 	Path []int32
 }
 
-// Engine evaluates queries against a collection and its index.
+// Engine evaluates queries against a collection and its index. An
+// engine is immutable after construction (Refresh excepted) and safe
+// for concurrent readers.
 type Engine struct {
 	coll *xmlmodel.Collection
 	ix   *core.Index
 	tags map[string][]int32
+	all  []int32 // sorted IDs of all live elements, the "*" candidates
 }
 
-// NewEngine builds a query engine; the tag index is materialized once.
+// NewEngine builds a query engine; the tag index and the "*" candidate
+// list are materialized once.
 func NewEngine(coll *xmlmodel.Collection, ix *core.Index) *Engine {
-	return &Engine{coll: coll, ix: ix, tags: coll.ElementsByTag()}
+	e := &Engine{coll: coll, ix: ix}
+	e.Refresh()
+	return e
 }
 
-// Refresh rebuilds the tag index after collection maintenance.
-func (e *Engine) Refresh() { e.tags = e.coll.ElementsByTag() }
-
-func (e *Engine) candidates(tag string) []int32 {
-	if tag != "*" {
-		return e.tags[tag]
-	}
+// Refresh rebuilds the tag index after collection maintenance. It
+// mutates the engine: never call it on an engine shared with
+// concurrent readers (snapshots build a fresh engine instead).
+func (e *Engine) Refresh() {
+	e.tags = e.coll.ElementsByTag()
 	var all []int32
 	for _, ids := range e.tags {
 		all = append(all, ids...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	return all
+	e.all = all
+}
+
+func (e *Engine) candidates(tag string) []int32 {
+	if tag == "*" {
+		return e.all
+	}
+	return e.tags[tag]
 }
 
 // isRoot reports whether the element is a document root.
@@ -147,18 +159,51 @@ func (e *Engine) parentOf(id int32) int32 {
 	return e.coll.GlobalID(doc, p)
 }
 
+// canceller polls a context's error only every few hundred iterations
+// so cancellation checks stay off the hot path's critical loops.
+type canceller struct {
+	ctx context.Context
+	n   uint
+}
+
+func (c *canceller) check() error {
+	if c.ctx == nil {
+		return nil
+	}
+	if c.n++; c.n&255 != 0 {
+		return nil
+	}
+	return c.ctx.Err()
+}
+
 // Eval returns the sorted global IDs of elements matching the last
 // step of the query.
 func (e *Engine) Eval(q *Query) []int32 {
+	out, _ := e.EvalCtx(context.Background(), q)
+	return out
+}
+
+// EvalCtx is Eval with cooperative cancellation: the frontier loops
+// poll ctx and abandon the evaluation once it is done, returning
+// ctx's error.
+func (e *Engine) EvalCtx(ctx context.Context, q *Query) ([]int32, error) {
+	cc := &canceller{ctx: ctx}
 	frontier := e.initialFrontier(q)
 	for si := 1; si < len(q.Steps); si++ {
-		if len(frontier) == 0 {
-			return nil
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		frontier = e.advance(frontier, q.Steps[si])
+		if len(frontier) == 0 {
+			return nil, nil
+		}
+		var err error
+		frontier, err = e.advance(frontier, q.Steps[si], cc)
+		if err != nil {
+			return nil, err
+		}
 	}
 	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
-	return frontier
+	return frontier, nil
 }
 
 func (e *Engine) initialFrontier(q *Query) []int32 {
@@ -174,7 +219,7 @@ func (e *Engine) initialFrontier(q *Query) []int32 {
 	return out
 }
 
-func (e *Engine) advance(frontier []int32, step Step) []int32 {
+func (e *Engine) advance(frontier []int32, step Step, cc *canceller) ([]int32, error) {
 	cands := e.candidates(step.Tag)
 	if step.Axis == AxisChild {
 		inFrontier := map[int32]bool{}
@@ -183,11 +228,14 @@ func (e *Engine) advance(frontier []int32, step Step) []int32 {
 		}
 		var out []int32
 		for _, c := range cands {
+			if err := cc.check(); err != nil {
+				return nil, err
+			}
 			if p := e.parentOf(c); p >= 0 && inFrontier[p] {
 				out = append(out, c)
 			}
 		}
-		return out
+		return out, nil
 	}
 	// Descendant axis: pick the cheaper of (a) expanding the frontier's
 	// descendant sets and intersecting with the candidates, or (b)
@@ -200,6 +248,9 @@ func (e *Engine) advance(frontier []int32, step Step) []int32 {
 		seen := map[int32]bool{}
 		var out []int32
 		for _, f := range frontier {
+			if err := cc.check(); err != nil {
+				return nil, err
+			}
 			for _, d := range e.ix.Descendants(f) {
 				if d != f && candSet[d] && !seen[d] {
 					seen[d] = true
@@ -207,18 +258,21 @@ func (e *Engine) advance(frontier []int32, step Step) []int32 {
 				}
 			}
 		}
-		return out
+		return out, nil
 	}
 	var out []int32
 	for _, c := range cands {
 		for _, f := range frontier {
+			if err := cc.check(); err != nil {
+				return nil, err
+			}
 			if c != f && e.ix.Reaches(f, c) {
 				out = append(out, c)
 				break
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // EvalRanked evaluates the query and ranks matches by connection
@@ -226,6 +280,13 @@ func (e *Engine) advance(frontier []int32, step Step) []int32 {
 // distance information. Results are sorted by descending score, ties
 // by element ID.
 func (e *Engine) EvalRanked(q *Query) ([]Match, error) {
+	return e.EvalRankedCtx(context.Background(), q)
+}
+
+// EvalRankedCtx is EvalRanked with cooperative cancellation, mirroring
+// EvalCtx.
+func (e *Engine) EvalRankedCtx(ctx context.Context, q *Query) ([]Match, error) {
+	cc := &canceller{ctx: ctx}
 	type state struct {
 		score float64
 		path  []int32
@@ -235,9 +296,15 @@ func (e *Engine) EvalRanked(q *Query) ([]Match, error) {
 		frontier[id] = state{score: 1, path: []int32{id}}
 	}
 	for si := 1; si < len(q.Steps); si++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		step := q.Steps[si]
 		next := map[int32]state{}
 		for _, c := range e.candidates(step.Tag) {
+			if err := cc.check(); err != nil {
+				return nil, err
+			}
 			best := state{score: -1}
 			for f, st := range frontier {
 				if c == f {

@@ -32,6 +32,30 @@ func NewCollection() *Collection {
 	return &Collection{byName: map[string]int{}}
 }
 
+// Clone returns a deep copy of the collection: documents, links, and
+// the ID-allocation bookkeeping. The copy shares no mutable state with
+// the original, so one side can be maintained while the other serves
+// queries.
+func (c *Collection) Clone() *Collection {
+	cp := &Collection{
+		Docs:   make([]*Document, len(c.Docs)),
+		base:   append([]int32(nil), c.base...),
+		alive:  append([]bool(nil), c.alive...),
+		byName: make(map[string]int, len(c.byName)),
+		total:  c.total,
+	}
+	for i, d := range c.Docs {
+		cp.Docs[i] = d.Clone()
+	}
+	if len(c.Links) > 0 {
+		cp.Links = append([]Link(nil), c.Links...)
+	}
+	for name, i := range c.byName {
+		cp.byName[name] = i
+	}
+	return cp
+}
+
 // AddDocument appends d and returns its document index. Global IDs
 // [base, base+len) are assigned to its elements.
 func (c *Collection) AddDocument(d *Document) int {

@@ -47,6 +47,29 @@ func NewDocument(name, rootTag string) *Document {
 // Len returns the number of elements.
 func (d *Document) Len() int { return len(d.Elements) }
 
+// Clone returns a deep copy of the document. Maintenance operations
+// mutate documents in place (intra-link edits reuse backing arrays), so
+// snapshot isolation requires a full copy.
+func (d *Document) Clone() *Document {
+	cp := &Document{
+		Name:     d.Name,
+		Elements: append([]Element(nil), d.Elements...),
+		Children: make([][]int32, len(d.Children)),
+		anchors:  make(map[string]int32, len(d.anchors)),
+		sealed:   d.sealed,
+	}
+	for i, kids := range d.Children {
+		cp.Children[i] = append([]int32(nil), kids...)
+	}
+	if len(d.IntraLinks) > 0 {
+		cp.IntraLinks = append([][2]int32(nil), d.IntraLinks...)
+	}
+	for id, local := range d.anchors {
+		cp.anchors[id] = local
+	}
+	return cp
+}
+
 // AddElement appends a child element under parent and returns its local
 // index.
 func (d *Document) AddElement(parent int32, tag string) int32 {

@@ -1,0 +1,144 @@
+package hopi
+
+import (
+	"context"
+
+	"hopi/internal/core"
+	"hopi/internal/query"
+)
+
+// Snapshot is an immutable, point-in-time view of an Index: a deep
+// copy of the collection and cover plus a query engine built once for
+// the copy. Snapshots are safe for unlimited concurrent use and are
+// never invalidated — a reader keeps its snapshot for as long as it
+// likes while Apply publishes newer states behind it. Obtain one with
+// Index.Snapshot, which caches the latest snapshot and reuses it until
+// the next maintenance batch.
+type Snapshot struct {
+	coll *Collection
+	ix   *core.Index
+	eng  *query.Engine
+}
+
+func newSnapshot(src *core.Index) *Snapshot {
+	cix := src.Clone()
+	cix.Warm() // build the backward maps outside any request path
+	return &Snapshot{
+		coll: &Collection{c: cix.Collection()},
+		ix:   cix,
+		eng:  query.NewEngine(cix.Collection(), cix),
+	}
+}
+
+// Collection returns the snapshot's frozen collection. It reflects the
+// state at snapshot time and never changes.
+func (s *Snapshot) Collection() *Collection { return s.coll }
+
+// Reaches reports whether element u reaches element v over the
+// ancestor/descendant/link axes.
+func (s *Snapshot) Reaches(u, v ElemID) bool { return s.ix.Reaches(u, v) }
+
+// Distance returns the shortest path length from u to v, or Infinite
+// when v is unreachable. The index must be built with
+// Options.WithDistance.
+func (s *Snapshot) Distance(u, v ElemID) (uint32, error) { return s.ix.Distance(u, v) }
+
+// Descendants returns all elements reachable from u, including u.
+func (s *Snapshot) Descendants(u ElemID) []ElemID { return s.ix.Descendants(u) }
+
+// Ancestors returns all elements that reach u, including u.
+func (s *Snapshot) Ancestors(u ElemID) []ElemID { return s.ix.Ancestors(u) }
+
+// Size returns the number of stored label entries |L| at snapshot
+// time.
+func (s *Snapshot) Size() int { return s.ix.Size() }
+
+// Labels summarizes the snapshot's label distribution.
+func (s *Snapshot) Labels() core.LabelStats { return s.ix.Labels() }
+
+// Stats returns the build statistics of the underlying index.
+func (s *Snapshot) Stats() core.BuildStats { return s.ix.Stats() }
+
+// --- queries ----------------------------------------------------------
+
+// queryConfig collects the options of one QueryCtx call.
+type queryConfig struct {
+	limit  int
+	ranked bool
+}
+
+// QueryOption configures a QueryCtx call.
+type QueryOption func(*queryConfig)
+
+// QueryLimit truncates the result list to at most n entries (n <= 0
+// means unlimited). For ranked queries the n best-scoring matches are
+// kept; for unranked queries the n smallest element IDs.
+func QueryLimit(n int) QueryOption {
+	return func(c *queryConfig) { c.limit = n }
+}
+
+// QueryRanked ranks matches by connection length (XXL-style: closer
+// matches score higher). Requires a distance-aware index.
+func QueryRanked() QueryOption {
+	return func(c *queryConfig) { c.ranked = true }
+}
+
+// QueryCtx evaluates a path expression such as "//book//author"
+// against the snapshot. The // axis follows parent-child edges and all
+// links, crossing document boundaries. Evaluation polls ctx and
+// returns its error once it is cancelled; options select ranking and
+// result truncation.
+func (s *Snapshot) QueryCtx(ctx context.Context, expr string, opts ...QueryOption) ([]QueryResult, error) {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	q, err := query.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	var out []QueryResult
+	if cfg.ranked {
+		matches, err := s.eng.EvalRankedCtx(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range matches {
+			out = append(out, s.result(m.Element, m.Score, m.Path))
+		}
+	} else {
+		ids, err := s.eng.EvalCtx(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			out = append(out, s.result(id, 0, nil))
+		}
+	}
+	if cfg.limit > 0 && len(out) > cfg.limit {
+		out = out[:cfg.limit]
+	}
+	return out, nil
+}
+
+// Query evaluates a path expression with default options and no
+// cancellation.
+func (s *Snapshot) Query(expr string) ([]QueryResult, error) {
+	return s.QueryCtx(context.Background(), expr)
+}
+
+// QueryRanked evaluates a path expression and ranks matches by
+// connection length. Requires a distance-aware index.
+func (s *Snapshot) QueryRanked(expr string) ([]QueryResult, error) {
+	return s.QueryCtx(context.Background(), expr, QueryRanked())
+}
+
+func (s *Snapshot) result(id ElemID, score float64, path []ElemID) QueryResult {
+	return QueryResult{
+		Element: id,
+		Doc:     s.coll.DocName(s.coll.DocOf(id)),
+		Tag:     s.coll.Tag(id),
+		Score:   score,
+		Path:    path,
+	}
+}
