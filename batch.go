@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hopi/internal/core"
 	"hopi/internal/xmlmodel"
 )
 
@@ -46,6 +47,7 @@ const (
 	opInsertEdge
 	opInsertLink
 	opDeleteEdge
+	opDeleteLink
 	opDeleteDoc
 	opDeleteDocName
 	opModifyDoc
@@ -62,7 +64,7 @@ func (k opKind) String() string {
 		return "insert-edge"
 	case opInsertLink:
 		return "insert-link"
-	case opDeleteEdge:
+	case opDeleteEdge, opDeleteLink:
 		return "delete-edge"
 	case opDeleteDoc, opDeleteDocName:
 		return "delete-document"
@@ -144,6 +146,17 @@ func (b *Batch) DeleteEdge(from, to ElemID) {
 	b.ops = append(b.ops, batchOp{kind: opDeleteEdge, from: from, to: to})
 }
 
+// DeleteLink queues the removal of a link addressed by document name
+// and local element index — the inverse of InsertLink, resolved at
+// Apply time.
+func (b *Batch) DeleteLink(fromDoc string, fromLocal int32, toDoc string, toLocal int32) {
+	b.ops = append(b.ops, batchOp{
+		kind:    opDeleteLink,
+		fromDoc: fromDoc, fromLocal: fromLocal,
+		toDoc: toDoc, toLocal: toLocal,
+	})
+}
+
 // DeleteDocument queues the removal of a document by ID.
 func (b *Batch) DeleteDocument(doc DocID) {
 	b.ops = append(b.ops, batchOp{kind: opDeleteDoc, docID: doc})
@@ -214,6 +227,14 @@ func (r *ApplyResult) Docs() []DocID {
 // next snapshot reflects them plus whatever partial effect the failed
 // operation had (a failed multi-step op such as InsertXML may have
 // applied some of its steps).
+//
+// On a durable index (Create, or Open with Durable) the batch's
+// effects — including the partial effects of a failed op — are
+// committed to the write-ahead log, fsynced, before Apply returns:
+// once Apply returns, the batch survives a crash. If the durable
+// commit itself fails, the attachment is poisoned and every later
+// Apply fails fast; reopen the index from its path to recover the
+// committed state.
 func (ix *Index) Apply(ctx context.Context, b *Batch) (*ApplyResult, error) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -227,18 +248,39 @@ func (ix *Index) Apply(ctx context.Context, b *Batch) (*ApplyResult, error) {
 			ix.cur.Store(nil)
 		}
 	}()
+	var log *core.ChangeLog
+	if ix.dur != nil {
+		if err := ix.dur.err; err != nil {
+			return res, fmt.Errorf("hopi: durable backend failed earlier, reopen the index: %w", err)
+		}
+		log = ix.ix.StartRecording()
+		defer ix.ix.StopRecording()
+	}
+	var opErr error
 	for i := range b.ops {
 		if err := ctx.Err(); err != nil {
-			return res, err
+			opErr = err
+			break
 		}
 		attempted = true
 		opRes, err := ix.applyOp(&b.ops[i])
 		if err != nil {
-			return res, fmt.Errorf("hopi: batch op %d (%s): %w", i, b.ops[i].kind, err)
+			opErr = fmt.Errorf("hopi: batch op %d (%s): %w", i, b.ops[i].kind, err)
+			break
 		}
 		res.Results = append(res.Results, opRes)
 	}
-	return res, nil
+	if log != nil && !log.Empty() {
+		if derr := ix.commitDurable(log); derr != nil {
+			ix.dur.err = derr
+			derr = fmt.Errorf("hopi: durable commit: %w", derr)
+			if opErr != nil {
+				return res, errors.Join(opErr, derr)
+			}
+			return res, derr
+		}
+	}
+	return res, opErr
 }
 
 func (ix *Index) applyOp(o *batchOp) (res OpResult, err error) {
@@ -317,6 +359,22 @@ func (ix *Index) applyOp(o *batchOp) (res OpResult, err error) {
 		return res, ix.ix.InsertEdge(ix.coll.c.GlobalID(fd, o.fromLocal), to)
 	case opDeleteEdge:
 		return res, ix.ix.DeleteEdge(o.from, o.to)
+	case opDeleteLink:
+		fd, ok := ix.coll.c.DocByName(o.fromDoc)
+		if !ok {
+			return res, fmt.Errorf("document %q: %w", o.fromDoc, ErrNotFound)
+		}
+		td, ok := ix.coll.c.DocByName(o.toDoc)
+		if !ok {
+			return res, fmt.Errorf("document %q: %w", o.toDoc, ErrNotFound)
+		}
+		if o.fromLocal < 0 || int(o.fromLocal) >= ix.coll.c.Docs[fd].Len() {
+			return res, fmt.Errorf("element %d out of range for %q", o.fromLocal, o.fromDoc)
+		}
+		if o.toLocal < 0 || int(o.toLocal) >= ix.coll.c.Docs[td].Len() {
+			return res, fmt.Errorf("element %d out of range for %q", o.toLocal, o.toDoc)
+		}
+		return res, ix.ix.DeleteEdge(ix.coll.c.GlobalID(fd, o.fromLocal), ix.coll.c.GlobalID(td, o.toLocal))
 	case opDeleteDoc:
 		res.Doc = o.docID
 		fast, err := ix.ix.DeleteDocument(int(o.docID))

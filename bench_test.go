@@ -8,6 +8,7 @@ package hopi
 // completes in minutes; cmd/hopibench uses the larger default scale.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -288,6 +289,88 @@ func BenchmarkStoredReachQuery(b *testing.B) { // §3.4 database-backed mode
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := st.Reaches(rng.Int31n(n), rng.Int31n(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- durable maintenance (WAL-backed store) ---------------------------------
+
+// BenchmarkDurableApply measures a single-document-insert batch
+// committed through the write-ahead log (fsync included) against the
+// same batch on an in-memory index — the price of durability per batch.
+func BenchmarkDurableApply(b *testing.B) {
+	for _, durable := range []bool{false, true} {
+		name := "memory"
+		if durable {
+			name = "durable"
+		}
+		b.Run(name, func(b *testing.B) {
+			coll := WrapCollection(benchDBLP(100))
+			opts := DefaultOptions()
+			opts.Seed = benchSeed
+			var (
+				ix  *Index
+				err error
+			)
+			if durable {
+				ix, err = Create(filepath.Join(b.TempDir(), "bench.hopi"), coll, opts)
+			} else {
+				ix, err = Build(coll, opts)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ix.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nd := NewDocument(fmt.Sprintf("bench%06d.xml", i), "article")
+				nd.AddElement(nd.Root(), "title")
+				cite := nd.AddElement(nd.Root(), "cite")
+				batch := NewBatch()
+				batch.InsertDocument(nd)
+				batch.InsertLink(nd.d.Name, cite, "pub00001.xml", 0)
+				if _, err := ix.Apply(ctx, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if durable {
+				if err := ix.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDurableCheckpoint measures folding a fixed number of
+// batches into the store.
+func BenchmarkDurableCheckpoint(b *testing.B) {
+	coll := WrapCollection(benchDBLP(100))
+	opts := DefaultOptions()
+	opts.Seed = benchSeed
+	ix, err := Create(filepath.Join(b.TempDir(), "bench.hopi"), coll, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ix.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 16; j++ {
+			nd := NewDocument(fmt.Sprintf("ck%06d-%02d.xml", i, j), "article")
+			nd.AddElement(nd.Root(), "author")
+			batch := NewBatch()
+			batch.InsertDocument(nd)
+			if _, err := ix.Apply(ctx, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := ix.Checkpoint(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -13,21 +13,37 @@
 //	hopibench -docs 300 -seed 7      # smaller, different seed
 //	hopibench -exp load              # mixed query+maintenance workload, in-process
 //	hopibench -exp load -url http://localhost:8080   # same, against hopiserve
+//	hopibench -exp load -store /tmp/bench.hopi       # durable vs in-memory comparison
+//	hopibench -exp load -json BENCH_load.json        # machine-readable results
 //
 // Experiments: table1, centralized, table2, maintenance, inex,
 // distance, preselect, weights, balance, query, load, all, default.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"hopi/internal/experiments"
 	"hopi/internal/loadgen"
 )
+
+// benchResult is one machine-readable measurement, appended to the
+// file given with -json so performance can be tracked across commits.
+type benchResult struct {
+	Name      string  `json:"name"`
+	NsPerOp   float64 `json:"nsPerOp,omitempty"`
+	QPS       float64 `json:"qps,omitempty"`
+	BatchesPS float64 `json:"batchesPerSec,omitempty"`
+	CoverSize int     `json:"coverSize,omitempty"`
+	WALBytes  int64   `json:"walBytes,omitempty"`
+	Durable   bool    `json:"durable,omitempty"`
+}
 
 func main() {
 	var (
@@ -42,8 +58,12 @@ func main() {
 		readers  = flag.Int("load-readers", 4, "concurrent query workers")
 		writers  = flag.Int("load-writers", 2, "concurrent maintenance workers")
 		loadExpr = flag.String("load-expr", "//article//author", "path expression the query workers evaluate")
+		store    = flag.String("store", "", "for -exp load: also run the workload against a durable store at this path and report both")
+		jsonOut  = flag.String("json", "", "write machine-readable results (name, ns/op, qps, cover size) to this file")
 	)
 	flag.Parse()
+
+	var jsonResults []benchResult
 
 	cfg := experiments.Config{
 		DBLPDocs: *docs, INEXDocs: *inexDocs, INEXMeanElements: *inexEls, Seed: *seed,
@@ -140,6 +160,9 @@ func main() {
 		if err != nil {
 			return "", err
 		}
+		jsonResults = append(jsonResults,
+			benchResult{Name: "query/reaches", NsPerOp: 1e9 / r.ReachPerSec, QPS: r.ReachPerSec},
+			benchResult{Name: "query/distance", NsPerOp: 1e9 / r.DistPerSec, QPS: r.DistPerSec})
 		return experiments.RenderQueryMicro(r), nil
 	})
 	run("load", "mixed query + maintenance workload (extension)", func() (string, error) {
@@ -153,12 +176,79 @@ func main() {
 			if err != nil {
 				return "", err
 			}
+			jsonResults = append(jsonResults, loadJSON("load/http", r))
 			return loadgen.Render(r), nil
 		}
-		r, err := loadgen.ServeLoad(lc)
+		mem, err := loadgen.ServeLoad(lc)
 		if err != nil {
 			return "", err
 		}
-		return loadgen.Render(r), nil
+		jsonResults = append(jsonResults, loadJSON("load/memory", mem))
+		out := loadgen.Render(mem)
+		if *store != "" {
+			dc := lc
+			dc.StorePath = *store
+			dur, err := loadgen.ServeLoad(dc)
+			if err != nil {
+				return "", err
+			}
+			jsonResults = append(jsonResults, loadJSON("load/durable", dur))
+			out += loadgen.Render(dur)
+			if dur.BatchesPerS > 0 {
+				out += fmt.Sprintf("  durability cost: %.2fx batch throughput (%.1f → %.1f batches/s), %.2fx query throughput\n",
+					mem.BatchesPerS/dur.BatchesPerS, mem.BatchesPerS, dur.BatchesPerS,
+					safeRatio(mem.QueriesPerS, dur.QueriesPerS))
+			}
+		}
+		return out, nil
 	})
+
+	if *jsonOut != "" && len(jsonResults) > 0 {
+		if err := writeJSONResults(*jsonOut, jsonResults); err != nil {
+			fmt.Fprintf(os.Stderr, "hopibench: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d results to %s\n", len(jsonResults), *jsonOut)
+	}
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func loadJSON(name string, r loadgen.Result) benchResult {
+	res := benchResult{
+		Name:      name,
+		QPS:       r.QueriesPerS,
+		BatchesPS: r.BatchesPerS,
+		CoverSize: r.CoverSize,
+		WALBytes:  r.WALBytes,
+		Durable:   r.Durable,
+	}
+	if r.QueriesPerS > 0 {
+		res.NsPerOp = 1e9 / r.QueriesPerS // inverse aggregate query throughput
+	}
+	return res
+}
+
+func writeJSONResults(path string, results []benchResult) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

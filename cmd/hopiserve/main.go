@@ -4,11 +4,20 @@
 // and keep running while documents are inserted and deleted; writes
 // are applied as serialized batches.
 //
-// Start against a saved index, or with a generated citation
-// collection:
+// Start against a saved index, with a generated citation collection,
+// or — the durable deployment — attached to an on-disk store that is
+// maintained in place and survives crashes:
 //
 //	hopiserve -index dblp.hopi
 //	hopiserve -docs 500 -distance
+//	hopiserve -store dblp.hopi              # create or reopen; WAL-backed writes
+//	hopiserve -store dblp.hopi -checkpoint 10s
+//
+// With -store, every maintenance batch is committed to the write-ahead
+// log before the HTTP response is sent; kill the process at any point,
+// restart it on the same path, and every acknowledged write is still
+// there. The store is checkpointed periodically (-checkpoint) and on
+// graceful shutdown.
 //
 // API:
 //
@@ -29,6 +38,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
@@ -42,15 +52,20 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		index    = flag.String("index", "", "saved index path (from hopibuild); empty generates a collection")
-		docs     = flag.Int("docs", 500, "generated DBLP-like document count (when no -index)")
-		seed     = flag.Int64("seed", 42, "generator seed")
-		distance = flag.Bool("distance", true, "build a distance-aware index (enables ranked queries)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		index      = flag.String("index", "", "saved index path (from hopibuild); empty generates a collection")
+		store      = flag.String("store", "", "durable store path: reopen if present (replaying any WAL tail), else create; writes are WAL-committed before they are acknowledged")
+		checkpoint = flag.Duration("checkpoint", 30*time.Second, "with -store: interval between background checkpoints (0 disables)")
+		docs       = flag.Int("docs", 500, "generated DBLP-like document count (when no -index)")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		distance   = flag.Bool("distance", true, "build a distance-aware index (enables ranked queries)")
 	)
 	flag.Parse()
+	if *index != "" && *store != "" {
+		log.Fatal("hopiserve: -index and -store are mutually exclusive (use -store to serve a saved index durably)")
+	}
 
-	ix, err := loadIndex(*index, *docs, *seed, *distance)
+	ix, err := loadIndex(*index, *store, *docs, *seed, *distance)
 	if err != nil {
 		log.Fatalf("hopiserve: %v", err)
 	}
@@ -67,6 +82,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if ix.Durable() && *checkpoint > 0 {
+		go checkpointLoop(ctx, ix, *checkpoint)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
@@ -80,19 +100,72 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Fatalf("hopiserve: shutdown: %v", err)
 		}
+		// flush the store: checkpoint and detach so the next start
+		// needs no WAL replay
+		if err := ix.Close(); err != nil {
+			log.Fatalf("hopiserve: close store: %v", err)
+		}
 	}
 }
 
-func loadIndex(path string, docs int, seed int64, distance bool) (*hopi.Index, error) {
+// checkpointLoop folds the WAL into the store in the background so
+// recovery stays short and the log stays small.
+func checkpointLoop(ctx context.Context, ix *hopi.Index, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			walBytes, seq, _ := ix.WALSize()
+			if err := ix.Checkpoint(); err != nil {
+				log.Printf("checkpoint failed: %v", err)
+				return
+			}
+			if walBytes > 0 {
+				log.Printf("checkpoint: folded %d WAL bytes (through batch %d)", walBytes, seq)
+			}
+		}
+	}
+}
+
+func loadIndex(path, store string, docs int, seed int64, distance bool) (*hopi.Index, error) {
 	if path != "" {
 		log.Printf("opening index %s", path)
 		return hopi.Open(path)
+	}
+	if store != "" {
+		_, err := os.Stat(store)
+		switch {
+		case err == nil:
+			log.Printf("reopening durable store %s", store)
+			ix, err := hopi.Open(store, hopi.Durable())
+			if err != nil {
+				return nil, err
+			}
+			_, seq, _ := ix.WALSize()
+			log.Printf("recovered through batch %d", seq)
+			return ix, nil
+		case !errors.Is(err, fs.ErrNotExist):
+			// anything but "not there" must not fall through to Create,
+			// which would truncate an existing store
+			return nil, fmt.Errorf("stat store %s: %w", store, err)
+		}
 	}
 	log.Printf("generating DBLP-like collection (%d docs, seed %d)", docs, seed)
 	coll := hopi.WrapCollection(gen.DBLP(gen.DefaultDBLP(docs, seed)))
 	opts := hopi.DefaultOptions()
 	opts.WithDistance = distance
 	opts.Seed = seed
+	if store != "" {
+		log.Printf("creating durable store %s", store)
+		ix, err := hopi.Create(store, coll, opts)
+		if err != nil {
+			return nil, fmt.Errorf("create store: %w", err)
+		}
+		return ix, nil
+	}
 	ix, err := hopi.Build(coll, opts)
 	if err != nil {
 		return nil, fmt.Errorf("build: %w", err)

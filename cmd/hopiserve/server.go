@@ -173,13 +173,17 @@ type statsResponse struct {
 	AvgPerNode   float64 `json:"avgLabelsPerNode"`
 	StoredBytes  int64   `json:"storedBytes"`
 	DistinctHubs int     `json:"distinctHubs"`
+	// durable deployments (-store) report the write-ahead log state
+	Durable   bool   `json:"durable,omitempty"`
+	WALBytes  int64  `json:"walBytes,omitempty"`
+	LastBatch uint64 `json:"lastBatch,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.ix.Snapshot()
 	coll := snap.Collection()
 	labels := snap.Labels()
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Docs:         coll.NumDocs(),
 		Elements:     coll.NumElements(),
 		Links:        coll.NumLinks(),
@@ -187,7 +191,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		AvgPerNode:   labels.AvgPerNode,
 		StoredBytes:  labels.StoredBytes,
 		DistinctHubs: labels.DistinctHubs,
-	})
+	}
+	if walBytes, lastSeq, ok := s.ix.WALSize(); ok {
+		resp.Durable = true
+		resp.WALBytes = walBytes
+		resp.LastBatch = lastSeq
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 type insertDocResponse struct {

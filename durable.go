@@ -1,0 +1,444 @@
+package hopi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hopi/internal/core"
+	"hopi/internal/storage"
+	"hopi/internal/xmlmodel"
+)
+
+// Durable attach mode
+//
+// A durable index keeps the on-disk cover store (path), the collection
+// snapshot (path+".coll"), and a write-ahead log (path+".wal") attached
+// for its whole lifetime. Apply commits every maintenance batch to the
+// WAL — collection ops plus cover label deltas, fsynced — before the
+// new snapshot is published, then applies the deltas to the store's
+// B-trees in memory. Store pages only reach disk through checkpoints
+// (Checkpoint, periodic in hopiserve, and Close), which journal the
+// dirty page images into the WAL before overwriting the store, write
+// the collection sidecar, and truncate the log. Opening a durable
+// index replays any WAL tail left by a crash, so every batch whose
+// Apply returned is visible after a restart — the §4 incremental
+// maintenance of the stored index, made restartable.
+
+const (
+	collSuffix = ".coll"
+	walSuffix  = ".wal"
+
+	// durablePoolPages sizes the attached store's buffer pool. With the
+	// no-steal policy the pool can temporarily exceed this while a
+	// checkpoint is pending; checkpoints return it to bounds.
+	durablePoolPages = 1024
+)
+
+// Pager construction seams; tests substitute fault-injecting or
+// counting pagers to exercise crash recovery and write amplification.
+var (
+	createPagerFn = func(path string) (storage.Pager, error) { return storage.CreateFilePager(path) }
+	openPagerFn   = func(path string) (storage.Pager, error) { return storage.OpenFilePager(path) }
+)
+
+// durableState is the persistent backend attached to an Index.
+type durableState struct {
+	path    string
+	store   *storage.CoverStore
+	wal     *storage.WAL
+	nextSeq uint64
+	// err poisons the attachment after a failed commit: the in-memory
+	// index, the WAL, and the store can no longer be assumed coherent,
+	// so further writes are refused until the index is reopened (which
+	// recovers from the files).
+	err error
+}
+
+// OpenOption configures Open.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	durable bool
+}
+
+// Durable makes Open attach the on-disk store as the index's live
+// backend: maintenance batches are write-ahead logged and applied to
+// the store incrementally, and any WAL tail from a previous run is
+// replayed (crash recovery) before the index starts serving. Without
+// this option Open loads the cover into memory and leaves the files
+// untouched.
+func Durable() OpenOption {
+	return func(c *openConfig) { c.durable = true }
+}
+
+// Create builds a HOPI index for the collection and attaches it to a
+// freshly created durable store at path (plus path+".coll" and
+// path+".wal"). Create itself is not crash-atomic: a crash mid-create
+// leaves an incomplete store that must be recreated. Once Create
+// returns, every committed Apply survives crashes.
+func Create(path string, coll *Collection, opts Options) (*Index, error) {
+	ix, err := Build(coll, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.attachNew(path); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+func (ix *Index) attachNew(path string) error {
+	fp, err := createPagerFn(path)
+	if err != nil {
+		return err
+	}
+	st, err := storage.CreateCoverStore(fp, durablePoolPages, ix.coll.c.NumAllocatedIDs(), ix.ix.Cover().WithDist)
+	if err != nil {
+		fp.Close()
+		return err
+	}
+	if err := st.FromCover(ix.ix.Cover()); err != nil {
+		st.Close()
+		return err
+	}
+	if err := st.Flush(); err != nil {
+		st.Close()
+		return err
+	}
+	st.SetNoSteal(true)
+	wal, _, err := storage.OpenWAL(path + walSuffix)
+	if err != nil {
+		st.Close()
+		return err
+	}
+	// a stale log from an earlier store at the same path must not be
+	// replayed into this one
+	if err := wal.Reset(); err != nil {
+		wal.Close()
+		st.Close()
+		return err
+	}
+	if err := writeCollFile(path+collSuffix, ix.coll.c, 0); err != nil {
+		wal.Close()
+		st.Close()
+		return err
+	}
+	ix.dur = &durableState{path: path, store: st, wal: wal, nextSeq: 1}
+	return nil
+}
+
+// openDurable opens a durable index: repair a torn checkpoint flush
+// from the journaled page images, replay committed WAL batches that
+// the store and collection snapshots don't include yet, and attach.
+func openDurable(path string) (*Index, error) {
+	wal, recs, err := storage.OpenWAL(path + walSuffix)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := openPagerFn(path)
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	if _, err := storage.ReplayCheckpoint(fp, recs); err != nil {
+		fp.Close()
+		wal.Close()
+		return nil, err
+	}
+	st, err := storage.OpenCoverStore(fp, durablePoolPages)
+	if err != nil {
+		fp.Close()
+		wal.Close()
+		return nil, err
+	}
+	st.SetNoSteal(true)
+	fail := func(err error) (*Index, error) {
+		// abandon, not close: a failed recovery must not flush
+		// partially replayed pages over the store
+		st.Abandon()
+		wal.Close()
+		return nil, err
+	}
+	f, err := os.Open(path + collSuffix)
+	if err != nil {
+		return fail(fmt.Errorf("hopi: open collection: %w", err))
+	}
+	c, collSeq, err := xmlmodel.DecodeCollectionSeq(f)
+	f.Close()
+	if err != nil {
+		return fail(err)
+	}
+	maxSeq := collSeq
+	if s := st.AppliedSeq(); s > maxSeq {
+		maxSeq = s
+	}
+	for _, rec := range recs {
+		if rec.IsCheckpoint() {
+			continue
+		}
+		if rec.Seq > st.AppliedSeq() {
+			if err := st.ApplyDelta(rec.Seq, rec.Ops); err != nil {
+				return fail(fmt.Errorf("hopi: wal replay (batch %d): %w", rec.Seq, err))
+			}
+		}
+		if rec.Seq > collSeq {
+			ops, err := decodeCollOps(rec.Coll)
+			if err != nil {
+				return fail(fmt.Errorf("hopi: wal replay (batch %d): %w", rec.Seq, err))
+			}
+			if err := core.ReplayCollOps(c, ops); err != nil {
+				return fail(fmt.Errorf("hopi: wal replay (batch %d): %w", rec.Seq, err))
+			}
+		}
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+	}
+	cover, err := st.ToCover()
+	if err != nil {
+		return fail(err)
+	}
+	coll := &Collection{c: c}
+	ix := &Index{coll: coll, ix: core.NewFromCover(c, cover)}
+	ix.dur = &durableState{path: path, store: st, wal: wal, nextSeq: maxSeq + 1}
+	// fold the replayed tail into the store files and truncate the log,
+	// so the next crash has a short recovery again
+	if err := ix.doCheckpoint(maxSeq); err != nil {
+		ix.dur = nil
+		return fail(err)
+	}
+	return ix, nil
+}
+
+// Durable reports whether the index has an attached store backend.
+func (ix *Index) Durable() bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.dur != nil
+}
+
+// WALSize returns the current write-ahead log size in bytes and the
+// sequence number of the last committed batch; ok is false when the
+// index is not durable. Safe to call concurrently with Apply.
+func (ix *Index) WALSize() (bytes int64, lastSeq uint64, ok bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	d := ix.dur
+	if d == nil {
+		return 0, 0, false
+	}
+	return d.wal.Size(), d.nextSeq - 1, true
+}
+
+// Checkpoint makes every committed batch durable in the store itself
+// and truncates the WAL: dirty store pages are journaled (double-
+// write) and flushed, and the collection sidecar is rewritten
+// atomically. A no-op when nothing was committed since the last
+// checkpoint. Crashing anywhere inside Checkpoint is safe — recovery
+// either replays the old WAL or re-applies the journaled images.
+func (ix *Index) Checkpoint() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	d := ix.dur
+	if d == nil {
+		return errors.New("hopi: index has no attached store")
+	}
+	if d.err != nil {
+		return fmt.Errorf("hopi: durable backend failed earlier, reopen the index: %w", d.err)
+	}
+	if d.wal.Empty() {
+		return nil
+	}
+	if err := ix.doCheckpoint(d.nextSeq - 1); err != nil {
+		d.err = err
+		return err
+	}
+	return nil
+}
+
+// doCheckpoint runs the checkpoint protocol. The caller either holds
+// ix.mu exclusively or has sole access to the index.
+func (ix *Index) doCheckpoint(seq uint64) error {
+	d := ix.dur
+	if err := d.store.CheckpointInto(d.wal); err != nil {
+		return err
+	}
+	if err := writeCollFile(d.path+collSuffix, ix.coll.c, seq); err != nil {
+		return err
+	}
+	return d.wal.Reset()
+}
+
+// Close checkpoints (when healthy) and detaches the durable backend,
+// closing the store and the WAL. Closing a non-durable index is a
+// no-op. The index must not be used for maintenance afterwards.
+func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	d := ix.dur
+	if d == nil {
+		return nil
+	}
+	var errs []error
+	clean := d.err == nil
+	if clean && !d.wal.Empty() {
+		if err := ix.doCheckpoint(d.nextSeq - 1); err != nil {
+			errs = append(errs, err)
+			clean = false
+		}
+	}
+	ix.dur = nil
+	if err := d.wal.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	if clean {
+		if err := d.store.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	} else {
+		// the pool may hold partially-applied, un-journaled pages;
+		// flushing them would bypass the double-write protocol, so
+		// leave the file at its last checkpoint and let the next open
+		// recover from the WAL
+		if err := d.store.Abandon(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// commitDurable persists one applied batch. The caller holds ix.mu and
+// recording was active for the whole batch.
+func (ix *Index) commitDurable(log *core.ChangeLog) error {
+	d := ix.dur
+	seq := d.nextSeq
+	collBytes, err := encodeCollOps(log.Coll)
+	if err != nil {
+		return err
+	}
+	cover := log.Cover
+	if log.Rebuilt {
+		// A rebuild swapped the cover wholesale; the recorded deltas
+		// cannot express that, so log the batch as a full snapshot:
+		// clear-all followed by the complete new label set. Recovery
+		// replays it through the same path as any other batch.
+		cover = ix.ix.Cover().SnapshotDeltas()
+	}
+	// WAL first: the batch is committed once AppendBatch's fsync
+	// returns. Applying the deltas to the store's B-trees afterwards
+	// only touches the buffer pool (no-steal), never the file.
+	if err := d.wal.AppendBatch(seq, collBytes, cover); err != nil {
+		return err
+	}
+	if log.Rebuilt {
+		// bulk-load instead of entry-by-entry inserts; logically
+		// identical to replaying the snapshot deltas
+		if err := d.store.FromCover(ix.ix.Cover()); err != nil {
+			return err
+		}
+		d.store.SetAppliedSeq(seq)
+	} else if err := d.store.ApplyDelta(seq, cover); err != nil {
+		return err
+	}
+	d.nextSeq = seq + 1
+	// Fold the snapshot-sized WAL record into the store right away so
+	// the log returns to O(delta) size.
+	if log.Rebuilt {
+		if err := ix.doCheckpoint(seq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCollFile atomically replaces the collection sidecar via a
+// same-directory rename, fsyncing file and directory.
+func writeCollFile(path string, c *xmlmodel.Collection, seq uint64) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := c.EncodeWithSeq(f, seq); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// --- collection-op WAL payload ---------------------------------------
+//
+// The WAL treats the collection side of a batch as an opaque payload;
+// this is its encoding: a gob stream of flat DTOs (documents inlined
+// as their serialized parts).
+
+type walCollOp struct {
+	Kind     uint8
+	Name     string
+	Elements []xmlmodel.Element
+	Intra    [][2]int32
+	DocIdx   int
+	From, To int32
+}
+
+func encodeCollOps(ops []core.CollOp) ([]byte, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	dtos := make([]walCollOp, len(ops))
+	for i, op := range ops {
+		dto := walCollOp{Kind: uint8(op.Kind), DocIdx: op.DocIdx, From: op.From, To: op.To}
+		if op.Kind == core.CollAddDoc {
+			dto.Name = op.Doc.Name
+			dto.Elements = op.Doc.Elements
+			dto.Intra = op.Doc.IntraLinks
+		}
+		dtos[i] = dto
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(dtos); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeCollOps(b []byte) ([]core.CollOp, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	var dtos []walCollOp
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&dtos); err != nil {
+		return nil, err
+	}
+	ops := make([]core.CollOp, len(dtos))
+	for i, dto := range dtos {
+		op := core.CollOp{Kind: core.CollOpKind(dto.Kind), DocIdx: dto.DocIdx, From: dto.From, To: dto.To}
+		if op.Kind == core.CollAddDoc {
+			op.Doc = xmlmodel.NewDocumentFromParts(dto.Name, dto.Elements, dto.Intra)
+		}
+		ops[i] = op
+	}
+	return ops, nil
+}

@@ -1,0 +1,685 @@
+package hopi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"hopi/internal/storage"
+	"hopi/internal/twohop"
+)
+
+// --- helpers ----------------------------------------------------------
+
+// crash simulates a process death: file handles close, nothing is
+// flushed or checkpointed. The on-disk state is whatever the WAL and
+// the last checkpoint left behind.
+func crash(ix *Index) {
+	if ix.dur != nil {
+		ix.dur.wal.Close()
+		ix.dur.store.Abandon()
+		ix.dur = nil
+	}
+}
+
+// scriptOp is one deterministic maintenance step; materialized into a
+// fresh Batch per target index so document objects are never shared.
+type scriptOp struct {
+	kind   int    // 0 insert doc+cite, 1 delete doc, 2 insert link, 3 delete link, 4 rebuild
+	name   string // document to insert or delete
+	target string // cite/link target document
+}
+
+func buildScriptBatch(op scriptOp) *Batch {
+	b := NewBatch()
+	switch op.kind {
+	case 0:
+		d := NewDocument(op.name, "article")
+		d.AddElement(d.Root(), "title")
+		d.AddElement(d.Root(), "author")
+		cite := d.AddElement(d.Root(), "cite")
+		b.InsertDocument(d)
+		if op.target != "" {
+			b.InsertLink(op.name, cite, op.target, 0)
+		}
+	case 1:
+		b.DeleteDocumentByName(op.name)
+	case 2:
+		b.InsertLink(op.name, 0, op.target, 1)
+	case 3:
+		// inverse of kind 2; only scripted when the link exists
+		b.DeleteLink(op.name, 0, op.target, 1)
+	case 4:
+		b.Rebuild()
+	}
+	return b
+}
+
+// randomScript generates n always-valid maintenance steps over the
+// base documents plus its own insertions.
+func randomScript(rng *rand.Rand, baseDocs []string, n int, withRebuild bool) []scriptOp {
+	alive := append([]string(nil), baseDocs...)
+	var mine []string // deletable (scripted) docs
+	type link struct{ from, to string }
+	var links []link
+	var ops []scriptOp
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("doc%04d.xml", i)
+		switch k := rng.Intn(10); {
+		case k < 4: // insert
+			target := alive[rng.Intn(len(alive))]
+			ops = append(ops, scriptOp{kind: 0, name: name, target: target})
+			alive = append(alive, name)
+			mine = append(mine, name)
+		case k < 6 && len(mine) > 0: // delete a scripted doc
+			j := rng.Intn(len(mine))
+			victim := mine[j]
+			mine = append(mine[:j], mine[j+1:]...)
+			for a := 0; a < len(alive); a++ {
+				if alive[a] == victim {
+					alive = append(alive[:a], alive[a+1:]...)
+					break
+				}
+			}
+			kept := links[:0]
+			for _, l := range links {
+				if l.from != victim && l.to != victim {
+					kept = append(kept, l)
+				}
+			}
+			links = kept
+			ops = append(ops, scriptOp{kind: 1, name: victim})
+		case k < 8: // add a root→child link between two live docs
+			from := alive[rng.Intn(len(alive))]
+			to := alive[rng.Intn(len(alive))]
+			if from == to {
+				continue
+			}
+			dup := false
+			for _, l := range links {
+				if l.from == from && l.to == to {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			links = append(links, link{from, to})
+			ops = append(ops, scriptOp{kind: 2, name: from, target: to})
+		case k < 9 && len(links) > 0: // remove one of those links
+			j := rng.Intn(len(links))
+			l := links[j]
+			links = append(links[:j], links[j+1:]...)
+			ops = append(ops, scriptOp{kind: 3, name: l.from, target: l.to})
+		case withRebuild: // occasional rebuild
+			ops = append(ops, scriptOp{kind: 4})
+		}
+	}
+	return ops
+}
+
+func baseCollection(t *testing.T) (*Collection, []string) {
+	t.Helper()
+	files := map[string][]byte{
+		"a.xml": []byte(`<bib><book><title>A</title><author/></book><cite href="b.xml"/></bib>`),
+		"b.xml": []byte(`<bib><book><title>B</title><author/></book><cite href="c.xml"/></bib>`),
+		"c.xml": []byte(`<paper><section><author/></section></paper>`),
+	}
+	coll, err := ParseCollection(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coll, []string{"a.xml", "b.xml", "c.xml"}
+}
+
+// oracle builds a fresh in-memory index from the same base collection
+// and applies script ops [0, k).
+func oracle(t *testing.T, ops []scriptOp, k int, withDist bool) *Index {
+	t.Helper()
+	coll, _ := baseCollection(t)
+	bopts := DefaultOptions()
+	bopts.WithDistance = withDist
+	bopts.Seed = 1
+	ix, err := Build(coll, bopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if _, err := ix.Apply(context.Background(), buildScriptBatch(ops[i])); err != nil {
+			t.Fatalf("oracle op %d: %v", i, err)
+		}
+	}
+	return ix
+}
+
+// assertSameAnswers compares got against want over every element pair:
+// reachability always, distance when both carry it.
+func assertSameAnswers(t *testing.T, got, want *Index, label string) {
+	t.Helper()
+	n := want.coll.c.NumAllocatedIDs()
+	if g := got.coll.c.NumAllocatedIDs(); g != n {
+		t.Fatalf("%s: %d allocated IDs, oracle has %d", label, g, n)
+	}
+	withDist := want.ix.Cover().WithDist && got.ix.Cover().WithDist
+	for u := int32(0); u < int32(n); u++ {
+		for v := int32(0); v < int32(n); v++ {
+			if g, w := got.Reaches(u, v), want.Reaches(u, v); g != w {
+				t.Fatalf("%s: Reaches(%d,%d) = %v, oracle %v", label, u, v, g, w)
+			}
+			if withDist {
+				g, _ := got.Distance(u, v)
+				w, _ := want.Distance(u, v)
+				if g != w {
+					t.Fatalf("%s: Distance(%d,%d) = %d, oracle %d", label, u, v, g, w)
+				}
+			}
+		}
+	}
+}
+
+// --- round trip and restart ------------------------------------------
+
+func TestDurableCreateApplyReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ix.hopi")
+	coll, base := baseCollection(t)
+	opts := DefaultOptions()
+	opts.WithDistance = true
+	opts.Seed = 1
+	ix, err := Create(path, coll, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Durable() {
+		t.Fatal("Create returned a non-durable index")
+	}
+	ops := randomScript(rand.New(rand.NewSource(7)), base, 30, true)
+	for i, op := range ops {
+		if _, err := ix.Apply(context.Background(), buildScriptBatch(op)); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path, Durable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	assertSameAnswers(t, re, oracle(t, ops, len(ops), true), "clean reopen")
+
+	// the files also still load in plain (in-memory) mode
+	mem, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, mem, oracle(t, ops, len(ops), true), "plain reopen")
+}
+
+func TestDurableCrashRecoversEveryCommittedBatch(t *testing.T) {
+	for _, checkpointEvery := range []int{0, 5} {
+		t.Run(fmt.Sprintf("checkpointEvery=%d", checkpointEvery), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "ix.hopi")
+			coll, base := baseCollection(t)
+			opts := DefaultOptions()
+			opts.Seed = 1
+			ix, err := Create(path, coll, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops := randomScript(rand.New(rand.NewSource(11)), base, 25, false)
+			for i, op := range ops {
+				if _, err := ix.Apply(context.Background(), buildScriptBatch(op)); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+				if checkpointEvery > 0 && i%checkpointEvery == checkpointEvery-1 {
+					if err := ix.Checkpoint(); err != nil {
+						t.Fatalf("checkpoint after op %d: %v", i, err)
+					}
+				}
+			}
+			crash(ix) // no Close, no final checkpoint
+
+			re, err := Open(path, Durable())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			assertSameAnswers(t, re, oracle(t, ops, len(ops), false), "crash reopen")
+		})
+	}
+}
+
+func TestDurableTornWALTailDropsOnlyLastBatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ix.hopi")
+	coll, base := baseCollection(t)
+	ix, err := Create(path, coll, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := randomScript(rand.New(rand.NewSource(3)), base, 12, false)
+	for i, op := range ops {
+		if _, err := ix.Apply(context.Background(), buildScriptBatch(op)); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	crash(ix)
+
+	// tear the last record: chop a few bytes off the WAL tail,
+	// simulating a crash mid-append
+	walPath := path + walSuffix
+	st, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path, Durable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	// the torn batch is gone; everything before it survives
+	assertSameAnswers(t, re, oracle(t, ops, len(ops)-1, false), "torn tail")
+}
+
+// --- randomized crash recovery under injected store failures ----------
+
+// dyingPager wraps a real pager and, once armed and exhausted, fails
+// every subsequent operation — a disk that died and stays dead.
+type dyingPager struct {
+	inner     storage.Pager
+	remaining atomic.Int64 // ops until death; negative = disarmed
+}
+
+var errDiskDied = errors.New("injected store failure")
+
+func (p *dyingPager) tick() error {
+	if p.remaining.Load() < 0 {
+		return nil
+	}
+	if p.remaining.Add(-1) < 0 {
+		p.remaining.Store(0) // stay dead
+		return errDiskDied
+	}
+	return nil
+}
+
+func (p *dyingPager) ReadPage(id storage.PageID, buf []byte) error {
+	if err := p.tick(); err != nil {
+		return err
+	}
+	return p.inner.ReadPage(id, buf)
+}
+
+func (p *dyingPager) WritePage(id storage.PageID, buf []byte) error {
+	if err := p.tick(); err != nil {
+		return err
+	}
+	return p.inner.WritePage(id, buf)
+}
+
+func (p *dyingPager) Allocate() (storage.PageID, error) {
+	if err := p.tick(); err != nil {
+		return storage.InvalidPage, err
+	}
+	return p.inner.Allocate()
+}
+
+func (p *dyingPager) NumPages() uint32 { return p.inner.NumPages() }
+func (p *dyingPager) Sync() error {
+	if err := p.tick(); err != nil {
+		return err
+	}
+	return p.inner.Sync()
+}
+func (p *dyingPager) Close() error { return p.inner.Close() }
+
+// TestDurableCrashRecoveryRandomized drives randomized maintenance
+// through a store pager that dies mid-run, reopens from the surviving
+// files, and checks every batch the WAL committed against an in-memory
+// oracle rebuilt from the same operation log. The store failure point
+// sweeps across the workload so batches die during delta application
+// and during checkpoint flushes alike.
+func TestDurableCrashRecoveryRandomized(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "ix.hopi")
+
+			dp := &dyingPager{}
+			dp.remaining.Store(-1)
+			origCreate := createPagerFn
+			createPagerFn = func(p string) (storage.Pager, error) {
+				inner, err := storage.CreateFilePager(p)
+				if err != nil {
+					return nil, err
+				}
+				dp.inner = inner
+				return dp, nil
+			}
+			defer func() { createPagerFn = origCreate }()
+
+			coll, base := baseCollection(t)
+			opts := DefaultOptions()
+			opts.Seed = 1
+			ix, err := Create(path, coll, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			createPagerFn = origCreate
+
+			rng := rand.New(rand.NewSource(int64(100 + trial)))
+			ops := randomScript(rng, base, 20, false)
+			// arm the failure: die after a trial-dependent number of
+			// pager operations so the death lands in different phases
+			dp.remaining.Store(int64(50 + trial*211))
+
+			committed := 0
+			for i, op := range ops {
+				_, err := ix.Apply(context.Background(), buildScriptBatch(op))
+				if err != nil {
+					if !errors.Is(err, errDiskDied) {
+						t.Fatalf("op %d: unexpected error: %v", i, err)
+					}
+					break
+				}
+				committed = i + 1
+				if i%4 == 3 {
+					if err := ix.Checkpoint(); err != nil {
+						if !errors.Is(err, errDiskDied) {
+							t.Fatalf("checkpoint after op %d: %v", i, err)
+						}
+						break
+					}
+				}
+			}
+			crash(ix)
+			dp.remaining.Store(-1) // the replacement disk works
+
+			re, err := Open(path, Durable())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			// every batch whose Apply returned success must be visible;
+			// a batch whose store application died may additionally have
+			// been committed by the WAL before the failure
+			_, lastSeq, ok := re.WALSize()
+			if !ok {
+				t.Fatal("reopened index is not durable")
+			}
+			if int(lastSeq) < committed {
+				t.Fatalf("recovered %d batches, but %d were acknowledged", lastSeq, committed)
+			}
+			if int(lastSeq) > len(ops) {
+				t.Fatalf("recovered %d batches out of %d applied", lastSeq, len(ops))
+			}
+			assertSameAnswers(t, re, oracle(t, ops, int(lastSeq), false), "recovered")
+		})
+	}
+}
+
+// TestDurableIntraLinkInInsertBatchNotDuplicated is a regression test:
+// a batch that inserts a document and then adds an intra-document link
+// to it must log the link exactly once (the document snapshot in the
+// WAL is taken at insert time, the link as its own op) — an aliased
+// snapshot used to carry the link too, so recovery materialized it
+// twice and a later DeleteLink removed only one copy.
+func TestDurableIntraLinkInInsertBatchNotDuplicated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ix.hopi")
+	coll, _ := baseCollection(t)
+	opts := DefaultOptions()
+	opts.Seed = 1
+	ix, err := Create(path, coll, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewBatch()
+	d := NewDocument("self.xml", "article")
+	child := d.AddElement(d.Root(), "sec")
+	leaf := d.AddElement(child, "leaf")
+	b.InsertDocument(d)
+	b.InsertLink("self.xml", leaf, "self.xml", 0) // intra-document: leaf → root
+	if _, err := ix.Apply(context.Background(), b); err != nil {
+		t.Fatal(err)
+	}
+	crash(ix) // recover purely from the WAL
+
+	re, err := Open(path, Durable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rc := re.Collection()
+	doc, ok := rc.DocByName("self.xml")
+	if !ok {
+		t.Fatal("self.xml lost")
+	}
+	if n := len(rc.c.Docs[doc].IntraLinks); n != 1 {
+		t.Fatalf("recovered document has %d intra links, want 1", n)
+	}
+	// deleting the link must fully remove it
+	db := NewBatch()
+	db.DeleteLink("self.xml", leaf, "self.xml", 0)
+	if _, err := re.Apply(context.Background(), db); err != nil {
+		t.Fatal(err)
+	}
+	u, v := rc.ElemID(doc, leaf), rc.ElemID(doc, 0)
+	if re.Reaches(u, v) {
+		t.Fatal("leaf still reaches root after the only link was deleted")
+	}
+}
+
+// --- store/memory equivalence ----------------------------------------
+
+// TestDurableStoreMatchesMemoryLabels asserts the strongest form of
+// the ApplyDelta contract: after every random batch, the attached
+// store holds byte-identical Lin/Lout labels to the in-memory cover.
+func TestDurableStoreMatchesMemoryLabels(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ix.hopi")
+	coll, base := baseCollection(t)
+	opts := DefaultOptions()
+	opts.WithDistance = true
+	opts.Seed = 1
+	ix, err := Create(path, coll, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	ops := randomScript(rand.New(rand.NewSource(23)), base, 40, true)
+	for i, op := range ops {
+		if _, err := ix.Apply(context.Background(), buildScriptBatch(op)); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		cover := ix.ix.Cover()
+		st := ix.dur.store
+		if st.NumNodes() != cover.N() {
+			t.Fatalf("after op %d: store has %d nodes, cover %d", i, st.NumNodes(), cover.N())
+		}
+		for v := int32(0); v < int32(cover.N()); v++ {
+			sin, err := st.Lin(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sout, err := st.Lout(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalEntries(sin, cover.In[v]) {
+				t.Fatalf("after op %d (%+v): Lin(%d) store %v, memory %v", i, op, v, sin, cover.In[v])
+			}
+			if !equalEntries(sout, cover.Out[v]) {
+				t.Fatalf("after op %d (%+v): Lout(%d) store %v, memory %v", i, op, v, sout, cover.Out[v])
+			}
+		}
+	}
+}
+
+func equalEntries(a, b []twohop.Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- write amplification ---------------------------------------------
+
+// countingPager counts page writes and written bytes.
+type countingPager struct {
+	inner  storage.Pager
+	writes atomic.Int64
+}
+
+func (p *countingPager) ReadPage(id storage.PageID, buf []byte) error {
+	return p.inner.ReadPage(id, buf)
+}
+func (p *countingPager) WritePage(id storage.PageID, buf []byte) error {
+	p.writes.Add(1)
+	return p.inner.WritePage(id, buf)
+}
+func (p *countingPager) Allocate() (storage.PageID, error) { return p.inner.Allocate() }
+func (p *countingPager) NumPages() uint32                  { return p.inner.NumPages() }
+func (p *countingPager) Sync() error                       { return p.inner.Sync() }
+func (p *countingPager) Close() error                      { return p.inner.Close() }
+
+// TestDurableApplyIsIncremental asserts the acceptance criterion that
+// a single-document insert writes O(delta) WAL bytes and store pages,
+// not a full FromCover rewrite.
+func TestDurableApplyIsIncremental(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ix.hopi")
+
+	cp := &countingPager{}
+	origCreate := createPagerFn
+	createPagerFn = func(p string) (storage.Pager, error) {
+		inner, err := storage.CreateFilePager(p)
+		if err != nil {
+			return nil, err
+		}
+		cp.inner = inner
+		return cp, nil
+	}
+	defer func() { createPagerFn = origCreate }()
+
+	// a base collection big enough that a full rewrite dwarfs a delta
+	coll := NewCollection()
+	for i := 0; i < 60; i++ {
+		name := fmt.Sprintf("base%03d.xml", i)
+		d := NewDocument(name, "article")
+		for j := 0; j < 8; j++ {
+			d.AddElement(d.Root(), "section")
+		}
+		coll.Add(d)
+	}
+	for i := 0; i < 59; i++ {
+		if err := coll.AddLink(DocID(i), 3, DocID(i+1), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := Create(path, coll, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	createPagerFn = origCreate
+
+	totalPages := int64(cp.inner.NumPages())
+	walBefore, _, _ := ix.WALSize()
+	cp.writes.Store(0)
+
+	op := scriptOp{kind: 0, name: "delta.xml", target: "base030.xml"}
+	if _, err := ix.Apply(context.Background(), buildScriptBatch(op)); err != nil {
+		t.Fatal(err)
+	}
+
+	// the apply itself must not write store pages: deltas go to the WAL
+	// (fsynced) and the buffer pool only
+	if w := cp.writes.Load(); w != 0 {
+		t.Errorf("durable Apply wrote %d store pages; want 0 (WAL-only)", w)
+	}
+	walAfter, _, _ := ix.WALSize()
+	walDelta := walAfter - walBefore
+	storeBytes := totalPages * storage.PageSize
+	if walDelta <= 0 {
+		t.Fatal("apply appended nothing to the WAL")
+	}
+	if walDelta > storeBytes/4 {
+		t.Errorf("single-doc insert logged %d WAL bytes vs %d store bytes — not O(delta)", walDelta, storeBytes)
+	}
+
+	// checkpoint writes only the dirtied pages, not the whole store
+	if err := ix.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if w := cp.writes.Load(); w == 0 || w >= totalPages {
+		t.Errorf("checkpoint wrote %d pages of %d — want an incremental subset", w, totalPages)
+	}
+}
+
+// --- poisoning --------------------------------------------------------
+
+func TestDurablePoisonedAfterCommitFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ix.hopi")
+
+	dp := &dyingPager{}
+	dp.remaining.Store(-1)
+	origCreate := createPagerFn
+	createPagerFn = func(p string) (storage.Pager, error) {
+		inner, err := storage.CreateFilePager(p)
+		if err != nil {
+			return nil, err
+		}
+		dp.inner = inner
+		return dp, nil
+	}
+	defer func() { createPagerFn = origCreate }()
+
+	coll, base := baseCollection(t)
+	ix, err := Create(path, coll, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		op := scriptOp{kind: 0, name: fmt.Sprintf("p%03d.xml", i), target: base[0]}
+		if _, err := ix.Apply(context.Background(), buildScriptBatch(op)); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	dp.remaining.Store(0) // die on the next pager op: the checkpoint flush
+	firstErr := ix.Checkpoint()
+	if firstErr == nil {
+		t.Fatal("store death never surfaced")
+	}
+	if !errors.Is(firstErr, errDiskDied) {
+		t.Fatalf("unexpected error: %v", firstErr)
+	}
+	// every further write is refused fast, with the original cause
+	_, err = ix.Apply(context.Background(), buildScriptBatch(scriptOp{kind: 0, name: "late.xml", target: base[0]}))
+	if err == nil || !errors.Is(err, errDiskDied) {
+		t.Fatalf("poisoned index accepted a write (err=%v)", err)
+	}
+	crash(ix)
+}

@@ -1,0 +1,75 @@
+// Durable: the restartable-service scenario. The index is created
+// attached to an on-disk store; every maintenance batch is committed
+// to a write-ahead log before Apply returns, so a crash — simulated
+// here by simply abandoning the first index without closing it — loses
+// nothing that was acknowledged. Reopening the same path replays the
+// log tail and serves the exact same answers.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"hopi"
+	"hopi/internal/gen"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "hopi-durable")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "index.hopi")
+
+	// create: build the index and attach it to the store
+	coll := hopi.WrapCollection(gen.DBLP(gen.DefaultDBLP(100, 11)))
+	ix, err := hopi.Create(path, coll, hopi.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created durable index at %s\n", path)
+
+	// maintain: each batch is WAL-committed before Apply returns
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("new%02d.xml", i)
+		d := hopi.NewDocument(name, "article")
+		d.AddElement(d.Root(), "title")
+		cite := d.AddElement(d.Root(), "cite")
+		b := hopi.NewBatch()
+		b.InsertDocument(d)
+		b.InsertLink(name, cite, fmt.Sprintf("pub%05d.xml", i), 0)
+		if _, err := ix.Apply(ctx, b); err != nil {
+			log.Fatal(err)
+		}
+	}
+	walBytes, lastSeq, _ := ix.WALSize()
+	before, err := ix.Query("//article//author")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("applied %d batches (%d WAL bytes pending), //article//author: %d matches\n",
+		lastSeq, walBytes, len(before))
+
+	// "crash": drop the index on the floor — no Close, no checkpoint
+
+	// restart: reopen the same path; the WAL tail is replayed
+	re, err := hopi.Open(path, hopi.Durable())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer re.Close()
+	after, err := re.Query("//article//author")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after restart: %d matches (was %d)\n", len(after), len(before))
+	if len(after) != len(before) {
+		log.Fatal("restart lost committed batches")
+	}
+	fmt.Println("every committed batch survived the crash")
+}

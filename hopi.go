@@ -42,7 +42,12 @@
 // and truncates results. cmd/hopiserve exposes the whole API as an
 // HTTP JSON service built on snapshots.
 //
-// The index can be persisted to a page-based store with Save/Open.
+// The index can be persisted to a page-based store with Save/Open —
+// or, with Create / Open(path, Durable()), kept attached to the store
+// as a live, crash-recoverable backend: Apply write-ahead logs every
+// maintenance batch before publishing it and updates the stored cover
+// incrementally, Checkpoint folds the log into the store, and a
+// restart replays any log tail a crash left behind.
 package hopi
 
 import (
@@ -140,6 +145,7 @@ type Index struct {
 	coll   *Collection
 	ix     *core.Index
 	cur    atomic.Pointer[Snapshot] // latest published snapshot, nil after a batch
+	dur    *durableState            // attached store backend, nil for in-memory indexes
 }
 
 // Build constructs a HOPI index for the collection. The collection is
@@ -367,7 +373,15 @@ func (ix *Index) Rebuild() error {
 // forward and backward indexes, as in the paper's database deployment)
 // and the collection to path+".coll". It takes the read lock, so it is
 // safe to call concurrently with Apply.
+//
+// On a durable index saving to its attached path, Save is a
+// Checkpoint — an incremental flush of the pages dirtied since the
+// last one, not a full rewrite. Saving to any other path writes an
+// independent full copy (a cold backup).
 func (ix *Index) Save(path string) error {
+	if ix.dur != nil && path == ix.dur.path {
+		return ix.Checkpoint()
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	fp, err := storage.CreateFilePager(path)
@@ -394,10 +408,20 @@ func (ix *Index) Save(path string) error {
 	return ix.coll.Encode(f)
 }
 
-// Open loads an index saved with Save. The returned index answers
-// queries from the in-memory cover; the on-disk store remains the
-// durable copy.
-func Open(path string) (*Index, error) {
+// Open loads an index saved with Save or Create. By default the
+// returned index answers queries from the in-memory cover and leaves
+// the files untouched; with the Durable option the store stays
+// attached as the live backend — maintenance batches are write-ahead
+// logged and applied to the store in place, and a WAL tail left by a
+// crash is replayed first (see Create, Checkpoint, Close).
+func Open(path string, opts ...OpenOption) (*Index, error) {
+	var cfg openConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.durable {
+		return openDurable(path)
+	}
 	f, err := os.Open(path + ".coll")
 	if err != nil {
 		return nil, fmt.Errorf("hopi: open collection: %w", err)
@@ -433,5 +457,10 @@ func OpenStore(path string) (*storage.CoverStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	return storage.OpenCoverStore(fp, 1024)
+	st, err := storage.OpenCoverStore(fp, 1024)
+	if err != nil {
+		fp.Close()
+		return nil, err
+	}
+	return st, nil
 }

@@ -22,6 +22,7 @@ type Index struct {
 	ix    *psg.CoverIndex // backward maps for ancestor/descendant + maintenance
 	opts  Options
 	stats BuildStats
+	log   *ChangeLog // active maintenance recording, nil outside StartRecording
 }
 
 // DefaultOptions returns the paper's recommended configuration.

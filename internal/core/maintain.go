@@ -15,6 +15,7 @@ func (ix *Index) InsertEdge(from, to int32) error {
 	if err := ix.coll.AddLink(from, to); err != nil {
 		return err
 	}
+	ix.recordColl(CollOp{Kind: CollAddLink, From: from, To: to})
 	ix.coverIndex().IntegrateLink(from, to)
 	return nil
 }
@@ -25,6 +26,13 @@ func (ix *Index) InsertEdge(from, to int32) error {
 // to and from the new document are added afterwards with InsertEdge.
 func (ix *Index) InsertDocument(d *xmlmodel.Document) (int, error) {
 	docIdx := ix.coll.AddDocument(d)
+	if ix.log != nil {
+		// Snapshot the document now: later ops in the same batch may
+		// mutate it in place (an intra-document AddLink appends to
+		// d.IntraLinks), and those mutations are recorded as their own
+		// ops — a live alias would encode them twice at commit time.
+		ix.recordColl(CollOp{Kind: CollAddDoc, Doc: d.Clone()})
+	}
 	ix.cover.Grow(ix.coll.NumAllocatedIDs())
 	ix.invalidate()
 
@@ -138,23 +146,26 @@ func (ix *Index) deleteSeparating(docIdx int) {
 
 	dropOut := vdi.Clone()
 	dropOut.Or(vd)
+	inDropOut := func(center int32) bool { return dropOut.Has(int(center)) }
 	va.ForEach(func(a int) bool {
-		ix.cover.Out[a] = filterEntries(ix.cover.Out[a], dropOut)
+		ix.cover.FilterOut(int32(a), inDropOut)
 		return true
 	})
 	dropIn := vdi.Clone()
 	dropIn.Or(va)
+	inDropIn := func(center int32) bool { return dropIn.Has(int(center)) }
 	vd.ForEach(func(d int) bool {
-		ix.cover.In[d] = filterEntries(ix.cover.In[d], dropIn)
+		ix.cover.FilterIn(int32(d), inDropIn)
 		return true
 	})
 	// the document's own labels disappear with it
 	vdi.ForEach(func(v int) bool {
-		ix.cover.Out[v] = nil
-		ix.cover.In[v] = nil
+		ix.cover.ClearOut(int32(v))
+		ix.cover.ClearIn(int32(v))
 		return true
 	})
 	ix.coll.RemoveDocument(docIdx)
+	ix.recordColl(CollOp{Kind: CollRemoveDoc, DocIdx: docIdx})
 	ix.invalidate()
 }
 
@@ -169,19 +180,6 @@ func elementSet(c *xmlmodel.Collection, docs graph.Bitset, n int) graph.Bitset {
 		return true
 	})
 	return s
-}
-
-func filterEntries(list []twohop.Entry, drop graph.Bitset) []twohop.Entry {
-	out := list[:0]
-	for _, e := range list {
-		if !drop.Has(int(e.Center)) {
-			out = append(out, e)
-		}
-	}
-	if len(out) == 0 {
-		return nil
-	}
-	return out
 }
 
 // deleteGeneral is the Theorem 3 algorithm for documents that do not
@@ -208,6 +206,7 @@ func (ix *Index) deleteGeneral(docIdx int) {
 
 	// remove the document, rebuild the element graph
 	ix.coll.RemoveDocument(docIdx)
+	ix.recordColl(CollOp{Kind: CollRemoveDoc, DocIdx: docIdx})
 	g2 := ix.coll.ElementGraph()
 
 	// the region to recompute: rows for all surviving ancestors
@@ -249,10 +248,9 @@ func (ix *Index) deleteGeneral(docIdx int) {
 	ix.spliceHat(hat, globals, adiSurvivors, adi, ddi, vdiSet)
 	// rows of the deleted document vanish
 	for _, v := range vdi {
-		ix.cover.Out[v] = nil
-		ix.cover.In[v] = nil
+		ix.cover.ClearOut(v)
+		ix.cover.ClearIn(v)
 	}
-	ix.cover.Finish()
 	ix.invalidate()
 }
 
@@ -269,7 +267,7 @@ func (ix *Index) spliceHat(hat *twohop.Cover, globals []int32,
 		if skip != nil && skip.Has(d) {
 			return true
 		}
-		ix.cover.In[d] = filterEntries(ix.cover.In[d], distrust)
+		ix.cover.FilterIn(int32(d), func(center int32) bool { return distrust.Has(int(center)) })
 		return true
 	})
 	remap := func(entries []twohop.Entry) []twohop.Entry {
@@ -282,30 +280,17 @@ func (ix *Index) spliceHat(hat *twohop.Cover, globals []int32,
 	// The baseline union L ∪ L̂ over the region, with the Out
 	// replacement for the distrusted ancestors.
 	for i, gid := range globals {
-		g := int(gid)
-		if replaceOut.Has(g) {
-			ix.cover.Out[g] = remap(hat.Out[i])
+		if replaceOut.Has(int(gid)) {
+			ix.cover.SetOut(gid, remap(hat.Out[i]))
 		} else {
-			for _, e := range remap(hat.Out[i]) {
-				ix.cover.Out[g] = appendEntryMin(ix.cover.Out[g], e)
+			for _, e := range hat.Out[i] {
+				ix.cover.AddOut(gid, globals[e.Center], e.Dist)
 			}
 		}
-		for _, e := range remap(hat.In[i]) {
-			ix.cover.In[g] = appendEntryMin(ix.cover.In[g], e)
+		for _, e := range hat.In[i] {
+			ix.cover.AddIn(gid, globals[e.Center], e.Dist)
 		}
 	}
-}
-
-func appendEntryMin(list []twohop.Entry, e twohop.Entry) []twohop.Entry {
-	for i := range list {
-		if list[i].Center == e.Center {
-			if e.Dist < list[i].Dist {
-				list[i].Dist = e.Dist
-			}
-			return list
-		}
-	}
-	return append(list, e)
 }
 
 // DeleteEdge removes a link (intra- or inter-document) and repairs the
@@ -316,6 +301,7 @@ func (ix *Index) DeleteEdge(from, to int32) error {
 	if !ix.coll.RemoveLink(from, to) {
 		return fmt.Errorf("core: link %d→%d not found", from, to)
 	}
+	ix.recordColl(CollOp{Kind: CollRemoveLink, From: from, To: to})
 	g2 := ix.coll.ElementGraph()
 
 	// A := ancestors of the source (incl.), D := descendants of the
@@ -350,7 +336,6 @@ func (ix *Index) DeleteEdge(from, to int32) error {
 		hat, _ = twohop.Build(cl, twohop.Options{Seed: ix.opts.Seed})
 	}
 	ix.spliceHat(hat, globals, aSet, aSet, dSet, nil)
-	ix.cover.Finish()
 	ix.invalidate()
 	return nil
 }
@@ -455,8 +440,16 @@ func (ix *Index) Rebuild() error {
 	if err != nil {
 		return err
 	}
+	ix.cover.SetRecorder(nil)
 	ix.cover = fresh.cover
 	ix.stats = fresh.stats
+	if log := ix.log; log != nil {
+		// The delta streams cannot express a wholesale cover swap; mark
+		// the log so durable commit persists a full snapshot instead,
+		// and keep recording on the new cover for the rest of the batch.
+		log.Rebuilt = true
+		ix.cover.SetRecorder(func(d twohop.CoverDelta) { log.Cover = append(log.Cover, d) })
+	}
 	ix.invalidate()
 	return nil
 }

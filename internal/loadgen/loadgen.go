@@ -36,6 +36,14 @@ type Config struct {
 	Duration time.Duration
 	// Expr is the path expression the readers evaluate.
 	Expr string
+	// StorePath, when non-empty, attaches the index to a durable store
+	// at that path (hopi.Create): every maintenance batch is committed
+	// to the write-ahead log before it is acknowledged, measuring the
+	// cost of durability under load.
+	StorePath string
+	// CheckpointEvery, with StorePath, runs background checkpoints at
+	// this interval during the workload (0 = only the final one).
+	CheckpointEvery time.Duration
 }
 
 // Default returns a small but contended mixed workload.
@@ -58,21 +66,69 @@ type Result struct {
 	Inserted     int64
 	Deleted      int64
 	QueryResults int64 // total matches returned, a cheap sanity signal
+	CoverSize    int   // label entries |L| after the workload (0 when unknown)
+	Durable      bool  // workload ran against a WAL-backed store
+	WALBytes     int64 // write-ahead log size after the workload, pre-checkpoint
 }
 
 // ServeLoad builds an index over a generated collection and runs the
 // mixed workload in-process: Readers goroutines evaluating Expr
 // against snapshots while Writers goroutines apply maintenance
-// batches. It returns the measured throughput.
+// batches. With Config.StorePath the index runs durably (WAL-backed
+// store); the result then also reports the log growth. It returns the
+// measured throughput.
 func ServeLoad(cfg Config) (Result, error) {
 	coll := hopi.WrapCollection(gen.DBLP(gen.DefaultDBLP(cfg.Docs, cfg.Seed)))
 	opts := hopi.DefaultOptions()
 	opts.Seed = cfg.Seed
-	ix, err := hopi.Build(coll, opts)
+	var (
+		ix  *hopi.Index
+		err error
+	)
+	if cfg.StorePath != "" {
+		ix, err = hopi.Create(cfg.StorePath, coll, opts)
+	} else {
+		ix, err = hopi.Build(coll, opts)
+	}
 	if err != nil {
 		return Result{}, err
 	}
-	return RunLoad(ix, cfg)
+	var (
+		ckptDone chan struct{}
+		ckptStop chan struct{}
+	)
+	if cfg.StorePath != "" && cfg.CheckpointEvery > 0 {
+		ckptStop = make(chan struct{})
+		ckptDone = make(chan struct{})
+		go func() {
+			defer close(ckptDone)
+			t := time.NewTicker(cfg.CheckpointEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ckptStop:
+					return
+				case <-t.C:
+					if err := ix.Checkpoint(); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+	res, err := RunLoad(ix, cfg)
+	if ckptStop != nil {
+		close(ckptStop)
+		<-ckptDone
+	}
+	if cfg.StorePath != "" {
+		res.Durable = true
+		res.WALBytes, _, _ = ix.WALSize()
+		if cerr := ix.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return res, err
 }
 
 // RunLoad runs the mixed workload against an existing index.
@@ -170,6 +226,7 @@ func RunLoad(ix *hopi.Index, cfg Config) (Result, error) {
 		Inserted:     inserted,
 		Deleted:      deleted,
 		QueryResults: matches,
+		CoverSize:    ix.Size(),
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		res.QueriesPerS = float64(queries) / s
@@ -191,8 +248,18 @@ func remove(list []string, victim string) []string {
 // Render formats a Result.
 func Render(r Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "mixed workload over %.1fs\n", r.Duration.Seconds())
+	mode := "in-memory"
+	if r.Durable {
+		mode = "durable (WAL-backed store)"
+	}
+	fmt.Fprintf(&b, "mixed workload over %.1fs, %s\n", r.Duration.Seconds(), mode)
 	fmt.Fprintf(&b, "  queries: %8d  (%8.1f queries/s, %d total matches)\n", r.Queries, r.QueriesPerS, r.QueryResults)
 	fmt.Fprintf(&b, "  batches: %8d  (%8.1f batches/s: %d docs inserted, %d deleted)\n", r.Batches, r.BatchesPerS, r.Inserted, r.Deleted)
+	if r.CoverSize > 0 {
+		fmt.Fprintf(&b, "  cover:   %8d label entries\n", r.CoverSize)
+	}
+	if r.Durable {
+		fmt.Fprintf(&b, "  wal:     %8d bytes pending checkpoint\n", r.WALBytes)
+	}
 	return b.String()
 }

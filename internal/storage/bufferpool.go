@@ -48,12 +48,13 @@ type PoolStats struct {
 // BufferPool caches pages with LRU replacement and pin counting — the
 // in-memory half of the "database-backed index structure" of §3.4.
 type BufferPool struct {
-	mu     sync.Mutex
-	pager  Pager
-	cap    int
-	frames map[PageID]*Frame
-	lru    *list.List // front = most recently used; values are *Frame
-	stats  PoolStats
+	mu      sync.Mutex
+	pager   Pager
+	cap     int
+	noSteal bool
+	frames  map[PageID]*Frame
+	lru     *list.List // front = most recently used; values are *Frame
+	stats   PoolStats
 }
 
 // NewBufferPool wraps a pager with a cache of capacity pages.
@@ -69,6 +70,34 @@ func (bp *BufferPool) Stats() PoolStats {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	return bp.stats
+}
+
+// SetNoSteal switches the pool's eviction policy. With no-steal on,
+// dirty frames are never written back by eviction: the on-disk file
+// only ever changes at an explicit flush, which is what lets the
+// write-ahead log journal the dirty page images before they overwrite
+// the store (the checkpoint double-write protocol). When every frame
+// is dirty the pool grows past its capacity instead of stealing; a
+// checkpoint returns it to bounds.
+func (bp *BufferPool) SetNoSteal(v bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.noSteal = v
+}
+
+// DirtyImages returns a copy of every dirty frame — the page set the
+// next flush will write. Callers journal these to the WAL before
+// calling FlushAll.
+func (bp *BufferPool) DirtyImages() []PageImage {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	var out []PageImage
+	for _, f := range bp.frames {
+		if f.dirty {
+			out = append(out, PageImage{ID: f.ID, Data: append([]byte(nil), f.Data...)})
+		}
+	}
+	return out
 }
 
 // Get pins the page, loading it from the pager on a miss.
@@ -123,6 +152,9 @@ func (bp *BufferPool) ensureRoomLocked() error {
 			continue
 		}
 		if f.dirty {
+			if bp.noSteal {
+				continue
+			}
 			if err := bp.pager.WritePage(f.ID, f.Data); err != nil {
 				return err
 			}
@@ -130,6 +162,11 @@ func (bp *BufferPool) ensureRoomLocked() error {
 		bp.lru.Remove(e)
 		delete(bp.frames, f.ID)
 		bp.stats.Evictions++
+		return nil
+	}
+	if bp.noSteal {
+		// every unpinned frame is dirty: grow past capacity rather than
+		// write back un-journaled pages
 		return nil
 	}
 	return fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", len(bp.frames))

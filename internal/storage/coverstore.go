@@ -35,11 +35,21 @@ type CoverStore struct {
 
 	withDist bool
 	numNodes uint32
+	// appliedSeq is the sequence number of the last maintenance batch
+	// whose deltas were applied (via ApplyDelta); persisted in the
+	// header so recovery knows which WAL records the store already
+	// reflects. Zero for stores that never saw a delta.
+	appliedSeq uint64
 }
 
 const (
 	storeMagic   = 0x484F5049 // "HOPI"
 	storeVersion = 1
+
+	// header offset of appliedSeq; bytes 16..64 hold the tree roots and
+	// sizes, and pre-WAL files carry zeros here, which reads back as
+	// "no batches applied" — exactly right.
+	hdrAppliedSeq = 64
 )
 
 // CreateCoverStore initializes an empty store on the pager with room
@@ -84,6 +94,7 @@ func OpenCoverStore(p Pager, poolPages int) (*CoverStore, error) {
 	}
 	s.withDist = d[8] == 1
 	s.numNodes = binary.LittleEndian.Uint32(d[12:])
+	s.appliedSeq = binary.LittleEndian.Uint64(d[hdrAppliedSeq:])
 	roots := make([]PageID, 4)
 	sizes := make([]int64, 4)
 	for i := 0; i < 4; i++ {
@@ -117,6 +128,7 @@ func (s *CoverStore) writeHeader() error {
 		binary.LittleEndian.PutUint32(d[16+4*i:], uint32(t.Root()))
 		binary.LittleEndian.PutUint64(d[32+8*i:], uint64(t.Len()))
 	}
+	binary.LittleEndian.PutUint64(d[hdrAppliedSeq:], s.appliedSeq)
 	f.MarkDirty()
 	return nil
 }
@@ -136,6 +148,17 @@ func (s *CoverStore) Close() error {
 	if err := s.Flush(); err != nil {
 		return err
 	}
+	return s.pager.Close()
+}
+
+// Abandon closes the underlying pager without flushing anything — the
+// on-disk file stays exactly as the last flush or checkpoint left it.
+// Crash-recovery tests use it to simulate a process death; it is also
+// the right way to drop a store whose buffer pool must not touch the
+// file again.
+func (s *CoverStore) Abandon() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.pager.Close()
 }
 
@@ -160,39 +183,33 @@ func (s *CoverStore) StoredIntegers() int64 { return 4 * s.Entries() }
 
 // AddIn inserts center into Lin(id).
 func (s *CoverStore) AddIn(id, center int32, dist uint32) error {
-	if id == center {
-		return nil
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if old, ok, err := s.linFwd.Get(Key(uint32(id), uint32(center))); err != nil {
-		return err
-	} else if ok && old <= dist {
-		return nil
-	}
-	if _, err := s.linFwd.Insert(Key(uint32(id), uint32(center)), dist); err != nil {
-		return err
-	}
-	_, err := s.linBwd.Insert(Key(uint32(center), uint32(id)), dist)
-	return err
+	return s.add(s.linFwd, s.linBwd, id, center, dist)
 }
 
 // AddOut inserts center into Lout(id).
 func (s *CoverStore) AddOut(id, center int32, dist uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.add(s.loutFwd, s.loutBwd, id, center, dist)
+}
+
+// add inserts into a forward/backward tree pair, keeping the smaller
+// distance for an existing entry. Callers hold s.mu.
+func (s *CoverStore) add(fwd, bwd *BTree, id, center int32, dist uint32) error {
 	if id == center {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok, err := s.loutFwd.Get(Key(uint32(id), uint32(center))); err != nil {
+	if old, ok, err := fwd.Get(Key(uint32(id), uint32(center))); err != nil {
 		return err
 	} else if ok && old <= dist {
 		return nil
 	}
-	if _, err := s.loutFwd.Insert(Key(uint32(id), uint32(center)), dist); err != nil {
+	if _, err := fwd.Insert(Key(uint32(id), uint32(center)), dist); err != nil {
 		return err
 	}
-	_, err := s.loutBwd.Insert(Key(uint32(center), uint32(id)), dist)
+	_, err := bwd.Insert(Key(uint32(center), uint32(id)), dist)
 	return err
 }
 
@@ -200,22 +217,118 @@ func (s *CoverStore) AddOut(id, center int32, dist uint32) error {
 func (s *CoverStore) RemoveIn(id, center int32) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.linFwd.Delete(Key(uint32(id), uint32(center))); err != nil {
-		return err
-	}
-	_, err := s.linBwd.Delete(Key(uint32(center), uint32(id)))
-	return err
+	return s.remove(s.linFwd, s.linBwd, id, center)
 }
 
 // RemoveOut deletes center from Lout(id).
 func (s *CoverStore) RemoveOut(id, center int32) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.loutFwd.Delete(Key(uint32(id), uint32(center))); err != nil {
+	return s.remove(s.loutFwd, s.loutBwd, id, center)
+}
+
+func (s *CoverStore) remove(fwd, bwd *BTree, id, center int32) error {
+	if _, err := fwd.Delete(Key(uint32(id), uint32(center))); err != nil {
 		return err
 	}
-	_, err := s.loutBwd.Delete(Key(uint32(center), uint32(id)))
+	_, err := bwd.Delete(Key(uint32(center), uint32(id)))
 	return err
+}
+
+// AppliedSeq returns the sequence number of the last maintenance batch
+// applied to the store.
+func (s *CoverStore) AppliedSeq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.appliedSeq
+}
+
+// SetAppliedSeq records the batch sequence the store state corresponds
+// to; used when the store is rewritten wholesale (FromCover) rather
+// than through ApplyDelta.
+func (s *CoverStore) SetAppliedSeq(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.appliedSeq = seq
+}
+
+// SetNoSteal switches the underlying buffer pool's eviction policy;
+// durable deployments enable it so store pages only reach disk through
+// journaled checkpoints. See BufferPool.SetNoSteal.
+func (s *CoverStore) SetNoSteal(v bool) { s.bp.SetNoSteal(v) }
+
+// ApplyDelta applies one maintenance batch's cover deltas through the
+// B-tree mutators — the paper's in-place update of the stored LIN/LOUT
+// tables — and advances the applied sequence. Adds keep the minimum
+// distance and removes of absent entries are no-ops, so re-applying a
+// batch during recovery converges to the same state.
+func (s *CoverStore) ApplyDelta(seq uint64, ops []twohop.CoverDelta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, op := range ops {
+		var err error
+		switch op.Kind {
+		case twohop.DeltaAddIn:
+			err = s.add(s.linFwd, s.linBwd, op.Node, op.Center, op.Dist)
+		case twohop.DeltaAddOut:
+			err = s.add(s.loutFwd, s.loutBwd, op.Node, op.Center, op.Dist)
+		case twohop.DeltaRemoveIn:
+			err = s.remove(s.linFwd, s.linBwd, op.Node, op.Center)
+		case twohop.DeltaRemoveOut:
+			err = s.remove(s.loutFwd, s.loutBwd, op.Node, op.Center)
+		case twohop.DeltaGrow:
+			if uint32(op.Node) > s.numNodes {
+				s.numNodes = uint32(op.Node)
+			}
+		case twohop.DeltaClearAll:
+			err = s.clearAll()
+		default:
+			err = fmt.Errorf("storage: unknown cover delta kind %d", op.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	s.appliedSeq = seq
+	return nil
+}
+
+// clearAll replaces the four trees with fresh empty ones. The old
+// pages are left behind in the file (like FromCover's bulk rewrite);
+// Save to a new path to compact. Callers hold s.mu.
+func (s *CoverStore) clearAll() error {
+	var err error
+	if s.linFwd, err = NewBTree(s.bp); err != nil {
+		return err
+	}
+	if s.linBwd, err = NewBTree(s.bp); err != nil {
+		return err
+	}
+	if s.loutFwd, err = NewBTree(s.bp); err != nil {
+		return err
+	}
+	s.loutBwd, err = NewBTree(s.bp)
+	return err
+}
+
+// CheckpointInto makes every change since the last checkpoint durable
+// in the store file using the double-write protocol: the dirty page
+// images are journaled to the WAL first (AppendCheckpoint, fsync),
+// then flushed to the store and synced. A crash between the two steps
+// recovers by re-applying the journaled images (ReplayCheckpoint).
+// The caller truncates the WAL (Reset) once the whole checkpoint —
+// including any sidecar files of its own — is durable.
+func (s *CoverStore) CheckpointInto(w *WAL) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	images := s.bp.DirtyImages()
+	if err := w.AppendCheckpoint(s.appliedSeq, images); err != nil {
+		return err
+	}
+	return s.bp.FlushAll()
 }
 
 // Lin returns the stored Lin(id) entries in ascending center order.

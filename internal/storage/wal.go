@@ -1,0 +1,312 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"hopi/internal/twohop"
+)
+
+// WAL is the write-ahead log that makes CoverStore maintenance durable
+// and incremental: HOPI's §4 updates the stored cover in place, and the
+// log is what lets a crash-interrupted sequence of updates be replayed
+// instead of rebuilding the index (the paper's motivation for
+// incremental maintenance at database scale).
+//
+// The file is a sequence of length- and CRC-framed records:
+//
+//	record  := payloadLen u32 | crc32(payload) u32 | payload
+//	payload := recBatch | recCheckpoint
+//
+//	recBatch      := 0x01 | seq u64 | collLen u32 | coll bytes
+//	                      | numOps u32 | { kind u8, node u32, center u32, dist u32 }*
+//	recCheckpoint := 0x02 | seq u64 | numPages u32 | { pageID u32, PageSize bytes }*
+//
+// All integers little endian. A batch record carries one maintenance
+// batch: an opaque collection-op payload (the caller's encoding) plus
+// the cover's label deltas. A checkpoint record carries the images of
+// every store page dirtied since the previous checkpoint — the
+// double-write journal that makes flushing those pages to the store
+// file atomic: the images are forced to the log first, so a crash
+// mid-flush recovers by re-applying them (ReplayCheckpoint).
+//
+// Appends are forced to stable storage (fsync) before they are
+// reported committed. Reset truncates the log after a completed
+// checkpoint. A torn tail (short or CRC-mismatched final record, from
+// a crash mid-append) is detected on open and truncated away; every
+// record before it is intact by construction.
+type WAL struct {
+	f    *os.File
+	path string
+	size int64
+}
+
+const (
+	walRecBatch      = 0x01
+	walRecCheckpoint = 0x02
+
+	// walMaxRecord bounds a single record (64 MiB for batches; checkpoint
+	// records are additionally bounded by the page count field).
+	walMaxRecord = 64 << 20
+)
+
+// PageImage is the content of one store page at checkpoint time.
+type PageImage struct {
+	ID   PageID
+	Data []byte // PageSize bytes
+}
+
+// WALRecord is one decoded log record. Exactly one of the batch fields
+// (Coll/Ops) or Pages is meaningful, discriminated by IsCheckpoint.
+type WALRecord struct {
+	Seq        uint64
+	Coll       []byte              // batch: opaque collection-op payload
+	Ops        []twohop.CoverDelta // batch: cover label deltas
+	Pages      []PageImage         // checkpoint: dirty page images
+	checkpoint bool
+}
+
+// IsCheckpoint reports whether the record is a checkpoint-image record.
+func (r *WALRecord) IsCheckpoint() bool { return r.checkpoint }
+
+// OpenWAL opens (creating if absent) the log at path, scans it, and
+// returns the intact records in order. A torn tail is truncated so the
+// next append starts at a record boundary.
+func OpenWAL(path string) (*WAL, []WALRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &WAL{f: f, path: path}
+	recs, good, err := w.scan()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if st.Size() > good {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	w.size = good
+	return w, recs, nil
+}
+
+// scan decodes records from the start of the file, returning the
+// decoded records and the offset of the first byte past the last
+// intact record.
+func (w *WAL) scan() ([]WALRecord, int64, error) {
+	var (
+		recs []WALRecord
+		off  int64
+		hdr  [8]byte
+	)
+	for {
+		if _, err := w.f.ReadAt(hdr[:], off); err != nil {
+			break // io.EOF or short tail: stop at last intact record
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:])
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if n == 0 || n > walMaxRecord {
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := w.f.ReadAt(payload, off+8); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		rec, err := decodeWALPayload(payload)
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		off += 8 + int64(n)
+	}
+	return recs, off, nil
+}
+
+func decodeWALPayload(p []byte) (WALRecord, error) {
+	var rec WALRecord
+	if len(p) < 9 {
+		return rec, fmt.Errorf("storage: wal record too short")
+	}
+	typ := p[0]
+	rec.Seq = binary.LittleEndian.Uint64(p[1:])
+	p = p[9:]
+	switch typ {
+	case walRecBatch:
+		if len(p) < 4 {
+			return rec, fmt.Errorf("storage: truncated wal batch")
+		}
+		collLen := binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		if uint32(len(p)) < collLen+4 {
+			return rec, fmt.Errorf("storage: truncated wal batch")
+		}
+		if collLen > 0 {
+			rec.Coll = append([]byte(nil), p[:collLen]...)
+		}
+		p = p[collLen:]
+		nOps := binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		if uint64(len(p)) != uint64(nOps)*13 {
+			return rec, fmt.Errorf("storage: wal batch op count mismatch")
+		}
+		rec.Ops = make([]twohop.CoverDelta, nOps)
+		for i := range rec.Ops {
+			rec.Ops[i] = twohop.CoverDelta{
+				Kind:   twohop.DeltaKind(p[0]),
+				Node:   int32(binary.LittleEndian.Uint32(p[1:])),
+				Center: int32(binary.LittleEndian.Uint32(p[5:])),
+				Dist:   binary.LittleEndian.Uint32(p[9:]),
+			}
+			p = p[13:]
+		}
+	case walRecCheckpoint:
+		rec.checkpoint = true
+		if len(p) < 4 {
+			return rec, fmt.Errorf("storage: truncated wal checkpoint")
+		}
+		nPages := binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		if uint64(len(p)) != uint64(nPages)*(4+PageSize) {
+			return rec, fmt.Errorf("storage: wal checkpoint size mismatch")
+		}
+		rec.Pages = make([]PageImage, nPages)
+		for i := range rec.Pages {
+			rec.Pages[i] = PageImage{
+				ID:   PageID(binary.LittleEndian.Uint32(p)),
+				Data: append([]byte(nil), p[4:4+PageSize]...),
+			}
+			p = p[4+PageSize:]
+		}
+	default:
+		return rec, fmt.Errorf("storage: unknown wal record type %d", typ)
+	}
+	return rec, nil
+}
+
+// AppendBatch commits one maintenance batch: the opaque collection-op
+// payload plus the cover deltas, forced to disk before returning.
+func (w *WAL) AppendBatch(seq uint64, coll []byte, ops []twohop.CoverDelta) error {
+	payload := make([]byte, 0, 9+4+len(coll)+4+13*len(ops))
+	payload = append(payload, walRecBatch)
+	payload = binary.LittleEndian.AppendUint64(payload, seq)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(coll)))
+	payload = append(payload, coll...)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(ops)))
+	for _, op := range ops {
+		payload = append(payload, byte(op.Kind))
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(op.Node))
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(op.Center))
+		payload = binary.LittleEndian.AppendUint32(payload, op.Dist)
+	}
+	return w.append(payload)
+}
+
+// AppendCheckpoint journals the dirty page images that the following
+// store flush will write, forced to disk before returning.
+func (w *WAL) AppendCheckpoint(seq uint64, pages []PageImage) error {
+	payload := make([]byte, 0, 9+4+len(pages)*(4+PageSize))
+	payload = append(payload, walRecCheckpoint)
+	payload = binary.LittleEndian.AppendUint64(payload, seq)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(pages)))
+	for _, pg := range pages {
+		if len(pg.Data) != PageSize {
+			return fmt.Errorf("storage: checkpoint image for page %d has %d bytes", pg.ID, len(pg.Data))
+		}
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(pg.ID))
+		payload = append(payload, pg.Data...)
+	}
+	return w.append(payload)
+}
+
+func (w *WAL) append(payload []byte) error {
+	if len(payload) > walMaxRecord {
+		return fmt.Errorf("storage: wal record of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.f.WriteAt(hdr[:], w.size); err != nil {
+		return err
+	}
+	if _, err := w.f.WriteAt(payload, w.size+8); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size += 8 + int64(len(payload))
+	return nil
+}
+
+// Reset truncates the log to empty — called after a checkpoint has
+// made every logged change durable in the store itself.
+func (w *WAL) Reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size = 0
+	return nil
+}
+
+// Size returns the current log size in bytes.
+func (w *WAL) Size() int64 { return w.size }
+
+// Empty reports whether the log holds no committed records.
+func (w *WAL) Empty() bool { return w.size == 0 }
+
+// Close closes the log file without truncating it.
+func (w *WAL) Close() error { return w.f.Close() }
+
+// ReplayCheckpoint finds the last complete checkpoint record in recs
+// and writes its page images back to the pager — repairing a store
+// file whose checkpoint flush was interrupted. It reports whether a
+// checkpoint record was applied. Page images are idempotent, so
+// re-applying an already-flushed checkpoint is harmless.
+func ReplayCheckpoint(p Pager, recs []WALRecord) (bool, error) {
+	var ckpt *WALRecord
+	for i := range recs {
+		if recs[i].IsCheckpoint() {
+			ckpt = &recs[i]
+		}
+	}
+	if ckpt == nil {
+		return false, nil
+	}
+	for _, pg := range ckpt.Pages {
+		for uint32(pg.ID) >= p.NumPages() {
+			if _, err := p.Allocate(); err != nil {
+				return false, err
+			}
+		}
+		if err := p.WritePage(pg.ID, pg.Data); err != nil {
+			return false, err
+		}
+	}
+	if err := p.Sync(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+var _ io.Closer = (*WAL)(nil)

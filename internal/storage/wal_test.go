@@ -1,0 +1,284 @@
+package storage
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hopi/internal/twohop"
+)
+
+func walPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.wal")
+}
+
+func TestWALBatchRoundTrip(t *testing.T) {
+	path := walPath(t)
+	w, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh WAL has %d records", len(recs))
+	}
+	ops := []twohop.CoverDelta{
+		{Kind: twohop.DeltaGrow, Node: 42},
+		{Kind: twohop.DeltaAddIn, Node: 3, Center: 7, Dist: 2},
+		{Kind: twohop.DeltaAddOut, Node: -1 & 0x7fffffff, Center: 0, Dist: 0},
+		{Kind: twohop.DeltaRemoveIn, Node: 3, Center: 7},
+		{Kind: twohop.DeltaClearAll},
+	}
+	if err := w.AppendBatch(1, []byte("coll-payload"), ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(2, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	w2, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Seq != 1 || string(recs[0].Coll) != "coll-payload" {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if len(recs[0].Ops) != len(ops) {
+		t.Fatalf("got %d ops, want %d", len(recs[0].Ops), len(ops))
+	}
+	for i, op := range recs[0].Ops {
+		if op != ops[i] {
+			t.Fatalf("op %d = %+v, want %+v", i, op, ops[i])
+		}
+	}
+	if recs[1].Seq != 2 || recs[1].Coll != nil || len(recs[1].Ops) != 0 {
+		t.Fatalf("record 1 = %+v", recs[1])
+	}
+}
+
+func TestWALCheckpointRoundTrip(t *testing.T) {
+	path := walPath(t)
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := make([]byte, PageSize)
+	for i := range img {
+		img[i] = byte(i)
+	}
+	pages := []PageImage{{ID: 0, Data: img}, {ID: 9, Data: img}}
+	if err := w.AppendCheckpoint(5, pages); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	w2, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(recs) != 1 || !recs[0].IsCheckpoint() || recs[0].Seq != 5 {
+		t.Fatalf("records = %+v", recs)
+	}
+	if len(recs[0].Pages) != 2 || recs[0].Pages[1].ID != 9 {
+		t.Fatalf("pages = %d", len(recs[0].Pages))
+	}
+	for i, b := range recs[0].Pages[0].Data {
+		if b != byte(i) {
+			t.Fatalf("image byte %d corrupted", i)
+		}
+	}
+
+	// ReplayCheckpoint writes the images back through a pager,
+	// allocating as needed
+	p := NewMemPager()
+	applied, err := ReplayCheckpoint(p, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Fatal("checkpoint not applied")
+	}
+	if p.NumPages() < 10 {
+		t.Fatalf("pager not extended: %d pages", p.NumPages())
+	}
+	buf := make([]byte, PageSize)
+	if err := p.ReadPage(9, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[100] != 100 {
+		t.Fatal("replayed image content wrong")
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	path := walPath(t)
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := w.AppendBatch(seq, nil, []twohop.CoverDelta{{Kind: twohop.DeltaAddIn, Node: 1, Center: 2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size := w.Size()
+	w.Close()
+
+	for _, chop := range []int64{1, 5, 12} {
+		if err := os.Truncate(path, size-chop); err != nil {
+			t.Fatal(err)
+		}
+		w2, recs, err := OpenWAL(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 2 {
+			t.Fatalf("chop %d: got %d records, want 2", chop, len(recs))
+		}
+		// the torn tail was truncated away; appends restart cleanly
+		if err := w2.AppendBatch(3, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		_, recs2, err := OpenWAL(path) // reopen again to check
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs2) != 3 || recs2[2].Seq != 3 {
+			t.Fatalf("chop %d: after re-append got %d records", chop, len(recs2))
+		}
+		size = w2.Size()
+		w2.Close()
+	}
+}
+
+func TestWALCorruptRecordStopsScan(t *testing.T) {
+	path := walPath(t)
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(1, []byte("ok"), nil); err != nil {
+		t.Fatal(err)
+	}
+	mid := w.Size()
+	if err := w.AppendBatch(2, []byte("to-corrupt"), nil); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// flip a payload byte of the second record
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, mid+8+10); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(recs) != 1 || recs[0].Seq != 1 {
+		t.Fatalf("CRC mismatch not detected: %d records", len(recs))
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	path := walPath(t)
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if w.Empty() {
+		t.Fatal("WAL empty after append")
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Empty() || w.Size() != 0 {
+		t.Fatal("Reset left data behind")
+	}
+	w.Close()
+	_, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("%d records after reset", len(recs))
+	}
+}
+
+// TestCoverStoreApplyDeltaMatchesCoverApply drives the same random
+// delta stream into a CoverStore and an in-memory cover and checks
+// they agree entry for entry.
+func TestCoverStoreApplyDeltaMatchesCoverApply(t *testing.T) {
+	const n = 24
+	s, err := CreateCoverStore(NewMemPager(), 64, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := twohop.NewCover(n, true)
+	rng := rand.New(rand.NewSource(99))
+	var seq uint64
+	for round := 0; round < 50; round++ {
+		var ops []twohop.CoverDelta
+		for i := 0; i < 20; i++ {
+			kind := twohop.DeltaKind(1 + rng.Intn(4))
+			ops = append(ops, twohop.CoverDelta{
+				Kind:   kind,
+				Node:   int32(rng.Intn(n)),
+				Center: int32(rng.Intn(n)),
+				Dist:   uint32(rng.Intn(5)),
+			})
+		}
+		seq++
+		if err := s.ApplyDelta(seq, ops); err != nil {
+			t.Fatal(err)
+		}
+		c.Apply(ops)
+		for v := int32(0); v < n; v++ {
+			sin, err := s.Lin(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !entriesEqual(sin, c.In[v]) {
+				t.Fatalf("round %d: Lin(%d): store %v, cover %v", round, v, sin, c.In[v])
+			}
+			sout, err := s.Lout(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !entriesEqual(sout, c.Out[v]) {
+				t.Fatalf("round %d: Lout(%d): store %v, cover %v", round, v, sout, c.Out[v])
+			}
+		}
+	}
+	if s.AppliedSeq() != seq {
+		t.Fatalf("AppliedSeq = %d, want %d", s.AppliedSeq(), seq)
+	}
+}
+
+func entriesEqual(a, b []twohop.Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -35,7 +35,9 @@ type Cover struct {
 	// WithDist records whether Dist fields are meaningful.
 	WithDist bool
 
-	dirty bool
+	// rec, when set, observes every effective label mutation made
+	// through the mutator methods; see SetRecorder in delta.go.
+	rec func(CoverDelta)
 }
 
 // NewCover returns an empty cover for n nodes.
@@ -54,10 +56,14 @@ func (c *Cover) N() int { return len(c.In) }
 // nodes start with empty labels. Document insertion uses this to keep
 // global IDs stable.
 func (c *Cover) Grow(n int) {
+	if len(c.In) >= n {
+		return
+	}
 	for len(c.In) < n {
 		c.In = append(c.In, nil)
 		c.Out = append(c.Out, nil)
 	}
+	c.emit(DeltaGrow, int32(n), 0, 0)
 }
 
 // Size returns the total number of stored label entries, the paper's
@@ -76,8 +82,11 @@ func (c *Cover) AddIn(v, center int32, dist uint32) {
 	if v == center {
 		return
 	}
-	c.In[v] = addEntry(c.In[v], center, dist)
-	c.dirty = true
+	var changed bool
+	c.In[v], changed = addEntry(c.In[v], center, dist)
+	if changed {
+		c.emit(DeltaAddIn, v, center, dist)
+	}
 }
 
 // AddOut inserts center into Lout(u); see AddIn for semantics.
@@ -85,32 +94,38 @@ func (c *Cover) AddOut(u, center int32, dist uint32) {
 	if u == center {
 		return
 	}
-	c.Out[u] = addEntry(c.Out[u], center, dist)
-	c.dirty = true
+	var changed bool
+	c.Out[u], changed = addEntry(c.Out[u], center, dist)
+	if changed {
+		c.emit(DeltaAddOut, u, center, dist)
+	}
 }
 
-func addEntry(list []Entry, center int32, dist uint32) []Entry {
+// addEntry inserts or min-merges an entry, reporting whether the list
+// actually changed (new center, or an existing one got closer).
+func addEntry(list []Entry, center int32, dist uint32) ([]Entry, bool) {
 	i := sort.Search(len(list), func(i int) bool { return list[i].Center >= center })
 	if i < len(list) && list[i].Center == center {
 		if dist < list[i].Dist {
 			list[i].Dist = dist
+			return list, true
 		}
-		return list
+		return list, false
 	}
 	list = append(list, Entry{})
 	copy(list[i+1:], list[i:])
 	list[i] = Entry{Center: center, Dist: dist}
-	return list
+	return list, true
 }
 
 // Finish sorts and deduplicates all labels; builders call it once after
-// bulk appends.
+// bulk appends. It bypasses delta recording — maintenance keeps labels
+// sorted through the mutator methods and never needs it.
 func (c *Cover) Finish() {
 	for i := range c.In {
 		c.In[i] = sortDedupe(c.In[i])
 		c.Out[i] = sortDedupe(c.Out[i])
 	}
-	c.dirty = false
 }
 
 func sortDedupe(list []Entry) []Entry {

@@ -1,0 +1,196 @@
+package twohop
+
+// DeltaKind discriminates CoverDelta operations.
+type DeltaKind uint8
+
+// CoverDelta kinds. The numeric values are part of the WAL on-disk
+// format (storage.WAL) — append new kinds, never renumber.
+const (
+	// DeltaAddIn inserts Center into Lin(Node) with distance Dist,
+	// keeping the smaller distance when the entry already exists.
+	DeltaAddIn DeltaKind = 1
+	// DeltaAddOut inserts Center into Lout(Node); see DeltaAddIn.
+	DeltaAddOut DeltaKind = 2
+	// DeltaRemoveIn deletes Center from Lin(Node).
+	DeltaRemoveIn DeltaKind = 3
+	// DeltaRemoveOut deletes Center from Lout(Node).
+	DeltaRemoveOut DeltaKind = 4
+	// DeltaGrow extends the cover's node ID space to Node entries
+	// (no-op when already that large). Center and Dist are unused.
+	DeltaGrow DeltaKind = 5
+	// DeltaClearAll drops every label of every node. It is never
+	// emitted by recording; a rebuilt-from-scratch cover is logged as
+	// DeltaClearAll followed by the full new label set, which keeps a
+	// wholesale rebuild replayable through the same op stream as
+	// incremental maintenance.
+	DeltaClearAll DeltaKind = 6
+)
+
+// CoverDelta is one observable label mutation. Every change a
+// maintenance operation makes to a recording Cover — entry adds and
+// removes on Lin/Lout plus node allocation — is emitted as exactly one
+// delta, so replaying the stream with Apply (or
+// storage.CoverStore.ApplyDelta) onto a copy of the pre-batch state
+// reproduces the post-batch labels byte for byte.
+type CoverDelta struct {
+	Kind   DeltaKind
+	Node   int32 // labeled node; for DeltaGrow the new node count
+	Center int32
+	Dist   uint32
+}
+
+// SetRecorder installs (or, with nil, removes) a callback invoked for
+// every effective label mutation. Only changes that actually alter the
+// cover are reported: re-adding an existing entry with an equal or
+// larger distance, or removing an absent one, emits nothing. Bulk
+// builders (Finish, direct In/Out slice writes) bypass recording;
+// recording is meant for the maintenance path, which goes through the
+// mutator methods below.
+func (c *Cover) SetRecorder(fn func(CoverDelta)) { c.rec = fn }
+
+func (c *Cover) emit(kind DeltaKind, node, center int32, dist uint32) {
+	if c.rec != nil {
+		c.rec(CoverDelta{Kind: kind, Node: node, Center: center, Dist: dist})
+	}
+}
+
+// Apply replays a delta stream onto the cover. Replay is idempotent
+// for add/grow operations and order-sensitive across add/remove pairs,
+// matching the write-ahead-log recovery contract.
+func (c *Cover) Apply(ops []CoverDelta) {
+	for _, op := range ops {
+		switch op.Kind {
+		case DeltaAddIn:
+			c.AddIn(op.Node, op.Center, op.Dist)
+		case DeltaAddOut:
+			c.AddOut(op.Node, op.Center, op.Dist)
+		case DeltaRemoveIn:
+			c.RemoveIn(op.Node, op.Center)
+		case DeltaRemoveOut:
+			c.RemoveOut(op.Node, op.Center)
+		case DeltaGrow:
+			c.Grow(int(op.Node))
+		case DeltaClearAll:
+			for i := range c.In {
+				c.In[i] = nil
+				c.Out[i] = nil
+			}
+		}
+	}
+}
+
+// SnapshotDeltas flattens the cover's full label set into a replayable
+// delta stream: clear everything, grow to the cover's size, then add
+// every entry. Durable rebuilds log this instead of an (inexpressible)
+// wholesale cover swap.
+func (c *Cover) SnapshotDeltas() []CoverDelta {
+	ops := []CoverDelta{
+		{Kind: DeltaClearAll},
+		{Kind: DeltaGrow, Node: int32(c.N())},
+	}
+	for v := range c.In {
+		for _, e := range c.In[v] {
+			ops = append(ops, CoverDelta{Kind: DeltaAddIn, Node: int32(v), Center: e.Center, Dist: e.Dist})
+		}
+		for _, e := range c.Out[v] {
+			ops = append(ops, CoverDelta{Kind: DeltaAddOut, Node: int32(v), Center: e.Center, Dist: e.Dist})
+		}
+	}
+	return ops
+}
+
+// RemoveIn deletes center from Lin(v); a no-op when absent.
+func (c *Cover) RemoveIn(v, center int32) {
+	if i := findCenter(c.In[v], center); i >= 0 {
+		c.In[v] = append(c.In[v][:i], c.In[v][i+1:]...)
+		if len(c.In[v]) == 0 {
+			c.In[v] = nil
+		}
+		c.emit(DeltaRemoveIn, v, center, 0)
+	}
+}
+
+// RemoveOut deletes center from Lout(u); a no-op when absent.
+func (c *Cover) RemoveOut(u, center int32) {
+	if i := findCenter(c.Out[u], center); i >= 0 {
+		c.Out[u] = append(c.Out[u][:i], c.Out[u][i+1:]...)
+		if len(c.Out[u]) == 0 {
+			c.Out[u] = nil
+		}
+		c.emit(DeltaRemoveOut, u, center, 0)
+	}
+}
+
+// FilterIn removes every Lin(v) entry whose center drop reports true,
+// emitting one remove delta per dropped entry.
+func (c *Cover) FilterIn(v int32, drop func(center int32) bool) {
+	c.In[v] = c.filter(DeltaRemoveIn, v, c.In[v], drop)
+}
+
+// FilterOut removes every Lout(u) entry whose center drop reports true.
+func (c *Cover) FilterOut(u int32, drop func(center int32) bool) {
+	c.Out[u] = c.filter(DeltaRemoveOut, u, c.Out[u], drop)
+}
+
+func (c *Cover) filter(kind DeltaKind, node int32, list []Entry, drop func(int32) bool) []Entry {
+	out := list[:0]
+	for _, e := range list {
+		if drop(e.Center) {
+			c.emit(kind, node, e.Center, 0)
+		} else {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// ClearIn drops all of Lin(v).
+func (c *Cover) ClearIn(v int32) {
+	for _, e := range c.In[v] {
+		c.emit(DeltaRemoveIn, v, e.Center, 0)
+	}
+	c.In[v] = nil
+}
+
+// ClearOut drops all of Lout(u).
+func (c *Cover) ClearOut(u int32) {
+	for _, e := range c.Out[u] {
+		c.emit(DeltaRemoveOut, u, e.Center, 0)
+	}
+	c.Out[u] = nil
+}
+
+// SetOut replaces Lout(u) wholesale (the Theorem 3 out-label
+// replacement). Deltas are emitted as a diff against the old list:
+// removes for vanished centers, adds for new ones, and a remove+add
+// pair when a center survives with a different distance — a plain add
+// could not raise a stored distance, since adds keep the minimum.
+func (c *Cover) SetOut(u int32, entries []Entry) {
+	entries = sortDedupe(entries)
+	old := c.Out[u]
+	i, j := 0, 0
+	for i < len(old) || j < len(entries) {
+		switch {
+		case j >= len(entries) || (i < len(old) && old[i].Center < entries[j].Center):
+			c.emit(DeltaRemoveOut, u, old[i].Center, 0)
+			i++
+		case i >= len(old) || old[i].Center > entries[j].Center:
+			c.emit(DeltaAddOut, u, entries[j].Center, entries[j].Dist)
+			j++
+		default:
+			if old[i].Dist != entries[j].Dist {
+				c.emit(DeltaRemoveOut, u, old[i].Center, 0)
+				c.emit(DeltaAddOut, u, entries[j].Center, entries[j].Dist)
+			}
+			i++
+			j++
+		}
+	}
+	if len(entries) == 0 {
+		entries = nil
+	}
+	c.Out[u] = entries
+}

@@ -20,14 +20,23 @@ type collectionDTO struct {
 	Version int
 	Docs    []docDTO
 	Links   []Link
+	// Seq is the maintenance-batch sequence the snapshot corresponds to
+	// (durable deployments; zero otherwise). gob tolerates the field's
+	// absence, so version 1 files with and without it interdecode.
+	Seq uint64
 }
 
 const serializeVersion = 1
 
 // Encode writes the collection (including tombstoned documents, whose
 // ID ranges must survive) to w.
-func (c *Collection) Encode(w io.Writer) error {
-	dto := collectionDTO{Version: serializeVersion, Links: c.Links}
+func (c *Collection) Encode(w io.Writer) error { return c.EncodeWithSeq(w, 0) }
+
+// EncodeWithSeq writes the collection stamped with the maintenance
+// batch sequence it reflects; the durable attach mode uses the stamp
+// to know which WAL records the snapshot already includes.
+func (c *Collection) EncodeWithSeq(w io.Writer, seq uint64) error {
+	dto := collectionDTO{Version: serializeVersion, Links: c.Links, Seq: seq}
 	for i, d := range c.Docs {
 		dto.Docs = append(dto.Docs, docDTO{
 			Name:       d.Name,
@@ -39,32 +48,46 @@ func (c *Collection) Encode(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&dto)
 }
 
+// NewDocumentFromParts reconstructs a document from its serialized
+// parts, rebuilding the child lists and anchor map.
+func NewDocumentFromParts(name string, elements []Element, intraLinks [][2]int32) *Document {
+	d := &Document{
+		Name:       name,
+		Elements:   elements,
+		IntraLinks: intraLinks,
+		anchors:    map[string]int32{},
+	}
+	d.Children = make([][]int32, len(d.Elements))
+	for i, e := range d.Elements {
+		if e.Parent >= 0 {
+			d.Children[e.Parent] = append(d.Children[e.Parent], int32(i))
+		}
+		if e.Anchor != "" {
+			d.anchors[e.Anchor] = int32(i)
+		}
+	}
+	return d
+}
+
 // DecodeCollection reads a collection written by Encode.
 func DecodeCollection(r io.Reader) (*Collection, error) {
+	c, _, err := DecodeCollectionSeq(r)
+	return c, err
+}
+
+// DecodeCollectionSeq reads a collection plus its batch-sequence stamp
+// (zero for files written without one).
+func DecodeCollectionSeq(r io.Reader) (*Collection, uint64, error) {
 	var dto collectionDTO
 	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
-		return nil, fmt.Errorf("xmlmodel: decode collection: %w", err)
+		return nil, 0, fmt.Errorf("xmlmodel: decode collection: %w", err)
 	}
 	if dto.Version != serializeVersion {
-		return nil, fmt.Errorf("xmlmodel: unsupported collection version %d", dto.Version)
+		return nil, 0, fmt.Errorf("xmlmodel: unsupported collection version %d", dto.Version)
 	}
 	c := NewCollection()
 	for _, dd := range dto.Docs {
-		d := &Document{
-			Name:       dd.Name,
-			Elements:   dd.Elements,
-			IntraLinks: dd.IntraLinks,
-			anchors:    map[string]int32{},
-		}
-		d.Children = make([][]int32, len(d.Elements))
-		for i, e := range d.Elements {
-			if e.Parent >= 0 {
-				d.Children[e.Parent] = append(d.Children[e.Parent], int32(i))
-			}
-			if e.Anchor != "" {
-				d.anchors[e.Anchor] = int32(i)
-			}
-		}
+		d := NewDocumentFromParts(dd.Name, dd.Elements, dd.IntraLinks)
 		idx := c.AddDocument(d)
 		if !dd.Alive {
 			// restore the tombstone without disturbing ID assignment
@@ -75,5 +98,5 @@ func DecodeCollection(r io.Reader) (*Collection, error) {
 		}
 	}
 	c.Links = dto.Links
-	return c, nil
+	return c, dto.Seq, nil
 }
