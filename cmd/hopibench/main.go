@@ -43,6 +43,9 @@ type benchResult struct {
 	CoverSize int     `json:"coverSize,omitempty"`
 	WALBytes  int64   `json:"walBytes,omitempty"`
 	Durable   bool    `json:"durable,omitempty"`
+	// Speedup relates a measurement to its baseline (e.g. the
+	// set-at-a-time evaluator vs the pairwise one on the same query).
+	Speedup float64 `json:"speedup,omitempty"`
 }
 
 func main() {
@@ -163,7 +166,20 @@ func main() {
 		jsonResults = append(jsonResults,
 			benchResult{Name: "query/reaches", NsPerOp: 1e9 / r.ReachPerSec, QPS: r.ReachPerSec},
 			benchResult{Name: "query/distance", NsPerOp: 1e9 / r.DistPerSec, QPS: r.DistPerSec})
-		return experiments.RenderQueryMicro(r), nil
+		qe, err := experiments.QueryEval(cfg)
+		if err != nil {
+			return "", err
+		}
+		for _, row := range qe.Rows {
+			name := row.Expr
+			if row.Ranked {
+				name += "(ranked)"
+			}
+			jsonResults = append(jsonResults,
+				benchResult{Name: "query/pairwise:" + name, QPS: row.PairQPS, NsPerOp: 1e9 / row.PairQPS},
+				benchResult{Name: "query/semijoin:" + name, QPS: row.SemiQPS, NsPerOp: 1e9 / row.SemiQPS, Speedup: row.Speedup})
+		}
+		return experiments.RenderQueryMicro(r) + experiments.RenderQueryEval(qe), nil
 	})
 	run("load", "mixed query + maintenance workload (extension)", func() (string, error) {
 		lc := loadgen.Config{

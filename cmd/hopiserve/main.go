@@ -59,6 +59,7 @@ func main() {
 		docs       = flag.Int("docs", 500, "generated DBLP-like document count (when no -index)")
 		seed       = flag.Int64("seed", 42, "generator seed")
 		distance   = flag.Bool("distance", true, "build a distance-aware index (enables ranked queries)")
+		maxLimit   = flag.Int("max-limit", defaultMaxLimit, "server-side ceiling for the query limit parameter (limit<=0 is rejected)")
 	)
 	flag.Parse()
 	if *index != "" && *store != "" {
@@ -76,7 +77,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(ix),
+		Handler:           newServer(ix, *maxLimit),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -30,9 +30,55 @@ func testServer(t *testing.T) (*httptest.Server, *hopi.Index) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServer(ix))
+	srv := httptest.NewServer(newServer(ix, 0))
 	t.Cleanup(srv.Close)
 	return srv, ix
+}
+
+// TestServerQueryLimitClamping: limit<=0 and garbage are rejected with
+// 400 (no more "0 means unlimited" full-result pulls), oversized
+// limits are clamped to the server ceiling, and valid limits truncate.
+func TestServerQueryLimitClamping(t *testing.T) {
+	srv, _ := testServer(t)
+
+	for _, bad := range []string{"0", "-1", "-100", "abc", "1.5"} {
+		getJSON(t, srv.URL+"/query?expr=//book//author&limit="+bad, http.StatusBadRequest, nil)
+	}
+
+	var q queryResponse
+	getJSON(t, srv.URL+"/query?expr=//bib//*&limit=1", http.StatusOK, &q)
+	if q.Count != 1 {
+		t.Errorf("limit=1: got %d results", q.Count)
+	}
+
+	// a tiny server-side ceiling clamps a huge client limit
+	clamped := httptest.NewServer(newServer(mustIndex(t), 2))
+	defer clamped.Close()
+	getJSON(t, clamped.URL+"/query?expr=//bib//*&limit=999999", http.StatusOK, &q)
+	if q.Count != 2 {
+		t.Errorf("clamped query: got %d results, want the ceiling of 2", q.Count)
+	}
+	// the default limit is also capped by the ceiling
+	getJSON(t, clamped.URL+"/query?expr=//bib//*", http.StatusOK, &q)
+	if q.Count != 2 {
+		t.Errorf("default-limit query: got %d results, want 2", q.Count)
+	}
+}
+
+func mustIndex(t *testing.T) *hopi.Index {
+	t.Helper()
+	files := map[string][]byte{
+		"a.xml": []byte(`<bib><book><title>A</title><author/></book><book><author/></book></bib>`),
+	}
+	coll, err := hopi.ParseCollection(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := hopi.Build(coll, hopi.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
 }
 
 func getJSON(t *testing.T, url string, wantStatus int, out any) {

@@ -15,17 +15,32 @@ import (
 // maxDocBytes bounds the size of a posted XML document.
 const maxDocBytes = 16 << 20
 
+// defaultQueryLimit is the result cap applied when a query omits
+// limit; defaultMaxLimit is the server-side ceiling a client-supplied
+// limit is clamped to (flag-configurable via -max-limit). A client can
+// never pull the unbounded result set: limit=0 or negative values are
+// rejected with 400 instead of meaning "unlimited".
+const (
+	defaultQueryLimit = 100
+	defaultMaxLimit   = 1000
+)
+
 // server wires a hopi.Index into the HTTP API. Reads are served from
 // immutable snapshots, so queries keep running at full speed while
 // maintenance batches apply; writes go through Index.Apply, which
 // serializes them internally.
 type server struct {
-	ix *hopi.Index
+	ix       *hopi.Index
+	maxLimit int
 }
 
-// newServer returns the HTTP handler for an index.
-func newServer(ix *hopi.Index) http.Handler {
-	s := &server{ix: ix}
+// newServer returns the HTTP handler for an index. maxLimit caps the
+// per-query result count (0 picks the default).
+func newServer(ix *hopi.Index, maxLimit int) http.Handler {
+	if maxLimit <= 0 {
+		maxLimit = defaultMaxLimit
+	}
+	s := &server{ix: ix, maxLimit: maxLimit}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /query", s.handleQuery)
@@ -90,12 +105,20 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing expr parameter"))
 		return
 	}
-	limit := 100
+	limit := defaultQueryLimit
+	if limit > s.maxLimit {
+		limit = s.maxLimit
+	}
 	if v := r.URL.Query().Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q: must be a positive integer", v))
 			return
+		}
+		// clamp to the server-side ceiling instead of letting a client
+		// pull the full result set
+		if n > s.maxLimit {
+			n = s.maxLimit
 		}
 		limit = n
 	}

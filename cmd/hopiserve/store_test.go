@@ -33,7 +33,7 @@ func TestServerStoreSurvivesRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServer(ix))
+	srv := httptest.NewServer(newServer(ix, 0))
 
 	const inserts = 8
 	for i := 0; i < inserts; i++ {
@@ -63,7 +63,7 @@ func TestServerStoreSurvivesRestart(t *testing.T) {
 		t.Fatalf("restart: %v", err)
 	}
 	defer re.Close()
-	srv2 := httptest.NewServer(newServer(re))
+	srv2 := httptest.NewServer(newServer(re, 0))
 	defer srv2.Close()
 
 	getJSON(t, srv2.URL+"/stats", http.StatusOK, &stats)

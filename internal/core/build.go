@@ -74,11 +74,8 @@ func Build(c *xmlmodel.Collection, opts Options) (*Index, error) {
 	}
 	joinTime := time.Since(tJoin)
 
-	return &Index{
-		coll:  c,
-		cover: cover,
-		opts:  opts,
-		stats: BuildStats{
+	return newIndex(c, cover, opts,
+		BuildStats{
 			Partitions:        p.NumParts(),
 			CrossLinks:        len(p.CrossLinks),
 			PartitionEntries:  partEntries,
@@ -89,8 +86,7 @@ func Build(c *xmlmodel.Collection, opts Options) (*Index, error) {
 			TotalTime:         time.Since(start),
 			LargestPartition:  largest,
 			PreselectedCenter: preselected,
-		},
-	}, nil
+		}), nil
 }
 
 // buildPartitionCovers computes the per-partition 2-hop covers

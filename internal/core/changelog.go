@@ -58,13 +58,14 @@ func (l *ChangeLog) Empty() bool {
 }
 
 // StartRecording begins capturing maintenance effects into a fresh
-// ChangeLog and returns it. Recording stays active — across Rebuild's
-// cover swap too — until StopRecording. Not safe to combine with
-// concurrent maintenance; callers serialize writes already.
+// ChangeLog and returns it. The index's permanently installed delta
+// dispatcher appends cover deltas to the log while it is active —
+// across Rebuild's cover swap too — until StopRecording. Not safe to
+// combine with concurrent maintenance; callers serialize writes
+// already.
 func (ix *Index) StartRecording() *ChangeLog {
 	log := &ChangeLog{}
 	ix.log = log
-	ix.cover.SetRecorder(func(d twohop.CoverDelta) { log.Cover = append(log.Cover, d) })
 	return log
 }
 
@@ -72,7 +73,6 @@ func (ix *Index) StartRecording() *ChangeLog {
 // contents.
 func (ix *Index) StopRecording() {
 	ix.log = nil
-	ix.cover.SetRecorder(nil)
 }
 
 func (ix *Index) recordColl(op CollOp) {

@@ -19,10 +19,40 @@ type Index struct {
 	coll  *xmlmodel.Collection
 	cover *twohop.Cover
 	ixMu  sync.Mutex      // guards the lazy init of ix under concurrent readers
-	ix    *psg.CoverIndex // backward maps for ancestor/descendant + maintenance
+	ix    *psg.CoverIndex // center→owners postings for ancestor/descendant, semijoins + maintenance
+	cycMu sync.Mutex      // guards the lazy init of cyc
+	cyc   *cyclicInfo     // derived cycle info; nil after structural mutations
 	opts  Options
 	stats BuildStats
 	log   *ChangeLog // active maintenance recording, nil outside StartRecording
+}
+
+// newIndex wraps a finished cover and installs the index's delta
+// dispatcher on it: from here on, every label mutation made through
+// the cover's mutator methods is fanned out to the active ChangeLog
+// (when recording) and to the posting index (when warm). Builders must
+// finish all bulk label work before calling this.
+func newIndex(c *xmlmodel.Collection, cover *twohop.Cover, opts Options, stats BuildStats) *Index {
+	ix := &Index{coll: c, cover: cover, opts: opts, stats: stats}
+	ix.cover.SetRecorder(ix.observeDelta)
+	return ix
+}
+
+// observeDelta is the single recorder every Index keeps installed on
+// its cover. Routing all deltas through one dispatcher lets incremental
+// maintenance keep the posting index warm — InsertEdge, the Theorem 2/3
+// deletion filters and document insertion all mutate labels through the
+// cover, so the backward index follows in lockstep instead of being
+// invalidated and rebuilt per batch.
+func (ix *Index) observeDelta(d twohop.CoverDelta) {
+	if ix.log != nil {
+		ix.log.Cover = append(ix.log.Cover, d)
+	}
+	ix.ixMu.Lock()
+	if ix.ix != nil {
+		ix.ix.ApplyDelta(d)
+	}
+	ix.ixMu.Unlock()
 }
 
 // DefaultOptions returns the paper's recommended configuration.
@@ -38,7 +68,7 @@ func DefaultOptions() Options {
 // storage.CoverStore) as a queryable, maintainable index. The options
 // are used for future Rebuild calls.
 func NewFromCover(c *xmlmodel.Collection, cover *twohop.Cover) *Index {
-	return &Index{coll: c, cover: cover, opts: DefaultOptions()}
+	return newIndex(c, cover, DefaultOptions(), BuildStats{})
 }
 
 // Collection returns the indexed collection.
@@ -76,6 +106,12 @@ func (ix *Index) Descendants(u int32) []int32 { return ix.coverIndex().Descendan
 // Ancestors returns all elements that reach u, including u.
 func (ix *Index) Ancestors(u int32) []int32 { return ix.coverIndex().Ancestors(u) }
 
+// Postings returns the center→owners posting index over the cover,
+// building it on first use. The set-at-a-time query evaluator unions
+// frontier Lout centers and expands them through InOwners postings (the
+// §5.1 semijoin); the handle stays valid and warm across maintenance.
+func (ix *Index) Postings() *psg.CoverIndex { return ix.coverIndex() }
+
 func (ix *Index) coverIndex() *psg.CoverIndex {
 	ix.ixMu.Lock()
 	defer ix.ixMu.Unlock()
@@ -85,31 +121,91 @@ func (ix *Index) coverIndex() *psg.CoverIndex {
 	return ix.ix
 }
 
-// invalidate drops the derived backward maps after bulk label changes.
+// invalidate drops the derived posting index after a wholesale cover
+// swap (Rebuild). Incremental maintenance never calls it — the delta
+// dispatcher keeps the postings warm.
 func (ix *Index) invalidate() {
 	ix.ixMu.Lock()
 	ix.ix = nil
 	ix.ixMu.Unlock()
 }
 
+// cyclic lazily derives the element-graph cycle information.
+func (ix *Index) cyclic() *cyclicInfo {
+	ix.cycMu.Lock()
+	defer ix.cycMu.Unlock()
+	if ix.cyc == nil {
+		ix.cyc = computeCyclic(ix.coll)
+	}
+	return ix.cyc
+}
+
+// invalidateCyclic drops the derived cycle info after any structural
+// mutation (edges and documents can open or close cycles).
+func (ix *Index) invalidateCyclic() {
+	ix.cycMu.Lock()
+	ix.cyc = nil
+	ix.cycMu.Unlock()
+}
+
+// OnCycle reports whether element u lies on a cycle of the element
+// graph, i.e. whether a path of length ≥ 1 leads from u back to u.
+func (ix *Index) OnCycle(u int32) bool { return ix.cyclic().onCycle(u) }
+
+// CycleDistance returns the length of the shortest cycle through u
+// (graph.InfDist when u is not on any cycle).
+func (ix *Index) CycleDistance(u int32) uint32 { return ix.cyclic().cycleDist(u) }
+
+// CyclicSet returns the bitset of elements lying on element-graph
+// cycles. The bitset is immutable — callers must not modify it; it
+// lets hot loops test many elements without per-call locking.
+func (ix *Index) CyclicSet() graph.Bitset { return ix.cyclic().on }
+
+// ReachesProper reports whether a path of length ≥ 1 leads from u to
+// v. This is the descendant-axis ("//") semantics: for u ≠ v it
+// coincides with Reaches, and u //-matches itself only through a
+// genuine cycle — unlike Reaches, whose reflexivity mirrors the
+// paper's connection relation.
+func (ix *Index) ReachesProper(u, v int32) bool {
+	if u == v {
+		return ix.OnCycle(u)
+	}
+	return ix.cover.Reaches(u, v)
+}
+
 // Clone returns a deep copy of the index: the collection, the cover,
-// and the build metadata. The derived backward maps are rebuilt lazily
-// on the copy. Snapshot isolation builds on this — the clone can serve
+// and the build metadata. The derived structures carry over cheaply:
+// the posting index is shared as an immutable view (copy-on-write on
+// the live side) and the cycle info — immutable once computed — by
+// pointer. Snapshot isolation builds on this: the clone can serve
 // queries while the original is maintained (or vice versa) with no
 // shared mutable state.
 func (ix *Index) Clone() *Index {
-	return &Index{
+	cl := &Index{
 		coll:  ix.coll.Clone(),
 		cover: ix.cover.Clone(),
 		opts:  ix.opts,
 		stats: ix.stats,
 	}
+	ix.ixMu.Lock()
+	if ix.ix != nil {
+		cl.ix = ix.ix.ShareFor(cl.cover)
+	}
+	ix.ixMu.Unlock()
+	ix.cycMu.Lock()
+	cl.cyc = ix.cyc
+	ix.cycMu.Unlock()
+	cl.cover.SetRecorder(cl.observeDelta)
+	return cl
 }
 
-// Warm eagerly builds the derived backward maps so the first
-// ancestor/descendant query after a clone or rebuild does not pay the
+// Warm eagerly builds the derived structures (posting index, cycle
+// info) so the first query after a clone or rebuild does not pay the
 // construction cost inside a request.
-func (ix *Index) Warm() { ix.coverIndex() }
+func (ix *Index) Warm() {
+	ix.coverIndex()
+	ix.cyclic()
+}
 
 // Validate recomputes the ground-truth closure of the element graph
 // and checks the cover against it — completeness, soundness, and (for

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"hopi/internal/graph"
 	"hopi/internal/twohop"
@@ -15,8 +16,17 @@ func (ix *Index) InsertEdge(from, to int32) error {
 	if err := ix.coll.AddLink(from, to); err != nil {
 		return err
 	}
+	if from == to {
+		// A validated self link carries no connection (the element
+		// graph drops self loops; AddLink stored nothing), and
+		// integrating it would fabricate +1-length paths through a
+		// nonexistent edge, breaking distance exactness. Dropped as a
+		// no-op — the same documented rule ModifyDocument applies.
+		return nil
+	}
 	ix.recordColl(CollOp{Kind: CollAddLink, From: from, To: to})
 	ix.coverIndex().IntegrateLink(from, to)
+	ix.invalidateCyclic() // the new edge may close cycles
 	return nil
 }
 
@@ -34,7 +44,12 @@ func (ix *Index) InsertDocument(d *xmlmodel.Document) (int, error) {
 		ix.recordColl(CollOp{Kind: CollAddDoc, Doc: d.Clone()})
 	}
 	ix.cover.Grow(ix.coll.NumAllocatedIDs())
-	ix.invalidate()
+	if len(d.IntraLinks) > 0 {
+		// only intra-document links can form cycles; a pure tree over
+		// fresh (never reused) IDs leaves the derived cycle info valid,
+		// so insert-only batches keep sharing it across snapshots
+		ix.invalidateCyclic()
+	}
 
 	// cover for the document's own element-level graph
 	g := docGraph(d)
@@ -166,7 +181,7 @@ func (ix *Index) deleteSeparating(docIdx int) {
 	})
 	ix.coll.RemoveDocument(docIdx)
 	ix.recordColl(CollOp{Kind: CollRemoveDoc, DocIdx: docIdx})
-	ix.invalidate()
+	ix.invalidateCyclic()
 }
 
 func elementSet(c *xmlmodel.Collection, docs graph.Bitset, n int) graph.Bitset {
@@ -251,7 +266,7 @@ func (ix *Index) deleteGeneral(docIdx int) {
 		ix.cover.ClearOut(v)
 		ix.cover.ClearIn(v)
 	}
-	ix.invalidate()
+	ix.invalidateCyclic()
 }
 
 // spliceHat merges a freshly computed regional cover into the global
@@ -336,34 +351,47 @@ func (ix *Index) DeleteEdge(from, to int32) error {
 		hat, _ = twohop.Build(cl, twohop.Options{Seed: ix.opts.Seed})
 	}
 	ix.spliceHat(hat, globals, aSet, aSet, dSet, nil)
-	ix.invalidate()
+	ix.invalidateCyclic() // the removed edge may break cycles
 	return nil
 }
 
 // ModifyDocument replaces a document (§6.3): the old version is
 // dropped with DeleteDocument and the new version inserted with
-// InsertDocument. Inter-document links into the old version are
-// re-attached to the same local element when it still exists in the
-// new version, else to the root; outgoing inter-document links are
-// re-created for sources that still exist. It returns the new document
-// index.
+// InsertDocument. Saved links are re-attached with *both* endpoints
+// remapped: an endpoint inside the replaced document moves to the same
+// local element when it still exists in the new version (else to the
+// root), an endpoint outside keeps its global ID. This covers links
+// recorded in the collection's link table whose two ends both lie in
+// the replaced document — re-attaching such a link by the other end's
+// old global ID would resolve to the tombstoned old version and link
+// the wrong element or fail mid-batch. A link whose endpoints collapse
+// onto the same element after the root fallback is dropped (documented
+// rule: a degenerate self link carries no connection). It returns the
+// new document index.
 func (ix *Index) ModifyDocument(docIdx int, newDoc *xmlmodel.Document) (int, error) {
 	if !ix.coll.Alive(docIdx) {
 		return 0, fmt.Errorf("core: document %d already removed", docIdx)
 	}
 	base := ix.coll.GlobalID(docIdx, 0)
+	// savedLink keeps each endpoint either as a local index into the
+	// replaced document (inside == true) or as a stable global ID.
+	type endpoint struct {
+		inside bool
+		id     int32 // local index when inside, global ID otherwise
+	}
 	type savedLink struct {
-		otherEnd int32
-		local    int32
-		incoming bool
+		from, to endpoint
+	}
+	saveEnd := func(id int32) endpoint {
+		if ix.coll.DocOfID(id) == docIdx {
+			return endpoint{inside: true, id: id - base}
+		}
+		return endpoint{id: id}
 	}
 	var saved []savedLink
 	for _, l := range ix.coll.Links {
-		if d := ix.coll.DocOfID(l.To); d == docIdx {
-			saved = append(saved, savedLink{otherEnd: l.From, local: l.To - base, incoming: true})
-		}
-		if d := ix.coll.DocOfID(l.From); d == docIdx {
-			saved = append(saved, savedLink{otherEnd: l.To, local: l.From - base, incoming: false})
+		if ix.coll.DocOfID(l.From) == docIdx || ix.coll.DocOfID(l.To) == docIdx {
+			saved = append(saved, savedLink{from: saveEnd(l.From), to: saveEnd(l.To)})
 		}
 	}
 	if _, err := ix.DeleteDocument(docIdx); err != nil {
@@ -373,18 +401,22 @@ func (ix *Index) ModifyDocument(docIdx int, newDoc *xmlmodel.Document) (int, err
 	if err != nil {
 		return 0, err
 	}
-	for _, s := range saved {
-		local := s.local
+	resolve := func(e endpoint) int32 {
+		if !e.inside {
+			return e.id
+		}
+		local := e.id
 		if int(local) >= newDoc.Len() {
 			local = 0 // fall back to the root
 		}
-		id := ix.coll.GlobalID(newIdx, local)
-		if s.incoming {
-			err = ix.InsertEdge(s.otherEnd, id)
-		} else {
-			err = ix.InsertEdge(id, s.otherEnd)
+		return ix.coll.GlobalID(newIdx, local)
+	}
+	for _, s := range saved {
+		from, to := resolve(s.from), resolve(s.to)
+		if from == to {
+			continue // both ends collapsed onto one element: drop
 		}
-		if err != nil {
+		if err := ix.InsertEdge(from, to); err != nil {
 			return 0, err
 		}
 	}
@@ -407,29 +439,56 @@ func (ix *Index) DiffModify(docIdx int, newDoc *xmlmodel.Document) error {
 		}
 	}
 	base := ix.coll.GlobalID(docIdx, 0)
+	// degenerate self links carry no connection and are ignored on both
+	// sides of the diff
 	oldSet := map[[2]int32]bool{}
 	for _, l := range old.IntraLinks {
-		oldSet[l] = true
+		if l[0] != l[1] {
+			oldSet[l] = true
+		}
 	}
 	newSet := map[[2]int32]bool{}
 	for _, l := range newDoc.IntraLinks {
-		newSet[l] = true
+		if l[0] != l[1] {
+			newSet[l] = true
+		}
 	}
+	// Apply the diff in sorted order: Go map iteration is randomized,
+	// and the edge order determines the ChangeLog / WAL byte stream and
+	// the cover shape. Identical inputs must produce identical batches.
+	var deletes, inserts [][2]int32
 	for l := range oldSet {
 		if !newSet[l] {
-			if err := ix.DeleteEdge(base+l[0], base+l[1]); err != nil {
-				return err
-			}
+			deletes = append(deletes, l)
 		}
 	}
 	for l := range newSet {
 		if !oldSet[l] {
-			if err := ix.InsertEdge(base+l[0], base+l[1]); err != nil {
-				return err
-			}
+			inserts = append(inserts, l)
+		}
+	}
+	sortLinkPairs(deletes)
+	sortLinkPairs(inserts)
+	for _, l := range deletes {
+		if err := ix.DeleteEdge(base+l[0], base+l[1]); err != nil {
+			return err
+		}
+	}
+	for _, l := range inserts {
+		if err := ix.InsertEdge(base+l[0], base+l[1]); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+func sortLinkPairs(links [][2]int32) {
+	sort.Slice(links, func(i, j int) bool {
+		if links[i][0] != links[j][0] {
+			return links[i][0] < links[j][0]
+		}
+		return links[i][1] < links[j][1]
+	})
 }
 
 // Rebuild recomputes the index from scratch with its original options —
@@ -443,13 +502,16 @@ func (ix *Index) Rebuild() error {
 	ix.cover.SetRecorder(nil)
 	ix.cover = fresh.cover
 	ix.stats = fresh.stats
-	if log := ix.log; log != nil {
+	if ix.log != nil {
 		// The delta streams cannot express a wholesale cover swap; mark
-		// the log so durable commit persists a full snapshot instead,
-		// and keep recording on the new cover for the rest of the batch.
-		log.Rebuilt = true
-		ix.cover.SetRecorder(func(d twohop.CoverDelta) { log.Cover = append(log.Cover, d) })
+		// the log so durable commit persists a full snapshot instead.
+		// Re-attaching the dispatcher below keeps recording on the new
+		// cover for the rest of the batch.
+		ix.log.Rebuilt = true
 	}
+	ix.cover.SetRecorder(ix.observeDelta)
+	// The postings must be re-derived from the new cover; the cycle
+	// info survives — Rebuild does not touch the collection.
 	ix.invalidate()
 	return nil
 }

@@ -175,6 +175,25 @@ func TestWeightsAblationRuns(t *testing.T) {
 	}
 }
 
+func TestQueryEvalRuns(t *testing.T) {
+	cfg := Config{DBLPDocs: 30, Seed: 5}
+	r, err := QueryEval(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 4 {
+		t.Fatalf("rows: %+v", r.Rows)
+	}
+	for _, row := range r.Rows {
+		if row.SemiQPS <= 0 || row.PairQPS <= 0 {
+			t.Errorf("%s: non-positive throughput %+v", row.Expr, row)
+		}
+	}
+	if !strings.Contains(RenderQueryEval(r), "speedup") {
+		t.Error("render missing speedup column")
+	}
+}
+
 func TestQueryMicroRuns(t *testing.T) {
 	cfg := smallConfig()
 	r, err := QueryMicro(cfg)

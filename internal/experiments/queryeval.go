@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+	"time"
+
+	"hopi/internal/core"
+	"hopi/internal/query"
+)
+
+// QueryEvalRow compares the two descendant-axis evaluators on one path
+// expression: the set-at-a-time semijoin over the center→owners
+// postings vs the tuple-at-a-time pairwise baseline (the pre-semijoin
+// hot path), on identical index state.
+type QueryEvalRow struct {
+	Expr       string
+	Matches    int
+	PairQPS    float64 // tuple-at-a-time queries/sec ("before")
+	SemiQPS    float64 // set-at-a-time queries/sec ("after")
+	Speedup    float64
+	Ranked     bool
+	AvgLatency time.Duration // semijoin per-query latency
+}
+
+// QueryEvalResult is the path-query throughput comparison.
+type QueryEvalResult struct {
+	Docs     int
+	Elements int
+	Links    int
+	Rows     []QueryEvalRow
+}
+
+// queryEvalExprs are the descendant-heavy shapes the semijoin targets:
+// //a//b joins two large tag sets through the index, //*//tag makes
+// the frontier as wide as the collection.
+var queryEvalExprs = []string{
+	"//article//author",
+	"//article//cite",
+	"//abstract//para",
+	"//*//author",
+}
+
+// QueryEval measures full path-expression throughput on the generated
+// DBLP-like collection with both evaluators. Unlike QueryMicro's point
+// probes this exercises the whole engine: frontier management, the
+// semijoin (or pairwise loop) per // step, and result materialization.
+func QueryEval(cfg Config) (QueryEvalResult, error) {
+	c := cfg.dblp()
+	ix, err := core.Build(c, core.Options{
+		Partitioner: core.PartClosureBudget, ClosureBudget: 1_000_000,
+		Join: core.JoinNewHBar, WithDistance: true, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return QueryEvalResult{}, err
+	}
+	ix.Warm()
+	semi := query.NewEngine(c, ix)
+	semi.SetEvalMode(query.EvalSemijoin)
+	pair := query.NewEngine(c, ix)
+	pair.SetEvalMode(query.EvalPairwise)
+
+	res := QueryEvalResult{Docs: c.NumDocs(), Elements: c.NumElements(), Links: c.NumLinks()}
+	for _, expr := range queryEvalExprs {
+		q, err := query.Parse(expr)
+		if err != nil {
+			return QueryEvalResult{}, err
+		}
+		semiIDs := semi.Eval(q)
+		pairIDs := pair.Eval(q)
+		if !slices.Equal(semiIDs, pairIDs) {
+			return QueryEvalResult{}, fmt.Errorf("experiments: %s: semijoin and pairwise disagree (%d vs %d matches)",
+				expr, len(semiIDs), len(pairIDs))
+		}
+		sq := evalQPS(func() { semi.Eval(q) })
+		pq := evalQPS(func() { pair.Eval(q) })
+		res.Rows = append(res.Rows, QueryEvalRow{
+			Expr: expr, Matches: len(semiIDs),
+			PairQPS: pq, SemiQPS: sq, Speedup: sq / pq,
+			AvgLatency: time.Duration(float64(time.Second) / sq),
+		})
+	}
+	// one ranked row: the per-center min-dist aggregation vs the
+	// pairwise Distance loop
+	q, _ := query.Parse("//article//author")
+	rankedQPS := func(e *query.Engine) (float64, error) {
+		if _, err := e.EvalRanked(q); err != nil {
+			return 0, err
+		}
+		return evalQPS(func() { e.EvalRanked(q) }), nil //nolint:errcheck // errors caught above
+	}
+	sq, err := rankedQPS(semi)
+	if err != nil {
+		return QueryEvalResult{}, err
+	}
+	pq, err := rankedQPS(pair)
+	if err != nil {
+		return QueryEvalResult{}, err
+	}
+	matches, _ := semi.EvalRanked(q)
+	res.Rows = append(res.Rows, QueryEvalRow{
+		Expr: "//article//author", Matches: len(matches), Ranked: true,
+		PairQPS: pq, SemiQPS: sq, Speedup: sq / pq,
+		AvgLatency: time.Duration(float64(time.Second) / sq),
+	})
+	return res, nil
+}
+
+// evalQPS times fn: at least 3 iterations, keep going until 200ms of
+// samples accumulate.
+func evalQPS(fn func()) float64 {
+	fn() // warmup
+	const (
+		minIters = 3
+		window   = 200 * time.Millisecond
+	)
+	n := 0
+	start := time.Now()
+	for n < minIters || time.Since(start) < window {
+		fn()
+		n++
+	}
+	return float64(n) / time.Since(start).Seconds()
+}
+
+// RenderQueryEval formats the comparison.
+func RenderQueryEval(r QueryEvalResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "path queries over %d docs, %d elements, %d links (set-at-a-time semijoin vs pairwise)\n",
+		r.Docs, r.Elements, r.Links)
+	t := newTable("expr", "matches", "pairwise q/s", "semijoin q/s", "speedup")
+	for _, row := range r.Rows {
+		expr := row.Expr
+		if row.Ranked {
+			expr += " (ranked)"
+		}
+		t.row(expr, fmt.Sprint(row.Matches),
+			fmt.Sprintf("%.1f", row.PairQPS), fmt.Sprintf("%.1f", row.SemiQPS),
+			fmt.Sprintf("%.1fx", row.Speedup))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,31 @@
+package graph
+
+import "sync"
+
+// BitsetPool hands out cleared scratch bitsets for hot read paths that
+// must not allocate in steady state yet stay safe under concurrent
+// readers. Get is capacity-aware: callers pass the ID space they need
+// on every call, so pooled bitsets sized before an index grew (node
+// IDs are append-only under maintenance) are transparently replaced.
+type BitsetPool struct {
+	pool sync.Pool
+}
+
+// NewBitsetPool returns a pool whose fresh bitsets hold values in
+// [0, n); Get still verifies capacity per call.
+func NewBitsetPool(n int) *BitsetPool {
+	return &BitsetPool{pool: sync.Pool{New: func() any { return NewBitset(n) }}}
+}
+
+// Get returns a cleared bitset able to hold values in [0, n).
+func (p *BitsetPool) Get(n int) Bitset {
+	b := p.pool.Get().(Bitset)
+	if len(b)*wordBits < n {
+		b = NewBitset(n)
+	}
+	b.Reset()
+	return b
+}
+
+// Put returns a bitset to the pool.
+func (p *BitsetPool) Put(b Bitset) { p.pool.Put(b) }

@@ -1,8 +1,6 @@
 package psg
 
 import (
-	"sync"
-
 	"hopi/internal/graph"
 	"hopi/internal/twohop"
 	"hopi/internal/xmlmodel"
@@ -30,75 +28,91 @@ func JoinOld(c *xmlmodel.Collection, cross []xmlmodel.Link, parts []*PartitionDa
 	return ix.Cover()
 }
 
-// CoverIndex wraps a cover with the backward maps (center → label
-// owners) that the §3.4 database deployment keeps as backward indexes
-// on LIN and LOUT; they make cover-based ancestor/descendant queries
-// feasible, which both the old join and incremental maintenance need.
+// CoverIndex pairs a cover with the center→owners posting index — the
+// backward indexes the §3.4 database deployment keeps on LIN and LOUT.
+// The postings make cover-based ancestor/descendant queries and the
+// set-at-a-time descendant-axis semijoin feasible; both the old join
+// and incremental maintenance depend on them.
 type CoverIndex struct {
-	cov *twohop.Cover
-	// outOwners[c] = nodes whose Lout contains center c;
-	// inOwners[c] = nodes whose Lin contains center c.
-	outOwners map[int32][]int32
-	inOwners  map[int32][]int32
+	cov  *twohop.Cover
+	post *twohop.PostingIndex
 	// scratch pools the visited bitsets of Ancestors/Descendants so the
 	// read path allocates nothing in steady state yet stays safe under
 	// concurrent readers (snapshot queries run in parallel).
-	scratch sync.Pool
+	scratch *graph.BitsetPool
 }
 
-// NewCoverIndex builds the backward maps of an existing cover.
+// NewCoverIndex builds the posting index of an existing cover.
 func NewCoverIndex(cov *twohop.Cover) *CoverIndex {
-	n := cov.N()
-	ix := &CoverIndex{
-		cov:       cov,
-		outOwners: map[int32][]int32{},
-		inOwners:  map[int32][]int32{},
-		scratch:   sync.Pool{New: func() any { return graph.NewBitset(n) }},
+	return newCoverIndex(cov, twohop.NewPostingIndex(cov))
+}
+
+func newCoverIndex(cov *twohop.Cover, post *twohop.PostingIndex) *CoverIndex {
+	return &CoverIndex{
+		cov:     cov,
+		post:    post,
+		scratch: graph.NewBitsetPool(cov.N()),
 	}
-	for v := int32(0); v < int32(cov.N()); v++ {
-		for _, e := range cov.Out[v] {
-			ix.outOwners[e.Center] = append(ix.outOwners[e.Center], v)
-		}
-		for _, e := range cov.In[v] {
-			ix.inOwners[e.Center] = append(ix.inOwners[e.Center], v)
-		}
-	}
-	return ix
+}
+
+// ShareFor returns a CoverIndex over an immutable view of the postings
+// (see twohop.PostingIndex.Share), reading labels from cov — a clone of
+// the cover the postings were derived from. Snapshots use this to
+// reuse the live index's postings instead of rebuilding them per
+// clone.
+func (ix *CoverIndex) ShareFor(cov *twohop.Cover) *CoverIndex {
+	return newCoverIndex(cov, ix.post.Share())
 }
 
 // Cover returns the wrapped cover.
 func (ix *CoverIndex) Cover() *twohop.Cover { return ix.cov }
 
-// AddOut inserts a label entry and maintains the backward map.
+// Postings returns the posting index (read-only use).
+func (ix *CoverIndex) Postings() *twohop.PostingIndex { return ix.post }
+
+// ApplyDelta maintains the postings under one cover label mutation.
+// The cover itself has already applied the delta; this keeps the
+// backward index in lockstep (core.Index routes every recorded delta
+// here so maintenance keeps the postings warm instead of invalidating
+// them).
+func (ix *CoverIndex) ApplyDelta(d twohop.CoverDelta) { ix.post.Apply(d) }
+
+// AddOut inserts a label entry and maintains the postings. When a
+// delta recorder is installed on the cover its owner routes the delta
+// back into ApplyDelta (core.Index does this for maintenance), so the
+// postings are only updated directly in the recorder-less standalone
+// case (JoinOld, tests) — never twice.
 func (ix *CoverIndex) AddOut(u, center int32, dist uint32) {
 	if u == center {
 		return
 	}
 	before := len(ix.cov.Out[u])
 	ix.cov.AddOut(u, center, dist)
-	if len(ix.cov.Out[u]) != before {
-		ix.outOwners[center] = append(ix.outOwners[center], u)
+	if len(ix.cov.Out[u]) != before && !ix.cov.Recording() {
+		ix.post.Apply(twohop.CoverDelta{Kind: twohop.DeltaAddOut, Node: u, Center: center})
 	}
 }
 
-// AddIn inserts a label entry and maintains the backward map.
+// AddIn inserts a label entry and maintains the postings; see AddOut
+// for the recorder contract.
 func (ix *CoverIndex) AddIn(v, center int32, dist uint32) {
 	if v == center {
 		return
 	}
 	before := len(ix.cov.In[v])
 	ix.cov.AddIn(v, center, dist)
-	if len(ix.cov.In[v]) != before {
-		ix.inOwners[center] = append(ix.inOwners[center], v)
+	if len(ix.cov.In[v]) != before && !ix.cov.Recording() {
+		ix.post.Apply(twohop.CoverDelta{Kind: twohop.DeltaAddIn, Node: v, Center: center})
 	}
 }
 
 // Ancestors returns all nodes a (including u itself) with a →* u
-// according to the cover, using the backward maps: a reaches u iff
-// a == u, u ∈ Lout(a), a ∈ Lin(u), or Lout(a) ∩ Lin(u) ≠ ∅.
+// according to the cover, using the postings: a reaches u iff a == u,
+// u ∈ Lout(a), a ∈ Lin(u), or Lout(a) ∩ Lin(u) ≠ ∅.
 func (ix *CoverIndex) Ancestors(u int32) []int32 {
-	seen := ix.scratch.Get().(graph.Bitset)
-	seen.Reset()
+	// sized per call: the node-ID space grows under document insertion
+	// while the index stays warm
+	seen := ix.scratch.Get(ix.cov.N())
 	defer ix.scratch.Put(seen)
 	var out []int32
 	add := func(a int32) {
@@ -108,12 +122,12 @@ func (ix *CoverIndex) Ancestors(u int32) []int32 {
 		}
 	}
 	add(u)
-	for _, a := range ix.outOwners[u] {
+	for _, a := range ix.post.OutOwners(u) {
 		add(a)
 	}
 	for _, e := range ix.cov.In[u] {
 		add(e.Center)
-		for _, a := range ix.outOwners[e.Center] {
+		for _, a := range ix.post.OutOwners(e.Center) {
 			add(a)
 		}
 	}
@@ -123,8 +137,7 @@ func (ix *CoverIndex) Ancestors(u int32) []int32 {
 // Descendants returns all nodes d (including v itself) with v →* d
 // according to the cover.
 func (ix *CoverIndex) Descendants(v int32) []int32 {
-	seen := ix.scratch.Get().(graph.Bitset)
-	seen.Reset()
+	seen := ix.scratch.Get(ix.cov.N())
 	defer ix.scratch.Put(seen)
 	var out []int32
 	add := func(d int32) {
@@ -134,12 +147,12 @@ func (ix *CoverIndex) Descendants(v int32) []int32 {
 		}
 	}
 	add(v)
-	for _, d := range ix.inOwners[v] {
+	for _, d := range ix.post.InOwners(v) {
 		add(d)
 	}
 	for _, e := range ix.cov.Out[v] {
 		add(e.Center)
-		for _, d := range ix.inOwners[e.Center] {
+		for _, d := range ix.post.InOwners(e.Center) {
 			add(d)
 		}
 	}

@@ -1,0 +1,76 @@
+package query
+
+import (
+	"testing"
+
+	"hopi/internal/core"
+	"hopi/internal/gen"
+)
+
+// benchEngine builds a moderate citation collection once per process
+// for the evaluator benchmarks.
+func benchEngine(b *testing.B, mode EvalMode) *Engine {
+	b.Helper()
+	c := gen.DBLP(gen.DefaultDBLP(120, 42))
+	ix, err := core.Build(c, core.Options{
+		Partitioner: core.PartClosureBudget, ClosureBudget: 500_000,
+		Join: core.JoinNewHBar, WithDistance: true, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix.Warm()
+	e := NewEngine(c, ix)
+	e.SetEvalMode(mode)
+	return e
+}
+
+func benchEval(b *testing.B, mode EvalMode, expr string) {
+	e := benchEngine(b, mode)
+	q, err := Parse(expr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Eval(q)
+	}
+}
+
+func BenchmarkEvalSemijoinDescendant(b *testing.B) {
+	benchEval(b, EvalSemijoin, "//article//author")
+}
+
+func BenchmarkEvalPairwiseDescendant(b *testing.B) {
+	benchEval(b, EvalPairwise, "//article//author")
+}
+
+func BenchmarkEvalSemijoinWildcard(b *testing.B) {
+	benchEval(b, EvalSemijoin, "//*//author")
+}
+
+func BenchmarkEvalPairwiseWildcard(b *testing.B) {
+	benchEval(b, EvalPairwise, "//*//author")
+}
+
+func BenchmarkEvalRankedSemijoin(b *testing.B) {
+	e := benchEngine(b, EvalSemijoin)
+	q, _ := Parse("//article//author")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EvalRanked(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalRankedPairwise(b *testing.B) {
+	e := benchEngine(b, EvalPairwise)
+	q, _ := Parse("//article//author")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EvalRanked(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,6 +4,29 @@
 // ancestor, descendant, *and link* axes, and the distance-aware index
 // supports XXL-style ranking where matches connected by shorter paths
 // score higher (§5.1, e.g. //book//author).
+//
+// # Descendant-axis semantics
+//
+// A step "//t" matches every element v with tag t such that some
+// frontier element u has a path of length ≥ 1 to v — following tree
+// edges and links, crossing documents. In particular an element
+// matches *itself* only through a genuine cycle (links can close
+// cycles that trees never have): on a link-free collection //a//a is
+// empty, exactly as in XPath, while in a citation cycle an article is
+// its own descendant. All evaluators — the set-at-a-time semijoin, the
+// pairwise fallback, and the ranked path — share this proper-path
+// semantics (core.Index.ReachesProper); ranked self-matches score by
+// the shortest cycle length.
+//
+// # Set-at-a-time evaluation
+//
+// A // step is evaluated as the §5.1 semijoin rather than per
+// (frontier, candidate) pair: union the Lout centers of the frontier,
+// expand frontier elements and centers through the center→owners
+// posting index (every v with a hit in Lin), add the centers
+// themselves (the direct v ∈ Lout(u) case), and intersect with the
+// tag's candidate bitset. Cost is proportional to the frontier's label
+// mass plus the touched posting lists instead of |F|×|C| probes.
 package query
 
 import (
@@ -11,8 +34,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"hopi/internal/core"
+	"hopi/internal/graph"
 	"hopi/internal/xmlmodel"
 )
 
@@ -105,6 +130,12 @@ type Match struct {
 	Path []int32
 }
 
+// pairwiseCutoff bounds the frontier×candidate work below which the
+// tuple-at-a-time evaluator beats the semijoin's bitset setup: for a
+// handful of probes, two binary searches per pair are cheaper than
+// clearing O(n/64) words of scratch bitsets.
+const pairwiseCutoff = 128
+
 // Engine evaluates queries against a collection and its index. An
 // engine is immutable after construction (Refresh excepted) and safe
 // for concurrent readers.
@@ -112,28 +143,73 @@ type Engine struct {
 	coll *xmlmodel.Collection
 	ix   *core.Index
 	tags map[string][]int32
-	all  []int32 // sorted IDs of all live elements, the "*" candidates
+	// tagBits caches each tag's candidate set as a bitset over global
+	// IDs — the right-hand side of the semijoin intersection.
+	// Materialized lazily on first use per tag (many tags are never
+	// queried; eager materialization would cost O(#tags × n) per
+	// snapshot publication) and safe for concurrent readers.
+	tagBits sync.Map // tag → graph.Bitset
+	all     []int32  // sorted IDs of all live elements, the "*" candidates
+	allBits graph.Bitset
+	n       int // allocated global-ID space at Refresh time
+
+	// scratch pools evaluation bitsets so steady-state queries allocate
+	// nothing while staying safe for concurrent readers.
+	scratch *graph.BitsetPool
+
+	// mode selects the descendant-step evaluator; EvalAuto picks per
+	// step size.
+	mode EvalMode
 }
 
-// NewEngine builds a query engine; the tag index and the "*" candidate
-// list are materialized once.
+// EvalMode selects how // steps are evaluated.
+type EvalMode int
+
+const (
+	// EvalAuto (the default) uses the set-at-a-time semijoin and falls
+	// back to pairwise probing when frontier×candidates is tiny.
+	EvalAuto EvalMode = iota
+	// EvalPairwise forces the tuple-at-a-time evaluator everywhere —
+	// the pre-semijoin behavior, kept for equivalence tests and the
+	// before/after benchmark.
+	EvalPairwise
+	// EvalSemijoin forces the semijoin even below the fallback cutoff.
+	EvalSemijoin
+)
+
+// NewEngine builds a query engine; the tag index and the "*"
+// candidate list are materialized once, per-tag candidate bitsets
+// lazily on first use.
 func NewEngine(coll *xmlmodel.Collection, ix *core.Index) *Engine {
 	e := &Engine{coll: coll, ix: ix}
 	e.Refresh()
 	return e
 }
 
+// SetEvalMode pins the descendant-step evaluator. Benchmark/test hook:
+// it lets the equivalence suite and hopibench compare the semijoin
+// against the old tuple-at-a-time path on identical state. Set it
+// before sharing the engine with concurrent readers.
+func (e *Engine) SetEvalMode(m EvalMode) { e.mode = m }
+
 // Refresh rebuilds the tag index after collection maintenance. It
 // mutates the engine: never call it on an engine shared with
 // concurrent readers (snapshots build a fresh engine instead).
 func (e *Engine) Refresh() {
 	e.tags = e.coll.ElementsByTag()
+	e.n = e.coll.NumAllocatedIDs()
+	e.tagBits = sync.Map{}
+	e.allBits = graph.NewBitset(e.n)
 	var all []int32
 	for _, ids := range e.tags {
+		for _, id := range ids {
+			e.allBits.Set(int(id))
+		}
 		all = append(all, ids...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	e.all = all
+	e.scratch = graph.NewBitsetPool(e.n)
 }
 
 func (e *Engine) candidates(tag string) []int32 {
@@ -141,6 +217,34 @@ func (e *Engine) candidates(tag string) []int32 {
 		return e.all
 	}
 	return e.tags[tag]
+}
+
+func (e *Engine) candidateBits(tag string) graph.Bitset {
+	if tag == "*" {
+		return e.allBits
+	}
+	if b, ok := e.tagBits.Load(tag); ok {
+		return b.(graph.Bitset)
+	}
+	b := graph.NewBitset(e.n)
+	for _, id := range e.tags[tag] {
+		b.Set(int(id))
+	}
+	// concurrent first users may race to build; both results are
+	// identical, the first stored copy wins
+	actual, _ := e.tagBits.LoadOrStore(tag, b)
+	return actual.(graph.Bitset)
+}
+
+// scratchSize returns the bitset capacity evaluation needs: the
+// engine's ID space or the cover's, whichever is larger (a stale
+// engine — maintenance since the last Refresh — can encounter cover
+// IDs beyond its own ID space).
+func (e *Engine) scratchSize() int {
+	if cn := e.ix.Cover().N(); cn > e.n {
+		return cn
+	}
+	return e.n
 }
 
 // isRoot reports whether the element is a document root.
@@ -222,51 +326,93 @@ func (e *Engine) initialFrontier(q *Query) []int32 {
 func (e *Engine) advance(frontier []int32, step Step, cc *canceller) ([]int32, error) {
 	cands := e.candidates(step.Tag)
 	if step.Axis == AxisChild {
-		inFrontier := map[int32]bool{}
+		inFrontier := e.scratch.Get(e.scratchSize())
+		defer e.scratch.Put(inFrontier)
 		for _, f := range frontier {
-			inFrontier[f] = true
+			inFrontier.Set(int(f))
 		}
 		var out []int32
 		for _, c := range cands {
 			if err := cc.check(); err != nil {
 				return nil, err
 			}
-			if p := e.parentOf(c); p >= 0 && inFrontier[p] {
+			if p := e.parentOf(c); p >= 0 && inFrontier.Has(int(p)) {
 				out = append(out, c)
 			}
 		}
 		return out, nil
 	}
-	// Descendant axis: pick the cheaper of (a) expanding the frontier's
-	// descendant sets and intersecting with the candidates, or (b)
-	// testing each (frontier, candidate) pair with the index.
-	if len(frontier)*8 < len(cands) {
-		candSet := map[int32]bool{}
-		for _, c := range cands {
-			candSet[c] = true
-		}
-		seen := map[int32]bool{}
-		var out []int32
-		for _, f := range frontier {
-			if err := cc.check(); err != nil {
-				return nil, err
-			}
-			for _, d := range e.ix.Descendants(f) {
-				if d != f && candSet[d] && !seen[d] {
-					seen[d] = true
-					out = append(out, d)
-				}
-			}
-		}
-		return out, nil
+	if e.mode == EvalPairwise || (e.mode == EvalAuto && len(frontier)*len(cands) <= pairwiseCutoff) {
+		return e.advancePairwise(frontier, cands, cc)
 	}
+	return e.advanceSemijoin(frontier, e.candidateBits(step.Tag), cc)
+}
+
+// advanceSemijoin evaluates one // step set-at-a-time over the
+// center-indexed postings:
+//
+//	X   := ∪_{f ∈ F} centers(Lout(f))            — frontier's out centers
+//	acc := {f ∈ F : f on a cycle}                — cyclic self-matches
+//	     ∪ X                                     — direct c ∈ Lout(f)
+//	     ∪ ∪_{y ∈ F ∪ X} InOwners(y)             — direct f ∈ Lin(c) and the
+//	                                               Lout∩Lin semijoin
+//	result := acc ∩ candidates(tag)
+//
+// which enumerates exactly {c : ∃f ∈ F, f →⁺ c} by the cover property.
+func (e *Engine) advanceSemijoin(frontier []int32, tagSet graph.Bitset, cc *canceller) ([]int32, error) {
+	post := e.ix.Postings().Postings()
+	cov := e.ix.Cover()
+	cyclic := e.ix.CyclicSet()
+	acc := e.scratch.Get(e.scratchSize())
+	defer e.scratch.Put(acc)
+	centers := e.scratch.Get(e.scratchSize())
+	defer e.scratch.Put(centers)
+
+	for _, f := range frontier {
+		if err := cc.check(); err != nil {
+			return nil, err
+		}
+		if cyclic.Has(int(f)) {
+			acc.Set(int(f))
+		}
+		for _, en := range cov.Out[f] {
+			centers.Set(int(en.Center))
+		}
+		for _, c := range post.InOwners(f) {
+			acc.Set(int(c))
+		}
+	}
+	var err error
+	centers.ForEach(func(x int) bool {
+		if cerr := cc.check(); cerr != nil {
+			err = cerr
+			return false
+		}
+		for _, c := range post.InOwners(int32(x)) {
+			acc.Set(int(c))
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc.Or(centers)
+	acc.And(tagSet)
+	return acc.Elements(nil), nil
+}
+
+// advancePairwise is the tuple-at-a-time fallback: probe each
+// (frontier, candidate) pair against the index. Wins only when the
+// product is tiny; also serves as the reference implementation for the
+// equivalence tests.
+func (e *Engine) advancePairwise(frontier, cands []int32, cc *canceller) ([]int32, error) {
 	var out []int32
 	for _, c := range cands {
 		for _, f := range frontier {
 			if err := cc.check(); err != nil {
 				return nil, err
 			}
-			if c != f && e.ix.Reaches(f, c) {
+			if e.ix.ReachesProper(f, c) {
 				out = append(out, c)
 				break
 			}
@@ -283,14 +429,17 @@ func (e *Engine) EvalRanked(q *Query) ([]Match, error) {
 	return e.EvalRankedCtx(context.Background(), q)
 }
 
+// state carries a frontier element's accumulated score and witness
+// path during ranked evaluation.
+type state struct {
+	score float64
+	path  []int32
+}
+
 // EvalRankedCtx is EvalRanked with cooperative cancellation, mirroring
 // EvalCtx.
 func (e *Engine) EvalRankedCtx(ctx context.Context, q *Query) ([]Match, error) {
 	cc := &canceller{ctx: ctx}
-	type state struct {
-		score float64
-		path  []int32
-	}
 	frontier := map[int32]state{}
 	for _, id := range e.initialFrontier(q) {
 		frontier[id] = state{score: 1, path: []int32{id}}
@@ -299,45 +448,33 @@ func (e *Engine) EvalRankedCtx(ctx context.Context, q *Query) ([]Match, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		step := q.Steps[si]
-		next := map[int32]state{}
-		for _, c := range e.candidates(step.Tag) {
-			if err := cc.check(); err != nil {
-				return nil, err
-			}
-			best := state{score: -1}
-			for f, st := range frontier {
-				if c == f {
-					continue
-				}
-				var d uint32
-				if step.Axis == AxisChild {
-					if e.parentOf(c) != f {
-						continue
-					}
-					d = 1
-				} else {
-					dist, err := e.ix.Distance(f, c)
-					if err != nil {
-						return nil, err
-					}
-					if dist == ^uint32(0) || dist == 0 {
-						continue
-					}
-					d = dist
-				}
-				if s := st.score / float64(1+d); s > best.score {
-					best = state{score: s, path: append(append([]int32(nil), st.path...), c)}
-				}
-			}
-			if best.score > 0 {
-				next[c] = best
-			}
-		}
-		frontier = next
 		if len(frontier) == 0 {
 			break
 		}
+		step := q.Steps[si]
+		// Ranked descendant steps need label distances. Fail uniformly
+		// on non-distance indexes — independent of evaluator choice or
+		// collection size — instead of the semijoin reading meaningless
+		// Dist fields.
+		if step.Axis == AxisDescendant && len(e.candidates(step.Tag)) > 0 && !e.ix.Cover().WithDist {
+			return nil, fmt.Errorf("query: ranked evaluation of %q: index built without distance information", q.text)
+		}
+		var (
+			next map[int32]state
+			err  error
+		)
+		if step.Axis == AxisChild {
+			next, err = e.advanceRankedChild(frontier, step, cc)
+		} else if e.mode == EvalPairwise ||
+			(e.mode == EvalAuto && len(frontier)*len(e.candidates(step.Tag)) <= pairwiseCutoff) {
+			next, err = e.advanceRankedPairwise(frontier, step, cc)
+		} else {
+			next, err = e.advanceRankedSemijoin(frontier, step, cc)
+		}
+		if err != nil {
+			return nil, err
+		}
+		frontier = next
 	}
 	out := make([]Match, 0, len(frontier))
 	for id, st := range frontier {
@@ -350,4 +487,227 @@ func (e *Engine) EvalRankedCtx(ctx context.Context, q *Query) ([]Match, error) {
 		return out[i].Element < out[j].Element
 	})
 	return out, nil
+}
+
+func (e *Engine) advanceRankedChild(frontier map[int32]state, step Step, cc *canceller) (map[int32]state, error) {
+	next := map[int32]state{}
+	for _, c := range e.candidates(step.Tag) {
+		if err := cc.check(); err != nil {
+			return nil, err
+		}
+		p := e.parentOf(c)
+		if p < 0 {
+			continue
+		}
+		st, ok := frontier[p]
+		if !ok {
+			continue
+		}
+		next[c] = state{
+			score: st.score / 2, // parent-child hop: dist 1
+			path:  appendPath(st.path, c),
+		}
+	}
+	return next, nil
+}
+
+// advanceRankedPairwise mirrors the pairwise boolean evaluator with
+// distances: per candidate, the best score over all frontier elements.
+// Self-matches use the shortest cycle length.
+func (e *Engine) advanceRankedPairwise(frontier map[int32]state, step Step, cc *canceller) (map[int32]state, error) {
+	next := map[int32]state{}
+	for _, c := range e.candidates(step.Tag) {
+		best := state{score: -1}
+		for f, st := range frontier {
+			if err := cc.check(); err != nil {
+				return nil, err
+			}
+			var d uint32
+			if c == f {
+				d = e.ix.CycleDistance(f)
+			} else {
+				dist, err := e.ix.Distance(f, c)
+				if err != nil {
+					return nil, err
+				}
+				d = dist
+			}
+			if d == graph.InfDist || d == 0 {
+				continue
+			}
+			if s := st.score / float64(1+d); s > best.score {
+				best = state{score: s, path: appendPath(st.path, c)}
+			}
+		}
+		if best.score > 0 {
+			next[c] = best
+		}
+	}
+	return next, nil
+}
+
+// arrival is one way the frontier can reach a center during ranked
+// semijoin evaluation: some frontier element `from` with accumulated
+// score reaches the center over `dist` hops.
+type arrival struct {
+	score float64
+	dist  uint32
+	from  int32
+}
+
+// centerArrivals aggregates, per center, how the frontier reaches it.
+// implicit is the center's own frontier state (every frontier element
+// is an implicit zero-distance Lout center of itself, §3.4); rest
+// holds arrivals through stored Lout entries, pruned to the pareto
+// frontier over (dist ↓, score ↑). The two are kept apart because the
+// implicit arrival must not serve its own element as a candidate —
+// that would claim a zero-length path.
+type centerArrivals struct {
+	implicit *arrival
+	rest     []arrival
+}
+
+// advanceRankedSemijoin replaces the O(|F|×|C|) Distance loop with a
+// per-center aggregation: distribute every frontier element's score
+// over its Lout centers once, prune each center's arrival list to its
+// pareto frontier, then score only the candidates whose Lin touches an
+// aggregated center (plus direct and cyclic-self cases) — the ranked
+// analogue of the boolean semijoin, computing exactly
+// max_f score_f / (1 + dist(f, c)) with dist the §5.1 minimum over
+// label pairs.
+func (e *Engine) advanceRankedSemijoin(frontier map[int32]state, step Step, cc *canceller) (map[int32]state, error) {
+	cov := e.ix.Cover()
+	post := e.ix.Postings().Postings()
+	cyclic := e.ix.CyclicSet()
+	tagSet := e.candidateBits(step.Tag)
+
+	// Phase 1: distribute the frontier over its centers.
+	arrivals := map[int32]*centerArrivals{}
+	at := func(x int32) *centerArrivals {
+		ca := arrivals[x]
+		if ca == nil {
+			ca = &centerArrivals{}
+			arrivals[x] = ca
+		}
+		return ca
+	}
+	for f, st := range frontier {
+		if err := cc.check(); err != nil {
+			return nil, err
+		}
+		self := arrival{score: st.score, dist: 0, from: f}
+		at(f).implicit = &self
+		for _, en := range cov.Out[f] {
+			ca := at(en.Center)
+			ca.rest = append(ca.rest, arrival{score: st.score, dist: en.Dist, from: f})
+		}
+	}
+	// Phase 2: gather candidates and prune arrival lists.
+	cands := e.scratch.Get(e.scratchSize())
+	defer e.scratch.Put(cands)
+	for x, ca := range arrivals {
+		if err := cc.check(); err != nil {
+			return nil, err
+		}
+		ca.rest = paretoPrune(ca.rest)
+		if len(ca.rest) > 0 {
+			cands.Set(int(x)) // direct: x ∈ Lout(f)
+		}
+		for _, c := range post.InOwners(x) {
+			cands.Set(int(c))
+		}
+	}
+	for f := range frontier {
+		if cyclic.Has(int(f)) {
+			cands.Set(int(f))
+		}
+	}
+	cands.And(tagSet)
+
+	// Phase 3: score each candidate over its Lin side.
+	next := map[int32]state{}
+	var err error
+	cands.ForEach(func(ci int) bool {
+		if cerr := cc.check(); cerr != nil {
+			err = cerr
+			return false
+		}
+		c := int32(ci)
+		best := arrival{score: -1}
+		consider := func(a arrival, linDist uint32) {
+			if s := a.score / float64(1+a.dist+linDist); s > best.score {
+				best = arrival{score: s, dist: a.dist + linDist, from: a.from}
+			}
+		}
+		// direct c ∈ Lout(f): arrivals at center c itself, Lin side
+		// implicit (distance 0). Lout-derived arrivals at center c
+		// always come from f ≠ c, so no self path sneaks in; the
+		// implicit arrival IS c's own and is skipped.
+		if ca := arrivals[c]; ca != nil {
+			for _, a := range ca.rest {
+				consider(a, 0)
+			}
+		}
+		// f ∈ Lin(c) and Lout(f) ∩ Lin(c): every stored Lin entry of c
+		// joins the arrivals at its center. en.Center ≠ c (self entries
+		// are never stored), so the implicit arrival is usable here.
+		for _, en := range cov.In[c] {
+			ca := arrivals[en.Center]
+			if ca == nil {
+				continue
+			}
+			if ca.implicit != nil {
+				consider(*ca.implicit, en.Dist)
+			}
+			for _, a := range ca.rest {
+				consider(a, en.Dist)
+			}
+		}
+		// cyclic self-match: c reaches itself over its shortest cycle.
+		if st, ok := frontier[c]; ok {
+			if d := e.ix.CycleDistance(c); d != graph.InfDist && d != 0 {
+				if s := st.score / float64(1+d); s > best.score {
+					best = arrival{score: s, from: c}
+				}
+			}
+		}
+		if best.score > 0 {
+			st := frontier[best.from]
+			next[c] = state{score: best.score, path: appendPath(st.path, c)}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// paretoPrune sorts arrivals by (dist asc, score desc) and keeps only
+// entries whose score strictly exceeds every nearer arrival's: a
+// dominated arrival (farther and no better) can never win
+// max score/(1+dist+t) for any Lin-side distance t.
+func paretoPrune(list []arrival) []arrival {
+	if len(list) < 2 {
+		return list
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].dist != list[j].dist {
+			return list[i].dist < list[j].dist
+		}
+		return list[i].score > list[j].score
+	})
+	out := list[:1]
+	bestScore := list[0].score
+	for _, a := range list[1:] {
+		if a.score > bestScore {
+			out = append(out, a)
+			bestScore = a.score
+		}
+	}
+	return out
+}
+
+func appendPath(path []int32, c int32) []int32 {
+	return append(append([]int32(nil), path...), c)
 }

@@ -37,16 +37,20 @@ func naiveEval(c *xmlmodel.Collection, q *Query) map[int32]bool {
 		next := map[int32]bool{}
 		for _, id := range cands(step.Tag) {
 			for f := range frontier {
-				if f == id {
-					continue
-				}
 				if step.Axis == AxisChild {
+					if f == id {
+						continue
+					}
 					doc, local := c.LocalID(id)
 					p := c.Docs[doc].Elements[local].Parent
 					if p >= 0 && c.GlobalID(doc, p) == f {
 						next[id] = true
 					}
 				} else if g.ReachableFrom(f).Has(int(id)) {
+					// ReachableFrom excludes the start unless it lies on
+					// a cycle — exactly the proper-path // semantics: an
+					// element is its own descendant only through a
+					// genuine cycle.
 					next[id] = true
 				}
 			}

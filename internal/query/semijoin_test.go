@@ -1,0 +1,394 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"hopi/internal/core"
+	"hopi/internal/gen"
+	"hopi/internal/graph"
+	"hopi/internal/xmlmodel"
+)
+
+// oracleEval answers a query by brute force over the element graph
+// with proper-path // semantics: v matches a frontier element u iff a
+// path of length ≥ 1 leads u → v (ReachableFrom excludes the start
+// unless it lies on a cycle).
+func oracleEval(c *xmlmodel.Collection, q *Query) map[int32]bool {
+	return naiveEval(c, q)
+}
+
+// oracleRanked is the BFS ground truth for ranked evaluation: per
+// step, each candidate's score is the best frontier score divided by
+// 1 + the exact shortest proper-path distance (shortest cycle for
+// self-matches).
+func oracleRanked(c *xmlmodel.Collection, q *Query) map[int32]float64 {
+	g := c.ElementGraph()
+	dm := graph.NewDistanceMatrix(g)
+	properDist := func(f, id int32) uint32 {
+		if f != id {
+			return dm.D(f, id)
+		}
+		best := graph.InfDist
+		for _, p := range g.Pred(f) {
+			if d := dm.D(f, p); d != graph.InfDist && d+1 < best {
+				best = d + 1
+			}
+		}
+		return best
+	}
+	tags := c.ElementsByTag()
+	cands := func(tag string) []int32 {
+		if tag != "*" {
+			return tags[tag]
+		}
+		var all []int32
+		for _, ids := range tags {
+			all = append(all, ids...)
+		}
+		return all
+	}
+	frontier := map[int32]float64{}
+	for _, id := range cands(q.Steps[0].Tag) {
+		if q.Steps[0].Axis == AxisChild {
+			if _, local := c.LocalID(id); local != 0 {
+				continue
+			}
+		}
+		frontier[id] = 1
+	}
+	for _, step := range q.Steps[1:] {
+		next := map[int32]float64{}
+		for _, id := range cands(step.Tag) {
+			best := -1.0
+			for f, score := range frontier {
+				var d uint32
+				if step.Axis == AxisChild {
+					doc, local := c.LocalID(id)
+					p := c.Docs[doc].Elements[local].Parent
+					if p < 0 || c.GlobalID(doc, p) != f {
+						continue
+					}
+					d = 1
+				} else {
+					d = properDist(f, id)
+					if d == graph.InfDist || d == 0 {
+						continue
+					}
+				}
+				if s := score / float64(1+d); s > best {
+					best = s
+				}
+			}
+			if best > 0 {
+				next[id] = best
+			}
+		}
+		frontier = next
+	}
+	return frontier
+}
+
+func equivExprs() []string {
+	return []string{
+		"//r//e", "/r/e", "//e//e", "//r//r", "//r/*", "//*//e", "/r//e//e", "//*//*",
+	}
+}
+
+// cyclicCollection generates a random collection with cross-document
+// links and guaranteed document-level link cycles.
+func cyclicCollection(seed int64) *xmlmodel.Collection {
+	return gen.Random(gen.RandomConfig{
+		Docs: 8, MaxElems: 9, Links: 12, Seed: seed, LinkCycle: true,
+	})
+}
+
+// TestSemijoinEquivalence: on random cyclic collections, the
+// set-at-a-time semijoin, the pairwise evaluator, and the BFS oracle
+// agree exactly — the core property behind replacing the hot path.
+func TestSemijoinEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		c := cyclicCollection(seed)
+		ix, err := core.Build(c, core.Options{
+			Partitioner: core.PartSingle, Join: core.JoinNewHBar, WithDistance: true, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		semi := NewEngine(c, ix)
+		semi.SetEvalMode(EvalSemijoin)
+		pair := NewEngine(c, ix)
+		pair.SetEvalMode(EvalPairwise)
+		for _, expr := range equivExprs() {
+			q, err := Parse(expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracleEval(c, q)
+			for name, e := range map[string]*Engine{"semijoin": semi, "pairwise": pair} {
+				got := e.Eval(q)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d %q %s: got %d matches %v, want %d", seed, expr, name, len(got), got, len(want))
+				}
+				for _, id := range got {
+					if !want[id] {
+						t.Fatalf("seed %d %q %s: spurious match %d", seed, expr, name, id)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSemijoinRankedEquivalence: ranked evaluation agrees between the
+// per-center aggregation, the pairwise Distance loop, and the BFS
+// oracle — elements and exact scores.
+func TestSemijoinRankedEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		c := cyclicCollection(seed)
+		ix, err := core.Build(c, core.Options{
+			Partitioner: core.PartSingle, Join: core.JoinNewHBar, WithDistance: true, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		semi := NewEngine(c, ix)
+		semi.SetEvalMode(EvalSemijoin)
+		pair := NewEngine(c, ix)
+		pair.SetEvalMode(EvalPairwise)
+		for _, expr := range equivExprs() {
+			q, err := Parse(expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracleRanked(c, q)
+			for name, e := range map[string]*Engine{"semijoin": semi, "pairwise": pair} {
+				got, err := e.EvalRanked(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("seed %d %q %s: got %d ranked matches, want %d", seed, expr, name, len(got), len(want))
+				}
+				for _, m := range got {
+					ws, ok := want[m.Element]
+					if !ok {
+						t.Fatalf("seed %d %q %s: spurious ranked match %d", seed, expr, name, m.Element)
+					}
+					if math.Abs(ws-m.Score) > 1e-12 {
+						t.Fatalf("seed %d %q %s: element %d score %g, want %g", seed, expr, name, m.Element, m.Score, ws)
+					}
+					if len(m.Path) != len(q.Steps) {
+						t.Fatalf("seed %d %q %s: witness path %v for %d steps", seed, expr, name, m.Path, len(q.Steps))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSemijoinCyclicSelfMatch pins the documented //a//a semantics on
+// a hand-built cyclic collection: elements on a link cycle match
+// themselves, everything else does not, and ranked self-matches score
+// by the shortest cycle length.
+func TestSemijoinCyclicSelfMatch(t *testing.T) {
+	c := xmlmodel.NewCollection()
+	d1 := xmlmodel.NewDocument("a.xml", "a")
+	x1 := d1.AddElement(0, "x")
+	c.AddDocument(d1)
+	d2 := xmlmodel.NewDocument("b.xml", "a")
+	x2 := d2.AddElement(0, "x")
+	c.AddDocument(d2)
+	d3 := xmlmodel.NewDocument("c.xml", "a") // acyclic bystander
+	c.AddDocument(d3)
+	// cycle: a.xml/x → b.xml root → b.xml/x → a.xml root → a.xml/x
+	if err := c.AddLink(c.GlobalID(0, x1), c.GlobalID(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddLink(c.GlobalID(1, x2), c.GlobalID(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.Build(c, core.Options{
+		Partitioner: core.PartSingle, Join: core.JoinNewHBar, WithDistance: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []EvalMode{EvalSemijoin, EvalPairwise} {
+		e := NewEngine(c, ix)
+		e.SetEvalMode(mode)
+		q, _ := Parse("//a//a")
+		got := e.Eval(q)
+		// both roots are on the 4-cycle; the bystander root is not
+		if len(got) != 2 || got[0] != c.GlobalID(0, 0) || got[1] != c.GlobalID(1, 0) {
+			t.Fatalf("mode %v: //a//a = %v, want the two cyclic roots", mode, got)
+		}
+		q2, _ := Parse("//x//x")
+		got2 := e.Eval(q2)
+		if len(got2) != 2 {
+			t.Fatalf("mode %v: //x//x = %v, want both cyclic x elements", mode, got2)
+		}
+		// ranked: each root's best //a//a witness is the *other* root at
+		// distance 2 (the 4-cycle's self path, distance 4, scores lower)
+		matches, err := e.EvalRanked(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(matches) != 2 {
+			t.Fatalf("mode %v: ranked //a//a = %+v", mode, matches)
+		}
+		for _, m := range matches {
+			if m.Score != 1.0/3.0 {
+				t.Errorf("mode %v: //a//a score %g, want 1/3", mode, m.Score)
+			}
+		}
+	}
+	// tree-only sanity: on the bystander document alone no tag
+	// self-matches (XPath behavior preserved without links)
+	q3, _ := Parse("//x//a")
+	e := NewEngine(c, ix)
+	if got := e.Eval(q3); len(got) != 2 {
+		t.Fatalf("//x//a = %v, want both roots via the cycle", got)
+	}
+}
+
+// TestRankedSelfMatchScoresByCycleLength isolates the cyclic
+// self-match: one element whose only //-path to itself is its own
+// cycle must score 1/(1+cycleLen).
+func TestRankedSelfMatchScoresByCycleLength(t *testing.T) {
+	c := xmlmodel.NewCollection()
+	d := xmlmodel.NewDocument("solo.xml", "r")
+	a := d.AddElement(0, "a")
+	d.AddIntraLink(a, 0) // cycle a → root → a of length 2
+	c.AddDocument(d)
+	ix, err := core.Build(c, core.Options{
+		Partitioner: core.PartWhole, Join: core.JoinNewHBar, WithDistance: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []EvalMode{EvalSemijoin, EvalPairwise} {
+		e := NewEngine(c, ix)
+		e.SetEvalMode(mode)
+		q, _ := Parse("//a//a")
+		matches, err := e.EvalRanked(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(matches) != 1 || matches[0].Element != c.GlobalID(0, a) {
+			t.Fatalf("mode %v: ranked //a//a = %+v, want the single cyclic a", mode, matches)
+		}
+		if matches[0].Score != 1.0/3.0 {
+			t.Errorf("mode %v: self-match score %g, want 1/(1+2)", mode, matches[0].Score)
+		}
+	}
+}
+
+// TestSemijoinConcurrentReaders hammers one shared engine from many
+// goroutines (meaningful under -race): the scratch pools and shared
+// postings must hold up, and every result must stay equal to the
+// single-threaded answer.
+func TestSemijoinConcurrentReaders(t *testing.T) {
+	c := gen.DBLP(gen.DefaultDBLP(120, 3))
+	ix, err := core.Build(c, core.Options{
+		Partitioner: core.PartClosureBudget, ClosureBudget: 100_000,
+		Join: core.JoinNewHBar, WithDistance: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Warm()
+	e := NewEngine(c, ix)
+	e.SetEvalMode(EvalSemijoin)
+	exprs := []string{"//article//author", "//article//cite", "//*//para", "//abstract//para"}
+	type answer struct {
+		ids    []int32
+		ranked []Match
+	}
+	want := map[string]answer{}
+	for _, expr := range exprs {
+		q, _ := Parse(expr)
+		r, err := e.EvalRanked(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[expr] = answer{ids: e.Eval(q), ranked: r}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				expr := exprs[(w+i)%len(exprs)]
+				q, _ := Parse(expr)
+				got := e.Eval(q)
+				exp := want[expr]
+				if len(got) != len(exp.ids) {
+					errs <- errf("%s: got %d ids, want %d", expr, len(got), len(exp.ids))
+					return
+				}
+				for j := range got {
+					if got[j] != exp.ids[j] {
+						errs <- errf("%s: id[%d] = %d, want %d", expr, j, got[j], exp.ids[j])
+						return
+					}
+				}
+				r, err := e.EvalRanked(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(r) != len(exp.ranked) {
+					errs <- errf("%s: got %d ranked, want %d", expr, len(r), len(exp.ranked))
+					return
+				}
+				for j := range r {
+					if r[j].Element != exp.ranked[j].Element || r[j].Score != exp.ranked[j].Score {
+						errs <- errf("%s: ranked[%d] diverged", expr, j)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
+// TestRankedRequiresDistanceUniformly: ranked descendant evaluation on
+// a non-distance index errors in every evaluator mode and at every
+// collection size — the semijoin must not silently read meaningless
+// Dist fields where the pairwise path would error.
+func TestRankedRequiresDistanceUniformly(t *testing.T) {
+	c := gen.DBLP(gen.DefaultDBLP(60, 7))
+	ix, err := core.Build(c, core.Options{
+		Partitioner: core.PartClosureBudget, ClosureBudget: 100_000,
+		Join: core.JoinNewHBar, Seed: 7, // WithDistance deliberately off
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := Parse("//article//author")
+	for _, mode := range []EvalMode{EvalAuto, EvalSemijoin, EvalPairwise} {
+		e := NewEngine(c, ix)
+		e.SetEvalMode(mode)
+		if _, err := e.EvalRanked(q); err == nil {
+			t.Errorf("mode %v: ranked query on non-distance index succeeded", mode)
+		}
+		// unranked evaluation stays available without distances
+		if got := e.Eval(q); len(got) == 0 {
+			t.Errorf("mode %v: unranked query broke", mode)
+		}
+	}
+}

@@ -39,6 +39,12 @@ type CoverDelta struct {
 	Dist   uint32
 }
 
+// Recording reports whether a delta recorder is installed. Owners of
+// derived structures use this to avoid double maintenance: when a
+// recorder is present, its installer is responsible for routing deltas
+// onward (core.Index fans them out to the posting index).
+func (c *Cover) Recording() bool { return c.rec != nil }
+
 // SetRecorder installs (or, with nil, removes) a callback invoked for
 // every effective label mutation. Only changes that actually alter the
 // cover are reported: re-adding an existing entry with an equal or
@@ -46,6 +52,13 @@ type CoverDelta struct {
 // builders (Finish, direct In/Out slice writes) bypass recording;
 // recording is meant for the maintenance path, which goes through the
 // mutator methods below.
+//
+// Contract: installing a recorder takes over responsibility for ALL
+// delta consumers of this cover — in particular, any PostingIndex
+// derived from it must receive every delta through the recorder
+// (core.Index.observeDelta fans out to the ChangeLog and the
+// postings). psg.CoverIndex relies on this: its own AddIn/AddOut skip
+// direct posting maintenance whenever Recording() is true.
 func (c *Cover) SetRecorder(fn func(CoverDelta)) { c.rec = fn }
 
 func (c *Cover) emit(kind DeltaKind, node, center int32, dist uint32) {

@@ -1,0 +1,221 @@
+package twohop
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PostingIndex is the center→owners inverted index of a 2-hop cover:
+// for every center c, InOwners(c) lists the nodes whose Lin contains c
+// and OutOwners(c) the nodes whose Lout contains c, each as a sorted
+// posting list. This is the §3.4 backward index on LIN/LOUT promoted to
+// a first-class structure: the set-at-a-time descendant-axis evaluator
+// unions frontier Lout centers and expands them through InOwners — the
+// SQL semijoin of §5.1 — instead of probing pairs, and incremental
+// maintenance keeps the postings warm by replaying the same CoverDelta
+// stream the WAL records.
+//
+// Sharing: Share returns an immutable view of the current postings and
+// freezes the receiver's slices; the first mutation after a Share
+// copies the maps (O(#centers)) and then copies individual posting
+// lists on demand. Snapshots use this to reuse the live index's
+// postings instead of re-deriving them from the full label set.
+type PostingIndex struct {
+	n   int
+	in  map[int32][]int32
+	out map[int32][]int32
+
+	// frozen marks the maps as shared with at least one immutable view:
+	// they must be shallow-copied before any mutation. ownedIn/ownedOut
+	// track which posting slices this instance has copied since the
+	// last Share (nil means every slice is owned, the fresh-build
+	// state).
+	frozen   bool
+	ownedIn  map[int32]bool
+	ownedOut map[int32]bool
+}
+
+// NewPostingIndex scans a cover's labels and builds the backward
+// postings. The result owns all its slices.
+func NewPostingIndex(cov *Cover) *PostingIndex {
+	p := &PostingIndex{
+		n:   cov.N(),
+		in:  map[int32][]int32{},
+		out: map[int32][]int32{},
+	}
+	// Owners are visited in ascending node order, so every posting list
+	// comes out sorted without a final sort pass.
+	for v := int32(0); v < int32(cov.N()); v++ {
+		for _, e := range cov.In[v] {
+			p.in[e.Center] = append(p.in[e.Center], v)
+		}
+		for _, e := range cov.Out[v] {
+			p.out[e.Center] = append(p.out[e.Center], v)
+		}
+	}
+	return p
+}
+
+// N returns the node-ID space the postings are defined over.
+func (p *PostingIndex) N() int { return p.n }
+
+// InOwners returns the sorted nodes whose Lin contains center. The
+// slice is shared — callers must not mutate it.
+func (p *PostingIndex) InOwners(center int32) []int32 { return p.in[center] }
+
+// OutOwners returns the sorted nodes whose Lout contains center. The
+// slice is shared — callers must not mutate it.
+func (p *PostingIndex) OutOwners(center int32) []int32 { return p.out[center] }
+
+// Share returns an immutable view of the current postings. Both the
+// receiver and the view keep reading the same maps; the receiver's next
+// mutation copies before writing, so the view observes the postings
+// exactly as they were at Share time, forever. Callers must serialize
+// Share against mutations (maintenance is single-writer).
+func (p *PostingIndex) Share() *PostingIndex {
+	p.frozen = true
+	p.ownedIn = nil
+	p.ownedOut = nil
+	return &PostingIndex{n: p.n, in: p.in, out: p.out, frozen: true}
+}
+
+// thaw makes the maps writable again after a Share: shallow-copy both
+// maps (slice headers only) and start tracking per-center ownership.
+func (p *PostingIndex) thaw() {
+	if !p.frozen {
+		return
+	}
+	in := make(map[int32][]int32, len(p.in))
+	for c, owners := range p.in {
+		in[c] = owners
+	}
+	out := make(map[int32][]int32, len(p.out))
+	for c, owners := range p.out {
+		out[c] = owners
+	}
+	p.in, p.out = in, out
+	p.ownedIn = map[int32]bool{}
+	p.ownedOut = map[int32]bool{}
+	p.frozen = false
+}
+
+// Apply maintains the postings under one cover label delta — the same
+// stream the ChangeLog records and the WAL replays. Add deltas are
+// idempotent (a distance improvement re-emits an add for an owner that
+// is already posted); removes of absent owners are no-ops.
+func (p *PostingIndex) Apply(d CoverDelta) {
+	switch d.Kind {
+	case DeltaAddIn:
+		p.insert(&p.in, p.ownedInSet, d.Center, d.Node)
+	case DeltaAddOut:
+		p.insert(&p.out, p.ownedOutSet, d.Center, d.Node)
+	case DeltaRemoveIn:
+		p.remove(&p.in, p.ownedInSet, d.Center, d.Node)
+	case DeltaRemoveOut:
+		p.remove(&p.out, p.ownedOutSet, d.Center, d.Node)
+	case DeltaGrow:
+		if int(d.Node) > p.n {
+			p.n = int(d.Node)
+		}
+	case DeltaClearAll:
+		// no thaw: any shared views keep the old maps, this instance
+		// starts over with fresh (fully owned) empty ones
+		p.in = map[int32][]int32{}
+		p.out = map[int32][]int32{}
+		p.frozen = false
+		p.ownedIn, p.ownedOut = nil, nil
+	}
+}
+
+func (p *PostingIndex) ownedInSet(c int32) bool {
+	if p.ownedIn == nil {
+		return true
+	}
+	if p.ownedIn[c] {
+		return true
+	}
+	p.ownedIn[c] = true
+	return false
+}
+
+func (p *PostingIndex) ownedOutSet(c int32) bool {
+	if p.ownedOut == nil {
+		return true
+	}
+	if p.ownedOut[c] {
+		return true
+	}
+	p.ownedOut[c] = true
+	return false
+}
+
+// insert adds owner to the sorted posting of center (no-op when
+// present), honoring copy-on-write for slices borrowed from a frozen
+// view.
+func (p *PostingIndex) insert(m *map[int32][]int32, owned func(int32) bool, center, owner int32) {
+	p.thaw()
+	list := (*m)[center]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= owner })
+	if i < len(list) && list[i] == owner {
+		return
+	}
+	if !owned(center) {
+		list = append(append(make([]int32, 0, len(list)+1), list...), 0)
+	} else {
+		list = append(list, 0)
+	}
+	copy(list[i+1:], list[i:])
+	list[i] = owner
+	(*m)[center] = list
+}
+
+// remove deletes owner from the posting of center (no-op when absent).
+func (p *PostingIndex) remove(m *map[int32][]int32, owned func(int32) bool, center, owner int32) {
+	p.thaw()
+	list := (*m)[center]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= owner })
+	if i >= len(list) || list[i] != owner {
+		return
+	}
+	if !owned(center) {
+		list = append(make([]int32, 0, len(list)), list...)
+	}
+	list = append(list[:i], list[i+1:]...)
+	if len(list) == 0 {
+		delete(*m, center)
+		return
+	}
+	(*m)[center] = list
+}
+
+// Equal verifies that two posting indexes hold identical postings,
+// returning a descriptive error for the first difference. Used by the
+// maintenance-invariant tests (incrementally maintained == rebuilt from
+// scratch).
+func (p *PostingIndex) Equal(o *PostingIndex) error {
+	if err := equalPostings("in", p.in, o.in); err != nil {
+		return err
+	}
+	return equalPostings("out", p.out, o.out)
+}
+
+func equalPostings(side string, a, b map[int32][]int32) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("twohop: %sOwners center counts differ: %d vs %d", side, len(a), len(b))
+	}
+	for c, owners := range a {
+		others, ok := b[c]
+		if !ok {
+			return fmt.Errorf("twohop: %sOwners(%d) missing on one side", side, c)
+		}
+		if len(owners) != len(others) {
+			return fmt.Errorf("twohop: %sOwners(%d) lengths differ: %d vs %d", side, c, len(owners), len(others))
+		}
+		for i := range owners {
+			if owners[i] != others[i] {
+				return fmt.Errorf("twohop: %sOwners(%d)[%d] = %d vs %d", side, c, i, owners[i], others[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package twohop
+
+import (
+	"reflect"
+	"testing"
+)
+
+func postingCover() *Cover {
+	cov := NewCover(6, false)
+	cov.AddOut(0, 2, 0)
+	cov.AddOut(1, 2, 0)
+	cov.AddOut(3, 2, 0)
+	cov.AddIn(4, 2, 0)
+	cov.AddIn(5, 2, 0)
+	cov.AddIn(4, 1, 0)
+	cov.Finish()
+	return cov
+}
+
+func TestPostingIndexBuild(t *testing.T) {
+	p := NewPostingIndex(postingCover())
+	if got := p.OutOwners(2); !reflect.DeepEqual(got, []int32{0, 1, 3}) {
+		t.Errorf("OutOwners(2) = %v", got)
+	}
+	if got := p.InOwners(2); !reflect.DeepEqual(got, []int32{4, 5}) {
+		t.Errorf("InOwners(2) = %v", got)
+	}
+	if got := p.InOwners(1); !reflect.DeepEqual(got, []int32{4}) {
+		t.Errorf("InOwners(1) = %v", got)
+	}
+	if p.OutOwners(4) != nil {
+		t.Errorf("OutOwners(4) = %v, want empty", p.OutOwners(4))
+	}
+}
+
+func TestPostingIndexApplyDeltas(t *testing.T) {
+	cov := postingCover()
+	p := NewPostingIndex(cov)
+	p.Apply(CoverDelta{Kind: DeltaAddOut, Node: 2, Center: 1})
+	if got := p.OutOwners(1); !reflect.DeepEqual(got, []int32{2}) {
+		t.Errorf("after add: OutOwners(1) = %v", got)
+	}
+	// idempotent re-add (a distance improvement re-emits the add)
+	p.Apply(CoverDelta{Kind: DeltaAddOut, Node: 2, Center: 1})
+	if got := p.OutOwners(1); !reflect.DeepEqual(got, []int32{2}) {
+		t.Errorf("after duplicate add: OutOwners(1) = %v", got)
+	}
+	p.Apply(CoverDelta{Kind: DeltaRemoveOut, Node: 1, Center: 2})
+	if got := p.OutOwners(2); !reflect.DeepEqual(got, []int32{0, 3}) {
+		t.Errorf("after remove: OutOwners(2) = %v", got)
+	}
+	// removing an absent owner is a no-op
+	p.Apply(CoverDelta{Kind: DeltaRemoveIn, Node: 0, Center: 2})
+	if got := p.InOwners(2); !reflect.DeepEqual(got, []int32{4, 5}) {
+		t.Errorf("after absent remove: InOwners(2) = %v", got)
+	}
+	p.Apply(CoverDelta{Kind: DeltaGrow, Node: 9})
+	if p.N() != 9 {
+		t.Errorf("N after grow = %d", p.N())
+	}
+	p.Apply(CoverDelta{Kind: DeltaClearAll})
+	if len(p.InOwners(2))+len(p.OutOwners(2)) != 0 {
+		t.Error("clear-all left postings behind")
+	}
+}
+
+// TestPostingIndexShareCopyOnWrite: a shared view must keep observing
+// the postings exactly as they were at Share time while the live side
+// mutates on.
+func TestPostingIndexShareCopyOnWrite(t *testing.T) {
+	cov := postingCover()
+	live := NewPostingIndex(cov)
+	view := live.Share()
+
+	live.Apply(CoverDelta{Kind: DeltaAddOut, Node: 5, Center: 2})
+	live.Apply(CoverDelta{Kind: DeltaRemoveIn, Node: 4, Center: 1})
+	live.Apply(CoverDelta{Kind: DeltaAddIn, Node: 0, Center: 3})
+
+	if got := view.OutOwners(2); !reflect.DeepEqual(got, []int32{0, 1, 3}) {
+		t.Errorf("view OutOwners(2) changed: %v", got)
+	}
+	if got := view.InOwners(1); !reflect.DeepEqual(got, []int32{4}) {
+		t.Errorf("view InOwners(1) changed: %v", got)
+	}
+	if view.InOwners(3) != nil {
+		t.Errorf("view sees new center: %v", view.InOwners(3))
+	}
+	if got := live.OutOwners(2); !reflect.DeepEqual(got, []int32{0, 1, 3, 5}) {
+		t.Errorf("live OutOwners(2) = %v", got)
+	}
+	if live.InOwners(1) != nil {
+		t.Errorf("live InOwners(1) = %v, want empty", live.InOwners(1))
+	}
+
+	// a second share after mutations freezes the new state
+	view2 := live.Share()
+	live.Apply(CoverDelta{Kind: DeltaRemoveOut, Node: 5, Center: 2})
+	if got := view2.OutOwners(2); !reflect.DeepEqual(got, []int32{0, 1, 3, 5}) {
+		t.Errorf("view2 OutOwners(2) = %v", got)
+	}
+	if got := live.OutOwners(2); !reflect.DeepEqual(got, []int32{0, 1, 3}) {
+		t.Errorf("live OutOwners(2) after second remove = %v", got)
+	}
+	// and the first view still sees the original state
+	if got := view.OutOwners(2); !reflect.DeepEqual(got, []int32{0, 1, 3}) {
+		t.Errorf("view OutOwners(2) after second round: %v", got)
+	}
+}
+
+func TestPostingIndexEqual(t *testing.T) {
+	a := NewPostingIndex(postingCover())
+	b := NewPostingIndex(postingCover())
+	if err := a.Equal(b); err != nil {
+		t.Fatalf("identical postings reported unequal: %v", err)
+	}
+	b.Apply(CoverDelta{Kind: DeltaAddOut, Node: 5, Center: 2})
+	if err := a.Equal(b); err == nil {
+		t.Fatal("diverged postings reported equal")
+	}
+}

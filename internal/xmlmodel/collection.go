@@ -168,11 +168,18 @@ func (c *Collection) Tag(id int32) string {
 // AddLink records an inter-document link between two global IDs. It is
 // the caller's responsibility that both endpoints are alive and in
 // different documents; same-document pairs are stored as intra links.
+// A degenerate self link (from == to) is dropped as a no-op after
+// validation: it carries no connection, and every graph layer
+// (Digraph, closure, cover) ignores self loops — storing it would
+// only desync the collection from the index.
 func (c *Collection) AddLink(from, to int32) error {
 	fd, fl := c.LocalID(from)
 	td, tl := c.LocalID(to)
 	if !c.alive[fd] || !c.alive[td] {
 		return fmt.Errorf("xmlmodel: link %d→%d touches a removed document", from, to)
+	}
+	if from == to {
+		return nil
 	}
 	if fd == td {
 		c.Docs[fd].AddIntraLink(fl, tl)

@@ -21,8 +21,17 @@ type Snapshot struct {
 }
 
 func newSnapshot(src *core.Index) *Snapshot {
+	// Derive the posting index and cycle info on the live side first:
+	// maintenance keeps the postings warm through the delta stream, so
+	// every snapshot clone shares them as an immutable copy-on-write
+	// view (the live side copies before its next mutation) and the
+	// cycle info by pointer, instead of re-deriving O(|L|) state per
+	// snapshot. Warm on the clone only fills in what a Rebuild or
+	// structural change invalidated — outside any request path either
+	// way.
+	src.Warm()
 	cix := src.Clone()
-	cix.Warm() // build the backward maps outside any request path
+	cix.Warm()
 	return &Snapshot{
 		coll: &Collection{c: cix.Collection()},
 		ix:   cix,
@@ -85,9 +94,11 @@ func QueryRanked() QueryOption {
 
 // QueryCtx evaluates a path expression such as "//book//author"
 // against the snapshot. The // axis follows parent-child edges and all
-// links, crossing document boundaries. Evaluation polls ctx and
-// returns its error once it is cancelled; options select ranking and
-// result truncation.
+// links, crossing document boundaries; it matches over paths of length
+// ≥ 1, so an element is its own //-descendant only through a genuine
+// link cycle (on link-free trees //a//a is empty, as in XPath).
+// Evaluation polls ctx and returns its error once it is cancelled;
+// options select ranking and result truncation.
 func (s *Snapshot) QueryCtx(ctx context.Context, expr string, opts ...QueryOption) ([]QueryResult, error) {
 	var cfg queryConfig
 	for _, o := range opts {

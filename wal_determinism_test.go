@@ -1,0 +1,78 @@
+package hopi
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hopi/internal/core"
+	"hopi/internal/storage"
+	"hopi/internal/xmlmodel"
+)
+
+// TestDiffModifyWALByteStable encodes the ChangeLog of the same
+// logical DiffModify batch twice, through the real WAL framing, and
+// asserts the on-disk bytes are identical: the deterministic diff
+// order guarantees byte-stable WALs (and therefore byte-identical
+// replicas / replay streams) for identical inputs.
+func TestDiffModifyWALByteStable(t *testing.T) {
+	runOnce := func(path string) []byte {
+		c := xmlmodel.NewCollection()
+		d := xmlmodel.NewDocument("big.xml", "pub")
+		for i := 0; i < 12; i++ {
+			d.AddElement(0, "sec")
+		}
+		for i := int32(1); i <= 6; i++ {
+			d.AddIntraLink(i, i+1)
+		}
+		c.AddDocument(d)
+		ix, err := core.Build(c, core.Options{Partitioner: core.PartSingle, Join: core.JoinNewHBar, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd := d.Clone()
+		nd.IntraLinks = nil
+		nd.AddIntraLink(1, 2)
+		for i := int32(7); i <= 11; i++ {
+			nd.AddIntraLink(i, i-5)
+		}
+		log := ix.StartRecording()
+		if err := ix.DiffModify(0, nd); err != nil {
+			t.Fatal(err)
+		}
+		ix.StopRecording()
+
+		collBytes, err := encodeCollOps(log.Coll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, _, err := storage.OpenWAL(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AppendBatch(1, collBytes, log.Cover); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	dir := t.TempDir()
+	first := runOnce(filepath.Join(dir, "a.wal"))
+	if len(first) == 0 {
+		t.Fatal("empty WAL written")
+	}
+	for i := 0; i < 3; i++ {
+		next := runOnce(filepath.Join(dir, "b.wal"))
+		if !bytes.Equal(first, next) {
+			t.Fatalf("run %d: WAL bytes differ for identical logical batch (%d vs %d bytes)", i, len(first), len(next))
+		}
+		os.Remove(filepath.Join(dir, "b.wal"))
+	}
+}
