@@ -243,8 +243,11 @@ func (ix *Index) Apply(ctx context.Context, b *Batch) (*ApplyResult, error) {
 	attempted := false
 	defer func() {
 		// Invalidate the cached snapshot if any op ran at all — a
-		// failed op may still have mutated live state.
+		// failed op may still have mutated live state. Bumping the
+		// epoch (while still holding the write lock) retires every
+		// resume token issued against the pre-batch state.
 		if attempted {
+			ix.epoch.Add(1)
 			ix.cur.Store(nil)
 		}
 	}()

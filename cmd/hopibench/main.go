@@ -179,6 +179,17 @@ func main() {
 				benchResult{Name: "query/pairwise:" + name, QPS: row.PairQPS, NsPerOp: 1e9 / row.PairQPS},
 				benchResult{Name: "query/semijoin:" + name, QPS: row.SemiQPS, NsPerOp: 1e9 / row.SemiQPS, Speedup: row.Speedup})
 		}
+		for _, row := range qe.LimitRows {
+			name := row.Expr
+			if row.Ranked {
+				name += "(ranked)"
+			}
+			// speedup relates the limit-pushdown cursor to the same
+			// query fully materialized on the same engine
+			jsonResults = append(jsonResults,
+				benchResult{Name: fmt.Sprintf("query/limit%d:%s", row.Limit, name),
+					QPS: row.LimitQPS, NsPerOp: 1e9 / row.LimitQPS, Speedup: row.Speedup})
+		}
 		return experiments.RenderQueryMicro(r) + experiments.RenderQueryEval(qe), nil
 	})
 	run("load", "mixed query + maintenance workload (extension)", func() (string, error) {

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"hopi"
+)
+
+// defaultCacheSize bounds the prepared-statement cache. Entries are
+// tiny (a parsed expression), so the cap exists to bound adversarial
+// churn, not memory in the expected case.
+const defaultCacheSize = 256
+
+// stmtCache is an LRU cache of prepared queries keyed by expression
+// text: hot expressions parse once, not once per request. Prepared
+// queries are snapshot-independent, so cached entries stay valid
+// across maintenance batches.
+type stmtCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type stmtEntry struct {
+	expr string
+	pq   *hopi.PreparedQuery
+}
+
+func newStmtCache(capacity int) *stmtCache {
+	if capacity <= 0 {
+		capacity = defaultCacheSize
+	}
+	return &stmtCache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the prepared form of expr, parsing and caching it on
+// first use. Parse errors are returned and not cached (a malformed
+// expression should not be able to evict live entries).
+func (c *stmtCache) get(expr string) (*hopi.PreparedQuery, error) {
+	c.mu.Lock()
+	if el, ok := c.items[expr]; ok {
+		c.ll.MoveToFront(el)
+		pq := el.Value.(*stmtEntry).pq
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return pq, nil
+	}
+	c.mu.Unlock()
+
+	// Parse outside the lock; a concurrent miss on the same expression
+	// just parses twice and the second insert wins harmlessly.
+	pq, err := hopi.Prepare(expr)
+	if err != nil {
+		return nil, err
+	}
+	c.misses.Add(1)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[expr]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*stmtEntry).pq, nil
+	}
+	c.items[expr] = c.ll.PushFront(&stmtEntry{expr: expr, pq: pq})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*stmtEntry).expr)
+	}
+	return pq, nil
+}
+
+// len returns the number of cached statements.
+func (c *stmtCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -22,12 +22,22 @@
 // API:
 //
 //	GET    /query?expr=//article//author&limit=10&ranked=1
+//	GET    /query?expr=...&pageToken=...  (continue a page sequence)
+//	GET    /query/stream?expr=...         (NDJSON, one result per line)
+//	GET    /explain?expr=...&limit=10     (per-step execution plan)
 //	GET    /reach?from=pub00005.xml&to=pub00002.xml&distance=1
 //	GET    /stats
 //	POST   /docs?name=new.xml            (body: the XML document)
 //	DELETE /docs/{name}
 //	POST   /links                        {"from":"a.xml:3","to":"b.xml"}
 //	GET    /healthz
+//
+// Query responses carry count and, when the limit cut the result set
+// short, nextPageToken. Expressions are compiled once into an LRU
+// prepared-statement cache; limited queries stop evaluating once the
+// page is full (limit pushdown). Page tokens are bound to the snapshot
+// epoch: after any write they are rejected as stale (400) and the page
+// sequence restarts.
 //
 // Element addresses use the cmd-tool syntax: "doc.xml",
 // "doc.xml:localIndex", or "doc.xml#anchor".

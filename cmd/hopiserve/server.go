@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"hopi"
@@ -28,10 +29,16 @@ const (
 // server wires a hopi.Index into the HTTP API. Reads are served from
 // immutable snapshots, so queries keep running at full speed while
 // maintenance batches apply; writes go through Index.Apply, which
-// serializes them internally.
+// serializes them internally. Path expressions are compiled once into
+// an LRU prepared-statement cache and executed as cursors, so limited
+// and paginated queries stop evaluating once their page is full.
 type server struct {
 	ix       *hopi.Index
 	maxLimit int
+	cache    *stmtCache
+
+	queries  atomic.Uint64 // /query + /query/stream requests answered 200
+	streamed atomic.Uint64 // results written across both query endpoints
 }
 
 // newServer returns the HTTP handler for an index. maxLimit caps the
@@ -40,10 +47,12 @@ func newServer(ix *hopi.Index, maxLimit int) http.Handler {
 	if maxLimit <= 0 {
 		maxLimit = defaultMaxLimit
 	}
-	s := &server{ix: ix, maxLimit: maxLimit}
+	s := &server{ix: ix, maxLimit: maxLimit, cache: newStmtCache(defaultCacheSize)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /query/stream", s.handleQueryStream)
+	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /reach", s.handleReach)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /docs", s.handleInsertDoc)
@@ -90,6 +99,11 @@ type queryResponse struct {
 	Count         int           `json:"count"`
 	ElapsedMicros int64         `json:"elapsedMicros"`
 	Results       []queryResult `json:"results"`
+	// NextPageToken continues the result set where this page stopped:
+	// pass it back as pageToken. Present only when results remain. The
+	// token is bound to the query, the ranking mode, and the snapshot
+	// epoch — after a maintenance batch it is rejected as stale.
+	NextPageToken string `json:"nextPageToken,omitempty"`
 }
 
 type queryResult struct {
@@ -99,21 +113,17 @@ type queryResult struct {
 	Score   float64     `json:"score,omitempty"`
 }
 
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	expr := r.URL.Query().Get("expr")
-	if expr == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing expr parameter"))
-		return
-	}
-	limit := defaultQueryLimit
+// parseLimit applies the server's limit policy: positive integers
+// only, clamped to the -max-limit ceiling; omitted picks def.
+func (s *server) parseLimit(r *http.Request, def int) (int, error) {
+	limit := def
 	if limit > s.maxLimit {
 		limit = s.maxLimit
 	}
 	if v := r.URL.Query().Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n <= 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q: must be a positive integer", v))
-			return
+			return 0, fmt.Errorf("bad limit %q: must be a positive integer", v)
 		}
 		// clamp to the server-side ceiling instead of letting a client
 		// pull the full result set
@@ -122,28 +132,151 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
+	return limit, nil
+}
+
+// queryCursor compiles the request's expression through the statement
+// cache and opens a cursor for it. The returned status is the HTTP
+// code to use when err != nil.
+func (s *server) queryCursor(r *http.Request, limit int) (*hopi.Cursor, int, error) {
+	expr := r.URL.Query().Get("expr")
+	if expr == "" {
+		return nil, http.StatusBadRequest, fmt.Errorf("missing expr parameter")
+	}
+	pq, err := s.cache.get(expr)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
 	opts := []hopi.QueryOption{hopi.QueryLimit(limit)}
 	if boolParam(r, "ranked") {
 		opts = append(opts, hopi.QueryRanked())
 	}
-	start := time.Now()
-	res, err := s.ix.Snapshot().QueryCtx(r.Context(), expr, opts...)
+	if tok := r.URL.Query().Get("pageToken"); tok != "" {
+		opts = append(opts, hopi.QueryResume(tok))
+	}
+	cur, err := s.ix.Snapshot().Run(r.Context(), pq, opts...)
+	if err != nil {
+		// Malformed and stale tokens are both client errors (400); the
+		// error text distinguishes them (ErrStaleToken names the epoch
+		// change so clients know to restart the page sequence).
+		return nil, http.StatusBadRequest, err
+	}
+	return cur, 0, nil
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	limit, err := s.parseLimit(r, defaultQueryLimit)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	out := queryResponse{
-		Expr:          expr,
-		Count:         len(res),
-		ElapsedMicros: time.Since(start).Microseconds(),
-		Results:       make([]queryResult, 0, len(res)),
+	start := time.Now()
+	cur, code, err := s.queryCursor(r, limit)
+	if err != nil {
+		writeErr(w, code, err)
+		return
 	}
-	for _, m := range res {
+	defer cur.Close()
+	out := queryResponse{
+		Expr:    r.URL.Query().Get("expr"),
+		Results: make([]queryResult, 0, limit),
+	}
+	for cur.Next() {
+		m := cur.Result()
 		out.Results = append(out.Results, queryResult{
 			Element: m.Element, Doc: m.Doc, Tag: m.Tag, Score: m.Score,
 		})
 	}
+	if err := cur.Err(); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out.Count = len(out.Results)
+	out.ElapsedMicros = time.Since(start).Microseconds()
+	if cur.HasMore() {
+		out.NextPageToken = cur.Token()
+	}
+	s.queries.Add(1)
+	s.streamed.Add(uint64(out.Count))
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleQueryStream answers a query as NDJSON: one result object per
+// line, written (and flushed) as the cursor produces them, followed by
+// a trailing {"nextPageToken": ...} line when the limit cut the result
+// set short. Errors after the first line surface as an {"error": ...}
+// line.
+func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	// Streaming is the drain-everything endpoint: default to the
+	// server ceiling rather than the small page default.
+	limit, err := s.parseLimit(r, s.maxLimit)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	cur, code, err := s.queryCursor(r, limit)
+	if err != nil {
+		writeErr(w, code, err)
+		return
+	}
+	defer cur.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	n := 0
+	for cur.Next() {
+		m := cur.Result()
+		enc.Encode(queryResult{Element: m.Element, Doc: m.Doc, Tag: m.Tag, Score: m.Score})
+		n++
+		if flusher != nil && n%64 == 0 {
+			flusher.Flush()
+		}
+	}
+	if err := cur.Err(); err != nil {
+		enc.Encode(errorBody{Error: err.Error()})
+		return
+	}
+	if cur.HasMore() {
+		enc.Encode(map[string]string{"nextPageToken": cur.Token()})
+	}
+	s.queries.Add(1)
+	s.streamed.Add(uint64(n))
+}
+
+// handleExplain runs the expression (under the optional limit and
+// ranking) and reports the per-step execution plan: evaluator chosen,
+// candidate-set and frontier sizes, posting entries touched.
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	expr := r.URL.Query().Get("expr")
+	if expr == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing expr parameter"))
+		return
+	}
+	pq, err := s.cache.get(expr)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// Default 0 = explain the unlimited run; an explicit limit gets the
+	// same validation and -max-limit clamp as /query.
+	limit, err := s.parseLimit(r, 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var opts []hopi.QueryOption
+	if limit > 0 {
+		opts = append(opts, hopi.QueryLimit(limit))
+	}
+	if boolParam(r, "ranked") {
+		opts = append(opts, hopi.QueryRanked())
+	}
+	plan, err := s.ix.Snapshot().Explain(r.Context(), pq, opts...)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, plan)
 }
 
 type reachResponse struct {
@@ -196,6 +329,16 @@ type statsResponse struct {
 	AvgPerNode   float64 `json:"avgLabelsPerNode"`
 	StoredBytes  int64   `json:"storedBytes"`
 	DistinctHubs int     `json:"distinctHubs"`
+	// Epoch is the snapshot's maintenance-batch counter; resume tokens
+	// are valid only while it is unchanged.
+	Epoch uint64 `json:"epoch"`
+	// query-path counters: requests answered, results written, and the
+	// prepared-statement cache's effectiveness
+	QueriesServed   uint64 `json:"queriesServed"`
+	ResultsStreamed uint64 `json:"resultsStreamed"`
+	PreparedCached  int    `json:"preparedCached"`
+	PreparedHits    uint64 `json:"preparedHits"`
+	PreparedMisses  uint64 `json:"preparedMisses"`
 	// durable deployments (-store) report the write-ahead log state
 	Durable   bool   `json:"durable,omitempty"`
 	WALBytes  int64  `json:"walBytes,omitempty"`
@@ -207,13 +350,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	coll := snap.Collection()
 	labels := snap.Labels()
 	resp := statsResponse{
-		Docs:         coll.NumDocs(),
-		Elements:     coll.NumElements(),
-		Links:        coll.NumLinks(),
-		LabelEntries: labels.Entries,
-		AvgPerNode:   labels.AvgPerNode,
-		StoredBytes:  labels.StoredBytes,
-		DistinctHubs: labels.DistinctHubs,
+		Docs:            coll.NumDocs(),
+		Elements:        coll.NumElements(),
+		Links:           coll.NumLinks(),
+		LabelEntries:    labels.Entries,
+		AvgPerNode:      labels.AvgPerNode,
+		StoredBytes:     labels.StoredBytes,
+		DistinctHubs:    labels.DistinctHubs,
+		Epoch:           snap.Epoch(),
+		QueriesServed:   s.queries.Load(),
+		ResultsStreamed: s.streamed.Load(),
+		PreparedCached:  s.cache.len(),
+		PreparedHits:    s.cache.hits.Load(),
+		PreparedMisses:  s.cache.misses.Load(),
 	}
 	if walBytes, lastSeq, ok := s.ix.WALSize(); ok {
 		resp.Durable = true

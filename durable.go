@@ -204,6 +204,7 @@ func openDurable(path string) (*Index, error) {
 	}
 	coll := &Collection{c: c}
 	ix := &Index{coll: coll, ix: core.NewFromCover(c, cover)}
+	ix.epoch.Store(newEpoch())
 	ix.dur = &durableState{path: path, store: st, wal: wal, nextSeq: maxSeq + 1}
 	// fold the replayed tail into the store files and truncate the log,
 	// so the next crash has a short recovery again

@@ -37,10 +37,20 @@
 //     call. The per-operation maintenance methods on Index remain as
 //     single-op batches for compatibility.
 //
-// Queries accept a context and options: QueryCtx(ctx, expr,
-// QueryLimit(10), QueryRanked()) polls ctx inside the evaluation loops
-// and truncates results. cmd/hopiserve exposes the whole API as an
-// HTTP JSON service built on snapshots.
+// # Prepared queries, cursors, EXPLAIN
+//
+// Path expressions compile once with Prepare and execute as streaming
+// cursors: Snapshot.Run (or Index.Run) returns a *Cursor whose final
+// evaluation step stops early under QueryLimit (limit pushdown) and
+// whose Token/QueryResume pair paginates a result set across requests.
+// Tokens embed the snapshot epoch; maintenance retires them
+// (ErrStaleToken). Snapshot.Explain reports the per-step execution
+// plan. QueryCtx(ctx, expr, QueryLimit(10), QueryRanked()) remains as
+// a thin wrapper over Prepare+Run — it polls ctx inside the evaluation
+// loops and its limited result is exactly a prefix of the unlimited
+// one. cmd/hopiserve exposes the whole API as an HTTP JSON service
+// built on snapshots, with an LRU prepared-statement cache, paginated
+// and NDJSON-streaming query endpoints, and GET /explain.
 //
 // The index can be persisted to a page-based store with Save/Open —
 // or, with Create / Open(path, Durable()), kept attached to the store
@@ -53,6 +63,7 @@ package hopi
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -145,8 +156,18 @@ type Index struct {
 	coll   *Collection
 	ix     *core.Index
 	cur    atomic.Pointer[Snapshot] // latest published snapshot, nil after a batch
+	epoch  atomic.Uint64            // opaque version stamp; see newEpoch
 	dur    *durableState            // attached store backend, nil for in-memory indexes
 }
+
+// newEpoch seeds an index's version stamp. The epoch is bumped on
+// every maintenance batch and embedded in resume tokens; seeding it
+// randomly per index instance (rather than starting at zero) makes a
+// token from a different index, an earlier process, or a restarted
+// durable server fail ErrStaleToken instead of silently resuming over
+// different data — the counter would otherwise restart at zero and
+// collide.
+func newEpoch() uint64 { return rand.Uint64() }
 
 // Build constructs a HOPI index for the collection. The collection is
 // adopted as the index's live state: mutate it only through the
@@ -156,7 +177,9 @@ func Build(coll *Collection, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{coll: coll, ix: ix}, nil
+	h := &Index{coll: coll, ix: ix}
+	h.epoch.Store(newEpoch())
+	return h, nil
 }
 
 // Snapshot returns the current immutable snapshot, cloning the live
@@ -180,7 +203,7 @@ func (ix *Index) Snapshot() *Snapshot {
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	s := newSnapshot(ix.ix)
+	s := newSnapshot(ix.ix, ix.epoch.Load())
 	ix.cur.Store(s)
 	return s
 }
@@ -446,7 +469,9 @@ func Open(path string, opts ...OpenOption) (*Index, error) {
 		return nil, err
 	}
 	cix := core.NewFromCover(coll.c, cover)
-	return &Index{coll: coll, ix: cix}, nil
+	h := &Index{coll: coll, ix: cix}
+	h.epoch.Store(newEpoch())
+	return h, nil
 }
 
 // OpenStore opens the on-disk cover store directly for query-only

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -24,12 +25,27 @@ type QueryEvalRow struct {
 	AvgLatency time.Duration // semijoin per-query latency
 }
 
+// QueryLimitRow compares a fully materialized query against the same
+// query through the cursor with limit pushdown: the final step stops
+// expanding postings once Limit results are produced (streaming
+// ascending scan for plain queries, threshold top-k for ranked ones).
+type QueryLimitRow struct {
+	Expr     string
+	Ranked   bool
+	Limit    int
+	Matches  int     // full result size
+	FullQPS  float64 // fully materialized queries/sec ("before")
+	LimitQPS float64 // cursor with limit pushdown queries/sec ("after")
+	Speedup  float64
+}
+
 // QueryEvalResult is the path-query throughput comparison.
 type QueryEvalResult struct {
-	Docs     int
-	Elements int
-	Links    int
-	Rows     []QueryEvalRow
+	Docs      int
+	Elements  int
+	Links     int
+	Rows      []QueryEvalRow
+	LimitRows []QueryLimitRow
 }
 
 // queryEvalExprs are the descendant-heavy shapes the semijoin targets:
@@ -104,6 +120,68 @@ func QueryEval(cfg Config) (QueryEvalResult, error) {
 		PairQPS: pq, SemiQPS: sq, Speedup: sq / pq,
 		AvgLatency: time.Duration(float64(time.Second) / sq),
 	})
+
+	// Limit pushdown: the same queries with limit 10 through the
+	// cursor, against full materialization on the identical engine.
+	const pushLimit = 10
+	ctx := context.Background()
+	drain := func(q *query.Query, ranked bool) ([]int32, error) {
+		st, err := semi.Stream(ctx, q, query.StreamOpts{Limit: pushLimit, Ranked: ranked})
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+		var out []int32
+		for st.Next() {
+			out = append(out, st.Element())
+		}
+		return out, st.Err()
+	}
+	for _, expr := range queryEvalExprs {
+		q, err := query.Parse(expr)
+		if err != nil {
+			return QueryEvalResult{}, err
+		}
+		full := semi.Eval(q)
+		limited, err := drain(q, false)
+		if err != nil {
+			return QueryEvalResult{}, err
+		}
+		want := full
+		if len(want) > pushLimit {
+			want = want[:pushLimit]
+		}
+		if !slices.Equal(limited, want) {
+			return QueryEvalResult{}, fmt.Errorf("experiments: %s limit %d: cursor diverged from the materialized prefix", expr, pushLimit)
+		}
+		fullQPS := evalQPS(func() { semi.Eval(q) })
+		limQPS := evalQPS(func() { drain(q, false) }) //nolint:errcheck // errors caught above
+		res.LimitRows = append(res.LimitRows, QueryLimitRow{
+			Expr: expr, Limit: pushLimit, Matches: len(full),
+			FullQPS: fullQPS, LimitQPS: limQPS, Speedup: limQPS / fullQPS,
+		})
+	}
+	// ranked limit row: threshold top-k vs full pareto materialization
+	rq, _ := query.Parse("//article//author")
+	fullRanked, err := semi.EvalRanked(rq)
+	if err != nil {
+		return QueryEvalResult{}, err
+	}
+	limRanked, err := drain(rq, true)
+	if err != nil {
+		return QueryEvalResult{}, err
+	}
+	for i, el := range limRanked {
+		if el != fullRanked[i].Element {
+			return QueryEvalResult{}, fmt.Errorf("experiments: ranked limit %d: cursor diverged at %d", pushLimit, i)
+		}
+	}
+	fullQPS := evalQPS(func() { semi.EvalRanked(rq) }) //nolint:errcheck // errors caught above
+	limQPS := evalQPS(func() { drain(rq, true) })      //nolint:errcheck // errors caught above
+	res.LimitRows = append(res.LimitRows, QueryLimitRow{
+		Expr: "//article//author", Ranked: true, Limit: pushLimit, Matches: len(fullRanked),
+		FullQPS: fullQPS, LimitQPS: limQPS, Speedup: limQPS / fullQPS,
+	})
 	return res, nil
 }
 
@@ -140,5 +218,19 @@ func RenderQueryEval(r QueryEvalResult) string {
 			fmt.Sprintf("%.1fx", row.Speedup))
 	}
 	b.WriteString(t.String())
+	if len(r.LimitRows) > 0 {
+		b.WriteString("\nlimit pushdown: cursor with limit vs full materialization (same engine)\n")
+		lt := newTable("expr", "limit", "matches", "full q/s", "limit q/s", "speedup")
+		for _, row := range r.LimitRows {
+			expr := row.Expr
+			if row.Ranked {
+				expr += " (ranked)"
+			}
+			lt.row(expr, fmt.Sprint(row.Limit), fmt.Sprint(row.Matches),
+				fmt.Sprintf("%.1f", row.FullQPS), fmt.Sprintf("%.1f", row.LimitQPS),
+				fmt.Sprintf("%.1fx", row.Speedup))
+		}
+		b.WriteString(lt.String())
+	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"testing"
 
 	"hopi/internal/core"
@@ -73,4 +74,36 @@ func BenchmarkEvalRankedPairwise(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchStream drains a limit-10 cursor — the pushdown path the
+// full-materialization benchmarks above are the baseline for.
+func benchStream(b *testing.B, ranked bool, expr string) {
+	e := benchEngine(b, EvalSemijoin)
+	q, err := Parse(expr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := e.Stream(ctx, q, StreamOpts{Limit: 10, Ranked: ranked})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for st.Next() {
+		}
+		if err := st.Err(); err != nil {
+			b.Fatal(err)
+		}
+		st.Close()
+	}
+}
+
+func BenchmarkStreamLimit10(b *testing.B) {
+	benchStream(b, false, "//article//author")
+}
+
+func BenchmarkStreamRankedLimit10(b *testing.B) {
+	benchStream(b, true, "//article//author")
 }

@@ -1,0 +1,111 @@
+package query
+
+import "time"
+
+// EvalModeName is the evaluator a step actually ran with — the thing
+// EXPLAIN exists to reveal. "seed" is the first step (candidate
+// enumeration, no join); the "stream-*" and "topk" modes are the
+// cursor's limit-pushdown variants of the final step.
+const (
+	ModeSeed           = "seed"
+	ModeChild          = "child"
+	ModeSemijoin       = "semijoin"
+	ModePairwise       = "pairwise"
+	ModeRankedSemijoin = "ranked-semijoin"
+	ModeRankedPairwise = "ranked-pairwise"
+	ModeStreamSemijoin = "stream-semijoin"
+	ModeStreamChild    = "stream-child"
+	ModeStreamSeed     = "stream-seed"
+	ModeTopK           = "topk-semijoin"
+	ModeTopKBFS        = "topk-bfs"
+	ModeMaterialized   = "materialized"
+	ModeSkipped        = "skipped" // an earlier step emptied the frontier
+)
+
+// StepPlan reports how one location step was evaluated.
+type StepPlan struct {
+	// Axis is "/" or "//", Tag the step's tag test.
+	Axis string `json:"axis"`
+	Tag  string `json:"tag"`
+	// Mode is the evaluator the step ran with (Mode* constants).
+	Mode string `json:"mode"`
+	// Candidates is the size of the tag's candidate set.
+	Candidates int `json:"candidates"`
+	// FrontierIn/FrontierOut are the frontier sizes entering and
+	// leaving the step. For streamed final steps FrontierOut counts
+	// only the results actually emitted before the cursor stopped.
+	FrontierIn  int `json:"frontierIn"`
+	FrontierOut int `json:"frontierOut"`
+	// Postings counts posting-list and label entries scanned (probe
+	// count for the pairwise evaluator) — the step's I/O proxy.
+	Postings int `json:"postings"`
+	// Centers is the number of distinct centers the semijoin expanded
+	// (0 for non-semijoin modes).
+	Centers int `json:"centers,omitempty"`
+}
+
+// record fills the step's summary fields; nil-safe so the non-explain
+// hot path pays only a pointer test.
+func (sp *StepPlan) record(mode string, cands, in, out int) {
+	if sp == nil {
+		return
+	}
+	sp.Mode = mode
+	sp.Candidates = cands
+	sp.FrontierIn = in
+	sp.FrontierOut = out
+}
+
+// touch adds to the step's postings-scanned counter; nil-safe.
+func (sp *StepPlan) touch(n int) {
+	if sp != nil {
+		sp.Postings += n
+	}
+}
+
+// Plan is the EXPLAIN report of one query execution: which evaluator
+// each step chose, how large the frontiers were, and how many posting
+// entries were scanned. A plan describes an actual run — with a limit,
+// the final step's numbers reflect the pushdown, not the full result.
+type Plan struct {
+	Expr    string        `json:"expr"`
+	Ranked  bool          `json:"ranked"`
+	Limit   int           `json:"limit,omitempty"`
+	Matches int           `json:"matches"` // results emitted by the run
+	Elapsed time.Duration `json:"elapsedNanos"`
+	Steps   []StepPlan    `json:"steps"`
+}
+
+// newPlan pre-sizes a plan with one StepPlan per query step, axis and
+// tag filled in.
+func newPlan(q *Query, ranked bool, limit int) *Plan {
+	p := &Plan{Expr: q.String(), Ranked: ranked, Limit: limit, Steps: make([]StepPlan, len(q.Steps))}
+	for i, s := range q.Steps {
+		p.Steps[i].Tag = s.Tag
+		p.Steps[i].Axis = "/"
+		if s.Axis == AxisDescendant {
+			p.Steps[i].Axis = "//"
+		}
+	}
+	return p
+}
+
+// step returns the i-th step's collector, or nil when no plan is being
+// recorded (the hot path).
+func (p *Plan) step(i int) *StepPlan {
+	if p == nil {
+		return nil
+	}
+	return &p.Steps[i]
+}
+
+// skipFrom marks steps from i on as skipped (an earlier step produced
+// an empty frontier, so they never ran).
+func (p *Plan) skipFrom(i int) {
+	if p == nil {
+		return
+	}
+	for ; i < len(p.Steps); i++ {
+		p.Steps[i].Mode = ModeSkipped
+	}
+}

@@ -1,0 +1,58 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the parser never panics, and for every accepted
+// expression both String() and Canonical() re-parse to a query with
+// identical steps (the prepared-statement cache and resume tokens rely
+// on the canonical form being stable).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"//a//b", "/bib/book//author", "//*//author", "/r", "//x",
+		"//a//a", "/a/b/c", "//-", "//a_b.c//d-e", "", "/", "//", "a//b",
+		"//a b", "///", "//a///b", " //a//b ", "//*", "/*//*", "//a\x00b",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		q, err := Parse(expr)
+		if err != nil {
+			return
+		}
+		if len(q.Steps) == 0 {
+			t.Fatalf("Parse(%q): accepted with zero steps", expr)
+		}
+		for _, via := range []string{q.String(), q.Canonical()} {
+			q2, err := Parse(via)
+			if err != nil {
+				t.Fatalf("Parse(%q) ok but re-parse of %q failed: %v", expr, via, err)
+			}
+			if !q.Equal(q2) {
+				t.Fatalf("Parse(%q) steps %v != re-parse of %q steps %v", expr, q.Steps, via, q2.Steps)
+			}
+		}
+		// the canonical form must itself be canonical
+		q3, _ := Parse(q.Canonical())
+		if c := q3.Canonical(); c != q.Canonical() {
+			t.Fatalf("canonical not stable: %q vs %q", q.Canonical(), c)
+		}
+		// accepted tags contain only name runes (or are "*") — the
+		// invariant the canonical renderer depends on
+		for _, s := range q.Steps {
+			if s.Tag == "*" {
+				continue
+			}
+			for _, r := range s.Tag {
+				if !isNameRune(r) {
+					t.Fatalf("Parse(%q): tag %q contains non-name rune %q", expr, s.Tag, r)
+				}
+			}
+			if strings.Contains(s.Tag, "/") {
+				t.Fatalf("Parse(%q): tag %q contains a slash", expr, s.Tag)
+			}
+		}
+	})
+}

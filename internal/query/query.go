@@ -65,8 +65,44 @@ type Query struct {
 	text  string
 }
 
-// String returns the original expression.
-func (q *Query) String() string { return q.text }
+// String returns the original expression, or the canonical form for
+// queries constructed without one.
+func (q *Query) String() string {
+	if q.text == "" {
+		return q.Canonical()
+	}
+	return q.text
+}
+
+// Canonical renders the parsed steps back into an expression. Parsing
+// the canonical form yields a query with equal steps — the round-trip
+// property the parser fuzzer asserts.
+func (q *Query) Canonical() string {
+	var b strings.Builder
+	for _, s := range q.Steps {
+		if s.Axis == AxisDescendant {
+			b.WriteString("//")
+		} else {
+			b.WriteString("/")
+		}
+		b.WriteString(s.Tag)
+	}
+	return b.String()
+}
+
+// Equal reports whether two queries have identical steps (the
+// expression text is presentation only).
+func (q *Query) Equal(o *Query) bool {
+	if len(q.Steps) != len(o.Steps) {
+		return false
+	}
+	for i, s := range q.Steps {
+		if o.Steps[i] != s {
+			return false
+		}
+	}
+	return true
+}
 
 // Parse parses expressions of the form
 //
@@ -157,9 +193,27 @@ type Engine struct {
 	// nothing while staying safe for concurrent readers.
 	scratch *graph.BitsetPool
 
+	// eg lazily caches the element digraph for the uniform-score ranked
+	// top-k (k-bounded multi-source BFS); most snapshots never pay for
+	// it. Guarded by egMu for concurrent readers.
+	egMu sync.Mutex
+	eg   *graph.Digraph
+
 	// mode selects the descendant-step evaluator; EvalAuto picks per
 	// step size.
 	mode EvalMode
+}
+
+// elementGraph returns the collection's element digraph, built on
+// first use and cached for the engine's lifetime (engines are immutable
+// after construction; Refresh drops the cache).
+func (e *Engine) elementGraph() *graph.Digraph {
+	e.egMu.Lock()
+	defer e.egMu.Unlock()
+	if e.eg == nil {
+		e.eg = e.coll.ElementGraph()
+	}
+	return e.eg
 }
 
 // EvalMode selects how // steps are evaluated.
@@ -199,6 +253,9 @@ func (e *Engine) Refresh() {
 	e.tags = e.coll.ElementsByTag()
 	e.n = e.coll.NumAllocatedIDs()
 	e.tagBits = sync.Map{}
+	e.egMu.Lock()
+	e.eg = nil
+	e.egMu.Unlock()
 	e.allBits = graph.NewBitset(e.n)
 	var all []int32
 	for _, ids := range e.tags {
@@ -291,17 +348,22 @@ func (e *Engine) Eval(q *Query) []int32 {
 // poll ctx and abandon the evaluation once it is done, returning
 // ctx's error.
 func (e *Engine) EvalCtx(ctx context.Context, q *Query) ([]int32, error) {
+	return e.evalCtx(ctx, q, nil)
+}
+
+func (e *Engine) evalCtx(ctx context.Context, q *Query, plan *Plan) ([]int32, error) {
 	cc := &canceller{ctx: ctx}
-	frontier := e.initialFrontier(q)
+	frontier := e.initialFrontier(q, plan.step(0))
 	for si := 1; si < len(q.Steps); si++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if len(frontier) == 0 {
+			plan.skipFrom(si)
 			return nil, nil
 		}
 		var err error
-		frontier, err = e.advance(frontier, q.Steps[si], cc)
+		frontier, err = e.advance(frontier, q.Steps[si], cc, plan.step(si))
 		if err != nil {
 			return nil, err
 		}
@@ -310,7 +372,7 @@ func (e *Engine) EvalCtx(ctx context.Context, q *Query) ([]int32, error) {
 	return frontier, nil
 }
 
-func (e *Engine) initialFrontier(q *Query) []int32 {
+func (e *Engine) initialFrontier(q *Query, sp *StepPlan) []int32 {
 	first := q.Steps[0]
 	cands := e.candidates(first.Tag)
 	var out []int32
@@ -320,10 +382,11 @@ func (e *Engine) initialFrontier(q *Query) []int32 {
 		}
 		out = append(out, id)
 	}
+	sp.record(ModeSeed, len(cands), 0, len(out))
 	return out
 }
 
-func (e *Engine) advance(frontier []int32, step Step, cc *canceller) ([]int32, error) {
+func (e *Engine) advance(frontier []int32, step Step, cc *canceller, sp *StepPlan) ([]int32, error) {
 	cands := e.candidates(step.Tag)
 	if step.Axis == AxisChild {
 		inFrontier := e.scratch.Get(e.scratchSize())
@@ -340,12 +403,13 @@ func (e *Engine) advance(frontier []int32, step Step, cc *canceller) ([]int32, e
 				out = append(out, c)
 			}
 		}
+		sp.record(ModeChild, len(cands), len(frontier), len(out))
 		return out, nil
 	}
 	if e.mode == EvalPairwise || (e.mode == EvalAuto && len(frontier)*len(cands) <= pairwiseCutoff) {
-		return e.advancePairwise(frontier, cands, cc)
+		return e.advancePairwise(frontier, cands, cc, sp)
 	}
-	return e.advanceSemijoin(frontier, e.candidateBits(step.Tag), cc)
+	return e.advanceSemijoin(frontier, e.candidateBits(step.Tag), len(cands), cc, sp)
 }
 
 // advanceSemijoin evaluates one // step set-at-a-time over the
@@ -359,7 +423,7 @@ func (e *Engine) advance(frontier []int32, step Step, cc *canceller) ([]int32, e
 //	result := acc ∩ candidates(tag)
 //
 // which enumerates exactly {c : ∃f ∈ F, f →⁺ c} by the cover property.
-func (e *Engine) advanceSemijoin(frontier []int32, tagSet graph.Bitset, cc *canceller) ([]int32, error) {
+func (e *Engine) advanceSemijoin(frontier []int32, tagSet graph.Bitset, ncands int, cc *canceller, sp *StepPlan) ([]int32, error) {
 	post := e.ix.Postings().Postings()
 	cov := e.ix.Cover()
 	cyclic := e.ix.CyclicSet()
@@ -368,6 +432,7 @@ func (e *Engine) advanceSemijoin(frontier []int32, tagSet graph.Bitset, cc *canc
 	centers := e.scratch.Get(e.scratchSize())
 	defer e.scratch.Put(centers)
 
+	touched := 0
 	for _, f := range frontier {
 		if err := cc.check(); err != nil {
 			return nil, err
@@ -378,6 +443,7 @@ func (e *Engine) advanceSemijoin(frontier []int32, tagSet graph.Bitset, cc *canc
 		for _, en := range cov.Out[f] {
 			centers.Set(int(en.Center))
 		}
+		touched += len(cov.Out[f]) + len(post.InOwners(f))
 		for _, c := range post.InOwners(f) {
 			acc.Set(int(c))
 		}
@@ -388,6 +454,7 @@ func (e *Engine) advanceSemijoin(frontier []int32, tagSet graph.Bitset, cc *canc
 			err = cerr
 			return false
 		}
+		touched += len(post.InOwners(int32(x)))
 		for _, c := range post.InOwners(int32(x)) {
 			acc.Set(int(c))
 		}
@@ -396,28 +463,38 @@ func (e *Engine) advanceSemijoin(frontier []int32, tagSet graph.Bitset, cc *canc
 	if err != nil {
 		return nil, err
 	}
+	if sp != nil {
+		sp.Centers = centers.Count()
+	}
 	acc.Or(centers)
 	acc.And(tagSet)
-	return acc.Elements(nil), nil
+	out := acc.Elements(nil)
+	sp.record(ModeSemijoin, ncands, len(frontier), len(out))
+	sp.touch(touched)
+	return out, nil
 }
 
 // advancePairwise is the tuple-at-a-time fallback: probe each
 // (frontier, candidate) pair against the index. Wins only when the
 // product is tiny; also serves as the reference implementation for the
 // equivalence tests.
-func (e *Engine) advancePairwise(frontier, cands []int32, cc *canceller) ([]int32, error) {
+func (e *Engine) advancePairwise(frontier, cands []int32, cc *canceller, sp *StepPlan) ([]int32, error) {
 	var out []int32
+	probes := 0
 	for _, c := range cands {
 		for _, f := range frontier {
 			if err := cc.check(); err != nil {
 				return nil, err
 			}
+			probes++
 			if e.ix.ReachesProper(f, c) {
 				out = append(out, c)
 				break
 			}
 		}
 	}
+	sp.record(ModePairwise, len(cands), len(frontier), len(out))
+	sp.touch(probes)
 	return out, nil
 }
 
@@ -439,57 +516,82 @@ type state struct {
 // EvalRankedCtx is EvalRanked with cooperative cancellation, mirroring
 // EvalCtx.
 func (e *Engine) EvalRankedCtx(ctx context.Context, q *Query) ([]Match, error) {
+	frontier, err := e.rankedFrontier(ctx, q, len(q.Steps), nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, 0, len(frontier))
+	for id, st := range frontier {
+		out = append(out, Match{Element: id, Score: st.score, Path: st.path})
+	}
+	sortMatches(out)
+	return out, nil
+}
+
+// rankedFrontier evaluates the first `upto` steps of a ranked query
+// and returns the resulting frontier states. The cursor path uses
+// upto = len(Steps)-1 to stop before the final step, which it then
+// evaluates with top-k pushdown.
+func (e *Engine) rankedFrontier(ctx context.Context, q *Query, upto int, plan *Plan) (map[int32]state, error) {
 	cc := &canceller{ctx: ctx}
 	frontier := map[int32]state{}
-	for _, id := range e.initialFrontier(q) {
+	for _, id := range e.initialFrontier(q, plan.step(0)) {
 		frontier[id] = state{score: 1, path: []int32{id}}
 	}
-	for si := 1; si < len(q.Steps); si++ {
+	for si := 1; si < upto; si++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if len(frontier) == 0 {
+			plan.skipFrom(si)
 			break
 		}
 		step := q.Steps[si]
-		// Ranked descendant steps need label distances. Fail uniformly
-		// on non-distance indexes — independent of evaluator choice or
-		// collection size — instead of the semijoin reading meaningless
-		// Dist fields.
-		if step.Axis == AxisDescendant && len(e.candidates(step.Tag)) > 0 && !e.ix.Cover().WithDist {
-			return nil, fmt.Errorf("query: ranked evaluation of %q: index built without distance information", q.text)
+		if err := e.checkRankedStep(q, step); err != nil {
+			return nil, err
 		}
 		var (
 			next map[int32]state
 			err  error
 		)
 		if step.Axis == AxisChild {
-			next, err = e.advanceRankedChild(frontier, step, cc)
+			next, err = e.advanceRankedChild(frontier, step, cc, plan.step(si))
 		} else if e.mode == EvalPairwise ||
 			(e.mode == EvalAuto && len(frontier)*len(e.candidates(step.Tag)) <= pairwiseCutoff) {
-			next, err = e.advanceRankedPairwise(frontier, step, cc)
+			next, err = e.advanceRankedPairwise(frontier, step, cc, plan.step(si))
 		} else {
-			next, err = e.advanceRankedSemijoin(frontier, step, cc)
+			next, err = e.advanceRankedSemijoin(frontier, step, cc, plan.step(si))
 		}
 		if err != nil {
 			return nil, err
 		}
 		frontier = next
 	}
-	out := make([]Match, 0, len(frontier))
-	for id, st := range frontier {
-		out = append(out, Match{Element: id, Score: st.score, Path: st.path})
+	return frontier, nil
+}
+
+// checkRankedStep fails ranked descendant steps uniformly on
+// non-distance indexes — independent of evaluator choice or collection
+// size — instead of the semijoin reading meaningless Dist fields.
+func (e *Engine) checkRankedStep(q *Query, step Step) error {
+	if step.Axis == AxisDescendant && len(e.candidates(step.Tag)) > 0 && !e.ix.Cover().WithDist {
+		return fmt.Errorf("query: ranked evaluation of %q: index built without distance information", q.String())
 	}
+	return nil
+}
+
+// sortMatches orders ranked matches by descending score, ties by
+// ascending element ID — the canonical ranked result order.
+func sortMatches(out []Match) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
 		}
 		return out[i].Element < out[j].Element
 	})
-	return out, nil
 }
 
-func (e *Engine) advanceRankedChild(frontier map[int32]state, step Step, cc *canceller) (map[int32]state, error) {
+func (e *Engine) advanceRankedChild(frontier map[int32]state, step Step, cc *canceller, sp *StepPlan) (map[int32]state, error) {
 	next := map[int32]state{}
 	for _, c := range e.candidates(step.Tag) {
 		if err := cc.check(); err != nil {
@@ -508,20 +610,23 @@ func (e *Engine) advanceRankedChild(frontier map[int32]state, step Step, cc *can
 			path:  appendPath(st.path, c),
 		}
 	}
+	sp.record(ModeChild, len(e.candidates(step.Tag)), len(frontier), len(next))
 	return next, nil
 }
 
 // advanceRankedPairwise mirrors the pairwise boolean evaluator with
 // distances: per candidate, the best score over all frontier elements.
 // Self-matches use the shortest cycle length.
-func (e *Engine) advanceRankedPairwise(frontier map[int32]state, step Step, cc *canceller) (map[int32]state, error) {
+func (e *Engine) advanceRankedPairwise(frontier map[int32]state, step Step, cc *canceller, sp *StepPlan) (map[int32]state, error) {
 	next := map[int32]state{}
+	probes := 0
 	for _, c := range e.candidates(step.Tag) {
 		best := state{score: -1}
 		for f, st := range frontier {
 			if err := cc.check(); err != nil {
 				return nil, err
 			}
+			probes++
 			var d uint32
 			if c == f {
 				d = e.ix.CycleDistance(f)
@@ -543,6 +648,8 @@ func (e *Engine) advanceRankedPairwise(frontier map[int32]state, step Step, cc *
 			next[c] = best
 		}
 	}
+	sp.record(ModeRankedPairwise, len(e.candidates(step.Tag)), len(frontier), len(next))
+	sp.touch(probes)
 	return next, nil
 }
 
@@ -565,6 +672,19 @@ type arrival struct {
 type centerArrivals struct {
 	implicit *arrival
 	rest     []arrival
+	// pruned marks rest as already pareto-pruned: the top-k path prunes
+	// lazily, only for centers that exact scoring actually consults.
+	pruned bool
+}
+
+// prunedRest returns the pareto-pruned arrival list, pruning on first
+// use.
+func (ca *centerArrivals) prunedRest() []arrival {
+	if !ca.pruned {
+		ca.rest = paretoPrune(ca.rest)
+		ca.pruned = true
+	}
+	return ca.rest
 }
 
 // advanceRankedSemijoin replaces the O(|F|×|C|) Distance loop with a
@@ -575,13 +695,75 @@ type centerArrivals struct {
 // analogue of the boolean semijoin, computing exactly
 // max_f score_f / (1 + dist(f, c)) with dist the §5.1 minimum over
 // label pairs.
-func (e *Engine) advanceRankedSemijoin(frontier map[int32]state, step Step, cc *canceller) (map[int32]state, error) {
+func (e *Engine) advanceRankedSemijoin(frontier map[int32]state, step Step, cc *canceller, sp *StepPlan) (map[int32]state, error) {
 	cov := e.ix.Cover()
 	post := e.ix.Postings().Postings()
 	cyclic := e.ix.CyclicSet()
 	tagSet := e.candidateBits(step.Tag)
 
 	// Phase 1: distribute the frontier over its centers.
+	arrivals, err := e.distributeArrivals(frontier, cc)
+	if err != nil {
+		return nil, err
+	}
+	touched := 0
+	for f := range frontier {
+		touched += len(cov.Out[f])
+	}
+	// Phase 2: gather candidates and prune arrival lists.
+	cands := e.scratch.Get(e.scratchSize())
+	defer e.scratch.Put(cands)
+	for x, ca := range arrivals {
+		if err := cc.check(); err != nil {
+			return nil, err
+		}
+		if len(ca.prunedRest()) > 0 {
+			cands.Set(int(x)) // direct: x ∈ Lout(f)
+		}
+		touched += len(post.InOwners(x))
+		for _, c := range post.InOwners(x) {
+			cands.Set(int(c))
+		}
+	}
+	for f := range frontier {
+		if cyclic.Has(int(f)) {
+			cands.Set(int(f))
+		}
+	}
+	cands.And(tagSet)
+
+	// Phase 3: score each candidate over its Lin side.
+	next := map[int32]state{}
+	cands.ForEach(func(ci int) bool {
+		if cerr := cc.check(); cerr != nil {
+			err = cerr
+			return false
+		}
+		c := int32(ci)
+		touched += len(cov.In[c])
+		best := e.scoreCandidate(c, arrivals, frontier)
+		if best.score > 0 {
+			st := frontier[best.from]
+			next[c] = state{score: best.score, path: appendPath(st.path, c)}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sp != nil {
+		sp.Centers = len(arrivals)
+	}
+	sp.record(ModeRankedSemijoin, len(e.candidates(step.Tag)), len(frontier), len(next))
+	sp.touch(touched)
+	return next, nil
+}
+
+// distributeArrivals runs phase 1 of the ranked semijoin: every
+// frontier element is an implicit zero-distance arrival at itself and a
+// stored arrival at each of its Lout centers.
+func (e *Engine) distributeArrivals(frontier map[int32]state, cc *canceller) (map[int32]*centerArrivals, error) {
+	cov := e.ix.Cover()
 	arrivals := map[int32]*centerArrivals{}
 	at := func(x int32) *centerArrivals {
 		ca := arrivals[x]
@@ -602,85 +784,54 @@ func (e *Engine) advanceRankedSemijoin(frontier map[int32]state, step Step, cc *
 			ca.rest = append(ca.rest, arrival{score: st.score, dist: en.Dist, from: f})
 		}
 	}
-	// Phase 2: gather candidates and prune arrival lists.
-	cands := e.scratch.Get(e.scratchSize())
-	defer e.scratch.Put(cands)
-	for x, ca := range arrivals {
-		if err := cc.check(); err != nil {
-			return nil, err
-		}
-		ca.rest = paretoPrune(ca.rest)
-		if len(ca.rest) > 0 {
-			cands.Set(int(x)) // direct: x ∈ Lout(f)
-		}
-		for _, c := range post.InOwners(x) {
-			cands.Set(int(c))
-		}
-	}
-	for f := range frontier {
-		if cyclic.Has(int(f)) {
-			cands.Set(int(f))
-		}
-	}
-	cands.And(tagSet)
+	return arrivals, nil
+}
 
-	// Phase 3: score each candidate over its Lin side.
-	next := map[int32]state{}
-	var err error
-	cands.ForEach(func(ci int) bool {
-		if cerr := cc.check(); cerr != nil {
-			err = cerr
-			return false
+// scoreCandidate computes a candidate's exact best arrival over the
+// full arrivals map — direct Lout hits, the Lin-side join, and the
+// cyclic self-match. It considers every path regardless of which
+// centers a caller has expanded, so partial (top-k) evaluation scores
+// candidates exactly.
+func (e *Engine) scoreCandidate(c int32, arrivals map[int32]*centerArrivals, frontier map[int32]state) arrival {
+	best := arrival{score: -1}
+	consider := func(a arrival, linDist uint32) {
+		if s := a.score / float64(1+a.dist+linDist); s > best.score {
+			best = arrival{score: s, dist: a.dist + linDist, from: a.from}
 		}
-		c := int32(ci)
-		best := arrival{score: -1}
-		consider := func(a arrival, linDist uint32) {
-			if s := a.score / float64(1+a.dist+linDist); s > best.score {
-				best = arrival{score: s, dist: a.dist + linDist, from: a.from}
-			}
-		}
-		// direct c ∈ Lout(f): arrivals at center c itself, Lin side
-		// implicit (distance 0). Lout-derived arrivals at center c
-		// always come from f ≠ c, so no self path sneaks in; the
-		// implicit arrival IS c's own and is skipped.
-		if ca := arrivals[c]; ca != nil {
-			for _, a := range ca.rest {
-				consider(a, 0)
-			}
-		}
-		// f ∈ Lin(c) and Lout(f) ∩ Lin(c): every stored Lin entry of c
-		// joins the arrivals at its center. en.Center ≠ c (self entries
-		// are never stored), so the implicit arrival is usable here.
-		for _, en := range cov.In[c] {
-			ca := arrivals[en.Center]
-			if ca == nil {
-				continue
-			}
-			if ca.implicit != nil {
-				consider(*ca.implicit, en.Dist)
-			}
-			for _, a := range ca.rest {
-				consider(a, en.Dist)
-			}
-		}
-		// cyclic self-match: c reaches itself over its shortest cycle.
-		if st, ok := frontier[c]; ok {
-			if d := e.ix.CycleDistance(c); d != graph.InfDist && d != 0 {
-				if s := st.score / float64(1+d); s > best.score {
-					best = arrival{score: s, from: c}
-				}
-			}
-		}
-		if best.score > 0 {
-			st := frontier[best.from]
-			next[c] = state{score: best.score, path: appendPath(st.path, c)}
-		}
-		return true
-	})
-	if err != nil {
-		return nil, err
 	}
-	return next, nil
+	// direct c ∈ Lout(f): arrivals at center c itself, Lin side
+	// implicit (distance 0). Lout-derived arrivals at center c
+	// always come from f ≠ c, so no self path sneaks in; the
+	// implicit arrival IS c's own and is skipped.
+	if ca := arrivals[c]; ca != nil {
+		for _, a := range ca.prunedRest() {
+			consider(a, 0)
+		}
+	}
+	// f ∈ Lin(c) and Lout(f) ∩ Lin(c): every stored Lin entry of c
+	// joins the arrivals at its center. en.Center ≠ c (self entries
+	// are never stored), so the implicit arrival is usable here.
+	for _, en := range e.ix.Cover().In[c] {
+		ca := arrivals[en.Center]
+		if ca == nil {
+			continue
+		}
+		if ca.implicit != nil {
+			consider(*ca.implicit, en.Dist)
+		}
+		for _, a := range ca.prunedRest() {
+			consider(a, en.Dist)
+		}
+	}
+	// cyclic self-match: c reaches itself over its shortest cycle.
+	if st, ok := frontier[c]; ok {
+		if d := e.ix.CycleDistance(c); d != graph.InfDist && d != 0 {
+			if s := st.score / float64(1+d); s > best.score {
+				best = arrival{score: s, from: c}
+			}
+		}
+	}
+	return best
 }
 
 // paretoPrune sorts arrivals by (dist asc, score desc) and keeps only

@@ -1,0 +1,297 @@
+package query
+
+import (
+	"context"
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+
+	"hopi/internal/core"
+	"hopi/internal/gen"
+)
+
+// drainStream collects a stream's results.
+func drainStream(t *testing.T, e *Engine, q *Query, opts StreamOpts) []Match {
+	t.Helper()
+	st, err := e.Stream(context.Background(), q, opts)
+	if err != nil {
+		t.Fatalf("%s: stream: %v", q.String(), err)
+	}
+	defer st.Close()
+	var out []Match
+	for st.Next() {
+		out = append(out, Match{Element: st.Element(), Score: st.Score(), Path: st.Path()})
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("%s: stream err: %v", q.String(), err)
+	}
+	return out
+}
+
+func matchElems(ms []Match) []int32 {
+	out := make([]int32, len(ms))
+	for i, m := range ms {
+		out[i] = m.Element
+	}
+	return out
+}
+
+// TestStreamEquivalence: on random cyclic collections, draining a
+// stream with every limit and from every resume point yields exactly
+// the corresponding slice of the batch evaluator's result — plain and
+// ranked, in both auto and forced-semijoin mode.
+func TestStreamEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		c := cyclicCollection(seed)
+		ix, err := core.Build(c, core.Options{
+			Partitioner: core.PartSingle, Join: core.JoinNewHBar, WithDistance: true, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, mode := range []EvalMode{EvalAuto, EvalSemijoin} {
+			e := NewEngine(c, ix)
+			e.SetEvalMode(mode)
+			for _, expr := range equivExprs() {
+				q, err := Parse(expr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				full := e.Eval(q)
+				fullRanked, err := e.EvalRanked(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// every limit from 0 (unlimited) past the result size
+				for limit := 0; limit <= len(full)+2; limit++ {
+					got := matchElems(drainStream(t, e, q, StreamOpts{Limit: limit}))
+					want := full
+					if limit > 0 && limit < len(full) {
+						want = full[:limit]
+					}
+					if !slices.Equal(got, want) {
+						t.Fatalf("seed %d mode %v %q limit %d: got %v, want %v", seed, mode, expr, limit, got, want)
+					}
+				}
+				// resume from every position: the tail after element full[i]
+				for i := 0; i < len(full); i++ {
+					lim := rng.Intn(len(full) + 1)
+					got := drainStream(t, e, q, StreamOpts{Limit: lim, HasAfter: true, After: full[i]})
+					want := full[i+1:]
+					if lim > 0 && lim < len(want) {
+						want = want[:lim]
+					}
+					if !slices.Equal(matchElems(got), want) {
+						t.Fatalf("seed %d mode %v %q resume after %d limit %d: got %v, want %v",
+							seed, mode, expr, full[i], lim, matchElems(got), want)
+					}
+				}
+
+				// ranked: limited results are an exact prefix (elements AND
+				// scores) of the materialized ranking
+				for limit := 0; limit <= len(fullRanked)+2; limit++ {
+					got := drainStream(t, e, q, StreamOpts{Ranked: true, Limit: limit})
+					want := fullRanked
+					if limit > 0 && limit < len(fullRanked) {
+						want = fullRanked[:limit]
+					}
+					if len(got) != len(want) {
+						t.Fatalf("seed %d mode %v %q ranked limit %d: got %d matches, want %d",
+							seed, mode, expr, limit, len(got), len(want))
+					}
+					for j := range got {
+						if got[j].Element != want[j].Element || got[j].Score != want[j].Score {
+							t.Fatalf("seed %d mode %v %q ranked limit %d: [%d] = (%d, %g), want (%d, %g)",
+								seed, mode, expr, limit, j, got[j].Element, got[j].Score, want[j].Element, want[j].Score)
+						}
+					}
+				}
+				// ranked resume from every position
+				for i := 0; i < len(fullRanked); i++ {
+					lim := 1 + rng.Intn(len(fullRanked)+1)
+					got := drainStream(t, e, q, StreamOpts{
+						Ranked: true, Limit: lim,
+						HasAfter: true, After: fullRanked[i].Element, AfterScore: fullRanked[i].Score,
+					})
+					want := fullRanked[i+1:]
+					if lim < len(want) {
+						want = want[:lim]
+					}
+					if len(got) != len(want) {
+						t.Fatalf("seed %d mode %v %q ranked resume %d limit %d: got %d, want %d",
+							seed, mode, expr, i, lim, len(got), len(want))
+					}
+					for j := range got {
+						if got[j].Element != want[j].Element || got[j].Score != want[j].Score {
+							t.Fatalf("seed %d mode %v %q ranked resume %d: [%d] diverged", seed, mode, expr, i, j)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamForcedPairwise: the materialized fallback path (forced
+// pairwise mode) agrees with the pushdown path on limits and resume.
+func TestStreamForcedPairwise(t *testing.T) {
+	c := cyclicCollection(3)
+	ix, err := core.Build(c, core.Options{
+		Partitioner: core.PartSingle, Join: core.JoinNewHBar, WithDistance: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := NewEngine(c, ix)
+	pair.SetEvalMode(EvalPairwise)
+	semi := NewEngine(c, ix)
+	semi.SetEvalMode(EvalSemijoin)
+	for _, expr := range equivExprs() {
+		q, _ := Parse(expr)
+		full := pair.Eval(q)
+		for _, ranked := range []bool{false, true} {
+			for limit := 1; limit <= len(full)+1; limit++ {
+				a := drainStream(t, pair, q, StreamOpts{Limit: limit, Ranked: ranked})
+				b := drainStream(t, semi, q, StreamOpts{Limit: limit, Ranked: ranked})
+				if len(a) != len(b) {
+					t.Fatalf("%q ranked=%v limit %d: pairwise %d vs semijoin %d results", expr, ranked, limit, len(a), len(b))
+				}
+				for j := range a {
+					if a[j].Element != b[j].Element || a[j].Score != b[j].Score {
+						t.Fatalf("%q ranked=%v limit %d: [%d] = (%d,%g) vs (%d,%g)",
+							expr, ranked, limit, j, a[j].Element, a[j].Score, b[j].Element, b[j].Score)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamConcurrent hammers one shared engine with concurrent
+// limited streams (meaningful under -race): pooled scratch bitsets
+// must not leak state between cursors.
+func TestStreamConcurrent(t *testing.T) {
+	c := gen.DBLP(gen.DefaultDBLP(80, 5))
+	ix, err := core.Build(c, core.Options{
+		Partitioner: core.PartClosureBudget, ClosureBudget: 100_000,
+		Join: core.JoinNewHBar, WithDistance: true, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Warm()
+	e := NewEngine(c, ix)
+	exprs := []string{"//article//author", "//abstract//para", "//*//cite"}
+	want := map[string][]int32{}
+	for _, expr := range exprs {
+		q, _ := Parse(expr)
+		want[expr] = e.Eval(q)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 30; i++ {
+				expr := exprs[(w+i)%len(exprs)]
+				q, _ := Parse(expr)
+				full := want[expr]
+				limit := 1 + rng.Intn(len(full))
+				st, err := e.Stream(context.Background(), q, StreamOpts{Limit: limit})
+				if err != nil {
+					errs <- err
+					return
+				}
+				var got []int32
+				for st.Next() {
+					got = append(got, st.Element())
+				}
+				err = st.Err()
+				st.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !slices.Equal(got, full[:limit]) {
+					errs <- errf("%s limit %d: diverged from prefix", expr, limit)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestExplainPlan: the per-step report reflects the actual execution —
+// batch semijoin without a limit, streaming pushdown with one, and
+// fewer postings touched under the limit.
+func TestExplainPlan(t *testing.T) {
+	c := gen.DBLP(gen.DefaultDBLP(120, 9))
+	ix, err := core.Build(c, core.Options{
+		Partitioner: core.PartClosureBudget, ClosureBudget: 100_000,
+		Join: core.JoinNewHBar, WithDistance: true, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Warm()
+	e := NewEngine(c, ix)
+	q, _ := Parse("//article//author")
+
+	full, err := e.Explain(context.Background(), q, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Steps) != 2 || full.Steps[0].Mode != ModeSeed || full.Steps[1].Mode != ModeSemijoin {
+		t.Fatalf("full plan: %+v", full.Steps)
+	}
+	if full.Matches == 0 || full.Steps[1].Postings == 0 || full.Steps[1].Centers == 0 {
+		t.Fatalf("full plan missing stats: %+v", full)
+	}
+	if full.Matches != full.Steps[1].FrontierOut {
+		t.Fatalf("full plan: %d matches vs %d frontier-out", full.Matches, full.Steps[1].FrontierOut)
+	}
+
+	lim, err := e.Explain(context.Background(), q, false, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim.Steps[1].Mode != ModeStreamSemijoin {
+		t.Fatalf("limited plan mode: %+v", lim.Steps[1])
+	}
+	if lim.Matches != 10 {
+		t.Fatalf("limited plan: %d matches, want 10", lim.Matches)
+	}
+	if lim.Steps[1].Postings >= full.Steps[1].Postings {
+		t.Fatalf("limit pushdown touched %d postings, full run %d — no early termination",
+			lim.Steps[1].Postings, full.Steps[1].Postings)
+	}
+
+	// a uniform-score frontier (every 2-step query) takes the BFS top-k
+	ranked, err := e.Explain(context.Background(), q, true, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked.Steps[1].Mode != ModeTopKBFS || ranked.Matches != 10 {
+		t.Fatalf("ranked limited plan: %+v", ranked)
+	}
+	// a non-uniform frontier (scores diverge after the first //) takes
+	// the threshold top-k over center bounds
+	q3, _ := Parse("//article//cite//author")
+	ranked3, err := e.Explain(context.Background(), q3, true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ranked3.Steps[2].Mode; got != ModeTopK && got != ModeTopKBFS {
+		t.Fatalf("3-step ranked limited plan: %+v", ranked3)
+	}
+}

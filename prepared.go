@@ -1,0 +1,294 @@
+package hopi
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"hopi/internal/query"
+)
+
+// Sentinel errors for resume-token validation; match with errors.Is.
+var (
+	// ErrBadToken wraps malformed resume tokens and tokens issued for a
+	// different query or ranking mode.
+	ErrBadToken = errors.New("invalid page token")
+	// ErrStaleToken wraps resume tokens issued against an older
+	// snapshot epoch: the index has been maintained since the token was
+	// handed out, so the page sequence it belongs to no longer exists.
+	// Restart the query from the beginning.
+	ErrStaleToken = errors.New("stale page token: snapshot epoch changed")
+)
+
+// PreparedQuery is the compiled, snapshot-independent form of a path
+// expression: the parsed steps plus per-step metadata. Prepare once,
+// run against any snapshot of any index — Snapshot.Run, Snapshot.
+// Explain, Index.Run and the QueryCtx compatibility wrappers all
+// execute prepared queries, so a hot expression parses exactly once
+// (cmd/hopiserve keeps an LRU cache of them keyed by expression).
+type PreparedQuery struct {
+	q    *query.Query
+	hash uint32
+}
+
+// Prepare parses and compiles a path expression such as
+// "//book//author" or "/bib/book//title".
+func Prepare(expr string) (*PreparedQuery, error) {
+	q, err := query.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New32a()
+	h.Write([]byte(q.Canonical()))
+	return &PreparedQuery{q: q, hash: h.Sum32()}, nil
+}
+
+// String returns the query's expression.
+func (p *PreparedQuery) String() string { return p.q.String() }
+
+// NumSteps returns the number of location steps.
+func (p *PreparedQuery) NumSteps() int { return len(p.q.Steps) }
+
+// PreparedStep describes one compiled location step.
+type PreparedStep struct {
+	// Axis is "/" (child) or "//" (descendant-or-link).
+	Axis string
+	// Tag is the step's tag test; "*" matches any element.
+	Tag string
+}
+
+// Steps returns the compiled location steps.
+func (p *PreparedQuery) Steps() []PreparedStep {
+	out := make([]PreparedStep, len(p.q.Steps))
+	for i, s := range p.q.Steps {
+		out[i].Tag = s.Tag
+		out[i].Axis = "/"
+		if s.Axis == query.AxisDescendant {
+			out[i].Axis = "//"
+		}
+	}
+	return out
+}
+
+// Plan is the EXPLAIN report of one query execution: per step, the
+// candidate-set size, the evaluator the engine chose (semijoin vs
+// pairwise vs the cursor's streaming/top-k variants), the frontier
+// sizes, and the posting entries touched. See Snapshot.Explain.
+type Plan = query.Plan
+
+// StepPlan is one step of a Plan.
+type StepPlan = query.StepPlan
+
+// --- resume tokens ----------------------------------------------------
+
+// resumePos is the decoded content of a resume token: where to pick a
+// query back up, and the guards that make the token safe to accept
+// from an untrusted client.
+type resumePos struct {
+	epoch    uint64  // snapshot epoch the token was issued at
+	hash     uint32  // prepared-query hash the token belongs to
+	ranked   bool    // ranking mode the token was issued under
+	hasAfter bool    // false: resume from the start
+	after    int32   // last emitted element
+	score    float64 // its score (ranked order tiebreak)
+}
+
+const (
+	tokenVersion = 1
+	tokenLen     = 1 + 8 + 4 + 1 + 4 + 8
+)
+
+func (t resumePos) encode() string {
+	var b [tokenLen]byte
+	b[0] = tokenVersion
+	binary.LittleEndian.PutUint64(b[1:], t.epoch)
+	binary.LittleEndian.PutUint32(b[9:], t.hash)
+	var flags byte
+	if t.ranked {
+		flags |= 1
+	}
+	if t.hasAfter {
+		flags |= 2
+	}
+	b[13] = flags
+	binary.LittleEndian.PutUint32(b[14:], uint32(t.after))
+	binary.LittleEndian.PutUint64(b[18:], math.Float64bits(t.score))
+	return base64.RawURLEncoding.EncodeToString(b[:])
+}
+
+func decodeToken(s string) (resumePos, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return resumePos{}, fmt.Errorf("%w: %v", ErrBadToken, err)
+	}
+	if len(raw) != tokenLen || raw[0] != tokenVersion {
+		return resumePos{}, fmt.Errorf("%w: wrong length or version", ErrBadToken)
+	}
+	return resumePos{
+		epoch:    binary.LittleEndian.Uint64(raw[1:]),
+		hash:     binary.LittleEndian.Uint32(raw[9:]),
+		ranked:   raw[13]&1 != 0,
+		hasAfter: raw[13]&2 != 0,
+		after:    int32(binary.LittleEndian.Uint32(raw[14:])),
+		score:    math.Float64frombits(binary.LittleEndian.Uint64(raw[18:])),
+	}, nil
+}
+
+// --- cursor -----------------------------------------------------------
+
+// Cursor iterates a query's results one at a time:
+//
+//	cur, err := snap.Run(ctx, pq, hopi.QueryLimit(10))
+//	for cur.Next() { use(cur.Result()) }
+//	err = cur.Err()
+//	cur.Close()
+//
+// Unranked results stream in ascending element order, ranked results
+// in (score desc, element asc) order — both identical to the order
+// QueryCtx materializes, so a limited cursor yields exactly a prefix
+// of the unlimited result. With QueryLimit the final step's evaluation
+// stops early (limit pushdown); Token returns an opaque resume token
+// for the position after the last result, valid on snapshots of the
+// same epoch only. A Cursor is single-goroutine; Close is idempotent.
+type Cursor struct {
+	snap   *Snapshot
+	st     *query.Stream
+	pq     *PreparedQuery
+	ranked bool
+	limit  int
+	n      int
+	cur    QueryResult
+
+	last    resumePos // position after the last emitted result
+	hasMore bool
+	peeked  bool
+}
+
+// Run starts a cursor over a prepared query. Options: QueryLimit (the
+// cursor stops after n results, and the final step's evaluation stops
+// expanding postings early), QueryRanked, and QueryResume (continue
+// after a previous cursor's Token). A resume token from a different
+// query or ranking mode fails with ErrBadToken; one from a different
+// snapshot epoch with ErrStaleToken.
+func (s *Snapshot) Run(ctx context.Context, pq *PreparedQuery, opts ...QueryOption) (*Cursor, error) {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	so := query.StreamOpts{Ranked: cfg.ranked}
+	if cfg.limit > 0 {
+		// Ask the engine for one extra result: it makes HasMore (and
+		// the server's nextPageToken decision) free, at the cost of at
+		// most one additional match.
+		so.Limit = cfg.limit + 1
+	}
+	c := &Cursor{snap: s, pq: pq, ranked: cfg.ranked, limit: cfg.limit}
+	c.last = resumePos{epoch: s.epoch, hash: pq.hash, ranked: cfg.ranked}
+	if cfg.resume != "" {
+		tok, err := decodeToken(cfg.resume)
+		if err != nil {
+			return nil, err
+		}
+		if tok.epoch != s.epoch {
+			return nil, fmt.Errorf("%w (token epoch %d, snapshot epoch %d)", ErrStaleToken, tok.epoch, s.epoch)
+		}
+		if tok.hash != pq.hash {
+			return nil, fmt.Errorf("%w: issued for a different query", ErrBadToken)
+		}
+		if tok.ranked != cfg.ranked {
+			return nil, fmt.Errorf("%w: issued for a different ranking mode", ErrBadToken)
+		}
+		if tok.hasAfter {
+			so.HasAfter, so.After, so.AfterScore = true, tok.after, tok.score
+			c.last = tok
+		}
+	}
+	st, err := s.eng.Stream(ctx, pq.q, so)
+	if err != nil {
+		return nil, err
+	}
+	c.st = st
+	return c, nil
+}
+
+// Run is a convenience wrapper over the current snapshot; see
+// Snapshot.Run.
+func (ix *Index) Run(ctx context.Context, pq *PreparedQuery, opts ...QueryOption) (*Cursor, error) {
+	return ix.Snapshot().Run(ctx, pq, opts...)
+}
+
+// Next advances the cursor. It returns false when the result set is
+// exhausted, the limit is reached, or evaluation failed — check Err.
+func (c *Cursor) Next() bool {
+	if c.limit > 0 && c.n >= c.limit {
+		c.peek()
+		return false
+	}
+	if !c.st.Next() {
+		return false
+	}
+	c.n++
+	el, score := c.st.Element(), c.st.Score()
+	c.cur = c.snap.result(el, score, c.st.Path())
+	c.last.hasAfter, c.last.after, c.last.score = true, el, score
+	return true
+}
+
+// peek consumes the one extra result the stream was asked for, to
+// learn whether anything follows the limit.
+func (c *Cursor) peek() {
+	if !c.peeked {
+		c.peeked = true
+		c.hasMore = c.st.Next()
+	}
+}
+
+// Result returns the current result. Valid after Next returned true.
+func (c *Cursor) Result() QueryResult { return c.cur }
+
+// Err returns the first evaluation error (e.g. a cancelled context),
+// or nil.
+func (c *Cursor) Err() error { return c.st.Err() }
+
+// Close releases the cursor's scratch state. Idempotent.
+func (c *Cursor) Close() { c.st.Close() }
+
+// HasMore reports whether results remain past the limit — the signal
+// to hand out Token as a next-page token. Only meaningful once Next
+// has returned false.
+func (c *Cursor) HasMore() bool {
+	if c.limit > 0 && c.n >= c.limit {
+		c.peek()
+	}
+	return c.hasMore
+}
+
+// Token returns an opaque resume token for the position after the last
+// result returned by Next. Pass it to a later Run via QueryResume to
+// continue the page sequence; tokens are valid only for the same query
+// and ranking mode on a snapshot of the same epoch (maintenance bumps
+// the epoch, invalidating outstanding tokens).
+func (c *Cursor) Token() string { return c.last.encode() }
+
+// Explain runs the prepared query to completion under the given
+// options (QueryLimit and QueryRanked; QueryResume is ignored) and
+// reports, per step, the evaluator chosen, the frontier and
+// candidate-set sizes, and the posting entries touched. Evaluation
+// polls ctx like every other query entry point.
+func (s *Snapshot) Explain(ctx context.Context, pq *PreparedQuery, opts ...QueryOption) (*Plan, error) {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return s.eng.Explain(ctx, pq.q, cfg.ranked, cfg.limit)
+}
+
+// Explain is a convenience wrapper over the current snapshot; see
+// Snapshot.Explain.
+func (ix *Index) Explain(ctx context.Context, pq *PreparedQuery, opts ...QueryOption) (*Plan, error) {
+	return ix.Snapshot().Explain(ctx, pq, opts...)
+}

@@ -15,12 +15,13 @@ import (
 // Index.Snapshot, which caches the latest snapshot and reuses it until
 // the next maintenance batch.
 type Snapshot struct {
-	coll *Collection
-	ix   *core.Index
-	eng  *query.Engine
+	coll  *Collection
+	ix    *core.Index
+	eng   *query.Engine
+	epoch uint64 // maintenance-batch counter at snapshot time
 }
 
-func newSnapshot(src *core.Index) *Snapshot {
+func newSnapshot(src *core.Index, epoch uint64) *Snapshot {
 	// Derive the posting index and cycle info on the live side first:
 	// maintenance keeps the postings warm through the delta stream, so
 	// every snapshot clone shares them as an immutable copy-on-write
@@ -33,11 +34,19 @@ func newSnapshot(src *core.Index) *Snapshot {
 	cix := src.Clone()
 	cix.Warm()
 	return &Snapshot{
-		coll: &Collection{c: cix.Collection()},
-		ix:   cix,
-		eng:  query.NewEngine(cix.Collection(), cix),
+		coll:  &Collection{c: cix.Collection()},
+		ix:    cix,
+		eng:   query.NewEngine(cix.Collection(), cix),
+		epoch: epoch,
 	}
 }
+
+// Epoch returns the snapshot's maintenance epoch: an opaque version
+// stamp, seeded randomly per index instance and bumped on every
+// maintenance batch. Resume tokens embed it — a token is valid only on
+// snapshots of the same epoch, so any applied batch, a different
+// index, or a restarted process retires outstanding tokens.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
 // Collection returns the snapshot's frozen collection. It reflects the
 // state at snapshot time and never changes.
@@ -70,10 +79,11 @@ func (s *Snapshot) Stats() core.BuildStats { return s.ix.Stats() }
 
 // --- queries ----------------------------------------------------------
 
-// queryConfig collects the options of one QueryCtx call.
+// queryConfig collects the options of one QueryCtx or Run call.
 type queryConfig struct {
 	limit  int
 	ranked bool
+	resume string
 }
 
 // QueryOption configures a QueryCtx call.
@@ -92,6 +102,13 @@ func QueryRanked() QueryOption {
 	return func(c *queryConfig) { c.ranked = true }
 }
 
+// QueryResume continues a query after a previous cursor's resume token
+// (see Cursor.Token). The token must come from the same query and
+// ranking mode on a snapshot of the same epoch.
+func QueryResume(token string) QueryOption {
+	return func(c *queryConfig) { c.resume = token }
+}
+
 // QueryCtx evaluates a path expression such as "//book//author"
 // against the snapshot. The // axis follows parent-child edges and all
 // links, crossing document boundaries; it matches over paths of length
@@ -99,35 +116,27 @@ func QueryRanked() QueryOption {
 // link cycle (on link-free trees //a//a is empty, as in XPath).
 // Evaluation polls ctx and returns its error once it is cancelled;
 // options select ranking and result truncation.
+//
+// QueryCtx is a compatibility wrapper over Prepare and Run: with
+// QueryLimit the final step's evaluation stops early (limit pushdown)
+// instead of materializing everything and slicing, and the limited
+// result is exactly a prefix of the unlimited one.
 func (s *Snapshot) QueryCtx(ctx context.Context, expr string, opts ...QueryOption) ([]QueryResult, error) {
-	var cfg queryConfig
-	for _, o := range opts {
-		o(&cfg)
-	}
-	q, err := query.Parse(expr)
+	pq, err := Prepare(expr)
 	if err != nil {
 		return nil, err
 	}
-	var out []QueryResult
-	if cfg.ranked {
-		matches, err := s.eng.EvalRankedCtx(ctx, q)
-		if err != nil {
-			return nil, err
-		}
-		for _, m := range matches {
-			out = append(out, s.result(m.Element, m.Score, m.Path))
-		}
-	} else {
-		ids, err := s.eng.EvalCtx(ctx, q)
-		if err != nil {
-			return nil, err
-		}
-		for _, id := range ids {
-			out = append(out, s.result(id, 0, nil))
-		}
+	cur, err := s.Run(ctx, pq, opts...)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.limit > 0 && len(out) > cfg.limit {
-		out = out[:cfg.limit]
+	defer cur.Close()
+	var out []QueryResult
+	for cur.Next() {
+		out = append(out, cur.Result())
+	}
+	if err := cur.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
