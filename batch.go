@@ -236,6 +236,9 @@ func (r *ApplyResult) Docs() []DocID {
 // Apply fails fast; reopen the index from its path to recover the
 // committed state.
 func (ix *Index) Apply(ctx context.Context, b *Batch) (*ApplyResult, error) {
+	if ix.readOnly {
+		return nil, ErrReadOnlyReplica
+	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 
@@ -243,11 +246,27 @@ func (ix *Index) Apply(ctx context.Context, b *Batch) (*ApplyResult, error) {
 	attempted := false
 	defer func() {
 		// Invalidate the cached snapshot if any op ran at all — a
-		// failed op may still have mutated live state. Bumping the
+		// failed op may still have mutated live state. Advancing the
 		// epoch (while still holding the write lock) retires every
-		// resume token issued against the pre-batch state.
+		// resume token issued against the pre-batch state. A healthy
+		// durable index takes its epoch from the committed WAL
+		// sequence, so replicas stamp identical states identically; a
+		// batch that changed nothing (empty log) leaves the sequence —
+		// and outstanding tokens — untouched. A poisoned durable
+		// backend falls back to a random epoch: the in-memory state has
+		// diverged from the committed sequence, so its epochs must stop
+		// claiming sequence semantics.
 		if attempted {
-			ix.epoch.Add(1)
+			if ix.seqEpoch && ix.dur != nil {
+				if ix.dur.err == nil {
+					ix.epoch.Store(ix.dur.nextSeq - 1)
+				} else {
+					ix.seqEpoch = false
+					ix.epoch.Store(newEpoch())
+				}
+			} else {
+				ix.epoch.Add(1)
+			}
 			ix.cur.Store(nil)
 		}
 	}()

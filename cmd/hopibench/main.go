@@ -17,7 +17,10 @@
 //	hopibench -exp load -json BENCH_load.json        # machine-readable results
 //
 // Experiments: table1, centralized, table2, maintenance, inex,
-// distance, preselect, weights, balance, query, load, all, default.
+// distance, preselect, weights, balance, query, load, repl, all,
+// default. The repl experiment sweeps follower counts for the
+// WAL-shipping replication tier (see -repl-followers) and records
+// queries/sec and p50/p99 replication lag per count.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -46,23 +50,30 @@ type benchResult struct {
 	// Speedup relates a measurement to its baseline (e.g. the
 	// set-at-a-time evaluator vs the pairwise one on the same query).
 	Speedup float64 `json:"speedup,omitempty"`
+	// replication experiment: follower count and replication lag
+	Followers  int     `json:"followers,omitempty"`
+	LagP50Ms   float64 `json:"lagP50Ms,omitempty"`
+	LagP99Ms   float64 `json:"lagP99Ms,omitempty"`
+	LagSamples int     `json:"lagSamples,omitempty"`
 }
 
 func main() {
 	var (
-		exp      = flag.String("exp", "default", "comma-separated experiments (table1,centralized,table2,maintenance,inex,distance,preselect,weights,balance,query,load,all,default)")
+		exp      = flag.String("exp", "default", "comma-separated experiments (table1,centralized,table2,maintenance,inex,distance,preselect,weights,balance,query,load,repl,all,default)")
 		docs     = flag.Int("docs", 620, "DBLP-like document count (paper: 6210)")
 		inexDocs = flag.Int("inexdocs", 122, "INEX-like document count (paper: 12232)")
 		inexEls  = flag.Int("inexels", 950, "INEX-like mean elements per document (paper: ~986)")
 		seed     = flag.Int64("seed", 42, "generator and build seed")
 
-		url      = flag.String("url", "", "hopiserve base URL for -exp load (empty: run in-process)")
-		loadDur  = flag.Duration("load-dur", 3*time.Second, "load-generator duration")
-		readers  = flag.Int("load-readers", 4, "concurrent query workers")
-		writers  = flag.Int("load-writers", 2, "concurrent maintenance workers")
-		loadExpr = flag.String("load-expr", "//article//author", "path expression the query workers evaluate")
-		store    = flag.String("store", "", "for -exp load: also run the workload against a durable store at this path and report both")
-		jsonOut  = flag.String("json", "", "write machine-readable results (name, ns/op, qps, cover size) to this file")
+		url       = flag.String("url", "", "hopiserve base URL for -exp load (empty: run in-process)")
+		loadDur   = flag.Duration("load-dur", 3*time.Second, "load-generator duration")
+		readers   = flag.Int("load-readers", 4, "concurrent query workers")
+		writers   = flag.Int("load-writers", 2, "concurrent maintenance workers")
+		loadExpr  = flag.String("load-expr", "//article//author", "path expression the query workers evaluate")
+		store     = flag.String("store", "", "for -exp load: also run the workload against a durable store at this path and report both")
+		replFols  = flag.String("repl-followers", "0,1,2,4", "for -exp repl: comma-separated follower counts to sweep (0 = single-node baseline)")
+		replWrite = flag.Duration("repl-write-interval", 10*time.Millisecond, "for -exp repl: pacing between a writer's batches (0 = write as fast as possible and measure queue growth)")
+		jsonOut   = flag.String("json", "", "write machine-readable results (name, ns/op, qps, cover size) to this file")
 	)
 	flag.Parse()
 
@@ -76,7 +87,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	if want["all"] {
-		for _, e := range []string{"table1", "centralized", "table2", "maintenance", "inex", "distance", "preselect", "weights", "balance", "query", "load"} {
+		for _, e := range []string{"table1", "centralized", "table2", "maintenance", "inex", "distance", "preselect", "weights", "balance", "query", "load", "repl"} {
 			want[e] = true
 		}
 	}
@@ -226,6 +237,39 @@ func main() {
 					mem.BatchesPerS/dur.BatchesPerS, mem.BatchesPerS, dur.BatchesPerS,
 					safeRatio(mem.QueriesPerS, dur.QueriesPerS))
 			}
+		}
+		return out, nil
+	})
+	run("repl", "read scaling: primary + N replication followers (extension)", func() (string, error) {
+		var counts []int
+		for _, s := range strings.Split(*replFols, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 0 {
+				return "", fmt.Errorf("bad -repl-followers entry %q", s)
+			}
+			counts = append(counts, n)
+		}
+		out, rows, err := replExperiment(replConfig{
+			docs: *docs, seed: *seed,
+			duration: *loadDur,
+			writers:  *writers, readersPerNode: *readers,
+			expr:           *loadExpr,
+			followerCounts: counts,
+			writeInterval:  *replWrite,
+		})
+		if err != nil {
+			return "", err
+		}
+		for _, r := range rows {
+			jsonResults = append(jsonResults, benchResult{
+				Name:       fmt.Sprintf("repl/followers=%d", r.Followers),
+				QPS:        r.QueriesPerS,
+				BatchesPS:  r.BatchesPerS,
+				Followers:  r.Followers,
+				LagP50Ms:   float64(r.LagP50.Microseconds()) / 1000,
+				LagP99Ms:   float64(r.LagP99.Microseconds()) / 1000,
+				LagSamples: r.LagSamples,
+			})
 		}
 		return out, nil
 	})

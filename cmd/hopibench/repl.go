@@ -1,0 +1,271 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hopi"
+	"hopi/internal/gen"
+)
+
+// replConfig parameterizes the replication read-scaling experiment: a
+// durable primary under continuous write load, N followers fed over
+// real HTTP log shipping, and readers spread across the followers.
+type replConfig struct {
+	docs           int
+	seed           int64
+	duration       time.Duration
+	writers        int
+	readersPerNode int
+	expr           string
+	followerCounts []int
+	// writeInterval paces each writer between batches. Unpaced writers
+	// saturate the shared CPU and measure queue growth; paced writers
+	// measure propagation delay — the lag that matters for staleness.
+	writeInterval time.Duration
+}
+
+// replResult is one row: aggregate read throughput and replication lag
+// at a given follower count.
+type replResult struct {
+	Followers   int
+	QueriesPerS float64
+	BatchesPerS float64
+	LagP50      time.Duration
+	LagP99      time.Duration
+	LagSamples  int
+}
+
+// runRepl measures one follower count: writers apply batches at the
+// primary for cfg.duration while readersPerNode readers query each
+// follower's snapshots; per-batch replication lag is the time from the
+// primary's Apply returning to a follower reporting the sequence
+// applied.
+func runRepl(cfg replConfig, followers int) (replResult, error) {
+	dir, err := os.MkdirTemp("", "hopirepl")
+	if err != nil {
+		return replResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	coll := hopi.WrapCollection(gen.DBLP(gen.DefaultDBLP(cfg.docs, cfg.seed)))
+	opts := hopi.DefaultOptions()
+	opts.Seed = cfg.seed
+	ix, err := hopi.Create(filepath.Join(dir, "p.hopi"), coll, opts)
+	if err != nil {
+		return replResult{}, err
+	}
+	defer ix.Close()
+	pub, err := ix.StartPublisher(hopi.PublishHeartbeat(50 * time.Millisecond))
+	if err != nil {
+		return replResult{}, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("GET /repl/stream", pub)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return replResult{}, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+	defer pub.Close()
+	streamURL := "http://" + ln.Addr().String() + "/repl/stream"
+
+	fols := make([]*hopi.Index, followers)
+	for i := range fols {
+		f, err := hopi.Follow(streamURL, hopi.FollowTimeout(60*time.Second))
+		if err != nil {
+			return replResult{}, fmt.Errorf("follower %d: %w", i, err)
+		}
+		defer f.Close()
+		fols[i] = f
+	}
+
+	// commitAt records when each batch sequence was acknowledged at the
+	// primary; the lag samplers subtract it from the time a follower
+	// reports the sequence applied. applyMu makes Apply and the
+	// WALSize read one atomic step per writer — Apply already
+	// serializes writers internally, so this costs nothing, and without
+	// it an interleaved writer could read the other's sequence and
+	// stamp the wrong (or no) commit time.
+	var (
+		applyMu  sync.Mutex
+		commitMu sync.Mutex
+		commitAt = map[uint64]time.Time{}
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+
+	var (
+		queries atomic.Int64
+		batches atomic.Int64
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		failure error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if failure == nil {
+			failure = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+
+	for w := 0; w < cfg.writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ctx.Err() == nil; i++ {
+				name := fmt.Sprintf("repl-w%d-%05d.xml", w, i)
+				target := fmt.Sprintf("pub%05d.xml", (w*7919+i)%cfg.docs)
+				b := hopi.NewBatch()
+				nd := hopi.NewDocument(name, "article")
+				nd.AddElement(nd.Root(), "title")
+				nd.AddElement(nd.Root(), "author")
+				cite := nd.AddElement(nd.Root(), "cite")
+				b.InsertDocument(nd)
+				b.InsertLink(name, cite, target, 0)
+				applyMu.Lock()
+				_, err := ix.Apply(ctx, b)
+				var seq uint64
+				if err == nil {
+					_, seq, _ = ix.WALSize()
+				}
+				applyMu.Unlock()
+				if err != nil {
+					if ctx.Err() == nil {
+						fail(fmt.Errorf("apply: %w", err))
+					}
+					return
+				}
+				now := time.Now()
+				commitMu.Lock()
+				commitAt[seq] = now
+				commitMu.Unlock()
+				batches.Add(1)
+				if cfg.writeInterval > 0 {
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(cfg.writeInterval):
+					}
+				}
+			}
+		}(w)
+	}
+
+	// lag samplers: one per follower, polling the applied sequence
+	var (
+		lagMu      sync.Mutex
+		lagSamples []time.Duration
+	)
+	for _, f := range fols {
+		wg.Add(1)
+		go func(f *hopi.Index) {
+			defer wg.Done()
+			var seen uint64
+			t := time.NewTicker(time.Millisecond)
+			defer t.Stop()
+			for {
+				st := f.ReplicaStatus()
+				now := time.Now()
+				for seq := seen + 1; seq <= st.AppliedSeq; seq++ {
+					commitMu.Lock()
+					at, ok := commitAt[seq]
+					commitMu.Unlock()
+					if ok {
+						lagMu.Lock()
+						lagSamples = append(lagSamples, now.Sub(at))
+						lagMu.Unlock()
+					}
+				}
+				seen = st.AppliedSeq
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+				}
+			}
+		}(f)
+	}
+
+	// readers: spread across the followers (or the primary when
+	// followers == 0, the single-node baseline)
+	targets := fols
+	if followers == 0 {
+		targets = []*hopi.Index{ix}
+	}
+	for _, target := range targets {
+		for r := 0; r < cfg.readersPerNode; r++ {
+			wg.Add(1)
+			go func(target *hopi.Index) {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					snap := target.Snapshot()
+					if _, err := snap.QueryCtx(ctx, cfg.expr); err != nil {
+						if ctx.Err() == nil {
+							fail(fmt.Errorf("query: %w", err))
+						}
+						return
+					}
+					queries.Add(1)
+				}
+			}(target)
+		}
+	}
+
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+	if failure != nil {
+		return replResult{}, failure
+	}
+
+	res := replResult{Followers: followers}
+	if s := elapsed.Seconds(); s > 0 {
+		res.QueriesPerS = float64(queries.Load()) / s
+		res.BatchesPerS = float64(batches.Load()) / s
+	}
+	lagMu.Lock()
+	samples := append([]time.Duration(nil), lagSamples...)
+	lagMu.Unlock()
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	res.LagSamples = len(samples)
+	if n := len(samples); n > 0 {
+		res.LagP50 = samples[n/2]
+		res.LagP99 = samples[n*99/100]
+	}
+	return res, nil
+}
+
+// replExperiment runs the sweep over follower counts and renders it.
+func replExperiment(cfg replConfig) (string, []replResult, error) {
+	var (
+		b    strings.Builder
+		rows []replResult
+	)
+	fmt.Fprintf(&b, "read scaling via WAL-shipping replication (%d docs, %d writers every %s, %d readers/node, %s window, in-process)\n",
+		cfg.docs, cfg.writers, cfg.writeInterval, cfg.readersPerNode, cfg.duration)
+	fmt.Fprintf(&b, "  %-10s %14s %14s %12s %12s %10s\n", "followers", "queries/s", "batches/s", "lag p50", "lag p99", "samples")
+	for _, n := range cfg.followerCounts {
+		r, err := runRepl(cfg, n)
+		if err != nil {
+			return "", nil, fmt.Errorf("followers=%d: %w", n, err)
+		}
+		rows = append(rows, r)
+		fmt.Fprintf(&b, "  %-10d %14.1f %14.1f %12s %12s %10d\n",
+			r.Followers, r.QueriesPerS, r.BatchesPerS, r.LagP50.Round(time.Microsecond), r.LagP99.Round(time.Microsecond), r.LagSamples)
+	}
+	return b.String(), rows, nil
+}

@@ -12,12 +12,18 @@
 //	hopiserve -docs 500 -distance
 //	hopiserve -store dblp.hopi              # create or reopen; WAL-backed writes
 //	hopiserve -store dblp.hopi -checkpoint 10s
+//	hopiserve -replica-of http://primary:8080 -addr :8081
 //
 // With -store, every maintenance batch is committed to the write-ahead
 // log before the HTTP response is sent; kill the process at any point,
 // restart it on the same path, and every acknowledged write is still
 // there. The store is checkpointed periodically (-checkpoint) and on
-// graceful shutdown.
+// graceful shutdown. A -store server is also a replication primary: it
+// streams its committed batches at GET /repl/stream, and any number of
+// -replica-of servers bootstrap from its state image, replay the
+// stream, and serve the read endpoints against their latest replayed
+// snapshot (writes there fail 403 — send them to the primary). /stats
+// reports each server's role, applied sequence, and replication lag.
 //
 // API:
 //
@@ -27,6 +33,7 @@
 //	GET    /explain?expr=...&limit=10     (per-step execution plan)
 //	GET    /reach?from=pub00005.xml&to=pub00002.xml&distance=1
 //	GET    /stats
+//	GET    /repl/stream?from=N           (NDJSON log-shipping stream)
 //	POST   /docs?name=new.xml            (body: the XML document)
 //	DELETE /docs/{name}
 //	POST   /links                        {"from":"a.xml:3","to":"b.xml"}
@@ -37,7 +44,10 @@
 // prepared-statement cache; limited queries stop evaluating once the
 // page is full (limit pushdown). Page tokens are bound to the snapshot
 // epoch: after any write they are rejected as stale (400) and the page
-// sequence restarts.
+// sequence restarts. On durable primaries and replicas the epoch is
+// the durable batch sequence, so a token issued by one replica resumes
+// on any other; a replica that has not yet applied the token's batch
+// answers 503 with Retry-After instead — retry the same token there.
 //
 // Element addresses use the cmd-tool syntax: "doc.xml",
 // "doc.xml:localIndex", or "doc.xml#anchor".
@@ -53,6 +63,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -65,6 +76,7 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		index      = flag.String("index", "", "saved index path (from hopibuild); empty generates a collection")
 		store      = flag.String("store", "", "durable store path: reopen if present (replaying any WAL tail), else create; writes are WAL-committed before they are acknowledged")
+		replicaOf  = flag.String("replica-of", "", "primary base URL (e.g. http://primary:8080): serve a read-only replica fed by its replication stream")
 		checkpoint = flag.Duration("checkpoint", 30*time.Second, "with -store: interval between background checkpoints (0 disables)")
 		docs       = flag.Int("docs", 500, "generated DBLP-like document count (when no -index)")
 		seed       = flag.Int64("seed", 42, "generator seed")
@@ -75,8 +87,11 @@ func main() {
 	if *index != "" && *store != "" {
 		log.Fatal("hopiserve: -index and -store are mutually exclusive (use -store to serve a saved index durably)")
 	}
+	if *replicaOf != "" && (*index != "" || *store != "") {
+		log.Fatal("hopiserve: -replica-of is mutually exclusive with -index and -store (a replica holds no local state)")
+	}
 
-	ix, err := loadIndex(*index, *store, *docs, *seed, *distance)
+	ix, err := loadIndex(*index, *store, *replicaOf, *docs, *seed, *distance)
 	if err != nil {
 		log.Fatalf("hopiserve: %v", err)
 	}
@@ -85,9 +100,13 @@ func main() {
 	log.Printf("serving %d docs, %d elements, %d links, %d label entries on %s",
 		coll.NumDocs(), coll.NumElements(), coll.NumLinks(), snap.Size(), *addr)
 
+	h := newServer(ix, *maxLimit)
+	if h.pub != nil {
+		log.Printf("replication: publishing committed batches at GET /repl/stream (last seq %d)", h.pub.LastSeq())
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(ix, *maxLimit),
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -106,13 +125,16 @@ func main() {
 		log.Fatalf("hopiserve: %v", err)
 	case <-ctx.Done():
 		log.Print("shutting down")
+		// end the long-lived replication streams first, or the graceful
+		// shutdown below would wait out its whole timeout on them
+		h.closeRepl()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Fatalf("hopiserve: shutdown: %v", err)
 		}
 		// flush the store: checkpoint and detach so the next start
-		// needs no WAL replay
+		// needs no WAL replay (on a replica this just stops the stream)
 		if err := ix.Close(); err != nil {
 			log.Fatalf("hopiserve: close store: %v", err)
 		}
@@ -141,7 +163,18 @@ func checkpointLoop(ctx context.Context, ix *hopi.Index, every time.Duration) {
 	}
 }
 
-func loadIndex(path, store string, docs int, seed int64, distance bool) (*hopi.Index, error) {
+func loadIndex(path, store, replicaOf string, docs int, seed int64, distance bool) (*hopi.Index, error) {
+	if replicaOf != "" {
+		url := strings.TrimSuffix(replicaOf, "/") + "/repl/stream"
+		log.Printf("following primary at %s", url)
+		ix, err := hopi.Follow(url)
+		if err != nil {
+			return nil, err
+		}
+		st := ix.ReplicaStatus()
+		log.Printf("replica bootstrapped at seq %d (primary at %d)", st.AppliedSeq, st.PrimarySeq)
+		return ix, nil
+	}
 	if path != "" {
 		log.Printf("opening index %s", path)
 		return hopi.Open(path)

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReplicationSmoke is the 3-process end-to-end: it builds the real
+// hopiserve binary, starts a durable primary and two -replica-of
+// followers as separate OS processes, writes through the primary,
+// reads from the followers, kill -9s the primary, restarts it on the
+// same port, and verifies the followers reconnect and converge on a
+// post-restart write.
+func TestReplicationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-process smoke test; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "hopiserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	ports := freePorts(t, 3)
+	primaryAddr := fmt.Sprintf("127.0.0.1:%d", ports[0])
+	primaryURL := "http://" + primaryAddr
+	store := filepath.Join(dir, "p.hopi")
+
+	startPrimary := func() *exec.Cmd {
+		cmd := exec.Command(bin,
+			"-addr", primaryAddr,
+			"-store", store,
+			"-docs", "20", "-seed", "3",
+			"-checkpoint", "1s")
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start primary: %v", err)
+		}
+		return cmd
+	}
+	primary := startPrimary()
+	defer func() { primary.Process.Kill(); primary.Wait() }()
+	waitHealthy(t, primaryURL)
+
+	// acknowledged writes at the primary
+	for i := 0; i < 3; i++ {
+		postDoc(t, primaryURL, fmt.Sprintf("smoke%02d.xml", i),
+			`<bib><book><author/></book><cite href="pub00001.xml"/></bib>`, http.StatusCreated)
+	}
+	var pstats statsResponse
+	getJSON(t, primaryURL+"/stats", http.StatusOK, &pstats)
+	if pstats.Role != "primary" || pstats.AppliedSeq != 3 {
+		t.Fatalf("primary stats after writes: %+v", pstats)
+	}
+
+	// two follower processes
+	followers := make([]string, 2)
+	for i := range followers {
+		addr := fmt.Sprintf("127.0.0.1:%d", ports[i+1])
+		cmd := exec.Command(bin, "-addr", addr, "-replica-of", primaryURL)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start follower %d: %v", i, err)
+		}
+		defer func() { cmd.Process.Kill(); cmd.Wait() }()
+		followers[i] = "http://" + addr
+	}
+	var pq queryResponse
+	getJSON(t, primaryURL+"/query?expr="+qesc("//book//author")+"&limit=1000", http.StatusOK, &pq)
+	for i, base := range followers {
+		waitHealthy(t, base)
+		waitReplicaSeq(t, base, pstats.AppliedSeq)
+		var rq queryResponse
+		getJSON(t, base+"/query?expr="+qesc("//book//author")+"&limit=1000", http.StatusOK, &rq)
+		if rq.Count != pq.Count {
+			t.Fatalf("follower %d: %d matches, primary has %d", i, rq.Count, pq.Count)
+		}
+		var rs statsResponse
+		getJSON(t, base+"/stats", http.StatusOK, &rs)
+		if rs.Role != "replica" {
+			t.Fatalf("follower %d role %q", i, rs.Role)
+		}
+	}
+
+	// kill -9 the primary, restart it on the same address
+	if err := primary.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	primary.Wait()
+	primary = startPrimary()
+	defer func() { primary.Process.Kill(); primary.Wait() }()
+	waitHealthy(t, primaryURL)
+	getJSON(t, primaryURL+"/stats", http.StatusOK, &pstats)
+	if pstats.AppliedSeq != 3 {
+		t.Fatalf("primary lost committed writes across kill -9: %+v", pstats)
+	}
+
+	// a post-restart write reaches both followers through the resumed
+	// streams
+	postDoc(t, primaryURL, "after-crash.xml",
+		`<bib><book><author/></book><cite href="smoke00.xml"/></bib>`, http.StatusCreated)
+	getJSON(t, primaryURL+"/query?expr="+qesc("//book//author")+"&limit=1000", http.StatusOK, &pq)
+	for i, base := range followers {
+		waitReplicaSeq(t, base, 4)
+		var rq queryResponse
+		getJSON(t, base+"/query?expr="+qesc("//book//author")+"&limit=1000", http.StatusOK, &rq)
+		if rq.Count != pq.Count {
+			t.Fatalf("follower %d after restart: %d matches, primary has %d", i, rq.Count, pq.Count)
+		}
+	}
+}
+
+func qesc(expr string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(expr, "/", "%2F"), " ", "%20")
+}
+
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	listeners := make([]net.Listener, n)
+	for i := range ports {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		ports[i] = ln.Addr().(*net.TCPAddr).Port
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return ports
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("%s never became healthy", base)
+}

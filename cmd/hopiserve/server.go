@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -32,18 +33,26 @@ const (
 // serializes them internally. Path expressions are compiled once into
 // an LRU prepared-statement cache and executed as cursors, so limited
 // and paginated queries stop evaluating once their page is full.
+//
+// A durable index (-store) additionally acts as a replication primary:
+// its committed WAL batches stream to followers at GET /repl/stream. A
+// follower index (-replica-of) serves the read endpoints against its
+// latest replayed snapshot and refuses writes with 403.
 type server struct {
 	ix       *hopi.Index
 	maxLimit int
 	cache    *stmtCache
+	mux      *http.ServeMux
+	pub      *hopi.Publisher // log-shipping publisher, nil unless durable
 
 	queries  atomic.Uint64 // /query + /query/stream requests answered 200
 	streamed atomic.Uint64 // results written across both query endpoints
 }
 
 // newServer returns the HTTP handler for an index. maxLimit caps the
-// per-query result count (0 picks the default).
-func newServer(ix *hopi.Index, maxLimit int) http.Handler {
+// per-query result count (0 picks the default). A durable index gets a
+// replication publisher mounted at GET /repl/stream.
+func newServer(ix *hopi.Index, maxLimit int) *server {
 	if maxLimit <= 0 {
 		maxLimit = defaultMaxLimit
 	}
@@ -58,7 +67,31 @@ func newServer(ix *hopi.Index, maxLimit int) http.Handler {
 	mux.HandleFunc("POST /docs", s.handleInsertDoc)
 	mux.HandleFunc("DELETE /docs/{name}", s.handleDeleteDoc)
 	mux.HandleFunc("POST /links", s.handleInsertLink)
-	return mux
+	if ix.Durable() {
+		pub, err := ix.StartPublisher()
+		if err != nil {
+			// A durable server without its replication endpoint violates
+			// the documented -store contract; say so instead of serving
+			// mysterious 404s on /repl/stream.
+			log.Printf("hopiserve: replication publisher unavailable: %v", err)
+		} else {
+			s.pub = pub
+			mux.Handle("GET /repl/stream", pub)
+		}
+	}
+	s.mux = mux
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// closeRepl terminates follower streams before the HTTP server's
+// graceful shutdown, which would otherwise wait out its whole timeout
+// on the long-lived stream requests.
+func (s *server) closeRepl() {
+	if s.pub != nil {
+		s.pub.Close()
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -78,14 +111,17 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 }
 
 // statusFor maps resolution failures to 404, name collisions to 409,
-// and everything else to 400, using the hopi sentinel errors (never
-// error text, which embeds user-controlled names).
+// writes against a read replica to 403, and everything else to 400,
+// using the hopi sentinel errors (never error text, which embeds
+// user-controlled names).
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, hopi.ErrExists):
 		return http.StatusConflict
 	case errors.Is(err, hopi.ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, hopi.ErrReadOnlyReplica):
+		return http.StatusForbidden
 	}
 	return http.StatusBadRequest
 }
@@ -156,12 +192,29 @@ func (s *server) queryCursor(r *http.Request, limit int) (*hopi.Cursor, int, err
 	}
 	cur, err := s.ix.Snapshot().Run(r.Context(), pq, opts...)
 	if err != nil {
-		// Malformed and stale tokens are both client errors (400); the
-		// error text distinguishes them (ErrStaleToken names the epoch
-		// change so clients know to restart the page sequence).
+		// Malformed and stale tokens are client errors (400); the error
+		// text distinguishes them (ErrStaleToken names the epoch change
+		// so clients know to restart the page sequence). The exception
+		// is a retryable stale token — issued by a replica ahead of
+		// this one: the page sequence still exists, this replica just
+		// has not applied that batch yet, so the client should retry
+		// the same token (503) rather than restart.
+		var stale *hopi.StaleTokenError
+		if errors.As(err, &stale) && stale.Retryable {
+			return nil, http.StatusServiceUnavailable, err
+		}
 		return nil, http.StatusBadRequest, err
 	}
 	return cur, 0, nil
+}
+
+// writeQueryErr writes a queryCursor failure, adding Retry-After for
+// the retryable (replica-behind) 503 case.
+func writeQueryErr(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeErr(w, code, err)
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -173,7 +226,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	cur, code, err := s.queryCursor(r, limit)
 	if err != nil {
-		writeErr(w, code, err)
+		writeQueryErr(w, code, err)
 		return
 	}
 	defer cur.Close()
@@ -216,7 +269,7 @@ func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	}
 	cur, code, err := s.queryCursor(r, limit)
 	if err != nil {
-		writeErr(w, code, err)
+		writeQueryErr(w, code, err)
 		return
 	}
 	defer cur.Close()
@@ -343,6 +396,17 @@ type statsResponse struct {
 	Durable   bool   `json:"durable,omitempty"`
 	WALBytes  int64  `json:"walBytes,omitempty"`
 	LastBatch uint64 `json:"lastBatch,omitempty"`
+	// replication topology: the index's role, the durable batch
+	// sequence its served state reflects, and — on a replica — the
+	// primary's position and the resulting lag in batches
+	Role            string `json:"role"`
+	AppliedSeq      uint64 `json:"appliedSeq"`
+	PrimarySeq      uint64 `json:"primarySeq,omitempty"`
+	ReplicationLag  uint64 `json:"replicationLag"`
+	ReplicaOf       string `json:"replicaOf,omitempty"`
+	Connected       bool   `json:"connected,omitempty"`
+	FollowerStreams int64  `json:"followerStreams,omitempty"`
+	BatchesShipped  uint64 `json:"batchesShipped,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -368,6 +432,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Durable = true
 		resp.WALBytes = walBytes
 		resp.LastBatch = lastSeq
+	}
+	rs := s.ix.ReplicaStatus()
+	resp.Role = rs.Role
+	resp.AppliedSeq = rs.AppliedSeq
+	resp.PrimarySeq = rs.PrimarySeq
+	resp.ReplicationLag = rs.Lag
+	resp.ReplicaOf = rs.PrimaryURL
+	resp.Connected = rs.Connected
+	resp.FollowerStreams = rs.FollowerStreams
+	if s.pub != nil {
+		resp.BatchesShipped = s.pub.Shipped()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

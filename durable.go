@@ -1,14 +1,13 @@
 package hopi
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"hopi/internal/core"
+	"hopi/internal/replication"
 	"hopi/internal/storage"
 	"hopi/internal/xmlmodel"
 )
@@ -122,12 +121,19 @@ func (ix *Index) attachNew(path string) error {
 		st.Close()
 		return err
 	}
-	if err := writeCollFile(path+collSuffix, ix.coll.c, 0); err != nil {
+	if err := writeCollFile(path+collSuffix, ix.coll.c, 0, ix.scope); err != nil {
 		wal.Close()
 		st.Close()
 		return err
 	}
 	ix.dur = &durableState{path: path, store: st, wal: wal, nextSeq: 1}
+	// With a store attached the epoch becomes the durable WAL sequence
+	// (0 = the freshly created state) so resume tokens are portable
+	// across replicas and restarts; see Snapshot.Epoch. The replication
+	// scope minted at Build time is persisted with the sidecar (above,
+	// via writeCollFile) so restarts and replicas share it.
+	ix.seqEpoch = true
+	ix.epoch.Store(0)
 	return nil
 }
 
@@ -167,10 +173,15 @@ func openDurable(path string) (*Index, error) {
 	if err != nil {
 		return fail(fmt.Errorf("hopi: open collection: %w", err))
 	}
-	c, collSeq, err := xmlmodel.DecodeCollectionSeq(f)
+	c, collSeq, scope, err := xmlmodel.DecodeCollectionMeta(f)
 	f.Close()
 	if err != nil {
 		return fail(err)
+	}
+	if scope == 0 {
+		// sidecar predates replication scopes: mint one; the checkpoint
+		// below persists it
+		scope = newEpoch()
 	}
 	maxSeq := collSeq
 	if s := st.AppliedSeq(); s > maxSeq {
@@ -186,7 +197,7 @@ func openDurable(path string) (*Index, error) {
 			}
 		}
 		if rec.Seq > collSeq {
-			ops, err := decodeCollOps(rec.Coll)
+			ops, err := core.DecodeCollOps(rec.Coll)
 			if err != nil {
 				return fail(fmt.Errorf("hopi: wal replay (batch %d): %w", rec.Seq, err))
 			}
@@ -203,8 +214,9 @@ func openDurable(path string) (*Index, error) {
 		return fail(err)
 	}
 	coll := &Collection{c: c}
-	ix := &Index{coll: coll, ix: core.NewFromCover(c, cover)}
-	ix.epoch.Store(newEpoch())
+	ix := &Index{coll: coll, ix: core.NewFromCover(c, cover), scope: scope}
+	ix.seqEpoch = true
+	ix.epoch.Store(maxSeq)
 	ix.dur = &durableState{path: path, store: st, wal: wal, nextSeq: maxSeq + 1}
 	// fold the replayed tail into the store files and truncate the log,
 	// so the next crash has a short recovery again
@@ -268,16 +280,31 @@ func (ix *Index) doCheckpoint(seq uint64) error {
 	if err := d.store.CheckpointInto(d.wal); err != nil {
 		return err
 	}
-	if err := writeCollFile(d.path+collSuffix, ix.coll.c, seq); err != nil {
+	if err := writeCollFile(d.path+collSuffix, ix.coll.c, seq, ix.scope); err != nil {
 		return err
 	}
 	return d.wal.Reset()
 }
 
-// Close checkpoints (when healthy) and detaches the durable backend,
-// closing the store and the WAL. Closing a non-durable index is a
-// no-op. The index must not be used for maintenance afterwards.
+// Close tears down replication (stopping a follower's stream, closing
+// a publisher's follower streams), then checkpoints (when healthy) and
+// detaches the durable backend, closing the store and the WAL. Closing
+// a plain in-memory index is a no-op. The index must not be used for
+// maintenance afterwards.
 func (ix *Index) Close() error {
+	// Replication teardown happens before taking the write lock: the
+	// follower's replay goroutine acquires it inside the apply
+	// callbacks, and Stop waits for that goroutine to exit.
+	ix.mu.Lock()
+	fol, pub := ix.fol, ix.pub
+	ix.fol, ix.pub = nil, nil
+	ix.mu.Unlock()
+	if pub != nil {
+		pub.Close()
+	}
+	if fol != nil {
+		fol.Stop()
+	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	d := ix.dur
@@ -317,7 +344,7 @@ func (ix *Index) Close() error {
 func (ix *Index) commitDurable(log *core.ChangeLog) error {
 	d := ix.dur
 	seq := d.nextSeq
-	collBytes, err := encodeCollOps(log.Coll)
+	collBytes, err := core.EncodeCollOps(log.Coll)
 	if err != nil {
 		return err
 	}
@@ -353,18 +380,24 @@ func (ix *Index) commitDurable(log *core.ChangeLog) error {
 			return err
 		}
 	}
+	// The batch is committed: ship it to any attached replication
+	// publisher. Publish never blocks on slow followers (they fall back
+	// to the WAL or a snapshot image), so holding ix.mu here is fine.
+	if ix.pub != nil {
+		ix.pub.Publish(replication.Batch{Seq: seq, Coll: collBytes, Ops: cover})
+	}
 	return nil
 }
 
 // writeCollFile atomically replaces the collection sidecar via a
 // same-directory rename, fsyncing file and directory.
-func writeCollFile(path string, c *xmlmodel.Collection, seq uint64) error {
+func writeCollFile(path string, c *xmlmodel.Collection, seq, scope uint64) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := c.EncodeWithSeq(f, seq); err != nil {
+	if err := c.EncodeWithMeta(f, seq, scope); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -389,57 +422,7 @@ func writeCollFile(path string, c *xmlmodel.Collection, seq uint64) error {
 	return nil
 }
 
-// --- collection-op WAL payload ---------------------------------------
-//
-// The WAL treats the collection side of a batch as an opaque payload;
-// this is its encoding: a gob stream of flat DTOs (documents inlined
-// as their serialized parts).
-
-type walCollOp struct {
-	Kind     uint8
-	Name     string
-	Elements []xmlmodel.Element
-	Intra    [][2]int32
-	DocIdx   int
-	From, To int32
-}
-
-func encodeCollOps(ops []core.CollOp) ([]byte, error) {
-	if len(ops) == 0 {
-		return nil, nil
-	}
-	dtos := make([]walCollOp, len(ops))
-	for i, op := range ops {
-		dto := walCollOp{Kind: uint8(op.Kind), DocIdx: op.DocIdx, From: op.From, To: op.To}
-		if op.Kind == core.CollAddDoc {
-			dto.Name = op.Doc.Name
-			dto.Elements = op.Doc.Elements
-			dto.Intra = op.Doc.IntraLinks
-		}
-		dtos[i] = dto
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(dtos); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-func decodeCollOps(b []byte) ([]core.CollOp, error) {
-	if len(b) == 0 {
-		return nil, nil
-	}
-	var dtos []walCollOp
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&dtos); err != nil {
-		return nil, err
-	}
-	ops := make([]core.CollOp, len(dtos))
-	for i, dto := range dtos {
-		op := core.CollOp{Kind: core.CollOpKind(dto.Kind), DocIdx: dto.DocIdx, From: dto.From, To: dto.To}
-		if op.Kind == core.CollAddDoc {
-			op.Doc = xmlmodel.NewDocumentFromParts(dto.Name, dto.Elements, dto.Intra)
-		}
-		ops[i] = op
-	}
-	return ops, nil
-}
+// The collection side of a batch is encoded as an opaque payload by
+// core.EncodeCollOps — shared between the WAL (here) and the
+// replication wire protocol, so log replay and log shipping see
+// identical bytes.

@@ -70,6 +70,7 @@ import (
 
 	"hopi/internal/core"
 	"hopi/internal/partition"
+	"hopi/internal/replication"
 	"hopi/internal/storage"
 )
 
@@ -158,15 +159,35 @@ type Index struct {
 	cur    atomic.Pointer[Snapshot] // latest published snapshot, nil after a batch
 	epoch  atomic.Uint64            // opaque version stamp; see newEpoch
 	dur    *durableState            // attached store backend, nil for in-memory indexes
+	// seqEpoch marks the epoch as the durable WAL batch sequence
+	// instead of a random per-instance counter; written under mu's
+	// write side, read under either side. See Snapshot.Epoch.
+	seqEpoch bool
+	// scope is the replication-scope identity embedded in resume
+	// tokens: random per instance for in-memory indexes, minted at
+	// store creation and persisted for durable ones, adopted from the
+	// primary's bootstrap image on followers. A token is only ever
+	// honored by indexes of the same scope, so sequence-valued epochs
+	// cannot collide across unrelated stores. Written under mu's write
+	// side (or before the index is shared), read under either side.
+	scope uint64
+	// readOnly marks a replication follower: Apply refuses with
+	// ErrReadOnlyReplica, all state changes arrive over the stream.
+	// Immutable after construction.
+	readOnly bool
+	pub      *replication.Publisher // attached log-shipping publisher, nil otherwise
+	fol      *replication.Follower  // replication source for followers, nil otherwise
 }
 
-// newEpoch seeds an index's version stamp. The epoch is bumped on
-// every maintenance batch and embedded in resume tokens; seeding it
-// randomly per index instance (rather than starting at zero) makes a
-// token from a different index, an earlier process, or a restarted
-// durable server fail ErrStaleToken instead of silently resuming over
-// different data — the counter would otherwise restart at zero and
-// collide.
+// newEpoch seeds an in-memory index's version stamp. The epoch is
+// bumped on every maintenance batch and embedded in resume tokens;
+// seeding it randomly per index instance (rather than starting at
+// zero) makes a token from a different index or an earlier process
+// fail ErrStaleToken instead of silently resuming over different data
+// — the counter would otherwise restart at zero and collide. Indexes
+// with an attached durable store (and replication followers) use the
+// WAL batch sequence instead, which makes tokens portable across
+// replicas and restarts of the same store; see Snapshot.Epoch.
 func newEpoch() uint64 { return rand.Uint64() }
 
 // Build constructs a HOPI index for the collection. The collection is
@@ -177,7 +198,7 @@ func Build(coll *Collection, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := &Index{coll: coll, ix: ix}
+	h := &Index{coll: coll, ix: ix, scope: newEpoch()}
 	h.epoch.Store(newEpoch())
 	return h, nil
 }
@@ -203,7 +224,7 @@ func (ix *Index) Snapshot() *Snapshot {
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	s := newSnapshot(ix.ix, ix.epoch.Load())
+	s := newSnapshot(ix.ix, ix.epoch.Load(), ix.seqEpoch, ix.scope)
 	ix.cur.Store(s)
 	return s
 }
@@ -469,7 +490,7 @@ func Open(path string, opts ...OpenOption) (*Index, error) {
 		return nil, err
 	}
 	cix := core.NewFromCover(coll.c, cover)
-	h := &Index{coll: coll, ix: cix}
+	h := &Index{coll: coll, ix: cix, scope: newEpoch()}
 	h.epoch.Store(newEpoch())
 	return h, nil
 }

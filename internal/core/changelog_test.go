@@ -136,3 +136,73 @@ func entriesEq(a, b []twohop.Entry) bool {
 	}
 	return true
 }
+
+// TestCollOpWireRoundTrip pins the ChangeLog wire encoding shared by
+// the WAL and the replication stream.
+func TestCollOpWireRoundTrip(t *testing.T) {
+	d := xmlmodel.NewDocument("w.xml", "article")
+	d.AddElement(0, "title")
+	d.AddIntraLink(0, 1)
+	ops := []CollOp{
+		{Kind: CollAddDoc, Doc: d},
+		{Kind: CollAddLink, From: 3, To: 9},
+		{Kind: CollRemoveLink, From: 3, To: 9},
+		{Kind: CollRemoveDoc, DocIdx: 2},
+	}
+	b, err := EncodeCollOps(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCollOps(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("%d ops decoded, want %d", len(got), len(ops))
+	}
+	for i, op := range got {
+		if op.Kind != ops[i].Kind || op.DocIdx != ops[i].DocIdx || op.From != ops[i].From || op.To != ops[i].To {
+			t.Fatalf("op %d = %+v, want %+v", i, op, ops[i])
+		}
+	}
+	if got[0].Doc.Name != "w.xml" || got[0].Doc.Len() != 2 || len(got[0].Doc.IntraLinks) != 1 {
+		t.Fatalf("decoded doc %+v", got[0].Doc)
+	}
+	// empty stream: nil bytes, nil ops
+	if b, err := EncodeCollOps(nil); err != nil || b != nil {
+		t.Fatalf("EncodeCollOps(nil) = %v, %v", b, err)
+	}
+	if ops, err := DecodeCollOps(nil); err != nil || ops != nil {
+		t.Fatalf("DecodeCollOps(nil) = %v, %v", ops, err)
+	}
+}
+
+// TestCoverDeltaWireRoundTrip pins the 13-byte binary delta records.
+func TestCoverDeltaWireRoundTrip(t *testing.T) {
+	ops := []twohop.CoverDelta{
+		{Kind: twohop.DeltaGrow, Node: 12},
+		{Kind: twohop.DeltaAddIn, Node: 3, Center: 7, Dist: 2},
+		{Kind: twohop.DeltaAddOut, Node: 2147483647, Center: 0, Dist: 4294967295},
+		{Kind: twohop.DeltaRemoveOut, Node: 0, Center: 5},
+		{Kind: twohop.DeltaClearAll},
+	}
+	b := EncodeCoverDeltas(ops)
+	if len(b) != 13*len(ops) {
+		t.Fatalf("encoded %d bytes, want %d", len(b), 13*len(ops))
+	}
+	got, err := DecodeCoverDeltas(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("delta %d = %+v, want %+v", i, got[i], ops[i])
+		}
+	}
+	if _, err := DecodeCoverDeltas(b[:5]); err == nil {
+		t.Fatal("truncated delta stream decoded without error")
+	}
+	if b := EncodeCoverDeltas(nil); b != nil {
+		t.Fatalf("EncodeCoverDeltas(nil) = %v", b)
+	}
+}

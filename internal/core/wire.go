@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"hopi/internal/twohop"
+	"hopi/internal/xmlmodel"
+)
+
+// ChangeLog wire encoding
+//
+// A recorded maintenance batch travels in two independent streams: the
+// collection ops (document bodies inlined) and the cover label deltas.
+// The encodings here are the canonical ones — the write-ahead log
+// frames them on disk (storage.WAL) and the replication subsystem
+// ships the identical bytes to followers, so a batch replayed from the
+// log and a batch applied over the wire are indistinguishable.
+
+// walCollOp is the flat DTO one collection op serializes as. The type
+// name is part of the gob stream (and therefore of the WAL bytes) —
+// keep it stable.
+type walCollOp struct {
+	Kind     uint8
+	Name     string
+	Elements []xmlmodel.Element
+	Intra    [][2]int32
+	DocIdx   int
+	From, To int32
+}
+
+// EncodeCollOps serializes a batch's collection-op stream. The
+// encoding is deterministic for identical logical ops, which keeps
+// WALs byte-stable across independent replicas.
+func EncodeCollOps(ops []CollOp) ([]byte, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	dtos := make([]walCollOp, len(ops))
+	for i, op := range ops {
+		dto := walCollOp{Kind: uint8(op.Kind), DocIdx: op.DocIdx, From: op.From, To: op.To}
+		if op.Kind == CollAddDoc {
+			dto.Name = op.Doc.Name
+			dto.Elements = op.Doc.Elements
+			dto.Intra = op.Doc.IntraLinks
+		}
+		dtos[i] = dto
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(dtos); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCollOps reverses EncodeCollOps.
+func DecodeCollOps(b []byte) ([]CollOp, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	var dtos []walCollOp
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&dtos); err != nil {
+		return nil, err
+	}
+	ops := make([]CollOp, len(dtos))
+	for i, dto := range dtos {
+		op := CollOp{Kind: CollOpKind(dto.Kind), DocIdx: dto.DocIdx, From: dto.From, To: dto.To}
+		if op.Kind == CollAddDoc {
+			op.Doc = xmlmodel.NewDocumentFromParts(dto.Name, dto.Elements, dto.Intra)
+		}
+		ops[i] = op
+	}
+	return ops, nil
+}
+
+// coverDeltaSize is the fixed record size of one encoded CoverDelta —
+// the same 13-byte layout the WAL uses inside its batch records.
+const coverDeltaSize = 13
+
+// EncodeCoverDeltas serializes a cover delta stream: kind u8, node u32,
+// center u32, dist u32, little endian, 13 bytes per delta.
+func EncodeCoverDeltas(ops []twohop.CoverDelta) []byte {
+	if len(ops) == 0 {
+		return nil
+	}
+	out := make([]byte, 0, coverDeltaSize*len(ops))
+	for _, op := range ops {
+		out = append(out, byte(op.Kind))
+		out = binary.LittleEndian.AppendUint32(out, uint32(op.Node))
+		out = binary.LittleEndian.AppendUint32(out, uint32(op.Center))
+		out = binary.LittleEndian.AppendUint32(out, op.Dist)
+	}
+	return out
+}
+
+// DecodeCoverDeltas reverses EncodeCoverDeltas.
+func DecodeCoverDeltas(b []byte) ([]twohop.CoverDelta, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if len(b)%coverDeltaSize != 0 {
+		return nil, fmt.Errorf("core: cover delta stream of %d bytes is not a multiple of %d", len(b), coverDeltaSize)
+	}
+	ops := make([]twohop.CoverDelta, len(b)/coverDeltaSize)
+	for i := range ops {
+		ops[i] = twohop.CoverDelta{
+			Kind:   twohop.DeltaKind(b[0]),
+			Node:   int32(binary.LittleEndian.Uint32(b[1:])),
+			Center: int32(binary.LittleEndian.Uint32(b[5:])),
+			Dist:   binary.LittleEndian.Uint32(b[9:]),
+		}
+		b = b[coverDeltaSize:]
+	}
+	return ops, nil
+}
+
+// ApplyLogged replays one recorded batch — its collection ops plus its
+// cover deltas — onto a live index. This is the apply-from-log entry
+// point shared by crash recovery and replication followers: the same
+// streams a ChangeLog captured on the primary reproduce the post-batch
+// state here, byte for byte on the labels. The two streams are
+// independent (cover deltas carry global IDs and explicit grows), so
+// replaying the collection side first and the cover side second is
+// equivalent to the interleaved original execution.
+//
+// Derived state is maintained the same way live maintenance does it:
+// the installed delta recorder keeps the posting index warm for
+// incremental batches, while a wholesale stream (DeltaClearAll, logged
+// for rebuilds) drops the postings for lazy re-derivation. Callers
+// serialize ApplyLogged against all other maintenance.
+func (ix *Index) ApplyLogged(collOps []CollOp, cover []twohop.CoverDelta) error {
+	wholesale := false
+	for _, d := range cover {
+		if d.Kind == twohop.DeltaClearAll {
+			wholesale = true
+			break
+		}
+	}
+	if wholesale {
+		// Cover.Apply's clear-all bypasses the recorder; stale postings
+		// must not survive underneath the adds that follow it.
+		ix.invalidate()
+	}
+	if err := ReplayCollOps(ix.coll, collOps); err != nil {
+		return err
+	}
+	ix.cover.Apply(cover)
+	if len(collOps) > 0 || wholesale {
+		ix.invalidateCyclic() // documents and links can open or close cycles
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package replication
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Target is the follower-side state the stream is replayed into.
+// Calls arrive strictly in order from a single goroutine: a Bootstrap
+// establishes state at Image.Seq, each ApplyBatch advances it by
+// exactly one sequence. Another Bootstrap may arrive at any time (the
+// publisher resets followers that lag past its retained history).
+// Quiesce is called whenever no further frame is already buffered on
+// the connection — the moment to publish derived state (snapshots)
+// once per burst instead of once per batch, so replay keeps pace with
+// the primary under write storms.
+type Target interface {
+	Bootstrap(img *Image) error
+	ApplyBatch(b Batch) error
+	Quiesce()
+}
+
+// FollowerOptions tunes a Follower; the zero value picks defaults.
+type FollowerOptions struct {
+	// Client issues the stream requests (default http.DefaultClient;
+	// the stream is long-lived, so the client must not set an overall
+	// request timeout).
+	Client *http.Client
+	// BackoffMin/BackoffMax bound the reconnect backoff (defaults
+	// 100ms / 5s; each failed attempt doubles the delay).
+	BackoffMin, BackoffMax time.Duration
+}
+
+func (o *FollowerOptions) defaults() {
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 100 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+}
+
+// Status is a point-in-time view of a follower's replication state.
+type Status struct {
+	// AppliedSeq is the last batch sequence replayed into the target.
+	AppliedSeq uint64
+	// PrimarySeq is the primary's last committed sequence as of the
+	// most recent frame; PrimarySeq - AppliedSeq is the replication lag
+	// in batches.
+	PrimarySeq uint64
+	// Bootstrapped reports that the target holds a consistent state.
+	Bootstrapped bool
+	// Connected reports a currently open stream.
+	Connected bool
+	// LastContact is the arrival time of the most recent frame.
+	LastContact time.Time
+	// LastError is the most recent stream failure ("" when none).
+	LastError string
+}
+
+// Lag returns the replication lag in batches.
+func (s Status) Lag() uint64 {
+	if s.PrimarySeq <= s.AppliedSeq {
+		return 0
+	}
+	return s.PrimarySeq - s.AppliedSeq
+}
+
+// Follower connects to a primary's /repl/stream endpoint, replays the
+// frames into its Target, and reconnects with exponential backoff,
+// resuming after the last applied sequence. Start it once; Stop tears
+// it down and waits for the replay goroutine to exit.
+type Follower struct {
+	url    string
+	target Target
+	opts   FollowerOptions
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	ready     chan struct{} // closed once the target holds consistent state
+	readyOnce sync.Once
+
+	mu sync.Mutex
+	st Status
+}
+
+// NewFollower prepares a follower for the stream endpoint at url
+// (".../repl/stream"). Call Start to begin replication.
+func NewFollower(url string, target Target, opts FollowerOptions) *Follower {
+	opts.defaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Follower{
+		url: url, target: target, opts: opts,
+		ctx: ctx, cancel: cancel,
+		done:  make(chan struct{}),
+		ready: make(chan struct{}),
+	}
+}
+
+// URL returns the primary stream endpoint this follower replicates
+// from.
+func (f *Follower) URL() string { return f.url }
+
+// Start launches the replication loop.
+func (f *Follower) Start() {
+	go f.run()
+}
+
+// Stop cancels the stream and waits for the replay goroutine to exit.
+// Idempotent.
+func (f *Follower) Stop() {
+	f.cancel()
+	<-f.done
+}
+
+// Status returns the current replication state.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
+// WaitReady blocks until the target holds a consistent replica state
+// (the initial bootstrap has been applied) or ctx expires.
+func (f *Follower) WaitReady(ctx context.Context) error {
+	select {
+	case <-f.ready:
+		return nil
+	case <-f.ctx.Done():
+		return errors.New("replication: follower stopped")
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (f *Follower) signalReady() {
+	f.readyOnce.Do(func() { close(f.ready) })
+}
+
+func (f *Follower) run() {
+	defer close(f.done)
+	backoff := f.opts.BackoffMin
+	for f.ctx.Err() == nil {
+		frames, err := f.streamOnce()
+		if f.ctx.Err() != nil {
+			return
+		}
+		f.mu.Lock()
+		f.st.Connected = false
+		if err != nil {
+			f.st.LastError = err.Error()
+		}
+		f.mu.Unlock()
+		if frames > 0 {
+			// The stream was healthy before it broke: forget the
+			// accumulated backoff, or one early outage would ratchet
+			// every future reconnect to BackoffMax forever.
+			backoff = f.opts.BackoffMin
+		}
+		select {
+		case <-f.ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > f.opts.BackoffMax {
+			backoff = f.opts.BackoffMax
+		}
+	}
+}
+
+// streamOnce runs one connection: request the stream from the next
+// needed sequence and replay frames until the stream breaks. It
+// returns how many frames were processed (a healthy-stream signal for
+// the backoff) alongside the terminal error.
+func (f *Follower) streamOnce() (frames int, err error) {
+	f.mu.Lock()
+	from := uint64(0)
+	if f.st.Bootstrapped {
+		from = f.st.AppliedSeq + 1
+	}
+	f.mu.Unlock()
+
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, fmt.Sprintf("%s?from=%d", f.url, from), nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := f.opts.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return 0, fmt.Errorf("replication: primary returned %s", resp.Status)
+	}
+
+	f.mu.Lock()
+	f.st.Connected = true
+	f.st.LastError = ""
+	f.mu.Unlock()
+
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var fr frame
+		if err := dec.Decode(&fr); err != nil {
+			if errors.Is(err, io.EOF) {
+				return frames, errors.New("replication: stream closed by primary")
+			}
+			return frames, err
+		}
+		if err := f.handleFrame(&fr); err != nil {
+			return frames, err
+		}
+		frames++
+		// Quiesce only once a consistent state exists — the stream leads
+		// with a heartbeat, which precedes the bootstrap image.
+		f.mu.Lock()
+		booted := f.st.Bootstrapped
+		f.mu.Unlock()
+		if booted && !hasBufferedFrame(dec) {
+			f.target.Quiesce()
+		}
+	}
+}
+
+// hasBufferedFrame reports whether the decoder already holds the start
+// of another frame, i.e. the stream is mid-burst. Reading the buffered
+// view does not consume decoder state.
+func hasBufferedFrame(dec *json.Decoder) bool {
+	buf := make([]byte, 64)
+	n, _ := dec.Buffered().Read(buf)
+	for _, c := range buf[:n] {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+func (f *Follower) handleFrame(fr *frame) error {
+	now := time.Now()
+	switch fr.Type {
+	case frameHeartbeat:
+		f.mu.Lock()
+		f.st.PrimarySeq = fr.Seq
+		f.st.LastContact = now
+		f.mu.Unlock()
+		return nil
+	case frameSnapshot:
+		img, err := fr.image()
+		if err != nil {
+			return err
+		}
+		if err := f.target.Bootstrap(img); err != nil {
+			return fmt.Errorf("replication: bootstrap at %d: %w", img.Seq, err)
+		}
+		f.mu.Lock()
+		f.st.AppliedSeq = img.Seq
+		if f.st.PrimarySeq < img.Seq {
+			f.st.PrimarySeq = img.Seq
+		}
+		f.st.Bootstrapped = true
+		f.st.LastContact = now
+		f.mu.Unlock()
+		f.signalReady()
+		return nil
+	case frameBatch:
+		f.mu.Lock()
+		applied, booted := f.st.AppliedSeq, f.st.Bootstrapped
+		f.st.LastContact = now
+		f.mu.Unlock()
+		if !booted {
+			return fmt.Errorf("replication: batch %d before bootstrap", fr.Seq)
+		}
+		if fr.Seq <= applied {
+			return nil // duplicate after a reconnect race; already applied
+		}
+		if fr.Seq != applied+1 {
+			return fmt.Errorf("replication: sequence gap: got %d after %d", fr.Seq, applied)
+		}
+		b, err := fr.batch()
+		if err != nil {
+			return err
+		}
+		if err := f.target.ApplyBatch(b); err != nil {
+			return fmt.Errorf("replication: apply batch %d: %w", b.Seq, err)
+		}
+		f.mu.Lock()
+		f.st.AppliedSeq = b.Seq
+		if f.st.PrimarySeq < b.Seq {
+			f.st.PrimarySeq = b.Seq
+		}
+		f.mu.Unlock()
+		return nil
+	case frameError:
+		return fmt.Errorf("replication: primary error: %s", fr.Msg)
+	default:
+		// Unknown frame types are skipped so the protocol can grow
+		// without breaking old followers.
+		return nil
+	}
+}

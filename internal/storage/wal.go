@@ -256,6 +256,40 @@ func (w *WAL) append(payload []byte) error {
 	return nil
 }
 
+// BatchesFrom re-reads the log and returns the committed batch records
+// with Seq >= from, in order. ok reports whether the log actually
+// covers from — i.e. its batch records form a contiguous run whose
+// first sequence is exactly from. A log that was truncated by a
+// checkpoint no longer covers the folded batches; callers (the
+// replication publisher's lagging-follower fallback) must then fall
+// back to a full state image instead of the delta stream.
+//
+// The caller must exclude concurrent appends and resets for the
+// duration of the call (hopi.Index serializes them under its write
+// lock and reads the tail under the read side).
+func (w *WAL) BatchesFrom(from uint64) ([]WALRecord, bool, error) {
+	recs, _, err := w.scan()
+	if err != nil {
+		return nil, false, err
+	}
+	var out []WALRecord
+	for _, r := range recs {
+		if r.IsCheckpoint() || r.Seq < from {
+			continue
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 || out[0].Seq != from {
+		return nil, false, nil
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Seq != out[i-1].Seq+1 {
+			return nil, false, fmt.Errorf("storage: wal batch gap: %d follows %d", out[i].Seq, out[i-1].Seq)
+		}
+	}
+	return out, true, nil
+}
+
 // Reset truncates the log to empty — called after a checkpoint has
 // made every logged change durable in the store itself.
 func (w *WAL) Reset() error {

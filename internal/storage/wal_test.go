@@ -282,3 +282,65 @@ func entriesEqual(a, b []twohop.Entry) bool {
 	}
 	return true
 }
+
+// TestWALBatchesFrom covers the replication publisher's lagging-
+// follower fallback: the log serves contiguous batch runs from any
+// covered sequence and reports non-coverage (after checkpoints and
+// resets) instead of gapped replays.
+func TestWALBatchesFrom(t *testing.T) {
+	path := walPath(t)
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// an empty log covers nothing
+	if _, ok, err := w.BatchesFrom(1); err != nil || ok {
+		t.Fatalf("empty log: ok=%v err=%v", ok, err)
+	}
+
+	for seq := uint64(3); seq <= 7; seq++ {
+		ops := []twohop.CoverDelta{{Kind: twohop.DeltaAddIn, Node: int32(seq), Center: 1, Dist: 1}}
+		if err := w.AppendBatch(seq, []byte{byte(seq)}, ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a checkpoint record in between must not break batch contiguity
+	if err := w.AppendCheckpoint(7, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, ok, err := w.BatchesFrom(3)
+	if err != nil || !ok {
+		t.Fatalf("BatchesFrom(3): ok=%v err=%v", ok, err)
+	}
+	if len(recs) != 5 || recs[0].Seq != 3 || recs[4].Seq != 7 {
+		t.Fatalf("BatchesFrom(3) = %d records [%d..%d], want 5 [3..7]", len(recs), recs[0].Seq, recs[len(recs)-1].Seq)
+	}
+	if string(recs[2].Coll) != string([]byte{5}) {
+		t.Fatalf("record 5 coll payload = %v", recs[2].Coll)
+	}
+
+	recs, ok, err = w.BatchesFrom(6)
+	if err != nil || !ok || len(recs) != 2 {
+		t.Fatalf("BatchesFrom(6): %d records ok=%v err=%v, want 2", len(recs), ok, err)
+	}
+
+	// sequences the log does not start at are not covered (1, 2), and
+	// neither are future ones (8): the caller must fall back to a
+	// snapshot image, never replay a gapped stream
+	for _, from := range []uint64{1, 2, 8} {
+		if _, ok, err := w.BatchesFrom(from); err != nil || ok {
+			t.Fatalf("BatchesFrom(%d): ok=%v err=%v, want not covered", from, ok, err)
+		}
+	}
+
+	// after a reset (checkpoint) nothing is covered anymore
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := w.BatchesFrom(3); ok {
+		t.Fatal("reset log still covers batches")
+	}
+}

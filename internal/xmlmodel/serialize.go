@@ -24,6 +24,13 @@ type collectionDTO struct {
 	// (durable deployments; zero otherwise). gob tolerates the field's
 	// absence, so version 1 files with and without it interdecode.
 	Seq uint64
+	// Scope is the replication-scope identity of the owning store
+	// (durable deployments; zero otherwise) — a random value minted at
+	// store creation that resume tokens embed so a token can never be
+	// accepted by an unrelated index whose batch sequence happens to
+	// match. Absent in older files (gob decodes it as zero; the next
+	// checkpoint persists a fresh one).
+	Scope uint64
 }
 
 const serializeVersion = 1
@@ -36,7 +43,13 @@ func (c *Collection) Encode(w io.Writer) error { return c.EncodeWithSeq(w, 0) }
 // batch sequence it reflects; the durable attach mode uses the stamp
 // to know which WAL records the snapshot already includes.
 func (c *Collection) EncodeWithSeq(w io.Writer, seq uint64) error {
-	dto := collectionDTO{Version: serializeVersion, Links: c.Links, Seq: seq}
+	return c.EncodeWithMeta(w, seq, 0)
+}
+
+// EncodeWithMeta writes the collection stamped with its batch sequence
+// and replication-scope identity.
+func (c *Collection) EncodeWithMeta(w io.Writer, seq, scope uint64) error {
+	dto := collectionDTO{Version: serializeVersion, Links: c.Links, Seq: seq, Scope: scope}
 	for i, d := range c.Docs {
 		dto.Docs = append(dto.Docs, docDTO{
 			Name:       d.Name,
@@ -78,12 +91,19 @@ func DecodeCollection(r io.Reader) (*Collection, error) {
 // DecodeCollectionSeq reads a collection plus its batch-sequence stamp
 // (zero for files written without one).
 func DecodeCollectionSeq(r io.Reader) (*Collection, uint64, error) {
+	c, seq, _, err := DecodeCollectionMeta(r)
+	return c, seq, err
+}
+
+// DecodeCollectionMeta reads a collection plus its batch-sequence and
+// replication-scope stamps (zero for files written without them).
+func DecodeCollectionMeta(r io.Reader) (*Collection, uint64, uint64, error) {
 	var dto collectionDTO
 	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
-		return nil, 0, fmt.Errorf("xmlmodel: decode collection: %w", err)
+		return nil, 0, 0, fmt.Errorf("xmlmodel: decode collection: %w", err)
 	}
 	if dto.Version != serializeVersion {
-		return nil, 0, fmt.Errorf("xmlmodel: unsupported collection version %d", dto.Version)
+		return nil, 0, 0, fmt.Errorf("xmlmodel: unsupported collection version %d", dto.Version)
 	}
 	c := NewCollection()
 	for _, dd := range dto.Docs {
@@ -98,5 +118,5 @@ func DecodeCollectionSeq(r io.Reader) (*Collection, uint64, error) {
 		}
 	}
 	c.Links = dto.Links
-	return c, dto.Seq, nil
+	return c, dto.Seq, dto.Scope, nil
 }

@@ -17,12 +17,40 @@ var (
 	// ErrBadToken wraps malformed resume tokens and tokens issued for a
 	// different query or ranking mode.
 	ErrBadToken = errors.New("invalid page token")
-	// ErrStaleToken wraps resume tokens issued against an older
+	// ErrStaleToken wraps resume tokens issued against a different
 	// snapshot epoch: the index has been maintained since the token was
 	// handed out, so the page sequence it belongs to no longer exists.
-	// Restart the query from the beginning.
+	// Restart the query from the beginning — unless the failure is a
+	// *StaleTokenError with Retryable set, in which case this replica
+	// simply has not applied the token's batch yet and the same token
+	// will succeed once it catches up.
 	ErrStaleToken = errors.New("stale page token: snapshot epoch changed")
 )
+
+// StaleTokenError is the concrete error for an epoch-mismatched resume
+// token; errors.Is(err, ErrStaleToken) matches it. On snapshots whose
+// epoch is a durable WAL sequence (durable primaries and replication
+// followers — see Snapshot.Epoch), the mismatch is ordered: a token
+// stamped ahead of the snapshot means the serving replica is behind
+// the replica that issued it, and Retryable is set — the caller should
+// retry the same token (HTTP servers translate this to 503 with
+// Retry-After rather than 400), not restart the page walk.
+type StaleTokenError struct {
+	TokenEpoch    uint64
+	SnapshotEpoch uint64
+	Retryable     bool
+}
+
+func (e *StaleTokenError) Error() string {
+	if e.Retryable {
+		return fmt.Sprintf("stale page token: snapshot epoch changed (token epoch %d ahead of replica epoch %d; retry once the replica catches up)",
+			e.TokenEpoch, e.SnapshotEpoch)
+	}
+	return fmt.Sprintf("stale page token: snapshot epoch changed (token epoch %d, snapshot epoch %d)", e.TokenEpoch, e.SnapshotEpoch)
+}
+
+// Unwrap lets errors.Is(err, ErrStaleToken) match.
+func (e *StaleTokenError) Unwrap() error { return ErrStaleToken }
 
 // PreparedQuery is the compiled, snapshot-independent form of a path
 // expression: the parsed steps plus per-step metadata. Prepare once,
@@ -89,6 +117,7 @@ type StepPlan = query.StepPlan
 // query back up, and the guards that make the token safe to accept
 // from an untrusted client.
 type resumePos struct {
+	scope    uint64  // replication-scope identity of the issuing index
 	epoch    uint64  // snapshot epoch the token was issued at
 	hash     uint32  // prepared-query hash the token belongs to
 	ranked   bool    // ranking mode the token was issued under
@@ -98,15 +127,16 @@ type resumePos struct {
 }
 
 const (
-	tokenVersion = 1
-	tokenLen     = 1 + 8 + 4 + 1 + 4 + 8
+	tokenVersion = 2 // v2 added the 8-byte scope; v1 tokens are rejected
+	tokenLen     = 1 + 8 + 8 + 4 + 1 + 4 + 8
 )
 
 func (t resumePos) encode() string {
 	var b [tokenLen]byte
 	b[0] = tokenVersion
-	binary.LittleEndian.PutUint64(b[1:], t.epoch)
-	binary.LittleEndian.PutUint32(b[9:], t.hash)
+	binary.LittleEndian.PutUint64(b[1:], t.scope)
+	binary.LittleEndian.PutUint64(b[9:], t.epoch)
+	binary.LittleEndian.PutUint32(b[17:], t.hash)
 	var flags byte
 	if t.ranked {
 		flags |= 1
@@ -114,9 +144,9 @@ func (t resumePos) encode() string {
 	if t.hasAfter {
 		flags |= 2
 	}
-	b[13] = flags
-	binary.LittleEndian.PutUint32(b[14:], uint32(t.after))
-	binary.LittleEndian.PutUint64(b[18:], math.Float64bits(t.score))
+	b[21] = flags
+	binary.LittleEndian.PutUint32(b[22:], uint32(t.after))
+	binary.LittleEndian.PutUint64(b[26:], math.Float64bits(t.score))
 	return base64.RawURLEncoding.EncodeToString(b[:])
 }
 
@@ -129,12 +159,13 @@ func decodeToken(s string) (resumePos, error) {
 		return resumePos{}, fmt.Errorf("%w: wrong length or version", ErrBadToken)
 	}
 	return resumePos{
-		epoch:    binary.LittleEndian.Uint64(raw[1:]),
-		hash:     binary.LittleEndian.Uint32(raw[9:]),
-		ranked:   raw[13]&1 != 0,
-		hasAfter: raw[13]&2 != 0,
-		after:    int32(binary.LittleEndian.Uint32(raw[14:])),
-		score:    math.Float64frombits(binary.LittleEndian.Uint64(raw[18:])),
+		scope:    binary.LittleEndian.Uint64(raw[1:]),
+		epoch:    binary.LittleEndian.Uint64(raw[9:]),
+		hash:     binary.LittleEndian.Uint32(raw[17:]),
+		ranked:   raw[21]&1 != 0,
+		hasAfter: raw[21]&2 != 0,
+		after:    int32(binary.LittleEndian.Uint32(raw[22:])),
+		score:    math.Float64frombits(binary.LittleEndian.Uint64(raw[26:])),
 	}, nil
 }
 
@@ -187,14 +218,26 @@ func (s *Snapshot) Run(ctx context.Context, pq *PreparedQuery, opts ...QueryOpti
 		so.Limit = cfg.limit + 1
 	}
 	c := &Cursor{snap: s, pq: pq, ranked: cfg.ranked, limit: cfg.limit}
-	c.last = resumePos{epoch: s.epoch, hash: pq.hash, ranked: cfg.ranked}
+	c.last = resumePos{scope: s.scope, epoch: s.epoch, hash: pq.hash, ranked: cfg.ranked}
 	if cfg.resume != "" {
 		tok, err := decodeToken(cfg.resume)
 		if err != nil {
 			return nil, err
 		}
+		// Scope first: a token from an unrelated index (different store,
+		// different replication group, a plain in-memory instance) is
+		// invalid outright — sequence-valued epochs from different
+		// groups must neither collide into a silent resume nor read as
+		// "replica behind" and trap clients in 503 retries.
+		if tok.scope != s.scope {
+			return nil, fmt.Errorf("%w: issued by a different index", ErrBadToken)
+		}
 		if tok.epoch != s.epoch {
-			return nil, fmt.Errorf("%w (token epoch %d, snapshot epoch %d)", ErrStaleToken, tok.epoch, s.epoch)
+			return nil, &StaleTokenError{
+				TokenEpoch:    tok.epoch,
+				SnapshotEpoch: s.epoch,
+				Retryable:     s.seqEpoch && tok.epoch > s.epoch,
+			}
 		}
 		if tok.hash != pq.hash {
 			return nil, fmt.Errorf("%w: issued for a different query", ErrBadToken)

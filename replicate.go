@@ -1,0 +1,335 @@
+package hopi
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"hopi/internal/core"
+	"hopi/internal/replication"
+	"hopi/internal/twohop"
+	"hopi/internal/xmlmodel"
+)
+
+// Replication
+//
+// A durable primary ships its committed WAL batches to read-only
+// followers over HTTP: StartPublisher attaches a log-shipping
+// publisher to the index's commit path and exposes the stream as an
+// http.Handler (mount it at GET /repl/stream); Follow dials that
+// endpoint and returns a read-only *Index that bootstraps from a full
+// state image, replays each committed batch as it arrives, and
+// republishes a fresh snapshot per batch. Sequence numbers on the wire
+// are the primary's durable WAL batch sequences, and follower epochs
+// equal their applied sequence — so a resume token issued by one
+// replica resumes on any other replica that has applied the same
+// batch (see Snapshot.Epoch and StaleTokenError).
+
+// ErrReadOnlyReplica is returned by maintenance entry points of a
+// follower index (Follow): all state changes arrive over the
+// replication stream; writes go to the primary.
+var ErrReadOnlyReplica = errors.New("hopi: read-only replica")
+
+// --- primary side -----------------------------------------------------
+
+// Publisher streams a durable index's committed batches to followers.
+// It implements http.Handler for the log-shipping endpoint
+// (GET /repl/stream?from=<seq>, NDJSON frames). Obtain one with
+// Index.StartPublisher.
+type Publisher struct {
+	p *replication.Publisher
+}
+
+// PublishOption configures StartPublisher.
+type PublishOption func(*replication.PublisherOptions)
+
+// PublishTail bounds the in-memory batch tail retained for connected
+// followers (default 1024 batches). Followers lagging past it are
+// served from the WAL, or re-bootstrapped from a snapshot image.
+func PublishTail(batches int) PublishOption {
+	return func(o *replication.PublisherOptions) { o.TailBatches = batches }
+}
+
+// PublishHeartbeat sets the idle-stream heartbeat interval (default
+// 3s). Heartbeats carry the primary's committed sequence, from which
+// followers compute their replication lag.
+func PublishHeartbeat(d time.Duration) PublishOption {
+	return func(o *replication.PublisherOptions) { o.Heartbeat = d }
+}
+
+// StartPublisher attaches a log-shipping publisher to a durable index:
+// from now on every batch committed by Apply is also handed to the
+// publisher, which retains a bounded in-memory tail and serves
+// follower streams. Lagging followers are fed from the WAL file; when
+// a checkpoint has truncated the batches they need, they are reset
+// with a full snapshot image. The index must be durable (Create, or
+// Open with Durable) — the wire sequence numbers are the WAL's.
+func (ix *Index) StartPublisher(opts ...PublishOption) (*Publisher, error) {
+	var po replication.PublisherOptions
+	for _, o := range opts {
+		o(&po)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.readOnly {
+		return nil, errors.New("hopi: a follower cannot publish (chain replication is not supported)")
+	}
+	if ix.dur == nil {
+		return nil, errors.New("hopi: replication requires a durable index (Create, or Open with Durable)")
+	}
+	if ix.pub != nil {
+		return nil, errors.New("hopi: publisher already started")
+	}
+	p := replication.NewPublisher(&replSource{ix: ix}, ix.dur.nextSeq-1, po)
+	ix.pub = p
+	return &Publisher{p: p}, nil
+}
+
+// ServeHTTP serves one follower stream; mount the publisher at
+// GET /repl/stream.
+func (p *Publisher) ServeHTTP(w http.ResponseWriter, r *http.Request) { p.p.ServeHTTP(w, r) }
+
+// LastSeq returns the last committed batch sequence the publisher has
+// seen.
+func (p *Publisher) LastSeq() uint64 { return p.p.LastSeq() }
+
+// ActiveStreams returns the number of currently connected follower
+// streams.
+func (p *Publisher) ActiveStreams() int64 { return p.p.ActiveStreams() }
+
+// Shipped returns the total number of batch frames written to
+// followers.
+func (p *Publisher) Shipped() uint64 { return p.p.Shipped() }
+
+// Close terminates the follower streams. The index itself stays
+// usable; Index.Close also closes an attached publisher.
+func (p *Publisher) Close() { p.p.Close() }
+
+// replSource adapts the index to the publisher's Source interface.
+// Both methods read under the index's read lock, so the images and WAL
+// reads they produce are consistent points of the commit history.
+type replSource struct {
+	ix *Index
+}
+
+func (s *replSource) Image() (*replication.Image, error) {
+	ix := s.ix
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.dur == nil {
+		return nil, errors.New("hopi: publisher detached from its store")
+	}
+	seq := ix.dur.nextSeq - 1
+	var buf bytes.Buffer
+	if err := ix.coll.c.EncodeWithMeta(&buf, seq, ix.scope); err != nil {
+		return nil, err
+	}
+	cover := ix.ix.Cover()
+	return &replication.Image{
+		Seq:      seq,
+		Scope:    ix.scope,
+		WithDist: cover.WithDist,
+		Coll:     buf.Bytes(),
+		Ops:      cover.SnapshotDeltas(),
+	}, nil
+}
+
+func (s *replSource) WALTail(from uint64) ([]replication.Batch, bool, error) {
+	ix := s.ix
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.dur == nil {
+		return nil, false, nil
+	}
+	recs, ok, err := ix.dur.wal.BatchesFrom(from)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make([]replication.Batch, len(recs))
+	for i, r := range recs {
+		out[i] = replication.Batch{Seq: r.Seq, Coll: r.Coll, Ops: r.Ops}
+	}
+	return out, true, nil
+}
+
+// --- follower side ----------------------------------------------------
+
+type followConfig struct {
+	timeout time.Duration
+	fo      replication.FollowerOptions
+}
+
+// FollowOption configures Follow.
+type FollowOption func(*followConfig)
+
+// FollowTimeout bounds how long Follow waits for the initial bootstrap
+// image before giving up (default 30s).
+func FollowTimeout(d time.Duration) FollowOption {
+	return func(c *followConfig) { c.timeout = d }
+}
+
+// FollowClient sets the HTTP client used for the replication stream.
+// The stream is long-lived; the client must not set an overall request
+// timeout.
+func FollowClient(client *http.Client) FollowOption {
+	return func(c *followConfig) { c.fo.Client = client }
+}
+
+// FollowReconnect bounds the reconnect backoff after a dropped stream
+// (defaults 100ms / 5s).
+func FollowReconnect(min, max time.Duration) FollowOption {
+	return func(c *followConfig) { c.fo.BackoffMin, c.fo.BackoffMax = min, max }
+}
+
+// Follow connects to a primary's replication endpoint (the URL the
+// primary's Publisher is mounted at, e.g.
+// "http://primary:8080/repl/stream") and returns a read-only replica
+// Index: it bootstraps from the primary's state image, then replays
+// every committed batch as it is shipped, publishing a fresh snapshot
+// per batch. Queries, cursors, and EXPLAIN work exactly as on any
+// index; Apply (and the per-op maintenance wrappers) fail with
+// ErrReadOnlyReplica. The follower reconnects with backoff after a
+// dropped stream and resumes from its last applied sequence;
+// ReplicaStatus reports its position and lag. Close stops replication.
+//
+// Follow blocks until the initial bootstrap completes (FollowTimeout).
+func Follow(url string, opts ...FollowOption) (*Index, error) {
+	cfg := followConfig{timeout: 30 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ix := &Index{readOnly: true, seqEpoch: true}
+	f := replication.NewFollower(url, &replTarget{ix: ix}, cfg.fo)
+	ix.fol = f
+	f.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
+	defer cancel()
+	if err := f.WaitReady(ctx); err != nil {
+		st := f.Status()
+		f.Stop()
+		if st.LastError != "" {
+			return nil, fmt.Errorf("hopi: follow %s: %w (last stream error: %s)", url, err, st.LastError)
+		}
+		return nil, fmt.Errorf("hopi: follow %s: %w", url, err)
+	}
+	return ix, nil
+}
+
+// replTarget adapts the index to the follower's Target interface. The
+// follower calls from a single goroutine; each call takes the write
+// lock, so replays serialize with readers exactly like Apply does on a
+// primary.
+type replTarget struct {
+	ix *Index
+}
+
+func (t *replTarget) Bootstrap(img *replication.Image) error {
+	c, _, err := xmlmodel.DecodeCollectionSeq(bytes.NewReader(img.Coll))
+	if err != nil {
+		return err
+	}
+	cover := twohop.NewCover(c.NumAllocatedIDs(), img.WithDist)
+	cover.Apply(img.Ops)
+	cix := core.NewFromCover(c, cover)
+	ix := t.ix
+	ix.mu.Lock()
+	ix.coll = &Collection{c: c}
+	ix.ix = cix
+	ix.scope = img.Scope // adopt the primary's replication scope
+	ix.epoch.Store(img.Seq)
+	ix.cur.Store(nil)
+	ix.mu.Unlock()
+	ix.Snapshot() // publish eagerly so the first reader pays no clone
+	return nil
+}
+
+func (t *replTarget) ApplyBatch(b replication.Batch) error {
+	ops, err := core.DecodeCollOps(b.Coll)
+	if err != nil {
+		return err
+	}
+	ix := t.ix
+	ix.mu.Lock()
+	if err := ix.ix.ApplyLogged(ops, b.Ops); err != nil {
+		ix.mu.Unlock()
+		return err
+	}
+	ix.epoch.Store(b.Seq)
+	// Retire the previous snapshot; the fresh one is built on Quiesce
+	// (once per burst) or by the first reader, whichever comes first —
+	// cloning per batch would let a write storm outrun the replay.
+	ix.cur.Store(nil)
+	ix.mu.Unlock()
+	return nil
+}
+
+func (t *replTarget) Quiesce() {
+	t.ix.Snapshot() // republish off the request path once the burst ends
+}
+
+// --- status -----------------------------------------------------------
+
+// ReplicaStatus describes an index's role in a replication topology.
+type ReplicaStatus struct {
+	// Role is "primary" (publisher attached), "replica" (created by
+	// Follow), or "standalone".
+	Role string
+	// AppliedSeq is the durable batch sequence the served state
+	// reflects: the committed WAL sequence on a primary, the last
+	// replayed sequence on a replica.
+	AppliedSeq uint64
+	// PrimarySeq is the primary's committed sequence as last observed
+	// (equal to AppliedSeq on the primary itself).
+	PrimarySeq uint64
+	// Lag is PrimarySeq - AppliedSeq: how many committed batches the
+	// served state is behind, 0 when caught up.
+	Lag uint64
+	// Connected reports, on a replica, whether the stream to the
+	// primary is currently open.
+	Connected bool
+	// PrimaryURL is, on a replica, the stream endpoint it follows.
+	PrimaryURL string
+	// LastContact is, on a replica, the arrival time of the most
+	// recent frame (zero when never connected).
+	LastContact time.Time
+	// FollowerStreams is, on a primary, the number of currently
+	// connected follower streams.
+	FollowerStreams int64
+}
+
+// ReplicaStatus reports the index's replication role and position.
+// Safe to call concurrently with everything else.
+func (ix *Index) ReplicaStatus() ReplicaStatus {
+	ix.mu.RLock()
+	fol, pub, dur := ix.fol, ix.pub, ix.dur
+	var seq uint64
+	if dur != nil {
+		seq = ix.dur.nextSeq - 1
+	}
+	ix.mu.RUnlock()
+	switch {
+	case fol != nil:
+		st := fol.Status()
+		return ReplicaStatus{
+			Role:        "replica",
+			AppliedSeq:  st.AppliedSeq,
+			PrimarySeq:  st.PrimarySeq,
+			Lag:         st.Lag(),
+			Connected:   st.Connected,
+			PrimaryURL:  fol.URL(),
+			LastContact: st.LastContact,
+		}
+	case pub != nil:
+		return ReplicaStatus{
+			Role:            "primary",
+			AppliedSeq:      seq,
+			PrimarySeq:      seq,
+			FollowerStreams: pub.ActiveStreams(),
+		}
+	default:
+		return ReplicaStatus{Role: "standalone", AppliedSeq: seq, PrimarySeq: seq}
+	}
+}

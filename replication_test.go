@@ -1,0 +1,479 @@
+package hopi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- helpers ----------------------------------------------------------
+
+// replPrimary is a durable primary serving its replication stream on a
+// real TCP listener whose address survives a simulated crash/restart.
+type replPrimary struct {
+	ix   *Index
+	pub  *Publisher
+	srv  *http.Server
+	addr string
+}
+
+func (p *replPrimary) streamURL() string { return "http://" + p.addr + "/repl/stream" }
+
+// startReplPrimary creates a durable index at path and serves its
+// publisher at addr ("" picks a free port).
+func startReplPrimary(t *testing.T, ix *Index, addr string, opts ...PublishOption) *replPrimary {
+	t.Helper()
+	pub, err := ix.StartPublisher(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("GET /repl/stream", pub)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return &replPrimary{ix: ix, pub: pub, srv: srv, addr: ln.Addr().String()}
+}
+
+// stop closes the publisher (ending follower streams) and the HTTP
+// server. The index is left alone — crash it or Close it separately.
+func (p *replPrimary) stop() {
+	p.pub.Close()
+	p.srv.Close()
+}
+
+func createPrimary(t *testing.T, path string) (*Index, []string) {
+	t.Helper()
+	coll, base := baseCollection(t)
+	opts := DefaultOptions()
+	opts.WithDistance = true
+	opts.Seed = 1
+	ix, err := Create(path, coll, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, base
+}
+
+func followFast(t *testing.T, url string) *Index {
+	t.Helper()
+	fol, err := Follow(url,
+		FollowTimeout(15*time.Second),
+		FollowReconnect(5*time.Millisecond, 100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fol.Close() })
+	return fol
+}
+
+// waitCaughtUp blocks until the follower has applied the primary's
+// committed sequence.
+func waitCaughtUp(t *testing.T, fol *Index, primary *Index) {
+	t.Helper()
+	_, want, ok := primary.WALSize()
+	if !ok {
+		t.Fatal("primary is not durable")
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if fol.ReplicaStatus().AppliedSeq >= want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("follower stuck at seq %d, primary at %d (status %+v)",
+		fol.ReplicaStatus().AppliedSeq, want, fol.ReplicaStatus())
+}
+
+// assertLabelEquality asserts the follower holds byte-identical
+// Lin/Lout labels to the primary — the store==memory property from the
+// durable tests, lifted across the replication wire.
+func assertLabelEquality(t *testing.T, fol, primary *Index, label string) {
+	t.Helper()
+	pc := primary.ix.Cover()
+	fc := fol.ix.Cover()
+	if fc.N() != pc.N() {
+		t.Fatalf("%s: follower has %d nodes, primary %d", label, fc.N(), pc.N())
+	}
+	if fc.WithDist != pc.WithDist {
+		t.Fatalf("%s: WithDist %v vs %v", label, fc.WithDist, pc.WithDist)
+	}
+	for v := int32(0); v < int32(pc.N()); v++ {
+		if !equalEntries(fc.In[v], pc.In[v]) {
+			t.Fatalf("%s: Lin(%d) follower %v, primary %v", label, v, fc.In[v], pc.In[v])
+		}
+		if !equalEntries(fc.Out[v], pc.Out[v]) {
+			t.Fatalf("%s: Lout(%d) follower %v, primary %v", label, v, fc.Out[v], pc.Out[v])
+		}
+	}
+}
+
+// --- acceptance: convergence under concurrent traffic ----------------
+
+// TestReplicationFollowerConvergesUnderLoad starts a follower from
+// nothing against a live primary, applies a long randomized maintenance
+// script (including rebuilds, which ship as wholesale snapshots) while
+// readers continuously query the follower, and asserts the follower
+// converges to byte-identical cover labels once the stream quiesces.
+func TestReplicationFollowerConvergesUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	ix, base := createPrimary(t, filepath.Join(dir, "p.hopi"))
+	defer ix.Close()
+	// small tail + a mid-script checkpoint: exercises the tail, WAL,
+	// and snapshot-reset feed paths
+	p := startReplPrimary(t, ix, "", PublishTail(4), PublishHeartbeat(20*time.Millisecond))
+	defer p.stop()
+
+	fol := followFast(t, p.streamURL())
+
+	ops := randomScript(rand.New(rand.NewSource(7)), base, 60, true)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	queryErr := make(chan error, 1)
+	// readers: hammer the follower's snapshots while batches replay
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := fol.Snapshot()
+				res, err := snap.Query("//article//author")
+				if err != nil {
+					select {
+					case queryErr <- fmt.Errorf("query: %w", err):
+					default:
+					}
+					return
+				}
+				// every match must be a live, correctly tagged element of
+				// the snapshot's own collection
+				coll := snap.Collection()
+				for _, m := range res {
+					if coll.Tag(m.Element) != "author" {
+						select {
+						case queryErr <- fmt.Errorf("match %d has tag %q", m.Element, coll.Tag(m.Element)):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	for i, op := range ops {
+		if _, err := ix.Apply(context.Background(), buildScriptBatch(op)); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if i == len(ops)/2 {
+			// fold the WAL away mid-script so a lagging follower would
+			// have to take the snapshot-reset path
+			if err := ix.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitCaughtUp(t, fol, ix)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-queryErr:
+		t.Fatal(err)
+	default:
+	}
+
+	assertLabelEquality(t, fol, ix, "after quiesce")
+	assertSameAnswers(t, fol, ix, "follower answers")
+	if st := fol.ReplicaStatus(); st.Role != "replica" || st.Lag != 0 || !st.Connected {
+		t.Fatalf("follower status %+v", st)
+	}
+}
+
+// TestReplicationFollowerRestartCatchesUp kills a follower mid-stream,
+// keeps writing, and verifies a restarted follower (fresh, from
+// nothing — in-memory replicas hold no local state) converges again.
+func TestReplicationFollowerRestartCatchesUp(t *testing.T) {
+	dir := t.TempDir()
+	ix, base := createPrimary(t, filepath.Join(dir, "p.hopi"))
+	defer ix.Close()
+	p := startReplPrimary(t, ix, "", PublishHeartbeat(20*time.Millisecond))
+	defer p.stop()
+
+	ops := randomScript(rand.New(rand.NewSource(11)), base, 30, false)
+	fol := followFast(t, p.streamURL())
+	for i, op := range ops {
+		if _, err := ix.Apply(context.Background(), buildScriptBatch(op)); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if i == 10 {
+			// kill the follower mid-stream
+			if err := fol.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// the dead follower must not have advanced past the kill point
+	if fol.ReplicaStatus().Connected {
+		t.Fatal("closed follower still connected")
+	}
+
+	re := followFast(t, p.streamURL())
+	waitCaughtUp(t, re, ix)
+	assertLabelEquality(t, re, ix, "restarted follower")
+	assertSameAnswers(t, re, ix, "restarted follower answers")
+}
+
+// TestReplicationPrimaryCrashRestart kills the primary (kill -9
+// semantics: no checkpoint, no close; the simulated-crash helper from
+// the durable tests), restarts it on the same address, and verifies
+// the follower reconnects, resumes, and converges on post-restart
+// writes.
+func TestReplicationPrimaryCrashRestart(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.hopi")
+	ix, base := createPrimary(t, path)
+	p := startReplPrimary(t, ix, "", PublishHeartbeat(20*time.Millisecond))
+
+	ops := randomScript(rand.New(rand.NewSource(13)), base, 24, false)
+	for i := 0; i < 12; i++ {
+		if _, err := ix.Apply(context.Background(), buildScriptBatch(ops[i])); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	fol := followFast(t, p.streamURL())
+	waitCaughtUp(t, fol, ix)
+
+	// kill -9: abandon the index without checkpoint, close the server
+	addr := p.addr
+	p.stop()
+	crash(ix)
+
+	re, err := Open(path, Durable())
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer re.Close()
+	p2 := startReplPrimary(t, re, addr, PublishHeartbeat(20*time.Millisecond))
+	defer p2.stop()
+
+	for i := 12; i < len(ops); i++ {
+		if _, err := re.Apply(context.Background(), buildScriptBatch(ops[i])); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	waitCaughtUp(t, fol, re)
+	assertLabelEquality(t, fol, re, "after primary restart")
+	assertSameAnswers(t, fol, re, "after primary restart")
+}
+
+// --- read-only contract ----------------------------------------------
+
+func TestReplicationFollowerIsReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	ix, _ := createPrimary(t, filepath.Join(dir, "p.hopi"))
+	defer ix.Close()
+	p := startReplPrimary(t, ix, "")
+	defer p.stop()
+	fol := followFast(t, p.streamURL())
+
+	b := NewBatch()
+	b.InsertDocument(NewDocument("x.xml", "article"))
+	if _, err := fol.Apply(context.Background(), b); !errors.Is(err, ErrReadOnlyReplica) {
+		t.Fatalf("Apply on follower: err = %v, want ErrReadOnlyReplica", err)
+	}
+	if err := fol.InsertEdge(0, 1); !errors.Is(err, ErrReadOnlyReplica) {
+		t.Fatalf("InsertEdge on follower: err = %v, want ErrReadOnlyReplica", err)
+	}
+	if _, err := fol.StartPublisher(); err == nil {
+		t.Fatal("StartPublisher on a follower should fail")
+	}
+}
+
+// --- resume-token portability ----------------------------------------
+
+// TestReplicationTokenPortability pages through a query on one replica
+// and resumes the walk on another: with sequence-derived epochs the
+// token is valid on any replica that has applied the same batch, and
+// the continued pages are identical.
+func TestReplicationTokenPortability(t *testing.T) {
+	dir := t.TempDir()
+	ix, _ := createPrimary(t, filepath.Join(dir, "p.hopi"))
+	defer ix.Close()
+	p := startReplPrimary(t, ix, "")
+	defer p.stop()
+
+	// one write so the token is minted at a non-trivial sequence
+	b := NewBatch()
+	d := NewDocument("extra.xml", "article")
+	d.AddElement(d.Root(), "author")
+	b.InsertDocument(d)
+	if _, err := ix.Apply(context.Background(), b); err != nil {
+		t.Fatal(err)
+	}
+
+	f1 := followFast(t, p.streamURL())
+	f2 := followFast(t, p.streamURL())
+	waitCaughtUp(t, f1, ix)
+	waitCaughtUp(t, f2, ix)
+
+	ctx := context.Background()
+	pq, err := Prepare("//author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ix.Query("//author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 3 {
+		t.Fatalf("need >= 3 matches, have %d", len(full))
+	}
+
+	// page 1 on replica 1
+	cur, err := f1.Run(ctx, pq, QueryLimit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page1 []QueryResult
+	for cur.Next() {
+		page1 = append(page1, cur.Result())
+	}
+	if !cur.HasMore() {
+		t.Fatal("expected more results after page 1")
+	}
+	token := cur.Token()
+	cur.Close()
+
+	// primary, replica 1 and replica 2 agree on the epoch
+	if e1, e2, e3 := ix.Snapshot().Epoch(), f1.Snapshot().Epoch(), f2.Snapshot().Epoch(); e1 != e2 || e2 != e3 {
+		t.Fatalf("epochs diverge: primary %d, f1 %d, f2 %d", e1, e2, e3)
+	}
+
+	// resume on replica 2 — and, for reference, on the primary
+	for name, target := range map[string]*Index{"replica2": f2, "primary": ix} {
+		cur2, err := target.Run(ctx, pq, QueryResume(token))
+		if err != nil {
+			t.Fatalf("resume on %s: %v", name, err)
+		}
+		var rest []QueryResult
+		for cur2.Next() {
+			rest = append(rest, cur2.Result())
+		}
+		cur2.Close()
+		if got, want := len(page1)+len(rest), len(full); got != want {
+			t.Fatalf("resume on %s: %d + %d results, want %d total", name, len(page1), len(rest), want)
+		}
+		for i, m := range rest {
+			if m.Element != full[len(page1)+i].Element {
+				t.Fatalf("resume on %s: result %d = element %d, want %d", name, i, m.Element, full[len(page1)+i].Element)
+			}
+		}
+	}
+}
+
+// TestStaleTokenRetryable pins the StaleTokenError matrix: on
+// sequence-epoch snapshots a token from a newer epoch is retryable
+// (the replica is behind), one from an older epoch is not, and
+// in-memory random epochs are never retryable.
+func TestStaleTokenRetryable(t *testing.T) {
+	dir := t.TempDir()
+	ix, _ := createPrimary(t, filepath.Join(dir, "p.hopi"))
+	defer ix.Close()
+
+	ctx := context.Background()
+	pq, err := Prepare("//author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := ix.Snapshot() // epoch = seq N
+
+	b := NewBatch()
+	d := NewDocument("extra.xml", "article")
+	d.AddElement(d.Root(), "author")
+	b.InsertDocument(d)
+	if _, err := ix.Apply(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+	fresh := ix.Snapshot() // epoch = seq N+1
+	if fresh.Epoch() != old.Epoch()+1 {
+		t.Fatalf("durable epochs not sequential: %d then %d", old.Epoch(), fresh.Epoch())
+	}
+
+	mint := func(s *Snapshot) string {
+		cur, err := s.Run(ctx, pq, QueryLimit(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cur.Next() {
+		}
+		tok := cur.Token()
+		cur.Close()
+		return tok
+	}
+
+	// token from the future (replica behind): retryable
+	var stale *StaleTokenError
+	_, err = old.Run(ctx, pq, QueryResume(mint(fresh)))
+	if !errors.As(err, &stale) || !stale.Retryable {
+		t.Fatalf("future token on old snapshot: err = %v, want retryable StaleTokenError", err)
+	}
+	if !errors.Is(err, ErrStaleToken) {
+		t.Fatalf("StaleTokenError does not match ErrStaleToken: %v", err)
+	}
+
+	// token from the past (state moved on): not retryable
+	_, err = fresh.Run(ctx, pq, QueryResume(mint(old)))
+	if !errors.As(err, &stale) || stale.Retryable {
+		t.Fatalf("past token on fresh snapshot: err = %v, want non-retryable StaleTokenError", err)
+	}
+
+	// in-memory indexes keep random epochs: mismatches are never
+	// retryable, whatever the ordering
+	coll, _ := baseCollection(t)
+	opts := DefaultOptions()
+	opts.Seed = 1
+	mem, err := Build(coll, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memOld := mem.Snapshot()
+	if err := mem.InsertEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err = mem.Snapshot().Run(ctx, pq, QueryResume(mint(memOld)))
+	if !errors.As(err, &stale) || stale.Retryable {
+		t.Fatalf("in-memory stale token: err = %v, want non-retryable StaleTokenError", err)
+	}
+
+	// a token from a different index carries a different replication
+	// scope: rejected as a bad token outright — never accepted by
+	// coincidental sequence equality, never a retryable 503
+	_, err = fresh.Run(ctx, pq, QueryResume(mint(mem.Snapshot())))
+	if !errors.Is(err, ErrBadToken) {
+		t.Fatalf("cross-index token: err = %v, want ErrBadToken", err)
+	}
+	_, err = mem.Snapshot().Run(ctx, pq, QueryResume(mint(fresh)))
+	if !errors.Is(err, ErrBadToken) {
+		t.Fatalf("cross-index token (reverse): err = %v, want ErrBadToken", err)
+	}
+}

@@ -19,9 +19,16 @@ type Snapshot struct {
 	ix    *core.Index
 	eng   *query.Engine
 	epoch uint64 // maintenance-batch counter at snapshot time
+	// seqEpoch marks the epoch as a durable WAL sequence number
+	// (totally ordered, portable across replicas of the same primary)
+	// rather than a per-instance random counter; see StaleTokenError.
+	seqEpoch bool
+	// scope is the replication-scope identity tokens are bound to; see
+	// Index.scope.
+	scope uint64
 }
 
-func newSnapshot(src *core.Index, epoch uint64) *Snapshot {
+func newSnapshot(src *core.Index, epoch uint64, seqEpoch bool, scope uint64) *Snapshot {
 	// Derive the posting index and cycle info on the live side first:
 	// maintenance keeps the postings warm through the delta stream, so
 	// every snapshot clone shares them as an immutable copy-on-write
@@ -34,18 +41,25 @@ func newSnapshot(src *core.Index, epoch uint64) *Snapshot {
 	cix := src.Clone()
 	cix.Warm()
 	return &Snapshot{
-		coll:  &Collection{c: cix.Collection()},
-		ix:    cix,
-		eng:   query.NewEngine(cix.Collection(), cix),
-		epoch: epoch,
+		coll:     &Collection{c: cix.Collection()},
+		ix:       cix,
+		eng:      query.NewEngine(cix.Collection(), cix),
+		epoch:    epoch,
+		seqEpoch: seqEpoch,
+		scope:    scope,
 	}
 }
 
 // Epoch returns the snapshot's maintenance epoch: an opaque version
-// stamp, seeded randomly per index instance and bumped on every
-// maintenance batch. Resume tokens embed it — a token is valid only on
-// snapshots of the same epoch, so any applied batch, a different
-// index, or a restarted process retires outstanding tokens.
+// stamp bumped on every maintenance batch. Resume tokens embed it — a
+// token is valid only on snapshots of the same epoch. For pure
+// in-memory indexes the epoch is seeded randomly per instance, so a
+// token from a different index or an earlier process fails
+// ErrStaleToken instead of colliding. For indexes with an attached
+// durable store (and for replication followers) the epoch is the
+// durable WAL batch sequence: replicas of the same primary assign
+// identical epochs to identical states, so a token issued by one
+// replica resumes on any other that has applied the same sequence.
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
 // Collection returns the snapshot's frozen collection. It reflects the

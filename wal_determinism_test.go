@@ -43,7 +43,7 @@ func TestDiffModifyWALByteStable(t *testing.T) {
 		}
 		ix.StopRecording()
 
-		collBytes, err := encodeCollOps(log.Coll)
+		collBytes, err := core.EncodeCollOps(log.Coll)
 		if err != nil {
 			t.Fatal(err)
 		}
