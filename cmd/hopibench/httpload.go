@@ -2,11 +2,10 @@ package main
 
 import (
 	"context"
-	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
-	"net/url"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,24 +14,41 @@ import (
 	"hopi/internal/loadgen"
 )
 
-// httpLoad drives a running hopiserve with the mixed workload: Readers
-// workers issuing GET /query and Writers workers issuing POST /docs
-// (plus periodic DELETE /docs/{name} of their own documents). The
-// server does the indexing work; this side only measures throughput.
-func httpLoad(base string, cfg loadgen.Config) (loadgen.Result, error) {
-	base = strings.TrimRight(base, "/")
-	client := &http.Client{Timeout: 30 * time.Second}
+// httpLoad drives a running deployment with the mixed workload over
+// HTTP: Readers workers issuing GET /query and Writers workers issuing
+// POST /docs (plus periodic DELETE /docs/{name} of their own
+// documents). urls is comma-separated: the first endpoint takes the
+// writes (a hopiserve primary or a hopirouter), queries spread across
+// all of them (replicas scale reads). The client is the
+// loadgen.NodeClient, so 503s from lagging replicas or restarting
+// shards are retried with capped backoff, and page-walk resume tokens
+// route to a node at or past the token's issue epoch. Every fourth
+// read is a paged walk exercising that token routing.
+func httpLoad(urls string, cfg loadgen.Config) (loadgen.Result, error) {
+	var nodes []string
+	for _, u := range strings.Split(urls, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			nodes = append(nodes, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(nodes) == 0 {
+		return loadgen.Result{}, fmt.Errorf("no node URLs given")
+	}
 
-	// Probe the server before unleashing the workers.
-	resp, err := client.Get(base + "/stats")
-	if err != nil {
-		return loadgen.Result{}, fmt.Errorf("hopiserve not reachable: %w", err)
+	// Probe every node before unleashing the workers.
+	probe := &http.Client{Timeout: 10 * time.Second}
+	for _, n := range nodes {
+		resp, err := probe.Get(n + "/healthz")
+		if err != nil {
+			return loadgen.Result{}, fmt.Errorf("node %s not reachable: %w", n, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return loadgen.Result{}, fmt.Errorf("GET %s/healthz: %s", n, resp.Status)
+		}
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return loadgen.Result{}, fmt.Errorf("GET /stats: %s", resp.Status)
-	}
+	client := loadgen.NewNodeClient(nodes, 30*time.Second)
 
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
 	defer cancel()
@@ -51,41 +67,54 @@ func httpLoad(base string, cfg loadgen.Config) (loadgen.Result, error) {
 		errMu.Unlock()
 		cancel()
 	}
-	queryURL := base + "/query?expr=" + url.QueryEscape(cfg.Expr)
+
+	// Per-run name prefix: against a durable deployment, documents from
+	// an earlier (possibly aborted) run survive and fresh inserts would
+	// 409 on the same names.
+	runID := time.Now().UnixNano() % 1_000_000
 
 	start := time.Now()
 	for r := 0; r < cfg.Readers; r++ {
 		wg.Add(1)
-		go func() {
+		go func(r int) {
 			defer wg.Done()
-			for ctx.Err() == nil {
-				req, _ := http.NewRequestWithContext(ctx, http.MethodGet, queryURL, nil)
-				resp, err := client.Do(req)
-				if err != nil {
-					if ctx.Err() != nil {
-						return
+			for i := 0; ctx.Err() == nil; i++ {
+				if i%4 == 3 {
+					// paged walk: follow the resume tokens a few hops
+					token := ""
+					for hop := 0; hop < 4; hop++ {
+						page, err := client.Query(ctx, cfg.Expr, 16, false, token)
+						if err != nil {
+							var stale *loadgen.StalePageError
+							if errors.As(err, &stale) {
+								// a concurrent write retired the token; expected —
+								// abandon the walk, the next iteration starts fresh
+								break
+							}
+							if ctx.Err() == nil {
+								fail(fmt.Errorf("paged query: %w", err))
+							}
+							return
+						}
+						atomic.AddInt64(&queries, 1)
+						atomic.AddInt64(&matches, page.Count)
+						if token = page.NextPageToken; token == "" {
+							break
+						}
 					}
-					fail(err)
-					return
+					continue
 				}
-				var body struct {
-					Count int64 `json:"count"`
-				}
-				decErr := json.NewDecoder(resp.Body).Decode(&body)
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					fail(fmt.Errorf("GET /query: %s", resp.Status))
-					return
-				}
-				if decErr != nil {
-					fail(fmt.Errorf("GET /query: decode: %w", decErr))
+				page, err := client.Query(ctx, cfg.Expr, 0, false, "")
+				if err != nil {
+					if ctx.Err() == nil {
+						fail(fmt.Errorf("query: %w", err))
+					}
 					return
 				}
 				atomic.AddInt64(&queries, 1)
-				atomic.AddInt64(&matches, body.Count)
+				atomic.AddInt64(&matches, page.Count)
 			}
-		}()
+		}(r)
 	}
 	for w := 0; w < cfg.Writers; w++ {
 		wg.Add(1)
@@ -93,23 +122,12 @@ func httpLoad(base string, cfg loadgen.Config) (loadgen.Result, error) {
 			defer wg.Done()
 			var mine []string
 			for i := 0; ctx.Err() == nil; i++ {
-				name := fmt.Sprintf("bench-w%d-%05d.xml", w, i)
+				name := fmt.Sprintf("bench-%06d-w%d-%05d.xml", runID, w, i)
 				doc := `<article><title>load</title><author>bench</author></article>`
-				u := base + "/docs?name=" + url.QueryEscape(name)
-				req, _ := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(doc))
-				req.Header.Set("Content-Type", "application/xml")
-				resp, err := client.Do(req)
-				if err != nil {
-					if ctx.Err() != nil {
-						return
+				if err := client.InsertDoc(ctx, name, doc); err != nil {
+					if ctx.Err() == nil {
+						fail(fmt.Errorf("insert %s: %w", name, err))
 					}
-					fail(err)
-					return
-				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusCreated {
-					fail(fmt.Errorf("POST /docs: %s", resp.Status))
 					return
 				}
 				mine = append(mine, name)
@@ -118,20 +136,10 @@ func httpLoad(base string, cfg loadgen.Config) (loadgen.Result, error) {
 				if len(mine) > 8 && i%4 == 0 {
 					victim := mine[0]
 					mine = mine[1:]
-					req, _ := http.NewRequestWithContext(ctx, http.MethodDelete,
-						base+"/docs/"+url.PathEscape(victim), nil)
-					resp, err := client.Do(req)
-					if err != nil {
-						if ctx.Err() != nil {
-							return
+					if err := client.DeleteDoc(ctx, victim); err != nil {
+						if ctx.Err() == nil {
+							fail(fmt.Errorf("delete %s: %w", victim, err))
 						}
-						fail(err)
-						return
-					}
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-					if resp.StatusCode != http.StatusOK {
-						fail(fmt.Errorf("DELETE /docs/%s: %s", victim, resp.Status))
 						return
 					}
 					atomic.AddInt64(&deleted, 1)
@@ -147,6 +155,7 @@ func httpLoad(base string, cfg loadgen.Config) (loadgen.Result, error) {
 	}
 	res := loadgen.Result{
 		Duration:     elapsed,
+		Nodes:        len(nodes),
 		Queries:      queries,
 		Batches:      batches,
 		Inserted:     inserted,

@@ -55,23 +55,28 @@ type benchResult struct {
 	LagP50Ms   float64 `json:"lagP50Ms,omitempty"`
 	LagP99Ms   float64 `json:"lagP99Ms,omitempty"`
 	LagSamples int     `json:"lagSamples,omitempty"`
+	// sharding experiment: shard count and query latency percentiles
+	Shards     int     `json:"shards,omitempty"`
+	QueryP50Ms float64 `json:"queryP50Ms,omitempty"`
+	QueryP99Ms float64 `json:"queryP99Ms,omitempty"`
 }
 
 func main() {
 	var (
-		exp      = flag.String("exp", "default", "comma-separated experiments (table1,centralized,table2,maintenance,inex,distance,preselect,weights,balance,query,load,repl,all,default)")
+		exp      = flag.String("exp", "default", "comma-separated experiments (table1,centralized,table2,maintenance,inex,distance,preselect,weights,balance,query,load,repl,shard,all,default)")
 		docs     = flag.Int("docs", 620, "DBLP-like document count (paper: 6210)")
 		inexDocs = flag.Int("inexdocs", 122, "INEX-like document count (paper: 12232)")
 		inexEls  = flag.Int("inexels", 950, "INEX-like mean elements per document (paper: ~986)")
 		seed     = flag.Int64("seed", 42, "generator and build seed")
 
-		url       = flag.String("url", "", "hopiserve base URL for -exp load (empty: run in-process)")
+		url       = flag.String("url", "", "comma-separated node URLs for -exp load (first takes writes: a hopiserve primary or hopirouter; the rest serve reads; empty: run in-process)")
 		loadDur   = flag.Duration("load-dur", 3*time.Second, "load-generator duration")
 		readers   = flag.Int("load-readers", 4, "concurrent query workers")
 		writers   = flag.Int("load-writers", 2, "concurrent maintenance workers")
 		loadExpr  = flag.String("load-expr", "//article//author", "path expression the query workers evaluate")
 		store     = flag.String("store", "", "for -exp load: also run the workload against a durable store at this path and report both")
 		replFols  = flag.String("repl-followers", "0,1,2,4", "for -exp repl: comma-separated follower counts to sweep (0 = single-node baseline)")
+		shardCnts = flag.String("shard-counts", "1,2,4", "for -exp shard: comma-separated shard counts to sweep (1 = unsharded baseline)")
 		replWrite = flag.Duration("repl-write-interval", 10*time.Millisecond, "for -exp repl: pacing between a writer's batches (0 = write as fast as possible and measure queue growth)")
 		jsonOut   = flag.String("json", "", "write machine-readable results (name, ns/op, qps, cover size) to this file")
 	)
@@ -87,7 +92,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	if want["all"] {
-		for _, e := range []string{"table1", "centralized", "table2", "maintenance", "inex", "distance", "preselect", "weights", "balance", "query", "load", "repl"} {
+		for _, e := range []string{"table1", "centralized", "table2", "maintenance", "inex", "distance", "preselect", "weights", "balance", "query", "load", "repl", "shard"} {
 			want[e] = true
 		}
 	}
@@ -237,6 +242,37 @@ func main() {
 					mem.BatchesPerS/dur.BatchesPerS, mem.BatchesPerS, dur.BatchesPerS,
 					safeRatio(mem.QueriesPerS, dur.QueriesPerS))
 			}
+		}
+		return out, nil
+	})
+	run("shard", "write scaling: sharded primaries behind a router (extension)", func() (string, error) {
+		var counts []int
+		for _, s := range strings.Split(*shardCnts, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				return "", fmt.Errorf("bad -shard-counts entry %q", s)
+			}
+			counts = append(counts, n)
+		}
+		out, rows, err := shardExperiment(shardConfig{
+			docs: *docs, seed: *seed,
+			duration: *loadDur,
+			writers:  *writers, readers: *readers,
+			expr:        *loadExpr,
+			shardCounts: counts,
+		})
+		if err != nil {
+			return "", err
+		}
+		for _, r := range rows {
+			jsonResults = append(jsonResults, benchResult{
+				Name:       fmt.Sprintf("shard/shards=%d", r.Shards),
+				QPS:        r.QueriesPerS,
+				BatchesPS:  r.BatchesPerS,
+				Shards:     r.Shards,
+				QueryP50Ms: float64(r.QueryP50.Microseconds()) / 1000,
+				QueryP99Ms: float64(r.QueryP99.Microseconds()) / 1000,
+			})
 		}
 		return out, nil
 	})

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hopi"
+	"hopi/internal/gen"
+	"hopi/internal/shardrouter"
+)
+
+// shardConfig parameterizes the sharded-write-scaling experiment: a
+// DBLP-like collection split across N durable shard primaries behind a
+// router, writers inserting citation documents through the router
+// (each insert WAL-committed at its shard), readers running
+// descendant-axis queries through the distributed join.
+type shardConfig struct {
+	docs        int
+	seed        int64
+	duration    time.Duration
+	writers     int
+	readers     int
+	expr        string
+	shardCounts []int
+}
+
+// shardResult is one row of the sweep: aggregate write and query
+// throughput plus query latency percentiles at a given shard count.
+type shardResult struct {
+	Shards      int
+	CrossLinks  int
+	BatchesPerS float64
+	QueriesPerS float64
+	QueryP50    time.Duration
+	QueryP99    time.Duration
+}
+
+// runShard measures one shard count: the collection is partitioned
+// with the closure-budget partitioner, each part becomes its own
+// durable index, and a router over in-process shard connections takes
+// the full read+write workload. Writes to different shards commit
+// their WAL fsyncs in parallel — that is the scaling being measured,
+// so the offered write load (cfg.writers × numShards workers) grows
+// with the capacity under test, as in any saturation sweep. Readers
+// run limit-25 queries: limit pushdown keeps each evaluation short
+// enough to pin a consistent cut between write bursts.
+func runShard(cfg shardConfig, numShards int) (shardResult, error) {
+	dir, err := os.MkdirTemp("", "hopishard")
+	if err != nil {
+		return shardResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	coll := hopi.WrapCollection(gen.DBLP(gen.DefaultDBLP(cfg.docs, cfg.seed)))
+	opts := hopi.DefaultOptions()
+	opts.Seed = cfg.seed
+	opts.WithDistance = true
+	m, err := hopi.BuildShardMap(coll, numShards, opts)
+	if err != nil {
+		return shardResult{}, err
+	}
+	parts := hopi.SplitCollection(coll, m)
+	conns := make([]hopi.ShardConn, numShards)
+	for i, p := range parts {
+		ix, err := hopi.Create(filepath.Join(dir, fmt.Sprintf("shard%d", i)), p, opts)
+		if err != nil {
+			return shardResult{}, fmt.Errorf("shard %d: %w", i, err)
+		}
+		defer ix.Close()
+		conns[i] = hopi.NewLocalShard(fmt.Sprintf("s%d", i), ix)
+	}
+	router, err := hopi.NewRouter(conns, m, "")
+	if err != nil {
+		return shardResult{}, err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+	var (
+		queries atomic.Int64
+		batches atomic.Int64
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		failure error
+		latMu   sync.Mutex
+		lats    []time.Duration
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if failure == nil {
+			failure = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+
+	for w := 0; w < cfg.writers*numShards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ctx.Err() == nil; i++ {
+				name := fmt.Sprintf("shard-w%d-%05d.xml", w, i)
+				target := fmt.Sprintf("pub%05d.xml", (w*7919+i)%cfg.docs)
+				xml := fmt.Sprintf(`<article><title>t</title><author/><cite href=%q/></article>`, target)
+				if _, err := router.InsertXML(ctx, name, []byte(xml)); err != nil {
+					if ctx.Err() == nil {
+						fail(fmt.Errorf("insert: %w", err))
+					}
+					return
+				}
+				batches.Add(1)
+			}
+		}(w)
+	}
+
+	for r := 0; r < cfg.readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				start := time.Now()
+				_, err := router.Query(ctx, cfg.expr, hopi.RouterQueryOptions{Limit: 25})
+				if err != nil {
+					var su *shardrouter.ShardUnavailableError
+					if errors.As(err, &su) || ctx.Err() != nil {
+						// a write burst moved every retry's snapshot out from
+						// under the query; count nothing and try again
+						continue
+					}
+					fail(fmt.Errorf("query: %w", err))
+					return
+				}
+				queries.Add(1)
+				latMu.Lock()
+				lats = append(lats, time.Since(start))
+				latMu.Unlock()
+			}
+		}()
+	}
+
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+	if failure != nil {
+		return shardResult{}, failure
+	}
+
+	res := shardResult{Shards: numShards, CrossLinks: len(router.Map().CrossLinks)}
+	if s := elapsed.Seconds(); s > 0 {
+		res.BatchesPerS = float64(batches.Load()) / s
+		res.QueriesPerS = float64(queries.Load()) / s
+	}
+	latMu.Lock()
+	samples := append([]time.Duration(nil), lats...)
+	latMu.Unlock()
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	if n := len(samples); n > 0 {
+		res.QueryP50 = samples[n/2]
+		res.QueryP99 = samples[n*99/100]
+	}
+	return res, nil
+}
+
+// shardExperiment runs the sweep over shard counts and renders it.
+func shardExperiment(cfg shardConfig) (string, []shardResult, error) {
+	var (
+		b    strings.Builder
+		rows []shardResult
+	)
+	fmt.Fprintf(&b, "write scaling via sharded primaries (%d docs, %d writers/shard, %d readers on %q limit 25, %s window, durable shards, in-process router)\n",
+		cfg.docs, cfg.writers, cfg.readers, cfg.expr, cfg.duration)
+	fmt.Fprintf(&b, "  %-8s %12s %14s %14s %12s %12s\n", "shards", "crosslinks", "batches/s", "queries/s", "query p50", "query p99")
+	for _, n := range cfg.shardCounts {
+		r, err := runShard(cfg, n)
+		if err != nil {
+			return "", nil, fmt.Errorf("shards=%d: %w", n, err)
+		}
+		rows = append(rows, r)
+		fmt.Fprintf(&b, "  %-8d %12d %14.1f %14.1f %12s %12s\n",
+			r.Shards, r.CrossLinks, r.BatchesPerS, r.QueriesPerS,
+			r.QueryP50.Round(time.Microsecond), r.QueryP99.Round(time.Microsecond))
+	}
+	return b.String(), rows, nil
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"hopi"
+	"hopi/internal/shardrouter"
+)
+
+const (
+	defaultMaxLimit = 1000
+	maxDocBytes     = 16 << 20
+)
+
+type routerServer struct {
+	r        *hopi.Router
+	maxLimit int
+	mux      *http.ServeMux
+}
+
+func newRouterServer(r *hopi.Router, maxLimit int) *routerServer {
+	if maxLimit <= 0 {
+		maxLimit = defaultMaxLimit
+	}
+	s := &routerServer{r: r, maxLimit: maxLimit}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /docs", s.handleInsertDoc)
+	mux.HandleFunc("DELETE /docs/{name}", s.handleDeleteDoc)
+	mux.HandleFunc("POST /links", s.handleLink(true))
+	mux.HandleFunc("DELETE /links", s.handleLink(false))
+	s.mux = mux
+	return s
+}
+
+func (s *routerServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errResponse struct {
+	Error     string `json:"error"`
+	Retryable bool   `json:"retryable,omitempty"`
+}
+
+// writeRouterErr maps the router tier's error vocabulary onto HTTP.
+// The load-bearing distinction is retryable-vs-terminal: a down shard
+// or a token a lagging shard will accept once caught up answer 503
+// with Retry-After (clients re-send the same request), while a
+// definitively stale or malformed token answers 400 (clients restart
+// the page sequence from scratch).
+func writeRouterErr(w http.ResponseWriter, err error) {
+	var (
+		stale   *hopi.StaleTokenError
+		unavail *shardrouter.ShardUnavailableError
+	)
+	switch {
+	case errors.As(err, &unavail):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: err.Error(), Retryable: true})
+	case errors.As(err, &stale):
+		if stale.Retryable {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: err.Error(), Retryable: true})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: err.Error()})
+	case errors.Is(err, hopi.ErrExists):
+		writeJSON(w, http.StatusConflict, errResponse{Error: err.Error()})
+	case errors.Is(err, hopi.ErrNotFound):
+		writeJSON(w, http.StatusNotFound, errResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: err.Error()})
+	}
+}
+
+type queryResponse struct {
+	Expr          string              `json:"expr"`
+	Count         int                 `json:"count"`
+	Results       []hopi.RouterResult `json:"results"`
+	NextPageToken string              `json:"nextPageToken,omitempty"`
+}
+
+func (s *routerServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	expr := q.Get("expr")
+	if expr == "" {
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: "expr parameter required"})
+		return
+	}
+	opt := hopi.RouterQueryOptions{Resume: q.Get("pageToken")}
+	switch q.Get("ranked") {
+	case "1", "true", "yes":
+		opt.Ranked = true
+	}
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n <= 0 || n > s.maxLimit {
+			writeJSON(w, http.StatusBadRequest, errResponse{
+				Error: fmt.Sprintf("limit must be in 1..%d", s.maxLimit)})
+			return
+		}
+		opt.Limit = n
+	}
+	page, err := s.r.Query(r.Context(), expr, opt)
+	if err != nil {
+		writeRouterErr(w, err)
+		return
+	}
+	if page.Results == nil {
+		page.Results = []hopi.RouterResult{}
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Expr: expr, Count: len(page.Results),
+		Results: page.Results, NextPageToken: page.NextToken,
+	})
+}
+
+func (s *routerServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.r.Status(r.Context()))
+}
+
+func (s *routerServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz answers 200 only when every shard is reachable and
+// caught up — the aggregated view of the shards' own /readyz.
+func (s *routerServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.r.Status(r.Context())
+	code := http.StatusOK
+	if !st.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *routerServer) handleInsertDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: "name parameter required"})
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxDocBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: err.Error()})
+		return
+	}
+	res, err := s.r.InsertXML(r.Context(), name, data)
+	if err != nil {
+		writeRouterErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, res)
+}
+
+func (s *routerServer) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.r.DeleteDocument(r.Context(), name); err != nil {
+		writeRouterErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"name": name})
+}
+
+type linkRequest struct {
+	From string `json:"from"` // "doc.xml", "doc.xml:3"
+	To   string `json:"to"`   // "doc.xml", "doc.xml:3", "doc.xml#anchor"
+}
+
+func (s *routerServer) handleLink(insert bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req linkRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errResponse{Error: err.Error()})
+			return
+		}
+		var err error
+		code := http.StatusCreated
+		if insert {
+			err = s.r.InsertLink(r.Context(), req.From, req.To)
+		} else {
+			err = s.r.DeleteLink(r.Context(), req.From, req.To)
+			code = http.StatusOK
+		}
+		if err != nil {
+			writeRouterErr(w, err)
+			return
+		}
+		writeJSON(w, code, map[string]string{"from": req.From, "to": req.To})
+	}
+}

@@ -82,6 +82,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "generator seed")
 		distance   = flag.Bool("distance", true, "build a distance-aware index (enables ranked queries)")
 		maxLimit   = flag.Int("max-limit", defaultMaxLimit, "server-side ceiling for the query limit parameter (limit<=0 is rejected)")
+		readyLag   = flag.Int("ready-max-lag", defaultReadyMaxLag, "replica lag ceiling (batches) for /readyz; beyond it the node reports unready")
 	)
 	flag.Parse()
 	if *index != "" && *store != "" {
@@ -101,6 +102,7 @@ func main() {
 		coll.NumDocs(), coll.NumElements(), coll.NumLinks(), snap.Size(), *addr)
 
 	h := newServer(ix, *maxLimit)
+	h.readyMaxLag = *readyLag
 	if h.pub != nil {
 		log.Printf("replication: publishing committed batches at GET /repl/stream (last seq %d)", h.pub.LastSeq())
 	}

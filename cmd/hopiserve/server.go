@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hopi"
+	"hopi/internal/shardrouter"
 )
 
 // maxDocBytes bounds the size of a posted XML document.
@@ -45,6 +46,11 @@ type server struct {
 	mux      *http.ServeMux
 	pub      *hopi.Publisher // log-shipping publisher, nil unless durable
 
+	// shard is the in-process shard adapter behind the /shard/*
+	// endpoints; readyMaxLag is the replica lag ceiling for /readyz.
+	shard       shardrouter.Conn
+	readyMaxLag int
+
 	queries  atomic.Uint64 // /query + /query/stream requests answered 200
 	streamed atomic.Uint64 // results written across both query endpoints
 }
@@ -56,9 +62,14 @@ func newServer(ix *hopi.Index, maxLimit int) *server {
 	if maxLimit <= 0 {
 		maxLimit = defaultMaxLimit
 	}
-	s := &server{ix: ix, maxLimit: maxLimit, cache: newStmtCache(defaultCacheSize)}
+	s := &server{
+		ix: ix, maxLimit: maxLimit, cache: newStmtCache(defaultCacheSize),
+		shard:       hopi.NewLocalShard("self", ix),
+		readyMaxLag: defaultReadyMaxLag,
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /query", s.handleQuery)
 	mux.HandleFunc("GET /query/stream", s.handleQueryStream)
 	mux.HandleFunc("GET /explain", s.handleExplain)
@@ -67,6 +78,11 @@ func newServer(ix *hopi.Index, maxLimit int) *server {
 	mux.HandleFunc("POST /docs", s.handleInsertDoc)
 	mux.HandleFunc("DELETE /docs/{name}", s.handleDeleteDoc)
 	mux.HandleFunc("POST /links", s.handleInsertLink)
+	mux.HandleFunc("DELETE /links", s.handleDeleteLink)
+	mux.HandleFunc("POST /shard/step", s.handleShardStep)
+	mux.HandleFunc("POST /shard/deliver", s.handleShardDeliver)
+	mux.HandleFunc("POST /shard/closure", s.handleShardClosure)
+	mux.HandleFunc("POST /shard/resolve", s.handleShardResolve)
 	if ix.Durable() {
 		pub, err := ix.StartPublisher()
 		if err != nil {
@@ -140,6 +156,9 @@ type queryResponse struct {
 	// token is bound to the query, the ranking mode, and the snapshot
 	// epoch — after a maintenance batch it is rejected as stale.
 	NextPageToken string `json:"nextPageToken,omitempty"`
+	// Epoch is the snapshot epoch this page was served from (the epoch
+	// a NextPageToken is pinned to).
+	Epoch uint64 `json:"epoch"`
 }
 
 type queryResult struct {
@@ -174,14 +193,14 @@ func (s *server) parseLimit(r *http.Request, def int) (int, error) {
 // queryCursor compiles the request's expression through the statement
 // cache and opens a cursor for it. The returned status is the HTTP
 // code to use when err != nil.
-func (s *server) queryCursor(r *http.Request, limit int) (*hopi.Cursor, int, error) {
+func (s *server) queryCursor(r *http.Request, limit int) (*hopi.Cursor, uint64, int, error) {
 	expr := r.URL.Query().Get("expr")
 	if expr == "" {
-		return nil, http.StatusBadRequest, fmt.Errorf("missing expr parameter")
+		return nil, 0, http.StatusBadRequest, fmt.Errorf("missing expr parameter")
 	}
 	pq, err := s.cache.get(expr)
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return nil, 0, http.StatusBadRequest, err
 	}
 	opts := []hopi.QueryOption{hopi.QueryLimit(limit)}
 	if boolParam(r, "ranked") {
@@ -190,7 +209,8 @@ func (s *server) queryCursor(r *http.Request, limit int) (*hopi.Cursor, int, err
 	if tok := r.URL.Query().Get("pageToken"); tok != "" {
 		opts = append(opts, hopi.QueryResume(tok))
 	}
-	cur, err := s.ix.Snapshot().Run(r.Context(), pq, opts...)
+	snap := s.ix.Snapshot()
+	cur, err := snap.Run(r.Context(), pq, opts...)
 	if err != nil {
 		// Malformed and stale tokens are client errors (400); the error
 		// text distinguishes them (ErrStaleToken names the epoch change
@@ -201,11 +221,11 @@ func (s *server) queryCursor(r *http.Request, limit int) (*hopi.Cursor, int, err
 		// the same token (503) rather than restart.
 		var stale *hopi.StaleTokenError
 		if errors.As(err, &stale) && stale.Retryable {
-			return nil, http.StatusServiceUnavailable, err
+			return nil, 0, http.StatusServiceUnavailable, err
 		}
-		return nil, http.StatusBadRequest, err
+		return nil, 0, http.StatusBadRequest, err
 	}
-	return cur, 0, nil
+	return cur, snap.Epoch(), 0, nil
 }
 
 // writeQueryErr writes a queryCursor failure, adding Retry-After for
@@ -224,7 +244,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	cur, code, err := s.queryCursor(r, limit)
+	cur, epoch, code, err := s.queryCursor(r, limit)
 	if err != nil {
 		writeQueryErr(w, code, err)
 		return
@@ -233,6 +253,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	out := queryResponse{
 		Expr:    r.URL.Query().Get("expr"),
 		Results: make([]queryResult, 0, limit),
+		Epoch:   epoch,
 	}
 	for cur.Next() {
 		m := cur.Result()
@@ -267,7 +288,7 @@ func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	cur, code, err := s.queryCursor(r, limit)
+	cur, _, code, err := s.queryCursor(r, limit)
 	if err != nil {
 		writeQueryErr(w, code, err)
 		return
@@ -383,8 +404,15 @@ type statsResponse struct {
 	StoredBytes  int64   `json:"storedBytes"`
 	DistinctHubs int     `json:"distinctHubs"`
 	// Epoch is the snapshot's maintenance-batch counter; resume tokens
-	// are valid only while it is unchanged.
-	Epoch uint64 `json:"epoch"`
+	// are valid only while it is unchanged. Scope identifies the index
+	// the epoch belongs to, and SeqEpoch marks epochs that are durable
+	// WAL sequence numbers (portable across replicas).
+	Epoch    uint64 `json:"epoch"`
+	Scope    uint64 `json:"scope"`
+	SeqEpoch bool   `json:"seqEpoch"`
+	// Ready mirrors GET /readyz (a replica is unready while
+	// disconnected or too far behind its primary).
+	Ready bool `json:"ready"`
 	// query-path counters: requests answered, results written, and the
 	// prepared-statement cache's effectiveness
 	QueriesServed   uint64 `json:"queriesServed"`
@@ -422,6 +450,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		StoredBytes:     labels.StoredBytes,
 		DistinctHubs:    labels.DistinctHubs,
 		Epoch:           snap.Epoch(),
+		Scope:           snap.Scope(),
+		SeqEpoch:        snap.HasSeqEpoch(),
+		Ready:           s.readiness().Ready,
 		QueriesServed:   s.queries.Load(),
 		ResultsStreamed: s.streamed.Load(),
 		PreparedCached:  s.cache.len(),
@@ -451,6 +482,9 @@ type insertDocResponse struct {
 	Doc        hopi.DocID `json:"doc"`
 	Name       string     `json:"name"`
 	Unresolved []string   `json:"unresolved,omitempty"`
+	// Epoch is the snapshot epoch the write produced: clients routing
+	// resume tokens across replicas use it to find a caught-up node.
+	Epoch uint64 `json:"epoch"`
 }
 
 func (s *server) handleInsertDoc(w http.ResponseWriter, r *http.Request) {
@@ -479,13 +513,17 @@ func (s *server) handleInsertDoc(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	op := res.Results[0]
-	writeJSON(w, http.StatusCreated, insertDocResponse{Doc: op.Doc, Name: name, Unresolved: op.Unresolved})
+	writeJSON(w, http.StatusCreated, insertDocResponse{
+		Doc: op.Doc, Name: name, Unresolved: op.Unresolved,
+		Epoch: s.ix.Snapshot().Epoch(),
+	})
 }
 
 type deleteDocResponse struct {
 	Doc      hopi.DocID `json:"doc"`
 	Name     string     `json:"name"`
 	FastPath bool       `json:"fastPath"`
+	Epoch    uint64     `json:"epoch"`
 }
 
 func (s *server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
@@ -498,7 +536,10 @@ func (s *server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	op := res.Results[0]
-	writeJSON(w, http.StatusOK, deleteDocResponse{Doc: op.Doc, Name: name, FastPath: op.FastPath})
+	writeJSON(w, http.StatusOK, deleteDocResponse{
+		Doc: op.Doc, Name: name, FastPath: op.FastPath,
+		Epoch: s.ix.Snapshot().Epoch(),
+	})
 }
 
 type insertLinkRequest struct {
@@ -535,7 +576,9 @@ func (s *server) handleInsertLink(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]string{"from": req.From, "to": req.To})
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"from": req.From, "to": req.To, "epoch": s.ix.Snapshot().Epoch(),
+	})
 }
 
 func boolParam(r *http.Request, name string) bool {

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"hopi"
+	"hopi/internal/shardrouter"
+)
+
+// This file is the shard side of the distributed query tier: a
+// hopiserve primary exposes the router's Conn RPCs (step, deliver,
+// closure, resolve) as JSON endpoints, so a hopirouter can own it as
+// one shard of a sharded deployment. The handlers delegate to the same
+// in-process shard adapter the tests and hopibench use — the HTTP
+// layer is only a codec.
+
+// defaultReadyMaxLag is how many batches a replica may trail its
+// primary and still report ready (flag-configurable via -ready-max-lag).
+const defaultReadyMaxLag = 64
+
+// shardErr writes a shard-RPC failure. Epoch mismatches travel as 412
+// Precondition Failed with the structured mismatch attached, so the
+// router can classify (retry fresh queries, fail resumes as stale).
+func shardErr(w http.ResponseWriter, err error) {
+	var em *shardrouter.EpochMismatchError
+	if errors.As(err, &em) {
+		writeJSON(w, http.StatusPreconditionFailed, struct {
+			Error    string                          `json:"error"`
+			Mismatch *shardrouter.EpochMismatchError `json:"epochMismatch"`
+		}{Error: err.Error(), Mismatch: em})
+		return
+	}
+	writeErr(w, statusFor(err), err)
+}
+
+func decodeShardReq(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxDocBytes)).Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad shard request: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *server) handleShardStep(w http.ResponseWriter, r *http.Request) {
+	var req shardrouter.StepRequest
+	if !decodeShardReq(w, r, &req) {
+		return
+	}
+	resp, err := s.shard.Step(r.Context(), &req)
+	if err != nil {
+		shardErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleShardDeliver(w http.ResponseWriter, r *http.Request) {
+	var req shardrouter.DeliverRequest
+	if !decodeShardReq(w, r, &req) {
+		return
+	}
+	resp, err := s.shard.Deliver(r.Context(), &req)
+	if err != nil {
+		shardErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleShardClosure(w http.ResponseWriter, r *http.Request) {
+	var req shardrouter.ClosureRequest
+	if !decodeShardReq(w, r, &req) {
+		return
+	}
+	resp, err := s.shard.Closure(r.Context(), &req)
+	if err != nil {
+		shardErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleShardResolve(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Specs []string `json:"specs"`
+	}
+	if !decodeShardReq(w, r, &req) {
+		return
+	}
+	res, err := s.shard.Resolve(r.Context(), req.Specs)
+	if err != nil {
+		shardErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Results []shardrouter.ResolveResult `json:"results"`
+	}{Results: res})
+}
+
+// readyzResponse reports whether this node can serve complete, fresh
+// answers: primaries and standalone indexes always can; a replica only
+// once it is connected to its primary and within -ready-max-lag
+// batches of it. The router excludes unready shards from fan-out.
+type readyzResponse struct {
+	Ready bool   `json:"ready"`
+	Role  string `json:"role"`
+	Lag   uint64 `json:"lag,omitempty"`
+	Why   string `json:"why,omitempty"`
+}
+
+func (s *server) readiness() readyzResponse {
+	rs := s.ix.ReplicaStatus()
+	out := readyzResponse{Ready: true, Role: rs.Role, Lag: rs.Lag}
+	if rs.Role == "replica" {
+		switch {
+		case !rs.Connected:
+			out.Ready = false
+			out.Why = "replication stream disconnected"
+		case rs.Lag > uint64(s.readyMaxLag):
+			out.Ready = false
+			out.Why = fmt.Sprintf("replica %d batches behind primary (max %d)", rs.Lag, s.readyMaxLag)
+		}
+	}
+	return out
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	out := s.readiness()
+	code := http.StatusOK
+	if !out.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, out)
+}
+
+type deleteLinkRequest struct {
+	From string `json:"from"` // "doc.xml", "doc.xml:3"
+	To   string `json:"to"`   // "doc.xml", "doc.xml:3", "doc.xml#anchor"
+}
+
+func (s *server) handleDeleteLink(w http.ResponseWriter, r *http.Request) {
+	var req deleteLinkRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	fromDoc, fromLocal, fromAnchor, err := hopi.ParseElementSpec(req.From)
+	if err == nil && fromAnchor != "" {
+		err = fmt.Errorf("anchor addressing is only supported for link targets")
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	toDoc, toLocal, toAnchor, err := hopi.ParseElementSpec(req.To)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if toAnchor != "" {
+		// DeleteLink addresses targets by local index; resolve the
+		// anchor against the current snapshot first.
+		coll := s.ix.Snapshot().Collection()
+		id, rerr := coll.ResolveElement(req.To)
+		if rerr != nil {
+			writeErr(w, statusFor(rerr), rerr)
+			return
+		}
+		toLocal = localOf(coll, id)
+	}
+	b := hopi.NewBatch()
+	b.DeleteLink(fromDoc, fromLocal, toDoc, toLocal)
+	if _, err := s.ix.Apply(r.Context(), b); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"from": req.From, "to": req.To, "epoch": s.ix.Snapshot().Epoch(),
+	})
+}
+
+func localOf(coll *hopi.Collection, id hopi.ElemID) int32 {
+	doc := coll.DocOf(id)
+	return int32(id) - int32(coll.ElemID(doc, 0))
+}

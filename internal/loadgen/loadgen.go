@@ -69,6 +69,7 @@ type Result struct {
 	CoverSize    int   // label entries |L| after the workload (0 when unknown)
 	Durable      bool  // workload ran against a WAL-backed store
 	WALBytes     int64 // write-ahead log size after the workload, pre-checkpoint
+	Nodes        int   // HTTP nodes driven (0 for the in-process workload)
 }
 
 // ServeLoad builds an index over a generated collection and runs the
@@ -249,7 +250,10 @@ func remove(list []string, victim string) []string {
 func Render(r Result) string {
 	var b strings.Builder
 	mode := "in-memory"
-	if r.Durable {
+	switch {
+	case r.Nodes > 0:
+		mode = fmt.Sprintf("HTTP deployment (%d nodes)", r.Nodes)
+	case r.Durable:
 		mode = "durable (WAL-backed store)"
 	}
 	fmt.Fprintf(&b, "mixed workload over %.1fs, %s\n", r.Duration.Seconds(), mode)

@@ -1,0 +1,319 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeClient drives a replicated or sharded hopi deployment: one
+// writable endpoint (a hopiserve primary or a hopirouter) plus any
+// number of read endpoints (replicas, or more routers). It encodes the
+// tier's client contract:
+//
+//   - 503 answers are transient — a replica still catching up, a shard
+//     restarting, a resume token a lagging node will accept shortly.
+//     The client honors Retry-After and retries with doubling,
+//     capped backoff instead of failing.
+//   - Resume tokens are bound to the epoch of the snapshot that issued
+//     them. The client remembers each token's issue epoch and routes
+//     the resume to a node it has observed at or past that epoch
+//     (falling back to the issuing node), so a page walk never lands
+//     on a replica that cannot have the snapshot yet.
+//
+// Epochs are learned passively from the "epoch" field hopiserve
+// attaches to query and write responses; nodes that do not report one
+// (hopirouter) simply stay at zero and receive resumes only as the
+// issuing node.
+type NodeClient struct {
+	nodes []string
+	hc    *http.Client
+
+	// MaxBackoff caps the doubling retry delay (default 2s).
+	MaxBackoff time.Duration
+	// MaxRetries bounds consecutive 503 retries per request (default 20).
+	MaxRetries int
+
+	rr     atomic.Uint64
+	epochs []atomic.Uint64
+
+	mu     sync.Mutex
+	tokens map[string]tokenOrigin // resume token → issue point
+}
+
+type tokenOrigin struct {
+	node  int
+	epoch uint64
+}
+
+// NewNodeClient returns a client over the given base URLs. The first
+// URL is the writable endpoint; queries spread over all of them.
+func NewNodeClient(nodes []string, timeout time.Duration) *NodeClient {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	trimmed := make([]string, len(nodes))
+	for i, n := range nodes {
+		trimmed[i] = strings.TrimRight(n, "/")
+	}
+	return &NodeClient{
+		nodes:      trimmed,
+		hc:         &http.Client{Timeout: timeout},
+		MaxBackoff: 2 * time.Second,
+		MaxRetries: 20,
+		epochs:     make([]atomic.Uint64, len(nodes)),
+		tokens:     map[string]tokenOrigin{},
+	}
+}
+
+// QueryPage is one page of query results as the HTTP tier reports it.
+type QueryPage struct {
+	Count         int64  `json:"count"`
+	NextPageToken string `json:"nextPageToken"`
+	Epoch         uint64 `json:"epoch"`
+	// Node is the index of the node that served the page.
+	Node int `json:"-"`
+}
+
+// observe records that node has been seen at epoch (monotone).
+func (c *NodeClient) observe(node int, epoch uint64) {
+	for {
+		cur := c.epochs[node].Load()
+		if epoch <= cur || c.epochs[node].CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// nodeFor picks the node to send a request to: resumes go to a node
+// observed at or past the token's issue epoch (preferring spread, then
+// the issuing node); fresh queries round-robin.
+func (c *NodeClient) nodeFor(pageToken string) int {
+	n := int(c.rr.Add(1)) % len(c.nodes)
+	if pageToken == "" {
+		return n
+	}
+	c.mu.Lock()
+	origin, ok := c.tokens[pageToken]
+	c.mu.Unlock()
+	if !ok {
+		return n
+	}
+	for off := 0; off < len(c.nodes); off++ {
+		cand := (n + off) % len(c.nodes)
+		if c.epochs[cand].Load() >= origin.epoch {
+			return cand
+		}
+	}
+	return origin.node
+}
+
+// Query evaluates expr, optionally resuming from pageToken, retrying
+// transient 503s with capped backoff. limit <= 0 omits the parameter.
+func (c *NodeClient) Query(ctx context.Context, expr string, limit int, ranked bool, pageToken string) (*QueryPage, error) {
+	q := "/query?expr=" + url.QueryEscape(expr)
+	if limit > 0 {
+		q += "&limit=" + strconv.Itoa(limit)
+	}
+	if ranked {
+		q += "&ranked=1"
+	}
+	if pageToken != "" {
+		q += "&pageToken=" + url.QueryEscape(pageToken)
+	}
+	node := c.nodeFor(pageToken)
+	var page QueryPage
+	if err := c.retry(ctx, func() (int, error) {
+		page = QueryPage{}
+		code, err := c.getJSON(ctx, node, q, &page)
+		if code == http.StatusServiceUnavailable && pageToken == "" {
+			// fresh queries are node-agnostic; spread retries
+			node = (node + 1) % len(c.nodes)
+		}
+		return code, err
+	}); err != nil {
+		return nil, err
+	}
+	page.Node = node
+	c.observe(node, page.Epoch)
+	if page.NextPageToken != "" {
+		// the next page must land on a node at least this fresh
+		epoch := page.Epoch
+		if pageToken != "" {
+			c.mu.Lock()
+			if origin, ok := c.tokens[pageToken]; ok {
+				epoch = origin.epoch
+				delete(c.tokens, pageToken)
+			}
+			c.mu.Unlock()
+		}
+		c.mu.Lock()
+		if len(c.tokens) > 1024 { // walked-away page sequences; start over
+			c.tokens = map[string]tokenOrigin{}
+		}
+		c.tokens[page.NextPageToken] = tokenOrigin{node: node, epoch: epoch}
+		c.mu.Unlock()
+	}
+	return &page, nil
+}
+
+// writeResponse is the slice of hopiserve/hopirouter write responses
+// the client cares about.
+type writeResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// InsertDoc posts a document to the writable endpoint.
+func (c *NodeClient) InsertDoc(ctx context.Context, name, xml string) error {
+	return c.write(ctx, http.MethodPost, "/docs?name="+url.QueryEscape(name), "application/xml",
+		strings.NewReader(xml), http.StatusCreated)
+}
+
+// DeleteDoc removes a document through the writable endpoint.
+func (c *NodeClient) DeleteDoc(ctx context.Context, name string) error {
+	return c.write(ctx, http.MethodDelete, "/docs/"+url.PathEscape(name), "", nil, http.StatusOK)
+}
+
+// InsertLink adds a link through the writable endpoint.
+func (c *NodeClient) InsertLink(ctx context.Context, from, to string) error {
+	body := fmt.Sprintf(`{"from":%q,"to":%q}`, from, to)
+	return c.write(ctx, http.MethodPost, "/links", "application/json",
+		strings.NewReader(body), http.StatusCreated)
+}
+
+func (c *NodeClient) write(ctx context.Context, method, path, contentType string, body io.Reader, want int) error {
+	var buf []byte
+	if body != nil {
+		var err error
+		if buf, err = io.ReadAll(body); err != nil {
+			return err
+		}
+	}
+	return c.retry(ctx, func() (int, error) {
+		var rd io.Reader
+		if buf != nil {
+			rd = strings.NewReader(string(buf))
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.nodes[0]+path, rd)
+		if err != nil {
+			return 0, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			return resp.StatusCode, retryAfterErr(resp, data)
+		}
+		if resp.StatusCode != want {
+			return resp.StatusCode, fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(data)))
+		}
+		var wr writeResponse
+		if json.Unmarshal(data, &wr) == nil && wr.Epoch > 0 {
+			c.observe(0, wr.Epoch)
+		}
+		return resp.StatusCode, nil
+	})
+}
+
+func (c *NodeClient) getJSON(ctx context.Context, node int, path string, out any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.nodes[node]+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if rerr != nil {
+		return resp.StatusCode, rerr
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return resp.StatusCode, retryAfterErr(resp, data)
+	}
+	if resp.StatusCode == http.StatusBadRequest && strings.Contains(string(data), "stale page token") {
+		return resp.StatusCode, &StalePageError{msg: strings.TrimSpace(string(data))}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, fmt.Errorf("GET %s: status %d: %s", path, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	return resp.StatusCode, json.Unmarshal(data, out)
+}
+
+// StalePageError is the non-retryable 400 for a resume token the
+// server's state has moved past. Under concurrent writes this is an
+// expected outcome, not a client bug: page walkers should abandon the
+// walk and start a fresh query.
+type StalePageError struct{ msg string }
+
+func (e *StalePageError) Error() string { return e.msg }
+
+// retryAfterError is a transient 503 carrying the server's suggested
+// delay (zero when the header was absent or unparsable).
+type retryAfterError struct {
+	after time.Duration
+	body  string
+}
+
+func (e *retryAfterError) Error() string {
+	return fmt.Sprintf("503 service unavailable (retry after %s): %s", e.after, e.body)
+}
+
+func retryAfterErr(resp *http.Response, body []byte) error {
+	var after time.Duration
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			after = time.Duration(secs) * time.Second
+		}
+	}
+	return &retryAfterError{after: after, body: strings.TrimSpace(string(body))}
+}
+
+// retry runs fn until it succeeds, fails terminally, or the retry
+// budget is spent. Only 503s retry: the wait honors Retry-After when
+// the server set it, inside a doubling envelope capped at MaxBackoff.
+func (c *NodeClient) retry(ctx context.Context, fn func() (int, error)) error {
+	backoff := 25 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
+		code, err := fn()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if code != http.StatusServiceUnavailable {
+			return err
+		}
+		wait := backoff
+		if ra, ok := err.(*retryAfterError); ok && ra.after > wait {
+			wait = ra.after
+		}
+		if wait > c.MaxBackoff {
+			wait = c.MaxBackoff
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wait):
+		}
+		if backoff < c.MaxBackoff {
+			backoff *= 2
+		}
+	}
+	return fmt.Errorf("retry budget exhausted: %w", lastErr)
+}

@@ -1,0 +1,153 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestNodeClientRetriesTransient503 verifies the capped-backoff retry:
+// a node answering 503 with Retry-After is retried, not failed.
+func TestNodeClientRetriesTransient503(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"replica catching up"}`)
+			return
+		}
+		fmt.Fprint(w, `{"count":7,"epoch":42}`)
+	}))
+	defer srv.Close()
+
+	c := NewNodeClient([]string{srv.URL}, 5*time.Second)
+	c.MaxBackoff = 10 * time.Millisecond
+	page, err := c.Query(context.Background(), "//a//b", 0, false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Count != 7 || page.Epoch != 42 {
+		t.Fatalf("page = %+v", page)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server hit %d times, want 3 (two 503s then success)", got)
+	}
+	if c.epochs[0].Load() != 42 {
+		t.Fatalf("observed epoch = %d, want 42", c.epochs[0].Load())
+	}
+
+	// a terminal status must not retry
+	hits.Store(100)
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"stale token"}`)
+	}))
+	defer srv2.Close()
+	c2 := NewNodeClient([]string{srv2.URL}, 5*time.Second)
+	if _, err := c2.Query(context.Background(), "//a", 0, false, ""); err == nil {
+		t.Fatal("400 did not surface as an error")
+	}
+	if got := hits.Load(); got != 101 {
+		t.Fatalf("400 was retried (%d hits)", got-100)
+	}
+}
+
+// TestNodeClientStalePage verifies the stale-token 400 is surfaced as
+// the typed StalePageError (page walkers under concurrent writes must
+// distinguish "start the walk over" from a real failure) and is not
+// retried.
+func TestNodeClientStalePage(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"stale page token: snapshot epoch changed (token epoch 21, snapshot epoch 22)"}`)
+	}))
+	defer srv.Close()
+	c := NewNodeClient([]string{srv.URL}, 5*time.Second)
+	_, err := c.Query(context.Background(), "//a//b", 16, false, "sometoken")
+	var stale *StalePageError
+	if !errors.As(err, &stale) {
+		t.Fatalf("err = %v, want *StalePageError", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("stale 400 was retried (%d hits)", got)
+	}
+}
+
+// TestNodeClientRetryBudget verifies a node that never recovers
+// exhausts the bounded retry budget instead of spinning forever.
+func TestNodeClientRetryBudget(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := NewNodeClient([]string{srv.URL}, 5*time.Second)
+	c.MaxRetries = 2
+	c.MaxBackoff = time.Millisecond
+	if _, err := c.Query(context.Background(), "//a", 0, false, ""); err == nil {
+		t.Fatal("permanently unavailable node did not exhaust the retry budget")
+	}
+}
+
+// TestNodeClientRoutesResumeByEpoch verifies the token-routing
+// contract: a resume is sent to a node observed at or past the
+// token's issue epoch, never to a node known to be behind it.
+func TestNodeClientRoutesResumeByEpoch(t *testing.T) {
+	type hit struct {
+		node  int
+		token string
+	}
+	var hitsMu chan hit = make(chan hit, 64)
+	mkNode := func(node int, epoch uint64, token string) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hitsMu <- hit{node: node, token: r.URL.Query().Get("pageToken")}
+			fmt.Fprintf(w, `{"count":1,"epoch":%d,"nextPageToken":%q}`, epoch, token)
+		}))
+	}
+	// node 0 is fresh (epoch 10) and issues a token; node 1 lags at 3
+	n0 := mkNode(0, 10, "tok-next")
+	defer n0.Close()
+	n1 := mkNode(1, 3, "")
+	defer n1.Close()
+
+	c := NewNodeClient([]string{n0.URL, n1.URL}, 5*time.Second)
+	ctx := context.Background()
+	// two fresh queries: round-robin teaches the client both epochs
+	var issued string
+	for i := 0; i < 2; i++ {
+		page, err := c.Query(ctx, "//a//b", 5, false, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if page.NextPageToken != "" {
+			issued = page.NextPageToken
+		}
+	}
+	if issued != "tok-next" {
+		t.Fatalf("no token issued by the fresh node (got %q)", issued)
+	}
+	for i := 0; i < 4; i++ {
+		page, err := c.Query(ctx, "//a//b", 5, false, issued)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if page.Node != 0 {
+			t.Fatalf("resume %d routed to node %d, which lags the token's epoch", i, page.Node)
+		}
+	}
+	close(hitsMu)
+	for h := range hitsMu {
+		if h.token != "" && h.node != 0 {
+			t.Fatalf("node %d received resume token %q while behind its epoch", h.node, h.token)
+		}
+	}
+}

@@ -169,6 +169,17 @@ func ComputeHBar(s *PSG, withDist bool) *HBar {
 	return h
 }
 
+// ShortestFrom computes weighted shortest distances from the PSG-local
+// source to every PSG node (graph.InfDist when unreachable). Note that
+// dist[src] is 0 — the trivial empty path. Callers needing the proper
+// (length ≥ 1) self-distance through a genuine cycle must derive it as
+// min over incoming edges (u→src) of dist[u]+w(u,src); ComputeHBar
+// sidesteps the issue by excluding self entries, but the distributed
+// query tier's endpoint join (internal/shardrouter) must not — a
+// cross-shard cycle back to the same link endpoint is exactly how
+// //a//a self-matches across shards.
+func ShortestFrom(s *PSG, src int32) []uint32 { return dijkstra(s, src) }
+
 // dijkstra computes shortest distances from src over the weighted PSG.
 func dijkstra(s *PSG, src int32) []uint32 {
 	n := len(s.Nodes)

@@ -1,0 +1,78 @@
+package query
+
+import (
+	"context"
+	"fmt"
+)
+
+// Exported single-step evaluation primitives. The distributed query
+// tier (internal/shardrouter) evaluates a path expression shard by
+// shard: every shard runs the *local* part of each step with the same
+// evaluators the single-index engine uses, and the router joins the
+// cross-shard part over shipped frontier arrivals. These wrappers
+// expose exactly one step of the engine's evaluation — seeding,
+// boolean advance, ranked advance — over an explicit frontier, so the
+// shard-local semantics (proper-path //, cyclic self-match, ranked
+// scoring) are the engine's own code, not a re-implementation.
+
+// Candidates returns the sorted global IDs of live elements matching a
+// tag test ("*" matches any element). The returned slice is shared;
+// callers must not mutate it.
+func (e *Engine) Candidates(tag string) []int32 { return e.candidates(tag) }
+
+// SeedFrontier evaluates an initial step: the tag's candidates,
+// root-anchored when the axis is AxisChild (a leading "/").
+func (e *Engine) SeedFrontier(step Step) []int32 {
+	return e.initialFrontier(&Query{Steps: []Step{step}}, nil)
+}
+
+// AdvanceFrontier evaluates one boolean step from an explicit
+// frontier, using the same evaluator selection as EvalCtx (child /
+// semijoin / pairwise). Descendant steps match over proper paths of
+// length ≥ 1 including the cyclic self-match.
+func (e *Engine) AdvanceFrontier(ctx context.Context, frontier []int32, step Step) ([]int32, error) {
+	if len(frontier) == 0 {
+		return nil, nil
+	}
+	return e.advance(frontier, step, &canceller{ctx: ctx}, nil)
+}
+
+// AdvanceRankedFrontier evaluates one ranked step from an explicit
+// frontier of element→accumulated-score states and returns the next
+// frontier's scores: per candidate, max over frontier elements f of
+// score_f/(1+dist), with dist the shard-local shortest path (cycle
+// distance for self-matches). Witness paths are not tracked — the
+// distributed tier reports matches without per-step witnesses.
+func (e *Engine) AdvanceRankedFrontier(ctx context.Context, frontier map[int32]float64, step Step) (map[int32]float64, error) {
+	if len(frontier) == 0 {
+		return nil, nil
+	}
+	if step.Axis == AxisDescendant && len(e.candidates(step.Tag)) > 0 && !e.ix.Cover().WithDist {
+		return nil, fmt.Errorf("query: ranked step //%s: index built without distance information", step.Tag)
+	}
+	fs := make(map[int32]state, len(frontier))
+	for id, score := range frontier {
+		fs[id] = state{score: score}
+	}
+	cc := &canceller{ctx: ctx}
+	var (
+		next map[int32]state
+		err  error
+	)
+	if step.Axis == AxisChild {
+		next, err = e.advanceRankedChild(fs, step, cc, nil)
+	} else if e.mode == EvalPairwise ||
+		(e.mode == EvalAuto && len(fs)*len(e.candidates(step.Tag)) <= pairwiseCutoff) {
+		next, err = e.advanceRankedPairwise(fs, step, cc, nil)
+	} else {
+		next, err = e.advanceRankedSemijoin(fs, step, cc, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int32]float64, len(next))
+	for id, st := range next {
+		out[id] = st.score
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package shardrouter
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// HTTPConn drives one hopiserve primary as a shard over its HTTP API:
+// the /shard/* RPC endpoints for evaluation, the maintenance endpoints
+// for writes, and /stats for identity and serving counters. Transport
+// failures surface as *ShardUnavailableError (opening the router's
+// circuit breaker); a 412 from a pinned request is decoded back into
+// the *EpochMismatchError the shard raised.
+type HTTPConn struct {
+	base string
+	name string
+	hc   *http.Client
+}
+
+// NewHTTPShard returns a connection to the hopiserve primary at
+// baseURL (e.g. "http://shard0:8080"). The client bounds each RPC at
+// timeout (0 picks 30s); per-request contexts cancel earlier.
+func NewHTTPShard(baseURL string, timeout time.Duration) *HTTPConn {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	base := strings.TrimSuffix(baseURL, "/")
+	return &HTTPConn{base: base, name: base, hc: &http.Client{Timeout: timeout}}
+}
+
+func (c *HTTPConn) Name() string { return c.name }
+
+// do sends one request and decodes the response into out (when out is
+// non-nil and the status is 2xx). Error statuses are mapped onto the
+// router tier's error vocabulary.
+func (c *HTTPConn) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return &ShardUnavailableError{Shard: c.name, Err: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return &ShardUnavailableError{Shard: c.name, Err: err}
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil {
+			return nil
+		}
+		if err := json.Unmarshal(body, out); err != nil {
+			return fmt.Errorf("shard %s: bad response: %w", c.name, err)
+		}
+		return nil
+	}
+	var eb struct {
+		Error    string              `json:"error"`
+		Mismatch *EpochMismatchError `json:"epochMismatch"`
+	}
+	_ = json.Unmarshal(body, &eb)
+	switch resp.StatusCode {
+	case http.StatusPreconditionFailed:
+		if eb.Mismatch != nil {
+			em := *eb.Mismatch
+			if em.Shard == "" || em.Shard == "self" {
+				em.Shard = c.name
+			}
+			return &em
+		}
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: shard %s: %s", ErrNotFound, c.name, eb.Error)
+	case http.StatusConflict:
+		return fmt.Errorf("%w: shard %s: %s", ErrExists, c.name, eb.Error)
+	case http.StatusServiceUnavailable, http.StatusBadGateway, http.StatusGatewayTimeout:
+		return &ShardUnavailableError{Shard: c.name, Err: fmt.Errorf("status %d: %s", resp.StatusCode, eb.Error)}
+	}
+	if eb.Error == "" {
+		eb.Error = strings.TrimSpace(string(body))
+	}
+	return fmt.Errorf("shard %s: status %d: %s", c.name, resp.StatusCode, eb.Error)
+}
+
+func (c *HTTPConn) postJSON(ctx context.Context, path string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *HTTPConn) Step(ctx context.Context, sr *StepRequest) (*StepResponse, error) {
+	var out StepResponse
+	if err := c.postJSON(ctx, "/shard/step", sr, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (c *HTTPConn) Deliver(ctx context.Context, dr *DeliverRequest) (*DeliverResponse, error) {
+	var out DeliverResponse
+	if err := c.postJSON(ctx, "/shard/deliver", dr, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (c *HTTPConn) Closure(ctx context.Context, cr *ClosureRequest) (*ClosureResponse, error) {
+	var out ClosureResponse
+	if err := c.postJSON(ctx, "/shard/closure", cr, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (c *HTTPConn) Resolve(ctx context.Context, specs []string) ([]ResolveResult, error) {
+	var out struct {
+		Results []ResolveResult `json:"results"`
+	}
+	in := struct {
+		Specs []string `json:"specs"`
+	}{Specs: specs}
+	if err := c.postJSON(ctx, "/shard/resolve", in, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+func (c *HTTPConn) Info(ctx context.Context) (*ShardInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	var st struct {
+		Epoch           uint64 `json:"epoch"`
+		Scope           uint64 `json:"scope"`
+		SeqEpoch        bool   `json:"seqEpoch"`
+		Ready           bool   `json:"ready"`
+		Role            string `json:"role"`
+		QueriesServed   uint64 `json:"queriesServed"`
+		ResultsStreamed uint64 `json:"resultsStreamed"`
+		ReplicationLag  uint64 `json:"replicationLag"`
+	}
+	if err := c.do(req, &st); err != nil {
+		return nil, err
+	}
+	return &ShardInfo{
+		Name: c.name, Epoch: st.Epoch, Scope: st.Scope, SeqEpoch: st.SeqEpoch,
+		Ready: st.Ready, Role: st.Role,
+		QueriesServed: st.QueriesServed, ResultsStreamed: st.ResultsStreamed,
+		ReplicationLag: int64(st.ReplicationLag),
+	}, nil
+}
+
+func (c *HTTPConn) Write(ctx context.Context, wr *WriteRequest) (*WriteResult, error) {
+	var out WriteResult
+	switch wr.Op {
+	case OpInsertDoc:
+		u := c.base + "/docs?name=" + url.QueryEscape(wr.Name)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(wr.XML))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/xml")
+		if err := c.do(req, &out); err != nil {
+			return nil, err
+		}
+	case OpDeleteDoc:
+		u := c.base + "/docs/" + url.PathEscape(wr.Name)
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, u, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.do(req, &out); err != nil {
+			return nil, err
+		}
+	case OpInsertLink, OpDeleteLink:
+		method := http.MethodPost
+		if wr.Op == OpDeleteLink {
+			method = http.MethodDelete
+		}
+		payload, err := json.Marshal(struct {
+			From string `json:"from"`
+			To   string `json:"to"`
+		}{From: wr.From, To: wr.To})
+		if err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+"/links", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if err := c.do(req, &out); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("shardrouter: unknown shard write op %q", wr.Op)
+	}
+	return &out, nil
+}
+
+var _ Conn = (*HTTPConn)(nil)

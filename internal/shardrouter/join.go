@@ -1,0 +1,637 @@
+package shardrouter
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hopi/internal/graph"
+	"hopi/internal/psg"
+	"hopi/internal/query"
+)
+
+// QueryOptions selects ranking, truncation, and resumption for a
+// router query — the same knobs as the single-index QueryCtx options.
+type QueryOptions struct {
+	Ranked bool
+	Limit  int
+	Resume string
+}
+
+// Result is one globally merged match. Elements are addressed by
+// (document name, local index) — the sharded equivalent of a global
+// element ID — plus the document's insertion ordinal, which defines
+// the canonical order.
+type Result struct {
+	Doc     string  `json:"doc"`
+	Ordinal uint64  `json:"-"`
+	Local   int32   `json:"local"`
+	Shard   int     `json:"shard"`
+	Tag     string  `json:"tag"`
+	Score   float64 `json:"score,omitempty"`
+}
+
+// Page is one page of router query results.
+type Page struct {
+	Results []Result
+	// NextToken is the vector resume token for the following page;
+	// empty when the result set is exhausted or no limit was set.
+	NextToken string
+}
+
+// Query evaluates a path expression across all shards and merges the
+// answers: every step runs shard-locally through the shards' own
+// engines, and for // steps the router joins the cross-shard paths
+// over the endpoint graph of its cross-link table (the serving-tier
+// analogue of the paper's partition skeleton graph). Fresh queries pin
+// every shard's snapshot on first contact and retry bounded-many times
+// when a concurrent write moves a shard mid-evaluation; resumed
+// queries pin the token's epochs exactly and classify any divergence
+// as a token error instead.
+func (r *Router) Query(ctx context.Context, expr string, opt QueryOptions) (*Page, error) {
+	q, err := query.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	hash := queryHash(q.Canonical())
+	var tok *vectorToken
+	if opt.Resume != "" {
+		t, err := decodeVectorToken(opt.Resume)
+		if err != nil {
+			return nil, err
+		}
+		if len(t.epochs) != len(r.conns) {
+			return nil, fmt.Errorf("%w: issued for a different shard layout", ErrBadToken)
+		}
+		if t.hash != hash {
+			return nil, fmt.Errorf("%w: issued for a different query", ErrBadToken)
+		}
+		if t.ranked != opt.Ranked {
+			return nil, fmt.Errorf("%w: issued for a different ranking mode", ErrBadToken)
+		}
+		tok = &t
+	}
+	var lastErr error
+	for attempt := 0; attempt <= r.maxRetry; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m := r.cur.Load()
+		if tok != nil && tok.mapVersion != m.Version {
+			return nil, &StaleVectorError{TokenEpoch: tok.mapVersion, ShardEpoch: m.Version}
+		}
+		page, err := r.evalOnce(ctx, m, q, hash, opt, tok)
+		if err == nil {
+			r.queries.Add(1)
+			r.streamed.Add(uint64(len(page.Results)))
+			return page, nil
+		}
+		lastErr = err
+		var em *EpochMismatchError
+		if errors.As(err, &em) && tok == nil {
+			continue // a write landed mid-query; re-pin and re-evaluate
+		}
+		if errors.Is(err, errMapRace) {
+			continue
+		}
+		return nil, err
+	}
+	// Writes kept landing faster than the query could pin a consistent
+	// cut — either a shard moved mid-evaluation every attempt or the
+	// map publish kept trailing the shard acks; surface as transient so
+	// clients back off and retry.
+	var em *EpochMismatchError
+	if errors.As(lastErr, &em) {
+		return nil, &ShardUnavailableError{Shard: em.Shard, Err: fmt.Errorf("query retried %d times against concurrent writes", r.maxRetry)}
+	}
+	if errors.Is(lastErr, errMapRace) {
+		return nil, &ShardUnavailableError{Err: fmt.Errorf("query retried %d times against concurrent writes: %v", r.maxRetry, lastErr)}
+	}
+	return nil, lastErr
+}
+
+func axisStr(a query.Axis) string {
+	if a == query.AxisChild {
+		return "/"
+	}
+	return "//"
+}
+
+// evalOnce runs one full evaluation attempt against a fixed shard map
+// and a consistent per-shard snapshot cut.
+func (r *Router) evalOnce(ctx context.Context, m *ShardMap, q *query.Query, hash uint32, opt QueryOptions, tok *vectorToken) (*Page, error) {
+	K := len(r.conns)
+	expected := make([]uint64, K)
+	scopes := make([]uint64, K)
+	if tok != nil {
+		copy(expected, tok.epochs)
+	}
+	// Fresh queries may be served from retained snapshots after the
+	// seed round pins the cut: writes landing mid-evaluation then don't
+	// invalidate the query. Resumes must not — epoch equality IS the
+	// token staleness check.
+	retain := tok == nil
+	// classify turns a shard's epoch-mismatch answer into the resume
+	// token verdict: scope first (a different index identity is a bad
+	// token outright, never a retryable stall), then staleness —
+	// retryable exactly when the shard sits *behind* the token on a
+	// sequence epoch.
+	classify := func(i int, err error) error {
+		var em *EpochMismatchError
+		if tok != nil && errors.As(err, &em) {
+			if tok.scopes[i] != em.Scope {
+				return fmt.Errorf("%w: issued by a different index", ErrBadToken)
+			}
+			return &StaleVectorError{
+				Shard:      r.conns[i].Name(),
+				TokenEpoch: tok.epochs[i],
+				ShardEpoch: em.Current,
+				Retryable:  em.SeqEpoch && em.Current < tok.epochs[i],
+			}
+		}
+		return err
+	}
+
+	last := len(q.Steps) - 1
+	frontiers := make([][]FrontierElem, K)
+
+	// Seed round: contact every shard — also the round that pins the
+	// whole cut (fresh queries) or verifies the whole token (resumes),
+	// including shards the query's frontier never revisits.
+	seed := q.Steps[0]
+	err := r.parallel(allShards(K), func(i int) error {
+		return r.callConn(i, func(c Conn) error {
+			resp, serr := c.Step(ctx, &StepRequest{
+				Epoch: expected[i], Pin: tok != nil,
+				Ranked: opt.Ranked, Seed: true,
+				Axis: axisStr(seed.Axis), Tag: seed.Tag,
+				WantMeta: last == 0,
+			})
+			if serr != nil {
+				return classify(i, serr)
+			}
+			if tok != nil && tok.scopes[i] != resp.Scope {
+				return fmt.Errorf("%w: issued by a different index", ErrBadToken)
+			}
+			expected[i] = resp.Epoch
+			scopes[i] = resp.Scope
+			frontiers[i] = resp.Frontier
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var eg *endpointGraph
+	for si := 1; si <= last; si++ {
+		step := q.Steps[si]
+		wantMeta := si == last
+		if step.Axis == query.AxisChild {
+			// Child steps never cross shards: parent-child edges live
+			// inside one document, documents are atomic to a shard.
+			err := r.parallel(nonEmpty(frontiers), func(i int) error {
+				return r.callConn(i, func(c Conn) error {
+					resp, serr := c.Step(ctx, &StepRequest{
+						Epoch: expected[i], Pin: true, Retain: retain, Ranked: opt.Ranked,
+						Axis: "/", Tag: step.Tag,
+						Frontier: frontiers[i], WantMeta: wantMeta,
+					})
+					if serr != nil {
+						return classify(i, serr)
+					}
+					frontiers[i] = resp.Frontier
+					return nil
+				})
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		// Descendant step. The endpoint graph (nodes: cross-link
+		// endpoints; edges: the cross links plus shard-local
+		// target→source closure edges) is snapshot-dependent but
+		// step-independent, so it is built once per attempt.
+		if eg == nil && len(m.CrossLinks) > 0 {
+			var gerr error
+			eg, gerr = r.buildEndpointGraph(ctx, m, expected, retain, opt.Ranked, classify)
+			if gerr != nil {
+				return nil, gerr
+			}
+		}
+
+		next := make([][]FrontierElem, K)
+		outArr := make([]map[string][]Arrival, K)
+		err := r.parallel(nonEmpty(frontiers), func(i int) error {
+			return r.callConn(i, func(c Conn) error {
+				req := &StepRequest{
+					Epoch: expected[i], Pin: true, Retain: retain, Ranked: opt.Ranked,
+					Axis: "//", Tag: step.Tag,
+					Frontier: frontiers[i], WantMeta: wantMeta,
+				}
+				if eg != nil {
+					req.ProbeOut = eg.outSpecs[i]
+				}
+				resp, serr := c.Step(ctx, req)
+				if serr != nil {
+					return classify(i, serr)
+				}
+				next[i] = resp.Frontier
+				outArr[i] = resp.Out
+				return nil
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		if eg != nil {
+			inArr := eg.route(outArr, opt.Ranked)
+			var didxs []int
+			for i := range inArr {
+				if len(inArr[i]) > 0 {
+					didxs = append(didxs, i)
+				}
+			}
+			err := r.parallel(didxs, func(i int) error {
+				return r.callConn(i, func(c Conn) error {
+					resp, serr := c.Deliver(ctx, &DeliverRequest{
+						Epoch: expected[i], Retain: retain, Ranked: opt.Ranked,
+						Tag: step.Tag, In: inArr[i], WantMeta: wantMeta,
+					})
+					if serr != nil {
+						return classify(i, serr)
+					}
+					next[i] = mergeFrontier(next[i], resp.Matches)
+					return nil
+				})
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		frontiers = next
+	}
+
+	// Merge globally: attach ordinals from the map and sort into the
+	// canonical order.
+	var all []Result
+	for i, fr := range frontiers {
+		for _, fe := range fr {
+			e, ok := m.Docs[fe.Doc]
+			if !ok {
+				// The shard knows a document the map does not yet — a
+				// write is publishing between our two loads; retry.
+				return nil, fmt.Errorf("%w: document %q", errMapRace, fe.Doc)
+			}
+			all = append(all, Result{
+				Doc: fe.Doc, Ordinal: e.Ordinal, Local: fe.Local,
+				Shard: i, Tag: fe.Tag, Score: fe.Score,
+			})
+		}
+	}
+	sortResults(all, opt.Ranked)
+
+	if tok != nil && tok.hasAfter {
+		all = skipAfter(all, tok, opt.Ranked)
+	}
+	page := &Page{}
+	hasMore := false
+	if opt.Limit > 0 && len(all) > opt.Limit {
+		hasMore = true
+		all = all[:opt.Limit]
+	}
+	page.Results = all
+	if hasMore && len(all) > 0 {
+		lastR := all[len(all)-1]
+		t := vectorToken{
+			hash: hash, ranked: opt.Ranked, mapVersion: m.Version,
+			scopes: scopes, epochs: expected,
+			hasAfter: true, afterOrd: lastR.Ordinal, afterLocal: lastR.Local, afterScore: lastR.Score,
+		}
+		page.NextToken = t.encode()
+	}
+	return page, nil
+}
+
+// skipAfter drops everything at or before the token's after-position
+// in the canonical order, so the next page starts exactly where the
+// previous one stopped.
+func skipAfter(all []Result, tok *vectorToken, ranked bool) []Result {
+	isAfter := func(r Result) bool {
+		if ranked {
+			if r.Score != tok.afterScore {
+				return r.Score < tok.afterScore
+			}
+		}
+		if r.Ordinal != tok.afterOrd {
+			return r.Ordinal > tok.afterOrd
+		}
+		return r.Local > tok.afterLocal
+	}
+	i := sort.Search(len(all), func(i int) bool { return isAfter(all[i]) })
+	return all[i:]
+}
+
+func nonEmpty(frontiers [][]FrontierElem) []int {
+	var out []int
+	for i, f := range frontiers {
+		if len(f) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// mergeFrontier unions the shard-local next frontier with the matches
+// delivered through cross-shard paths, keeping the max score per
+// element (both are maxima over path sets; the union's max is the max
+// over the united set, which is exactly the single-index value).
+func mergeFrontier(local, cross []FrontierElem) []FrontierElem {
+	if len(cross) == 0 {
+		return local
+	}
+	byID := make(map[int32]FrontierElem, len(local)+len(cross))
+	for _, fe := range local {
+		byID[fe.ID] = fe
+	}
+	for _, fe := range cross {
+		if ex, ok := byID[fe.ID]; !ok || fe.Score > ex.Score {
+			byID[fe.ID] = fe
+		}
+	}
+	out := make([]FrontierElem, 0, len(byID))
+	for _, fe := range byID {
+		out = append(out, fe)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// --- endpoint graph ---------------------------------------------------
+
+type epKey struct {
+	doc   string
+	local int32
+}
+
+// endpointGraph is the serving-tier skeleton graph: one node per
+// cross-link endpoint element, cross links as weight-1 edges, and
+// shard-local target→source closure edges weighted by the shard's own
+// shortest distances. It is the same shape as the build-time PSG
+// (internal/psg), which is why the PSG's Dijkstra serves as its
+// shortest-path engine.
+type endpointGraph struct {
+	g     *psg.PSG
+	keys  []epKey
+	specs []string
+	shard []int
+
+	outSpecs [][]string // per shard: probe lists for Phase A
+	outNode  map[string]int32
+	inNodes  [][]int32 // per shard: in-endpoint nodes
+}
+
+func (r *Router) buildEndpointGraph(ctx context.Context, m *ShardMap, expected []uint64, retain, ranked bool, classify func(int, error) error) (*endpointGraph, error) {
+	K := len(r.conns)
+	eg := &endpointGraph{
+		shard:    nil,
+		outSpecs: make([][]string, K),
+		outNode:  map[string]int32{},
+		inNodes:  make([][]int32, K),
+	}
+	idx := map[epKey]int32{}
+	addNode := func(k epKey, shard int) int32 {
+		if n, ok := idx[k]; ok {
+			return n
+		}
+		n := int32(len(eg.keys))
+		idx[k] = n
+		eg.keys = append(eg.keys, k)
+		eg.specs = append(eg.specs, fmt.Sprintf("%s:%d", k.doc, k.local))
+		eg.shard = append(eg.shard, shard)
+		return n
+	}
+	type hEdge struct {
+		from, to int32
+		w        uint32
+	}
+	var edges []hEdge
+	var isOut, isIn []bool
+	mark := func(flags *[]bool, n int32) {
+		for int(n) >= len(*flags) {
+			*flags = append(*flags, false)
+		}
+		(*flags)[n] = true
+	}
+	for _, l := range m.CrossLinks {
+		fe, okF := m.Docs[l.FromDoc]
+		te, okT := m.Docs[l.ToDoc]
+		if !okF || !okT {
+			continue // torn map entry; harmless to skip, the link's doc is gone
+		}
+		f := addNode(epKey{l.FromDoc, l.FromLocal}, fe.Shard)
+		t := addNode(epKey{l.ToDoc, l.ToLocal}, te.Shard)
+		mark(&isOut, f)
+		mark(&isIn, t)
+		edges = append(edges, hEdge{f, t, 1})
+	}
+	n := len(eg.keys)
+	for len(isOut) < n {
+		isOut = append(isOut, false)
+	}
+	for len(isIn) < n {
+		isIn = append(isIn, false)
+	}
+
+	// Per shard: collect in- and out-endpoints, fetch the shard-local
+	// closure between them (in parallel across shards).
+	type pair struct{ ins, outs []int32 }
+	byShard := make([]pair, K)
+	for ni := 0; ni < n; ni++ {
+		s := eg.shard[ni]
+		if isIn[ni] {
+			byShard[s].ins = append(byShard[s].ins, int32(ni))
+			eg.inNodes[s] = append(eg.inNodes[s], int32(ni))
+		}
+		if isOut[ni] {
+			byShard[s].outs = append(byShard[s].outs, int32(ni))
+			eg.outSpecs[s] = append(eg.outSpecs[s], eg.specs[ni])
+			eg.outNode[eg.specs[ni]] = int32(ni)
+		}
+	}
+	var need []int
+	for s := 0; s < K; s++ {
+		if len(byShard[s].ins) > 0 && len(byShard[s].outs) > 0 {
+			need = append(need, s)
+		}
+	}
+	var mu_ struct {
+		sync.Mutex
+		edges []hEdge
+	}
+	err := r.parallel(need, func(s int) error {
+		return r.callConn(s, func(c Conn) error {
+			p := byShard[s]
+			req := &ClosureRequest{Epoch: expected[s], Retain: retain, WithDist: ranked,
+				From: make([]string, len(p.ins)), To: make([]string, len(p.outs))}
+			for i, ni := range p.ins {
+				req.From[i] = eg.specs[ni]
+			}
+			for j, nj := range p.outs {
+				req.To[j] = eg.specs[nj]
+			}
+			resp, cerr := c.Closure(ctx, req)
+			if cerr != nil {
+				return classify(s, cerr)
+			}
+			if len(resp.Dist) != len(p.ins)*len(p.outs) {
+				return fmt.Errorf("shard %s: closure matrix size %d, want %d", c.Name(), len(resp.Dist), len(p.ins)*len(p.outs))
+			}
+			var local []hEdge
+			for i, ni := range p.ins {
+				for j, nj := range p.outs {
+					if ni == nj {
+						continue // same element: same node, no edge needed
+					}
+					d := resp.Dist[i*len(p.outs)+j]
+					if d == graph.InfDist {
+						continue
+					}
+					local = append(local, hEdge{ni, nj, d})
+				}
+			}
+			mu_.Lock()
+			mu_.edges = append(mu_.edges, local...)
+			mu_.Unlock()
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	edges = append(edges, mu_.edges...)
+
+	s := &psg.PSG{
+		Index:    make(map[int32]int32, n),
+		G:        graph.NewDigraph(n),
+		IsSource: isOut,
+		IsTarget: isIn,
+		EdgeDist: map[[2]int32]uint32{},
+	}
+	for i := 0; i < n; i++ {
+		s.Nodes = append(s.Nodes, int32(i))
+		s.Index[int32(i)] = int32(i)
+	}
+	for _, e := range edges {
+		s.G.AddEdge(e.from, e.to)
+		key := [2]int32{e.from, e.to}
+		if old, ok := s.EdgeDist[key]; !ok || e.w < old {
+			s.EdgeDist[key] = e.w
+		}
+	}
+	eg.g = s
+	return eg, nil
+}
+
+// route runs the cross-shard join for one // step: from every reached
+// out-endpoint, shortest paths through the endpoint graph deliver its
+// arrivals to in-endpoints, composing distances along the way. The
+// result is the per-shard delivery set for Phase B.
+func (eg *endpointGraph) route(outArr []map[string][]Arrival, ranked bool) []map[string][]Arrival {
+	// Gather arrivals per out node.
+	srcArr := map[int32][]Arrival{}
+	for _, perShard := range outArr {
+		for spec, arr := range perShard {
+			node, ok := eg.outNode[spec]
+			if !ok || len(arr) == 0 {
+				continue
+			}
+			srcArr[node] = append(srcArr[node], arr...)
+		}
+	}
+	if len(srcArr) == 0 {
+		return make([]map[string][]Arrival, len(eg.inNodes))
+	}
+	inArrByNode := map[int32][]Arrival{}
+	for node, arr := range srcArr {
+		dist := psg.ShortestFrom(eg.g, node)
+		// Dijkstra's dist[src] is the empty path; the proper (length
+		// ≥ 1) self-distance goes around a genuine cycle: min over
+		// incoming edges u→src of dist[u]+w. Without it, a cross-shard
+		// cycle back to the same endpoint — the only way //a//a
+		// self-matches across shards — would be lost (or worse, the
+		// empty path would fake one).
+		properSelf := graph.InfDist
+		for key, w := range eg.g.EdgeDist {
+			if key[1] != node || dist[key[0]] == graph.InfDist {
+				continue
+			}
+			if d := dist[key[0]] + w; d < properSelf {
+				properSelf = d
+			}
+		}
+		for _, ins := range eg.inNodes {
+			for _, in := range ins {
+				d := dist[in]
+				if in == node {
+					d = properSelf
+				}
+				if d == graph.InfDist {
+					continue
+				}
+				for _, a := range arr {
+					inArrByNode[in] = append(inArrByNode[in], Arrival{Base: a.Base, Dist: a.Dist + d})
+				}
+			}
+		}
+	}
+	out := make([]map[string][]Arrival, len(eg.inNodes))
+	for node, arr := range inArrByNode {
+		if ranked {
+			arr = ParetoPrune(arr)
+		} else {
+			arr = []Arrival{{}}
+		}
+		s := eg.shard[node]
+		if out[s] == nil {
+			out[s] = map[string][]Arrival{}
+		}
+		out[s][eg.specs[node]] = arr
+	}
+	return out
+}
+
+// ParetoPrune keeps the (dist asc, base desc) Pareto frontier of an
+// arrival set: an arrival with both a farther distance and a no-better
+// base can never produce the maximal score downstream, whatever local
+// distance is still added.
+func ParetoPrune(arr []Arrival) []Arrival {
+	if len(arr) <= 1 {
+		return arr
+	}
+	sort.Slice(arr, func(i, j int) bool {
+		if arr[i].Dist != arr[j].Dist {
+			return arr[i].Dist < arr[j].Dist
+		}
+		return arr[i].Base > arr[j].Base
+	})
+	out := arr[:0]
+	best := -1.0
+	lastDist := uint32(0)
+	for _, a := range arr {
+		if len(out) > 0 && a.Dist == lastDist {
+			continue // same dist, base no better (sorted desc)
+		}
+		if a.Base > best {
+			out = append(out, a)
+			best = a.Base
+			lastDist = a.Dist
+		}
+	}
+	return out
+}

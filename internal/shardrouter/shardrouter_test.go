@@ -1,0 +1,128 @@
+package shardrouter
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hopi/internal/gen"
+)
+
+func TestVectorTokenRoundTrip(t *testing.T) {
+	for _, tok := range []vectorToken{
+		{hash: 0xdeadbeef, mapVersion: 7, scopes: []uint64{1, 2, 3}, epochs: []uint64{9, 8, 7}},
+		{hash: 1, ranked: true, mapVersion: 1, scopes: []uint64{42}, epochs: []uint64{0},
+			hasAfter: true, afterOrd: 19, afterLocal: -1, afterScore: 0.25},
+		{mapVersion: 0, scopes: []uint64{}, epochs: []uint64{}},
+	} {
+		got, err := decodeVectorToken(tok.encode())
+		if err != nil {
+			t.Fatalf("%+v: %v", tok, err)
+		}
+		if !reflect.DeepEqual(got, tok) && !(len(tok.epochs) == 0 && len(got.epochs) == 0) {
+			t.Fatalf("round trip: got %+v, want %+v", got, tok)
+		}
+	}
+}
+
+func TestVectorTokenRejectsDamage(t *testing.T) {
+	tok := vectorToken{hash: 5, mapVersion: 3, scopes: []uint64{1, 2}, epochs: []uint64{4, 5}}
+	s := tok.encode()
+	for _, bad := range []string{"", "!", s[:len(s)-2], s + "AAAA", "QUJDREVG"} {
+		if _, err := decodeVectorToken(bad); !errors.Is(err, ErrBadToken) {
+			t.Errorf("token %q: err = %v, want ErrBadToken", bad, err)
+		}
+	}
+}
+
+func TestShardMapBuildBalanceAndPersist(t *testing.T) {
+	c := gen.DBLP(gen.DefaultDBLP(48, 11))
+	m, err := BuildShardMap(c, 3, BuildConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Docs) != c.NumDocs() {
+		t.Fatalf("map has %d docs, collection %d", len(m.Docs), c.NumDocs())
+	}
+	// balance: no shard may hold more than twice its fair share of elements
+	els := make([]int, m.NumShards)
+	for name, e := range m.Docs {
+		d, ok := c.DocByName(name)
+		if !ok {
+			t.Fatalf("map names unknown document %q", name)
+		}
+		els[e.Shard] += c.Docs[d].Len()
+	}
+	fair := c.NumElements() / m.NumShards
+	for s, n := range els {
+		if n > 2*fair {
+			t.Errorf("shard %d holds %d elements, fair share %d", s, n, fair)
+		}
+		if n == 0 {
+			t.Errorf("shard %d is empty", s)
+		}
+	}
+	if len(m.CrossLinks) == 0 {
+		t.Fatal("a linked collection split 3 ways produced no cross links")
+	}
+	// every cross link's endpoints are on different shards and the
+	// split collections hold exactly the rest
+	parts := SplitCollection(c, m)
+	localLinks := 0
+	for _, p := range parts {
+		localLinks += len(p.Links)
+	}
+	if localLinks+len(m.CrossLinks) != len(c.Links) {
+		t.Fatalf("links split %d local + %d cross, want %d total", localLinks, len(m.CrossLinks), len(c.Links))
+	}
+	for _, l := range m.CrossLinks {
+		if m.Docs[l.FromDoc].Shard == m.Docs[l.ToDoc].Shard {
+			t.Fatalf("cross link %v joins two docs on shard %d", l, m.Docs[l.FromDoc].Shard)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "map.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	re, err := LoadShardMap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(re, m) {
+		t.Fatal("persisted map did not round-trip")
+	}
+	// Clone isolation
+	cl := m.Clone()
+	cl.Docs["zzz"] = DocEntry{Shard: 1}
+	cl.CrossLinks = append(cl.CrossLinks, CrossLink{FromDoc: "zzz"})
+	if _, ok := m.Docs["zzz"]; ok || len(m.CrossLinks) == len(cl.CrossLinks) {
+		t.Fatal("Clone shares state with the original")
+	}
+}
+
+func TestShardMapRejectsBadInput(t *testing.T) {
+	c := gen.DBLP(gen.DefaultDBLP(8, 3))
+	if _, err := BuildShardMap(c, 0, BuildConfig{}); err == nil {
+		t.Error("shard count 0 accepted")
+	}
+	if _, err := LoadShardMap(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing map file accepted")
+	}
+}
+
+func TestParetoPrune(t *testing.T) {
+	in := []Arrival{
+		{Base: 1.0, Dist: 5},
+		{Base: 0.5, Dist: 2},
+		{Base: 1.0, Dist: 5}, // duplicate
+		{Base: 0.2, Dist: 1}, // optimal at dist 1
+		{Base: 0.4, Dist: 3}, // dominated: dist 3 > 2 with base < 0.5
+	}
+	got := ParetoPrune(in)
+	want := []Arrival{{Base: 0.2, Dist: 1}, {Base: 0.5, Dist: 2}, {Base: 1.0, Dist: 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParetoPrune = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,99 @@
+package shardrouter
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// vectorToken is the router's resume token: the single-index token's
+// {scope, epoch, position} extended to a vector — one {scope, epoch}
+// per shard, the shard-map version, and the global after-position
+// (document ordinal + local element index instead of a global element
+// ID, which no longer exists at the router tier). A token is valid
+// only while every shard still sits at its recorded epoch and the map
+// at its recorded version: any shard write retires it through that
+// shard's epoch, and router-owned mutations (cross-shard links, doc
+// placement) retire it through the map version — together exactly the
+// single-index rule that any maintenance invalidates open tokens.
+type vectorToken struct {
+	hash       uint32 // canonical-query FNV-32a, as in hopi.Prepare
+	ranked     bool
+	mapVersion uint64
+	scopes     []uint64
+	epochs     []uint64
+	hasAfter   bool
+	afterOrd   uint64
+	afterLocal int32
+	afterScore float64
+}
+
+const vectorTokenVersion = 1
+
+func (t vectorToken) encode() string {
+	n := 1 + 4 + 1 + 8 + 2 + 16*len(t.epochs) + 8 + 4 + 8
+	b := make([]byte, 0, n)
+	b = append(b, vectorTokenVersion)
+	b = binary.LittleEndian.AppendUint32(b, t.hash)
+	var flags byte
+	if t.ranked {
+		flags |= 1
+	}
+	if t.hasAfter {
+		flags |= 2
+	}
+	b = append(b, flags)
+	b = binary.LittleEndian.AppendUint64(b, t.mapVersion)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(t.epochs)))
+	for i := range t.epochs {
+		b = binary.LittleEndian.AppendUint64(b, t.scopes[i])
+		b = binary.LittleEndian.AppendUint64(b, t.epochs[i])
+	}
+	b = binary.LittleEndian.AppendUint64(b, t.afterOrd)
+	b = binary.LittleEndian.AppendUint32(b, uint32(t.afterLocal))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.afterScore))
+	return base64.RawURLEncoding.EncodeToString(b)
+}
+
+func decodeVectorToken(s string) (vectorToken, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return vectorToken{}, fmt.Errorf("%w: %v", ErrBadToken, err)
+	}
+	if len(raw) < 1+4+1+8+2 || raw[0] != vectorTokenVersion {
+		return vectorToken{}, fmt.Errorf("%w: wrong length or version", ErrBadToken)
+	}
+	t := vectorToken{
+		hash:       binary.LittleEndian.Uint32(raw[1:]),
+		ranked:     raw[5]&1 != 0,
+		hasAfter:   raw[5]&2 != 0,
+		mapVersion: binary.LittleEndian.Uint64(raw[6:]),
+	}
+	k := int(binary.LittleEndian.Uint16(raw[14:]))
+	if len(raw) != 1+4+1+8+2+16*k+8+4+8 {
+		return vectorToken{}, fmt.Errorf("%w: wrong length", ErrBadToken)
+	}
+	off := 16
+	t.scopes = make([]uint64, k)
+	t.epochs = make([]uint64, k)
+	for i := 0; i < k; i++ {
+		t.scopes[i] = binary.LittleEndian.Uint64(raw[off:])
+		t.epochs[i] = binary.LittleEndian.Uint64(raw[off+8:])
+		off += 16
+	}
+	t.afterOrd = binary.LittleEndian.Uint64(raw[off:])
+	t.afterLocal = int32(binary.LittleEndian.Uint32(raw[off+8:]))
+	t.afterScore = math.Float64frombits(binary.LittleEndian.Uint64(raw[off+12:]))
+	return t, nil
+}
+
+// queryHash matches hopi.Prepare's token hash: FNV-32a over the
+// canonical expression, so a router token is bound to the same query
+// identity a single-index token would be.
+func queryHash(canonical string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(canonical))
+	return h.Sum32()
+}

@@ -1,0 +1,551 @@
+package hopi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"hopi/internal/gen"
+	"hopi/internal/shardrouter"
+)
+
+// resultRow is the shard-independent identity of one query result:
+// what must be byte-identical between the router and a single
+// unsharded index over the same collection.
+type resultRow struct {
+	Doc   string
+	Local int32
+	Tag   string
+	Score float64
+}
+
+func singleRows(ix *Index, res []QueryResult) []resultRow {
+	c := ix.Collection().Unwrap()
+	out := make([]resultRow, len(res))
+	for i, r := range res {
+		_, local := c.LocalID(r.Element)
+		out[i] = resultRow{Doc: r.Doc, Local: local, Tag: r.Tag, Score: r.Score}
+	}
+	return out
+}
+
+func routerRows(res []RouterResult) []resultRow {
+	out := make([]resultRow, len(res))
+	for i, r := range res {
+		out[i] = resultRow{Doc: r.Doc, Local: r.Local, Tag: r.Tag, Score: r.Score}
+	}
+	return out
+}
+
+func diffRows(t *testing.T, label string, got, want []resultRow) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d\n got: %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: [%d] = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+type shardedFixture struct {
+	single *Index
+	shards []*Index
+	router *Router
+}
+
+// buildSharded stands up the same collection twice: once as a single
+// unsharded index (the reference answer) and once split over numShards
+// shard primaries behind a router.
+func buildSharded(t *testing.T, coll *Collection, numShards int, dir string) *shardedFixture {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.WithDistance = true
+	opts.Seed = 7
+
+	single, err := Build(coll, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildShardMap(coll, numShards, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := SplitCollection(coll, m)
+	shards := make([]*Index, numShards)
+	conns := make([]ShardConn, numShards)
+	mapPath := ""
+	for i, p := range parts {
+		if dir != "" {
+			shards[i], err = Create(filepath.Join(dir, fmt.Sprintf("shard%d", i)), p, opts)
+		} else {
+			shards[i], err = Build(p, opts)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = NewLocalShard(fmt.Sprintf("s%d", i), shards[i])
+	}
+	if dir != "" {
+		mapPath = filepath.Join(dir, "shardmap.json")
+	}
+	router, err := NewRouter(conns, m, mapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &shardedFixture{single: single, shards: shards, router: router}
+	t.Cleanup(func() {
+		for _, s := range f.shards {
+			s.Close()
+		}
+	})
+	return f
+}
+
+func (f *shardedFixture) compare(t *testing.T, expr string, ranked bool) {
+	t.Helper()
+	ctx := context.Background()
+	var qopts []QueryOption
+	if ranked {
+		qopts = append(qopts, QueryRanked())
+	}
+	want, err := f.single.QueryCtx(ctx, expr, qopts...)
+	if err != nil {
+		t.Fatalf("%s single: %v", expr, err)
+	}
+	page, err := f.router.Query(ctx, expr, RouterQueryOptions{Ranked: ranked})
+	if err != nil {
+		t.Fatalf("%s router: %v", expr, err)
+	}
+	if page.NextToken != "" {
+		t.Fatalf("%s: unlimited query returned a resume token", expr)
+	}
+	diffRows(t, fmt.Sprintf("%s ranked=%v", expr, ranked), routerRows(page.Results), singleRows(f.single, want))
+}
+
+// TestRouterEquivalenceStatic: plain and ranked answers from the
+// router match a single unsharded index over a citation network, for
+// every shard count and a range of expressions (descendant chains,
+// child steps, wildcards).
+func TestRouterEquivalenceStatic(t *testing.T) {
+	coll := WrapCollection(gen.DBLP(gen.DefaultDBLP(48, 11)))
+	exprs := []string{
+		"//article//author", "//article//cite", "//*//para",
+		"//article/title", "//abstract//para", "//inproceedings//author",
+	}
+	for _, shards := range []int{1, 2, 3, 4} {
+		f := buildSharded(t, coll, shards, "")
+		if m := f.router.Map(); len(m.CrossLinks) == 0 && shards > 1 {
+			t.Fatalf("%d shards: no cross-shard links — fixture exercises nothing", shards)
+		}
+		for _, expr := range exprs {
+			f.compare(t, expr, false)
+			f.compare(t, expr, true)
+		}
+	}
+}
+
+// TestRouterCyclicSelfMatch: a //e//e self-match that exists only
+// because of a genuine link cycle must survive sharding even when the
+// cycle crosses shards.
+func TestRouterCyclicSelfMatch(t *testing.T) {
+	coll := WrapCollection(gen.Random(gen.RandomConfig{
+		Docs: 24, MaxElems: 7, Links: 40, Seed: 5, LinkCycle: true,
+	}))
+	for _, shards := range []int{2, 3} {
+		f := buildSharded(t, coll, shards, "")
+		for _, expr := range []string{"//e", "//r//e", "//e//e", "//r//r", "//*//e"} {
+			f.compare(t, expr, false)
+			f.compare(t, expr, true)
+		}
+	}
+}
+
+// TestRouterPagedEquivalence: the concatenation of router pages walked
+// via vector resume tokens equals the single-index answer, plain and
+// ranked, for random page sizes.
+func TestRouterPagedEquivalence(t *testing.T) {
+	coll := WrapCollection(gen.DBLP(gen.DefaultDBLP(40, 13)))
+	f := buildSharded(t, coll, 3, "")
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(29))
+	for _, expr := range []string{"//article//author", "//article//cite"} {
+		for _, ranked := range []bool{false, true} {
+			var qopts []QueryOption
+			if ranked {
+				qopts = append(qopts, QueryRanked())
+			}
+			want, err := f.single.QueryCtx(ctx, expr, qopts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRows := singleRows(f.single, want)
+			for trial := 0; trial < 10; trial++ {
+				pageSize := 1 + rng.Intn(len(want)/2+1)
+				var got []resultRow
+				token := ""
+				for {
+					page, err := f.router.Query(ctx, expr, RouterQueryOptions{
+						Ranked: ranked, Limit: pageSize, Resume: token,
+					})
+					if err != nil {
+						t.Fatalf("%s ranked=%v page %d: %v", expr, ranked, len(got)/pageSize, err)
+					}
+					got = append(got, routerRows(page.Results)...)
+					if page.NextToken == "" {
+						break
+					}
+					token = page.NextToken
+					if len(got) > len(want) {
+						t.Fatalf("%s ranked=%v: page walk overran", expr, ranked)
+					}
+				}
+				diffRows(t, fmt.Sprintf("%s ranked=%v pageSize=%d", expr, ranked, pageSize), got, wantRows)
+			}
+		}
+	}
+}
+
+// TestRouterEquivalenceUnderMaintenance mirrors a random write
+// workload into both the single index and the router (inserts,
+// deletes, link edits — including cross-shard links), checks
+// equivalence after every step, and keeps concurrent readers querying
+// through the router the whole time so the data path runs under
+// -race against live epoch churn.
+func TestRouterEquivalenceUnderMaintenance(t *testing.T) {
+	coll := WrapCollection(gen.DBLP(gen.DefaultDBLP(30, 17)))
+	f := buildSharded(t, coll, 3, "")
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(41))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			exprs := []string{"//article//author", "//article//cite"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Concurrent reads must either succeed or fail with the
+				// documented transient error — never anything else.
+				_, err := f.router.Query(ctx, exprs[(w+i)%len(exprs)], RouterQueryOptions{Ranked: w == 0})
+				var su *shardrouter.ShardUnavailableError
+				if err != nil && !errors.As(err, &su) {
+					t.Errorf("reader %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	names := []string{}
+	for n := range f.router.Map().Docs {
+		names = append(names, n)
+	}
+	newDoc := func(i int) (string, []byte) {
+		name := fmt.Sprintf("new%03d.xml", i)
+		return name, []byte(fmt.Sprintf(
+			`<article><title>t%d</title><author>a%d</author><cite href="%s"/></article>`,
+			i, i, names[rng.Intn(len(names))]))
+	}
+
+	for step := 0; step < 24; step++ {
+		switch rng.Intn(4) {
+		case 0, 1: // insert a document citing an existing one
+			name, xml := newDoc(step)
+			if _, err := f.router.InsertXML(ctx, name, xml); err != nil {
+				t.Fatalf("step %d router insert: %v", step, err)
+			}
+			if _, _, err := addXMLToIndex(f.single, name, xml); err != nil {
+				t.Fatalf("step %d single insert: %v", step, err)
+			}
+			names = append(names, name)
+		case 2: // add a link between two random docs (maybe cross-shard)
+			from := names[rng.Intn(len(names))] + ":0"
+			to := names[rng.Intn(len(names))]
+			if err := f.router.InsertLink(ctx, from, to); err != nil {
+				t.Fatalf("step %d router link: %v", step, err)
+			}
+			if err := insertLinkBySpec(f.single, from, to); err != nil {
+				t.Fatalf("step %d single link: %v", step, err)
+			}
+		case 3: // delete a document (keep a floor so queries stay non-trivial)
+			if len(names) < 20 {
+				continue
+			}
+			i := rng.Intn(len(names))
+			name := names[i]
+			if err := f.router.DeleteDocument(ctx, name); err != nil {
+				t.Fatalf("step %d router delete %s: %v", step, name, err)
+			}
+			if err := deleteDocByName(f.single, name); err != nil {
+				t.Fatalf("step %d single delete %s: %v", step, name, err)
+			}
+			names = append(names[:i], names[i+1:]...)
+		}
+		for _, expr := range []string{"//article//author", "//article//cite"} {
+			f.compare(t, expr, false)
+			f.compare(t, expr, true)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// helpers mirroring router writes onto the single reference index
+// through its batch API.
+
+func addXMLToIndex(ix *Index, name string, data []byte) (DocID, []string, error) {
+	b := NewBatch()
+	if err := b.InsertXML(name, data); err != nil {
+		return 0, nil, err
+	}
+	res, err := ix.Apply(context.Background(), b)
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.Results[0].Doc, res.Results[0].Unresolved, nil
+}
+
+func insertLinkBySpec(ix *Index, from, to string) error {
+	fd, fl, _, err := ParseElementSpec(from)
+	if err != nil {
+		return err
+	}
+	td, tl, anchor, err := ParseElementSpec(to)
+	if err != nil {
+		return err
+	}
+	b := NewBatch()
+	if anchor != "" {
+		b.InsertLinkByAnchor(fd, fl, td, anchor)
+	} else {
+		b.InsertLink(fd, fl, td, tl)
+	}
+	_, err = ix.Apply(context.Background(), b)
+	return err
+}
+
+func deleteDocByName(ix *Index, name string) error {
+	b := NewBatch()
+	b.DeleteDocumentByName(name)
+	_, err := ix.Apply(context.Background(), b)
+	return err
+}
+
+// TestRouterTokenMatrix: the cross-shard resume-token failure modes.
+func TestRouterTokenMatrix(t *testing.T) {
+	coll := WrapCollection(gen.DBLP(gen.DefaultDBLP(30, 19)))
+	dir := t.TempDir()
+	f := buildSharded(t, coll, 2, dir)
+	ctx := context.Background()
+
+	page, err := f.router.Query(ctx, "//article//author", RouterQueryOptions{Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.NextToken == "" {
+		t.Fatal("expected a resume token past limit 5")
+	}
+	token := page.NextToken
+
+	// the genuine token resumes
+	if _, err := f.router.Query(ctx, "//article//author", RouterQueryOptions{Limit: 5, Resume: token}); err != nil {
+		t.Fatalf("genuine resume: %v", err)
+	}
+	// malformed
+	if _, err := f.router.Query(ctx, "//article//author", RouterQueryOptions{Resume: "garbage"}); !errors.Is(err, ErrBadToken) {
+		t.Errorf("malformed token: %v, want ErrBadToken", err)
+	}
+	// wrong query / wrong mode
+	if _, err := f.router.Query(ctx, "//article//cite", RouterQueryOptions{Resume: token}); !errors.Is(err, ErrBadToken) {
+		t.Errorf("cross-query token: %v, want ErrBadToken", err)
+	}
+	if _, err := f.router.Query(ctx, "//article//author", RouterQueryOptions{Ranked: true, Resume: token}); !errors.Is(err, ErrBadToken) {
+		t.Errorf("cross-mode token: %v, want ErrBadToken", err)
+	}
+	// wrong scope: a token from a different router (different shard
+	// identities) is rejected outright, not misread as staleness
+	other := buildSharded(t, coll, 2, "")
+	otherPage, err := other.router.Query(ctx, "//article//author", RouterQueryOptions{Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.router.Query(ctx, "//article//author", RouterQueryOptions{Resume: otherPage.NextToken}); !errors.Is(err, ErrBadToken) {
+		t.Errorf("wrong-scope token: %v, want ErrBadToken", err)
+	}
+
+	// a same-shard write (no map change) retires the token via the
+	// shard epoch; durable shards are ahead of the token, so final
+	byShard := map[int][]string{}
+	for n, e := range f.router.Map().Docs {
+		byShard[e.Shard] = append(byShard[e.Shard], n)
+	}
+	var a, b string
+	for _, list := range byShard {
+		if len(list) >= 2 {
+			a, b = list[0], list[1]
+			break
+		}
+	}
+	if a == "" {
+		t.Fatal("no shard holds two documents")
+	}
+	if err := f.router.InsertLink(ctx, a+":0", b); err != nil {
+		t.Fatalf("same-shard link insert: %v", err)
+	}
+	_, err = f.router.Query(ctx, "//article//author", RouterQueryOptions{Resume: token})
+	var st *StaleTokenError
+	if !errors.As(err, &st) || !errors.Is(err, ErrStaleToken) {
+		t.Fatalf("post-write resume: %v, want StaleTokenError", err)
+	}
+	if st.Retryable {
+		t.Fatalf("shard ahead of token must not be retryable: %+v", st)
+	}
+
+	// token replay across a full shard-tier restart: WAL replay
+	// restores the same sequence epochs, so an outstanding token keeps
+	// working against the reopened shards
+	fresh, err := f.router.Query(ctx, "//article//author", RouterQueryOptions{Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restartTok := fresh.NextToken
+	for _, s := range f.shards {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conns := make([]ShardConn, len(f.shards))
+	for i := range f.shards {
+		re, err := Open(filepath.Join(dir, fmt.Sprintf("shard%d", i)), Durable())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.shards[i] = re // fixture cleanup closes the reopened ones
+		conns[i] = NewLocalShard(fmt.Sprintf("s%d", i), re)
+	}
+	m, err := LoadShardMap(filepath.Join(dir, "shardmap.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	router2, err := NewRouter(conns, m, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := router2.Query(ctx, "//article//author", RouterQueryOptions{Limit: 5, Resume: restartTok})
+	if err != nil {
+		t.Fatalf("post-restart resume: %v", err)
+	}
+	if len(resumed.Results) == 0 {
+		t.Fatal("post-restart resume returned nothing")
+	}
+}
+
+// TestRouterRetryableStaleOnLaggingShard: a shard restored behind the
+// token's sequence epoch (a lagging replica or a shard mid-replay)
+// yields a RETRYABLE stale error — the serving tier's cue for 503 +
+// Retry-After rather than a final 400.
+func TestRouterRetryableStaleOnLaggingShard(t *testing.T) {
+	coll := WrapCollection(gen.DBLP(gen.DefaultDBLP(24, 23)))
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.WithDistance = true
+	opts.Seed = 7
+	m, err := BuildShardMap(coll, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := SplitCollection(coll, m)
+	paths := make([]string, 2)
+	for i, p := range parts {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("shard%d", i))
+		ix, err := Create(paths[i], p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// snapshot shard 0's on-disk state (the path is a file-set prefix)
+	// before any writes
+	oldDir := filepath.Join(dir, "old")
+	oldCopy := filepath.Join(oldDir, "shard0")
+	if out, err := exec.Command("sh", "-c",
+		fmt.Sprintf("mkdir -p %s && cp %s* %s/", oldDir, paths[0], oldDir)).CombinedOutput(); err != nil {
+		t.Fatalf("cp: %v: %s", err, out)
+	}
+
+	open := func(path string) *Index {
+		t.Helper()
+		ix, err := Open(path, Durable())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	shard0, shard1 := open(paths[0]), open(paths[1])
+	router, err := NewRouter([]ShardConn{
+		NewLocalShard("s0", shard0), NewLocalShard("s1", shard1),
+	}, m, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// advance shard 0 past the old copy with a same-shard write
+	var s0docs []string
+	for n, e := range m.Docs {
+		if e.Shard == 0 {
+			s0docs = append(s0docs, n)
+		}
+	}
+	if len(s0docs) < 2 {
+		t.Fatal("shard 0 holds fewer than two documents")
+	}
+	sort.Strings(s0docs)
+	if err := router.InsertLink(ctx, s0docs[0]+":0", s0docs[1]); err != nil {
+		t.Fatal(err)
+	}
+	page, err := router.Query(ctx, "//article//author", RouterQueryOptions{Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.NextToken == "" {
+		t.Fatal("expected a resume token")
+	}
+	shard0.Close()
+	shard1.Close()
+
+	// restart with shard 0 rolled back to the pre-write state
+	lag0, fresh1 := open(oldCopy), open(paths[1])
+	defer lag0.Close()
+	defer fresh1.Close()
+	router2, err := NewRouter([]ShardConn{
+		NewLocalShard("s0", lag0), NewLocalShard("s1", fresh1),
+	}, m, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = router2.Query(ctx, "//article//author", RouterQueryOptions{Resume: page.NextToken})
+	var st *StaleTokenError
+	if !errors.As(err, &st) {
+		t.Fatalf("lagging-shard resume: %v, want StaleTokenError", err)
+	}
+	if !st.Retryable {
+		t.Fatalf("shard behind a sequence-epoch token must be retryable: %+v", st)
+	}
+}

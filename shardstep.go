@@ -1,0 +1,275 @@
+package hopi
+
+import (
+	"context"
+	"fmt"
+
+	"hopi/internal/graph"
+	"hopi/internal/query"
+	"hopi/internal/shardrouter"
+)
+
+// This file is the shard-side half of the distributed query tier: the
+// evaluation primitives a shardrouter.Router drives over its Conn
+// interface, implemented on a pinned Snapshot so a multi-RPC
+// evaluation is exactly as consistent as a single-index query. The
+// heavy lifting — seeding, advancing frontiers, cycle-aware
+// self-matches, ranked scoring — is the snapshot engine's own code
+// (internal/query's exported step primitives); this file only
+// translates wire specs to element IDs and back.
+
+// Scope returns the snapshot's token-scope identity: the value resume
+// tokens are bound to so tokens from unrelated indexes are rejected
+// outright rather than misread as epoch staleness.
+func (s *Snapshot) Scope() uint64 { return s.scope }
+
+// HasSeqEpoch reports whether the snapshot's epoch is a durable WAL
+// sequence number (totally ordered, portable across replicas) rather
+// than a per-instance counter.
+func (s *Snapshot) HasSeqEpoch() bool { return s.seqEpoch }
+
+func parseAxis(axis string) (query.Axis, error) {
+	switch axis {
+	case "/":
+		return query.AxisChild, nil
+	case "//":
+		return query.AxisDescendant, nil
+	}
+	return 0, fmt.Errorf("hopi: bad step axis %q", axis)
+}
+
+// fillMeta attaches the result metadata the router needs to merge
+// globally: document name, document-local element index, and tag.
+func (s *Snapshot) fillMeta(fe *shardrouter.FrontierElem) {
+	d, local := s.coll.c.LocalID(fe.ID)
+	fe.Doc = s.coll.c.Docs[d].Name
+	fe.Local = local
+	fe.Tag = s.coll.c.Docs[d].Elements[local].Tag
+}
+
+// ShardStep evaluates one location step of a distributed query against
+// this snapshot: the shard-local advance (or seed) plus, for // steps,
+// the out-probe — which cross-link sources the *input* frontier
+// reaches, reflexively, since the cross edge that follows keeps the
+// path proper.
+func (s *Snapshot) ShardStep(ctx context.Context, req *shardrouter.StepRequest) (*shardrouter.StepResponse, error) {
+	axis, err := parseAxis(req.Axis)
+	if err != nil {
+		return nil, err
+	}
+	step := query.Step{Axis: axis, Tag: req.Tag}
+	resp := &shardrouter.StepResponse{Epoch: s.epoch, Scope: s.scope, SeqEpoch: s.seqEpoch}
+
+	if req.Ranked {
+		in := make(map[int32]float64, len(req.Frontier))
+		if req.Seed {
+			for _, id := range s.eng.SeedFrontier(step) {
+				in[id] = 1
+			}
+			resp.Frontier = rankedToWire(in)
+		} else {
+			for _, fe := range req.Frontier {
+				in[fe.ID] = fe.Score
+			}
+			next, err := s.eng.AdvanceRankedFrontier(ctx, in, step)
+			if err != nil {
+				return nil, err
+			}
+			resp.Frontier = rankedToWire(next)
+		}
+		if !req.Seed && len(req.ProbeOut) > 0 {
+			resp.Out = map[string][]shardrouter.Arrival{}
+			for _, spec := range req.ProbeOut {
+				o, err := s.coll.ResolveElement(spec)
+				if err != nil {
+					continue // endpoint vanished under a racing delete; the epoch pin reports it
+				}
+				var arr []shardrouter.Arrival
+				for f, score := range in {
+					d, derr := s.ix.Distance(f, o)
+					if derr != nil {
+						return nil, derr
+					}
+					if d == graph.InfDist {
+						continue
+					}
+					arr = append(arr, shardrouter.Arrival{Base: score, Dist: d})
+				}
+				if len(arr) > 0 {
+					resp.Out[spec] = shardrouter.ParetoPrune(arr)
+				}
+			}
+		}
+	} else {
+		var next []int32
+		var in []int32
+		if req.Seed {
+			next = s.eng.SeedFrontier(step)
+		} else {
+			in = make([]int32, len(req.Frontier))
+			for i, fe := range req.Frontier {
+				in[i] = fe.ID
+			}
+			next, err = s.eng.AdvanceFrontier(ctx, in, step)
+			if err != nil {
+				return nil, err
+			}
+		}
+		resp.Frontier = make([]shardrouter.FrontierElem, len(next))
+		for i, id := range next {
+			resp.Frontier[i] = shardrouter.FrontierElem{ID: id}
+		}
+		if !req.Seed && len(req.ProbeOut) > 0 {
+			inSet := make(map[int32]bool, len(in))
+			for _, f := range in {
+				inSet[f] = true
+			}
+			resp.Out = map[string][]shardrouter.Arrival{}
+			for _, spec := range req.ProbeOut {
+				o, err := s.coll.ResolveElement(spec)
+				if err != nil {
+					continue
+				}
+				// Ancestors includes o itself: the reflexive reach is
+				// wanted, the following cross edge keeps paths proper.
+				for _, a := range s.ix.Ancestors(o) {
+					if inSet[a] {
+						resp.Out[spec] = []shardrouter.Arrival{{}}
+						break
+					}
+				}
+			}
+		}
+	}
+	if req.WantMeta {
+		for i := range resp.Frontier {
+			s.fillMeta(&resp.Frontier[i])
+		}
+	}
+	return resp, nil
+}
+
+func rankedToWire(m map[int32]float64) []shardrouter.FrontierElem {
+	out := make([]shardrouter.FrontierElem, 0, len(m))
+	for id, score := range m {
+		out = append(out, shardrouter.FrontierElem{ID: id, Score: score})
+	}
+	return out
+}
+
+// ShardDeliver injects cross-shard arrivals at cross-link targets on
+// this shard and reports the step candidates they reach — reflexively,
+// because every arrival distance already includes at least one cross
+// edge, so even the zero-length local tail closes a proper path. The
+// score is a single division base/(1+total), the same float operation
+// the single-index engine performs, so merged scores are bit-identical
+// to the unsharded answer.
+func (s *Snapshot) ShardDeliver(ctx context.Context, req *shardrouter.DeliverRequest) (*shardrouter.DeliverResponse, error) {
+	resp := &shardrouter.DeliverResponse{}
+	type acc struct {
+		score float64
+		seen  bool
+	}
+	matches := map[int32]acc{}
+	for spec, arrivals := range req.In {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		in, err := s.coll.ResolveElement(spec)
+		if err != nil {
+			continue // vanished under a racing delete; epoch pin reports it
+		}
+		for _, c := range s.ix.Descendants(in) {
+			if req.Tag != "*" && s.coll.c.Tag(c) != req.Tag {
+				continue
+			}
+			if !req.Ranked {
+				matches[c] = acc{seen: true}
+				continue
+			}
+			dl, err := s.ix.Distance(in, c)
+			if err != nil {
+				return nil, err
+			}
+			if dl == graph.InfDist {
+				continue
+			}
+			m := matches[c]
+			for _, a := range arrivals {
+				if sc := a.Base / float64(1+a.Dist+dl); !m.seen || sc > m.score {
+					m = acc{score: sc, seen: true}
+				}
+			}
+			matches[c] = m
+		}
+	}
+	for id, m := range matches {
+		fe := shardrouter.FrontierElem{ID: id, Score: m.score}
+		if req.WantMeta {
+			s.fillMeta(&fe)
+		}
+		resp.Matches = append(resp.Matches, fe)
+	}
+	return resp, nil
+}
+
+// ShardClosure reports this shard's local reachability from cross-link
+// targets to cross-link sources — the target→source edge weights of
+// the router's endpoint graph. Distances are the cover's shortest
+// paths when asked for; without WithDist, 1 marks plain reachability.
+func (s *Snapshot) ShardClosure(ctx context.Context, req *shardrouter.ClosureRequest) (*shardrouter.ClosureResponse, error) {
+	from := make([]int32, len(req.From))
+	to := make([]int32, len(req.To))
+	ok := make([]bool, len(req.From))
+	okTo := make([]bool, len(req.To))
+	for i, spec := range req.From {
+		if id, err := s.coll.ResolveElement(spec); err == nil {
+			from[i], ok[i] = id, true
+		}
+	}
+	for j, spec := range req.To {
+		if id, err := s.coll.ResolveElement(spec); err == nil {
+			to[j], okTo[j] = id, true
+		}
+	}
+	dist := make([]uint32, len(req.From)*len(req.To))
+	for i := range req.From {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for j := range req.To {
+			k := i*len(req.To) + j
+			dist[k] = graph.InfDist
+			if !ok[i] || !okTo[j] {
+				continue
+			}
+			if req.WithDist {
+				d, err := s.ix.Distance(from[i], to[j])
+				if err != nil {
+					return nil, err
+				}
+				dist[k] = d
+			} else if s.ix.Reaches(from[i], to[j]) {
+				dist[k] = 1
+			}
+		}
+	}
+	return &shardrouter.ClosureResponse{Dist: dist}, nil
+}
+
+// ShardResolve checks element specs against the snapshot.
+func (s *Snapshot) ShardResolve(specs []string) []shardrouter.ResolveResult {
+	out := make([]shardrouter.ResolveResult, len(specs))
+	for i, spec := range specs {
+		id, err := s.coll.ResolveElement(spec)
+		if err != nil {
+			continue
+		}
+		d, local := s.coll.c.LocalID(id)
+		out[i] = shardrouter.ResolveResult{
+			OK: true, Doc: s.coll.c.Docs[d].Name, Local: local,
+			Tag: s.coll.c.Docs[d].Elements[local].Tag,
+		}
+	}
+	return out
+}
