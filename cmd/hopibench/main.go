@@ -59,6 +59,8 @@ type benchResult struct {
 	Shards     int     `json:"shards,omitempty"`
 	QueryP50Ms float64 `json:"queryP50Ms,omitempty"`
 	QueryP99Ms float64 `json:"queryP99Ms,omitempty"`
+	// sharding read-only window: router closure-cache hit rate
+	CacheHitRate float64 `json:"closureCacheHitRate,omitempty"`
 }
 
 func main() {
@@ -272,6 +274,14 @@ func main() {
 				Shards:     r.Shards,
 				QueryP50Ms: float64(r.QueryP50.Microseconds()) / 1000,
 				QueryP99Ms: float64(r.QueryP99.Microseconds()) / 1000,
+			})
+			jsonResults = append(jsonResults, benchResult{
+				Name:         fmt.Sprintf("shard/readonly/shards=%d", r.Shards),
+				QPS:          r.ROQueriesPerS,
+				Shards:       r.Shards,
+				QueryP50Ms:   float64(r.ROQueryP50.Microseconds()) / 1000,
+				QueryP99Ms:   float64(r.ROQueryP99.Microseconds()) / 1000,
+				CacheHitRate: r.ClosureHitRate,
 			})
 		}
 		return out, nil

@@ -33,14 +33,21 @@ type shardConfig struct {
 }
 
 // shardResult is one row of the sweep: aggregate write and query
-// throughput plus query latency percentiles at a given shard count.
+// throughput plus query latency percentiles at a given shard count,
+// for the mixed read+write window and for the read-only window that
+// follows it (writes paused, closure cache warm — the steady-state
+// read path).
 type shardResult struct {
-	Shards      int
-	CrossLinks  int
-	BatchesPerS float64
-	QueriesPerS float64
-	QueryP50    time.Duration
-	QueryP99    time.Duration
+	Shards         int
+	CrossLinks     int
+	BatchesPerS    float64
+	QueriesPerS    float64
+	QueryP50       time.Duration
+	QueryP99       time.Duration
+	ROQueriesPerS  float64
+	ROQueryP50     time.Duration
+	ROQueryP99     time.Duration
+	ClosureHitRate float64
 }
 
 // runShard measures one shard count: the collection is partitioned
@@ -166,6 +173,69 @@ func runShard(cfg shardConfig, numShards int) (shardResult, error) {
 		res.QueryP50 = samples[n/2]
 		res.QueryP99 = samples[n*99/100]
 	}
+
+	// Read-only window: writers stopped, so every query pins the same
+	// cut and the router's closure cache can serve the endpoint-graph
+	// RPCs — the steady-state read mix. Counter deltas over the window
+	// give the cache hit rate.
+	ctrBefore := router.Unwrap().Counters()
+	roCtx, roCancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer roCancel()
+	var (
+		roQueries atomic.Int64
+		roWG      sync.WaitGroup
+		roLatMu   sync.Mutex
+		roLats    []time.Duration
+	)
+	for r := 0; r < cfg.readers; r++ {
+		roWG.Add(1)
+		go func() {
+			defer roWG.Done()
+			for roCtx.Err() == nil {
+				start := time.Now()
+				_, err := router.Query(roCtx, cfg.expr, hopi.RouterQueryOptions{Limit: 25})
+				if err != nil {
+					if roCtx.Err() != nil {
+						return
+					}
+					fail(fmt.Errorf("read-only query: %w", err))
+					roCancel()
+					return
+				}
+				roQueries.Add(1)
+				roLatMu.Lock()
+				roLats = append(roLats, time.Since(start))
+				roLatMu.Unlock()
+			}
+		}()
+	}
+	roStart := time.Now()
+	roWG.Wait()
+	roElapsed := time.Since(roStart)
+	if failure != nil {
+		return shardResult{}, failure
+	}
+	if s := roElapsed.Seconds(); s > 0 {
+		res.ROQueriesPerS = float64(roQueries.Load()) / s
+	}
+	sort.Slice(roLats, func(i, j int) bool { return roLats[i] < roLats[j] })
+	if n := len(roLats); n > 0 {
+		res.ROQueryP50 = roLats[n/2]
+		res.ROQueryP99 = roLats[n*99/100]
+	}
+	ctrAfter := router.Unwrap().Counters()
+	hits := ctrAfter.ClosureCacheHits - ctrBefore.ClosureCacheHits
+	misses := ctrAfter.ClosureCacheMisses - ctrBefore.ClosureCacheMisses
+	if hits+misses > 0 {
+		res.ClosureHitRate = float64(hits) / float64(hits+misses)
+	}
+	// With cross links present and repeated identical queries against a
+	// quiescent cut, a cold cache on every query means the epoch keying
+	// is broken — fail loudly rather than report a silent regression.
+	if res.CrossLinks > 0 && roQueries.Load() >= 2 && hits == 0 {
+		return shardResult{}, fmt.Errorf("shards=%d: closure cache ineffective: %d read-only queries, 0 cache hits (misses %d)",
+			numShards, roQueries.Load(), misses)
+	}
 	return res, nil
 }
 
@@ -175,18 +245,22 @@ func shardExperiment(cfg shardConfig) (string, []shardResult, error) {
 		b    strings.Builder
 		rows []shardResult
 	)
-	fmt.Fprintf(&b, "write scaling via sharded primaries (%d docs, %d writers/shard, %d readers on %q limit 25, %s window, durable shards, in-process router)\n",
-		cfg.docs, cfg.writers, cfg.readers, cfg.expr, cfg.duration)
-	fmt.Fprintf(&b, "  %-8s %12s %14s %14s %12s %12s\n", "shards", "crosslinks", "batches/s", "queries/s", "query p50", "query p99")
+	fmt.Fprintf(&b, "write scaling via sharded primaries (%d docs, %d writers/shard, %d readers on %q limit 25, %s mixed window + %s read-only window, durable shards, in-process router)\n",
+		cfg.docs, cfg.writers, cfg.readers, cfg.expr, cfg.duration, cfg.duration)
+	fmt.Fprintf(&b, "  %-8s %12s %14s %14s %12s %12s %14s %12s %12s %8s\n",
+		"shards", "crosslinks", "batches/s", "queries/s", "query p50", "query p99",
+		"ro queries/s", "ro p50", "ro p99", "hit%")
 	for _, n := range cfg.shardCounts {
 		r, err := runShard(cfg, n)
 		if err != nil {
 			return "", nil, fmt.Errorf("shards=%d: %w", n, err)
 		}
 		rows = append(rows, r)
-		fmt.Fprintf(&b, "  %-8d %12d %14.1f %14.1f %12s %12s\n",
+		fmt.Fprintf(&b, "  %-8d %12d %14.1f %14.1f %12s %12s %14.1f %12s %12s %8.1f\n",
 			r.Shards, r.CrossLinks, r.BatchesPerS, r.QueriesPerS,
-			r.QueryP50.Round(time.Microsecond), r.QueryP99.Round(time.Microsecond))
+			r.QueryP50.Round(time.Microsecond), r.QueryP99.Round(time.Microsecond),
+			r.ROQueriesPerS, r.ROQueryP50.Round(time.Microsecond), r.ROQueryP99.Round(time.Microsecond),
+			100*r.ClosureHitRate)
 	}
 	return b.String(), rows, nil
 }

@@ -55,15 +55,21 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8090", "listen address")
-		shards   = flag.String("shards", "", "comma-separated shard base URLs (http://host:port), one hopiserve primary each")
-		mapPath  = flag.String("map", "", "shard map path: load if present, else start empty; every mutation is persisted here")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-shard RPC timeout")
-		maxLimit = flag.Int("max-limit", defaultMaxLimit, "ceiling for the query limit parameter")
+		addr          = flag.String("addr", ":8090", "listen address")
+		shards        = flag.String("shards", "", "comma-separated shard base URLs (http://host:port), one hopiserve primary each")
+		mapPath       = flag.String("map", "", "shard map path: load if present, else start empty; every mutation is persisted here")
+		shardTimeout  = flag.Duration("shard-timeout", 30*time.Second, "per-shard RPC timeout")
+		timeout       = flag.Duration("timeout", 0, "deprecated alias for -shard-timeout (overrides it when set)")
+		breakerWindow = flag.Duration("breaker-window", 250*time.Millisecond, "how long a shard's circuit breaker stays open after a transport failure")
+		maxLimit      = flag.Int("max-limit", defaultMaxLimit, "ceiling for the query limit parameter")
 	)
 	flag.Parse()
 	if *shards == "" {
 		log.Fatal("hopirouter: -shards is required")
+	}
+	rpcTimeout := *shardTimeout
+	if *timeout > 0 {
+		rpcTimeout = *timeout
 	}
 	urls := strings.Split(*shards, ",")
 	conns := make([]hopi.ShardConn, 0, len(urls))
@@ -72,7 +78,7 @@ func main() {
 		if u == "" {
 			continue
 		}
-		conns = append(conns, shardrouter.NewHTTPShard(u, *timeout))
+		conns = append(conns, shardrouter.NewHTTPShard(u, rpcTimeout))
 	}
 	if len(conns) == 0 {
 		log.Fatal("hopirouter: -shards named no shard URLs")
@@ -85,7 +91,7 @@ func main() {
 	if m.NumShards != len(conns) {
 		log.Fatalf("hopirouter: map %s is for %d shards, -shards names %d", *mapPath, m.NumShards, len(conns))
 	}
-	router, err := hopi.NewRouter(conns, m, *mapPath)
+	router, err := hopi.NewRouter(conns, m, *mapPath, hopi.RouterBreakerWindow(*breakerWindow))
 	if err != nil {
 		log.Fatalf("hopirouter: %v", err)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"hopi"
 	"hopi/internal/shardrouter"
@@ -13,10 +14,13 @@ import (
 
 // This file is the shard side of the distributed query tier: a
 // hopiserve primary exposes the router's Conn RPCs (step, deliver,
-// closure, resolve) as JSON endpoints, so a hopirouter can own it as
-// one shard of a sharded deployment. The handlers delegate to the same
+// closure, resolve) over HTTP, so a hopirouter can own it as one
+// shard of a sharded deployment. The handlers delegate to the same
 // in-process shard adapter the tests and hopibench use — the HTTP
-// layer is only a codec.
+// layer is only a codec. The hot RPCs speak both codecs: JSON (the
+// debug format and cross-version bridge) and the binary frames of
+// shardrouter's codec, chosen per request by Content-Type and Accept.
+// Errors always travel as JSON, whatever codec the payloads used.
 
 // defaultReadyMaxLag is how many batches a replica may trail its
 // primary and still report ready (flag-configurable via -ready-max-lag).
@@ -45,9 +49,53 @@ func decodeShardReq(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// isBinaryReq reports whether the request's payload is a binary shard
+// frame; wantBinaryResp whether the client can consume one in return.
+func isBinaryReq(r *http.Request) bool {
+	return strings.HasPrefix(r.Header.Get("Content-Type"), shardrouter.BinaryContentType)
+}
+
+func wantBinaryResp(r *http.Request) bool {
+	return isBinaryReq(r) || strings.Contains(r.Header.Get("Accept"), shardrouter.BinaryContentType)
+}
+
+// readShardBody reads one shard-RPC payload (bounded like document
+// ingest).
+func readShardBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxDocBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad shard request: %w", err))
+		return nil, false
+	}
+	return body, true
+}
+
+// writeShardResp answers in the binary codec when the client asked for
+// it, JSON otherwise.
+func writeShardResp(w http.ResponseWriter, r *http.Request, frame func() []byte, v any) {
+	if wantBinaryResp(r) {
+		w.Header().Set("Content-Type", shardrouter.BinaryContentType)
+		w.WriteHeader(http.StatusOK)
+		w.Write(frame())
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
 func (s *server) handleShardStep(w http.ResponseWriter, r *http.Request) {
 	var req shardrouter.StepRequest
-	if !decodeShardReq(w, r, &req) {
+	if isBinaryReq(r) {
+		body, ok := readShardBody(w, r)
+		if !ok {
+			return
+		}
+		p, err := shardrouter.DecodeStepRequest(body)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad shard request: %w", err))
+			return
+		}
+		req = *p
+	} else if !decodeShardReq(w, r, &req) {
 		return
 	}
 	resp, err := s.shard.Step(r.Context(), &req)
@@ -55,12 +103,23 @@ func (s *server) handleShardStep(w http.ResponseWriter, r *http.Request) {
 		shardErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeShardResp(w, r, func() []byte { return shardrouter.EncodeStepResponse(resp) }, resp)
 }
 
 func (s *server) handleShardDeliver(w http.ResponseWriter, r *http.Request) {
 	var req shardrouter.DeliverRequest
-	if !decodeShardReq(w, r, &req) {
+	if isBinaryReq(r) {
+		body, ok := readShardBody(w, r)
+		if !ok {
+			return
+		}
+		p, err := shardrouter.DecodeDeliverRequest(body)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad shard request: %w", err))
+			return
+		}
+		req = *p
+	} else if !decodeShardReq(w, r, &req) {
 		return
 	}
 	resp, err := s.shard.Deliver(r.Context(), &req)
@@ -68,12 +127,23 @@ func (s *server) handleShardDeliver(w http.ResponseWriter, r *http.Request) {
 		shardErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeShardResp(w, r, func() []byte { return shardrouter.EncodeDeliverResponse(resp) }, resp)
 }
 
 func (s *server) handleShardClosure(w http.ResponseWriter, r *http.Request) {
 	var req shardrouter.ClosureRequest
-	if !decodeShardReq(w, r, &req) {
+	if isBinaryReq(r) {
+		body, ok := readShardBody(w, r)
+		if !ok {
+			return
+		}
+		p, err := shardrouter.DecodeClosureRequest(body)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad shard request: %w", err))
+			return
+		}
+		req = *p
+	} else if !decodeShardReq(w, r, &req) {
 		return
 	}
 	resp, err := s.shard.Closure(r.Context(), &req)
@@ -81,7 +151,7 @@ func (s *server) handleShardClosure(w http.ResponseWriter, r *http.Request) {
 		shardErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeShardResp(w, r, func() []byte { return shardrouter.EncodeClosureResponse(resp) }, resp)
 }
 
 func (s *server) handleShardResolve(w http.ResponseWriter, r *http.Request) {

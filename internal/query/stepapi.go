@@ -3,6 +3,8 @@ package query
 import (
 	"context"
 	"fmt"
+
+	"hopi/internal/graph"
 )
 
 // Exported single-step evaluation primitives. The distributed query
@@ -75,4 +77,72 @@ func (e *Engine) AdvanceRankedFrontier(ctx context.Context, frontier map[int32]f
 		out[id] = st.score
 	}
 	return out, nil
+}
+
+// BulkClosure computes the full from×to reachability matrix in one
+// pass over the 2-hop labels (row-major: dist[i*len(to)+j] is
+// from[i]→to[j]). With withDist, entries are the cover's shortest-path
+// lengths — value-identical to Cover.Distance per pair — and
+// graph.InfDist when unreachable; without, 1 marks reachability. The
+// label join inverts the to-side Lin labels (plus the implicit self
+// entries the cover omits) into a center→columns map, so each from row
+// costs one scan of Lout(from) instead of one merge-intersect per
+// pair: the meeting-center cases enumerated are exactly Distance's —
+// v ∈ Lout(u) meets v's implicit self, u ∈ Lin(v) meets u's, the
+// Lout∩Lin intersection meets directly, and u == v meets self-to-self
+// at distance 0.
+func (e *Engine) BulkClosure(ctx context.Context, from, to []int32, withDist bool) ([]uint32, error) {
+	if withDist && !e.ix.Cover().WithDist {
+		return nil, fmt.Errorf("query: closure with distances: index built without distance information")
+	}
+	cov := e.ix.Cover()
+	type tEntry struct {
+		col int
+		d   uint32
+	}
+	byCenter := make(map[int32][]tEntry, len(to))
+	for j, t := range to {
+		byCenter[t] = append(byCenter[t], tEntry{col: j})
+		for _, en := range cov.In[t] {
+			d := en.Dist
+			if !withDist {
+				d = 0 // dist fields are not meaningful without WithDist
+			}
+			byCenter[en.Center] = append(byCenter[en.Center], tEntry{col: j, d: d})
+		}
+	}
+	nTo := len(to)
+	dist := make([]uint32, len(from)*nTo)
+	for i := range dist {
+		dist[i] = graph.InfDist
+	}
+	for i, f := range from {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		row := dist[i*nTo : (i+1)*nTo]
+		meet := func(center int32, df uint32) {
+			for _, te := range byCenter[center] {
+				if d := df + te.d; d < row[te.col] {
+					row[te.col] = d
+				}
+			}
+		}
+		meet(f, 0)
+		for _, en := range cov.Out[f] {
+			d := en.Dist
+			if !withDist {
+				d = 0
+			}
+			meet(en.Center, d)
+		}
+	}
+	if !withDist {
+		for i := range dist {
+			if dist[i] != graph.InfDist {
+				dist[i] = 1
+			}
+		}
+	}
+	return dist, nil
 }

@@ -1,0 +1,188 @@
+package shardrouter
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newRPCCache(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if _, ok := c.get("a"); !ok { // bumps a ahead of b
+		t.Fatal("a should be cached")
+	}
+	c.put("c", 3) // evicts b, the least recently used
+	if _, ok := c.peek("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.peek("a"); !ok || v.(int) != 1 {
+		t.Errorf("a = %v, %v; want 1, true", v, ok)
+	}
+	if v, ok := c.peek("c"); !ok || v.(int) != 3 {
+		t.Errorf("c = %v, %v; want 3, true", v, ok)
+	}
+	if got := c.evictions.Load(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	// peek never counts; the single get above is the only hit.
+	if h, m := c.hits.Load(), c.misses.Load(); h != 1 || m != 0 {
+		t.Errorf("hits=%d misses=%d, want 1, 0", h, m)
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	c := newRPCCache(4)
+	if _, ok := c.get("k"); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	c.noteMiss() // a piggybacked fill counts its own miss
+	c.put("k", 42)
+	for i := 0; i < 3; i++ {
+		if v, ok := c.get("k"); !ok || v.(int) != 42 {
+			t.Fatalf("get k = %v, %v", v, ok)
+		}
+	}
+	if h, m := c.hits.Load(), c.misses.Load(); h != 3 || m != 2 {
+		t.Errorf("hits=%d misses=%d, want 3, 2", h, m)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := newRPCCache(4)
+	var fetches atomic.Int32
+	release := make(chan struct{})
+	const workers = 8
+	var wg sync.WaitGroup
+	results := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.do("k", func() (any, error) {
+				fetches.Add(1)
+				<-release
+				return 7, nil
+			})
+			if err != nil {
+				t.Errorf("do: %v", err)
+				return
+			}
+			results[i] = v.(int)
+		}(i)
+	}
+	// Let the goroutines pile onto the flight, then release the leader.
+	for c.hits.Load()+c.misses.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if got := fetches.Load(); got != 1 {
+		t.Errorf("fetch ran %d times, want 1 (singleflight)", got)
+	}
+	for i, v := range results {
+		if v != 7 {
+			t.Errorf("worker %d got %d, want 7", i, v)
+		}
+	}
+	// Exactly one miss (the leader); everyone else is a hit.
+	if m := c.misses.Load(); m != 1 {
+		t.Errorf("misses = %d, want 1", m)
+	}
+	if h := c.hits.Load(); h != workers-1 {
+		t.Errorf("hits = %d, want %d", h, workers-1)
+	}
+}
+
+func TestCacheLeaderErrorWaiterRetries(t *testing.T) {
+	c := newRPCCache(4)
+	boom := errors.New("boom")
+	inFetch := make(chan struct{})
+	release := make(chan struct{})
+	var leaderDone sync.WaitGroup
+	leaderDone.Add(1)
+	go func() {
+		defer leaderDone.Done()
+		_, err := c.do("k", func() (any, error) {
+			close(inFetch)
+			<-release
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("leader err = %v, want boom", err)
+		}
+	}()
+	<-inFetch
+	var waiterFetched atomic.Bool
+	waiterErr := make(chan error, 1)
+	go func() {
+		v, err := c.do("k", func() (any, error) {
+			waiterFetched.Store(true)
+			return 9, nil
+		})
+		if err == nil && v.(int) != 9 {
+			t.Errorf("waiter got %v", v)
+		}
+		waiterErr <- err
+	}()
+	// Give the waiter a moment to join the flight, then fail the leader.
+	for {
+		c.mu.Lock()
+		_, waiting := c.flights["k"]
+		c.mu.Unlock()
+		if waiting {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	leaderDone.Wait()
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("waiter err = %v", err)
+	}
+	if !waiterFetched.Load() {
+		t.Error("waiter should have fetched independently after leader error")
+	}
+	// The waiter's successful fetch must be cached for later callers.
+	if v, ok := c.peek("k"); !ok || v.(int) != 9 {
+		t.Errorf("peek after waiter retry = %v, %v; want 9, true", v, ok)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newRPCCache(0)
+	c.put("k", 1)
+	if _, ok := c.peek("k"); ok {
+		t.Error("disabled cache should not store")
+	}
+	var fetches int
+	for i := 0; i < 2; i++ {
+		v, err := c.do("k", func() (any, error) { fetches++; return i, nil })
+		if err != nil || v.(int) != i {
+			t.Fatalf("do: %v, %v", v, err)
+		}
+	}
+	if fetches != 2 {
+		t.Errorf("fetches = %d, want 2 (no dedup when disabled)", fetches)
+	}
+	if h, m := c.hits.Load(), c.misses.Load(); h != 0 || m != 2 {
+		t.Errorf("hits=%d misses=%d, want 0, 2", h, m)
+	}
+}
+
+func TestHashSpecsBoundaries(t *testing.T) {
+	// List boundaries must be unambiguous: ["ab"],["c"] vs ["a"],["bc"]
+	// and ["a","b"] vs ["a"],["b"] must hash differently.
+	if hashSpecs([]string{"ab"}, []string{"c"}) == hashSpecs([]string{"a"}, []string{"bc"}) {
+		t.Error("hashSpecs collides across element boundaries")
+	}
+	if hashSpecs([]string{"a", "b"}) == hashSpecs([]string{"a"}, []string{"b"}) {
+		t.Error("hashSpecs collides across list boundaries")
+	}
+	if hashSpecs([]string{"a"}) != hashSpecs([]string{"a"}) {
+		t.Error("hashSpecs not deterministic")
+	}
+}

@@ -91,6 +91,23 @@ type StepRequest struct {
 	ProbeOut []string `json:"probeOut,omitempty"`
 	// WantMeta asks for Doc/Local/Tag on the response frontier.
 	WantMeta bool `json:"wantMeta,omitempty"`
+	// WantClosure piggybacks a closure computation on this step (the
+	// router sets it on the seed round for shards whose closure matrix
+	// is not cached, folding a whole RPC round away): the response's
+	// Closure carries the ClosureFrom×ClosureTo matrix, as if a
+	// separate Closure RPC had run against the same snapshot.
+	WantClosure     bool     `json:"wantClosure,omitempty"`
+	ClosureFrom     []string `json:"closureFrom,omitempty"`
+	ClosureTo       []string `json:"closureTo,omitempty"`
+	ClosureWithDist bool     `json:"closureWithDist,omitempty"`
+	// ProbeIn asks for this shard's delivery tables on a // step: per
+	// listed in-endpoint spec, the tag-matching local candidates it
+	// reaches (reflexively, with distances on ranked queries). The
+	// router composes cross-shard matches from these tables itself —
+	// folding the final Deliver round into the step round — and caches
+	// them per (shard, epoch, tag), so steady-state reads pay no
+	// shard-side deliver work at all.
+	ProbeIn []string `json:"probeIn,omitempty"`
 }
 
 // StepResponse carries the shard-local part of the next frontier plus
@@ -104,6 +121,29 @@ type StepResponse struct {
 	// Out maps probed endpoint specs to their arrival lists; a probe
 	// the frontier does not reach is absent.
 	Out map[string][]Arrival `json:"out,omitempty"`
+	// Closure answers WantClosure; nil when the request did not ask
+	// (or the shard predates the piggyback — the router then falls
+	// back to a separate Closure RPC).
+	Closure *ClosureResponse `json:"closure,omitempty"`
+	// Deliveries answers ProbeIn: non-nil (possibly empty) exactly
+	// when the shard processed the probe, so the router can tell an
+	// empty table from an older shard that ignored the field and
+	// fall back to a Deliver RPC. Entries carry result meta
+	// unconditionally so one cached table serves intermediate and
+	// final steps alike.
+	Deliveries map[string][]Delivery `json:"deliveries"`
+}
+
+// Delivery is one entry of a shard's delivery table: a step candidate
+// reachable locally from a cross-link in-endpoint (tag-matching,
+// reflexive), with the shard-local shortest distance on ranked
+// queries and the result meta the router needs on final steps.
+type Delivery struct {
+	ID    int32  `json:"id"`
+	Dist  uint32 `json:"dist,omitempty"`
+	Doc   string `json:"doc,omitempty"`
+	Local int32  `json:"local,omitempty"`
+	Tag   string `json:"tag,omitempty"`
 }
 
 // DeliverRequest injects arrivals at cross-link targets on this shard

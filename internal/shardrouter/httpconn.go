@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,53 +20,74 @@ import (
 // failures surface as *ShardUnavailableError (opening the router's
 // circuit breaker); a 412 from a pinned request is decoded back into
 // the *EpochMismatchError the shard raised.
+//
+// The hot RPCs (Step, Deliver, Closure) are sent in the binary codec
+// (see codec.go) with a JSON Accept fallback: a server that rejects
+// the binary Content-Type flips the connection to JSON-only for its
+// lifetime, so a router talking to an older hopiserve degrades to the
+// debug format after one extra round trip, ever.
 type HTTPConn struct {
 	base string
 	name string
 	hc   *http.Client
+
+	// jsonOnly latches after a shard rejects a binary frame.
+	jsonOnly atomic.Bool
+	// wire, when attached by a Router, counts request/response payload
+	// bytes for the /stats wireBytesIn/Out counters.
+	wire atomic.Pointer[WireStats]
 }
 
 // NewHTTPShard returns a connection to the hopiserve primary at
 // baseURL (e.g. "http://shard0:8080"). The client bounds each RPC at
-// timeout (0 picks 30s); per-request contexts cancel earlier.
+// timeout (0 picks 30s); per-request contexts cancel earlier. The
+// transport keeps idle connections pooled per host so the router's
+// fan-out rounds reuse TCP connections instead of re-dialing every
+// shard every round.
 func NewHTTPShard(baseURL string, timeout time.Duration) *HTTPConn {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
 	base := strings.TrimSuffix(baseURL, "/")
-	return &HTTPConn{base: base, name: base, hc: &http.Client{Timeout: timeout}}
+	tr := &http.Transport{
+		MaxIdleConns:        128,
+		MaxIdleConnsPerHost: 32,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &HTTPConn{base: base, name: base, hc: &http.Client{Timeout: timeout, Transport: tr}}
 }
 
 func (c *HTTPConn) Name() string { return c.name }
 
-// do sends one request and decodes the response into out (when out is
-// non-nil and the status is 2xx). Error statuses are mapped onto the
-// router tier's error vocabulary.
-func (c *HTTPConn) do(req *http.Request, out any) error {
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return &ShardUnavailableError{Shard: c.name, Err: err}
+// AttachWireStats points the connection's byte counters at the
+// router's aggregate; the Router calls this from New.
+func (c *HTTPConn) AttachWireStats(ws *WireStats) { c.wire.Store(ws) }
+
+func (c *HTTPConn) countOut(n int) {
+	if ws := c.wire.Load(); ws != nil {
+		ws.AddOut(n)
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
-		return &ShardUnavailableError{Shard: c.name, Err: err}
+}
+
+func (c *HTTPConn) countIn(n int) {
+	if ws := c.wire.Load(); ws != nil {
+		ws.AddIn(n)
 	}
-	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-		if out == nil {
-			return nil
-		}
-		if err := json.Unmarshal(body, out); err != nil {
-			return fmt.Errorf("shard %s: bad response: %w", c.name, err)
-		}
-		return nil
-	}
+}
+
+// errBinaryRejected reports that the server refused the binary codec;
+// the caller retries in JSON and latches jsonOnly.
+var errBinaryRejected = errors.New("shardrouter: shard rejected binary codec")
+
+// mapError turns a non-2xx response into the router tier's error
+// vocabulary.
+func (c *HTTPConn) mapError(status int, body []byte) error {
 	var eb struct {
 		Error    string              `json:"error"`
 		Mismatch *EpochMismatchError `json:"epochMismatch"`
 	}
 	_ = json.Unmarshal(body, &eb)
-	switch resp.StatusCode {
+	switch status {
 	case http.StatusPreconditionFailed:
 		if eb.Mismatch != nil {
 			em := *eb.Mismatch
@@ -78,12 +101,95 @@ func (c *HTTPConn) do(req *http.Request, out any) error {
 	case http.StatusConflict:
 		return fmt.Errorf("%w: shard %s: %s", ErrExists, c.name, eb.Error)
 	case http.StatusServiceUnavailable, http.StatusBadGateway, http.StatusGatewayTimeout:
-		return &ShardUnavailableError{Shard: c.name, Err: fmt.Errorf("status %d: %s", resp.StatusCode, eb.Error)}
+		return &ShardUnavailableError{Shard: c.name, Err: fmt.Errorf("status %d: %s", status, eb.Error)}
 	}
 	if eb.Error == "" {
 		eb.Error = strings.TrimSpace(string(body))
 	}
-	return fmt.Errorf("shard %s: status %d: %s", c.name, resp.StatusCode, eb.Error)
+	return fmt.Errorf("shard %s: status %d: %s", c.name, status, eb.Error)
+}
+
+// post sends one RPC payload and returns the response body and its
+// Content-Type. When binary, a 400 or 415 is reported as
+// errBinaryRejected — an older server that cannot parse the frame —
+// rather than a terminal error.
+func (c *HTTPConn) post(ctx context.Context, path, ctype string, payload []byte, binary bool) ([]byte, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, "", err
+	}
+	req.Header.Set("Content-Type", ctype)
+	if binary {
+		req.Header.Set("Accept", BinaryContentType+", application/json")
+	}
+	c.countOut(len(payload))
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, "", &ShardUnavailableError{Shard: c.name, Err: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, "", &ShardUnavailableError{Shard: c.name, Err: err}
+	}
+	c.countIn(len(body))
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return body, resp.Header.Get("Content-Type"), nil
+	}
+	if binary && (resp.StatusCode == http.StatusBadRequest || resp.StatusCode == http.StatusUnsupportedMediaType) {
+		return nil, "", errBinaryRejected
+	}
+	return nil, "", c.mapError(resp.StatusCode, body)
+}
+
+// rpc runs one hot-path RPC, preferring the binary codec. decode is
+// handed the response body and whether it is binary.
+func (c *HTTPConn) rpc(ctx context.Context, path string, jsonIn any, bin []byte, decode func(body []byte, binary bool) error) error {
+	if !c.jsonOnly.Load() {
+		body, ctype, err := c.post(ctx, path, BinaryContentType, bin, true)
+		if err == nil {
+			return decode(body, strings.HasPrefix(ctype, BinaryContentType))
+		}
+		if !errors.Is(err, errBinaryRejected) {
+			return err
+		}
+		c.jsonOnly.Store(true)
+	}
+	payload, err := json.Marshal(jsonIn)
+	if err != nil {
+		return err
+	}
+	body, _, err := c.post(ctx, path, "application/json", payload, false)
+	if err != nil {
+		return err
+	}
+	return decode(body, false)
+}
+
+// do sends one request and decodes the JSON response into out (when
+// out is non-nil and the status is 2xx) — the path for the cold
+// endpoints (Info, writes, Resolve).
+func (c *HTTPConn) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return &ShardUnavailableError{Shard: c.name, Err: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return &ShardUnavailableError{Shard: c.name, Err: err}
+	}
+	c.countIn(len(body))
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil {
+			return nil
+		}
+		if err := json.Unmarshal(body, out); err != nil {
+			return fmt.Errorf("shard %s: bad response: %w", c.name, err)
+		}
+		return nil
+	}
+	return c.mapError(resp.StatusCode, body)
 }
 
 func (c *HTTPConn) postJSON(ctx context.Context, path string, in, out any) error {
@@ -96,31 +202,59 @@ func (c *HTTPConn) postJSON(ctx context.Context, path string, in, out any) error
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	c.countOut(len(payload))
 	return c.do(req, out)
 }
 
 func (c *HTTPConn) Step(ctx context.Context, sr *StepRequest) (*StepResponse, error) {
-	var out StepResponse
-	if err := c.postJSON(ctx, "/shard/step", sr, &out); err != nil {
+	var out *StepResponse
+	err := c.rpc(ctx, "/shard/step", sr, EncodeStepRequest(sr), func(body []byte, binary bool) error {
+		if binary {
+			var derr error
+			out, derr = DecodeStepResponse(body)
+			return derr
+		}
+		out = &StepResponse{}
+		return json.Unmarshal(body, out)
+	})
+	if err != nil {
 		return nil, err
 	}
-	return &out, nil
+	return out, nil
 }
 
 func (c *HTTPConn) Deliver(ctx context.Context, dr *DeliverRequest) (*DeliverResponse, error) {
-	var out DeliverResponse
-	if err := c.postJSON(ctx, "/shard/deliver", dr, &out); err != nil {
+	var out *DeliverResponse
+	err := c.rpc(ctx, "/shard/deliver", dr, EncodeDeliverRequest(dr), func(body []byte, binary bool) error {
+		if binary {
+			var derr error
+			out, derr = DecodeDeliverResponse(body)
+			return derr
+		}
+		out = &DeliverResponse{}
+		return json.Unmarshal(body, out)
+	})
+	if err != nil {
 		return nil, err
 	}
-	return &out, nil
+	return out, nil
 }
 
 func (c *HTTPConn) Closure(ctx context.Context, cr *ClosureRequest) (*ClosureResponse, error) {
-	var out ClosureResponse
-	if err := c.postJSON(ctx, "/shard/closure", cr, &out); err != nil {
+	var out *ClosureResponse
+	err := c.rpc(ctx, "/shard/closure", cr, EncodeClosureRequest(cr), func(body []byte, binary bool) error {
+		if binary {
+			var derr error
+			out, derr = DecodeClosureResponse(body)
+			return derr
+		}
+		out = &ClosureResponse{}
+		return json.Unmarshal(body, out)
+	})
+	if err != nil {
 		return nil, err
 	}
-	return &out, nil
+	return out, nil
 }
 
 func (c *HTTPConn) Resolve(ctx context.Context, specs []string) ([]ResolveResult, error) {
@@ -172,6 +306,7 @@ func (c *HTTPConn) Write(ctx context.Context, wr *WriteRequest) (*WriteResult, e
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/xml")
+		c.countOut(len(wr.XML))
 		if err := c.do(req, &out); err != nil {
 			return nil, err
 		}
@@ -201,6 +336,7 @@ func (c *HTTPConn) Write(ctx context.Context, wr *WriteRequest) (*WriteResult, e
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		c.countOut(len(payload))
 		if err := c.do(req, &out); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,121 @@
+package shardrouter
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHTTPConnJSONFallback: a JSON-only server (an older hopiserve)
+// answers 400 to the binary frame; the connection must retry the same
+// RPC in JSON, latch jsonOnly, and never send binary again.
+func TestHTTPConnJSONFallback(t *testing.T) {
+	var binaryAttempts, jsonAttempts atomic.Int32
+	want := &StepResponse{Epoch: 3, Scope: 1, Frontier: []FrontierElem{{ID: 9, Score: 0.5}}}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.Header.Get("Content-Type"), BinaryContentType) {
+			binaryAttempts.Add(1)
+			http.Error(w, `{"error":"bad shard request"}`, http.StatusBadRequest)
+			return
+		}
+		jsonAttempts.Add(1)
+		var req StepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("server: bad JSON request: %v", err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(want)
+	}))
+	defer srv.Close()
+
+	c := NewHTTPShard(srv.URL, time.Second)
+	for i := 0; i < 3; i++ {
+		got, err := c.Step(context.Background(), &StepRequest{Epoch: 3, Axis: "//", Tag: "a"})
+		if err != nil {
+			t.Fatalf("Step %d: %v", i, err)
+		}
+		if got.Epoch != want.Epoch || !reflect.DeepEqual(got.Frontier, want.Frontier) {
+			t.Fatalf("Step %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if n := binaryAttempts.Load(); n != 1 {
+		t.Errorf("binary attempts = %d, want exactly 1 (jsonOnly should latch)", n)
+	}
+	if n := jsonAttempts.Load(); n != 3 {
+		t.Errorf("json attempts = %d, want 3", n)
+	}
+	if !c.jsonOnly.Load() {
+		t.Error("jsonOnly not latched after binary rejection")
+	}
+}
+
+// TestHTTPConnBinaryNegotiation: a binary-capable server sees binary
+// frames on every hot RPC, answers in binary, and the connection never
+// falls back; attached wire stats count payload bytes both ways.
+func TestHTTPConnBinaryNegotiation(t *testing.T) {
+	var jsonSeen atomic.Int32
+	wantStep := &StepResponse{Epoch: 5, Scope: 2, Out: map[string][]Arrival{"a:0": {{Base: 1, Dist: 2}}}}
+	wantClosure := &ClosureResponse{Dist: []uint32{0, ^uint32(0)}}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if !strings.HasPrefix(r.Header.Get("Content-Type"), BinaryContentType) {
+			jsonSeen.Add(1)
+			http.Error(w, `{"error":"expected binary"}`, http.StatusUnsupportedMediaType)
+			return
+		}
+		if !strings.Contains(r.Header.Get("Accept"), BinaryContentType) {
+			t.Errorf("binary request without binary Accept: %q", r.Header.Get("Accept"))
+		}
+		w.Header().Set("Content-Type", BinaryContentType)
+		switch r.URL.Path {
+		case "/shard/step":
+			if _, err := DecodeStepRequest(body); err != nil {
+				t.Errorf("server: %v", err)
+			}
+			w.Write(EncodeStepResponse(wantStep))
+		case "/shard/closure":
+			if _, err := DecodeClosureRequest(body); err != nil {
+				t.Errorf("server: %v", err)
+			}
+			w.Write(EncodeClosureResponse(wantClosure))
+		default:
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+	}))
+	defer srv.Close()
+
+	c := NewHTTPShard(srv.URL, time.Second)
+	var ws WireStats
+	c.AttachWireStats(&ws)
+
+	gotStep, err := c.Step(context.Background(), &StepRequest{Epoch: 5, Axis: "//", Tag: "b", ProbeOut: []string{"a:0"}})
+	if err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if !reflect.DeepEqual(gotStep, wantStep) {
+		t.Errorf("Step: got %+v want %+v", gotStep, wantStep)
+	}
+	gotClosure, err := c.Closure(context.Background(), &ClosureRequest{Epoch: 5, From: []string{"a:0"}, To: []string{"b:1"}})
+	if err != nil {
+		t.Fatalf("Closure: %v", err)
+	}
+	if !reflect.DeepEqual(gotClosure, wantClosure) {
+		t.Errorf("Closure: got %+v want %+v", gotClosure, wantClosure)
+	}
+	if n := jsonSeen.Load(); n != 0 {
+		t.Errorf("server saw %d JSON requests, want 0", n)
+	}
+	if c.jsonOnly.Load() {
+		t.Error("jsonOnly latched against a binary-capable server")
+	}
+	if ws.out.Load() == 0 || ws.in.Load() == 0 {
+		t.Errorf("wire stats not counted: out=%d in=%d", ws.out.Load(), ws.in.Load())
+	}
+}

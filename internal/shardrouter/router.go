@@ -27,10 +27,16 @@ var (
 // loads); the query retries against the refreshed map.
 var errMapRace = errors.New("shardrouter: shard map behind shard state")
 
-// breakerCooldown is how long a shard stays excluded from fan-out
-// after a transport failure: queries during the window fail fast with
-// 503 instead of re-dialing a dead shard on every request.
-const breakerCooldown = 250 * time.Millisecond
+// defaultBreakerWindow is how long a shard stays excluded from
+// fan-out after a transport failure (WithBreakerWindow overrides):
+// queries during the window fail fast with 503 instead of re-dialing
+// a dead shard on every request.
+const defaultBreakerWindow = 250 * time.Millisecond
+
+// defaultClosureCacheSize bounds the router's epoch-keyed RPC cache
+// (closure matrices + delivery tables; see cache.go). Entries strand
+// when a shard's epoch advances and age out under LRU pressure.
+const defaultClosureCacheSize = 256
 
 // Router owns N shard primaries: it routes writes by shard key (the
 // document name), fans queries out to every shard, and joins the
@@ -46,6 +52,10 @@ type Router struct {
 	mapPath  string
 	maxRetry int
 
+	breakerWindow time.Duration
+	cacheSize     int
+	cache         *rpcCache
+
 	mu       sync.Mutex
 	pending  map[string]struct{} // document names reserved mid-insert
 	nextOrd  uint64
@@ -54,7 +64,66 @@ type Router struct {
 	queries  atomic.Uint64
 	streamed atomic.Uint64
 
+	stepRPCs    atomic.Uint64
+	deliverRPCs atomic.Uint64
+	wire        WireStats
+
+	// lastCut remembers the (epoch, scope) each shard last reported,
+	// so fresh queries can predict cache keys before the seed round
+	// pins the real cut (see predictCut in join.go).
+	lastCut []atomic.Pointer[cutEntry]
+
+	// prepMemo caches the map-derived endpoint skeleton per published
+	// map; egMemo the fully assembled endpoint graph per pinned cut.
+	prepMemo atomic.Pointer[egPrep]
+	egMemo   atomic.Pointer[egMemoEntry]
+
 	downUntil []int64 // per-conn circuit breaker deadline, unix nanos (atomic)
+}
+
+type cutEntry struct {
+	epoch uint64
+	scope uint64
+}
+
+// WireStats counts raw bytes crossing shard connections; the router
+// attaches one set to every connection that supports it (HTTPConn).
+type WireStats struct {
+	in  atomic.Uint64
+	out atomic.Uint64
+}
+
+// AddIn records bytes received from a shard.
+func (w *WireStats) AddIn(n int) { w.in.Add(uint64(n)) }
+
+// AddOut records bytes sent to a shard.
+func (w *WireStats) AddOut(n int) { w.out.Add(uint64(n)) }
+
+// Counters is the router's own serving-path instrumentation: RPC
+// cache efficacy, RPC round volume, and wire bytes (HTTP connections
+// only; in-process shards move no bytes).
+type Counters struct {
+	ClosureCacheHits      uint64 `json:"closureCacheHits"`
+	ClosureCacheMisses    uint64 `json:"closureCacheMisses"`
+	ClosureCacheEvictions uint64 `json:"closureCacheEvictions"`
+	StepRPCs              uint64 `json:"stepRPCs"`
+	DeliverRPCs           uint64 `json:"deliverRPCs"`
+	WireBytesIn           uint64 `json:"wireBytesIn"`
+	WireBytesOut          uint64 `json:"wireBytesOut"`
+}
+
+// Counters snapshots the router's serving-path counters without any
+// shard RPCs.
+func (r *Router) Counters() Counters {
+	return Counters{
+		ClosureCacheHits:      r.cache.hits.Load(),
+		ClosureCacheMisses:    r.cache.misses.Load(),
+		ClosureCacheEvictions: r.cache.evictions.Load(),
+		StepRPCs:              r.stepRPCs.Load(),
+		DeliverRPCs:           r.deliverRPCs.Load(),
+		WireBytesIn:           r.wire.in.Load(),
+		WireBytesOut:          r.wire.out.Load(),
+	}
 }
 
 // Option configures New.
@@ -68,6 +137,30 @@ func WithMapPath(path string) Option { return func(r *Router) { r.mapPath = path
 // concurrent write moves a shard's epoch mid-evaluation (default 16).
 func WithMaxRetries(n int) Option { return func(r *Router) { r.maxRetry = n } }
 
+// WithBreakerWindow sets how long a shard stays excluded from fan-out
+// after a transport failure (default 250ms). Non-positive values keep
+// the default.
+func WithBreakerWindow(d time.Duration) Option {
+	return func(r *Router) {
+		if d > 0 {
+			r.breakerWindow = d
+		}
+	}
+}
+
+// WithClosureCacheSize bounds the router's epoch-keyed RPC cache in
+// entries (default 256); 0 or negative disables caching entirely —
+// every query then recomputes closures and delivery tables, which is
+// the reference behavior the equivalence tests compare against.
+func WithClosureCacheSize(n int) Option {
+	return func(r *Router) {
+		if n < 0 {
+			n = 0
+		}
+		r.cacheSize = n
+	}
+}
+
 // New creates a router over one connection per shard of m.
 func New(conns []Conn, m *ShardMap, opts ...Option) (*Router, error) {
 	if m == nil {
@@ -77,12 +170,15 @@ func New(conns []Conn, m *ShardMap, opts ...Option) (*Router, error) {
 		return nil, fmt.Errorf("shardrouter: %d connections for a %d-shard map", len(conns), m.NumShards)
 	}
 	r := &Router{
-		conns:     conns,
-		maxRetry:  16,
-		pending:   map[string]struct{}{},
-		nextOrd:   m.NextOrdinal,
-		docCount:  make([]int, m.NumShards),
-		downUntil: make([]int64, len(conns)),
+		conns:         conns,
+		maxRetry:      16,
+		breakerWindow: defaultBreakerWindow,
+		cacheSize:     defaultClosureCacheSize,
+		pending:       map[string]struct{}{},
+		nextOrd:       m.NextOrdinal,
+		docCount:      make([]int, m.NumShards),
+		lastCut:       make([]atomic.Pointer[cutEntry], len(conns)),
+		downUntil:     make([]int64, len(conns)),
 	}
 	for _, e := range m.Docs {
 		r.docCount[e.Shard]++
@@ -90,6 +186,12 @@ func New(conns []Conn, m *ShardMap, opts ...Option) (*Router, error) {
 	r.cur.Store(m)
 	for _, o := range opts {
 		o(r)
+	}
+	r.cache = newRPCCache(r.cacheSize)
+	for _, c := range conns {
+		if aw, ok := c.(interface{ AttachWireStats(*WireStats) }); ok {
+			aw.AttachWireStats(&r.wire)
+		}
 	}
 	// Persist the starting assignment immediately so a router restart
 	// can reload it even if no mutation ever happens.
@@ -110,8 +212,8 @@ func (r *Router) NumShards() int { return len(r.conns) }
 // --- connection guard (circuit breaker) -------------------------------
 
 // callConn runs f against shard i unless its breaker is open. A
-// transport failure (ShardUnavailableError) opens the breaker for
-// breakerCooldown; any success closes it. Queries hitting an open
+// transport failure (ShardUnavailableError) opens the breaker for the
+// configured window; any success closes it. Queries hitting an open
 // breaker fail fast — the router cannot answer without the shard, so
 // the right response is an immediate 503, not a hung fan-out.
 func (r *Router) callConn(i int, f func(Conn) error) error {
@@ -121,7 +223,7 @@ func (r *Router) callConn(i int, f func(Conn) error) error {
 	err := f(r.conns[i])
 	var su *ShardUnavailableError
 	if errors.As(err, &su) {
-		atomic.StoreInt64(&r.downUntil[i], time.Now().Add(breakerCooldown).UnixNano())
+		atomic.StoreInt64(&r.downUntil[i], time.Now().Add(r.breakerWindow).UnixNano())
 	} else {
 		atomic.StoreInt64(&r.downUntil[i], 0)
 	}
@@ -518,6 +620,11 @@ type Status struct {
 	ResultsStreamed   uint64 `json:"resultsStreamed"`
 	MaxReplicationLag int64  `json:"maxReplicationLag"`
 
+	// Counters inlines the router's own serving-path instrumentation
+	// (closureCacheHits/Misses/Evictions, stepRPCs, deliverRPCs,
+	// wireBytesIn/Out).
+	Counters
+
 	Shards []ShardInfo `json:"shards"`
 }
 
@@ -534,6 +641,7 @@ func (r *Router) Status(ctx context.Context) *Status {
 		Ready:           true,
 		QueriesServed:   r.queries.Load(),
 		ResultsStreamed: r.streamed.Load(),
+		Counters:        r.Counters(),
 		Shards:          make([]ShardInfo, len(r.conns)),
 	}
 	var wg sync.WaitGroup

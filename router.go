@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"hopi/internal/shardrouter"
 )
@@ -50,15 +51,34 @@ type Router struct {
 	r *shardrouter.Router
 }
 
+// RouterOption tunes router construction (see RouterBreakerWindow,
+// RouterClosureCacheSize; shardrouter options pass through unchanged).
+type RouterOption = shardrouter.Option
+
+// RouterBreakerWindow sets how long the router's per-shard circuit
+// breaker stays open after a transport failure before the next probe
+// (default 250ms). Non-positive keeps the default.
+func RouterBreakerWindow(d time.Duration) RouterOption {
+	return shardrouter.WithBreakerWindow(d)
+}
+
+// RouterClosureCacheSize bounds the router's epoch-keyed cache of
+// shard closure matrices and delivery tables (default 256 entries;
+// 0 disables caching).
+func RouterClosureCacheSize(n int) RouterOption {
+	return shardrouter.WithClosureCacheSize(n)
+}
+
 // NewRouter assembles a router over one connection per shard in the
 // map. mapPath, when non-empty, persists every map mutation there
 // atomically (LoadShardMap reads it back).
-func NewRouter(conns []ShardConn, m *ShardMap, mapPath string) (*Router, error) {
-	var opts []shardrouter.Option
+func NewRouter(conns []ShardConn, m *ShardMap, mapPath string, opts ...RouterOption) (*Router, error) {
+	var all []shardrouter.Option
 	if mapPath != "" {
-		opts = append(opts, shardrouter.WithMapPath(mapPath))
+		all = append(all, shardrouter.WithMapPath(mapPath))
 	}
-	r, err := shardrouter.New(conns, m, opts...)
+	all = append(all, opts...)
+	r, err := shardrouter.New(conns, m, all...)
 	if err != nil {
 		return nil, err
 	}

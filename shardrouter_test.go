@@ -2,12 +2,14 @@ package hopi
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 
@@ -451,6 +453,168 @@ func TestRouterTokenMatrix(t *testing.T) {
 	}
 	if len(resumed.Results) == 0 {
 		t.Fatal("post-restart resume returned nothing")
+	}
+}
+
+// TestRouterCachedVsUncached: the closure cache must be invisible to
+// answers. A cache-free router over the same shards and map is the
+// reference; a random write workload through the cached router churns
+// epochs (stranding cache entries) while concurrent readers keep the
+// cached data path hot, so -race sees cache fills, hits, and
+// invalidation racing live queries.
+func TestRouterCachedVsUncached(t *testing.T) {
+	coll := WrapCollection(gen.DBLP(gen.DefaultDBLP(30, 31)))
+	f := buildSharded(t, coll, 3, "")
+	if len(f.router.Map().CrossLinks) == 0 {
+		t.Fatal("fixture has no cross-shard links — cache exercises nothing")
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(53))
+	exprs := []string{"//article//author", "//article//cite"}
+
+	freshConns := func() []ShardConn {
+		conns := make([]ShardConn, len(f.shards))
+		for i, s := range f.shards {
+			conns[i] = NewLocalShard(fmt.Sprintf("s%d", i), s)
+		}
+		return conns
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := f.router.Query(ctx, exprs[(w+i)%len(exprs)], RouterQueryOptions{Ranked: w == 0})
+				var su *shardrouter.ShardUnavailableError
+				if err != nil && !errors.As(err, &su) {
+					t.Errorf("reader %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	names := []string{}
+	for n := range f.router.Map().Docs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for step := 0; step < 12; step++ {
+		switch rng.Intn(3) {
+		case 0, 1: // insert a document citing an existing one
+			name := fmt.Sprintf("cvu%03d.xml", step)
+			xml := []byte(fmt.Sprintf(
+				`<article><title>t%d</title><author>a%d</author><cite href=%q/></article>`,
+				step, step, names[rng.Intn(len(names))]))
+			if _, err := f.router.InsertXML(ctx, name, xml); err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+			names = append(names, name)
+		case 2: // add a link (maybe cross-shard)
+			from := names[rng.Intn(len(names))] + ":0"
+			to := names[rng.Intn(len(names))]
+			if err := f.router.InsertLink(ctx, from, to); err != nil {
+				t.Fatalf("step %d link: %v", step, err)
+			}
+		}
+		uncached, err := NewRouter(freshConns(), f.router.Map(), "", RouterClosureCacheSize(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, expr := range exprs {
+			for _, ranked := range []bool{false, true} {
+				want, err := uncached.Query(ctx, expr, RouterQueryOptions{Ranked: ranked})
+				if err != nil {
+					t.Fatalf("step %d %s uncached: %v", step, expr, err)
+				}
+				got, err := f.router.Query(ctx, expr, RouterQueryOptions{Ranked: ranked})
+				if err != nil {
+					t.Fatalf("step %d %s cached: %v", step, expr, err)
+				}
+				diffRows(t, fmt.Sprintf("step %d %s ranked=%v", step, expr, ranked),
+					routerRows(got.Results), routerRows(want.Results))
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if ctr := f.router.Unwrap().Counters(); ctr.ClosureCacheHits == 0 {
+		t.Error("cached router recorded no closure cache hits over the whole run")
+	}
+}
+
+// TestRouterClosureCacheCounters: a repeated identical query against a
+// quiescent cut must be served from the closure cache, and the
+// counters must surface through Status (the /stats payload) under
+// their exact JSON names.
+func TestRouterClosureCacheCounters(t *testing.T) {
+	coll := WrapCollection(gen.DBLP(gen.DefaultDBLP(36, 37)))
+	f := buildSharded(t, coll, 2, "")
+	if len(f.router.Map().CrossLinks) == 0 {
+		t.Fatal("fixture has no cross-shard links")
+	}
+	ctx := context.Background()
+	r := f.router.Unwrap()
+
+	if _, err := f.router.Query(ctx, "//article//cite", RouterQueryOptions{Ranked: true}); err != nil {
+		t.Fatal(err)
+	}
+	first := r.Counters()
+	if first.StepRPCs == 0 {
+		t.Error("first query counted no step RPCs")
+	}
+	if first.ClosureCacheMisses == 0 {
+		t.Error("cold query counted no closure cache misses")
+	}
+
+	if _, err := f.router.Query(ctx, "//article//cite", RouterQueryOptions{Ranked: true}); err != nil {
+		t.Fatal(err)
+	}
+	second := r.Counters()
+	if second.ClosureCacheHits <= first.ClosureCacheHits {
+		t.Errorf("second identical query did not hit the cache:\nfirst  %+v\nsecond %+v", first, second)
+	}
+
+	// a write advances the owning shard's epoch; the next query must
+	// miss (stranded entries), never serve the stale cut
+	names := make([]string, 0, len(f.router.Map().Docs))
+	for n := range f.router.Map().Docs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if err := f.router.InsertLink(ctx, names[0]+":0", names[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.router.Query(ctx, "//article//cite", RouterQueryOptions{Ranked: true}); err != nil {
+		t.Fatal(err)
+	}
+	third := r.Counters()
+	if third.ClosureCacheMisses <= second.ClosureCacheMisses {
+		t.Errorf("post-write query did not miss the cache:\nsecond %+v\nthird  %+v", second, third)
+	}
+
+	// the counters ride /stats verbatim
+	blob, err := json.Marshal(f.router.Status(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"closureCacheHits", "closureCacheMisses", "closureCacheEvictions",
+		"stepRPCs", "deliverRPCs", "wireBytesIn", "wireBytesOut",
+	} {
+		if !strings.Contains(string(blob), `"`+key+`"`) {
+			t.Errorf("status JSON missing %q: %s", key, blob)
+		}
 	}
 }
 

@@ -78,22 +78,38 @@ func (s *Snapshot) ShardStep(ctx context.Context, req *shardrouter.StepRequest) 
 			resp.Frontier = rankedToWire(next)
 		}
 		if !req.Seed && len(req.ProbeOut) > 0 {
-			resp.Out = map[string][]shardrouter.Arrival{}
+			// Resolve the probed endpoints, then compute all
+			// frontier×endpoint distances in one label join instead of a
+			// merge-intersect per pair.
+			outIDs := make([]int32, 0, len(req.ProbeOut))
+			outSpecs := make([]string, 0, len(req.ProbeOut))
 			for _, spec := range req.ProbeOut {
 				o, err := s.coll.ResolveElement(spec)
 				if err != nil {
 					continue // endpoint vanished under a racing delete; the epoch pin reports it
 				}
+				outIDs = append(outIDs, o)
+				outSpecs = append(outSpecs, spec)
+			}
+			front := make([]int32, 0, len(in))
+			scores := make([]float64, 0, len(in))
+			for f, score := range in {
+				front = append(front, f)
+				scores = append(scores, score)
+			}
+			dists, derr := s.eng.BulkClosure(ctx, front, outIDs, true)
+			if derr != nil {
+				return nil, derr
+			}
+			resp.Out = map[string][]shardrouter.Arrival{}
+			for j, spec := range outSpecs {
 				var arr []shardrouter.Arrival
-				for f, score := range in {
-					d, derr := s.ix.Distance(f, o)
-					if derr != nil {
-						return nil, derr
-					}
+				for i := range front {
+					d := dists[i*len(outIDs)+j]
 					if d == graph.InfDist {
 						continue
 					}
-					arr = append(arr, shardrouter.Arrival{Base: score, Dist: d})
+					arr = append(arr, shardrouter.Arrival{Base: scores[i], Dist: d})
 				}
 				if len(arr) > 0 {
 					resp.Out[spec] = shardrouter.ParetoPrune(arr)
@@ -120,20 +136,26 @@ func (s *Snapshot) ShardStep(ctx context.Context, req *shardrouter.StepRequest) 
 			resp.Frontier[i] = shardrouter.FrontierElem{ID: id}
 		}
 		if !req.Seed && len(req.ProbeOut) > 0 {
-			inSet := make(map[int32]bool, len(in))
-			for _, f := range in {
-				inSet[f] = true
-			}
-			resp.Out = map[string][]shardrouter.Arrival{}
+			outIDs := make([]int32, 0, len(req.ProbeOut))
+			outSpecs := make([]string, 0, len(req.ProbeOut))
 			for _, spec := range req.ProbeOut {
 				o, err := s.coll.ResolveElement(spec)
 				if err != nil {
 					continue
 				}
-				// Ancestors includes o itself: the reflexive reach is
-				// wanted, the following cross edge keeps paths proper.
-				for _, a := range s.ix.Ancestors(o) {
-					if inSet[a] {
+				outIDs = append(outIDs, o)
+				outSpecs = append(outSpecs, spec)
+			}
+			// The reach is reflexive (from==endpoint counts): the cross
+			// edge that follows keeps the path proper.
+			reach, derr := s.eng.BulkClosure(ctx, in, outIDs, false)
+			if derr != nil {
+				return nil, derr
+			}
+			resp.Out = map[string][]shardrouter.Arrival{}
+			for j, spec := range outSpecs {
+				for i := range in {
+					if reach[i*len(outIDs)+j] != graph.InfDist {
 						resp.Out[spec] = []shardrouter.Arrival{{}}
 						break
 					}
@@ -146,7 +168,87 @@ func (s *Snapshot) ShardStep(ctx context.Context, req *shardrouter.StepRequest) 
 			s.fillMeta(&resp.Frontier[i])
 		}
 	}
+	// Piggybacked closure: the seed round can carry the endpoint
+	// closure for shards the router predicts uncached, saving the
+	// separate Closure RPC round.
+	if req.WantClosure && len(req.ClosureFrom) > 0 && len(req.ClosureTo) > 0 {
+		cl, cerr := s.ShardClosure(ctx, &shardrouter.ClosureRequest{
+			WithDist: req.ClosureWithDist, From: req.ClosureFrom, To: req.ClosureTo,
+		})
+		if cerr != nil {
+			return nil, cerr
+		}
+		resp.Closure = cl
+	}
+	// Piggybacked delivery tables: per in-endpoint, the tag-matching
+	// candidates it reaches with local distances and merge metadata.
+	// The router composes cross-shard matches from these instead of a
+	// Deliver RPC, and caches them per (epoch, step tag). The map is
+	// non-nil whenever ProbeIn was asked — "empty" and "unsupported"
+	// must stay distinguishable on the wire.
+	if len(req.ProbeIn) > 0 {
+		resp.Deliveries = make(map[string][]shardrouter.Delivery, len(req.ProbeIn))
+		for _, spec := range req.ProbeIn {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			in, rerr := s.coll.ResolveElement(spec)
+			if rerr != nil {
+				continue // vanished under a racing delete; epoch pin reports it
+			}
+			ds, derr := s.deliveryTable(ctx, in, req.Tag, req.Ranked)
+			if derr != nil {
+				return nil, derr
+			}
+			if len(ds) > 0 {
+				resp.Deliveries[spec] = ds
+			}
+		}
+	}
 	return resp, nil
+}
+
+// deliveryTable lists the step candidates one cross-link target
+// reaches (reflexively — the arrival's cross edge keeps the path
+// proper): for ranked queries with the shard-local shortest distance,
+// always with the metadata the router needs to merge globally. The
+// table depends only on (snapshot, endpoint, tag, ranked), so the
+// router caches it across queries pinned to the same cut.
+func (s *Snapshot) deliveryTable(ctx context.Context, in int32, tag string, ranked bool) ([]shardrouter.Delivery, error) {
+	var cands []int32
+	for _, c := range s.ix.Descendants(in) {
+		if tag != "*" && s.coll.c.Tag(c) != tag {
+			continue
+		}
+		cands = append(cands, c)
+	}
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	var dists []uint32
+	if ranked {
+		var err error
+		dists, err = s.eng.BulkClosure(ctx, []int32{in}, cands, true)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]shardrouter.Delivery, 0, len(cands))
+	for i, c := range cands {
+		d := shardrouter.Delivery{ID: c}
+		if ranked {
+			if dists[i] == graph.InfDist {
+				continue
+			}
+			d.Dist = dists[i]
+		}
+		doc, local := s.coll.c.LocalID(c)
+		d.Doc = s.coll.c.Docs[doc].Name
+		d.Local = local
+		d.Tag = s.coll.c.Docs[doc].Elements[local].Tag
+		out = append(out, d)
+	}
+	return out, nil
 }
 
 func rankedToWire(m map[int32]float64) []shardrouter.FrontierElem {
@@ -169,8 +271,9 @@ func (s *Snapshot) ShardDeliver(ctx context.Context, req *shardrouter.DeliverReq
 	type acc struct {
 		score float64
 		seen  bool
+		meta  *shardrouter.Delivery
 	}
-	matches := map[int32]acc{}
+	matches := map[int32]*acc{}
 	for spec, arrivals := range req.In {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -179,34 +282,35 @@ func (s *Snapshot) ShardDeliver(ctx context.Context, req *shardrouter.DeliverReq
 		if err != nil {
 			continue // vanished under a racing delete; epoch pin reports it
 		}
-		for _, c := range s.ix.Descendants(in) {
-			if req.Tag != "*" && s.coll.c.Tag(c) != req.Tag {
-				continue
+		ds, err := s.deliveryTable(ctx, in, req.Tag, req.Ranked)
+		if err != nil {
+			return nil, err
+		}
+		for di := range ds {
+			d := &ds[di]
+			m := matches[d.ID]
+			if m == nil {
+				m = &acc{meta: d}
+				matches[d.ID] = m
 			}
 			if !req.Ranked {
-				matches[c] = acc{seen: true}
+				m.seen = true
 				continue
 			}
-			dl, err := s.ix.Distance(in, c)
-			if err != nil {
-				return nil, err
-			}
-			if dl == graph.InfDist {
-				continue
-			}
-			m := matches[c]
 			for _, a := range arrivals {
-				if sc := a.Base / float64(1+a.Dist+dl); !m.seen || sc > m.score {
-					m = acc{score: sc, seen: true}
+				if sc := a.Base / float64(1+a.Dist+d.Dist); !m.seen || sc > m.score {
+					m.score, m.seen = sc, true
 				}
 			}
-			matches[c] = m
 		}
 	}
 	for id, m := range matches {
+		if !m.seen {
+			continue
+		}
 		fe := shardrouter.FrontierElem{ID: id, Score: m.score}
 		if req.WantMeta {
-			s.fillMeta(&fe)
+			fe.Doc, fe.Local, fe.Tag = m.meta.Doc, m.meta.Local, m.meta.Tag
 		}
 		resp.Matches = append(resp.Matches, fe)
 	}
@@ -218,40 +322,36 @@ func (s *Snapshot) ShardDeliver(ctx context.Context, req *shardrouter.DeliverReq
 // the router's endpoint graph. Distances are the cover's shortest
 // paths when asked for; without WithDist, 1 marks plain reachability.
 func (s *Snapshot) ShardClosure(ctx context.Context, req *shardrouter.ClosureRequest) (*shardrouter.ClosureResponse, error) {
-	from := make([]int32, len(req.From))
-	to := make([]int32, len(req.To))
-	ok := make([]bool, len(req.From))
-	okTo := make([]bool, len(req.To))
+	// Resolve specs, compacting out the vanished ones (a racing delete;
+	// the epoch pin reports it) so the bulk label join runs over live
+	// elements only, then scatter back into the full matrix.
+	fromIDs := make([]int32, 0, len(req.From))
+	fromIdx := make([]int, 0, len(req.From))
 	for i, spec := range req.From {
 		if id, err := s.coll.ResolveElement(spec); err == nil {
-			from[i], ok[i] = id, true
+			fromIDs = append(fromIDs, id)
+			fromIdx = append(fromIdx, i)
 		}
 	}
+	toIDs := make([]int32, 0, len(req.To))
+	toIdx := make([]int, 0, len(req.To))
 	for j, spec := range req.To {
 		if id, err := s.coll.ResolveElement(spec); err == nil {
-			to[j], okTo[j] = id, true
+			toIDs = append(toIDs, id)
+			toIdx = append(toIdx, j)
 		}
 	}
+	sub, err := s.eng.BulkClosure(ctx, fromIDs, toIDs, req.WithDist)
+	if err != nil {
+		return nil, err
+	}
 	dist := make([]uint32, len(req.From)*len(req.To))
-	for i := range req.From {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		for j := range req.To {
-			k := i*len(req.To) + j
-			dist[k] = graph.InfDist
-			if !ok[i] || !okTo[j] {
-				continue
-			}
-			if req.WithDist {
-				d, err := s.ix.Distance(from[i], to[j])
-				if err != nil {
-					return nil, err
-				}
-				dist[k] = d
-			} else if s.ix.Reaches(from[i], to[j]) {
-				dist[k] = 1
-			}
+	for k := range dist {
+		dist[k] = graph.InfDist
+	}
+	for i := range fromIDs {
+		for j := range toIDs {
+			dist[fromIdx[i]*len(req.To)+toIdx[j]] = sub[i*len(toIDs)+j]
 		}
 	}
 	return &shardrouter.ClosureResponse{Dist: dist}, nil
