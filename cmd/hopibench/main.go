@@ -17,10 +17,14 @@
 //	hopibench -exp load -json BENCH_load.json        # machine-readable results
 //
 // Experiments: table1, centralized, table2, maintenance, inex,
-// distance, preselect, weights, balance, query, load, repl, all,
-// default. The repl experiment sweeps follower counts for the
-// WAL-shipping replication tier (see -repl-followers) and records
-// queries/sec and p50/p99 replication lag per count.
+// distance, preselect, weights, balance, query, load, repl, shard,
+// mem, all, default. The repl experiment sweeps follower counts for
+// the WAL-shipping replication tier (see -repl-followers) and records
+// queries/sec and p50/p99 replication lag per count. The mem
+// experiment (hopibench -exp mem -json BENCH_mem.json) indexes the
+// same collection flat and segment-backed and compares resident
+// bytes, bytes/label, seal/reopen/bootstrap wall time, and query
+// latency percentiles.
 package main
 
 import (
@@ -61,11 +65,21 @@ type benchResult struct {
 	QueryP99Ms float64 `json:"queryP99Ms,omitempty"`
 	// sharding read-only window: router closure-cache hit rate
 	CacheHitRate float64 `json:"closureCacheHitRate,omitempty"`
+	// storage experiment (-exp mem): resident heap attributable to the
+	// index, label bytes (in-memory accounting or sealed files),
+	// bytes/label, and the segment life-cycle wall times
+	HeapBytes     int64   `json:"heapBytes,omitempty"`
+	LabelBytes    int64   `json:"labelBytes,omitempty"`
+	BytesPerLabel float64 `json:"bytesPerLabel,omitempty"`
+	CheckpointMs  float64 `json:"checkpointMs,omitempty"`
+	ReopenMs      float64 `json:"reopenMs,omitempty"`
+	BootstrapMs   float64 `json:"bootstrapMs,omitempty"`
+	MaxApplyMs    float64 `json:"maxApplyDuringBootstrapMs,omitempty"`
 }
 
 func main() {
 	var (
-		exp      = flag.String("exp", "default", "comma-separated experiments (table1,centralized,table2,maintenance,inex,distance,preselect,weights,balance,query,load,repl,shard,all,default)")
+		exp      = flag.String("exp", "default", "comma-separated experiments (table1,centralized,table2,maintenance,inex,distance,preselect,weights,balance,query,load,repl,shard,mem,all,default)")
 		docs     = flag.Int("docs", 620, "DBLP-like document count (paper: 6210)")
 		inexDocs = flag.Int("inexdocs", 122, "INEX-like document count (paper: 12232)")
 		inexEls  = flag.Int("inexels", 950, "INEX-like mean elements per document (paper: ~986)")
@@ -81,6 +95,9 @@ func main() {
 		shardCnts = flag.String("shard-counts", "1,2,4", "for -exp shard: comma-separated shard counts to sweep (1 = unsharded baseline)")
 		replWrite = flag.Duration("repl-write-interval", 10*time.Millisecond, "for -exp repl: pacing between a writer's batches (0 = write as fast as possible and measure queue growth)")
 		jsonOut   = flag.String("json", "", "write machine-readable results (name, ns/op, qps, cover size) to this file")
+		memDocs   = flag.Int("mem-docs", 10000, "for -exp mem: DBLP-like document count (the storage comparison needs scale to matter)")
+		memChurn  = flag.Int("mem-churn", 200, "for -exp mem: maintenance batches applied before the timed seal checkpoint")
+		memQs     = flag.Int("mem-queries", 200, "for -exp mem: query latency samples per storage mode")
 	)
 	flag.Parse()
 
@@ -94,7 +111,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	if want["all"] {
-		for _, e := range []string{"table1", "centralized", "table2", "maintenance", "inex", "distance", "preselect", "weights", "balance", "query", "load", "repl", "shard"} {
+		for _, e := range []string{"table1", "centralized", "table2", "maintenance", "inex", "distance", "preselect", "weights", "balance", "query", "load", "repl", "shard", "mem"} {
 			want[e] = true
 		}
 	}
@@ -285,6 +302,27 @@ func main() {
 			})
 		}
 		return out, nil
+	})
+	run("mem", "storage footprint: flat in-memory vs compressed segments (extension)", func() (string, error) {
+		r, err := runMem(memConfig{
+			docs: *memDocs, seed: *seed, expr: *loadExpr,
+			churn: *memChurn, queries: *memQs,
+		})
+		if err != nil {
+			return "", err
+		}
+		jsonResults = append(jsonResults,
+			benchResult{Name: "mem/flat", CoverSize: r.CoverSize,
+				HeapBytes: int64(r.FlatHeapBytes), LabelBytes: r.FlatLabelBytes,
+				BytesPerLabel: 16,
+				QueryP50Ms:    r.FlatP50us / 1000, QueryP99Ms: r.FlatP99us / 1000},
+			benchResult{Name: "mem/segments", CoverSize: r.CoverSize,
+				HeapBytes: int64(r.SegHeapBytes), LabelBytes: r.SealedBytes,
+				BytesPerLabel: r.SegBytesPerLabel, Speedup: r.CompressionRatio,
+				QueryP50Ms: r.SegP50us / 1000, QueryP99Ms: r.SegP99us / 1000,
+				CheckpointMs: r.CheckpointMs, ReopenMs: r.ReopenMs,
+				BootstrapMs: r.BootstrapMs, MaxApplyMs: r.ApplyDuringBootMs})
+		return renderMem(r), nil
 	})
 	run("repl", "read scaling: primary + N replication followers (extension)", func() (string, error) {
 		var counts []int

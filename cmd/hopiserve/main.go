@@ -83,6 +83,9 @@ func main() {
 		distance   = flag.Bool("distance", true, "build a distance-aware index (enables ranked queries)")
 		maxLimit   = flag.Int("max-limit", defaultMaxLimit, "server-side ceiling for the query limit parameter (limit<=0 is rejected)")
 		readyLag   = flag.Int("ready-max-lag", defaultReadyMaxLag, "replica lag ceiling (batches) for /readyz; beyond it the node reports unready")
+		segments   = flag.Bool("segments", false, "with -store on first start: back the store with immutable compressed segments (LSM) instead of the page B-tree; reopens auto-detect the layout")
+		segThresh  = flag.Int("segment-threshold", 0, "with -segments: in-memory delta entries that trigger a background seal (0 uses the built-in default, <0 disables auto-sealing)")
+		segMax     = flag.Int("max-segments", 0, "with -segments: sealed stack size that triggers background compaction (0 uses the built-in default)")
 	)
 	flag.Parse()
 	if *index != "" && *store != "" {
@@ -92,7 +95,18 @@ func main() {
 		log.Fatal("hopiserve: -replica-of is mutually exclusive with -index and -store (a replica holds no local state)")
 	}
 
-	ix, err := loadIndex(*index, *store, *replicaOf, *docs, *seed, *distance)
+	var segOpts []hopi.OpenOption
+	if *segments {
+		segOpts = append(segOpts, hopi.Segments())
+	}
+	if *segThresh != 0 {
+		segOpts = append(segOpts, hopi.SegmentThreshold(*segThresh))
+	}
+	if *segMax > 0 {
+		segOpts = append(segOpts, hopi.SegmentMaxStack(*segMax))
+	}
+
+	ix, err := loadIndex(*index, *store, *replicaOf, *docs, *seed, *distance, segOpts)
 	if err != nil {
 		log.Fatalf("hopiserve: %v", err)
 	}
@@ -165,7 +179,7 @@ func checkpointLoop(ctx context.Context, ix *hopi.Index, every time.Duration) {
 	}
 }
 
-func loadIndex(path, store, replicaOf string, docs int, seed int64, distance bool) (*hopi.Index, error) {
+func loadIndex(path, store, replicaOf string, docs int, seed int64, distance bool, segOpts []hopi.OpenOption) (*hopi.Index, error) {
 	if replicaOf != "" {
 		url := strings.TrimSuffix(replicaOf, "/") + "/repl/stream"
 		log.Printf("following primary at %s", url)
@@ -182,11 +196,19 @@ func loadIndex(path, store, replicaOf string, docs int, seed int64, distance boo
 		return hopi.Open(path)
 	}
 	if store != "" {
+		// a B-tree store lives at the path itself; a segment store has
+		// only sidecars (.coll/.wal/.segs), so probe the collection file
+		// too before concluding the store is new
 		_, err := os.Stat(store)
+		if errors.Is(err, fs.ErrNotExist) {
+			if _, cerr := os.Stat(store + ".coll"); cerr == nil {
+				err = nil
+			}
+		}
 		switch {
 		case err == nil:
 			log.Printf("reopening durable store %s", store)
-			ix, err := hopi.Open(store, hopi.Durable())
+			ix, err := hopi.Open(store, append([]hopi.OpenOption{hopi.Durable()}, segOpts...)...)
 			if err != nil {
 				return nil, err
 			}
@@ -206,7 +228,7 @@ func loadIndex(path, store, replicaOf string, docs int, seed int64, distance boo
 	opts.Seed = seed
 	if store != "" {
 		log.Printf("creating durable store %s", store)
-		ix, err := hopi.Create(store, coll, opts)
+		ix, err := hopi.Create(store, coll, opts, segOpts...)
 		if err != nil {
 			return nil, fmt.Errorf("create store: %w", err)
 		}

@@ -435,6 +435,10 @@ type statsResponse struct {
 	Connected       bool   `json:"connected,omitempty"`
 	FollowerStreams int64  `json:"followerStreams,omitempty"`
 	BatchesShipped  uint64 `json:"batchesShipped,omitempty"`
+	// segment-backed stores (-segments) report the LSM storage tier:
+	// sealed stack shape, live-vs-delta split, compaction progress, and
+	// whether reads go through mmap or the ReadAt fallback
+	Segments *hopi.SegmentStats `json:"segments,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -474,6 +478,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.FollowerStreams = rs.FollowerStreams
 	if s.pub != nil {
 		resp.BatchesShipped = s.pub.Shipped()
+	}
+	if seg := s.ix.SegmentStats(); seg.Enabled {
+		resp.Segments = &seg
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -8,6 +8,7 @@ import (
 
 	"hopi/internal/core"
 	"hopi/internal/replication"
+	"hopi/internal/segment"
 	"hopi/internal/storage"
 	"hopi/internal/xmlmodel"
 )
@@ -44,7 +45,9 @@ var (
 	openPagerFn   = func(path string) (storage.Pager, error) { return storage.OpenFilePager(path) }
 )
 
-// durableState is the persistent backend attached to an Index.
+// durableState is the persistent backend attached to an Index: either
+// a page-based B-tree store (store != nil) or an LSM-style segment
+// store (segs != nil) — never both.
 type durableState struct {
 	path    string
 	store   *storage.CoverStore
@@ -55,13 +58,34 @@ type durableState struct {
 	// so further writes are refused until the index is reopened (which
 	// recovers from the files).
 	err error
+
+	// Segment backend (see durable_segments.go). segThreshold is the
+	// delta size at which Apply seals synchronously; 0 disables
+	// auto-sealing (explicit Checkpoint only).
+	segs         *segment.Store
+	segThreshold int
+	compactKick  chan struct{} // buffered(1) wake-up for the compactor
+	compactDone  chan struct{} // closed when the compactor exits
 }
 
-// OpenOption configures Open.
+// OpenOption configures Open and Create.
 type OpenOption func(*openConfig)
 
 type openConfig struct {
-	durable bool
+	durable      bool
+	segments     bool
+	segThreshold int
+	segMaxStack  int
+}
+
+func (c *openConfig) threshold() int {
+	if c.segThreshold != 0 {
+		if c.segThreshold < 0 {
+			return 0 // explicitly disabled
+		}
+		return c.segThreshold
+	}
+	return defaultSegmentThreshold
 }
 
 // Durable makes Open attach the on-disk store as the index's live
@@ -74,15 +98,59 @@ func Durable() OpenOption {
 	return func(c *openConfig) { c.durable = true }
 }
 
+// Segments makes Create back the index with immutable compressed
+// posting segments (an LSM-style store at path+".segs") instead of the
+// page-based B-tree file at path: reads go through a sealed mmap'd
+// base plus an in-memory delta, checkpoints seal the delta into a new
+// segment instead of double-writing dirty pages, and a background
+// compactor folds the stack. Open auto-detects the backend from the
+// files on disk, so Segments is only consulted at creation time.
+func Segments() OpenOption {
+	return func(c *openConfig) { c.segments = true }
+}
+
+// SegmentThreshold sets the in-memory delta size (label adds plus
+// tombstones) at which a segment-backed index seals automatically
+// during Apply (default 65536). n < 0 disables auto-sealing; the delta
+// then grows until an explicit Checkpoint. Implies nothing on B-tree
+// backed indexes.
+func SegmentThreshold(n int) OpenOption {
+	return func(c *openConfig) {
+		if n < 0 {
+			c.segThreshold = -1
+		} else if n > 0 {
+			c.segThreshold = n
+		}
+	}
+}
+
+// SegmentMaxStack sets the sealed-segment count above which the
+// background compactor folds the stack into one segment (default 4).
+func SegmentMaxStack(k int) OpenOption {
+	return func(c *openConfig) { c.segMaxStack = k }
+}
+
 // Create builds a HOPI index for the collection and attaches it to a
 // freshly created durable store at path (plus path+".coll" and
-// path+".wal"). Create itself is not crash-atomic: a crash mid-create
-// leaves an incomplete store that must be recreated. Once Create
-// returns, every committed Apply survives crashes.
-func Create(path string, coll *Collection, opts Options) (*Index, error) {
+// path+".wal"). By default the store is the page-based B-tree file at
+// path; with the Segments option it is an immutable-segment store at
+// path+".segs" instead. Create itself is not crash-atomic: a crash
+// mid-create leaves an incomplete store that must be recreated. Once
+// Create returns, every committed Apply survives crashes.
+func Create(path string, coll *Collection, opts Options, open ...OpenOption) (*Index, error) {
+	var cfg openConfig
+	for _, o := range open {
+		o(&cfg)
+	}
 	ix, err := Build(coll, opts)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.segments {
+		if err := ix.attachNewSegments(path, &cfg); err != nil {
+			return nil, err
+		}
+		return ix, nil
 	}
 	if err := ix.attachNew(path); err != nil {
 		return nil, err
@@ -137,10 +205,22 @@ func (ix *Index) attachNew(path string) error {
 	return nil
 }
 
-// openDurable opens a durable index: repair a torn checkpoint flush
-// from the journaled page images, replay committed WAL batches that
-// the store and collection snapshots don't include yet, and attach.
-func openDurable(path string) (*Index, error) {
+// openDurable opens a durable index, auto-detecting the backend: a
+// segment store directory routes to the sealed-segment open path; a
+// B-tree file repairs any torn checkpoint flush from the journaled
+// page images. Either way, committed WAL batches the checkpointed
+// state doesn't include yet are replayed before the index serves.
+func openDurable(path string, cfg *openConfig) (*Index, error) {
+	if segment.IsStore(path + segsSuffix) {
+		return openDurableSegments(path, cfg)
+	}
+	if cfg.segments {
+		return nil, fmt.Errorf("hopi: %s has no segment store; it was created without Segments (conversion is not supported)", path)
+	}
+	return openDurableBTree(path)
+}
+
+func openDurableBTree(path string) (*Index, error) {
 	wal, recs, err := storage.OpenWAL(path + walSuffix)
 	if err != nil {
 		return nil, err
@@ -273,10 +353,16 @@ func (ix *Index) Checkpoint() error {
 	return nil
 }
 
-// doCheckpoint runs the checkpoint protocol. The caller either holds
-// ix.mu exclusively or has sole access to the index.
+// doCheckpoint runs the checkpoint protocol for the attached backend.
+// The caller either holds ix.mu exclusively or has sole access to the
+// index. On a B-tree backend dirty pages are journaled (double-write)
+// and flushed; on a segment backend the in-memory delta is sealed into
+// a new immutable segment instead — no page images, no double-write.
 func (ix *Index) doCheckpoint(seq uint64) error {
 	d := ix.dur
+	if d.segs != nil {
+		return ix.sealCheckpoint(seq)
+	}
 	if err := d.store.CheckpointInto(d.wal); err != nil {
 		return err
 	}
@@ -296,14 +382,19 @@ func (ix *Index) Close() error {
 	// follower's replay goroutine acquires it inside the apply
 	// callbacks, and Stop waits for that goroutine to exit.
 	ix.mu.Lock()
-	fol, pub := ix.fol, ix.pub
-	ix.fol, ix.pub = nil, nil
+	fol, pub, folClean := ix.fol, ix.pub, ix.folClean
+	ix.fol, ix.pub, ix.folClean = nil, nil, nil
 	ix.mu.Unlock()
 	if pub != nil {
 		pub.Close()
 	}
 	if fol != nil {
 		fol.Stop()
+	}
+	if folClean != nil {
+		// the replay goroutine has exited; unlink the adopted segment
+		// store (live snapshots keep reading it through their mappings)
+		folClean()
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -320,14 +411,19 @@ func (ix *Index) Close() error {
 		}
 	}
 	ix.dur = nil
+	d.stopCompactor()
 	if err := d.wal.Close(); err != nil {
 		errs = append(errs, err)
 	}
-	if clean {
+	switch {
+	case d.segs != nil:
+		// nothing to flush: sealed segments are immutable and already
+		// fsynced; their mappings are reclaimed by the runtime
+	case clean:
 		if err := d.store.Close(); err != nil {
 			errs = append(errs, err)
 		}
-	} else {
+	default:
 		// the pool may hold partially-applied, un-journaled pages;
 		// flushing them would bypass the double-write protocol, so
 		// leave the file at its last checkpoint and let the next open
@@ -358,24 +454,42 @@ func (ix *Index) commitDurable(log *core.ChangeLog) error {
 	}
 	// WAL first: the batch is committed once AppendBatch's fsync
 	// returns. Applying the deltas to the store's B-trees afterwards
-	// only touches the buffer pool (no-steal), never the file.
+	// only touches the buffer pool (no-steal), never the file. On a
+	// segment backend there is nothing to apply at all — the in-memory
+	// cover (base + delta) is the authority, and checkpoints seal it.
 	if err := d.wal.AppendBatch(seq, collBytes, cover); err != nil {
 		return err
 	}
-	if log.Rebuilt {
+	switch {
+	case d.segs != nil:
+	case log.Rebuilt:
 		// bulk-load instead of entry-by-entry inserts; logically
 		// identical to replaying the snapshot deltas
 		if err := d.store.FromCover(ix.ix.Cover()); err != nil {
 			return err
 		}
 		d.store.SetAppliedSeq(seq)
-	} else if err := d.store.ApplyDelta(seq, cover); err != nil {
-		return err
+	default:
+		if err := d.store.ApplyDelta(seq, cover); err != nil {
+			return err
+		}
 	}
 	d.nextSeq = seq + 1
 	// Fold the snapshot-sized WAL record into the store right away so
-	// the log returns to O(delta) size.
+	// the log returns to O(delta) size. A rebuild on a segment backend
+	// swapped in a wholesale flat cover, which tombstones cannot
+	// express — reseal the complete state as a fresh single-segment
+	// stack and re-adopt it.
 	if log.Rebuilt {
+		if d.segs != nil {
+			if err := ix.resealAll(seq); err != nil {
+				return err
+			}
+		} else if err := ix.doCheckpoint(seq); err != nil {
+			return err
+		}
+	} else if d.segs != nil && d.segThreshold > 0 && ix.ix.Cover().DeltaEntries() >= d.segThreshold {
+		// auto-seal: fold the grown delta (and the WAL) into a segment
 		if err := ix.doCheckpoint(seq); err != nil {
 			return err
 		}

@@ -1,0 +1,364 @@
+package hopi
+
+import (
+	"fmt"
+	"os"
+
+	"hopi/internal/core"
+	"hopi/internal/segment"
+	"hopi/internal/storage"
+	"hopi/internal/twohop"
+	"hopi/internal/xmlmodel"
+)
+
+// Segment-backed durability
+//
+// With the Segments option the durable backend is an LSM-style store
+// at path+".segs": a stack of immutable, sorted, compressed segment
+// files (varint-delta blocks with per-block CRCs, read through mmap)
+// plus the cover's in-memory delta layer. Apply commits batches to the
+// WAL exactly as in B-tree mode, but nothing is applied to any on-disk
+// structure per batch — the in-memory cover is the authority.
+// Checkpoints seal the delta into one new segment in a single
+// streaming pass and truncate the WAL; there is no buffer pool, no
+// dirty page tracking, and no double-write journal, because sealed
+// files are never modified. A background compactor folds the stack
+// back to one segment when it grows past SegmentMaxStack, dropping
+// tombstones. The manifest records the WAL sequence the sealed state
+// reflects, so replay after a crash (or a checkpoint that died between
+// sealing and truncating the log) skips batches the seal already
+// covers — seal-checkpoints are idempotent.
+
+const (
+	segsSuffix = ".segs"
+
+	// defaultSegmentThreshold is the delta size (adds + tombstones) at
+	// which Apply seals automatically when SegmentThreshold is not set.
+	defaultSegmentThreshold = 1 << 16
+)
+
+// attachNewSegments creates the segment store for a freshly built
+// index: the complete label set is sealed as the first segment and
+// adopted as the cover's base (the flat slices are dropped).
+func (ix *Index) attachNewSegments(path string, cfg *openConfig) error {
+	cov := ix.ix.Cover()
+	store, err := segment.CreateStore(path+segsSuffix, cov.WithDist, segment.Options{MaxStack: cfg.segMaxStack})
+	if err != nil {
+		return err
+	}
+	st, err := store.Seal(0, cov.N(), int64(cov.Size()), cov.FullRecords())
+	if err != nil {
+		return err
+	}
+	ix.ix.AdoptSegmentBase(twohop.NewBase(st), cov.N(), cov.Size())
+	wal, _, err := storage.OpenWAL(path + walSuffix)
+	if err != nil {
+		return err
+	}
+	// a stale log from an earlier store at the same path must not be
+	// replayed into this one
+	if err := wal.Reset(); err != nil {
+		wal.Close()
+		return err
+	}
+	if err := writeCollFile(path+collSuffix, ix.coll.c, 0, ix.scope); err != nil {
+		wal.Close()
+		return err
+	}
+	d := &durableState{path: path, wal: wal, nextSeq: 1, segs: store, segThreshold: cfg.threshold()}
+	d.startCompactor()
+	ix.dur = d
+	ix.seqEpoch = true
+	ix.epoch.Store(0)
+	return nil
+}
+
+// openDurableSegments opens a segment-backed durable index: adopt the
+// sealed stack, replay the WAL tail past the manifest's sequence, and
+// fold the tail back into a segment so the next crash recovers fast.
+func openDurableSegments(path string, cfg *openConfig) (*Index, error) {
+	store, err := segment.OpenStore(path+segsSuffix, segment.Options{MaxStack: cfg.segMaxStack})
+	if err != nil {
+		return nil, err
+	}
+	wal, recs, err := storage.OpenWAL(path + walSuffix)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Index, error) {
+		wal.Close()
+		return nil, err
+	}
+	f, err := os.Open(path + collSuffix)
+	if err != nil {
+		return fail(fmt.Errorf("hopi: open collection: %w", err))
+	}
+	c, collSeq, scope, err := xmlmodel.DecodeCollectionMeta(f)
+	f.Close()
+	if err != nil {
+		return fail(err)
+	}
+	if scope == 0 {
+		scope = newEpoch()
+	}
+	segSeq, n, withDist, live := store.Info()
+	cover := &twohop.Cover{WithDist: withDist}
+	cover.AdoptBase(twohop.NewBase(store.Current()), n, int(live))
+	maxSeq := collSeq
+	if segSeq > maxSeq {
+		maxSeq = segSeq
+	}
+	for _, rec := range recs {
+		if rec.IsCheckpoint() {
+			// segment WALs never journal page images; tolerate one from
+			// a foreign log rather than misreading it as a batch
+			continue
+		}
+		if rec.Seq > segSeq {
+			// the manifest sequence is the segment analogue of the
+			// B-tree store's applied-sequence stamp: batches the seal
+			// already covers are skipped, so a checkpoint that crashed
+			// between sealing and truncating the WAL replays cleanly
+			cover.Apply(rec.Ops)
+		}
+		if rec.Seq > collSeq {
+			ops, err := core.DecodeCollOps(rec.Coll)
+			if err != nil {
+				return fail(fmt.Errorf("hopi: wal replay (batch %d): %w", rec.Seq, err))
+			}
+			if err := core.ReplayCollOps(c, ops); err != nil {
+				return fail(fmt.Errorf("hopi: wal replay (batch %d): %w", rec.Seq, err))
+			}
+		}
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+	}
+	coll := &Collection{c: c}
+	ix := &Index{coll: coll, ix: core.NewFromCover(c, cover), scope: scope}
+	ix.seqEpoch = true
+	ix.epoch.Store(maxSeq)
+	d := &durableState{path: path, wal: wal, nextSeq: maxSeq + 1, segs: store, segThreshold: cfg.threshold()}
+	d.startCompactor()
+	ix.dur = d
+	// fold the replayed tail into a sealed segment and truncate the
+	// log; with an empty tail this only restamps the manifest
+	if err := ix.doCheckpoint(maxSeq); err != nil {
+		d.stopCompactor()
+		ix.dur = nil
+		return fail(err)
+	}
+	return ix, nil
+}
+
+// openFromSegments loads a segment store's sealed labels for plain
+// (non-durable) Open: the cover adopts the mmap'd base read-only and
+// the files stay untouched, like the B-tree path's ToCover load.
+func openFromSegments(path string, coll *Collection) (*Index, error) {
+	store, err := segment.OpenStore(path+segsSuffix, segment.Options{})
+	if err != nil {
+		return nil, err
+	}
+	_, n, withDist, live := store.Info()
+	cover := &twohop.Cover{WithDist: withDist}
+	cover.AdoptBase(twohop.NewBase(store.Current()), n, int(live))
+	h := &Index{coll: coll, ix: core.NewFromCover(coll.c, cover), scope: newEpoch()}
+	h.epoch.Store(newEpoch())
+	return h, nil
+}
+
+// sealCheckpoint is the segment backend's checkpoint: seal the
+// in-memory delta into one new segment (manifest-only when the delta
+// is empty), swap the cover onto the new base, rewrite the collection
+// sidecar, and truncate the WAL. The logical state is unchanged, so
+// the epoch is not bumped and published snapshots, cursors and resume
+// tokens all stay valid. The caller holds ix.mu exclusively.
+func (ix *Index) sealCheckpoint(seq uint64) error {
+	d := ix.dur
+	cov := ix.ix.Cover()
+	if !cov.Seg() {
+		return fmt.Errorf("hopi: segment checkpoint on a flat cover")
+	}
+	st, err := d.segs.Seal(seq, cov.N(), int64(cov.Size()), cov.DeltaRecords())
+	if err != nil {
+		return err
+	}
+	// the seal is durable: from here on a crash replays nothing of the
+	// delta (the manifest sequence guards the WAL tail), so swapping
+	// the in-memory view is safe even if the steps below fail
+	ix.ix.SealSwapBase(twohop.NewBase(st))
+	if err := writeCollFile(d.path+collSuffix, ix.coll.c, seq, ix.scope); err != nil {
+		return err
+	}
+	if err := d.wal.Reset(); err != nil {
+		return err
+	}
+	d.kickCompactor()
+	return nil
+}
+
+// resealAll replaces the whole sealed stack with one segment holding
+// the complete current label set — the segment backend's Rebuild
+// commit, where a wholesale cover swap cannot be expressed as delta
+// tombstones. The cover re-adopts the fresh base (Rebuild left it
+// flat), the sidecar is rewritten, and the WAL is truncated.
+func (ix *Index) resealAll(seq uint64) error {
+	d := ix.dur
+	cov := ix.ix.Cover()
+	st, err := d.segs.Reset(seq, cov.N(), int64(cov.Size()), cov.FullRecords())
+	if err != nil {
+		return err
+	}
+	ix.ix.AdoptSegmentBase(twohop.NewBase(st), cov.N(), cov.Size())
+	if err := writeCollFile(d.path+collSuffix, ix.coll.c, seq, ix.scope); err != nil {
+		return err
+	}
+	return d.wal.Reset()
+}
+
+// --- background compactor ---------------------------------------------
+
+// startCompactor launches the store's compaction goroutine: each kick
+// folds the stack while it exceeds MaxStack. Compaction never takes
+// ix.mu — it merges a pinned immutable stack and swaps it in under the
+// store's own locks, so Apply and queries proceed concurrently; the
+// live cover keeps reading its pinned (possibly unlinked) segments
+// until the next seal swaps it forward.
+func (d *durableState) startCompactor() {
+	d.compactKick = make(chan struct{}, 1)
+	d.compactDone = make(chan struct{})
+	go func() {
+		defer close(d.compactDone)
+		for range d.compactKick {
+			for d.segs.NeedsCompaction() {
+				if ok, err := d.segs.Compact(); err != nil || !ok {
+					break
+				}
+			}
+		}
+	}()
+}
+
+func (d *durableState) kickCompactor() {
+	if d.compactKick == nil {
+		return
+	}
+	select {
+	case d.compactKick <- struct{}{}:
+	default: // a kick is already pending
+	}
+}
+
+// stopCompactor drains the compactor; safe on B-tree backends (no-op).
+func (d *durableState) stopCompactor() {
+	if d.compactKick == nil {
+		return
+	}
+	close(d.compactKick)
+	<-d.compactDone
+	d.compactKick = nil
+}
+
+// --- observability ----------------------------------------------------
+
+// SegmentStats describes the segment backend for /stats endpoints.
+// Zero-valued with Enabled=false on B-tree backed or in-memory
+// indexes.
+type SegmentStats struct {
+	// Enabled reports whether the index is backed by a segment store.
+	Enabled bool `json:"enabled"`
+	// Segments is the sealed segment file count in the current stack.
+	Segments int `json:"segments"`
+	// SealedBytes is the total on-disk size of the sealed stack.
+	SealedBytes int64 `json:"sealedBytes"`
+	// SealedPosts counts label postings in sealed files, including
+	// entries shadowed by newer segments (compaction removes those).
+	SealedPosts int64 `json:"sealedPosts"`
+	// SealedTombs counts tombstones awaiting compaction.
+	SealedTombs int64 `json:"sealedTombs"`
+	// LiveEntries is the logical live label count |L|.
+	LiveEntries int64 `json:"liveEntries"`
+	// DeltaEntries is the in-memory delta size (adds + tombstones);
+	// sealing resets it to 0.
+	DeltaEntries int `json:"deltaEntries"`
+	// SealedSeq is the WAL sequence the sealed state reflects.
+	SealedSeq uint64 `json:"sealedSeq"`
+	// Compactions counts completed stack compactions.
+	Compactions uint64 `json:"compactions"`
+	// CompactionBacklog is how many segments the stack is over the
+	// compaction threshold (0 when within bounds).
+	CompactionBacklog int `json:"compactionBacklog"`
+	// Mmapped reports whether every sealed segment reads through mmap
+	// (false when any fell back to pread).
+	Mmapped bool `json:"mmapped"`
+	// ReadErrors counts sealed reads that hit an I/O error and were
+	// served as empty (0 in mmap mode; post-open validation makes
+	// corruption unreachable, so this tracks pread failures only).
+	ReadErrors uint64 `json:"readErrors"`
+	// BytesPerLabel is SealedBytes / LiveEntries — compare against the
+	// 16 bytes/entry of the flat in-memory layout (§3.4 accounting).
+	BytesPerLabel float64 `json:"bytesPerLabel"`
+}
+
+// SegmentStats reports the segment backend's shape and health. Safe to
+// call concurrently with Apply and queries.
+func (ix *Index) SegmentStats() SegmentStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	d := ix.dur
+	if d == nil || d.segs == nil {
+		// no attached store, but the cover may still read from adopted
+		// segment files (a replica bootstrapped from a segmented
+		// primary, or a plain Open of a segment store): report the
+		// stack shape directly
+		cov := ix.ix.Cover()
+		if !cov.Seg() {
+			return SegmentStats{}
+		}
+		out := SegmentStats{Enabled: true, Mmapped: true}
+		for _, seg := range cov.Base().Stack().Segs {
+			m := seg.Meta()
+			out.Segments++
+			out.SealedBytes += seg.SizeBytes()
+			out.SealedPosts += m.Posts
+			out.SealedTombs += m.Tombs
+			if m.Seq > out.SealedSeq {
+				out.SealedSeq = m.Seq
+			}
+			if !seg.Mmapped() {
+				out.Mmapped = false
+			}
+		}
+		out.LiveEntries = int64(cov.Size())
+		out.DeltaEntries = cov.DeltaEntries()
+		out.ReadErrors = cov.Base().Errors()
+		if out.LiveEntries > 0 {
+			out.BytesPerLabel = float64(out.SealedBytes) / float64(out.LiveEntries)
+		}
+		return out
+	}
+	st := d.segs.Stats()
+	out := SegmentStats{
+		Enabled:     true,
+		Segments:    st.Segments,
+		SealedBytes: st.SealedBytes,
+		SealedPosts: st.SealedPosts,
+		SealedTombs: st.SealedTombs,
+		LiveEntries: st.LiveEntries,
+		SealedSeq:   st.Seq,
+		Compactions: st.Compactions,
+		Mmapped:     st.Mmapped,
+	}
+	cov := ix.ix.Cover()
+	if cov.Seg() {
+		out.DeltaEntries = cov.DeltaEntries()
+		out.ReadErrors = cov.Base().Errors()
+	}
+	if over := st.Segments - d.segs.MaxStack(); over > 0 {
+		out.CompactionBacklog = over
+	}
+	if st.LiveEntries > 0 {
+		out.BytesPerLabel = float64(st.SealedBytes) / float64(st.LiveEntries)
+	}
+	return out
+}

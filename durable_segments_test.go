@@ -1,0 +1,361 @@
+package hopi
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func createSegmented(t *testing.T, path string, open ...OpenOption) (*Index, []string) {
+	t.Helper()
+	coll, base := baseCollection(t)
+	opts := DefaultOptions()
+	opts.WithDistance = true
+	opts.Seed = 1
+	ix, err := Create(path, coll, opts, append([]OpenOption{Segments()}, open...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, base
+}
+
+// TestSegmentsCreateApplyReopen is the segment-backend mirror of the
+// B-tree round trip: create, churn (including rebuilds, which reseal
+// the whole stack), close, reopen durable and plain, compare against a
+// purely in-memory oracle.
+func TestSegmentsCreateApplyReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ix.hopi")
+	ix, base := createSegmented(t, path)
+	if !ix.Durable() {
+		t.Fatal("Create returned a non-durable index")
+	}
+	if st := ix.SegmentStats(); !st.Enabled || st.Segments != 1 {
+		t.Fatalf("fresh segment stats = %+v", st)
+	}
+	ops := randomScript(rand.New(rand.NewSource(7)), base, 40, true)
+	for i, op := range ops {
+		if _, err := ix.Apply(context.Background(), buildScriptBatch(op)); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	want := oracle(t, ops, len(ops), true)
+	assertSameAnswers(t, ix, want, "live segmented")
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path, Durable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, re, want, "durable reopen")
+	if st := re.SegmentStats(); !st.Enabled {
+		t.Fatal("reopened index lost its segment backend")
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// plain (in-memory) mode auto-detects the segment store too
+	mem, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, mem, want, "plain reopen")
+	if mem.Durable() {
+		t.Fatal("plain open attached a backend")
+	}
+}
+
+// TestSegmentsCrashRecovery kills the index without a checkpoint and
+// reopens: the WAL tail must replay over the sealed base. Reopening
+// twice exercises the manifest-sequence guard — the first reopen's
+// final checkpoint seals the tail, the second must not double-apply it.
+func TestSegmentsCrashRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ix.hopi")
+	ix, base := createSegmented(t, path)
+	ops := randomScript(rand.New(rand.NewSource(21)), base, 25, false)
+	for i, op := range ops {
+		if _, err := ix.Apply(context.Background(), buildScriptBatch(op)); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	crash(ix)
+	want := oracle(t, ops, len(ops), true)
+
+	re, err := Open(path, Durable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, re, want, "after crash")
+	crash(re) // again without a clean close: replay must be idempotent
+
+	re2, err := Open(path, Durable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	assertSameAnswers(t, re2, want, "second reopen")
+}
+
+// TestSegmentsAutoSealAndCompaction drives enough churn through a tiny
+// seal threshold and stack bound that Apply seals mid-script and the
+// background compactor folds the stack, all while the index keeps
+// serving correct answers and previously issued resume tokens stay
+// valid (checkpoints do not advance the epoch).
+func TestSegmentsAutoSealAndCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ix.hopi")
+	ix, base := createSegmented(t, path, SegmentThreshold(16), SegmentMaxStack(2))
+	defer ix.Close()
+
+	ops := randomScript(rand.New(rand.NewSource(3)), base, 50, false)
+	half := len(ops) / 2
+	for i := 0; i < half; i++ {
+		if _, err := ix.Apply(context.Background(), buildScriptBatch(ops[i])); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+
+	// issue a cursor mid-churn, then checkpoint explicitly: the token
+	// must survive the seal (same logical state, same epoch)
+	snap := ix.Snapshot()
+	pq, err := Prepare("//article//author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := snap.Run(context.Background(), pq, QueryLimit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.Next()
+	token := cur.Token()
+	if err := ix.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		if _, err := ix.Snapshot().Run(context.Background(), pq, QueryResume(token)); err != nil {
+			t.Fatalf("resume token died across a seal checkpoint: %v", err)
+		}
+	}
+
+	for i := half; i < len(ops); i++ {
+		if _, err := ix.Apply(context.Background(), buildScriptBatch(ops[i])); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	assertSameAnswers(t, ix, oracle(t, ops, len(ops), true), "after auto-seals")
+
+	st := ix.SegmentStats()
+	if st.SealedSeq == 0 {
+		t.Fatalf("threshold never sealed: %+v", st)
+	}
+	// drain the compactor: with MaxStack 2 the stack must eventually
+	// fold back under the bound
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st = ix.SegmentStats()
+		if st.CompactionBacklog == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.CompactionBacklog != 0 {
+		t.Fatalf("compaction backlog never drained: %+v", st)
+	}
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction ran despite MaxStack 2: %+v", st)
+	}
+}
+
+// TestSegmentsQueryEquivalenceUnderChurn runs the segmented index and
+// a flat in-memory twin through the same script while readers verify,
+// on identical snapshots, that boolean, ranked, and resume-token page
+// walks return identical results. Run with -race this also exercises
+// reads against the mmap'd base concurrent with seals and compactions.
+func TestSegmentsQueryEquivalenceUnderChurn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ix.hopi")
+	seg, base := createSegmented(t, path, SegmentThreshold(8), SegmentMaxStack(2))
+	defer seg.Close()
+	coll2, _ := baseCollection(t)
+	bopts := DefaultOptions()
+	bopts.WithDistance = true
+	bopts.Seed = 1
+	flat, err := Build(coll2, bopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exprs := []string{"//article//author", "//bib//title", "/article/cite", "//book//author"}
+	compare := func(stage int) {
+		t.Helper()
+		ss, fs := seg.Snapshot(), flat.Snapshot()
+		for _, expr := range exprs {
+			sres, err := ss.Query(expr)
+			if err != nil {
+				t.Fatalf("stage %d %q seg: %v", stage, expr, err)
+			}
+			fres, err := fs.Query(expr)
+			if err != nil {
+				t.Fatalf("stage %d %q flat: %v", stage, expr, err)
+			}
+			if len(sres) != len(fres) {
+				t.Fatalf("stage %d %q: %d vs %d results", stage, expr, len(sres), len(fres))
+			}
+			for i := range sres {
+				if sres[i].Element != fres[i].Element || sres[i].Doc != fres[i].Doc {
+					t.Fatalf("stage %d %q result %d: %+v vs %+v", stage, expr, i, sres[i], fres[i])
+				}
+			}
+			// ranked: scores must match exactly (same distances)
+			srk, err := ss.QueryRanked(expr)
+			if err != nil {
+				t.Fatalf("stage %d ranked %q seg: %v", stage, expr, err)
+			}
+			frk, err := fs.QueryRanked(expr)
+			if err != nil {
+				t.Fatalf("stage %d ranked %q flat: %v", stage, expr, err)
+			}
+			if len(srk) != len(frk) {
+				t.Fatalf("stage %d ranked %q: %d vs %d", stage, expr, len(srk), len(frk))
+			}
+			for i := range srk {
+				if srk[i].Element != frk[i].Element || srk[i].Score != frk[i].Score {
+					t.Fatalf("stage %d ranked %q result %d: %+v vs %+v", stage, expr, i, srk[i], frk[i])
+				}
+			}
+			// page walk: 2-at-a-time cursor over the segmented snapshot
+			// must enumerate exactly the full result set
+			pq, err := Prepare(expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var walked []QueryResult
+			token := ""
+			for {
+				opts := []QueryOption{QueryLimit(2)}
+				if token != "" {
+					opts = append(opts, QueryResume(token))
+				}
+				cur, err := ss.Run(context.Background(), pq, opts...)
+				if err != nil {
+					t.Fatalf("stage %d walk %q: %v", stage, expr, err)
+				}
+				got := 0
+				for cur.Next() {
+					walked = append(walked, cur.Result())
+					got++
+				}
+				if err := cur.Err(); err != nil {
+					t.Fatalf("stage %d walk %q: %v", stage, expr, err)
+				}
+				token = cur.Token()
+				if got < 2 || token == "" {
+					break
+				}
+			}
+			if len(walked) != len(fres) {
+				t.Fatalf("stage %d walk %q: %d walked, %d expected", stage, expr, len(walked), len(fres))
+			}
+			for i := range walked {
+				if walked[i].Element != fres[i].Element {
+					t.Fatalf("stage %d walk %q item %d: %v vs %v", stage, expr, i, walked[i].Element, fres[i].Element)
+				}
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	readErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		// concurrent reader on the segmented side only: races against
+		// seals and compactions, correctness checked by the main loop
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := seg.Snapshot()
+			if _, err := snap.Query("//article//author"); err != nil {
+				select {
+				case readErr <- fmt.Errorf("concurrent query: %w", err):
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	ops := randomScript(rand.New(rand.NewSource(11)), base, 60, true)
+	for i, op := range ops {
+		if _, err := seg.Apply(context.Background(), buildScriptBatch(op)); err != nil {
+			t.Fatalf("seg op %d: %v", i, err)
+		}
+		if _, err := flat.Apply(context.Background(), buildScriptBatch(op)); err != nil {
+			t.Fatalf("flat op %d: %v", i, err)
+		}
+		if i%10 == 9 {
+			compare(i)
+		}
+	}
+	compare(len(ops))
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-readErr:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestSegmentsReplication bootstraps a follower from a segmented
+// primary's sealed files, converges it under churn, and checks label
+// equality — the verbatim-file bootstrap path end to end.
+func TestSegmentsReplication(t *testing.T) {
+	dir := t.TempDir()
+	ix, base := createSegmented(t, filepath.Join(dir, "p.hopi"), SegmentThreshold(16))
+	defer ix.Close()
+	// churn before the follower exists so the image has sealed segments
+	// and a non-empty residual delta
+	ops := randomScript(rand.New(rand.NewSource(5)), base, 40, true)
+	half := len(ops) / 2
+	for i := 0; i < half; i++ {
+		if _, err := ix.Apply(context.Background(), buildScriptBatch(ops[i])); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	p := startReplPrimary(t, ix, "", PublishTail(4), PublishHeartbeat(20*time.Millisecond))
+	defer p.stop()
+
+	fol, err := Follow(p.streamURL(),
+		FollowTimeout(15*time.Second),
+		FollowDir(dir),
+		FollowReconnect(5*time.Millisecond, 100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol.Close()
+	if !fol.ix.Cover().Seg() {
+		t.Fatal("follower did not adopt the primary's segment files")
+	}
+	waitCaughtUp(t, fol, ix)
+	assertLabelEquality(t, fol, ix, "after bootstrap")
+
+	// keep churning (including rebuilds, which ship as wholesale
+	// ClearAll snapshots and flip the follower back to flat mode)
+	for i := half; i < len(ops); i++ {
+		if _, err := ix.Apply(context.Background(), buildScriptBatch(ops[i])); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	waitCaughtUp(t, fol, ix)
+	assertLabelEquality(t, fol, ix, "after churn")
+	assertSameAnswers(t, fol, oracle(t, ops, len(ops), true), "follower vs oracle")
+}

@@ -21,8 +21,12 @@ import (
 // the last checkpoint left behind.
 func crash(ix *Index) {
 	if ix.dur != nil {
-		ix.dur.wal.Close()
-		ix.dur.store.Abandon()
+		d := ix.dur
+		d.stopCompactor()
+		d.wal.Close()
+		if d.store != nil {
+			d.store.Abandon()
+		}
 		ix.dur = nil
 	}
 }

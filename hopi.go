@@ -71,6 +71,7 @@ import (
 	"hopi/internal/core"
 	"hopi/internal/partition"
 	"hopi/internal/replication"
+	"hopi/internal/segment"
 	"hopi/internal/storage"
 )
 
@@ -177,6 +178,9 @@ type Index struct {
 	readOnly bool
 	pub      *replication.Publisher // attached log-shipping publisher, nil otherwise
 	fol      *replication.Follower  // replication source for followers, nil otherwise
+	// folClean removes a follower's adopted segment-store directory;
+	// set by bootstrap, run by Close after the stream stops.
+	folClean func()
 }
 
 // newEpoch seeds an in-memory index's version stamp. The epoch is
@@ -464,7 +468,7 @@ func Open(path string, opts ...OpenOption) (*Index, error) {
 		o(&cfg)
 	}
 	if cfg.durable {
-		return openDurable(path)
+		return openDurable(path, &cfg)
 	}
 	f, err := os.Open(path + ".coll")
 	if err != nil {
@@ -474,6 +478,11 @@ func Open(path string, opts ...OpenOption) (*Index, error) {
 	f.Close()
 	if err != nil {
 		return nil, err
+	}
+	if segment.IsStore(path + segsSuffix) {
+		// segment-backed store: no B-tree file exists at path; load the
+		// sealed labels into memory and leave the files untouched
+		return openFromSegments(path, coll)
 	}
 	fp, err := storage.OpenFilePager(path)
 	if err != nil {

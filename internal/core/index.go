@@ -130,6 +130,30 @@ func (ix *Index) invalidate() {
 	ix.ixMu.Unlock()
 }
 
+// AdoptSegmentBase switches the cover to segment mode over a sealed
+// base holding its complete label set (durable attach/open, or the
+// reseal after a Rebuild). The derived posting index is dropped — it
+// must be rebuilt over the base — and the caller must hold the same
+// exclusive access it would for any cover mutation.
+func (ix *Index) AdoptSegmentBase(b *twohop.Base, n, size int) {
+	ix.cover.AdoptBase(b, n, size)
+	ix.invalidate()
+}
+
+// SealSwapBase installs a new sealed base that already folds the
+// cover's current delta (a checkpoint sealed it) and rebases the warm
+// posting index in the same critical section, so no delta can slip
+// between the two. The logical state is unchanged: published snapshots
+// and resume tokens stay valid.
+func (ix *Index) SealSwapBase(b *twohop.Base) {
+	ix.ixMu.Lock()
+	defer ix.ixMu.Unlock()
+	ix.cover.SealSwap(b)
+	if ix.ix != nil {
+		ix.ix.Postings().Rebase(b)
+	}
+}
+
 // cyclic lazily derives the element-graph cycle information.
 func (ix *Index) cyclic() *cyclicInfo {
 	ix.cycMu.Lock()
@@ -255,7 +279,7 @@ func (ix *Index) Labels() LabelStats {
 	st := LabelStats{}
 	centers := map[int32]struct{}{}
 	for v := 0; v < ix.cover.N(); v++ {
-		in, out := ix.cover.In[v], ix.cover.Out[v]
+		in, out := ix.cover.Lin(int32(v)), ix.cover.Lout(int32(v))
 		if len(in)+len(out) > 0 {
 			st.Nodes++
 		}

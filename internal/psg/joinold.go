@@ -86,6 +86,17 @@ func (ix *CoverIndex) AddOut(u, center int32, dist uint32) {
 	if u == center {
 		return
 	}
+	if ix.cov.Seg() {
+		// no flat slice to length-check; Size() moves on real inserts,
+		// and the only change it misses (a distance improvement) leaves
+		// the owner already posted
+		before := ix.cov.Size()
+		ix.cov.AddOut(u, center, dist)
+		if ix.cov.Size() != before && !ix.cov.Recording() {
+			ix.post.Apply(twohop.CoverDelta{Kind: twohop.DeltaAddOut, Node: u, Center: center})
+		}
+		return
+	}
 	before := len(ix.cov.Out[u])
 	ix.cov.AddOut(u, center, dist)
 	if len(ix.cov.Out[u]) != before && !ix.cov.Recording() {
@@ -97,6 +108,14 @@ func (ix *CoverIndex) AddOut(u, center int32, dist uint32) {
 // for the recorder contract.
 func (ix *CoverIndex) AddIn(v, center int32, dist uint32) {
 	if v == center {
+		return
+	}
+	if ix.cov.Seg() {
+		before := ix.cov.Size()
+		ix.cov.AddIn(v, center, dist)
+		if ix.cov.Size() != before && !ix.cov.Recording() {
+			ix.post.Apply(twohop.CoverDelta{Kind: twohop.DeltaAddIn, Node: v, Center: center})
+		}
 		return
 	}
 	before := len(ix.cov.In[v])
@@ -125,7 +144,7 @@ func (ix *CoverIndex) Ancestors(u int32) []int32 {
 	for _, a := range ix.post.OutOwners(u) {
 		add(a)
 	}
-	for _, e := range ix.cov.In[u] {
+	for _, e := range ix.cov.Lin(u) {
 		add(e.Center)
 		for _, a := range ix.post.OutOwners(e.Center) {
 			add(a)
@@ -150,7 +169,7 @@ func (ix *CoverIndex) Descendants(v int32) []int32 {
 	for _, d := range ix.post.InOwners(v) {
 		add(d)
 	}
-	for _, e := range ix.cov.Out[v] {
+	for _, e := range ix.cov.Lout(v) {
 		add(e.Center)
 		for _, d := range ix.post.InOwners(e.Center) {
 			add(d)

@@ -440,10 +440,11 @@ func (e *Engine) advanceSemijoin(frontier []int32, tagSet graph.Bitset, ncands i
 		if cyclic.Has(int(f)) {
 			acc.Set(int(f))
 		}
-		for _, en := range cov.Out[f] {
+		lout := cov.Lout(f)
+		for _, en := range lout {
 			centers.Set(int(en.Center))
 		}
-		touched += len(cov.Out[f]) + len(post.InOwners(f))
+		touched += len(lout) + len(post.InOwners(f))
 		for _, c := range post.InOwners(f) {
 			acc.Set(int(c))
 		}
@@ -708,7 +709,7 @@ func (e *Engine) advanceRankedSemijoin(frontier map[int32]state, step Step, cc *
 	}
 	touched := 0
 	for f := range frontier {
-		touched += len(cov.Out[f])
+		touched += len(cov.Lout(f))
 	}
 	// Phase 2: gather candidates and prune arrival lists.
 	cands := e.scratch.Get(e.scratchSize())
@@ -740,7 +741,7 @@ func (e *Engine) advanceRankedSemijoin(frontier map[int32]state, step Step, cc *
 			return false
 		}
 		c := int32(ci)
-		touched += len(cov.In[c])
+		touched += len(cov.Lin(c))
 		best := e.scoreCandidate(c, arrivals, frontier)
 		if best.score > 0 {
 			st := frontier[best.from]
@@ -779,7 +780,7 @@ func (e *Engine) distributeArrivals(frontier map[int32]state, cc *canceller) (ma
 		}
 		self := arrival{score: st.score, dist: 0, from: f}
 		at(f).implicit = &self
-		for _, en := range cov.Out[f] {
+		for _, en := range cov.Lout(f) {
 			ca := at(en.Center)
 			ca.rest = append(ca.rest, arrival{score: st.score, dist: en.Dist, from: f})
 		}
@@ -811,7 +812,7 @@ func (e *Engine) scoreCandidate(c int32, arrivals map[int32]*centerArrivals, fro
 	// f ∈ Lin(c) and Lout(f) ∩ Lin(c): every stored Lin entry of c
 	// joins the arrivals at its center. en.Center ≠ c (self entries
 	// are never stored), so the implicit arrival is usable here.
-	for _, en := range e.ix.Cover().In[c] {
+	for _, en := range e.ix.Cover().Lin(c) {
 		ca := arrivals[en.Center]
 		if ca == nil {
 			continue

@@ -103,7 +103,7 @@ func (e *Engine) BulkClosure(ctx context.Context, from, to []int32, withDist boo
 	byCenter := make(map[int32][]tEntry, len(to))
 	for j, t := range to {
 		byCenter[t] = append(byCenter[t], tEntry{col: j})
-		for _, en := range cov.In[t] {
+		for _, en := range cov.Lin(t) {
 			d := en.Dist
 			if !withDist {
 				d = 0 // dist fields are not meaningful without WithDist
@@ -129,7 +129,7 @@ func (e *Engine) BulkClosure(ctx context.Context, from, to []int32, withDist boo
 			}
 		}
 		meet(f, 0)
-		for _, en := range cov.Out[f] {
+		for _, en := range cov.Lout(f) {
 			d := en.Dist
 			if !withDist {
 				d = 0

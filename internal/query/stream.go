@@ -284,8 +284,9 @@ func (e *Engine) newLazyScan(q *Query, frontier []int32, final Step, last int, o
 		touched := 0
 		for _, f := range frontier {
 			ls.fset.Set(int(f))
-			touched += len(ls.cov.Out[f])
-			for _, en := range ls.cov.Out[f] {
+			lout := ls.cov.Lout(f)
+			touched += len(lout)
+			for _, en := range lout {
 				ls.xset.Set(int(en.Center))
 			}
 		}
@@ -336,7 +337,7 @@ func (ls *lazyScan) matches(c int32) bool {
 	if ls.fset.Has(int(c)) && ls.cyclic.Has(int(c)) {
 		return true
 	}
-	in := ls.cov.In[c]
+	in := ls.cov.Lin(c)
 	ls.sp.touch(len(in))
 	for _, en := range in {
 		if ls.fx.Has(int(en.Center)) {
@@ -669,7 +670,7 @@ func (e *Engine) rankedTopK(frontier map[int32]state, step Step, k int, after *m
 	}
 	touched := 0
 	for f := range frontier {
-		touched += len(cov.Out[f])
+		touched += len(cov.Lout(f))
 	}
 
 	// Bounds come from the RAW arrival lists (a max is pruning-
@@ -712,7 +713,7 @@ func (e *Engine) rankedTopK(frontier map[int32]state, step Step, k int, after *m
 			return
 		}
 		seen.Set(int(c))
-		touched += len(cov.In[c])
+		touched += len(cov.Lin(c))
 		best := e.scoreCandidate(c, arrivals, frontier)
 		if best.score <= 0 {
 			return

@@ -39,18 +39,33 @@ type Batch struct {
 	Ops  []twohop.CoverDelta
 }
 
+// SegFile is one sealed segment file shipped verbatim inside a
+// bootstrap image: followers adopt the primary's compressed sealed
+// state without either side re-encoding a label.
+type SegFile struct {
+	Name string `json:"name"`
+	Data []byte `json:"data"`
+}
+
 // Image is a full state snapshot used to bootstrap an empty follower
 // (or reset one that lagged past the retained history): the encoded
-// collection plus the cover flattened into a replayable delta stream,
-// consistent as of Seq. Scope is the primary's replication-scope
-// identity, which followers adopt so resume tokens are honored only
-// within one replication group.
+// collection plus the cover state, consistent as of Seq. A primary
+// with a flat cover flattens it into the replayable Ops delta stream;
+// a segmented primary ships its sealed segment files verbatim in
+// Files (with N and Live describing the adopted shape) — the bytes
+// come straight from the primary's mappings, cut without holding the
+// index lock across the encode. Scope is the primary's replication-
+// scope identity, which followers adopt so resume tokens are honored
+// only within one replication group.
 type Image struct {
 	Seq      uint64
 	Scope    uint64
 	WithDist bool
 	Coll     []byte
 	Ops      []twohop.CoverDelta
+	N        int
+	Live     int64
+	Files    []SegFile
 }
 
 // Frame type tags.
@@ -65,13 +80,16 @@ const (
 // JSON; cover deltas use the WAL's fixed 13-byte binary records
 // (core.EncodeCoverDeltas) rather than per-delta JSON objects.
 type frame struct {
-	Type     string `json:"type"`
-	Seq      uint64 `json:"seq,omitempty"`
-	Scope    uint64 `json:"scope,omitempty"`
-	WithDist bool   `json:"withDist,omitempty"`
-	Coll     []byte `json:"coll,omitempty"`
-	Ops      []byte `json:"ops,omitempty"`
-	Msg      string `json:"msg,omitempty"`
+	Type     string    `json:"type"`
+	Seq      uint64    `json:"seq,omitempty"`
+	Scope    uint64    `json:"scope,omitempty"`
+	WithDist bool      `json:"withDist,omitempty"`
+	Coll     []byte    `json:"coll,omitempty"`
+	Ops      []byte    `json:"ops,omitempty"`
+	N        int       `json:"n,omitempty"`
+	Live     int64     `json:"live,omitempty"`
+	Files    []SegFile `json:"files,omitempty"`
+	Msg      string    `json:"msg,omitempty"`
 }
 
 func batchFrame(b Batch) frame {
@@ -79,7 +97,11 @@ func batchFrame(b Batch) frame {
 }
 
 func imageFrame(img *Image) frame {
-	return frame{Type: frameSnapshot, Seq: img.Seq, Scope: img.Scope, WithDist: img.WithDist, Coll: img.Coll, Ops: core.EncodeCoverDeltas(img.Ops)}
+	return frame{
+		Type: frameSnapshot, Seq: img.Seq, Scope: img.Scope, WithDist: img.WithDist,
+		Coll: img.Coll, Ops: core.EncodeCoverDeltas(img.Ops),
+		N: img.N, Live: img.Live, Files: img.Files,
+	}
 }
 
 func (f *frame) batch() (Batch, error) {
@@ -95,5 +117,8 @@ func (f *frame) image() (*Image, error) {
 	if err != nil {
 		return nil, fmt.Errorf("replication: snapshot %d: %w", f.Seq, err)
 	}
-	return &Image{Seq: f.Seq, Scope: f.Scope, WithDist: f.WithDist, Coll: f.Coll, Ops: ops}, nil
+	return &Image{
+		Seq: f.Seq, Scope: f.Scope, WithDist: f.WithDist, Coll: f.Coll, Ops: ops,
+		N: f.N, Live: f.Live, Files: f.Files,
+	}, nil
 }

@@ -1,0 +1,95 @@
+package segment
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeedBytes builds one small-but-representative valid segment
+// (all four families, distances, tombstones, and at least one dense
+// bitset-qualifying postings list) and returns its raw bytes.
+func fuzzSeedBytes(f *testing.F) []byte {
+	f.Helper()
+	rng := rand.New(rand.NewSource(42))
+	var fams [NumFamilies][]Rec
+	for fam := Family(0); fam < NumFamilies; fam++ {
+		withDist := fam == FamLin || fam == FamLout
+		for key := int32(0); key < 20; key++ {
+			fams[fam] = append(fams[fam], Rec{Key: key * 3, Posts: randPosts(rng, 5+rng.Intn(20), withDist, withDist)})
+		}
+	}
+	// dense run → bitset container
+	dense := make([]Post, 0, 64)
+	for v := int32(100); v < 164; v++ {
+		dense = append(dense, Post{Val: v})
+	}
+	fams[FamInOwn] = append(fams[FamInOwn], Rec{Key: 1000, Posts: dense})
+	path := filepath.Join(f.TempDir(), "seed.seg")
+	_, err := WriteFile(path, Meta{N: 64, WithDist: true, Seq: 7, Posts: 500, Tombs: 40}, func(w *Writer) error {
+		for fam := Family(0); fam < NumFamilies; fam++ {
+			for _, r := range fams[fam] {
+				if err := w.Append(fam, r.Key, r.Posts); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzSegment feeds arbitrary bytes to the segment reader. Open does
+// eager full validation (structure + CRCs), so a corrupt file must be
+// rejected with an error — never a panic — and a file that passes
+// validation must be fully iterable without error.
+func FuzzSegment(f *testing.F) {
+	seed := fuzzSeedBytes(f)
+	f.Add(seed)
+	f.Add(seed[:0])
+	f.Add(seed[:headerLen])
+	// truncations at structurally interesting points
+	for _, cut := range []int{1, headerLen - 1, len(seed) / 2, len(seed) - footerLen, len(seed) - 1} {
+		if cut >= 0 && cut < len(seed) {
+			f.Add(append([]byte(nil), seed[:cut]...))
+		}
+	}
+	// single bit flips spread across header, blocks, region, footer
+	for _, pos := range []int{0, 5, len(seed) / 3, 2 * len(seed) / 3, len(seed) - footerLen + 2, len(seed) - 3} {
+		b := append([]byte(nil), seed...)
+		b[pos] ^= 1 << uint(pos%8)
+		f.Add(b)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.seg")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		s, err := Open(path)
+		if err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		// validated segments must read clean end to end
+		for fam := Family(0); fam < NumFamilies; fam++ {
+			if err := s.Iter(fam, func(key int32, posts []Post) error { return nil }); err != nil {
+				t.Fatalf("Iter(%d) failed on a segment Open accepted: %v", fam, err)
+			}
+		}
+		var buf []Post
+		m := s.Meta()
+		for key := int32(0); key < int32(m.N)+4; key++ {
+			if _, _, err := s.Posts(FamLin, key, buf); err != nil {
+				t.Fatalf("Posts(FamLin, %d) failed on a validated segment: %v", key, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,25 @@
+//go:build linux
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only. The mapping survives both
+// closing the descriptor and unlinking the file, which is what lets
+// compaction delete replaced segments while snapshots still read them.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return []byte{}, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

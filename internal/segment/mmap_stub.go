@@ -1,0 +1,16 @@
+//go:build !linux
+
+package segment
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("segment: mmap unsupported on this platform")
+
+// mmapFile always fails on non-Linux platforms; Open falls back to
+// per-block ReadAt through the retained descriptor.
+func mmapFile(*os.File, int64) ([]byte, error) { return nil, errNoMmap }
+
+func munmapFile([]byte) error { return nil }

@@ -1,0 +1,132 @@
+// Package segment implements the immutable on-disk storage tier for
+// HOPI cover labels and center→owners postings: sorted, compressed,
+// CRC-protected segment files written in one streaming pass and read
+// through an mmap-backed zero-copy reader (with a plain ReadAt
+// fallback on platforms or files where mmap is unavailable).
+//
+// A segment holds four key families, each a sorted sequence of
+// (key, postings) records:
+//
+//	FamLin    node   → Lin(node)  cover entries (center, dist, tomb)
+//	FamLout   node   → Lout(node) cover entries
+//	FamInOwn  center → owners v with center ∈ Lin(v)
+//	FamOutOwn center → owners u with center ∈ Lout(u)
+//
+// Postings are encoded in varint-delta blocks of ~4 KiB with one skip
+// entry (family, key range, offset, length, CRC32) per block in an
+// index region referenced by a fixed-size footer. Dense tombstone-free
+// owner postings switch to a bitset container (roaring-style) when the
+// bitset is smaller than the delta encoding.
+//
+// Segments are immutable once sealed: the live index layers an
+// in-memory delta (adds + tombstones) on top of a stack of segments,
+// and a compactor periodically folds the whole stack into one new
+// segment, dropping tombstones. Newer layers shadow older ones per
+// (key, value) pair.
+//
+// File layout (all multi-byte fixed-width integers little-endian):
+//
+//	header : magic "HSEG" (u32) | version (u32)
+//	blocks : back-to-back block payloads (see block.go)
+//	region : meta | index            (varint-encoded, CRC'd as a unit)
+//	footer : regionOff u64 | regionLen u64 | regionCRC u32 | magic u32
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Family identifies one of the four key families in a segment.
+type Family uint8
+
+const (
+	FamLin    Family = 0 // node → Lin entries
+	FamLout   Family = 1 // node → Lout entries
+	FamInOwn  Family = 2 // center → owners with center in Lin(owner)
+	FamOutOwn Family = 3 // center → owners with center in Lout(owner)
+
+	// NumFamilies is the number of key families per segment.
+	NumFamilies = 4
+)
+
+const (
+	magic     = 0x47455348 // "HSEG" little-endian
+	version   = 1
+	headerLen = 8
+	footerLen = 24
+
+	// targetBlockSize is the soft payload size at which the writer cuts
+	// a block. Blocks never span families.
+	targetBlockSize = 4096
+
+	// bitset container heuristics: a posting list qualifies when it has
+	// no tombstones, carries no distances, is long enough, and is dense
+	// enough that the bitset beats the varint-delta encoding.
+	bitsetMinCount = 32
+	bitsetMaxSpanPerPost = 16 // span/count ≤ 16 → bitset is smaller
+)
+
+// Post is one posting: a value (center or owner id) with an optional
+// distance and a tombstone flag. Tombstones only appear in non-
+// compacted segments; a full compaction drops them.
+type Post struct {
+	Val  int32
+	Dist uint32
+	Tomb bool
+}
+
+// Rec is one (key, postings) record handed to the writer. Posts must
+// be sorted by Val with no duplicates.
+type Rec struct {
+	Key   int32
+	Posts []Post
+}
+
+// Meta is the segment-level metadata stored in the footer region.
+type Meta struct {
+	N        int    // node-id space covered (cover length)
+	WithDist bool   // distance-aware labels
+	Seq      uint64 // WAL sequence the segment state reflects
+	// Posts and Tombs count label postings (FamLin+FamLout only; the
+	// owner families mirror them) for live-size accounting.
+	Posts int64
+	Tombs int64
+}
+
+// ErrCorrupt wraps all decode failures: bad magic, short files,
+// truncated blocks, CRC mismatches, malformed varints.
+var ErrCorrupt = errors.New("segment: corrupt file")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// blockEntry is one skip-index entry describing a block.
+type blockEntry struct {
+	fam      Family
+	firstKey int32
+	lastKey  int32
+	nKeys    int
+	off      int64
+	length   int
+	crc      uint32
+}
+
+// uvarint reads one unsigned varint from b at position i, returning
+// the value and the new position; ok=false on malformed or truncated
+// input. Unlike binary.Uvarint it never reads past len(b).
+func uvarint(b []byte, i int) (uint64, int, bool) {
+	v, n := binary.Uvarint(b[i:])
+	if n <= 0 {
+		return 0, i, false
+	}
+	return v, i + n, true
+}
+
+func putUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}

@@ -1,0 +1,284 @@
+package segment
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func randPosts(rng *rand.Rand, n int, withDist, withTombs bool) []Post {
+	vals := map[int32]bool{}
+	for len(vals) < n {
+		vals[int32(rng.Intn(n * 8))] = true
+	}
+	posts := make([]Post, 0, n)
+	for v := range vals {
+		p := Post{Val: v}
+		if withDist {
+			p.Dist = uint32(rng.Intn(7))
+		}
+		if withTombs && rng.Intn(5) == 0 {
+			p.Tomb = true
+		}
+		posts = append(posts, p)
+	}
+	sortPosts(posts)
+	return posts
+}
+
+func sortPosts(p []Post) {
+	for i := 1; i < len(p); i++ {
+		for j := i; j > 0 && p[j].Val < p[j-1].Val; j-- {
+			p[j], p[j-1] = p[j-1], p[j]
+		}
+	}
+}
+
+func writeSeg(t *testing.T, path string, meta Meta, fams [NumFamilies][]Rec) {
+	t.Helper()
+	_, err := WriteFile(path, meta, func(w *Writer) error {
+		for fam := Family(0); fam < NumFamilies; fam++ {
+			for _, r := range fams[fam] {
+				if err := w.Append(fam, r.Key, r.Posts); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	for _, fallback := range []bool{false, true} {
+		name := "mmap"
+		if fallback {
+			name = "fallback"
+		}
+		t.Run(name, func(t *testing.T) {
+			if fallback {
+				forceFallback.Store(true)
+				defer forceFallback.Store(false)
+			}
+			rng := rand.New(rand.NewSource(7))
+			var fams [NumFamilies][]Rec
+			for fam := 0; fam < NumFamilies; fam++ {
+				key := int32(0)
+				for k := 0; k < 300; k++ {
+					key += int32(rng.Intn(5) + 1)
+					posts := randPosts(rng, rng.Intn(40)+1, fam < 2, true)
+					fams[fam] = append(fams[fam], Rec{Key: key, Posts: posts})
+				}
+			}
+			// one dense record to exercise the bitset container
+			dense := make([]Post, 500)
+			for i := range dense {
+				dense[i] = Post{Val: int32(1000000 + i)}
+			}
+			fams[FamInOwn] = append(fams[FamInOwn], Rec{Key: 1 << 20, Posts: dense})
+
+			path := filepath.Join(t.TempDir(), "x.seg")
+			writeSeg(t, path, Meta{N: 4096, WithDist: true, Seq: 42}, fams)
+			seg, err := Open(path)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			if seg.Mmapped() == fallback {
+				t.Fatalf("Mmapped=%v, want %v", seg.Mmapped(), !fallback)
+			}
+			if m := seg.Meta(); m.N != 4096 || !m.WithDist || m.Seq != 42 {
+				t.Fatalf("meta = %+v", m)
+			}
+			for fam := Family(0); fam < NumFamilies; fam++ {
+				i := 0
+				err := seg.Iter(fam, func(key int32, posts []Post) error {
+					want := fams[fam][i]
+					if key != want.Key || !reflect.DeepEqual(append([]Post(nil), posts...), want.Posts) {
+						t.Fatalf("fam %d rec %d: got key %d %v, want key %d %v", fam, i, key, posts, want.Key, want.Posts)
+					}
+					i++
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("Iter fam %d: %v", fam, err)
+				}
+				if i != len(fams[fam]) {
+					t.Fatalf("fam %d: %d records, want %d", fam, i, len(fams[fam]))
+				}
+				// point lookups, including misses
+				for _, r := range fams[fam] {
+					got, found, err := seg.Posts(fam, r.Key, nil)
+					if err != nil || !found {
+						t.Fatalf("Posts(%d,%d): found=%v err=%v", fam, r.Key, found, err)
+					}
+					if !reflect.DeepEqual(got, r.Posts) {
+						t.Fatalf("Posts(%d,%d) mismatch", fam, r.Key)
+					}
+				}
+				if _, found, _ := seg.Posts(fam, 1<<30, nil); found {
+					t.Fatal("found nonexistent key")
+				}
+			}
+		})
+	}
+}
+
+func TestStackShadowing(t *testing.T) {
+	dir := t.TempDir()
+	s, err := CreateStore(dir, true, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// older: key 1 → {10@d2, 20@d5}, key 2 → {30}
+	var f1 [NumFamilies][]Rec
+	f1[FamLin] = []Rec{
+		{Key: 1, Posts: []Post{{Val: 10, Dist: 2}, {Val: 20, Dist: 5}}},
+		{Key: 2, Posts: []Post{{Val: 30, Dist: 1}}},
+	}
+	if _, err := s.Seal(1, 100, 3, f1); err != nil {
+		t.Fatal(err)
+	}
+	// newer: key 1 → tombstone 10, improve 20 → d3, add 25
+	var f2 [NumFamilies][]Rec
+	f2[FamLin] = []Rec{
+		{Key: 1, Posts: []Post{{Val: 10, Tomb: true}, {Val: 20, Dist: 3}, {Val: 25, Dist: 9}}},
+	}
+	if _, err := s.Seal(2, 100, 3, f2); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Current()
+	live, err := st.Live(FamLin, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Post{{Val: 20, Dist: 3}, {Val: 25, Dist: 9}}
+	if !reflect.DeepEqual(live, want) {
+		t.Fatalf("Live = %v, want %v", live, want)
+	}
+
+	// compaction folds to one segment with identical live view
+	if ok, err := s.Compact(); err != nil || !ok {
+		t.Fatalf("Compact: ok=%v err=%v", ok, err)
+	}
+	st2 := s.Current()
+	if len(st2.Segs) != 1 {
+		t.Fatalf("stack depth %d after compact", len(st2.Segs))
+	}
+	live2, _ := st2.Live(FamLin, 1)
+	if !reflect.DeepEqual(live2, want) {
+		t.Fatalf("post-compact Live = %v, want %v", live2, want)
+	}
+	if got, _ := st2.Live(FamLin, 2); !reflect.DeepEqual(got, []Post{{Val: 30, Dist: 1}}) {
+		t.Fatalf("key 2 = %v", got)
+	}
+	// compacted segment has no tombstones
+	if tombs := st2.Segs[0].Meta().Tombs; tombs != 0 {
+		t.Fatalf("compacted segment has %d tombstones", tombs)
+	}
+	// the pinned old stack still reads, its files unlinked
+	if _, err := os.Stat(st.Segs[0].Path()); !os.IsNotExist(err) {
+		t.Fatalf("old segment not unlinked: %v", err)
+	}
+	old, err := st.Live(FamLin, 1)
+	if err != nil || !reflect.DeepEqual(old, want) {
+		t.Fatalf("pinned stack read after unlink: %v %v", old, err)
+	}
+
+	// reopen: manifest round-trips
+	s2, err := OpenStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, n, wd, live := s2.Info(); seq != 2 || n != 100 || !wd || live != 3 {
+		t.Fatalf("Info = %d %d %v %d", seq, n, wd, live)
+	}
+}
+
+func TestSealEmptyAdvancesSeq(t *testing.T) {
+	s, err := CreateStore(t.TempDir(), false, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var empty [NumFamilies][]Rec
+	if _, err := s.Seal(7, 10, 0, empty); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Seq(); got != 7 {
+		t.Fatalf("Seq = %d, want 7", got)
+	}
+	if st := s.Current(); len(st.Segs) != 0 {
+		t.Fatalf("empty seal wrote a segment")
+	}
+}
+
+func TestCrashMidCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := CreateStore(dir, false, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f1, f2 [NumFamilies][]Rec
+	f1[FamLout] = []Rec{{Key: 3, Posts: []Post{{Val: 7}, {Val: 9}}}}
+	f2[FamLout] = []Rec{{Key: 3, Posts: []Post{{Val: 9, Tomb: true}, {Val: 11}}}}
+	if _, err := s.Seal(1, 50, 2, f1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Seal(2, 50, 2, f2); err != nil {
+		t.Fatal(err)
+	}
+	wantLive, _ := s.Current().Live(FamLout, 3)
+
+	// crash after the compacted file lands but before the manifest
+	testCompactCrash = func() { panic("crash") }
+	defer func() { testCompactCrash = nil }()
+	func() {
+		defer func() { recover() }()
+		s.Compact()
+		t.Fatal("compact did not crash")
+	}()
+	testCompactCrash = nil
+
+	// the orphan compacted file exists on disk
+	entries, _ := os.ReadDir(dir)
+	segFiles := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".seg" {
+			segFiles++
+		}
+	}
+	if segFiles != 3 {
+		t.Fatalf("expected 3 .seg files (2 live + 1 orphan), got %d", segFiles)
+	}
+
+	// reopen: orphan removed, labels byte-identical
+	s2, err := OpenStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Current().Live(FamLout, 3)
+	if err != nil || !reflect.DeepEqual(got, wantLive) {
+		t.Fatalf("post-crash Live = %v (err %v), want %v", got, err, wantLive)
+	}
+	entries, _ = os.ReadDir(dir)
+	segFiles = 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".seg" {
+			segFiles++
+		}
+	}
+	if segFiles != 2 {
+		t.Fatalf("orphan not cleaned: %d .seg files", segFiles)
+	}
+	// and a retried compaction succeeds
+	if ok, err := s2.Compact(); err != nil || !ok {
+		t.Fatalf("retry compact: %v %v", ok, err)
+	}
+	got, _ = s2.Current().Live(FamLout, 3)
+	if !reflect.DeepEqual(got, wantLive) {
+		t.Fatalf("post-retry Live = %v, want %v", got, wantLive)
+	}
+}

@@ -229,7 +229,22 @@ type ShardInfo struct {
 	QueriesServed   uint64 `json:"queriesServed"`
 	ResultsStreamed uint64 `json:"resultsStreamed"`
 	ReplicationLag  int64  `json:"replicationLag,omitempty"`
-	Err             string `json:"err,omitempty"`
+	// Segments is present when the shard runs a segment-backed (LSM)
+	// store; the field names mirror the shard's own /stats block.
+	Segments *SegmentInfo `json:"segments,omitempty"`
+	Err      string       `json:"err,omitempty"`
+}
+
+// SegmentInfo is the subset of a shard's segment-store stats the
+// router aggregates.
+type SegmentInfo struct {
+	Segments          int     `json:"segments"`
+	SealedBytes       int64   `json:"sealedBytes"`
+	DeltaEntries      int     `json:"deltaEntries"`
+	Compactions       uint64  `json:"compactions"`
+	CompactionBacklog int     `json:"compactionBacklog"`
+	BytesPerLabel     float64 `json:"bytesPerLabel"`
+	Mmapped           bool    `json:"mmapped"`
 }
 
 // --- errors -----------------------------------------------------------

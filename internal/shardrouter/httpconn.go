@@ -276,14 +276,15 @@ func (c *HTTPConn) Info(ctx context.Context) (*ShardInfo, error) {
 		return nil, err
 	}
 	var st struct {
-		Epoch           uint64 `json:"epoch"`
-		Scope           uint64 `json:"scope"`
-		SeqEpoch        bool   `json:"seqEpoch"`
-		Ready           bool   `json:"ready"`
-		Role            string `json:"role"`
-		QueriesServed   uint64 `json:"queriesServed"`
-		ResultsStreamed uint64 `json:"resultsStreamed"`
-		ReplicationLag  uint64 `json:"replicationLag"`
+		Epoch           uint64       `json:"epoch"`
+		Scope           uint64       `json:"scope"`
+		SeqEpoch        bool         `json:"seqEpoch"`
+		Ready           bool         `json:"ready"`
+		Role            string       `json:"role"`
+		QueriesServed   uint64       `json:"queriesServed"`
+		ResultsStreamed uint64       `json:"resultsStreamed"`
+		ReplicationLag  uint64       `json:"replicationLag"`
+		Segments        *SegmentInfo `json:"segments"`
 	}
 	if err := c.do(req, &st); err != nil {
 		return nil, err
@@ -292,7 +293,7 @@ func (c *HTTPConn) Info(ctx context.Context) (*ShardInfo, error) {
 		Name: c.name, Epoch: st.Epoch, Scope: st.Scope, SeqEpoch: st.SeqEpoch,
 		Ready: st.Ready, Role: st.Role,
 		QueriesServed: st.QueriesServed, ResultsStreamed: st.ResultsStreamed,
-		ReplicationLag: int64(st.ReplicationLag),
+		ReplicationLag: int64(st.ReplicationLag), Segments: st.Segments,
 	}, nil
 }
 

@@ -620,6 +620,15 @@ type Status struct {
 	ResultsStreamed   uint64 `json:"resultsStreamed"`
 	MaxReplicationLag int64  `json:"maxReplicationLag"`
 
+	// segment-store aggregates over the shards that run one:
+	// how many do, their summed sealed footprint and pending delta,
+	// and the worst compaction backlog in the tier
+	SegmentedShards      int   `json:"segmentedShards,omitempty"`
+	SegmentsTotal        int   `json:"segmentsTotal,omitempty"`
+	SegSealedBytes       int64 `json:"segSealedBytes,omitempty"`
+	SegDeltaEntries      int   `json:"segDeltaEntries,omitempty"`
+	MaxCompactionBacklog int   `json:"maxCompactionBacklog,omitempty"`
+
 	// Counters inlines the router's own serving-path instrumentation
 	// (closureCacheHits/Misses/Evictions, stepRPCs, deliverRPCs,
 	// wireBytesIn/Out).
@@ -672,6 +681,15 @@ func (r *Router) Status(ctx context.Context) *Status {
 		st.ResultsStreamed += s.ResultsStreamed
 		if s.ReplicationLag > st.MaxReplicationLag {
 			st.MaxReplicationLag = s.ReplicationLag
+		}
+		if seg := s.Segments; seg != nil {
+			st.SegmentedShards++
+			st.SegmentsTotal += seg.Segments
+			st.SegSealedBytes += seg.SealedBytes
+			st.SegDeltaEntries += seg.DeltaEntries
+			if seg.CompactionBacklog > st.MaxCompactionBacklog {
+				st.MaxCompactionBacklog = seg.CompactionBacklog
+			}
 		}
 	}
 	return st

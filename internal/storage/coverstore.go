@@ -546,40 +546,51 @@ func (s *CoverStore) FromCover(c *twohop.Cover) error {
 	defer s.mu.Unlock()
 	s.numNodes = uint32(c.N())
 	s.withDist = c.WithDist
+	// Labels are read through the accessors so a segment-mode cover
+	// (Save to a fresh B-tree store, cold backups) works the same as a
+	// flat one.
+	n := int32(c.N())
 	type iter struct {
 		node int32
+		list []twohop.Entry
 		pos  int
 	}
-	fwd := func(lists [][]twohop.Entry) func() (uint64, uint32, bool) {
+	fwd := func(get func(int32) []twohop.Entry) func() (uint64, uint32, bool) {
 		it := iter{}
+		if n > 0 {
+			it.list = get(0)
+		}
 		return func() (uint64, uint32, bool) {
-			for int(it.node) < len(lists) {
-				if it.pos < len(lists[it.node]) {
-					e := lists[it.node][it.pos]
+			for it.node < n {
+				if it.pos < len(it.list) {
+					e := it.list[it.pos]
 					it.pos++
 					return Key(uint32(it.node), uint32(e.Center)), e.Dist, true
 				}
 				it.node++
 				it.pos = 0
+				if it.node < n {
+					it.list = get(it.node)
+				}
 			}
 			return 0, 0, false
 		}
 	}
-	if err := s.linFwd.BulkLoad(fwd(c.In)); err != nil {
+	if err := s.linFwd.BulkLoad(fwd(c.Lin)); err != nil {
 		return err
 	}
-	if err := s.loutFwd.BulkLoad(fwd(c.Out)); err != nil {
+	if err := s.loutFwd.BulkLoad(fwd(c.Lout)); err != nil {
 		return err
 	}
 	// backward indexes need (center, id) order: collect and sort
-	bwd := func(lists [][]twohop.Entry) func() (uint64, uint32, bool) {
+	bwd := func(get func(int32) []twohop.Entry) func() (uint64, uint32, bool) {
 		type rec struct {
 			key  uint64
 			dist uint32
 		}
 		var recs []rec
-		for node, list := range lists {
-			for _, e := range list {
+		for node := int32(0); node < n; node++ {
+			for _, e := range get(node) {
 				recs = append(recs, rec{Key(uint32(e.Center), uint32(node)), e.Dist})
 			}
 		}
@@ -594,10 +605,10 @@ func (s *CoverStore) FromCover(c *twohop.Cover) error {
 			return r.key, r.dist, true
 		}
 	}
-	if err := s.linBwd.BulkLoad(bwd(c.In)); err != nil {
+	if err := s.linBwd.BulkLoad(bwd(c.Lin)); err != nil {
 		return err
 	}
-	if err := s.loutBwd.BulkLoad(bwd(c.Out)); err != nil {
+	if err := s.loutBwd.BulkLoad(bwd(c.Lout)); err != nil {
 		return err
 	}
 	return s.writeHeader()

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"hopi/internal/graph"
+	"hopi/internal/segment"
 )
 
 // Entry is one label element: a center node and, for distance-aware
@@ -29,6 +30,13 @@ type Entry struct {
 
 // Cover is a 2-hop cover over nodes [0, n). Labels hold Entry slices
 // sorted by center (after Finish or any mutation through Add*).
+//
+// A cover runs in one of two modes. In flat mode (the default, and
+// the only mode builders ever see) the In/Out slices hold every
+// label. In segment mode (AdoptBase) the labels are the merged view
+// of an immutable on-disk segment stack plus an in-memory delta, and
+// In/Out stay nil — readers must go through Lin/Lout, which cost
+// nothing extra in flat mode.
 type Cover struct {
 	In  [][]Entry
 	Out [][]Entry
@@ -38,6 +46,13 @@ type Cover struct {
 	// rec, when set, observes every effective label mutation made
 	// through the mutator methods; see SetRecorder in delta.go.
 	rec func(CoverDelta)
+
+	// segment mode (see segcover.go); base == nil means flat mode.
+	base       *Base
+	dIn, dOut  map[int32][]Entry
+	tIn, tOut  map[int32]map[int32]struct{}
+	nSeg       int
+	sizeSeg    int
 }
 
 // NewCover returns an empty cover for n nodes.
@@ -50,12 +65,25 @@ func NewCover(n int, withDist bool) *Cover {
 }
 
 // N returns the number of nodes the cover is defined over.
-func (c *Cover) N() int { return len(c.In) }
+func (c *Cover) N() int {
+	if c.base != nil {
+		return c.nSeg
+	}
+	return len(c.In)
+}
 
 // Grow extends the cover to n nodes (no-op if already that large); new
 // nodes start with empty labels. Document insertion uses this to keep
 // global IDs stable.
 func (c *Cover) Grow(n int) {
+	if c.base != nil {
+		if n <= c.nSeg {
+			return
+		}
+		c.nSeg = n
+		c.emit(DeltaGrow, int32(n), 0, 0)
+		return
+	}
 	if len(c.In) >= n {
 		return
 	}
@@ -69,6 +97,9 @@ func (c *Cover) Grow(n int) {
 // Size returns the total number of stored label entries, the paper's
 // cover size metric |L| = Σ |Lin(v)| + |Lout(v)|.
 func (c *Cover) Size() int {
+	if c.base != nil {
+		return c.sizeSeg
+	}
 	s := 0
 	for i := range c.In {
 		s += len(c.In[i]) + len(c.Out[i])
@@ -82,6 +113,12 @@ func (c *Cover) AddIn(v, center int32, dist uint32) {
 	if v == center {
 		return
 	}
+	if c.base != nil {
+		if c.segAdd(c.dIn, c.tIn, segment.FamLin, v, center, dist) {
+			c.emit(DeltaAddIn, v, center, dist)
+		}
+		return
+	}
 	var changed bool
 	c.In[v], changed = addEntry(c.In[v], center, dist)
 	if changed {
@@ -92,6 +129,12 @@ func (c *Cover) AddIn(v, center int32, dist uint32) {
 // AddOut inserts center into Lout(u); see AddIn for semantics.
 func (c *Cover) AddOut(u, center int32, dist uint32) {
 	if u == center {
+		return
+	}
+	if c.base != nil {
+		if c.segAdd(c.dOut, c.tOut, segment.FamLout, u, center, dist) {
+			c.emit(DeltaAddOut, u, center, dist)
+		}
 		return
 	}
 	var changed bool
@@ -156,10 +199,11 @@ func (c *Cover) Reaches(u, v int32) bool {
 	if u == v {
 		return true
 	}
-	if hasCenter(c.Out[u], v) || hasCenter(c.In[v], u) {
+	lout, lin := c.Lout(u), c.Lin(v)
+	if hasCenter(lout, v) || hasCenter(lin, u) {
 		return true
 	}
-	return intersects(c.Out[u], c.In[v])
+	return intersects(lout, lin)
 }
 
 // Distance returns the shortest-path length u → v implied by the cover
@@ -170,17 +214,17 @@ func (c *Cover) Distance(u, v int32) uint32 {
 	if u == v {
 		return 0
 	}
+	a, b := c.Lout(u), c.Lin(v)
 	best := graph.InfDist
-	if i := findCenter(c.Out[u], v); i >= 0 {
-		best = c.Out[u][i].Dist
+	if i := findCenter(a, v); i >= 0 {
+		best = a[i].Dist
 	}
-	if i := findCenter(c.In[v], u); i >= 0 {
-		if d := c.In[v][i].Dist; d < best {
+	if i := findCenter(b, u); i >= 0 {
+		if d := b[i].Dist; d < best {
 			best = d
 		}
 	}
 	// Merge-intersect the two sorted lists, minimizing the distance sum.
-	a, b := c.Out[u], c.In[v]
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -226,8 +270,23 @@ func intersects(a, b []Entry) bool {
 	return false
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. In segment mode the immutable base is
+// shared and only the delta maps are copied — an O(delta) snapshot
+// instead of O(|L|).
 func (c *Cover) Clone() *Cover {
+	if c.base != nil {
+		cl := &Cover{
+			WithDist: c.WithDist,
+			base:     c.base,
+			dIn:      cloneDelta(c.dIn),
+			dOut:     cloneDelta(c.dOut),
+			tIn:      cloneTombs(c.tIn),
+			tOut:     cloneTombs(c.tOut),
+			nSeg:     c.nSeg,
+			sizeSeg:  c.sizeSeg,
+		}
+		return cl
+	}
 	n := c.N()
 	cl := NewCover(n, c.WithDist)
 	for i := 0; i < n; i++ {
@@ -235,6 +294,26 @@ func (c *Cover) Clone() *Cover {
 		cl.Out[i] = append([]Entry(nil), c.Out[i]...)
 	}
 	return cl
+}
+
+func cloneDelta(m map[int32][]Entry) map[int32][]Entry {
+	out := make(map[int32][]Entry, len(m))
+	for v, list := range m {
+		out[v] = append([]Entry(nil), list...)
+	}
+	return out
+}
+
+func cloneTombs(m map[int32]map[int32]struct{}) map[int32]map[int32]struct{} {
+	out := make(map[int32]map[int32]struct{}, len(m))
+	for v, set := range m {
+		s := make(map[int32]struct{}, len(set))
+		for c := range set {
+			s[c] = struct{}{}
+		}
+		out[v] = s
+	}
+	return out
 }
 
 // Verify checks the cover against a ground-truth closure: every

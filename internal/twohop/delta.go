@@ -1,5 +1,11 @@
 package twohop
 
+import (
+	"slices"
+
+	"hopi/internal/segment"
+)
+
 // DeltaKind discriminates CoverDelta operations.
 type DeltaKind uint8
 
@@ -84,6 +90,18 @@ func (c *Cover) Apply(ops []CoverDelta) {
 		case DeltaGrow:
 			c.Grow(int(op.Node))
 		case DeltaClearAll:
+			if c.base != nil {
+				// dropping every label drops the sealed base too; the
+				// cover reverts to flat mode over the same node space
+				// (the follower full-rebuild replay path)
+				n := c.nSeg
+				c.base = nil
+				c.dIn, c.dOut, c.tIn, c.tOut = nil, nil, nil, nil
+				c.nSeg, c.sizeSeg = 0, 0
+				c.In = make([][]Entry, n)
+				c.Out = make([][]Entry, n)
+				continue
+			}
 			for i := range c.In {
 				c.In[i] = nil
 				c.Out[i] = nil
@@ -101,19 +119,74 @@ func (c *Cover) SnapshotDeltas() []CoverDelta {
 		{Kind: DeltaClearAll},
 		{Kind: DeltaGrow, Node: int32(c.N())},
 	}
-	for v := range c.In {
-		for _, e := range c.In[v] {
-			ops = append(ops, CoverDelta{Kind: DeltaAddIn, Node: int32(v), Center: e.Center, Dist: e.Dist})
+	for v := int32(0); v < int32(c.N()); v++ {
+		for _, e := range c.Lin(v) {
+			ops = append(ops, CoverDelta{Kind: DeltaAddIn, Node: v, Center: e.Center, Dist: e.Dist})
 		}
-		for _, e := range c.Out[v] {
-			ops = append(ops, CoverDelta{Kind: DeltaAddOut, Node: int32(v), Center: e.Center, Dist: e.Dist})
+		for _, e := range c.Lout(v) {
+			ops = append(ops, CoverDelta{Kind: DeltaAddOut, Node: v, Center: e.Center, Dist: e.Dist})
 		}
 	}
 	return ops
 }
 
+// DeltaOps flattens the in-memory delta layer of a segment-mode cover
+// into a replayable op stream over the sealed base: grow to the
+// current node space, tombstone every removed base entry, add every
+// delta entry (adds and distance overrides alike — AddIn/AddOut
+// min-merge, so overrides land exactly). Applying the result to a
+// fresh cover that adopted the same sealed base reproduces this
+// cover's labels byte for byte. Nil in flat mode. Replication uses
+// this to ship only the unsealed residue alongside verbatim segment
+// files.
+func (c *Cover) DeltaOps() []CoverDelta {
+	if c.base == nil {
+		return nil
+	}
+	ops := []CoverDelta{{Kind: DeltaGrow, Node: int32(c.nSeg)}}
+	emit := func(delta map[int32][]Entry, tombs map[int32]map[int32]struct{}, rm, add DeltaKind) {
+		for _, v := range sortedKeys(tombs) {
+			for _, ctr := range sortedSet(tombs[v]) {
+				ops = append(ops, CoverDelta{Kind: rm, Node: v, Center: ctr})
+			}
+		}
+		for _, v := range sortedKeys(delta) {
+			for _, e := range delta[v] {
+				ops = append(ops, CoverDelta{Kind: add, Node: v, Center: e.Center, Dist: e.Dist})
+			}
+		}
+	}
+	emit(c.dIn, c.tIn, DeltaRemoveIn, DeltaAddIn)
+	emit(c.dOut, c.tOut, DeltaRemoveOut, DeltaAddOut)
+	return ops
+}
+
+func sortedKeys[V any](m map[int32]V) []int32 {
+	keys := make([]int32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func sortedSet(s map[int32]struct{}) []int32 {
+	vals := make([]int32, 0, len(s))
+	for v := range s {
+		vals = append(vals, v)
+	}
+	slices.Sort(vals)
+	return vals
+}
+
 // RemoveIn deletes center from Lin(v); a no-op when absent.
 func (c *Cover) RemoveIn(v, center int32) {
+	if c.base != nil {
+		if c.segRemove(c.dIn, c.tIn, segment.FamLin, v, center) {
+			c.emit(DeltaRemoveIn, v, center, 0)
+		}
+		return
+	}
 	if i := findCenter(c.In[v], center); i >= 0 {
 		c.In[v] = append(c.In[v][:i], c.In[v][i+1:]...)
 		if len(c.In[v]) == 0 {
@@ -125,6 +198,12 @@ func (c *Cover) RemoveIn(v, center int32) {
 
 // RemoveOut deletes center from Lout(u); a no-op when absent.
 func (c *Cover) RemoveOut(u, center int32) {
+	if c.base != nil {
+		if c.segRemove(c.dOut, c.tOut, segment.FamLout, u, center) {
+			c.emit(DeltaRemoveOut, u, center, 0)
+		}
+		return
+	}
 	if i := findCenter(c.Out[u], center); i >= 0 {
 		c.Out[u] = append(c.Out[u][:i], c.Out[u][i+1:]...)
 		if len(c.Out[u]) == 0 {
@@ -137,11 +216,27 @@ func (c *Cover) RemoveOut(u, center int32) {
 // FilterIn removes every Lin(v) entry whose center drop reports true,
 // emitting one remove delta per dropped entry.
 func (c *Cover) FilterIn(v int32, drop func(center int32) bool) {
+	if c.base != nil {
+		for _, e := range c.Lin(v) {
+			if drop(e.Center) {
+				c.RemoveIn(v, e.Center)
+			}
+		}
+		return
+	}
 	c.In[v] = c.filter(DeltaRemoveIn, v, c.In[v], drop)
 }
 
 // FilterOut removes every Lout(u) entry whose center drop reports true.
 func (c *Cover) FilterOut(u int32, drop func(center int32) bool) {
+	if c.base != nil {
+		for _, e := range c.Lout(u) {
+			if drop(e.Center) {
+				c.RemoveOut(u, e.Center)
+			}
+		}
+		return
+	}
 	c.Out[u] = c.filter(DeltaRemoveOut, u, c.Out[u], drop)
 }
 
@@ -162,6 +257,12 @@ func (c *Cover) filter(kind DeltaKind, node int32, list []Entry, drop func(int32
 
 // ClearIn drops all of Lin(v).
 func (c *Cover) ClearIn(v int32) {
+	if c.base != nil {
+		for _, e := range c.Lin(v) {
+			c.RemoveIn(v, e.Center)
+		}
+		return
+	}
 	for _, e := range c.In[v] {
 		c.emit(DeltaRemoveIn, v, e.Center, 0)
 	}
@@ -170,6 +271,12 @@ func (c *Cover) ClearIn(v int32) {
 
 // ClearOut drops all of Lout(u).
 func (c *Cover) ClearOut(u int32) {
+	if c.base != nil {
+		for _, e := range c.Lout(u) {
+			c.RemoveOut(u, e.Center)
+		}
+		return
+	}
 	for _, e := range c.Out[u] {
 		c.emit(DeltaRemoveOut, u, e.Center, 0)
 	}
@@ -183,6 +290,31 @@ func (c *Cover) ClearOut(u int32) {
 // could not raise a stored distance, since adds keep the minimum.
 func (c *Cover) SetOut(u int32, entries []Entry) {
 	entries = sortDedupe(entries)
+	if c.base != nil {
+		// Diff against the merged view and route each change through
+		// the segment-mode mutators (a remove+add pair can raise a
+		// distance: the remove tombstones the base entry first).
+		old := append([]Entry(nil), c.Lout(u)...)
+		i, j := 0, 0
+		for i < len(old) || j < len(entries) {
+			switch {
+			case j >= len(entries) || (i < len(old) && old[i].Center < entries[j].Center):
+				c.RemoveOut(u, old[i].Center)
+				i++
+			case i >= len(old) || old[i].Center > entries[j].Center:
+				c.AddOut(u, entries[j].Center, entries[j].Dist)
+				j++
+			default:
+				if old[i].Dist != entries[j].Dist {
+					c.RemoveOut(u, old[i].Center)
+					c.AddOut(u, entries[j].Center, entries[j].Dist)
+				}
+				i++
+				j++
+			}
+		}
+		return
+	}
 	old := c.Out[u]
 	i, j := 0, 0
 	for i < len(old) || j < len(entries) {

@@ -20,28 +20,50 @@ import (
 // copies the maps (O(#centers)) and then copies individual posting
 // lists on demand. Snapshots use this to reuse the live index's
 // postings instead of re-deriving them from the full label set.
+//
+// Like Cover, the postings can run over a sealed segment base: the
+// in/out maps then hold only the delta owners and negIn/negOut mask
+// base owners that were removed; reads merge the three sorted lists.
+// An owner is never in both the delta and the mask of one center.
 type PostingIndex struct {
 	n   int
 	in  map[int32][]int32
 	out map[int32][]int32
 
+	// segment mode: sealed owners beneath the delta (nil = flat).
+	base   *Base
+	negIn  map[int32][]int32
+	negOut map[int32][]int32
+
 	// frozen marks the maps as shared with at least one immutable view:
-	// they must be shallow-copied before any mutation. ownedIn/ownedOut
+	// they must be shallow-copied before any mutation. The owned* maps
 	// track which posting slices this instance has copied since the
 	// last Share (nil means every slice is owned, the fresh-build
 	// state).
-	frozen   bool
-	ownedIn  map[int32]bool
-	ownedOut map[int32]bool
+	frozen      bool
+	ownedIn     map[int32]bool
+	ownedOut    map[int32]bool
+	ownedNegIn  map[int32]bool
+	ownedNegOut map[int32]bool
 }
 
 // NewPostingIndex scans a cover's labels and builds the backward
-// postings. The result owns all its slices.
+// postings. The result owns all its slices. A segment-mode cover
+// yields a segment-mode posting index sharing its base: only the
+// cover's delta layer is scanned.
 func NewPostingIndex(cov *Cover) *PostingIndex {
 	p := &PostingIndex{
 		n:   cov.N(),
 		in:  map[int32][]int32{},
 		out: map[int32][]int32{},
+	}
+	if cov.base != nil {
+		p.base = cov.base
+		p.negIn = map[int32][]int32{}
+		p.negOut = map[int32][]int32{}
+		scanDelta(p.in, p.negIn, cov.dIn, cov.tIn)
+		scanDelta(p.out, p.negOut, cov.dOut, cov.tOut)
+		return p
 	}
 	// Owners are visited in ascending node order, so every posting list
 	// comes out sorted without a final sort pass.
@@ -56,16 +78,101 @@ func NewPostingIndex(cov *Cover) *PostingIndex {
 	return p
 }
 
+func scanDelta(add, neg map[int32][]int32, delta map[int32][]Entry, tombs map[int32]map[int32]struct{}) {
+	for v, entries := range delta {
+		for _, e := range entries {
+			add[e.Center] = append(add[e.Center], v)
+		}
+	}
+	for v, dead := range tombs {
+		for c := range dead {
+			neg[c] = append(neg[c], v)
+		}
+	}
+	for _, m := range []map[int32][]int32{add, neg} {
+		for c, owners := range m {
+			sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+			m[c] = owners
+		}
+	}
+}
+
+// Rebase points a segment-mode posting index at a freshly sealed base
+// that folds the current delta, and resets the delta maps. Shared
+// views keep the old base and maps.
+func (p *PostingIndex) Rebase(b *Base) {
+	p.base = b
+	p.in = map[int32][]int32{}
+	p.out = map[int32][]int32{}
+	p.negIn = map[int32][]int32{}
+	p.negOut = map[int32][]int32{}
+	p.frozen = false
+	p.ownedIn, p.ownedOut, p.ownedNegIn, p.ownedNegOut = nil, nil, nil, nil
+}
+
 // N returns the node-ID space the postings are defined over.
 func (p *PostingIndex) N() int { return p.n }
 
 // InOwners returns the sorted nodes whose Lin contains center. The
 // slice is shared — callers must not mutate it.
-func (p *PostingIndex) InOwners(center int32) []int32 { return p.in[center] }
+func (p *PostingIndex) InOwners(center int32) []int32 {
+	if p.base == nil {
+		return p.in[center]
+	}
+	return mergeOwners(p.base.InOwners(center), p.in[center], p.negIn[center])
+}
 
 // OutOwners returns the sorted nodes whose Lout contains center. The
 // slice is shared — callers must not mutate it.
-func (p *PostingIndex) OutOwners(center int32) []int32 { return p.out[center] }
+func (p *PostingIndex) OutOwners(center int32) []int32 {
+	if p.base == nil {
+		return p.out[center]
+	}
+	return mergeOwners(p.base.OutOwners(center), p.out[center], p.negOut[center])
+}
+
+// mergeOwners computes (base ∖ neg) ∪ add over three sorted lists.
+func mergeOwners(base, add, neg []int32) []int32 {
+	if len(add) == 0 && len(neg) == 0 {
+		return base
+	}
+	out := make([]int32, 0, len(base)+len(add))
+	i, j, k := 0, 0, 0
+	for i < len(base) || j < len(add) {
+		var v int32
+		switch {
+		case i >= len(base):
+			v = add[j]
+			j++
+		case j >= len(add):
+			v = base[i]
+			i++
+		case base[i] < add[j]:
+			v = base[i]
+			i++
+		case base[i] > add[j]:
+			v = add[j]
+			j++
+		default: // same owner in base and delta (distance override)
+			v = base[i]
+			i++
+			j++
+		}
+		for k < len(neg) && neg[k] < v {
+			k++
+		}
+		if k < len(neg) && neg[k] == v {
+			// masked base owner; a delta re-add would have removed the
+			// mask, so v cannot come from add here
+			continue
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
 
 // Share returns an immutable view of the current postings. Both the
 // receiver and the view keep reading the same maps; the receiver's next
@@ -74,29 +181,40 @@ func (p *PostingIndex) OutOwners(center int32) []int32 { return p.out[center] }
 // Share against mutations (maintenance is single-writer).
 func (p *PostingIndex) Share() *PostingIndex {
 	p.frozen = true
-	p.ownedIn = nil
-	p.ownedOut = nil
-	return &PostingIndex{n: p.n, in: p.in, out: p.out, frozen: true}
+	p.ownedIn, p.ownedOut = nil, nil
+	p.ownedNegIn, p.ownedNegOut = nil, nil
+	return &PostingIndex{
+		n: p.n, in: p.in, out: p.out,
+		base: p.base, negIn: p.negIn, negOut: p.negOut,
+		frozen: true,
+	}
 }
 
-// thaw makes the maps writable again after a Share: shallow-copy both
+// thaw makes the maps writable again after a Share: shallow-copy the
 // maps (slice headers only) and start tracking per-center ownership.
 func (p *PostingIndex) thaw() {
 	if !p.frozen {
 		return
 	}
-	in := make(map[int32][]int32, len(p.in))
-	for c, owners := range p.in {
-		in[c] = owners
-	}
-	out := make(map[int32][]int32, len(p.out))
-	for c, owners := range p.out {
-		out[c] = owners
-	}
-	p.in, p.out = in, out
+	p.in = copyOwnerMap(p.in)
+	p.out = copyOwnerMap(p.out)
 	p.ownedIn = map[int32]bool{}
 	p.ownedOut = map[int32]bool{}
+	if p.base != nil {
+		p.negIn = copyOwnerMap(p.negIn)
+		p.negOut = copyOwnerMap(p.negOut)
+		p.ownedNegIn = map[int32]bool{}
+		p.ownedNegOut = map[int32]bool{}
+	}
 	p.frozen = false
+}
+
+func copyOwnerMap(m map[int32][]int32) map[int32][]int32 {
+	out := make(map[int32][]int32, len(m))
+	for c, owners := range m {
+		out[c] = owners
+	}
+	return out
 }
 
 // Apply maintains the postings under one cover label delta — the same
@@ -106,13 +224,25 @@ func (p *PostingIndex) thaw() {
 func (p *PostingIndex) Apply(d CoverDelta) {
 	switch d.Kind {
 	case DeltaAddIn:
+		if p.base != nil {
+			p.remove(&p.negIn, p.ownedNegInSet, d.Center, d.Node)
+		}
 		p.insert(&p.in, p.ownedInSet, d.Center, d.Node)
 	case DeltaAddOut:
+		if p.base != nil {
+			p.remove(&p.negOut, p.ownedNegOutSet, d.Center, d.Node)
+		}
 		p.insert(&p.out, p.ownedOutSet, d.Center, d.Node)
 	case DeltaRemoveIn:
 		p.remove(&p.in, p.ownedInSet, d.Center, d.Node)
+		if p.base != nil {
+			p.insert(&p.negIn, p.ownedNegInSet, d.Center, d.Node)
+		}
 	case DeltaRemoveOut:
 		p.remove(&p.out, p.ownedOutSet, d.Center, d.Node)
+		if p.base != nil {
+			p.insert(&p.negOut, p.ownedNegOutSet, d.Center, d.Node)
+		}
 	case DeltaGrow:
 		if int(d.Node) > p.n {
 			p.n = int(d.Node)
@@ -122,30 +252,26 @@ func (p *PostingIndex) Apply(d CoverDelta) {
 		// starts over with fresh (fully owned) empty ones
 		p.in = map[int32][]int32{}
 		p.out = map[int32][]int32{}
+		p.base, p.negIn, p.negOut = nil, nil, nil
 		p.frozen = false
 		p.ownedIn, p.ownedOut = nil, nil
+		p.ownedNegIn, p.ownedNegOut = nil, nil
 	}
 }
 
-func (p *PostingIndex) ownedInSet(c int32) bool {
-	if p.ownedIn == nil {
-		return true
-	}
-	if p.ownedIn[c] {
-		return true
-	}
-	p.ownedIn[c] = true
-	return false
-}
+func (p *PostingIndex) ownedInSet(c int32) bool     { return ownedSet(p.ownedIn, c) }
+func (p *PostingIndex) ownedOutSet(c int32) bool    { return ownedSet(p.ownedOut, c) }
+func (p *PostingIndex) ownedNegInSet(c int32) bool  { return ownedSet(p.ownedNegIn, c) }
+func (p *PostingIndex) ownedNegOutSet(c int32) bool { return ownedSet(p.ownedNegOut, c) }
 
-func (p *PostingIndex) ownedOutSet(c int32) bool {
-	if p.ownedOut == nil {
+func ownedSet(owned map[int32]bool, c int32) bool {
+	if owned == nil {
 		return true
 	}
-	if p.ownedOut[c] {
+	if owned[c] {
 		return true
 	}
-	p.ownedOut[c] = true
+	owned[c] = true
 	return false
 }
 
@@ -191,7 +317,7 @@ func (p *PostingIndex) remove(m *map[int32][]int32, owned func(int32) bool, cent
 // Equal verifies that two posting indexes hold identical postings,
 // returning a descriptive error for the first difference. Used by the
 // maintenance-invariant tests (incrementally maintained == rebuilt from
-// scratch).
+// scratch). Only valid for flat-mode indexes.
 func (p *PostingIndex) Equal(o *PostingIndex) error {
 	if err := equalPostings("in", p.in, o.in); err != nil {
 		return err

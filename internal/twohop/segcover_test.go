@@ -1,0 +1,294 @@
+package twohop
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hopi/internal/segment"
+)
+
+// sealCover seals a cover's full label set into a fresh store and
+// returns a segment-mode twin adopting it.
+func sealCover(t *testing.T, dir string, flat *Cover) (*Cover, *segment.Store) {
+	t.Helper()
+	store, err := segment.CreateStore(dir, flat.WithDist, segment.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Seal(1, flat.N(), int64(flat.Size()), flat.FullRecords()); err != nil {
+		t.Fatal(err)
+	}
+	seg := &Cover{WithDist: flat.WithDist}
+	seg.AdoptBase(NewBase(store.Current()), flat.N(), flat.Size())
+	return seg, store
+}
+
+func randomCover(rng *rand.Rand, n int, withDist bool) *Cover {
+	c := NewCover(n, withDist)
+	for i := 0; i < n*4; i++ {
+		v, ctr := int32(rng.Intn(n)), int32(rng.Intn(n))
+		d := uint32(rng.Intn(5))
+		if !withDist {
+			d = 0
+		}
+		if rng.Intn(2) == 0 {
+			c.AddIn(v, ctr, d)
+		} else {
+			c.AddOut(v, ctr, d)
+		}
+	}
+	return c
+}
+
+func checkEqual(t *testing.T, flat, seg *Cover, where string) {
+	t.Helper()
+	if flat.N() != seg.N() {
+		t.Fatalf("%s: N %d vs %d", where, flat.N(), seg.N())
+	}
+	if flat.Size() != seg.Size() {
+		t.Fatalf("%s: Size %d vs %d", where, flat.Size(), seg.Size())
+	}
+	for v := int32(0); v < int32(flat.N()); v++ {
+		fin, sin := flat.Lin(v), seg.Lin(v)
+		if !entriesEqual(fin, sin) {
+			t.Fatalf("%s: Lin(%d) = %v vs %v", where, v, fin, sin)
+		}
+		fout, sout := flat.Lout(v), seg.Lout(v)
+		if !entriesEqual(fout, sout) {
+			t.Fatalf("%s: Lout(%d) = %v vs %v", where, v, fout, sout)
+		}
+	}
+}
+
+func entriesEqual(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkPostingsEqual(t *testing.T, flat, seg *PostingIndex, n int, where string) {
+	t.Helper()
+	for c := int32(0); c < int32(n); c++ {
+		fi, si := flat.InOwners(c), seg.InOwners(c)
+		if !ownersEqual(fi, si) {
+			t.Fatalf("%s: InOwners(%d) = %v vs %v", where, c, fi, si)
+		}
+		fo, so := flat.OutOwners(c), seg.OutOwners(c)
+		if !ownersEqual(fo, so) {
+			t.Fatalf("%s: OutOwners(%d) = %v vs %v", where, c, fo, so)
+		}
+	}
+}
+
+func ownersEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSegCoverEquivalence drives identical random mutation streams
+// through a flat cover and a segment-mode cover (periodically sealing
+// its delta) and checks that labels, size, postings, Reaches and
+// Distance stay byte-identical throughout.
+func TestSegCoverEquivalence(t *testing.T) {
+	for _, withDist := range []bool{false, true} {
+		name := "plain"
+		if withDist {
+			name = "withDist"
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			const n = 60
+			flat := randomCover(rng, n, withDist)
+			seg, store := sealCover(t, t.TempDir(), flat)
+			checkEqual(t, flat, seg, "initial")
+
+			fpost := NewPostingIndex(flat)
+			spost := NewPostingIndex(seg)
+			frec := func(d CoverDelta) { fpost.Apply(d) }
+			srec := func(d CoverDelta) { spost.Apply(d) }
+			flat.SetRecorder(frec)
+			seg.SetRecorder(srec)
+
+			apply := func(c *Cover, op int, v, ctr int32, d uint32, entries []Entry) {
+				switch op {
+				case 0, 1:
+					c.AddIn(v, ctr, d)
+				case 2, 3:
+					c.AddOut(v, ctr, d)
+				case 4:
+					c.RemoveIn(v, ctr)
+				case 5:
+					c.RemoveOut(v, ctr)
+				case 6:
+					c.FilterIn(v, func(center int32) bool { return center%3 == ctr%3 })
+				case 7:
+					c.FilterOut(v, func(center int32) bool { return center%3 == ctr%3 })
+				case 8:
+					c.ClearIn(v)
+				case 9:
+					c.SetOut(v, entries)
+				case 10:
+					c.Grow(c.N() + int(v%3))
+				}
+			}
+
+			seq := uint64(1)
+			for i := 0; i < 3000; i++ {
+				op := rng.Intn(11)
+				v, ctr := int32(rng.Intn(n)), int32(rng.Intn(n))
+				d := uint32(rng.Intn(5))
+				if !withDist {
+					d = 0
+				}
+				var entries []Entry
+				if op == 9 {
+					for k := rng.Intn(4); k > 0; k-- {
+						ed := uint32(rng.Intn(5))
+						if !withDist {
+							ed = 0
+						}
+						e := Entry{Center: int32(rng.Intn(n)), Dist: ed}
+						if e.Center != v {
+							entries = append(entries, e)
+						}
+					}
+				}
+				apply(flat, op, v, ctr, d, append([]Entry(nil), entries...))
+				apply(seg, op, v, ctr, d, append([]Entry(nil), entries...))
+
+				if i%500 == 250 {
+					// seal the delta and swap, mid-churn
+					seq++
+					st, err := store.Seal(seq, seg.N(), int64(seg.Size()), seg.DeltaRecords())
+					if err != nil {
+						t.Fatal(err)
+					}
+					nb := NewBase(st)
+					seg.SealSwap(nb)
+					spost.Rebase(nb)
+				}
+				if i%500 == 400 {
+					if _, err := store.Compact(); err != nil {
+						t.Fatal(err)
+					}
+					// the live cover still reads its pinned stack; also
+					// verify a re-adoption of the compacted stack
+				}
+			}
+			checkEqual(t, flat, seg, "after churn")
+			checkPostingsEqual(t, fpost, spost, flat.N(), "after churn")
+
+			// spot-check Reaches/Distance parity
+			for i := 0; i < 500; i++ {
+				u, v := int32(rng.Intn(flat.N())), int32(rng.Intn(flat.N()))
+				if fr, sr := flat.Reaches(u, v), seg.Reaches(u, v); fr != sr {
+					t.Fatalf("Reaches(%d,%d) %v vs %v", u, v, fr, sr)
+				}
+				if withDist {
+					if fd, sd := flat.Distance(u, v), seg.Distance(u, v); fd != sd {
+						t.Fatalf("Distance(%d,%d) %d vs %d", u, v, fd, sd)
+					}
+				}
+			}
+
+			// clones stay consistent while the original keeps mutating
+			segClone := seg.Clone()
+			flatClone := flat.Clone()
+			for i := 0; i < 300; i++ {
+				op := rng.Intn(11)
+				v, ctr := int32(rng.Intn(n)), int32(rng.Intn(n))
+				apply(flat, op, v, ctr, 0, nil)
+				apply(seg, op, v, ctr, 0, nil)
+			}
+			checkEqual(t, flatClone, segClone, "clone after divergence")
+			checkEqual(t, flat, seg, "original after divergence")
+
+			// SnapshotDeltas replays to the same flat labels
+			replay := NewCover(0, withDist)
+			replay.Apply(seg.SnapshotDeltas())
+			checkEqual(t, flat, replay, "snapshot replay")
+		})
+	}
+}
+
+// TestSegCoverSealRoundTrip seals, reopens the store from disk, and
+// adopts — the durable open path at the twohop level.
+func TestSegCoverSealRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	flat := randomCover(rng, 40, true)
+	dir := filepath.Join(t.TempDir(), "segs")
+	seg, store := sealCover(t, dir, flat)
+	// mutate + seal the delta
+	seg.AddIn(5, 17, 2)
+	seg.RemoveOut(3, 9)
+	flat.AddIn(5, 17, 2)
+	flat.RemoveOut(3, 9)
+	if _, err := store.Seal(2, seg.N(), int64(seg.Size()), seg.DeltaRecords()); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := segment.OpenStore(dir, segment.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, n, withDist, live := store2.Info()
+	if seq != 2 || !withDist {
+		t.Fatalf("Info = %d %v", seq, withDist)
+	}
+	reopened := &Cover{WithDist: withDist}
+	reopened.AdoptBase(NewBase(store2.Current()), n, int(live))
+	checkEqual(t, flat, reopened, "reopened")
+
+	// DeltaEntries bookkeeping
+	if got := reopened.DeltaEntries(); got != 0 {
+		t.Fatalf("fresh adoption has DeltaEntries %d", got)
+	}
+	reopened.AddIn(1, 2, 0)
+	reopened.RemoveIn(5, 17)
+	if got := reopened.DeltaEntries(); got != 2 {
+		t.Fatalf("DeltaEntries = %d, want 2", got)
+	}
+}
+
+func TestSegPostingIndexShare(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	flat := randomCover(rng, 30, false)
+	seg, _ := sealCover(t, t.TempDir(), flat)
+	post := NewPostingIndex(seg)
+	seg.SetRecorder(post.Apply)
+
+	before := map[int32][]int32{}
+	for c := int32(0); c < 30; c++ {
+		before[c] = append([]int32(nil), post.InOwners(c)...)
+	}
+	view := post.Share()
+	// mutate through the cover
+	for i := 0; i < 200; i++ {
+		v, ctr := int32(rng.Intn(30)), int32(rng.Intn(30))
+		if rng.Intn(2) == 0 {
+			seg.AddIn(v, ctr, 0)
+		} else {
+			seg.RemoveIn(v, ctr)
+		}
+	}
+	for c := int32(0); c < 30; c++ {
+		if !reflect.DeepEqual(append([]int32(nil), view.InOwners(c)...), before[c]) {
+			t.Fatalf("shared view changed for center %d", c)
+		}
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"time"
 
 	"hopi/internal/core"
 	"hopi/internal/replication"
+	"hopi/internal/segment"
 	"hopi/internal/twohop"
 	"hopi/internal/xmlmodel"
 )
@@ -119,15 +121,44 @@ func (s *replSource) Image() (*replication.Image, error) {
 	ix := s.ix
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	if ix.dur == nil {
+	d := ix.dur
+	if d == nil {
 		return nil, errors.New("hopi: publisher detached from its store")
 	}
-	seq := ix.dur.nextSeq - 1
+	seq := d.nextSeq - 1
 	var buf bytes.Buffer
 	if err := ix.coll.c.EncodeWithMeta(&buf, seq, ix.scope); err != nil {
 		return nil, err
 	}
 	cover := ix.ix.Cover()
+	if d.segs != nil && cover.Seg() {
+		// Segmented primary: ship the sealed segment files verbatim plus
+		// the unsealed in-memory delta as a replayable op tail. The lock
+		// is held only for the collection encode and the O(delta)
+		// flattening — the label payload is the mmap'd bytes themselves,
+		// captured by reference here and serialized by the stream writer
+		// after the lock is released. Compaction may unlink the files
+		// meanwhile; the pinned mappings keep the bytes alive.
+		st := d.segs.Current()
+		_, n, withDist, live, files, err := d.segs.ImageFiles(st)
+		if err != nil {
+			return nil, err
+		}
+		segFiles := make([]replication.SegFile, len(files))
+		for i, f := range files {
+			segFiles[i] = replication.SegFile{Name: f.Name, Data: f.Data}
+		}
+		return &replication.Image{
+			Seq:      seq,
+			Scope:    ix.scope,
+			WithDist: withDist,
+			Coll:     buf.Bytes(),
+			Ops:      cover.DeltaOps(),
+			N:        n,
+			Live:     live,
+			Files:    segFiles,
+		}, nil
+	}
 	return &replication.Image{
 		Seq:      seq,
 		Scope:    ix.scope,
@@ -159,6 +190,7 @@ func (s *replSource) WALTail(from uint64) ([]replication.Batch, bool, error) {
 
 type followConfig struct {
 	timeout time.Duration
+	dir     string
 	fo      replication.FollowerOptions
 }
 
@@ -169,6 +201,14 @@ type FollowOption func(*followConfig)
 // image before giving up (default 30s).
 func FollowTimeout(d time.Duration) FollowOption {
 	return func(c *followConfig) { c.timeout = d }
+}
+
+// FollowDir sets the directory under which a follower materializes
+// segment stores shipped by a segmented primary (one fresh
+// subdirectory per bootstrap). Defaults to the system temp directory;
+// the follower removes its subdirectories on Close.
+func FollowDir(dir string) FollowOption {
+	return func(c *followConfig) { c.dir = dir }
 }
 
 // FollowClient sets the HTTP client used for the replication stream.
@@ -202,7 +242,7 @@ func Follow(url string, opts ...FollowOption) (*Index, error) {
 		o(&cfg)
 	}
 	ix := &Index{readOnly: true, seqEpoch: true}
-	f := replication.NewFollower(url, &replTarget{ix: ix}, cfg.fo)
+	f := replication.NewFollower(url, &replTarget{ix: ix, dir: cfg.dir}, cfg.fo)
 	ix.fol = f
 	f.Start()
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
@@ -223,7 +263,9 @@ func Follow(url string, opts ...FollowOption) (*Index, error) {
 // lock, so replays serialize with readers exactly like Apply does on a
 // primary.
 type replTarget struct {
-	ix *Index
+	ix    *Index
+	dir   string         // base directory for adopted segment stores
+	store *segment.Store // adopted sealed store, nil for flat bootstraps
 }
 
 func (t *replTarget) Bootstrap(img *replication.Image) error {
@@ -231,17 +273,54 @@ func (t *replTarget) Bootstrap(img *replication.Image) error {
 	if err != nil {
 		return err
 	}
-	cover := twohop.NewCover(c.NumAllocatedIDs(), img.WithDist)
-	cover.Apply(img.Ops)
+	var (
+		cover *twohop.Cover
+		store *segment.Store
+		clean func()
+	)
+	if len(img.Files) > 0 {
+		// Segmented primary: materialize the shipped files as a local
+		// store and adopt them by mmap — no label is re-encoded on
+		// either side. The residual Ops tail (the primary's unsealed
+		// delta) replays on top, bringing the cover to img.Seq.
+		dir, err := os.MkdirTemp(t.dir, "hopi-follower-*")
+		if err != nil {
+			return err
+		}
+		files := make([]segment.NamedFile, len(img.Files))
+		for i, f := range img.Files {
+			files[i] = segment.NamedFile{Name: f.Name, Data: f.Data}
+		}
+		store, err = segment.InstallStore(dir, img.Seq, img.N, img.WithDist, img.Live, files, segment.Options{})
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		cover = &twohop.Cover{WithDist: img.WithDist}
+		cover.AdoptBase(twohop.NewBase(store.Current()), img.N, int(img.Live))
+		cover.Apply(img.Ops)
+		clean = func() { os.RemoveAll(dir) }
+	} else {
+		cover = twohop.NewCover(c.NumAllocatedIDs(), img.WithDist)
+		cover.Apply(img.Ops)
+	}
 	cix := core.NewFromCover(c, cover)
 	ix := t.ix
 	ix.mu.Lock()
+	oldClean := ix.folClean
 	ix.coll = &Collection{c: c}
 	ix.ix = cix
 	ix.scope = img.Scope // adopt the primary's replication scope
 	ix.epoch.Store(img.Seq)
 	ix.cur.Store(nil)
+	ix.folClean = clean
+	t.store = store
 	ix.mu.Unlock()
+	if oldClean != nil {
+		// a re-bootstrap (lag reset) replaced an earlier adopted store;
+		// snapshots still reading it hold the unlinked bytes via mmap
+		oldClean()
+	}
 	ix.Snapshot() // publish eagerly so the first reader pays no clone
 	return nil
 }
@@ -262,7 +341,28 @@ func (t *replTarget) ApplyBatch(b replication.Batch) error {
 	// (once per burst) or by the first reader, whichever comes first —
 	// cloning per batch would let a write storm outrun the replay.
 	ix.cur.Store(nil)
+	// On an adopted segment store, periodically seal the replay delta
+	// so a long-lived follower's memory stays bounded like the
+	// primary's. Sealing is local bookkeeping — it never changes the
+	// served labels — so a failure only stops further sealing.
+	var compact *segment.Store
+	if st := t.store; st != nil {
+		cov := ix.ix.Cover()
+		if cov.Seg() && cov.DeltaEntries() >= defaultSegmentThreshold {
+			if stk, err := st.Seal(b.Seq, cov.N(), int64(cov.Size()), cov.DeltaRecords()); err == nil {
+				ix.ix.SealSwapBase(twohop.NewBase(stk))
+				if st.NeedsCompaction() {
+					compact = st
+				}
+			} else {
+				t.store = nil // e.g. disk full: fall back to a growing delta
+			}
+		}
+	}
 	ix.mu.Unlock()
+	if compact != nil {
+		compact.Compact() // outside the lock; readers keep their pinned stacks
+	}
 	return nil
 }
 

@@ -113,11 +113,11 @@ func assertLabelEquality(t *testing.T, fol, primary *Index, label string) {
 		t.Fatalf("%s: WithDist %v vs %v", label, fc.WithDist, pc.WithDist)
 	}
 	for v := int32(0); v < int32(pc.N()); v++ {
-		if !equalEntries(fc.In[v], pc.In[v]) {
-			t.Fatalf("%s: Lin(%d) follower %v, primary %v", label, v, fc.In[v], pc.In[v])
+		if !equalEntries(fc.Lin(v), pc.Lin(v)) {
+			t.Fatalf("%s: Lin(%d) follower %v, primary %v", label, v, fc.Lin(v), pc.Lin(v))
 		}
-		if !equalEntries(fc.Out[v], pc.Out[v]) {
-			t.Fatalf("%s: Lout(%d) follower %v, primary %v", label, v, fc.Out[v], pc.Out[v])
+		if !equalEntries(fc.Lout(v), pc.Lout(v)) {
+			t.Fatalf("%s: Lout(%d) follower %v, primary %v", label, v, fc.Lout(v), pc.Lout(v))
 		}
 	}
 }

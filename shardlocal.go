@@ -125,10 +125,22 @@ func (l *localShard) Info(ctx context.Context) (*shardrouter.ShardInfo, error) {
 	s := l.ix.Snapshot()
 	rs := l.ix.ReplicaStatus()
 	ready := rs.Role != "replica" || (rs.Connected && rs.Lag == 0)
-	return &shardrouter.ShardInfo{
+	info := &shardrouter.ShardInfo{
 		Name: l.name, Epoch: s.epoch, Scope: s.scope, SeqEpoch: s.seqEpoch,
 		Ready: ready, Role: rs.Role, ReplicationLag: int64(rs.Lag),
-	}, nil
+	}
+	if seg := l.ix.SegmentStats(); seg.Enabled {
+		info.Segments = &shardrouter.SegmentInfo{
+			Segments:          seg.Segments,
+			SealedBytes:       seg.SealedBytes,
+			DeltaEntries:      seg.DeltaEntries,
+			Compactions:       seg.Compactions,
+			CompactionBacklog: seg.CompactionBacklog,
+			BytesPerLabel:     seg.BytesPerLabel,
+			Mmapped:           seg.Mmapped,
+		}
+	}
+	return info, nil
 }
 
 func (l *localShard) Write(ctx context.Context, req *shardrouter.WriteRequest) (*shardrouter.WriteResult, error) {
