@@ -244,6 +244,7 @@ func (ix *Index) Apply(ctx context.Context, b *Batch) (*ApplyResult, error) {
 
 	res := &ApplyResult{}
 	attempted := false
+	var log *core.ChangeLog
 	defer func() {
 		// Invalidate the cached snapshot if any op ran at all — a
 		// failed op may still have mutated live state. Advancing the
@@ -268,13 +269,23 @@ func (ix *Index) Apply(ctx context.Context, b *Batch) (*ApplyResult, error) {
 				ix.epoch.Add(1)
 			}
 			ix.cur.Store(nil)
+			// Hand the batch's summary to the live-query notifier,
+			// stamped with the post-batch epoch (this defer runs after
+			// StopRecording, which leaves the log's contents intact).
+			if ws := ix.watch.Load(); ws != nil && log != nil && !log.Empty() {
+				ws.observe(ix.epoch.Load(), ix.ix.Summarize(log))
+				ws.signal()
+			}
 		}
 	}()
-	var log *core.ChangeLog
 	if ix.dur != nil {
 		if err := ix.dur.err; err != nil {
 			return res, fmt.Errorf("hopi: durable backend failed earlier, reopen the index: %w", err)
 		}
+	}
+	// Record the typed change log when anything downstream consumes it:
+	// the durable WAL, or a live-query watcher needing delta summaries.
+	if ix.dur != nil || ix.watch.Load() != nil {
 		log = ix.ix.StartRecording()
 		defer ix.ix.StopRecording()
 	}
@@ -292,7 +303,7 @@ func (ix *Index) Apply(ctx context.Context, b *Batch) (*ApplyResult, error) {
 		}
 		res.Results = append(res.Results, opRes)
 	}
-	if log != nil && !log.Empty() {
+	if ix.dur != nil && log != nil && !log.Empty() {
 		if derr := ix.commitDurable(log); derr != nil {
 			ix.dur.err = derr
 			derr = fmt.Errorf("hopi: durable commit: %w", derr)

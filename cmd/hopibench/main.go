@@ -18,7 +18,11 @@
 //
 // Experiments: table1, centralized, table2, maintenance, inex,
 // distance, preselect, weights, balance, query, load, repl, shard,
-// mem, all, default. The repl experiment sweeps follower counts for
+// mem, watch, all, default. The watch experiment (hopibench -exp
+// watch -json BENCH_watch.json) sweeps subscriber counts and batch
+// pacing for the live-query tier and compares per-notification delta
+// bytes against polling a full re-read, with notify latency
+// percentiles. The repl experiment sweeps follower counts for
 // the WAL-shipping replication tier (see -repl-followers) and records
 // queries/sec and p50/p99 replication lag per count. The mem
 // experiment (hopibench -exp mem -json BENCH_mem.json) indexes the
@@ -75,11 +79,23 @@ type benchResult struct {
 	ReopenMs      float64 `json:"reopenMs,omitempty"`
 	BootstrapMs   float64 `json:"bootstrapMs,omitempty"`
 	MaxApplyMs    float64 `json:"maxApplyDuringBootstrapMs,omitempty"`
+	// live-query experiment (-exp watch): subscriber count, delta
+	// notifications delivered, notify latency (Apply → event receipt),
+	// and the payload comparison against polling a full re-read
+	Subscribers         int     `json:"subscribers,omitempty"`
+	Notifications       int64   `json:"notifications,omitempty"`
+	CoalescedBatches    int64   `json:"coalescedBatches,omitempty"`
+	NotifyP50Ms         float64 `json:"notifyP50Ms,omitempty"`
+	NotifyP99Ms         float64 `json:"notifyP99Ms,omitempty"`
+	DeltaBytesPerNotify float64 `json:"deltaBytesPerNotify,omitempty"`
+	FullResultBytes     int64   `json:"fullResultBytes,omitempty"`
+	IncrementalRounds   uint64  `json:"incrementalRounds,omitempty"`
+	FullRerunRounds     uint64  `json:"fullRerunRounds,omitempty"`
 }
 
 func main() {
 	var (
-		exp      = flag.String("exp", "default", "comma-separated experiments (table1,centralized,table2,maintenance,inex,distance,preselect,weights,balance,query,load,repl,shard,mem,all,default)")
+		exp      = flag.String("exp", "default", "comma-separated experiments (table1,centralized,table2,maintenance,inex,distance,preselect,weights,balance,query,load,repl,shard,mem,watch,all,default)")
 		docs     = flag.Int("docs", 620, "DBLP-like document count (paper: 6210)")
 		inexDocs = flag.Int("inexdocs", 122, "INEX-like document count (paper: 12232)")
 		inexEls  = flag.Int("inexels", 950, "INEX-like mean elements per document (paper: ~986)")
@@ -98,6 +114,10 @@ func main() {
 		memDocs   = flag.Int("mem-docs", 10000, "for -exp mem: DBLP-like document count (the storage comparison needs scale to matter)")
 		memChurn  = flag.Int("mem-churn", 200, "for -exp mem: maintenance batches applied before the timed seal checkpoint")
 		memQs     = flag.Int("mem-queries", 200, "for -exp mem: query latency samples per storage mode")
+
+		watchChurn   = flag.String("watch-churn", "10ms,2ms,0s", "for -exp watch: comma-separated batch pacing intervals, loosest (low churn) to tightest (0 = apply as fast as possible)")
+		watchSubs    = flag.String("watch-subs", "1,8", "for -exp watch: comma-separated subscriber counts to sweep")
+		watchBatches = flag.Int("watch-batches", 200, "for -exp watch: maintenance batches applied per cell")
 	)
 	flag.Parse()
 
@@ -111,7 +131,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	if want["all"] {
-		for _, e := range []string{"table1", "centralized", "table2", "maintenance", "inex", "distance", "preselect", "weights", "balance", "query", "load", "repl", "shard", "mem"} {
+		for _, e := range []string{"table1", "centralized", "table2", "maintenance", "inex", "distance", "preselect", "weights", "balance", "query", "load", "repl", "shard", "mem", "watch"} {
 			want[e] = true
 		}
 	}
@@ -323,6 +343,62 @@ func main() {
 				CheckpointMs: r.CheckpointMs, ReopenMs: r.ReopenMs,
 				BootstrapMs: r.BootstrapMs, MaxApplyMs: r.ApplyDuringBootMs})
 		return renderMem(r), nil
+	})
+	run("watch", "live queries: delta notifications vs polling (extension)", func() (string, error) {
+		var intervals []time.Duration
+		for _, s := range strings.Split(*watchChurn, ",") {
+			d, err := time.ParseDuration(strings.TrimSpace(s))
+			if err != nil || d < 0 {
+				return "", fmt.Errorf("bad -watch-churn entry %q", s)
+			}
+			intervals = append(intervals, d)
+		}
+		var subs []int
+		for _, s := range strings.Split(*watchSubs, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				return "", fmt.Errorf("bad -watch-subs entry %q", s)
+			}
+			subs = append(subs, n)
+		}
+		var (
+			out           strings.Builder
+			totalNotified int64
+		)
+		for _, iv := range intervals {
+			for _, ns := range subs {
+				r, err := loadgen.WatchLoad(loadgen.WatchConfig{
+					Docs: *docs, Seed: *seed, Expr: *loadExpr,
+					Subscribers: ns, Batches: *watchBatches, Interval: iv,
+				})
+				if err != nil {
+					return "", fmt.Errorf("churn=%s subs=%d: %w", iv, ns, err)
+				}
+				totalNotified += r.Notifications
+				fmt.Fprintf(&out, "churn interval %s:\n%s", iv, loadgen.RenderWatch(r))
+				perNotify := 0.0
+				if r.Notifications > 0 {
+					perNotify = float64(r.DeltaBytes) / float64(r.Notifications)
+				}
+				jsonResults = append(jsonResults, benchResult{
+					Name:                fmt.Sprintf("watch/churn=%s/subs=%d", iv, ns),
+					Subscribers:         ns,
+					Notifications:       r.Notifications,
+					CoalescedBatches:    r.Coalesced,
+					NotifyP50Ms:         float64(r.NotifyP50.Microseconds()) / 1000,
+					NotifyP99Ms:         float64(r.NotifyP99.Microseconds()) / 1000,
+					DeltaBytesPerNotify: perNotify,
+					FullResultBytes:     r.FullResultBytes,
+					IncrementalRounds:   r.Incremental,
+					FullRerunRounds:     r.FullRuns,
+				})
+			}
+		}
+		// a live-query tier that never delivers a delta is broken, not slow
+		if totalNotified == 0 {
+			return "", fmt.Errorf("zero delta notifications delivered across all cells")
+		}
+		return out.String(), nil
 	})
 	run("repl", "read scaling: primary + N replication followers (extension)", func() (string, error) {
 		var counts []int

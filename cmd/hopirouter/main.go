@@ -19,6 +19,8 @@
 //
 //	GET    /query?expr=//article//author&limit=10&ranked=1
 //	GET    /query?expr=...&pageToken=...  (vector resume token)
+//	GET    /query/stream?expr=...&pageSize=256  (NDJSON, one result per line,
+//	       shard cursor pages forwarded incrementally; resumes via pageToken)
 //	GET    /stats                         (aggregated across shards)
 //	GET    /healthz                       (process liveness)
 //	GET    /readyz                        (every shard reachable + caught up)

@@ -30,6 +30,7 @@ func newRouterServer(r *hopi.Router, maxLimit int) *routerServer {
 	s := &routerServer{r: r, maxLimit: maxLimit}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /query/stream", s.handleQueryStream)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -127,6 +128,123 @@ func (s *routerServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Expr: expr, Count: len(page.Results),
 		Results: page.Results, NextPageToken: page.NextToken,
 	})
+}
+
+// streamEnd is the terminal line of a /query/stream response when the
+// stream does not simply drain to exhaustion: a resume token when a
+// limit cut it short, or an error (with the last good token, so the
+// client continues instead of restarting the whole scan).
+type streamEnd struct {
+	NextPageToken string `json:"nextPageToken,omitempty"`
+	Error         string `json:"error,omitempty"`
+	Retryable     bool   `json:"retryable,omitempty"`
+}
+
+// retryableErr reports whether err is the 503-class vocabulary of
+// writeRouterErr: a down shard, or a token a lagging shard will accept
+// once caught up.
+func retryableErr(err error) bool {
+	var (
+		stale   *hopi.StaleTokenError
+		unavail *shardrouter.ShardUnavailableError
+	)
+	if errors.As(err, &unavail) {
+		return true
+	}
+	return errors.As(err, &stale) && stale.Retryable
+}
+
+// handleQueryStream answers a distributed query as NDJSON: one result
+// per line, each shard cursor page forwarded (and flushed) as soon as
+// the cross-shard join produces it instead of buffering the full
+// answer. Between pages the position lives in the same vector resume
+// tokens /query hands out, so a stream that dies mid-way resumes with
+// pageToken exactly like the paged endpoint — the terminal streamEnd
+// line carries the token to continue from.
+func (s *routerServer) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	expr := q.Get("expr")
+	if expr == "" {
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: "expr parameter required"})
+		return
+	}
+	opt := hopi.RouterQueryOptions{Resume: q.Get("pageToken")}
+	switch q.Get("ranked") {
+	case "1", "true", "yes":
+		opt.Ranked = true
+	}
+	// limit caps the whole stream (0 = drain everything); pageSize is
+	// the per-round shard page and therefore the flush granularity.
+	limit := 0
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n <= 0 {
+			writeJSON(w, http.StatusBadRequest, errResponse{Error: "limit must be a positive integer"})
+			return
+		}
+		limit = n
+	}
+	pageSize := 256
+	if ps := q.Get("pageSize"); ps != "" {
+		n, err := strconv.Atoi(ps)
+		if err != nil || n <= 0 || n > s.maxLimit {
+			writeJSON(w, http.StatusBadRequest, errResponse{
+				Error: fmt.Sprintf("pageSize must be in 1..%d", s.maxLimit)})
+			return
+		}
+		pageSize = n
+	}
+	if pageSize > s.maxLimit {
+		pageSize = s.maxLimit
+	}
+
+	// Fetch the first page before committing to a 200 so parse errors
+	// and unavailable shards still answer with a real HTTP status.
+	opt.Limit = pageSize
+	if limit > 0 && limit < pageSize {
+		opt.Limit = limit
+	}
+	page, err := s.r.Query(r.Context(), expr, opt)
+	if err != nil {
+		writeRouterErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	total := 0
+	for {
+		for i := range page.Results {
+			enc.Encode(&page.Results[i])
+		}
+		total += len(page.Results)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if page.NextToken == "" {
+			return
+		}
+		if limit > 0 && total >= limit {
+			enc.Encode(streamEnd{NextPageToken: page.NextToken})
+			return
+		}
+		opt.Resume = page.NextToken
+		opt.Limit = pageSize
+		if limit > 0 && limit-total < pageSize {
+			opt.Limit = limit - total
+		}
+		page, err = s.r.Query(r.Context(), expr, opt)
+		if err != nil {
+			// mid-stream failure: terminal line with the token the
+			// client resumes from (the one that produced this error)
+			enc.Encode(streamEnd{
+				NextPageToken: opt.Resume,
+				Error:         err.Error(),
+				Retryable:     retryableErr(err),
+			})
+			return
+		}
+	}
 }
 
 func (s *routerServer) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -30,6 +30,7 @@
 //	GET    /query?expr=//article//author&limit=10&ranked=1
 //	GET    /query?expr=...&pageToken=...  (continue a page sequence)
 //	GET    /query/stream?expr=...         (NDJSON, one result per line)
+//	GET    /watch?expr=...&resume=EPOCH   (NDJSON live query: init frame, then deltas)
 //	GET    /explain?expr=...&limit=10     (per-step execution plan)
 //	GET    /reach?from=pub00005.xml&to=pub00002.xml&distance=1
 //	GET    /stats
@@ -86,6 +87,7 @@ func main() {
 		segments   = flag.Bool("segments", false, "with -store on first start: back the store with immutable compressed segments (LSM) instead of the page B-tree; reopens auto-detect the layout")
 		segThresh  = flag.Int("segment-threshold", 0, "with -segments: in-memory delta entries that trigger a background seal (0 uses the built-in default, <0 disables auto-sealing)")
 		segMax     = flag.Int("max-segments", 0, "with -segments: sealed stack size that triggers background compaction (0 uses the built-in default)")
+		watchHB    = flag.Duration("watch-heartbeat", defaultWatchHeartbeat, "idle heartbeat interval on /watch streams")
 	)
 	flag.Parse()
 	if *index != "" && *store != "" {
@@ -117,6 +119,9 @@ func main() {
 
 	h := newServer(ix, *maxLimit)
 	h.readyMaxLag = *readyLag
+	if *watchHB > 0 {
+		h.watchHB = *watchHB
+	}
 	if h.pub != nil {
 		log.Printf("replication: publishing committed batches at GET /repl/stream (last seq %d)", h.pub.LastSeq())
 	}
@@ -141,8 +146,11 @@ func main() {
 		log.Fatalf("hopiserve: %v", err)
 	case <-ctx.Done():
 		log.Print("shutting down")
-		// end the long-lived replication streams first, or the graceful
-		// shutdown below would wait out its whole timeout on them
+		// end the long-lived streams first — watch/NDJSON streams get a
+		// terminal frame and a bounded drain, replication streams are
+		// cut — or the graceful shutdown below would wait out its whole
+		// timeout on them
+		h.beginShutdown(5 * time.Second)
 		h.closeRepl()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

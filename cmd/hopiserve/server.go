@@ -8,6 +8,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -51,6 +52,15 @@ type server struct {
 	shard       shardrouter.Conn
 	readyMaxLag int
 
+	// Long-lived NDJSON streams (/watch, /query/stream) register in
+	// streams; beginShutdown closes closing, which cancels their
+	// contexts so each can write a terminal frame and exit before the
+	// HTTP server's graceful drain starts.
+	closing   chan struct{}
+	closeOnce sync.Once
+	streams   sync.WaitGroup
+	watchHB   time.Duration // heartbeat interval on idle /watch streams
+
 	queries  atomic.Uint64 // /query + /query/stream requests answered 200
 	streamed atomic.Uint64 // results written across both query endpoints
 }
@@ -66,12 +76,15 @@ func newServer(ix *hopi.Index, maxLimit int) *server {
 		ix: ix, maxLimit: maxLimit, cache: newStmtCache(defaultCacheSize),
 		shard:       hopi.NewLocalShard("self", ix),
 		readyMaxLag: defaultReadyMaxLag,
+		closing:     make(chan struct{}),
+		watchHB:     defaultWatchHeartbeat,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /query", s.handleQuery)
 	mux.HandleFunc("GET /query/stream", s.handleQueryStream)
+	mux.HandleFunc("GET /watch", s.handleWatch)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /reach", s.handleReach)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -294,11 +307,20 @@ func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cur.Close()
+	s.streams.Add(1)
+	defer s.streams.Done()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	n := 0
 	for cur.Next() {
+		select {
+		case <-s.closing:
+			// terminal frame: the client restarts from its last token
+			enc.Encode(errorBody{Error: "server shutting down"})
+			return
+		default:
+		}
 		m := cur.Result()
 		enc.Encode(queryResult{Element: m.Element, Doc: m.Doc, Tag: m.Tag, Score: m.Score})
 		n++
@@ -439,6 +461,9 @@ type statsResponse struct {
 	// sealed stack shape, live-vs-delta split, compaction progress, and
 	// whether reads go through mmap or the ReadAt fallback
 	Segments *hopi.SegmentStats `json:"segments,omitempty"`
+	// live-query activity: watch sessions, queued deltas, coalesced
+	// batches, evictions, and which evaluation path served them
+	Watch hopi.WatchStats `json:"watch"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -482,6 +507,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if seg := s.ix.SegmentStats(); seg.Enabled {
 		resp.Segments = &seg
 	}
+	resp.Watch = s.ix.WatchStats()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -378,6 +378,11 @@ func (ix *Index) doCheckpoint(seq uint64) error {
 // a plain in-memory index is a no-op. The index must not be used for
 // maintenance afterwards.
 func (ix *Index) Close() error {
+	// Stop the live-query notifier first: its rounds take snapshots
+	// (read lock) and its sessions' consumers may be blocked in Next.
+	if ws := ix.watch.Swap(nil); ws != nil {
+		ws.shutdown()
+	}
 	// Replication teardown happens before taking the write lock: the
 	// follower's replay goroutine acquires it inside the apply
 	// callbacks, and Stop waits for that goroutine to exit.

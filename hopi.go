@@ -178,6 +178,9 @@ type Index struct {
 	readOnly bool
 	pub      *replication.Publisher // attached log-shipping publisher, nil otherwise
 	fol      *replication.Follower  // replication source for followers, nil otherwise
+	// watch is the live-query notifier, created lazily by the first
+	// Watch call and torn down by Close; see watch.go.
+	watch atomic.Pointer[watcherState]
 	// folClean removes a follower's adopted segment-store directory;
 	// set by bootstrap, run by Close after the stream stops.
 	folClean func()

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sort"
+
+	"hopi/internal/twohop"
+)
+
+// WatchDelta is the query-facing summary of one (or several merged)
+// maintenance batches: which elements appeared or disappeared, which
+// cover labels changed owners, and whether the batch touched anything
+// the summary cannot localize. It seeds incremental re-evaluation of
+// watched queries (query.Engine.DiffEval): the evaluator only probes
+// elements the delta can have affected, so notification cost tracks
+// the batch size, not the query's result size.
+//
+// The summary is conservative by construction — a superset of the
+// truly affected elements is always safe, because membership is
+// re-tested against the real before/after snapshots — but it must
+// never under-report: every element whose result membership can have
+// changed must be reachable from the recorded sets.
+type WatchDelta struct {
+	// Full marks the summary as unusable for incremental evaluation:
+	// the cover was rebuilt from scratch (Rebuild, ClearAll) and the
+	// deltas no longer localize the change. Watchers fall back to a
+	// full re-run + diff.
+	Full bool
+	// Struct reports that the element graph's topology changed beyond
+	// pure document insertion (links added or removed, documents
+	// deleted): cycle membership may have changed even for elements
+	// with untouched labels, which matters only to queries that can
+	// self-match.
+	Struct bool
+	// LoutChanged and LinChanged hold the owners whose Lout / Lin
+	// label sets changed (sorted, deduplicated).
+	LoutChanged []int32
+	LinChanged  []int32
+	// Added and Removed hold the global IDs of elements that entered /
+	// left the collection (sorted, deduplicated). An element inserted
+	// and deleted by the same merged summary appears in both.
+	Added   []int32
+	Removed []int32
+}
+
+// Empty reports whether the summary records no change at all.
+func (d *WatchDelta) Empty() bool {
+	return !d.Full && !d.Struct &&
+		len(d.LoutChanged) == 0 && len(d.LinChanged) == 0 &&
+		len(d.Added) == 0 && len(d.Removed) == 0
+}
+
+// Merge folds another summary into d (burst coalescing): the result
+// summarizes the concatenation of both batches.
+func (d *WatchDelta) Merge(o *WatchDelta) {
+	d.Full = d.Full || o.Full
+	d.Struct = d.Struct || o.Struct
+	if d.Full {
+		// no incremental consumer will read the sets; drop them so a
+		// long fallback burst doesn't accumulate garbage
+		d.LoutChanged, d.LinChanged, d.Added, d.Removed = nil, nil, nil, nil
+		return
+	}
+	d.LoutChanged = mergeSorted(d.LoutChanged, o.LoutChanged)
+	d.LinChanged = mergeSorted(d.LinChanged, o.LinChanged)
+	d.Added = mergeSorted(d.Added, o.Added)
+	d.Removed = mergeSorted(d.Removed, o.Removed)
+}
+
+func mergeSorted(a, b []int32) []int32 {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append([]int32(nil), b...)
+	}
+	out := append(a, b...)
+	return sortDedup(out)
+}
+
+func sortDedup(s []int32) []int32 {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Summarize condenses a recorded ChangeLog into a WatchDelta. It must
+// be called after the batch's ops have been applied (it reads the
+// post-batch collection to resolve document element ranges) and under
+// the same exclusion that serialized the batch.
+func (ix *Index) Summarize(log *ChangeLog) WatchDelta {
+	var d WatchDelta
+	if log.Rebuilt {
+		d.Full = true
+		return d
+	}
+	for _, cd := range log.Cover {
+		switch cd.Kind {
+		case twohop.DeltaAddIn, twohop.DeltaRemoveIn:
+			d.LinChanged = append(d.LinChanged, cd.Node)
+		case twohop.DeltaAddOut, twohop.DeltaRemoveOut:
+			d.LoutChanged = append(d.LoutChanged, cd.Node)
+		case twohop.DeltaClearAll:
+			d.Full = true
+			return WatchDelta{Full: true}
+		}
+		// DeltaGrow only extends the ID space; no membership changes.
+	}
+	coll := ix.Collection()
+	// CollAddDoc ops don't carry the assigned document index, but
+	// AddDocument always appends: the k add ops of this batch are, in
+	// order, the last k entries of the post-batch document slice.
+	adds := 0
+	for _, op := range log.Coll {
+		if op.Kind == CollAddDoc {
+			adds++
+		}
+	}
+	next := len(coll.Docs) - adds
+	for _, op := range log.Coll {
+		switch op.Kind {
+		case CollAddDoc:
+			idx := next
+			next++
+			for i := int32(0); i < int32(coll.Docs[idx].Len()); i++ {
+				d.Added = append(d.Added, coll.GlobalID(idx, i))
+			}
+		case CollRemoveDoc:
+			// removing a document also drops its links
+			d.Struct = true
+			doc := coll.Docs[op.DocIdx]
+			for i := int32(0); i < int32(doc.Len()); i++ {
+				d.Removed = append(d.Removed, coll.GlobalID(op.DocIdx, i))
+			}
+		case CollAddLink, CollRemoveLink:
+			d.Struct = true
+		}
+	}
+	d.LoutChanged = sortDedup(d.LoutChanged)
+	d.LinChanged = sortDedup(d.LinChanged)
+	d.Added = sortDedup(d.Added)
+	d.Removed = sortDedup(d.Removed)
+	return d
+}

@@ -1,0 +1,265 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hopi"
+	"hopi/internal/gen"
+)
+
+// WatchConfig parameterizes the live-query workload: Subscribers
+// watches on Expr over a generated collection while one writer applies
+// Batches maintenance batches paced Interval apart. Interval is the
+// churn lever — tight pacing coalesces many batches per notification,
+// loose pacing delivers one delta per batch.
+type WatchConfig struct {
+	Docs        int
+	Seed        int64
+	Expr        string
+	Subscribers int
+	Batches     int
+	Interval    time.Duration
+}
+
+// WatchResult reports what the subscribers saw: notification latency
+// (Apply return → event receipt), delivered payload bytes, and the
+// byte cost of the alternative — re-reading the full result set on
+// every notification.
+type WatchResult struct {
+	Subscribers   int
+	Batches       int
+	Notifications int64 // delta events delivered across all subscribers
+	Coalesced     int64 // extra batches folded into an already-pending delta
+	NotifyP50     time.Duration
+	NotifyP99     time.Duration
+	DeltaBytes    int64 // total wire bytes of all delivered delta payloads
+	// FullResultBytes is one full re-read of the result set encoded the
+	// same way; Notifications×FullResultBytes is what polling clients
+	// would have transferred for the same freshness.
+	FullResultBytes int64
+	Incremental     uint64 // notifier rounds answered by the delta-seeded path
+	FullRuns        uint64 // notifier rounds that fell back to re-evaluation
+}
+
+// watchRow and watchFrame are the wire shapes the byte accounting
+// uses, mirroring hopiserve's /watch and /query/stream encodings.
+type watchRow struct {
+	Element hopi.ElemID `json:"element"`
+	Doc     string      `json:"doc"`
+	Tag     string      `json:"tag"`
+	Score   float64     `json:"score,omitempty"`
+}
+
+type watchWire struct {
+	Epoch  uint64        `json:"epoch"`
+	Add    []watchRow    `json:"add,omitempty"`
+	Remove []hopi.ElemID `json:"remove,omitempty"`
+}
+
+// WatchLoad builds an in-memory index over a generated collection,
+// registers the subscribers, applies the paced maintenance batches,
+// and waits for every subscriber to observe the final epoch.
+func WatchLoad(cfg WatchConfig) (WatchResult, error) {
+	coll := hopi.WrapCollection(gen.DBLP(gen.DefaultDBLP(cfg.Docs, cfg.Seed)))
+	opts := hopi.DefaultOptions()
+	opts.Seed = cfg.Seed
+	ix, err := hopi.Build(coll, opts)
+	if err != nil {
+		return WatchResult{}, err
+	}
+	defer ix.Close()
+
+	pq, err := hopi.Prepare(cfg.Expr)
+	if err != nil {
+		return WatchResult{}, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var (
+		applyMu    sync.Mutex
+		applyTimes = map[uint64]time.Time{}
+		samples    []time.Duration
+		sampleMu   sync.Mutex
+
+		notifications atomic.Int64
+		coalesced     atomic.Int64
+		deltaBytes    atomic.Int64
+	)
+	lastSeen := make([]atomic.Uint64, cfg.Subscribers)
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Subscribers; i++ {
+		w, err := ix.Watch(ctx, pq)
+		if err != nil {
+			return WatchResult{}, err
+		}
+		wg.Add(1)
+		go func(i int, w *hopi.Watch) {
+			defer wg.Done()
+			defer w.Close()
+			for {
+				ev, err := w.Next(ctx)
+				if err != nil {
+					return
+				}
+				lastSeen[i].Store(ev.Epoch)
+				if ev.Init || ev.Resync {
+					continue
+				}
+				now := time.Now()
+				applyMu.Lock()
+				at, ok := applyTimes[ev.Epoch]
+				applyMu.Unlock()
+				if ok {
+					sampleMu.Lock()
+					samples = append(samples, now.Sub(at))
+					sampleMu.Unlock()
+				}
+				notifications.Add(1)
+				if ev.Coalesced > 1 {
+					coalesced.Add(int64(ev.Coalesced - 1))
+				}
+				deltaBytes.Add(int64(len(encodeWatchWire(ev))))
+			}
+		}(i, w)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	var mine []string
+	for i := 0; i < cfg.Batches; i++ {
+		name := fmt.Sprintf("watch-%05d.xml", i)
+		target := fmt.Sprintf("pub%05d.xml", rng.Intn(cfg.Docs))
+		b := hopi.NewBatch()
+		nd := hopi.NewDocument(name, "article")
+		nd.AddElement(nd.Root(), "title")
+		nd.AddElement(nd.Root(), "author")
+		cite := nd.AddElement(nd.Root(), "cite")
+		b.InsertDocument(nd)
+		b.InsertLink(name, cite, target, 0)
+		if len(mine) > 4 && i%5 == 4 {
+			victim := mine[rng.Intn(len(mine))]
+			b.DeleteDocumentByName(victim)
+			mine = remove(mine, victim)
+		}
+		if _, err := ix.Apply(ctx, b); err != nil {
+			return WatchResult{}, fmt.Errorf("apply: %w", err)
+		}
+		mine = append(mine, name)
+		applyMu.Lock()
+		applyTimes[ix.Epoch()] = time.Now()
+		applyMu.Unlock()
+		if cfg.Interval > 0 {
+			time.Sleep(cfg.Interval)
+		}
+	}
+
+	// wait for every subscriber to reach the final epoch (in-memory
+	// epochs are a monotonic per-Apply counter)
+	final := ix.Epoch()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		caught := true
+		for i := range lastSeen {
+			if lastSeen[i].Load() < final {
+				caught = false
+				break
+			}
+		}
+		if caught {
+			break
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			wg.Wait()
+			return WatchResult{}, fmt.Errorf("subscribers never caught up to epoch %d", final)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	full, err := ix.Query(cfg.Expr)
+	if err != nil {
+		return WatchResult{}, err
+	}
+	rows := make([]watchRow, len(full))
+	for i, r := range full {
+		rows[i] = watchRow{Element: r.Element, Doc: r.Doc, Tag: r.Tag, Score: r.Score}
+	}
+	fullBytes, _ := json.Marshal(rows)
+
+	cancel()
+	wg.Wait()
+
+	st := ix.WatchStats()
+	res := WatchResult{
+		Subscribers:     cfg.Subscribers,
+		Batches:         cfg.Batches,
+		Notifications:   notifications.Load(),
+		Coalesced:       coalesced.Load(),
+		DeltaBytes:      deltaBytes.Load(),
+		FullResultBytes: int64(len(fullBytes)),
+		Incremental:     st.IncrementalDeltas,
+		FullRuns:        st.FullRuns,
+	}
+	sampleMu.Lock()
+	res.NotifyP50, res.NotifyP99 = percentiles(samples)
+	sampleMu.Unlock()
+	return res, nil
+}
+
+func encodeWatchWire(ev *hopi.WatchEvent) []byte {
+	wire := watchWire{Epoch: ev.Epoch, Remove: ev.Remove}
+	if len(ev.Add) > 0 {
+		wire.Add = make([]watchRow, len(ev.Add))
+		for i, r := range ev.Add {
+			wire.Add[i] = watchRow{Element: r.Element, Doc: r.Doc, Tag: r.Tag, Score: r.Score}
+		}
+	}
+	b, _ := json.Marshal(wire)
+	return b
+}
+
+func percentiles(samples []time.Duration) (p50, p99 time.Duration) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return at(0.50), at(0.99)
+}
+
+// RenderWatch formats a WatchResult.
+func RenderWatch(r WatchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d subscribers, %d batches: %d notifications (%d batches coalesced away)\n",
+		r.Subscribers, r.Batches, r.Notifications, r.Coalesced)
+	fmt.Fprintf(&b, "  notify latency: p50 %s  p99 %s\n", r.NotifyP50, r.NotifyP99)
+	perNotify := float64(0)
+	if r.Notifications > 0 {
+		perNotify = float64(r.DeltaBytes) / float64(r.Notifications)
+	}
+	fmt.Fprintf(&b, "  payload: %.0f B/notification vs %d B full re-read (%.1fx smaller)\n",
+		perNotify, r.FullResultBytes, safeDiv(float64(r.FullResultBytes), perNotify))
+	fmt.Fprintf(&b, "  notifier rounds: %d incremental, %d full re-runs\n", r.Incremental, r.FullRuns)
+	return b.String()
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

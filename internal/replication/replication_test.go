@@ -1,10 +1,14 @@
 package replication
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -279,5 +283,61 @@ func TestReconnectResumesAfterRestart(t *testing.T) {
 	}
 	if st.AppliedSeq != 1 || !st.Bootstrapped {
 		t.Fatalf("disconnected follower lost its position: %+v", st)
+	}
+}
+
+// quiesceTarget counts Quiesce calls on top of the recording target.
+type quiesceTarget struct {
+	fakeTarget
+	quiesces atomic.Int64
+}
+
+func (t *quiesceTarget) Quiesce() { t.quiesces.Add(1) }
+
+// TestQuiesceOncePerBufferedBurst scripts the wire directly: a burst of
+// batch frames flushed as one chunk must replay fully before a single
+// Quiesce fires — one quiesce per burst, not one per batch. This is
+// the contract follower-side fan-out (snapshot republish, live-query
+// notification) relies on to stay off the per-batch replay path.
+func TestQuiesceOncePerBufferedBurst(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fl := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(imageFrame(&Image{Seq: 1, Coll: []byte("img@1")})); err != nil {
+			return
+		}
+		fl.Flush()
+		// wait until the test has observed the post-bootstrap quiesce,
+		// then deliver the whole burst in one write so the decoder
+		// buffers every frame before the follower's next read
+		<-release
+		var buf bytes.Buffer
+		benc := json.NewEncoder(&buf)
+		for seq := uint64(2); seq <= 6; seq++ {
+			if err := benc.Encode(batchFrame(mkBatch(seq))); err != nil {
+				return
+			}
+		}
+		w.Write(buf.Bytes())
+		fl.Flush()
+		<-r.Context().Done()
+	}))
+	t.Cleanup(srv.Close)
+
+	target := &quiesceTarget{}
+	newTestFollower(t, srv.URL, target)
+
+	waitFor(t, "bootstrap quiesce", func() bool { return target.quiesces.Load() == 1 })
+	close(release)
+	waitFor(t, "burst replayed", func() bool { return len(target.appliedSeqs()) == 5 })
+	waitFor(t, "burst quiesce", func() bool { return target.quiesces.Load() >= 2 })
+	// allow a beat for any spurious extra quiesce to surface
+	time.Sleep(50 * time.Millisecond)
+	if got := target.quiesces.Load(); got != 2 {
+		t.Fatalf("quiesces = %d, want exactly 2 (bootstrap + one per burst)", got)
+	}
+	if seqs := target.appliedSeqs(); len(seqs) != 5 || seqs[0] != 2 || seqs[4] != 6 {
+		t.Fatalf("applied sequences %v", seqs)
 	}
 }

@@ -232,7 +232,19 @@ type ShardInfo struct {
 	// Segments is present when the shard runs a segment-backed (LSM)
 	// store; the field names mirror the shard's own /stats block.
 	Segments *SegmentInfo `json:"segments,omitempty"`
-	Err      string       `json:"err,omitempty"`
+	// Watch mirrors the shard's live-query block when present.
+	Watch *WatchInfo `json:"watch,omitempty"`
+	Err   string     `json:"err,omitempty"`
+}
+
+// WatchInfo is the subset of a shard's live-query (/watch) stats the
+// router aggregates.
+type WatchInfo struct {
+	Sessions     int    `json:"sessions"`
+	QueuedDeltas int    `json:"queuedDeltas"`
+	Delivered    uint64 `json:"delivered"`
+	Coalesced    uint64 `json:"coalesced"`
+	Evictions    uint64 `json:"evictions"`
 }
 
 // SegmentInfo is the subset of a shard's segment-store stats the

@@ -285,6 +285,7 @@ func (c *HTTPConn) Info(ctx context.Context) (*ShardInfo, error) {
 		ResultsStreamed uint64       `json:"resultsStreamed"`
 		ReplicationLag  uint64       `json:"replicationLag"`
 		Segments        *SegmentInfo `json:"segments"`
+		Watch           *WatchInfo   `json:"watch"`
 	}
 	if err := c.do(req, &st); err != nil {
 		return nil, err
@@ -294,6 +295,7 @@ func (c *HTTPConn) Info(ctx context.Context) (*ShardInfo, error) {
 		Ready: st.Ready, Role: st.Role,
 		QueriesServed: st.QueriesServed, ResultsStreamed: st.ResultsStreamed,
 		ReplicationLag: int64(st.ReplicationLag), Segments: st.Segments,
+		Watch: st.Watch,
 	}, nil
 }
 

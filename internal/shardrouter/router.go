@@ -629,6 +629,13 @@ type Status struct {
 	SegDeltaEntries      int   `json:"segDeltaEntries,omitempty"`
 	MaxCompactionBacklog int   `json:"maxCompactionBacklog,omitempty"`
 
+	// live-query aggregates over all shards: open watch sessions,
+	// undelivered pending deltas, coalesced batches, and evictions
+	WatchSessions     int    `json:"watchSessions"`
+	WatchQueuedDeltas int    `json:"watchQueuedDeltas"`
+	WatchCoalesced    uint64 `json:"watchCoalesced"`
+	WatchEvictions    uint64 `json:"watchEvictions"`
+
 	// Counters inlines the router's own serving-path instrumentation
 	// (closureCacheHits/Misses/Evictions, stepRPCs, deliverRPCs,
 	// wireBytesIn/Out).
@@ -690,6 +697,12 @@ func (r *Router) Status(ctx context.Context) *Status {
 			if seg.CompactionBacklog > st.MaxCompactionBacklog {
 				st.MaxCompactionBacklog = seg.CompactionBacklog
 			}
+		}
+		if wa := s.Watch; wa != nil {
+			st.WatchSessions += wa.Sessions
+			st.WatchQueuedDeltas += wa.QueuedDeltas
+			st.WatchCoalesced += wa.Coalesced
+			st.WatchEvictions += wa.Evictions
 		}
 	}
 	return st

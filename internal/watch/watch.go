@@ -1,0 +1,342 @@
+// Package watch implements the session layer of live queries: a hub
+// of subscriptions, each holding one pending coalesced delta that the
+// index-side notifier fills and the client drains at its own pace.
+//
+// The hub is engine-agnostic — it never evaluates queries. The
+// index-side notifier (package hopi) computes per-session result
+// deltas after each committed maintenance batch and Pushes them here;
+// the hub merges bursts (a slow consumer sees one cumulative event,
+// not N), bounds per-session memory, and evicts consumers whose
+// pending delta outgrows the bound. An evicted session receives a
+// terminal Resync event carrying the epoch to re-subscribe from.
+//
+// Merge algebra (applied Push after Push, client applies Remove then
+// Add): a Remove deletes any pending Add of the same element and
+// records the removal; an Add cancels a pending Remove and upserts
+// the element's payload. The net pending delta therefore transforms
+// the client's last-delivered state directly into the latest state,
+// regardless of how many batches were coalesced.
+package watch
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by Session.Next after the session or its hub
+// has been closed (index shutdown, client Close, or post-Resync).
+var ErrClosed = errors.New("watch: session closed")
+
+// Result is one element of a watched query's result set, in the wire
+// shape clients consume (global element ID plus display fields).
+type Result struct {
+	Element int32   `json:"element"`
+	Doc     string  `json:"doc"`
+	Tag     string  `json:"tag"`
+	Score   float64 `json:"score,omitempty"`
+}
+
+// Event is one notification delivered to a watch client.
+type Event struct {
+	// Epoch identifies the snapshot this event brings the client up
+	// to; it is the resume point for re-subscription.
+	Epoch uint64
+	// Init marks the first event: Add holds the full initial result
+	// set and Remove is empty.
+	Init bool
+	// Add holds elements that entered the result set (or, for ranked
+	// watches, changed score), sorted by element ID. Remove holds the
+	// IDs of elements that left. Apply Remove first, then Add.
+	Add    []Result
+	Remove []int32
+	// Resync marks a terminal event: the session was evicted (slow
+	// consumer) and the client must re-subscribe with Epoch as the
+	// resume point. No further events follow.
+	Resync bool
+	// Coalesced counts the maintenance batches merged into this event
+	// (≥ 1 for delta events, 0 for init/resync).
+	Coalesced int
+}
+
+// Stats is a point-in-time aggregate over a hub's lifetime.
+type Stats struct {
+	Sessions     int    `json:"sessions"`
+	QueuedDeltas int    `json:"queuedDeltas"`
+	Delivered    uint64 `json:"delivered"`
+	Coalesced    uint64 `json:"coalesced"`
+	Evictions    uint64 `json:"evictions"`
+	FullRuns     uint64 `json:"fullRuns"`
+	Incremental  uint64 `json:"incremental"`
+}
+
+// Hub registers watch sessions and carries shared counters. One hub
+// per index instance.
+type Hub struct {
+	mu       sync.Mutex
+	sessions map[uint64]*Session
+	nextID   uint64
+	closed   bool
+
+	delivered atomic.Uint64
+	coalesced atomic.Uint64
+	evictions atomic.Uint64
+	fullRuns  atomic.Uint64
+	incRuns   atomic.Uint64
+}
+
+func NewHub() *Hub {
+	return &Hub{sessions: map[uint64]*Session{}}
+}
+
+// Register creates a session whose pending delta may hold at most
+// maxPending elements (adds + removes) before the session is evicted.
+// maxPending ≤ 0 selects an effectively unbounded queue.
+func (h *Hub) Register(maxPending int) (*Session, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrClosed
+	}
+	h.nextID++
+	s := &Session{
+		hub:        h,
+		id:         h.nextID,
+		maxPending: maxPending,
+		wake:       make(chan struct{}, 1),
+		closedCh:   make(chan struct{}),
+	}
+	h.sessions[s.id] = s
+	return s, nil
+}
+
+// Close shuts down the hub and every registered session.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	ss := make([]*Session, 0, len(h.sessions))
+	for _, s := range h.sessions {
+		ss = append(ss, s)
+	}
+	h.sessions = map[uint64]*Session{}
+	h.mu.Unlock()
+	for _, s := range ss {
+		s.Close()
+	}
+}
+
+// CountFullRerun / CountIncremental record which evaluation path the
+// notifier took for one session round; exposed in Stats so tests and
+// /stats can assert the O(delta) path actually runs.
+func (h *Hub) CountFullRerun()   { h.fullRuns.Add(1) }
+func (h *Hub) CountIncremental() { h.incRuns.Add(1) }
+
+func (h *Hub) Stats() Stats {
+	h.mu.Lock()
+	st := Stats{Sessions: len(h.sessions)}
+	for _, s := range h.sessions {
+		s.mu.Lock()
+		if s.pend != nil {
+			st.QueuedDeltas++
+		}
+		s.mu.Unlock()
+	}
+	h.mu.Unlock()
+	st.Delivered = h.delivered.Load()
+	st.Coalesced = h.coalesced.Load()
+	st.Evictions = h.evictions.Load()
+	st.FullRuns = h.fullRuns.Load()
+	st.Incremental = h.incRuns.Load()
+	return st
+}
+
+func (h *Hub) unregister(id uint64) {
+	h.mu.Lock()
+	delete(h.sessions, id)
+	h.mu.Unlock()
+}
+
+// pendingDelta is the single coalesced delta a session holds between
+// deliveries.
+type pendingDelta struct {
+	epoch   uint64
+	add     map[int32]Result
+	rem     map[int32]struct{}
+	batches int
+}
+
+// Session is one client's subscription.
+type Session struct {
+	hub        *Hub
+	id         uint64
+	maxPending int
+
+	mu         sync.Mutex
+	initial    *Event
+	pend       *pendingDelta
+	evicted    bool
+	evictEpoch uint64
+	resyncSent bool
+	closed     bool
+
+	wake     chan struct{} // cap 1: "something to deliver"
+	closedCh chan struct{}
+}
+
+// SetInitial stages the init event (full result set at the session's
+// starting epoch). Called once by the registrar before the notifier
+// can observe the session; may be skipped on resume.
+func (s *Session) SetInitial(ev *Event) {
+	ev.Init = true
+	s.mu.Lock()
+	s.initial = ev
+	s.mu.Unlock()
+	s.poke()
+}
+
+// Push merges one round's result delta into the pending event.
+// epoch is the snapshot the delta brings the client up to; batches
+// is how many maintenance batches that round coalesced.
+func (s *Session) Push(epoch uint64, add []Result, remove []int32, batches int) {
+	s.mu.Lock()
+	if s.closed || s.evicted {
+		s.mu.Unlock()
+		return
+	}
+	if s.pend == nil {
+		s.pend = &pendingDelta{add: map[int32]Result{}, rem: map[int32]struct{}{}}
+	}
+	p := s.pend
+	p.epoch = epoch
+	p.batches += batches
+	for _, e := range remove {
+		delete(p.add, e)
+		p.rem[e] = struct{}{}
+	}
+	for _, r := range add {
+		delete(p.rem, r.Element)
+		p.add[r.Element] = r
+	}
+	if s.maxPending > 0 && len(p.add)+len(p.rem) > s.maxPending {
+		s.pend = nil
+		s.evicted = true
+		s.evictEpoch = epoch
+		s.hub.evictions.Add(1)
+	}
+	s.mu.Unlock()
+	s.poke()
+}
+
+// Evict marks the session for terminal resync at the given epoch —
+// used by the notifier when it cannot produce a correct delta for
+// this session (e.g. a ranked evaluation error).
+func (s *Session) Evict(epoch uint64) {
+	s.mu.Lock()
+	if !s.closed && !s.evicted {
+		s.evicted = true
+		s.evictEpoch = epoch
+		s.pend = nil
+		s.hub.evictions.Add(1)
+	}
+	s.mu.Unlock()
+	s.poke()
+}
+
+// Active reports whether the notifier should keep evaluating for this
+// session.
+func (s *Session) Active() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed && !s.evicted
+}
+
+// Done is closed when the session is closed.
+func (s *Session) Done() <-chan struct{} { return s.closedCh }
+
+// Close tears the session down. Idempotent; unblocks Next.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.pend = nil
+	s.initial = nil
+	s.mu.Unlock()
+	s.hub.unregister(s.id)
+	close(s.closedCh)
+}
+
+// Next blocks until an event is available, the context is cancelled,
+// or the session is closed. After a Resync event it returns ErrClosed.
+func (s *Session) Next(ctx context.Context) (*Event, error) {
+	for {
+		if ev, err := s.take(); ev != nil || err != nil {
+			return ev, err
+		}
+		select {
+		case <-s.wake:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-s.closedCh:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (s *Session) take() (*Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.initial != nil {
+		ev := s.initial
+		s.initial = nil
+		s.hub.delivered.Add(1)
+		return ev, nil
+	}
+	if s.pend != nil {
+		p := s.pend
+		s.pend = nil
+		ev := &Event{Epoch: p.epoch, Coalesced: p.batches}
+		ev.Add = make([]Result, 0, len(p.add))
+		for _, r := range p.add {
+			ev.Add = append(ev.Add, r)
+		}
+		sort.Slice(ev.Add, func(i, j int) bool { return ev.Add[i].Element < ev.Add[j].Element })
+		ev.Remove = make([]int32, 0, len(p.rem))
+		for e := range p.rem {
+			ev.Remove = append(ev.Remove, e)
+		}
+		sort.Slice(ev.Remove, func(i, j int) bool { return ev.Remove[i] < ev.Remove[j] })
+		s.hub.delivered.Add(1)
+		if p.batches > 1 {
+			s.hub.coalesced.Add(uint64(p.batches - 1))
+		}
+		return ev, nil
+	}
+	if s.evicted && !s.resyncSent {
+		s.resyncSent = true
+		s.hub.delivered.Add(1)
+		return &Event{Epoch: s.evictEpoch, Resync: true}, nil
+	}
+	if s.evicted {
+		return nil, ErrClosed
+	}
+	return nil, nil
+}
+
+func (s *Session) poke() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}

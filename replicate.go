@@ -315,6 +315,11 @@ func (t *replTarget) Bootstrap(img *replication.Image) error {
 	ix.cur.Store(nil)
 	ix.folClean = clean
 	t.store = store
+	// A (re-)bootstrap replaces the whole state: live-query sessions
+	// cannot be diffed incrementally across it.
+	if ws := ix.watch.Load(); ws != nil {
+		ws.observe(img.Seq, core.WatchDelta{Full: true})
+	}
 	ix.mu.Unlock()
 	if oldClean != nil {
 		// a re-bootstrap (lag reset) replaced an earlier adopted store;
@@ -322,6 +327,9 @@ func (t *replTarget) Bootstrap(img *replication.Image) error {
 		oldClean()
 	}
 	ix.Snapshot() // publish eagerly so the first reader pays no clone
+	if ws := ix.watch.Load(); ws != nil {
+		ws.signal()
+	}
 	return nil
 }
 
@@ -341,6 +349,11 @@ func (t *replTarget) ApplyBatch(b replication.Batch) error {
 	// (once per burst) or by the first reader, whichever comes first —
 	// cloning per batch would let a write storm outrun the replay.
 	ix.cur.Store(nil)
+	// Feed live-query sessions the batch summary; the notifier wake-up
+	// is deferred to Quiesce so a buffered burst fans out as one round.
+	if ws := ix.watch.Load(); ws != nil {
+		ws.observe(b.Seq, ix.ix.Summarize(&core.ChangeLog{Coll: ops, Cover: b.Ops}))
+	}
 	// On an adopted segment store, periodically seal the replay delta
 	// so a long-lived follower's memory stays bounded like the
 	// primary's. Sealing is local bookkeeping — it never changes the
@@ -368,6 +381,9 @@ func (t *replTarget) ApplyBatch(b replication.Batch) error {
 
 func (t *replTarget) Quiesce() {
 	t.ix.Snapshot() // republish off the request path once the burst ends
+	if ws := t.ix.watch.Load(); ws != nil {
+		ws.signal() // one notifier round per buffered burst
+	}
 }
 
 // --- status -----------------------------------------------------------

@@ -140,6 +140,15 @@ func (l *localShard) Info(ctx context.Context) (*shardrouter.ShardInfo, error) {
 			Mmapped:           seg.Mmapped,
 		}
 	}
+	if ws := l.ix.WatchStats(); ws.Sessions > 0 || ws.Delivered > 0 || ws.Evictions > 0 {
+		info.Watch = &shardrouter.WatchInfo{
+			Sessions:     ws.Sessions,
+			QueuedDeltas: ws.QueuedDeltas,
+			Delivered:    ws.Delivered,
+			Coalesced:    ws.Coalesced,
+			Evictions:    ws.Evictions,
+		}
+	}
 	return info, nil
 }
 
