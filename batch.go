@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"hopi/internal/core"
 	"hopi/internal/xmlmodel"
@@ -239,6 +240,8 @@ func (ix *Index) Apply(ctx context.Context, b *Batch) (*ApplyResult, error) {
 	if ix.readOnly {
 		return nil, ErrReadOnlyReplica
 	}
+	met := ix.metrics()
+	start := time.Now()
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 
@@ -312,6 +315,9 @@ func (ix *Index) Apply(ctx context.Context, b *Batch) (*ApplyResult, error) {
 			}
 			return res, derr
 		}
+	}
+	if opErr == nil && attempted {
+		met.applySeconds.ObserveSince(start)
 	}
 	return res, opErr
 }

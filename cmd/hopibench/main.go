@@ -37,6 +37,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -91,6 +93,53 @@ type benchResult struct {
 	FullResultBytes     int64   `json:"fullResultBytes,omitempty"`
 	IncrementalRounds   uint64  `json:"incrementalRounds,omitempty"`
 	FullRerunRounds     uint64  `json:"fullRerunRounds,omitempty"`
+	// Runtime is the Go heap at the moment the row was recorded, so a
+	// throughput regression can be told apart from a memory regression
+	// in the same BENCH_*.json history.
+	Runtime runtimeStats `json:"runtime"`
+}
+
+// runtimeStats is a runtime.ReadMemStats snapshot taken when a result
+// row is recorded (i.e. right after its experiment finished).
+type runtimeStats struct {
+	HeapInuseBytes  uint64  `json:"heapInuseBytes"`
+	TotalAllocBytes uint64  `json:"totalAllocBytes"`
+	NumGC           uint32  `json:"numGC"`
+	GCPauseP99Ms    float64 `json:"gcPauseP99Ms"`
+}
+
+// readRuntimeStats samples the runtime. The pause p99 comes from the
+// runtime's ring of the last 256 GC pauses — enough history to cover
+// one experiment between recordings.
+func readRuntimeStats() runtimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return runtimeStats{
+		HeapInuseBytes:  ms.HeapInuse,
+		TotalAllocBytes: ms.TotalAlloc,
+		NumGC:           ms.NumGC,
+		GCPauseP99Ms:    gcPauseP99(&ms),
+	}
+}
+
+func gcPauseP99(ms *runtime.MemStats) float64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		pauses = append(pauses, ms.PauseNs[(int(ms.NumGC)-1-i)%len(ms.PauseNs)])
+	}
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	idx := len(pauses) * 99 / 100
+	if idx >= len(pauses) {
+		idx = len(pauses) - 1
+	}
+	return float64(pauses[idx]) / 1e6
 }
 
 func main() {
@@ -122,6 +171,15 @@ func main() {
 	flag.Parse()
 
 	var jsonResults []benchResult
+	// record stamps each row with the runtime snapshot of the moment it
+	// was produced, then appends it to the -json output.
+	record := func(rows ...benchResult) {
+		rt := readRuntimeStats()
+		for i := range rows {
+			rows[i].Runtime = rt
+		}
+		jsonResults = append(jsonResults, rows...)
+	}
 
 	cfg := experiments.Config{
 		DBLPDocs: *docs, INEXDocs: *inexDocs, INEXMeanElements: *inexEls, Seed: *seed,
@@ -218,7 +276,7 @@ func main() {
 		if err != nil {
 			return "", err
 		}
-		jsonResults = append(jsonResults,
+		record(
 			benchResult{Name: "query/reaches", NsPerOp: 1e9 / r.ReachPerSec, QPS: r.ReachPerSec},
 			benchResult{Name: "query/distance", NsPerOp: 1e9 / r.DistPerSec, QPS: r.DistPerSec})
 		qe, err := experiments.QueryEval(cfg)
@@ -230,7 +288,7 @@ func main() {
 			if row.Ranked {
 				name += "(ranked)"
 			}
-			jsonResults = append(jsonResults,
+			record(
 				benchResult{Name: "query/pairwise:" + name, QPS: row.PairQPS, NsPerOp: 1e9 / row.PairQPS},
 				benchResult{Name: "query/semijoin:" + name, QPS: row.SemiQPS, NsPerOp: 1e9 / row.SemiQPS, Speedup: row.Speedup})
 		}
@@ -241,7 +299,7 @@ func main() {
 			}
 			// speedup relates the limit-pushdown cursor to the same
 			// query fully materialized on the same engine
-			jsonResults = append(jsonResults,
+			record(
 				benchResult{Name: fmt.Sprintf("query/limit%d:%s", row.Limit, name),
 					QPS: row.LimitQPS, NsPerOp: 1e9 / row.LimitQPS, Speedup: row.Speedup})
 		}
@@ -258,14 +316,14 @@ func main() {
 			if err != nil {
 				return "", err
 			}
-			jsonResults = append(jsonResults, loadJSON("load/http", r))
+			record(loadJSON("load/http", r))
 			return loadgen.Render(r), nil
 		}
 		mem, err := loadgen.ServeLoad(lc)
 		if err != nil {
 			return "", err
 		}
-		jsonResults = append(jsonResults, loadJSON("load/memory", mem))
+		record(loadJSON("load/memory", mem))
 		out := loadgen.Render(mem)
 		if *store != "" {
 			dc := lc
@@ -274,7 +332,7 @@ func main() {
 			if err != nil {
 				return "", err
 			}
-			jsonResults = append(jsonResults, loadJSON("load/durable", dur))
+			record(loadJSON("load/durable", dur))
 			out += loadgen.Render(dur)
 			if dur.BatchesPerS > 0 {
 				out += fmt.Sprintf("  durability cost: %.2fx batch throughput (%.1f → %.1f batches/s), %.2fx query throughput\n",
@@ -304,7 +362,7 @@ func main() {
 			return "", err
 		}
 		for _, r := range rows {
-			jsonResults = append(jsonResults, benchResult{
+			record(benchResult{
 				Name:       fmt.Sprintf("shard/shards=%d", r.Shards),
 				QPS:        r.QueriesPerS,
 				BatchesPS:  r.BatchesPerS,
@@ -312,7 +370,7 @@ func main() {
 				QueryP50Ms: float64(r.QueryP50.Microseconds()) / 1000,
 				QueryP99Ms: float64(r.QueryP99.Microseconds()) / 1000,
 			})
-			jsonResults = append(jsonResults, benchResult{
+			record(benchResult{
 				Name:         fmt.Sprintf("shard/readonly/shards=%d", r.Shards),
 				QPS:          r.ROQueriesPerS,
 				Shards:       r.Shards,
@@ -331,7 +389,7 @@ func main() {
 		if err != nil {
 			return "", err
 		}
-		jsonResults = append(jsonResults,
+		record(
 			benchResult{Name: "mem/flat", CoverSize: r.CoverSize,
 				HeapBytes: int64(r.FlatHeapBytes), LabelBytes: r.FlatLabelBytes,
 				BytesPerLabel: 16,
@@ -380,7 +438,7 @@ func main() {
 				if r.Notifications > 0 {
 					perNotify = float64(r.DeltaBytes) / float64(r.Notifications)
 				}
-				jsonResults = append(jsonResults, benchResult{
+				record(benchResult{
 					Name:                fmt.Sprintf("watch/churn=%s/subs=%d", iv, ns),
 					Subscribers:         ns,
 					Notifications:       r.Notifications,
@@ -421,7 +479,7 @@ func main() {
 			return "", err
 		}
 		for _, r := range rows {
-			jsonResults = append(jsonResults, benchResult{
+			record(benchResult{
 				Name:       fmt.Sprintf("repl/followers=%d", r.Followers),
 				QPS:        r.QueriesPerS,
 				BatchesPS:  r.BatchesPerS,

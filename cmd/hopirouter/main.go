@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"hopi"
+	"hopi/internal/obshttp"
 	"hopi/internal/shardrouter"
 )
 
@@ -64,6 +65,9 @@ func main() {
 		timeout       = flag.Duration("timeout", 0, "deprecated alias for -shard-timeout (overrides it when set)")
 		breakerWindow = flag.Duration("breaker-window", 250*time.Millisecond, "how long a shard's circuit breaker stays open after a transport failure")
 		maxLimit      = flag.Int("max-limit", defaultMaxLimit, "ceiling for the query limit parameter")
+		slowQueryMs   = flag.Int("slow-query-ms", -1, "log a span tree for queries at least this slow (0 logs every query; negative disables)")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this address, on its own listener (\":6060\" binds loopback only); empty disables")
+		accessLog     = flag.Bool("access-log", false, "log one structured line per HTTP request (method, path, status, duration, bytes, trace ID)")
 	)
 	flag.Parse()
 	if *shards == "" {
@@ -93,16 +97,34 @@ func main() {
 	if m.NumShards != len(conns) {
 		log.Fatalf("hopirouter: map %s is for %d shards, -shards names %d", *mapPath, m.NumShards, len(conns))
 	}
-	router, err := hopi.NewRouter(conns, m, *mapPath, hopi.RouterBreakerWindow(*breakerWindow))
+	opts := []hopi.RouterOption{hopi.RouterBreakerWindow(*breakerWindow)}
+	if *slowQueryMs >= 0 {
+		opts = append(opts, hopi.RouterSlowQueryLog(
+			time.Duration(*slowQueryMs)*time.Millisecond,
+			func(tr *hopi.RouterQueryTrace) { log.Print(tr.Format()) },
+		))
+	}
+	router, err := hopi.NewRouter(conns, m, *mapPath, opts...)
 	if err != nil {
 		log.Fatalf("hopirouter: %v", err)
 	}
 	log.Printf("routing %d docs, %d cross links over %d shards on %s",
 		len(m.Docs), len(m.CrossLinks), m.NumShards, *addr)
 
+	var handler http.Handler = newRouterServer(router, *maxLimit)
+	if *accessLog {
+		handler = obshttp.AccessLog(log.Default(), handler)
+	}
+	if *pprofAddr != "" {
+		bound, err := obshttp.ServePprof(*pprofAddr)
+		if err != nil {
+			log.Fatalf("hopirouter: %v", err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", bound)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newRouterServer(router, *maxLimit),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

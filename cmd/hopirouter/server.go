@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"hopi"
+	"hopi/internal/obshttp"
 	"hopi/internal/shardrouter"
 )
 
@@ -29,6 +30,7 @@ func newRouterServer(r *hopi.Router, maxLimit int) *routerServer {
 	}
 	s := &routerServer{r: r, maxLimit: maxLimit}
 	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", obshttp.MetricsHandler(r.Unwrap().Metrics()))
 	mux.HandleFunc("GET /query", s.handleQuery)
 	mux.HandleFunc("GET /query/stream", s.handleQueryStream)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -102,7 +104,10 @@ func (s *routerServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errResponse{Error: "expr parameter required"})
 		return
 	}
-	opt := hopi.RouterQueryOptions{Resume: q.Get("pageToken")}
+	// An inbound X-Hopi-Trace flows into the distributed trace, so a
+	// client-chosen ID correlates the access log, the slow-query span
+	// tree, and every shard's own access log.
+	opt := hopi.RouterQueryOptions{Resume: q.Get("pageToken"), Trace: r.Header.Get(shardrouter.TraceHeader)}
 	switch q.Get("ranked") {
 	case "1", "true", "yes":
 		opt.Ranked = true
@@ -168,7 +173,7 @@ func (s *routerServer) handleQueryStream(w http.ResponseWriter, r *http.Request)
 		writeJSON(w, http.StatusBadRequest, errResponse{Error: "expr parameter required"})
 		return
 	}
-	opt := hopi.RouterQueryOptions{Resume: q.Get("pageToken")}
+	opt := hopi.RouterQueryOptions{Resume: q.Get("pageToken"), Trace: r.Header.Get(shardrouter.TraceHeader)}
 	switch q.Get("ranked") {
 	case "1", "true", "yes":
 		opt.Ranked = true

@@ -70,6 +70,7 @@ import (
 
 	"hopi"
 	"hopi/internal/gen"
+	"hopi/internal/obshttp"
 )
 
 func main() {
@@ -88,6 +89,8 @@ func main() {
 		segThresh  = flag.Int("segment-threshold", 0, "with -segments: in-memory delta entries that trigger a background seal (0 uses the built-in default, <0 disables auto-sealing)")
 		segMax     = flag.Int("max-segments", 0, "with -segments: sealed stack size that triggers background compaction (0 uses the built-in default)")
 		watchHB    = flag.Duration("watch-heartbeat", defaultWatchHeartbeat, "idle heartbeat interval on /watch streams")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address, on its own listener (\":6060\" binds loopback only); empty disables")
+		accessLog  = flag.Bool("access-log", false, "log one structured line per HTTP request (method, path, status, duration, bytes, trace ID)")
 	)
 	flag.Parse()
 	if *index != "" && *store != "" {
@@ -125,9 +128,20 @@ func main() {
 	if h.pub != nil {
 		log.Printf("replication: publishing committed batches at GET /repl/stream (last seq %d)", h.pub.LastSeq())
 	}
+	var handler http.Handler = h
+	if *accessLog {
+		handler = obshttp.AccessLog(log.Default(), handler)
+	}
+	if *pprofAddr != "" {
+		bound, err := obshttp.ServePprof(*pprofAddr)
+		if err != nil {
+			log.Fatalf("hopiserve: %v", err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", bound)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           h,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"hopi"
+	"hopi/internal/obs"
+	"hopi/internal/obshttp"
 	"hopi/internal/shardrouter"
 )
 
@@ -63,6 +65,13 @@ type server struct {
 
 	queries  atomic.Uint64 // /query + /query/stream requests answered 200
 	streamed atomic.Uint64 // results written across both query endpoints
+
+	// reg is the process metric tree served on GET /metrics: the
+	// index's registry plus the serving-layer families; shardRPCs
+	// counts /shard/* requests by RPC kind (the shard-side mirror of
+	// the router's hopi_router_shard_rpcs_total).
+	reg       *obs.Registry
+	shardRPCs *obs.CounterVec
 }
 
 // newServer returns the HTTP handler for an index. maxLimit caps the
@@ -78,8 +87,32 @@ func newServer(ix *hopi.Index, maxLimit int) *server {
 		readyMaxLag: defaultReadyMaxLag,
 		closing:     make(chan struct{}),
 		watchHB:     defaultWatchHeartbeat,
+		reg:         obs.NewRegistry(),
 	}
+	// /metrics serves the whole tree: the index's families (query
+	// latency by mode, WAL append/fsync, maintenance, replication,
+	// segments, watch) plus the serving layer's own.
+	s.reg.AddSub(ix.Metrics())
+	s.reg.CounterFunc("hopi_serve_queries_total",
+		"Query requests answered 200 across /query and /query/stream.",
+		func() float64 { return float64(s.queries.Load()) })
+	s.reg.CounterFunc("hopi_serve_results_streamed_total",
+		"Result rows written across both query endpoints.",
+		func() float64 { return float64(s.streamed.Load()) })
+	s.reg.CounterFunc("hopi_serve_prepared_cache_hits_total",
+		"Prepared-statement cache hits.",
+		func() float64 { return float64(s.cache.hits.Load()) })
+	s.reg.CounterFunc("hopi_serve_prepared_cache_misses_total",
+		"Prepared-statement cache misses (each compiles the expression).",
+		func() float64 { return float64(s.cache.misses.Load()) })
+	s.reg.GaugeFunc("hopi_serve_prepared_cache_entries",
+		"Prepared statements currently cached.",
+		func() float64 { return float64(s.cache.len()) })
+	s.shardRPCs = s.reg.CounterVec("hopi_shard_rpcs_total",
+		"Shard RPCs served on /shard/*, by RPC kind.", "rpc")
+
 	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", obshttp.MetricsHandler(s.reg))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /query", s.handleQuery)

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"hopi"
 	"hopi/internal/shardrouter"
@@ -70,19 +71,51 @@ func readShardBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	return body, true
 }
 
+// spanFor builds the per-RPC span a traced shard request gets back:
+// queue is the time spent reading and decoding the request body, eval
+// the time inside the shard engine. The trace ID prefers the in-band
+// request field and falls back to the X-Hopi-Trace header, so JSON
+// clients that only set the header still get timed. Untraced requests
+// get nil — the response stays byte-identical to the pre-tracing wire
+// format.
+func spanFor(r *http.Request, trace string, t0, t1, t2 time.Time) *shardrouter.Span {
+	if trace == "" {
+		trace = r.Header.Get(shardrouter.TraceHeader)
+	}
+	if trace == "" {
+		return nil
+	}
+	return &shardrouter.Span{
+		Trace:   trace,
+		QueueUs: t1.Sub(t0).Microseconds(),
+		EvalUs:  t2.Sub(t1).Microseconds(),
+	}
+}
+
 // writeShardResp answers in the binary codec when the client asked for
-// it, JSON otherwise.
-func writeShardResp(w http.ResponseWriter, r *http.Request, frame func() []byte, v any) {
+// it, JSON otherwise. A traced binary response gets its encode time
+// stamped into the span's trailing EncodeUs field after serialization —
+// the span is the frame's final four bytes exactly so the measurement
+// can include the encoding it describes. JSON spans report EncodeUs=0:
+// there the span travels inside the body being encoded.
+func writeShardResp(w http.ResponseWriter, r *http.Request, frame func() []byte, v any, sp *shardrouter.Span) {
 	if wantBinaryResp(r) {
 		w.Header().Set("Content-Type", shardrouter.BinaryContentType)
+		t0 := time.Now()
+		b := frame()
+		if sp != nil {
+			shardrouter.StampEncodeUs(b, time.Since(t0))
+		}
 		w.WriteHeader(http.StatusOK)
-		w.Write(frame())
+		w.Write(b)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
 }
 
 func (s *server) handleShardStep(w http.ResponseWriter, r *http.Request) {
+	s.shardRPCs.With("step").Inc()
+	t0 := time.Now()
 	var req shardrouter.StepRequest
 	if isBinaryReq(r) {
 		body, ok := readShardBody(w, r)
@@ -98,15 +131,21 @@ func (s *server) handleShardStep(w http.ResponseWriter, r *http.Request) {
 	} else if !decodeShardReq(w, r, &req) {
 		return
 	}
+	t1 := time.Now()
 	resp, err := s.shard.Step(r.Context(), &req)
 	if err != nil {
 		shardErr(w, err)
 		return
 	}
-	writeShardResp(w, r, func() []byte { return shardrouter.EncodeStepResponse(resp) }, resp)
+	if sp := spanFor(r, req.Trace, t0, t1, time.Now()); sp != nil {
+		resp.Span = sp
+	}
+	writeShardResp(w, r, func() []byte { return shardrouter.EncodeStepResponse(resp) }, resp, resp.Span)
 }
 
 func (s *server) handleShardDeliver(w http.ResponseWriter, r *http.Request) {
+	s.shardRPCs.With("deliver").Inc()
+	t0 := time.Now()
 	var req shardrouter.DeliverRequest
 	if isBinaryReq(r) {
 		body, ok := readShardBody(w, r)
@@ -122,15 +161,21 @@ func (s *server) handleShardDeliver(w http.ResponseWriter, r *http.Request) {
 	} else if !decodeShardReq(w, r, &req) {
 		return
 	}
+	t1 := time.Now()
 	resp, err := s.shard.Deliver(r.Context(), &req)
 	if err != nil {
 		shardErr(w, err)
 		return
 	}
-	writeShardResp(w, r, func() []byte { return shardrouter.EncodeDeliverResponse(resp) }, resp)
+	if sp := spanFor(r, req.Trace, t0, t1, time.Now()); sp != nil {
+		resp.Span = sp
+	}
+	writeShardResp(w, r, func() []byte { return shardrouter.EncodeDeliverResponse(resp) }, resp, resp.Span)
 }
 
 func (s *server) handleShardClosure(w http.ResponseWriter, r *http.Request) {
+	s.shardRPCs.With("closure").Inc()
+	t0 := time.Now()
 	var req shardrouter.ClosureRequest
 	if isBinaryReq(r) {
 		body, ok := readShardBody(w, r)
@@ -146,12 +191,16 @@ func (s *server) handleShardClosure(w http.ResponseWriter, r *http.Request) {
 	} else if !decodeShardReq(w, r, &req) {
 		return
 	}
+	t1 := time.Now()
 	resp, err := s.shard.Closure(r.Context(), &req)
 	if err != nil {
 		shardErr(w, err)
 		return
 	}
-	writeShardResp(w, r, func() []byte { return shardrouter.EncodeClosureResponse(resp) }, resp)
+	if sp := spanFor(r, req.Trace, t0, t1, time.Now()); sp != nil {
+		resp.Span = sp
+	}
+	writeShardResp(w, r, func() []byte { return shardrouter.EncodeClosureResponse(resp) }, resp, resp.Span)
 }
 
 func (s *server) handleShardResolve(w http.ResponseWriter, r *http.Request) {

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"hopi/internal/core"
+	"hopi/internal/obs"
 	"hopi/internal/replication"
 	"hopi/internal/segment"
 	"hopi/internal/storage"
@@ -66,6 +68,10 @@ type durableState struct {
 	segThreshold int
 	compactKick  chan struct{} // buffered(1) wake-up for the compactor
 	compactDone  chan struct{} // closed when the compactor exits
+	// maint receives compaction durations from the compactor goroutine
+	// (set before startCompactor; the checkpoint/seal paths record
+	// through the index's own handle instead).
+	maint *obs.HistogramVec
 }
 
 // OpenOption configures Open and Create.
@@ -194,6 +200,7 @@ func (ix *Index) attachNew(path string) error {
 		st.Close()
 		return err
 	}
+	ix.wireWAL(wal)
 	ix.dur = &durableState{path: path, store: st, wal: wal, nextSeq: 1}
 	// With a store attached the epoch becomes the durable WAL sequence
 	// (0 = the freshly created state) so resume tokens are portable
@@ -297,6 +304,7 @@ func openDurableBTree(path string) (*Index, error) {
 	ix := &Index{coll: coll, ix: core.NewFromCover(c, cover), scope: scope}
 	ix.seqEpoch = true
 	ix.epoch.Store(maxSeq)
+	ix.wireWAL(wal)
 	ix.dur = &durableState{path: path, store: st, wal: wal, nextSeq: maxSeq + 1}
 	// fold the replayed tail into the store files and truncate the log,
 	// so the next crash has a short recovery again
@@ -360,8 +368,14 @@ func (ix *Index) Checkpoint() error {
 // a new immutable segment instead — no page images, no double-write.
 func (ix *Index) doCheckpoint(seq uint64) error {
 	d := ix.dur
+	m := ix.metrics()
+	start := time.Now()
 	if d.segs != nil {
-		return ix.sealCheckpoint(seq)
+		if err := ix.sealCheckpoint(seq); err != nil {
+			return err
+		}
+		m.maintSeconds.With("seal").ObserveSince(start)
+		return nil
 	}
 	if err := d.store.CheckpointInto(d.wal); err != nil {
 		return err
@@ -369,7 +383,11 @@ func (ix *Index) doCheckpoint(seq uint64) error {
 	if err := writeCollFile(d.path+collSuffix, ix.coll.c, seq, ix.scope); err != nil {
 		return err
 	}
-	return d.wal.Reset()
+	if err := d.wal.Reset(); err != nil {
+		return err
+	}
+	m.maintSeconds.With("checkpoint").ObserveSince(start)
+	return nil
 }
 
 // Close tears down replication (stopping a follower's stream, closing

@@ -3,6 +3,7 @@ package hopi
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"hopi/internal/core"
 	"hopi/internal/segment"
@@ -66,6 +67,8 @@ func (ix *Index) attachNewSegments(path string, cfg *openConfig) error {
 		return err
 	}
 	d := &durableState{path: path, wal: wal, nextSeq: 1, segs: store, segThreshold: cfg.threshold()}
+	ix.wireWAL(wal)
+	d.maint = ix.metrics().maintSeconds
 	d.startCompactor()
 	ix.dur = d
 	ix.seqEpoch = true
@@ -139,6 +142,8 @@ func openDurableSegments(path string, cfg *openConfig) (*Index, error) {
 	ix.seqEpoch = true
 	ix.epoch.Store(maxSeq)
 	d := &durableState{path: path, wal: wal, nextSeq: maxSeq + 1, segs: store, segThreshold: cfg.threshold()}
+	ix.wireWAL(wal)
+	d.maint = ix.metrics().maintSeconds
 	d.startCompactor()
 	ix.dur = d
 	// fold the replayed tail into a sealed segment and truncate the
@@ -231,9 +236,11 @@ func (d *durableState) startCompactor() {
 		defer close(d.compactDone)
 		for range d.compactKick {
 			for d.segs.NeedsCompaction() {
+				start := time.Now()
 				if ok, err := d.segs.Compact(); err != nil || !ok {
 					break
 				}
+				d.maint.With("compact").ObserveSince(start)
 			}
 		}
 	}()

@@ -184,6 +184,10 @@ type Index struct {
 	// folClean removes a follower's adopted segment-store directory;
 	// set by bootstrap, run by Close after the stream stops.
 	folClean func()
+	// met is the lazily created metric hub (see metrics.go); metMu
+	// single-flights its construction.
+	met   atomic.Pointer[indexMetrics]
+	metMu sync.Mutex
 }
 
 // newEpoch seeds an in-memory index's version stamp. The epoch is
@@ -232,6 +236,7 @@ func (ix *Index) Snapshot() *Snapshot {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	s := newSnapshot(ix.ix, ix.epoch.Load(), ix.seqEpoch, ix.scope)
+	s.met = ix.metrics()
 	ix.cur.Store(s)
 	return s
 }

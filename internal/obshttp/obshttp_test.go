@@ -1,0 +1,108 @@
+package obshttp
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hopi/internal/obs"
+	"hopi/internal/shardrouter"
+)
+
+func TestMetricsHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("test_total", "A counter.").Add(3)
+	rec := httptest.NewRecorder()
+	MetricsHandler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != MetricsContentType {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	fams, err := obs.ParseText(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams["test_total"] == nil || fams["test_total"].Samples[0].Value != 3 {
+		t.Fatalf("parsed %+v", fams["test_total"])
+	}
+}
+
+func TestAccessLogMintsAndEchoesTrace(t *testing.T) {
+	var buf bytes.Buffer
+	l := log.New(&buf, "", 0)
+	var seen string
+	h := AccessLog(l, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = r.Header.Get(shardrouter.TraceHeader)
+		w.WriteHeader(http.StatusTeapot)
+		fmt.Fprint(w, "hello")
+	}))
+
+	// No inbound trace: one is minted, visible downstream, echoed back,
+	// and logged with the request's status and byte count.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/query?expr=x", nil))
+	minted := rec.Header().Get(shardrouter.TraceHeader)
+	if len(minted) != 16 || seen != minted {
+		t.Fatalf("minted %q, handler saw %q", minted, seen)
+	}
+	line := buf.String()
+	for _, want := range []string{"method=GET", "path=/query", "status=418", "bytes=5", "trace=" + minted} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line %q missing %q", line, want)
+		}
+	}
+
+	// An inbound trace is used as-is.
+	buf.Reset()
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set(shardrouter.TraceHeader, "cafecafecafecafe")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(shardrouter.TraceHeader); got != "cafecafecafecafe" {
+		t.Fatalf("echoed %q", got)
+	}
+	if !strings.Contains(buf.String(), "trace=cafecafecafecafe") {
+		t.Fatalf("log line %q", buf.String())
+	}
+}
+
+// TestAccessLogKeepsFlusher pins the streaming contract: the wrapped
+// writer must still expose Flush, or /watch and /query/stream would
+// silently stop delivering incrementally once the middleware is on.
+func TestAccessLogKeepsFlusher(t *testing.T) {
+	var flushed bool
+	h := AccessLog(log.New(&bytes.Buffer{}, "", 0), http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("middleware hid http.Flusher")
+		}
+		fmt.Fprintln(w, "{}")
+		f.Flush()
+		flushed = true
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/watch", nil))
+	if !flushed {
+		t.Fatal("handler did not run to Flush")
+	}
+}
+
+func TestServePprofLoopbackDefault(t *testing.T) {
+	bound, err := ServePprof(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(bound, "127.0.0.1:") {
+		t.Fatalf("port-only address bound %s, want loopback", bound)
+	}
+	resp, err := http.Get("http://" + bound + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/: %s", resp.Status)
+	}
+}

@@ -76,6 +76,34 @@ type Plan struct {
 	Steps   []StepPlan    `json:"steps"`
 }
 
+// NewPlan pre-sizes an empty plan for q. Callers outside the package
+// attach it to StreamOpts.Plan to collect per-step statistics on a
+// regular (non-EXPLAIN) run — the metrics layer does this to label
+// query-latency histograms by evaluation mode.
+func NewPlan(q *Query, ranked bool, limit int) *Plan { return newPlan(q, ranked, limit) }
+
+// DominantMode returns the evaluation mode of the step that produced
+// the result set — the last step that actually ran — or "unknown" when
+// nothing was recorded. Query-latency histograms use it as their mode
+// label: the final step is where limit pushdown, ranking, and the
+// semijoin/pairwise choice all surface.
+func (p *Plan) DominantMode() string {
+	if p == nil {
+		return "unknown"
+	}
+	for i := len(p.Steps) - 1; i >= 0; i-- {
+		if m := p.Steps[i].Mode; m != "" && m != ModeSkipped {
+			return m
+		}
+	}
+	for i := range p.Steps {
+		if p.Steps[i].Mode == ModeSkipped {
+			return ModeSkipped
+		}
+	}
+	return "unknown"
+}
+
 // newPlan pre-sizes a plan with one StepPlan per query step, axis and
 // tag filled in.
 func newPlan(q *Query, ranked bool, limit int) *Plan {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Binary wire codec for the hot shard RPCs (Step, Deliver, Closure).
@@ -23,6 +24,18 @@ import (
 // fixed-width; strings are u32-length-prefixed UTF-8 bytes; slices
 // and maps are u32-count-prefixed with ^u32(0) marking nil (so
 // decode(encode(x)) == x exactly, nil-ness included).
+//
+// Tracing adds an OPTIONAL TRAILING SECTION to every message: a
+// request's trace ID, a response's Span. The base fields are fully
+// length-determined, so a decoder knows a frame carries the section
+// exactly when bytes remain after them — no flag day. Negotiation
+// falls out of the existing rules: an untraced frame is byte-identical
+// to the pre-tracing format, so untagged peers interoperate unchanged
+// in binary; an old server receiving a trace-extended request rejects
+// the trailing bytes (ErrBadFrame → 400) and the router's one-time
+// JSON fallback takes over, where the trace travels as an ignored
+// unknown field. A shard only appends a Span when the request carried
+// a trace, so an old router can never receive an extended response.
 
 // BinaryContentType labels the binary shard-RPC codec in
 // Content-Type/Accept headers.
@@ -132,6 +145,34 @@ func (w *binWriter) dists(ds []uint32) {
 	for _, d := range ds {
 		w.u32(d)
 	}
+}
+
+// clampUs clamps a microsecond count to u32 (over an hour; RPCs are
+// timeout-bounded far below that).
+func clampUs(us int64) uint32 {
+	if us < 0 {
+		return 0
+	}
+	if us > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(us)
+}
+
+// span writes a response's trailing Span section. EncodeUs is written
+// last so StampEncodeUs can patch it after the frame is built.
+func (w *binWriter) span(sp *Span) {
+	w.str(sp.Trace)
+	w.u32(clampUs(sp.QueueUs))
+	w.u32(clampUs(sp.EvalUs))
+	w.u32(clampUs(sp.EncodeUs))
+}
+
+// StampEncodeUs overwrites the EncodeUs field — the final 4 bytes — of
+// a frame encoded with a non-nil Span, letting the server report the
+// frame's own serialization time inside it.
+func StampEncodeUs(frame []byte, d time.Duration) {
+	binary.LittleEndian.PutUint32(frame[len(frame)-4:], clampUs(d.Microseconds()))
 }
 
 // --- reader -----------------------------------------------------------
@@ -336,6 +377,30 @@ func (r *binReader) dists() []uint32 {
 	return out
 }
 
+// trailingTrace reads the optional trailing trace ID of a request
+// frame; "" when the frame ends at the base fields (untraced peer).
+func (r *binReader) trailingTrace() string {
+	if r.err != nil || r.off >= len(r.b) {
+		return ""
+	}
+	return r.str()
+}
+
+// trailingSpan reads the optional trailing Span of a response frame;
+// nil when the frame ends at the base fields (untraced request or a
+// shard predating tracing).
+func (r *binReader) trailingSpan() *Span {
+	if r.err != nil || r.off >= len(r.b) {
+		return nil
+	}
+	sp := &Span{}
+	sp.Trace = r.str()
+	sp.QueueUs = int64(r.u32())
+	sp.EvalUs = int64(r.u32())
+	sp.EncodeUs = int64(r.u32())
+	return sp
+}
+
 // finish validates that the frame was consumed exactly.
 func (r *binReader) finish() error {
 	if r.err != nil {
@@ -375,6 +440,9 @@ func EncodeStepRequest(m *StepRequest) []byte {
 	w.strs(m.ProbeIn)
 	w.strs(m.ClosureFrom)
 	w.strs(m.ClosureTo)
+	if m.Trace != "" {
+		w.str(m.Trace)
+	}
 	return w.b
 }
 
@@ -394,6 +462,7 @@ func DecodeStepRequest(b []byte) (*StepRequest, error) {
 	m.ProbeIn = r.strs()
 	m.ClosureFrom = r.strs()
 	m.ClosureTo = r.strs()
+	m.Trace = r.trailingTrace()
 	if err := r.finish(); err != nil {
 		return nil, err
 	}
@@ -412,6 +481,9 @@ func EncodeStepResponse(m *StepResponse) []byte {
 		w.dists(m.Closure.Dist)
 	}
 	w.deliveries(m.Deliveries)
+	if m.Span != nil {
+		w.span(m.Span)
+	}
 	return w.b
 }
 
@@ -429,6 +501,7 @@ func DecodeStepResponse(b []byte) (*StepResponse, error) {
 		m.Closure = &ClosureResponse{Dist: r.dists()}
 	}
 	m.Deliveries = r.deliveries()
+	m.Span = r.trailingSpan()
 	if err := r.finish(); err != nil {
 		return nil, err
 	}
@@ -442,6 +515,9 @@ func EncodeDeliverRequest(m *DeliverRequest) []byte {
 	w.u8(packFlags(m.Retain, m.Ranked, m.WantMeta))
 	w.str(m.Tag)
 	w.arrivals(m.In)
+	if m.Trace != "" {
+		w.str(m.Trace)
+	}
 	return w.b
 }
 
@@ -454,6 +530,7 @@ func DecodeDeliverRequest(b []byte) (*DeliverRequest, error) {
 	m.Retain, m.Ranked, m.WantMeta = bit(flags, 0), bit(flags, 1), bit(flags, 2)
 	m.Tag = r.str()
 	m.In = r.arrivals()
+	m.Trace = r.trailingTrace()
 	if err := r.finish(); err != nil {
 		return nil, err
 	}
@@ -464,6 +541,9 @@ func DecodeDeliverRequest(b []byte) (*DeliverRequest, error) {
 func EncodeDeliverResponse(m *DeliverResponse) []byte {
 	w := newBinWriter(kindDeliverResponse)
 	w.frontier(m.Matches)
+	if m.Span != nil {
+		w.span(m.Span)
+	}
 	return w.b
 }
 
@@ -472,6 +552,7 @@ func DecodeDeliverResponse(b []byte) (*DeliverResponse, error) {
 	r := newBinReader(b, kindDeliverResponse)
 	m := &DeliverResponse{}
 	m.Matches = r.frontier()
+	m.Span = r.trailingSpan()
 	if err := r.finish(); err != nil {
 		return nil, err
 	}
@@ -485,6 +566,9 @@ func EncodeClosureRequest(m *ClosureRequest) []byte {
 	w.u8(packFlags(m.Retain, m.WithDist))
 	w.strs(m.From)
 	w.strs(m.To)
+	if m.Trace != "" {
+		w.str(m.Trace)
+	}
 	return w.b
 }
 
@@ -497,6 +581,7 @@ func DecodeClosureRequest(b []byte) (*ClosureRequest, error) {
 	m.Retain, m.WithDist = bit(flags, 0), bit(flags, 1)
 	m.From = r.strs()
 	m.To = r.strs()
+	m.Trace = r.trailingTrace()
 	if err := r.finish(); err != nil {
 		return nil, err
 	}
@@ -507,6 +592,9 @@ func DecodeClosureRequest(b []byte) (*ClosureRequest, error) {
 func EncodeClosureResponse(m *ClosureResponse) []byte {
 	w := newBinWriter(kindClosureResponse)
 	w.dists(m.Dist)
+	if m.Span != nil {
+		w.span(m.Span)
+	}
 	return w.b
 }
 
@@ -515,6 +603,7 @@ func DecodeClosureResponse(b []byte) (*ClosureResponse, error) {
 	r := newBinReader(b, kindClosureResponse)
 	m := &ClosureResponse{}
 	m.Dist = r.dists()
+	m.Span = r.trailingSpan()
 	if err := r.finish(); err != nil {
 		return nil, err
 	}

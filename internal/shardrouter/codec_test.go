@@ -20,6 +20,7 @@ func sampleStepRequests() []*StepRequest {
 			WantClosure: true, ClosureWithDist: true,
 			ClosureFrom: []string{"c.xml:0"}, ClosureTo: []string{"d.xml:9", ""},
 		},
+		{Epoch: 3, Axis: "//", Tag: "a", Trace: "deadbeefcafef00d"},
 	}
 }
 
@@ -43,6 +44,7 @@ func sampleStepResponses() []*StepResponse {
 				"c.xml:2": nil,
 			},
 		},
+		{Epoch: 4, Span: &Span{Trace: "deadbeefcafef00d", QueueUs: 12, EvalUs: 3400, EncodeUs: 9}},
 	}
 }
 
@@ -52,6 +54,7 @@ func sampleDeliverRequests() []*DeliverRequest {
 		{Epoch: 11, Retain: true, Ranked: true, WantMeta: true, Tag: "cite",
 			In: map[string][]Arrival{"x.xml:0": {{Base: 0.25, Dist: 3}, {}}}},
 		{In: map[string][]Arrival{}},
+		{Tag: "cite", Trace: "0123456789abcdef"},
 	}
 }
 
@@ -60,6 +63,7 @@ func sampleDeliverResponses() []*DeliverResponse {
 		{},
 		{Matches: []FrontierElem{}},
 		{Matches: []FrontierElem{{ID: 2, Score: 0.125, Doc: "d", Local: 1, Tag: "t"}}},
+		{Span: &Span{Trace: "0123456789abcdef", EvalUs: 77}},
 	}
 }
 
@@ -68,6 +72,7 @@ func sampleClosureRequests() []*ClosureRequest {
 		{},
 		{Epoch: 5, Retain: true, WithDist: true, From: []string{"a:0", "b:1"}, To: []string{"c:2"}},
 		{From: []string{}, To: nil},
+		{Epoch: 6, From: []string{"a:0"}, To: []string{"b:1"}, Trace: "feedfacefeedface"},
 	}
 }
 
@@ -76,6 +81,7 @@ func sampleClosureResponses() []*ClosureResponse {
 		{},
 		{Dist: []uint32{}},
 		{Dist: []uint32{0, 1, ^uint32(0)}},
+		{Dist: []uint32{2}, Span: &Span{Trace: "feedfacefeedface", QueueUs: 1, EvalUs: 2, EncodeUs: 3}},
 	}
 }
 

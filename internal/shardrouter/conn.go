@@ -108,6 +108,9 @@ type StepRequest struct {
 	// them per (shard, epoch, tag), so steady-state reads pay no
 	// shard-side deliver work at all.
 	ProbeIn []string `json:"probeIn,omitempty"`
+	// Trace is the router-minted trace ID this RPC belongs to; when
+	// set, the shard returns a Span and its access log carries the ID.
+	Trace string `json:"trace,omitempty"`
 }
 
 // StepResponse carries the shard-local part of the next frontier plus
@@ -132,6 +135,9 @@ type StepResponse struct {
 	// unconditionally so one cached table serves intermediate and
 	// final steps alike.
 	Deliveries map[string][]Delivery `json:"deliveries"`
+	// Span is the shard's timing breakdown, returned only for traced
+	// requests (see trace.go); nil from shards predating tracing.
+	Span *Span `json:"span,omitempty"`
 }
 
 // Delivery is one entry of a shard's delivery table: a step candidate
@@ -157,12 +163,14 @@ type DeliverRequest struct {
 	Tag      string               `json:"tag"`
 	In       map[string][]Arrival `json:"in"`
 	WantMeta bool                 `json:"wantMeta,omitempty"`
+	Trace    string               `json:"trace,omitempty"` // see StepRequest.Trace
 }
 
 // DeliverResponse lists the candidates reached through cross-shard
 // paths, with their scores in ranked mode.
 type DeliverResponse struct {
 	Matches []FrontierElem `json:"matches,omitempty"`
+	Span    *Span          `json:"span,omitempty"` // see StepResponse.Span
 }
 
 // ClosureRequest asks for shard-local reachability from each From
@@ -174,6 +182,7 @@ type ClosureRequest struct {
 	WithDist bool     `json:"withDist"`
 	From     []string `json:"from"`
 	To       []string `json:"to"`
+	Trace    string   `json:"trace,omitempty"` // see StepRequest.Trace
 }
 
 // ClosureResponse is the row-major From×To distance matrix:
@@ -181,6 +190,7 @@ type ClosureRequest struct {
 // request asked WithDist, 1 as a plain reachability marker otherwise.
 type ClosureResponse struct {
 	Dist []uint32 `json:"dist"`
+	Span *Span    `json:"span,omitempty"` // see StepResponse.Span
 }
 
 // ResolveResult reports one element spec's resolution.

@@ -113,12 +113,15 @@ func (c *HTTPConn) mapError(status int, body []byte) error {
 // Content-Type. When binary, a 400 or 415 is reported as
 // errBinaryRejected — an older server that cannot parse the frame —
 // rather than a terminal error.
-func (c *HTTPConn) post(ctx context.Context, path, ctype string, payload []byte, binary bool) ([]byte, string, error) {
+func (c *HTTPConn) post(ctx context.Context, path, ctype, trace string, payload []byte, binary bool) ([]byte, string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
 	if err != nil {
 		return nil, "", err
 	}
 	req.Header.Set("Content-Type", ctype)
+	if trace != "" {
+		req.Header.Set(TraceHeader, trace)
+	}
 	if binary {
 		req.Header.Set("Accept", BinaryContentType+", application/json")
 	}
@@ -143,10 +146,11 @@ func (c *HTTPConn) post(ctx context.Context, path, ctype string, payload []byte,
 }
 
 // rpc runs one hot-path RPC, preferring the binary codec. decode is
-// handed the response body and whether it is binary.
-func (c *HTTPConn) rpc(ctx context.Context, path string, jsonIn any, bin []byte, decode func(body []byte, binary bool) error) error {
+// handed the response body and whether it is binary. trace, when set,
+// also travels as the X-Hopi-Trace header so access logs correlate.
+func (c *HTTPConn) rpc(ctx context.Context, path, trace string, jsonIn any, bin []byte, decode func(body []byte, binary bool) error) error {
 	if !c.jsonOnly.Load() {
-		body, ctype, err := c.post(ctx, path, BinaryContentType, bin, true)
+		body, ctype, err := c.post(ctx, path, BinaryContentType, trace, bin, true)
 		if err == nil {
 			return decode(body, strings.HasPrefix(ctype, BinaryContentType))
 		}
@@ -159,7 +163,7 @@ func (c *HTTPConn) rpc(ctx context.Context, path string, jsonIn any, bin []byte,
 	if err != nil {
 		return err
 	}
-	body, _, err := c.post(ctx, path, "application/json", payload, false)
+	body, _, err := c.post(ctx, path, "application/json", trace, payload, false)
 	if err != nil {
 		return err
 	}
@@ -208,7 +212,7 @@ func (c *HTTPConn) postJSON(ctx context.Context, path string, in, out any) error
 
 func (c *HTTPConn) Step(ctx context.Context, sr *StepRequest) (*StepResponse, error) {
 	var out *StepResponse
-	err := c.rpc(ctx, "/shard/step", sr, EncodeStepRequest(sr), func(body []byte, binary bool) error {
+	err := c.rpc(ctx, "/shard/step", sr.Trace, sr, EncodeStepRequest(sr), func(body []byte, binary bool) error {
 		if binary {
 			var derr error
 			out, derr = DecodeStepResponse(body)
@@ -225,7 +229,7 @@ func (c *HTTPConn) Step(ctx context.Context, sr *StepRequest) (*StepResponse, er
 
 func (c *HTTPConn) Deliver(ctx context.Context, dr *DeliverRequest) (*DeliverResponse, error) {
 	var out *DeliverResponse
-	err := c.rpc(ctx, "/shard/deliver", dr, EncodeDeliverRequest(dr), func(body []byte, binary bool) error {
+	err := c.rpc(ctx, "/shard/deliver", dr.Trace, dr, EncodeDeliverRequest(dr), func(body []byte, binary bool) error {
 		if binary {
 			var derr error
 			out, derr = DecodeDeliverResponse(body)
@@ -242,7 +246,7 @@ func (c *HTTPConn) Deliver(ctx context.Context, dr *DeliverRequest) (*DeliverRes
 
 func (c *HTTPConn) Closure(ctx context.Context, cr *ClosureRequest) (*ClosureResponse, error) {
 	var out *ClosureResponse
-	err := c.rpc(ctx, "/shard/closure", cr, EncodeClosureRequest(cr), func(body []byte, binary bool) error {
+	err := c.rpc(ctx, "/shard/closure", cr.Trace, cr, EncodeClosureRequest(cr), func(body []byte, binary bool) error {
 		if binary {
 			var derr error
 			out, derr = DecodeClosureResponse(body)

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"hopi/internal/graph"
 	"hopi/internal/psg"
@@ -19,6 +20,11 @@ type QueryOptions struct {
 	Ranked bool
 	Limit  int
 	Resume string
+	// Trace, when set, traces the query under this ID even when the
+	// slow-query log is off (serving tiers pass the request's inbound
+	// X-Hopi-Trace through here). Empty lets the router mint an ID
+	// itself when tracing is on.
+	Trace string
 }
 
 // Result is one globally merged match. Elements are addressed by
@@ -81,19 +87,44 @@ func (r *Router) Query(ctx context.Context, expr string, opt QueryOptions) (*Pag
 		}
 		tok = &t
 	}
+	// Trace whenever the caller supplied an ID or the slow-query log
+	// is armed; emit fires on every exit path and hands the assembled
+	// span tree to the slow-query hook when the query was slow enough
+	// (failed queries count — they are the slowest kind).
+	var tr *QueryTrace
+	if opt.Trace != "" || r.slowQuery >= 0 {
+		id := opt.Trace
+		if id == "" {
+			id = NewTraceID()
+		}
+		tr = &QueryTrace{TraceID: id, Expr: expr, Ranked: opt.Ranked, Plan: planOf(q)}
+	}
+	start := time.Now()
+	emit := func(results int) {
+		if tr == nil {
+			return
+		}
+		tr.finish(start, results)
+		if r.onSlowQuery != nil && r.slowQuery >= 0 && time.Duration(tr.WallUs)*time.Microsecond >= r.slowQuery {
+			r.onSlowQuery(tr)
+		}
+	}
 	var lastErr error
 	for attempt := 0; attempt <= r.maxRetry; attempt++ {
 		if err := ctx.Err(); err != nil {
+			emit(0)
 			return nil, err
 		}
 		m := r.cur.Load()
 		if tok != nil && tok.mapVersion != m.Version {
+			emit(0)
 			return nil, &StaleVectorError{TokenEpoch: tok.mapVersion, ShardEpoch: m.Version}
 		}
-		page, err := r.evalOnce(ctx, m, q, hash, opt, tok)
+		page, err := r.evalOnce(ctx, m, q, hash, opt, tok, tr)
 		if err == nil {
 			r.queries.Add(1)
 			r.streamed.Add(uint64(len(page.Results)))
+			emit(len(page.Results))
 			return page, nil
 		}
 		lastErr = err
@@ -104,8 +135,10 @@ func (r *Router) Query(ctx context.Context, expr string, opt QueryOptions) (*Pag
 		if errors.Is(err, errMapRace) {
 			continue
 		}
+		emit(0)
 		return nil, err
 	}
+	emit(0)
 	// Writes kept landing faster than the query could pin a consistent
 	// cut — either a shard moved mid-evaluation every attempt or the
 	// map publish kept trailing the shard acks; surface as transient so
@@ -118,6 +151,17 @@ func (r *Router) Query(ctx context.Context, expr string, opt QueryOptions) (*Pag
 		return nil, &ShardUnavailableError{Err: fmt.Errorf("query retried %d times against concurrent writes: %v", r.maxRetry, lastErr)}
 	}
 	return nil, lastErr
+}
+
+// planOf renders a parsed query's step decomposition — the distributed
+// plan the fan-out follows, one round per step — for the slow-query
+// log's plan summary.
+func planOf(q *query.Query) string {
+	parts := make([]string, len(q.Steps))
+	for i, st := range q.Steps {
+		parts[i] = axisStr(st.Axis) + st.Tag
+	}
+	return strings.Join(parts, " → ")
 }
 
 func axisStr(a query.Axis) string {
@@ -162,8 +206,11 @@ func checkClosureSize(shard string, resp *ClosureResponse, nFrom, nTo int) error
 }
 
 // evalOnce runs one full evaluation attempt against a fixed shard map
-// and a consistent per-shard snapshot cut.
-func (r *Router) evalOnce(ctx context.Context, m *ShardMap, q *query.Query, hash uint32, opt QueryOptions, tok *vectorToken) (*Page, error) {
+// and a consistent per-shard snapshot cut. tr, when non-nil, collects
+// one TraceSpan per shard RPC (its methods are nil-safe, so untraced
+// queries pay nothing).
+func (r *Router) evalOnce(ctx context.Context, m *ShardMap, q *query.Query, hash uint32, opt QueryOptions, tok *vectorToken, tr *QueryTrace) (*Page, error) {
+	tr.attempt()
 	K := len(r.conns)
 	expected := make([]uint64, K)
 	scopes := make([]uint64, K)
@@ -249,6 +296,7 @@ func (r *Router) evalOnce(ctx context.Context, m *ShardMap, q *query.Query, hash
 				Ranked: opt.Ranked, Seed: true,
 				Axis: axisStr(seed.Axis), Tag: seed.Tag,
 				WantMeta: last == 0,
+				Trace:    tr.ID(),
 			}
 			if pre != nil && wantClosure[i] {
 				req.WantClosure = true
@@ -257,10 +305,14 @@ func (r *Router) evalOnce(ctx context.Context, m *ShardMap, q *query.Query, hash
 				req.ClosureWithDist = withDist
 			}
 			r.stepRPCs.Add(1)
+			t0 := time.Now()
 			resp, serr := c.Step(ctx, req)
 			if serr != nil {
-				return classify(i, serr)
+				serr = classify(i, serr)
+				tr.add("seed", "step", c.Name(), t0, nil, serr)
+				return serr
 			}
+			tr.add("seed", "step", c.Name(), t0, resp.Span, nil)
 			if tok != nil && tok.scopes[i] != resp.Scope {
 				return fmt.Errorf("%w: issued by a different index", ErrBadToken)
 			}
@@ -303,13 +355,18 @@ func (r *Router) evalOnce(ctx context.Context, m *ShardMap, q *query.Query, hash
 			v, ferr := r.cache.do(key, func() (any, error) {
 				var out *ClosureResponse
 				cerr := r.callConn(s, func(c Conn) error {
+					t0 := time.Now()
 					resp, rerr := c.Closure(ctx, &ClosureRequest{
 						Epoch: expected[s], Retain: retain, WithDist: withDist,
 						From: pre.inSpecs[s], To: pre.outSpecs[s],
+						Trace: tr.ID(),
 					})
 					if rerr != nil {
-						return classify(s, rerr)
+						rerr = classify(s, rerr)
+						tr.add("closure", "closure", c.Name(), t0, nil, rerr)
+						return rerr
 					}
+					tr.add("closure", "closure", c.Name(), t0, resp.Span, nil)
 					if err := checkClosureSize(c.Name(), resp, len(pre.inSpecs[s]), len(pre.outSpecs[s])); err != nil {
 						return err
 					}
@@ -333,20 +390,26 @@ func (r *Router) evalOnce(ctx context.Context, m *ShardMap, q *query.Query, hash
 	for si := 1; si <= last; si++ {
 		step := q.Steps[si]
 		wantMeta := si == last
+		phase := fmt.Sprintf("step%d:%s%s", si, axisStr(step.Axis), step.Tag)
 		if step.Axis == query.AxisChild {
 			// Child steps never cross shards: parent-child edges live
 			// inside one document, documents are atomic to a shard.
 			err := r.parallel(nonEmpty(frontiers), func(i int) error {
 				return r.callConn(i, func(c Conn) error {
 					r.stepRPCs.Add(1)
+					t0 := time.Now()
 					resp, serr := c.Step(ctx, &StepRequest{
 						Epoch: expected[i], Pin: true, Retain: retain, Ranked: opt.Ranked,
 						Axis: "/", Tag: step.Tag,
 						Frontier: frontiers[i], WantMeta: wantMeta,
+						Trace: tr.ID(),
 					})
 					if serr != nil {
-						return classify(i, serr)
+						serr = classify(i, serr)
+						tr.add(phase, "step", c.Name(), t0, nil, serr)
+						return serr
 					}
+					tr.add(phase, "step", c.Name(), t0, resp.Span, nil)
 					frontiers[i] = resp.Frontier
 					return nil
 				})
@@ -401,6 +464,7 @@ func (r *Router) evalOnce(ctx context.Context, m *ShardMap, q *query.Query, hash
 					Epoch: expected[i], Pin: true, Retain: retain, Ranked: opt.Ranked,
 					Axis: "//", Tag: step.Tag,
 					Frontier: frontiers[i], WantMeta: wantMeta,
+					Trace: tr.ID(),
 				}
 				if eg != nil {
 					if len(frontiers[i]) > 0 {
@@ -411,10 +475,14 @@ func (r *Router) evalOnce(ctx context.Context, m *ShardMap, q *query.Query, hash
 					}
 				}
 				r.stepRPCs.Add(1)
+				t0 := time.Now()
 				resp, serr := c.Step(ctx, req)
 				if serr != nil {
-					return classify(i, serr)
+					serr = classify(i, serr)
+					tr.add(phase, "step", c.Name(), t0, nil, serr)
+					return serr
 				}
+				tr.add(phase, "step", c.Name(), t0, resp.Span, nil)
 				next[i] = resp.Frontier
 				outArr[i] = resp.Out
 				if eg != nil && wantTables[i] && resp.Deliveries != nil {
@@ -450,13 +518,18 @@ func (r *Router) evalOnce(ctx context.Context, m *ShardMap, q *query.Query, hash
 				err := r.parallel(fallback, func(i int) error {
 					return r.callConn(i, func(c Conn) error {
 						r.deliverRPCs.Add(1)
+						t0 := time.Now()
 						resp, serr := c.Deliver(ctx, &DeliverRequest{
 							Epoch: expected[i], Retain: retain, Ranked: opt.Ranked,
 							Tag: step.Tag, In: inArr[i], WantMeta: wantMeta,
+							Trace: tr.ID(),
 						})
 						if serr != nil {
-							return classify(i, serr)
+							serr = classify(i, serr)
+							tr.add(phase, "deliver", c.Name(), t0, nil, serr)
+							return serr
 						}
+						tr.add(phase, "deliver", c.Name(), t0, resp.Span, nil)
 						next[i] = mergeFrontier(next[i], resp.Matches)
 						return nil
 					})

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hopi/internal/obs"
 	"hopi/internal/xmlmodel"
 )
 
@@ -56,6 +57,14 @@ type Router struct {
 	cacheSize     int
 	cache         *rpcCache
 
+	// slowQuery is the slow-query log threshold: queries at or above
+	// it hand their assembled QueryTrace to onSlowQuery. Negative
+	// (the default) disables the log; 0 logs every query. Tracing
+	// itself is on whenever the log is enabled or the caller supplied
+	// a trace ID in QueryOptions.
+	slowQuery   time.Duration
+	onSlowQuery func(*QueryTrace)
+
 	mu       sync.Mutex
 	pending  map[string]struct{} // document names reserved mid-insert
 	nextOrd  uint64
@@ -67,6 +76,10 @@ type Router struct {
 	stepRPCs    atomic.Uint64
 	deliverRPCs atomic.Uint64
 	wire        WireStats
+
+	// met is the lazily created metric registry (see Metrics).
+	met   atomic.Pointer[obs.Registry]
+	metMu sync.Mutex
 
 	// lastCut remembers the (epoch, scope) each shard last reported,
 	// so fresh queries can predict cache keys before the seed round
@@ -148,6 +161,20 @@ func WithBreakerWindow(d time.Duration) Option {
 	}
 }
 
+// WithSlowQueryLog enables the slow-query log: every query whose wall
+// time reaches threshold hands its span tree to fn (threshold 0 traces
+// and reports every query; fn runs on the query's goroutine and should
+// be fast — typically a log.Printf of trace.Format()). A negative
+// threshold keeps the log disabled.
+func WithSlowQueryLog(threshold time.Duration, fn func(*QueryTrace)) Option {
+	return func(r *Router) {
+		if threshold >= 0 && fn != nil {
+			r.slowQuery = threshold
+			r.onSlowQuery = fn
+		}
+	}
+}
+
 // WithClosureCacheSize bounds the router's epoch-keyed RPC cache in
 // entries (default 256); 0 or negative disables caching entirely —
 // every query then recomputes closures and delivery tables, which is
@@ -174,6 +201,7 @@ func New(conns []Conn, m *ShardMap, opts ...Option) (*Router, error) {
 		maxRetry:      16,
 		breakerWindow: defaultBreakerWindow,
 		cacheSize:     defaultClosureCacheSize,
+		slowQuery:     -1,
 		pending:       map[string]struct{}{},
 		nextOrd:       m.NextOrdinal,
 		docCount:      make([]int, m.NumShards),

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 
 	"hopi/internal/twohop"
 )
@@ -42,6 +43,14 @@ type WAL struct {
 	f    *os.File
 	path string
 	size int64
+
+	// OnAppend, when set, observes every committed append: the full
+	// append duration, the fsync portion of it, and the record size in
+	// bytes (header included). Set it before the WAL is shared — the
+	// owning index serializes appends under its write lock, so the
+	// callback itself never races, but the field write must
+	// happen-before first use.
+	OnAppend func(total, fsync time.Duration, bytes int)
 }
 
 const (
@@ -240,6 +249,7 @@ func (w *WAL) append(payload []byte) error {
 	if len(payload) > walMaxRecord {
 		return fmt.Errorf("storage: wal record of %d bytes exceeds limit", len(payload))
 	}
+	start := time.Now()
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
@@ -249,8 +259,12 @@ func (w *WAL) append(payload []byte) error {
 	if _, err := w.f.WriteAt(payload, w.size+8); err != nil {
 		return err
 	}
+	syncStart := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return err
+	}
+	if w.OnAppend != nil {
+		w.OnAppend(time.Since(start), time.Since(syncStart), 8+len(payload))
 	}
 	w.size += 8 + int64(len(payload))
 	return nil

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"time"
 
 	"hopi/internal/query"
 )
@@ -197,6 +198,14 @@ type Cursor struct {
 	last    resumePos // position after the last emitted result
 	hasMore bool
 	peeked  bool
+
+	// Metrics plumbing: start stamps Run time, plan records the
+	// per-step evaluation modes (labeling the latency histogram), and
+	// observed keeps the idempotent Close from double-counting. All
+	// zero when the snapshot has no metrics hub.
+	start    time.Time
+	plan     *query.Plan
+	observed bool
 }
 
 // Run starts a cursor over a prepared query. Options: QueryLimit (the
@@ -218,6 +227,14 @@ func (s *Snapshot) Run(ctx context.Context, pq *PreparedQuery, opts ...QueryOpti
 		so.Limit = cfg.limit + 1
 	}
 	c := &Cursor{snap: s, pq: pq, ranked: cfg.ranked, limit: cfg.limit}
+	if s.met != nil {
+		// Attach a plan so the run records which evaluator each step
+		// chose; the latency histogram is labeled by the final step's
+		// mode when the cursor closes.
+		c.start = time.Now()
+		c.plan = query.NewPlan(pq.q, cfg.ranked, cfg.limit)
+		so.Plan = c.plan
+	}
 	c.last = resumePos{scope: s.scope, epoch: s.epoch, hash: pq.hash, ranked: cfg.ranked}
 	if cfg.resume != "" {
 		tok, err := decodeToken(cfg.resume)
@@ -298,7 +315,13 @@ func (c *Cursor) Result() QueryResult { return c.cur }
 func (c *Cursor) Err() error { return c.st.Err() }
 
 // Close releases the cursor's scratch state. Idempotent.
-func (c *Cursor) Close() { c.st.Close() }
+func (c *Cursor) Close() {
+	c.st.Close()
+	if c.snap.met != nil && !c.observed {
+		c.observed = true
+		c.snap.met.queryLatency.With(c.plan.DominantMode()).ObserveSince(c.start)
+	}
+}
 
 // HasMore reports whether results remain past the limit — the signal
 // to hand out Token as a next-page token. Only meaningful once Next

@@ -69,6 +69,20 @@ func RouterClosureCacheSize(n int) RouterOption {
 	return shardrouter.WithClosureCacheSize(n)
 }
 
+// RouterQueryTrace is the assembled span tree a traced distributed
+// query produces: one span per shard RPC, each echoing the query's
+// trace ID with the shard's own queue/eval/encode timings. Its
+// Format method renders the slow-query log line.
+type RouterQueryTrace = shardrouter.QueryTrace
+
+// RouterSlowQueryLog arms the router's slow-query log: every query
+// is traced, and fn receives the span tree for queries whose wall
+// time reaches threshold (0 logs every query — the tracing smoke
+// setting). fn must not retain the trace's spans beyond the call.
+func RouterSlowQueryLog(threshold time.Duration, fn func(*RouterQueryTrace)) RouterOption {
+	return shardrouter.WithSlowQueryLog(threshold, fn)
+}
+
 // NewRouter assembles a router over one connection per shard in the
 // map. mapPath, when non-empty, persists every map mutation there
 // atomically (LoadShardMap reads it back).

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"hopi/internal/shardrouter"
 )
@@ -98,7 +99,13 @@ func (l *localShard) Step(ctx context.Context, req *shardrouter.StepRequest) (*s
 	if err != nil {
 		return nil, err
 	}
-	return s.ShardStep(ctx, req)
+	t0 := time.Now()
+	resp, err := s.ShardStep(ctx, req)
+	if err == nil && req.Trace != "" {
+		// In-process shards have no queue or encode legs — only eval.
+		resp.Span = &shardrouter.Span{Trace: req.Trace, EvalUs: time.Since(t0).Microseconds()}
+	}
+	return resp, err
 }
 
 func (l *localShard) Deliver(ctx context.Context, req *shardrouter.DeliverRequest) (*shardrouter.DeliverResponse, error) {
@@ -106,7 +113,12 @@ func (l *localShard) Deliver(ctx context.Context, req *shardrouter.DeliverReques
 	if err != nil {
 		return nil, err
 	}
-	return s.ShardDeliver(ctx, req)
+	t0 := time.Now()
+	resp, err := s.ShardDeliver(ctx, req)
+	if err == nil && req.Trace != "" {
+		resp.Span = &shardrouter.Span{Trace: req.Trace, EvalUs: time.Since(t0).Microseconds()}
+	}
+	return resp, err
 }
 
 func (l *localShard) Closure(ctx context.Context, req *shardrouter.ClosureRequest) (*shardrouter.ClosureResponse, error) {
@@ -114,7 +126,12 @@ func (l *localShard) Closure(ctx context.Context, req *shardrouter.ClosureReques
 	if err != nil {
 		return nil, err
 	}
-	return s.ShardClosure(ctx, req)
+	t0 := time.Now()
+	resp, err := s.ShardClosure(ctx, req)
+	if err == nil && req.Trace != "" {
+		resp.Span = &shardrouter.Span{Trace: req.Trace, EvalUs: time.Since(t0).Microseconds()}
+	}
+	return resp, err
 }
 
 func (l *localShard) Resolve(ctx context.Context, specs []string) ([]shardrouter.ResolveResult, error) {

@@ -26,6 +26,10 @@ type Snapshot struct {
 	// scope is the replication-scope identity tokens are bound to; see
 	// Index.scope.
 	scope uint64
+	// met, when set, receives query-latency observations from cursors
+	// opened on this snapshot; see metrics.go. Set by Index.Snapshot
+	// before the snapshot is published, nil on hand-built snapshots.
+	met *indexMetrics
 }
 
 func newSnapshot(src *core.Index, epoch uint64, seqEpoch bool, scope uint64) *Snapshot {
